@@ -1,0 +1,101 @@
+"""E10 (Theorems 6.2 / 6.7): enforcement filters exactly the bad runs.
+
+Regenerates the E10 table: (a) the runtime monitor and the explicit
+``P^t`` compilation agree on which runs are transparent + h-bounded
+(ground subclass, via the Π-lift); (b) guideline-compliant programs are
+never blocked (Theorem 6.2); (c) enforcement throughput.
+Expected shape: 100% agreement, zero blocks on compliant programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.design.enforce import enforce_run
+from repro.design.projection import is_liftable
+from repro.design.rewrite import rewrite_transparent
+from repro.workflow import RunGenerator
+from repro.workloads import (
+    approval_program,
+    chain_program,
+    hiring_transparent_program,
+    random_propositional_program,
+)
+
+
+@pytest.mark.parametrize("length", [20, 40, 80])
+def test_enforcer_throughput(benchmark, length):
+    program = hiring_transparent_program()
+    run = RunGenerator(program, seed=length).random_run(length)
+    trace = benchmark(lambda: enforce_run(program, "sue", 2, run.events))
+    assert trace is not None
+
+
+def test_e10_agreement_table(benchmark):
+    rows = []
+    for name, factory, peer, h in (
+        ("chain(2)", lambda: chain_program(2), "observer", 3),
+        ("approval", approval_program, "applicant", 2),
+        ("random-prop", lambda: random_propositional_program(
+            5, 8, seed=2, deletion_fraction=0.0, max_body=1
+        ), "observer", 3),
+    ):
+        program = factory()
+        rewrite = rewrite_transparent(program, peer, h)
+        agree = 0
+        accepted = 0
+        total = 0
+        for seed in range(6):
+            run = RunGenerator(program, seed=seed).random_run(8)
+            monitor_verdict = enforce_run(program, peer, h, run.events).accepted
+            lift_verdict = is_liftable(rewrite, run)
+            agree += monitor_verdict == lift_verdict
+            accepted += monitor_verdict
+            total += 1
+        rows.append([name, h, total, agree, accepted])
+        assert agree == total
+    print_table(
+        "E10a: runtime monitor vs explicit P^t compilation (Theorem 6.7)",
+        ["program", "h", "runs", "agree", "accepted"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e10_guidelines_table(benchmark):
+    """Theorem 6.2: guideline-compliant programs are never blocked."""
+    program = hiring_transparent_program()
+    rows = []
+    for seed in range(8):
+        run = RunGenerator(program, seed=seed).random_run(20)
+        trace = enforce_run(program, "sue", 2, run.events)
+        rows.append([seed, len(run), trace.accepted, len(trace.blocked())])
+        assert trace.accepted
+    print_table(
+        "E10b: enforcement of a guideline-compliant program (Theorem 6.2)",
+        ["seed", "events", "accepted", "blocked"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e10_throughput_table(benchmark):
+    program = hiring_transparent_program()
+    rows = []
+    for length in (20, 40, 80, 160):
+        run = RunGenerator(program, seed=length).random_run(length)
+        elapsed = wall_time(lambda: enforce_run(program, "sue", 2, run.events), repeat=1)
+        rows.append(
+            [length, f"{elapsed * 1e3:.1f}", f"{len(run) / elapsed:.0f}"]
+        )
+    print_table(
+        "E10c: enforcement throughput",
+        ["events", "ms", "events/s"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

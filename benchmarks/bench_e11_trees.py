@@ -1,0 +1,78 @@
+"""E11 (Remark 5.2): tree-of-runs equivalence of view programs.
+
+Regenerates the E11 table: bounded view-tree comparison between each
+source program (at the observed peer) and its synthesized view program.
+Expected shape: transparent-for-the-peer behaviours (hiring, chains)
+yield identical trees at every tested depth, while the veto workflow —
+whose view program is sound and complete for *linear* runs — diverges
+at the tree level: the view program offers a ``Hire`` transition that
+vetoed futures of the source cannot deliver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.transparency.bounded import SearchBudget
+from repro.transparency.equivalence import check_view_program
+from repro.transparency.trees import check_tree_equivalence
+from repro.transparency.viewprogram import synthesize_view_program
+from repro.workflow import RunGenerator
+from repro.workloads import chain_program, hiring_program, vetoed_hiring_program
+
+BUDGET = SearchBudget(pool_extra=1, max_tuples_per_relation=1)
+CASES = [
+    ("hiring", hiring_program, "sue", 3, True),
+    ("chain(1)", lambda: chain_program(1), "observer", 2, True),
+    ("veto (Remark 5.2)", vetoed_hiring_program, "sue", 2, False),
+]
+
+
+@pytest.mark.parametrize("name,factory,peer,h,expected", CASES)
+def test_tree_equivalence(benchmark, name, factory, peer, h, expected):
+    synthesis = synthesize_view_program(factory(), peer, h=h, budget=BUDGET)
+    report = benchmark.pedantic(
+        lambda: check_tree_equivalence(synthesis, depth=3), rounds=1, iterations=1
+    )
+    assert report.equivalent == expected
+
+
+def test_e11_table(benchmark):
+    rows = []
+    for name, factory, peer, h, expected in CASES:
+        program = factory()
+        synthesis = synthesize_view_program(program, peer, h=h, budget=BUDGET)
+        # Linear equivalence holds for every case (including the veto).
+        source_runs = [RunGenerator(program, seed=s).random_run(6) for s in range(3)]
+        view_runs = [
+            RunGenerator(synthesis.program, seed=s).random_run(3) for s in range(3)
+        ]
+        linear = check_view_program(synthesis, source_runs, view_runs)
+        for depth in (2, 3):
+            elapsed = wall_time(
+                lambda: check_tree_equivalence(synthesis, depth=depth), repeat=1
+            )
+            report = check_tree_equivalence(synthesis, depth=depth)
+            rows.append(
+                [
+                    name,
+                    depth,
+                    linear.ok,
+                    report.equivalent,
+                    len(report.extra_in_view_program()),
+                    f"{report.source_tree.size()}/{report.view_tree.size()}",
+                    f"{elapsed * 1e3:.0f}",
+                ]
+            )
+        final = check_tree_equivalence(synthesis, depth=3)
+        assert linear.ok
+        assert final.equivalent == expected
+    print_table(
+        "E11: linear vs tree-of-runs equivalence (Remark 5.2)",
+        ["program", "depth", "linear ok", "trees equal", "extra offers", "tree sizes", "ms"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

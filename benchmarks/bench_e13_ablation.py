@@ -1,0 +1,95 @@
+"""E13 (ablation): the price and payoff of faithfulness.
+
+The paper motivates faithful scenarios semantically (Examples 4.1/4.2);
+this ablation quantifies the trade-off the design choice makes:
+
+* *size* — the minimal faithful scenario can only be larger than the
+  unconstrained minimum scenario (it keeps real boundaries and
+  modifications), so we measure how much larger across workloads;
+* *cost* — the faithful scenario is a PTIME fixpoint while the exact
+  minimum is an exponential search, so we measure the speed gap;
+* *truthfulness* — we count the runs on which some minimum scenario is
+  *not* faithful, i.e. where the cheaper explanation would have been a
+  misleading one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.core.faithful import is_faithful_scenario, minimal_faithful_scenario
+from repro.core.scenarios import greedy_scenario, minimum_scenario
+from repro.workflow import RunGenerator
+from repro.workloads import approval_program, churn_program, hiring_program
+
+FAMILIES = [
+    ("approval", approval_program, "applicant", 10),
+    ("hiring", hiring_program, "sue", 12),
+    ("churn", churn_program, "observer", 12),
+]
+
+
+@pytest.mark.parametrize("name,factory,peer,length", FAMILIES)
+def test_faithful_vs_minimum(benchmark, name, factory, peer, length):
+    run = RunGenerator(factory(), seed=0).random_run(length)
+    scenario = benchmark(lambda: minimal_faithful_scenario(run, peer))
+    assert scenario.indices is not None
+
+
+def test_e13_table(benchmark):
+    rows = []
+    misleading_total = 0
+    for name, factory, peer, length in FAMILIES:
+        program = factory()
+        for seed in range(4):
+            run = RunGenerator(program, seed=seed).random_run(length)
+            faithful = minimal_faithful_scenario(run, peer)
+            minimum = minimum_scenario(run, peer)
+            greedy = greedy_scenario(run, peer)
+            t_faithful = wall_time(
+                lambda: minimal_faithful_scenario(run, peer), repeat=1
+            )
+            t_minimum = wall_time(lambda: minimum_scenario(run, peer), repeat=1)
+            minimum_is_faithful = is_faithful_scenario(
+                run, peer, minimum.indices
+            )
+            if not minimum_is_faithful:
+                misleading_total += 1
+            rows.append(
+                [
+                    name,
+                    seed,
+                    len(run),
+                    len(minimum),
+                    len(faithful.indices),
+                    len(greedy),
+                    "yes" if minimum_is_faithful else "NO",
+                    f"{t_faithful * 1e3:.1f}",
+                    f"{t_minimum * 1e3:.1f}",
+                ]
+            )
+            # Faithfulness can only add events to the minimum.
+            assert len(minimum) <= len(faithful.indices)
+    print_table(
+        "E13: ablation — faithful vs unconstrained minimum scenarios",
+        [
+            "family",
+            "seed",
+            "run",
+            "minimum",
+            "faithful",
+            "greedy",
+            "min faithful?",
+            "faithful ms",
+            "minimum ms",
+        ],
+        rows,
+    )
+    print(
+        f"\nruns where the size-minimal explanation would have been "
+        f"unfaithful (misleading): {misleading_total}/{len(rows)}"
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""E2 (Theorem 3.4): scenario-minimality testing is coNP-hard.
+
+Regenerates the E2 table: minimality checks on UNSAT-gadget runs of
+growing variable count, cross-validated against brute-force SAT.
+Expected shape: check time grows exponentially with the number of
+variables; the verdict always matches (un)satisfiability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.reductions.formulas import is_satisfiable, random_cnf
+from repro.reductions.sat import unsat_to_minimality
+
+VARIABLES = [2, 3, 4]
+
+
+def _gadget(n_variables: int, seed: int = 0):
+    for attempt in range(50):
+        formula = random_cnf(n_variables, n_variables + 1, clause_size=2, seed=seed + attempt)
+        if not formula.evaluate({name: True for name in formula.variables()}):
+            return unsat_to_minimality(formula)
+    raise AssertionError("no gadget formula found")
+
+
+@pytest.mark.parametrize("n_variables", VARIABLES)
+def test_minimality_check(benchmark, n_variables):
+    reduction = _gadget(n_variables)
+    verdict = benchmark(reduction.run_is_minimal_scenario)
+    assert verdict == (not is_satisfiable(reduction.formula))
+
+
+def test_e2_table(benchmark):
+    rows = []
+    for n_variables in VARIABLES:
+        agreements = 0
+        checks = 0
+        sample_time = 0.0
+        for seed in range(4):
+            reduction = _gadget(n_variables, seed=seed * 100)
+            sample_time += wall_time(reduction.run_is_minimal_scenario, repeat=1)
+            verdict = reduction.run_is_minimal_scenario()
+            expected = not is_satisfiable(reduction.formula)
+            agreements += verdict == expected
+            checks += 1
+        rows.append(
+            [n_variables, checks, agreements, f"{sample_time / checks * 1e3:.1f}"]
+        )
+    print_table(
+        "E2: minimality checking vs UNSAT (agreement and cost)",
+        ["vars", "checks", "agree", "avg ms"],
+        rows,
+    )
+    assert all(row[1] == row[2] for row in rows)
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

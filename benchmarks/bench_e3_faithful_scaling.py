@@ -1,0 +1,73 @@
+"""E3 (Theorem 4.7): the minimal faithful scenario is PTIME.
+
+Regenerates the E3 table: wall-clock of ``minimal_faithful_scenario``
+on runs of growing length drawn from three workload families, plus a
+log-log power-law fit.  Expected shape: a polynomial exponent (the
+implementation is roughly quadratic in run length for these families —
+far from the exponential scenario search of E1), and 100% scenario
+validity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import fit_power_law, print_table
+from repro.core.faithful import minimal_faithful_scenario
+from repro.core.scenarios import is_scenario
+from repro.workflow import RunGenerator
+from repro.workloads import churn_program, hiring_program, noisy_chain_program
+
+LENGTHS = [10, 20, 40, 80]
+
+
+def _runs(length: int):
+    yield "hiring", RunGenerator(hiring_program(), seed=length).random_run(length), "sue"
+    yield "churn", RunGenerator(churn_program(), seed=length).random_run(length), "observer"
+    noisy = noisy_chain_program(3, 4)
+    yield "noisy", RunGenerator(noisy, seed=length).random_run(length), "observer"
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_faithful_scenario(benchmark, length):
+    run = RunGenerator(hiring_program(), seed=length).random_run(length)
+    scenario = benchmark(lambda: minimal_faithful_scenario(run, "sue"))
+    assert is_scenario(run, "sue", scenario.indices)
+
+
+def test_e3_table(benchmark):
+    rows = []
+    times_by_family = {}
+    for length in LENGTHS:
+        for family, run, peer in _runs(length):
+            elapsed = wall_time(lambda: minimal_faithful_scenario(run, peer), repeat=1)
+            scenario = minimal_faithful_scenario(run, peer)
+            assert is_scenario(run, peer, scenario.indices)
+            times_by_family.setdefault(family, []).append((len(run), elapsed))
+            rows.append(
+                [
+                    family,
+                    len(run),
+                    len(scenario.indices),
+                    f"{(1 - len(scenario.indices) / max(1, len(run))) * 100:.0f}%",
+                    f"{elapsed * 1e3:.1f}",
+                ]
+            )
+    fits = []
+    for family, samples in times_by_family.items():
+        fit = fit_power_law([s[0] for s in samples], [s[1] for s in samples])
+        fits.append([family, f"{fit.exponent:.2f}", f"{fit.r_squared:.2f}"])
+        assert fit.exponent < 4.0, f"{family}: super-polynomial-looking scaling"
+    print_table(
+        "E3: minimal faithful scenario cost vs run length",
+        ["family", "run", "scenario", "discarded", "ms"],
+        rows,
+    )
+    print_table(
+        "E3b: power-law fit (PTIME expected: small exponent)",
+        ["family", "exponent", "R^2"],
+        fits,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

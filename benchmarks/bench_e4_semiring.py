@@ -1,0 +1,74 @@
+"""E4 (Theorem 4.8): faithful scenarios form a semiring.
+
+Regenerates the E4 table: on random runs of several workloads, build a
+family of faithful scenarios (closures of random seeds), check closure
+under ``+``/``*`` and all the semiring laws, and time the operations.
+Expected shape: zero violations everywhere; the operations themselves
+are set operations and take microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.core.semiring import FaithfulSemiring
+from repro.core.subruns import EventSubsequence, full_subsequence
+from repro.workflow import RunGenerator
+from repro.workloads import approval_program, churn_program, hiring_program
+
+FAMILIES = [
+    ("hiring", hiring_program, "sue", 25),
+    ("approval", approval_program, "applicant", 14),
+    ("churn", churn_program, "observer", 25),
+]
+
+
+def _scenarios(semiring, run):
+    scenarios = [semiring.minimal(), full_subsequence(run)]
+    for start in range(0, len(run), max(1, len(run) // 6)):
+        scenarios.append(semiring.faithful_closure(EventSubsequence(run, [start])))
+    return scenarios
+
+
+@pytest.mark.parametrize("name,factory,peer,length", FAMILIES)
+def test_closure_checking(benchmark, name, factory, peer, length):
+    run = RunGenerator(factory(), seed=1).random_run(length)
+    semiring = FaithfulSemiring(run, peer)
+    scenarios = _scenarios(semiring, run)
+    violations = benchmark(lambda: semiring.check_closure_under_operations(scenarios))
+    assert violations == []
+
+
+def test_e4_table(benchmark):
+    rows = []
+    for name, factory, peer, length in FAMILIES:
+        for seed in range(3):
+            run = RunGenerator(factory(), seed=seed).random_run(length)
+            semiring = FaithfulSemiring(run, peer)
+            scenarios = _scenarios(semiring, run)
+            closure_violations = semiring.check_closure_under_operations(scenarios)
+            law_violations = semiring.check_semiring_laws(scenarios + [semiring.zero])
+            elapsed = wall_time(
+                lambda: semiring.check_closure_under_operations(scenarios), repeat=1
+            )
+            rows.append(
+                [
+                    name,
+                    seed,
+                    len(run),
+                    len(scenarios),
+                    len(closure_violations),
+                    len(law_violations),
+                    f"{elapsed * 1e3:.1f}",
+                ]
+            )
+            assert not closure_violations and not law_violations
+    print_table(
+        "E4: semiring of faithful scenarios (violations must be 0)",
+        ["family", "seed", "run", "scenarios", "closure viol.", "law viol.", "check ms"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

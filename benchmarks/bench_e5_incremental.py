@@ -1,0 +1,79 @@
+"""E5 (Section 4): incremental maintenance vs from-scratch recomputation.
+
+Regenerates the E5 table: feed runs event by event, maintaining the
+minimal faithful scenario (a) incrementally with per-event closures and
+(b) by recomputing ``T_p^ω`` from scratch at every prefix.  Expected
+shape: identical scenarios, with the incremental maintainer winning by
+a growing factor as runs lengthen (scratch is quadratic-by-prefix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.core.faithful import minimal_faithful_scenario
+from repro.core.incremental import IncrementalExplainer
+from repro.workflow import RunGenerator, execute
+from repro.workloads import churn_program, hiring_program
+
+LENGTHS = [10, 20, 40, 80]
+
+
+def _incremental(program, peer, events):
+    explainer = IncrementalExplainer(program, peer)
+    for event in events:
+        explainer.extend(event)
+    return explainer.minimal_scenario()
+
+
+def _scratch_every_prefix(program, peer, events):
+    result = ()
+    for count in range(1, len(events) + 1):
+        run = execute(program, events[:count], check_freshness=False)
+        result = minimal_faithful_scenario(run, peer).indices
+    return result
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_incremental_maintenance(benchmark, length):
+    program = hiring_program()
+    run = RunGenerator(program, seed=length).random_run(length)
+    scenario = benchmark(lambda: _incremental(program, "sue", run.events))
+    assert scenario == minimal_faithful_scenario(run, "sue").indices
+
+
+def test_e5_table(benchmark):
+    rows = []
+    for factory, peer in ((hiring_program, "sue"), (churn_program, "observer")):
+        program = factory()
+        for length in LENGTHS:
+            run = RunGenerator(program, seed=length).random_run(length)
+            events = list(run.events)
+            incremental = _incremental(program, peer, events)
+            scratch = _scratch_every_prefix(program, peer, events)
+            assert incremental == scratch
+            t_inc = wall_time(lambda: _incremental(program, peer, events), repeat=1)
+            t_scr = wall_time(
+                lambda: _scratch_every_prefix(program, peer, events), repeat=1
+            )
+            rows.append(
+                [
+                    factory.__name__.replace("_program", ""),
+                    len(events),
+                    f"{t_inc * 1e3:.1f}",
+                    f"{t_scr * 1e3:.1f}",
+                    f"{t_scr / t_inc:.1f}x",
+                ]
+            )
+    print_table(
+        "E5: incremental vs from-scratch scenario maintenance",
+        ["family", "events", "incremental ms", "scratch ms", "speedup"],
+        rows,
+    )
+    # The speedup must grow with run length (per family).
+    speedups = [float(row[4][:-1]) for row in rows]
+    assert speedups[len(LENGTHS) - 1] > speedups[0]
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

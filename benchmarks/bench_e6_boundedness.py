@@ -1,0 +1,70 @@
+"""E6 (Theorem 5.10): deciding h-boundedness.
+
+Regenerates the E6 table: the bounded-model-checking decision on the
+chain family (whose exact bound is depth+1) and on paper programs.
+Expected shape: the decision is exact (rejects h = depth, accepts
+h = depth+1) and its cost grows exponentially with the schema size and
+h, as the PSPACE bound allows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.transparency.bounded import SearchBudget, check_h_bounded, smallest_bound
+from repro.workloads import chain_program, hiring_program, parallel_chains_program
+
+TINY = SearchBudget(pool_extra=0, max_tuples_per_relation=1)
+SMALL = SearchBudget(pool_extra=1, max_tuples_per_relation=1)
+DEPTHS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_boundedness_decision(benchmark, depth):
+    program = chain_program(depth)
+    result = benchmark(lambda: check_h_bounded(program, "observer", depth + 1, TINY))
+    assert result.bounded
+
+
+def test_e6_table(benchmark):
+    rows = []
+    for depth in DEPTHS:
+        program = chain_program(depth)
+        reject = check_h_bounded(program, "observer", depth, TINY)
+        accept = check_h_bounded(program, "observer", depth + 1, TINY)
+        elapsed = wall_time(
+            lambda: check_h_bounded(program, "observer", depth + 1, TINY), repeat=1
+        )
+        rows.append(
+            [
+                f"chain({depth})",
+                depth + 1,
+                not reject.bounded,
+                accept.bounded,
+                accept.instances_checked,
+                f"{elapsed * 1e3:.0f}",
+            ]
+        )
+        assert not reject.bounded and accept.bounded
+    # Parallel chains: the bound stays per-visible-event.
+    program = parallel_chains_program(2, 1)
+    accept = check_h_bounded(program, "observer", 2, TINY)
+    reject = check_h_bounded(program, "observer", 1, TINY)
+    rows.append(
+        ["2 || chains(1)", 2, not reject.bounded, accept.bounded,
+         accept.instances_checked, "-"]
+    )
+    # The hiring workflow: the silent cfoOK->approve->hire path gives 3.
+    hiring = hiring_program()
+    rows.append(
+        ["hiring (sue)", smallest_bound(hiring, "sue", 5, SMALL), True, True, "-", "-"]
+    )
+    print_table(
+        "E6: h-boundedness decision (Theorem 5.10)",
+        ["program", "exact h", "rejects h-1", "accepts h", "instances", "ms"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

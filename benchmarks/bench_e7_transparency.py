@@ -1,0 +1,70 @@
+"""E7 (Theorem 5.11, Example 5.7): deciding transparency.
+
+Regenerates the E7 table: the transparency decision on the three
+Example 5.7 variants.  Expected shape: both non-Stage variants are
+rejected with an explicit counterexample exercising the invisible
+``Approved``/``cfoOK`` state; the Stage-based redesign is accepted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.transparency.bounded import SearchBudget
+from repro.transparency.transparent import check_transparent
+from repro.workloads import (
+    hiring_no_cfo_program,
+    hiring_program,
+    hiring_transparent_program,
+)
+
+BUDGET = SearchBudget(pool_extra=2, max_tuples_per_relation=1)
+CASES = [
+    ("Example 5.1 (literal views)", hiring_program, 3, False),
+    ("Example 5.7 without cfoOK", hiring_no_cfo_program, 2, False),
+    ("Example 5.7 Stage redesign", hiring_transparent_program, 2, True),
+]
+
+
+@pytest.mark.parametrize("name,factory,h,expected", CASES)
+def test_transparency_decision(benchmark, name, factory, h, expected):
+    program = factory()
+    result = benchmark.pedantic(
+        lambda: check_transparent(program, "sue", h=h, budget=BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.transparent == expected
+
+
+def test_e7_table(benchmark):
+    rows = []
+    for name, factory, h, expected in CASES:
+        program = factory()
+        elapsed = wall_time(
+            lambda: check_transparent(program, "sue", h=h, budget=BUDGET), repeat=1
+        )
+        result = check_transparent(program, "sue", h=h, budget=BUDGET)
+        assert result.transparent == expected
+        witness = ""
+        if result.violation is not None:
+            witness = ",".join(e.rule.name for e in result.violation.events)
+        rows.append(
+            [
+                name,
+                h,
+                result.transparent,
+                result.pairs_checked,
+                witness or "-",
+                f"{elapsed:.2f}",
+            ]
+        )
+    print_table(
+        "E7: transparency decision (Theorem 5.11) on Example 5.7",
+        ["program", "h", "transparent", "pairs", "counterexample run", "seconds"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

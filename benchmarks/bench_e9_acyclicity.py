@@ -1,0 +1,79 @@
+"""E9 (Theorem 6.3): boundedness by acyclicity — bound vs reality.
+
+Regenerates the E9 table: for p-acyclic programs, compare the static
+bound ``(ab+1)^g`` with the exact smallest ``h`` found by the Theorem
+5.10 decision.  Expected shape: the bound always dominates the actual
+value (soundness) but is loose — exponential in the path length ``g``
+while the chain family's truth is ``g + 1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.design.acyclic import analyze_acyclicity
+from repro.transparency.bounded import SearchBudget, smallest_bound
+from repro.workloads import chain_program, noisy_chain_program, parallel_chains_program
+
+TINY = SearchBudget(pool_extra=0, max_tuples_per_relation=1)
+CASES = [
+    ("chain(1)", lambda: chain_program(1), 3),
+    ("chain(2)", lambda: chain_program(2), 4),
+    ("chain(3)", lambda: chain_program(3), 5),
+    ("2 || chains(1)", lambda: parallel_chains_program(2, 1), 3),
+]
+
+
+@pytest.mark.parametrize("name,factory,max_h", CASES)
+def test_acyclicity_analysis(benchmark, name, factory, max_h):
+    program = factory()
+    report = benchmark(lambda: analyze_acyclicity(program, "observer"))
+    assert report.acyclic
+
+
+def test_e9_table(benchmark):
+    rows = []
+    for name, factory, max_h in CASES:
+        program = factory()
+        report = analyze_acyclicity(program, "observer")
+        actual = smallest_bound(program, "observer", max_h, TINY)
+        assert report.acyclic and actual is not None
+        assert actual <= report.bound <= report.coarse_bound
+        rows.append(
+            [
+                name,
+                report.longest_path,
+                actual,
+                report.bound,
+                report.coarse_bound,
+                f"{report.bound / actual:.1f}x",
+            ]
+        )
+    # A cyclic program is correctly rejected.
+    from repro.workflow.parser import parse_program
+
+    cyclic = parse_program(
+        """
+        peers p, q
+        relation Vis(K)
+        relation A(K)
+        relation B(K)
+        view Vis@p(K)
+        view Vis@q(K)
+        view A@q(K)
+        view B@q(K)
+        [va] +A@q(0) :- B@q(0)
+        [vb] +B@q(0) :- A@q(0)
+        [show] +Vis@q(0) :- A@q(0)
+        """
+    )
+    assert not analyze_acyclicity(cyclic, "p").acyclic
+    print_table(
+        "E9: acyclicity bound (ab+1)^g vs exact smallest h",
+        ["program", "g", "exact h", "bound", "coarse (ab+1)^d", "looseness"],
+        rows,
+    )
+    # Register with pytest-benchmark so the table runs under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

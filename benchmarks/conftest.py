@@ -1,0 +1,43 @@
+"""Shared helpers for the experiment benchmarks.
+
+The paper contains no empirical evaluation; each ``bench_e*.py`` module
+regenerates one experiment of EXPERIMENTS.md, validating a theorem
+empirically and printing its result table.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, List, Sequence, Tuple
+
+import pytest
+
+from repro.analysis.stats import set_table_sink
+
+#: Where the experiment tables are archived (pytest captures stdout, so
+#: `pytest benchmarks/ --benchmark-only` without -s would otherwise
+#: swallow them).
+TABLES_PATH = Path(__file__).resolve().parent.parent / "benchmark_tables.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _archive_tables():
+    with TABLES_PATH.open("w") as sink:
+        sink.write("Experiment tables (see EXPERIMENTS.md for the index)\n")
+        set_table_sink(sink)
+        yield
+        set_table_sink(None)
+
+
+def wall_time(function: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of *function* over *repeat* calls."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]

@@ -1,0 +1,116 @@
+"""Streaming explanations for a loan-approval workflow.
+
+A bank processes loan applications: a clerk registers them, a risk
+officer scores them (invisibly to the applicant), a manager decides,
+and decisions become visible to the applicant.  The example shows
+
+* how *unfaithful* scenarios mislead (the Example 4.2 anomaly: a
+  retracted risk approval replaced by a different approval path), and
+* incremental maintenance of the minimal faithful scenario while the
+  workflow is live (Section 4), with per-decision provenance.
+
+Run with: ``python examples/loan_applications.py``
+"""
+
+from repro import (
+    IncrementalExplainer,
+    is_faithful_scenario,
+    is_scenario,
+    parse_program,
+)
+from repro.workflow import Event
+from repro.workflow.domain import FreshValue
+from repro.workflow.queries import Var
+
+PROGRAM = """
+peers clerk, risk, manager, applicant
+relation App(K, amount)
+relation Score(K, grade)
+relation Decision(K, verdict)
+view App@clerk(K, amount)
+view App@risk(K, amount)
+view App@manager(K, amount)
+view App@applicant(K, amount)
+view Score@risk(K, grade)
+view Score@manager(K, grade)
+view Decision@manager(K, verdict)
+view Decision@applicant(K, verdict)
+view Decision@clerk(K, verdict)
+
+[register] +App@clerk(a, 'small') :-
+[score_ok] +Score@risk(s, 'good')  :- App@risk(a, 'small')
+[retract]  -Key[Score]@risk(s)     :- Score@risk(s, g)
+[approve]  +Decision@manager(d, 'approved') :- App@manager(a, m), Score@manager(s, 'good')
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    register = program.rule("register")
+    score_ok = program.rule("score_ok")
+    retract = program.rule("retract")
+    approve = program.rule("approve")
+
+    a, s1, s2, d = (FreshValue(i) for i in range(4))
+    events = [
+        Event(register, {Var("a"): a}),
+        Event(score_ok, {Var("a"): a, Var("s"): s1}),   # first score
+        Event(retract, {Var("s"): s1, Var("g"): "good"}),  # ... retracted
+        Event(score_ok, {Var("a"): a, Var("s"): s2}),   # re-scored
+        Event(
+            approve,
+            {Var("a"): a, Var("m"): "small", Var("s"): s2, Var("d"): d},
+        ),
+    ]
+
+    # ------------------------------------------------------------------
+    # Live processing with incremental explanation maintenance.
+    # ------------------------------------------------------------------
+    explainer = IncrementalExplainer(program, "applicant")
+    print("Processing the workflow live (applicant's perspective):")
+    for event in events:
+        index = explainer.extend(event)
+        scenario = explainer.minimal_scenario()
+        print(
+            f"  event [{index}] {event.rule.name:<9} -> minimal faithful "
+            f"scenario so far: {scenario}"
+        )
+
+    run = explainer.run()
+    print("\nThe applicant saw:")
+    print(run.view("applicant"))
+
+    # ------------------------------------------------------------------
+    # Faithfulness vs. mere observational equivalence.
+    # ------------------------------------------------------------------
+    # The subrun [register, first score, approve] tries to replay the
+    # approval against the RETRACTED score.  Here the approval event
+    # pins the actual score tuple (s2), so the subrun is not even
+    # observationally equivalent; in propositional workflows (Example
+    # 4.2) such substitutions DO yield scenarios, and faithfulness is
+    # what rules them out.
+    misleading = [0, 1, 4]
+    print(
+        "\nmisleading subrun [register, score#1, approve]:",
+        "scenario" if is_scenario(run, "applicant", misleading) else "not a scenario",
+        "/",
+        "faithful"
+        if is_faithful_scenario(run, "applicant", misleading)
+        else "NOT faithful (uses the retracted score)",
+    )
+    honest = sorted(explainer.minimal_scenario())
+    print(
+        f"faithful explanation {honest}:",
+        [run.events[i].rule.name for i in honest],
+    )
+
+    # Per-event provenance, including invisible events.
+    print("\nProvenance of each event (its minimal faithful explanation):")
+    for index in range(len(run)):
+        causes = sorted(explainer.explanation_of(index))
+        names = [run.events[i].rule.name for i in causes]
+        print(f"  [{index}] {run.events[index].rule.name:<9} <- {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Run statistics, scaling fits, audits and table rendering."""
+
+from .audit import AuditReport, audit_program
+from .stats import (
+    RunStatistics,
+    ScalingFit,
+    fit_power_law,
+    format_table,
+    mean,
+    print_table,
+    stddev,
+)
+
+__all__ = [
+    "AuditReport",
+    "RunStatistics",
+    "ScalingFit",
+    "audit_program",
+    "fit_power_law",
+    "format_table",
+    "mean",
+    "print_table",
+    "stddev",
+]

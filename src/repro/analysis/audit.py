@@ -1,0 +1,134 @@
+"""One-call static audit of a workflow program for an observed peer.
+
+Gathers every static analysis the library implements — schema
+losslessness, normal form, the design guidelines, transparency-form,
+p-acyclicity with the Theorem 6.3 bound, and (optionally, since they
+are expensive) the exact boundedness and transparency decisions of
+Theorems 5.10/5.11 — into a single structured report, the way a
+workflow designer would consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..design.acyclic import AcyclicityReport, analyze_acyclicity
+from ..design.guidelines import check_c1, check_design_guidelines
+from ..design.tf import check_transparency_form
+from ..transparency.bounded import BoundednessResult, SearchBudget, check_h_bounded
+from ..transparency.transparent import TransparencyResult, check_transparent
+from ..workflow.program import WorkflowProgram
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The result of :func:`audit_program`."""
+
+    program: WorkflowProgram
+    peer: str
+    lossless: bool
+    losslessness_violations: PyTuple[str, ...]
+    normal_form: bool
+    linear_head: bool
+    c1_violations: PyTuple[str, ...]
+    guideline_violations: Optional[PyTuple[str, ...]]
+    tf_violations: PyTuple[str, ...]
+    acyclicity: AcyclicityReport
+    boundedness: Optional[BoundednessResult] = None
+    transparency: Optional[TransparencyResult] = None
+
+    @property
+    def follows_guidelines(self) -> Optional[bool]:
+        if self.guideline_violations is None:
+            return None
+        return not self.guideline_violations
+
+    @property
+    def transparency_form(self) -> bool:
+        return not self.tf_violations
+
+    def to_text(self) -> str:
+        """A human-readable audit summary."""
+        lines = [
+            f"Audit of {len(self.program)}-rule program for peer {self.peer!r}",
+            f"  lossless schema:        {self.lossless}",
+            f"  normal form:            {self.normal_form}",
+            f"  linear heads:           {self.linear_head}",
+            f"  (C1) full visibility:   {not self.c1_violations}",
+            f"  transparency-form:      {self.transparency_form}",
+        ]
+        if self.guideline_violations is not None:
+            lines.append(f"  guidelines (C1)-(C4):   {self.follows_guidelines}")
+        if self.acyclicity.acyclic:
+            lines.append(
+                f"  p-acyclic:              True (g={self.acyclicity.longest_path}, "
+                f"bound={self.acyclicity.bound})"
+            )
+        else:
+            lines.append(f"  p-acyclic:              False (cycle {self.acyclicity.cycle})")
+        if self.boundedness is not None:
+            lines.append(
+                f"  {self.boundedness.h}-bounded (decided):   {self.boundedness.bounded}"
+            )
+        if self.transparency is not None:
+            lines.append(
+                f"  transparent (decided):  {self.transparency.transparent}"
+            )
+        problems = list(self.losslessness_violations)
+        problems.extend(self.c1_violations)
+        problems.extend(self.tf_violations)
+        if self.guideline_violations:
+            problems.extend(self.guideline_violations)
+        if problems:
+            lines.append("  findings:")
+            lines.extend(f"    - {problem}" for problem in dict.fromkeys(problems))
+        return "\n".join(lines)
+
+
+def audit_program(
+    program: WorkflowProgram,
+    peer: str,
+    transparent_relations: Optional[Iterable[str]] = None,
+    decide_h: Optional[int] = None,
+    budget: SearchBudget = SearchBudget(pool_extra=1, max_tuples_per_relation=1),
+) -> AuditReport:
+    """Run every static analysis for *(program, peer)*.
+
+    *transparent_relations* enables the (C1)-(C4) guideline check (it
+    needs the designer's transparent/opaque split); *decide_h* addition-
+    ally runs the exact Theorem 5.10/5.11 decisions at that bound
+    (bounded searches — expensive; keep the budget small).
+
+    >>> # report = audit_program(program, "sue", ["Cleared", "Hire"])
+    >>> # print(report.to_text())
+    """
+    schema = program.schema
+    lossless_violations = tuple(schema.losslessness_violations())
+    guideline_violations: Optional[PyTuple[str, ...]] = None
+    if transparent_relations is not None:
+        guideline_violations = check_design_guidelines(
+            program, peer, transparent_relations
+        ).violations
+    boundedness: Optional[BoundednessResult] = None
+    transparency: Optional[TransparencyResult] = None
+    if decide_h is not None:
+        boundedness = check_h_bounded(program, peer, decide_h, budget)
+        if boundedness.bounded:
+            transparency = check_transparent(program, peer, decide_h, budget)
+    return AuditReport(
+        program=program,
+        peer=peer,
+        lossless=not lossless_violations,
+        losslessness_violations=lossless_violations,
+        normal_form=program.is_normal_form(),
+        linear_head=program.is_linear_head(),
+        c1_violations=tuple(check_c1(program, peer)),
+        guideline_violations=guideline_violations,
+        tf_violations=tuple(
+            check_transparency_form(program, peer, require_stage=False)
+        ),
+        acyclicity=analyze_acyclicity(program, peer),
+        boundedness=boundedness,
+        transparency=transparency,
+    )

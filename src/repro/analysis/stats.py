@@ -1,0 +1,125 @@
+"""Run statistics and scaling analysis helpers.
+
+Used by the benchmark harness to summarise runs (how much of a run an
+explanation discards), to fit scaling curves (validating the PTIME
+claim of Theorem 4.7 empirically), and to print the result tables of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.faithful import minimal_faithful_scenario
+from ..workflow.runs import Run
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Summary of one run from one peer's perspective."""
+
+    events: int
+    visible: int
+    silent: int
+    scenario_size: int
+    compression: float  # fraction of the run the explanation discards
+
+    @classmethod
+    def of(cls, run: Run, peer: str) -> "RunStatistics":
+        visible = len(run.visible_indices(peer))
+        scenario = minimal_faithful_scenario(run, peer)
+        total = len(run)
+        compression = 1.0 - (len(scenario.indices) / total) if total else 0.0
+        return cls(total, visible, total - visible, len(scenario.indices), compression)
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """A power-law fit ``time ≈ c · n^k`` from (n, time) samples."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def is_polynomial(self, max_degree: float) -> bool:
+        return self.exponent <= max_degree
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> ScalingFit:
+    """Least-squares fit of ``log t = k·log n + log c``.
+
+    Zero or negative samples are dropped (they carry no log-log
+    information).
+
+    >>> fit = fit_power_law([10, 20, 40], [1.0, 4.0, 16.0])
+    >>> round(fit.exponent)
+    2
+    """
+    points = [
+        (math.log(n), math.log(t))
+        for n, t in zip(sizes, times)
+        if n > 0 and t > 0
+    ]
+    if len(points) < 2:
+        return ScalingFit(0.0, 0.0, 0.0)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_mean, y_mean = mean(xs), mean(ys)
+    denominator = sum((x - x_mean) ** 2 for x in xs)
+    if denominator == 0:
+        return ScalingFit(0.0, math.exp(y_mean), 0.0)
+    slope = sum((x - x_mean) * (y - y_mean) for x, y in points) / denominator
+    intercept = y_mean - slope * x_mean
+    predicted = [slope * x + intercept for x in xs]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ys, predicted))
+    ss_tot = sum((y - y_mean) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return ScalingFit(slope, math.exp(intercept), r_squared)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table (used by the benchmark harness)."""
+    cells = [list(map(str, headers))] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+#: Optional secondary sink for result tables (a writable file object).
+#: The benchmark harness points this at ``benchmark_tables.txt`` so the
+#: tables survive pytest's output capturing.
+_table_sink = None
+
+
+def set_table_sink(sink) -> None:
+    """Route a copy of every :func:`print_table` output to *sink* (or None)."""
+    global _table_sink
+    _table_sink = sink
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a titled result table (one per experiment in EXPERIMENTS.md)."""
+    rendered = f"\n=== {title} ===\n" + format_table(headers, rows)
+    print(rendered)
+    if _table_sink is not None:
+        _table_sink.write(rendered + "\n")
+        _table_sink.flush()

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+``python -m repro <command> ...`` drives the library from the shell:
+
+* ``check``      — static audit of a program for a peer (losslessness,
+  normal form, guidelines, acyclicity, optional exact decisions);
+* ``run``        — generate a random run, print it, optionally save a
+  replayable JSON log;
+* ``explain``    — the minimal faithful scenario explaining a run (from
+  a saved log or a fresh random run) to a peer;
+* ``synthesize`` — the peer's view program (Theorem 5.13);
+* ``enforce``    — replay a run log through the transparency monitor.
+
+Programs are read from files in the textual syntax of
+:mod:`repro.workflow.parser`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.audit import audit_program
+from .core.explain import explain_run
+from .design.enforce import enforce_run
+from .transparency.bounded import SearchBudget
+from .transparency.viewprogram import synthesize_view_program
+from .workflow.enumerate import RunGenerator
+from .workflow.errors import WorkflowError
+from .workflow.parser import parse_program
+from .workflow.program import WorkflowProgram
+from .workflow.runs import Run
+from .workflow.serialization import program_to_text, run_from_json, run_to_json
+
+
+def _load_program(path: str) -> WorkflowProgram:
+    return parse_program(Path(path).read_text())
+
+
+def _budget(args: argparse.Namespace) -> SearchBudget:
+    return SearchBudget(
+        pool_extra=args.pool_extra,
+        max_tuples_per_relation=args.max_tuples,
+    )
+
+
+def _obtain_run(program: WorkflowProgram, args: argparse.Namespace) -> Run:
+    if getattr(args, "run", None):
+        return run_from_json(program, Path(args.run).read_text())
+    generator = RunGenerator(program, seed=args.seed)
+    return generator.random_run(args.steps)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    transparent = args.transparent.split(",") if args.transparent else None
+    report = audit_program(
+        program,
+        args.peer,
+        transparent_relations=transparent,
+        decide_h=args.decide_h,
+        budget=_budget(args),
+    )
+    print(report.to_text())
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .workflow.lint import lint_program
+
+    program = _load_program(args.program)
+    findings = lint_program(
+        program, explore_depth=args.depth, max_states=args.max_states
+    )
+    for finding in findings:
+        print(finding)
+    if not findings:
+        print("no findings")
+    warnings = [f for f in findings if f.severity == "warning"]
+    return 1 if warnings else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    run = _obtain_run(program, args)
+    print(run)
+    if args.peer:
+        print()
+        print(run.view(args.peer))
+    if args.save:
+        Path(args.save).write_text(run_to_json(run, indent=2))
+        print(f"\nrun log saved to {args.save}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    run = _obtain_run(program, args)
+    explanation = explain_run(run, args.peer)
+    print(explanation.to_text())
+    if args.show_scenario:
+        print("\nThe minimal faithful scenario, replayed:")
+        print(explanation.scenario_subrun())
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    synthesis = synthesize_view_program(
+        program, args.peer, h=args.bound, budget=_budget(args)
+    )
+    print(program_to_text(synthesis.program), end="")
+    if args.witnesses:
+        for record in synthesis.records:
+            names = ", ".join(e.rule.name for e in record.witness.events)
+            print(f"# {record.rule.name} witnessed by [{names}]")
+    return 0
+
+
+def _cmd_enforce(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    run = _obtain_run(program, args)
+    trace = enforce_run(program, args.peer, args.bound, run.events)
+    for decision in trace.decisions:
+        status = "ok     " if decision.allowed else "BLOCKED"
+        kind = "visible" if decision.visible else "silent "
+        print(
+            f"[{decision.index:>3}] {status} {kind} stage={decision.stage} "
+            f"{run.events[decision.index].rule.name}"
+            + (f"  ({decision.reason})" if decision.reason else "")
+        )
+    print(f"\nrun accepted: {trace.accepted}")
+    return 0 if trace.accepted else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Explanations and transparency in collaborative workflows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, peer_required: bool = True) -> None:
+        p.add_argument("program", help="workflow program file (textual syntax)")
+        p.add_argument("--peer", required=peer_required, help="observing peer")
+        p.add_argument("--pool-extra", type=int, default=1,
+                       help="extra pool constants for bounded searches")
+        p.add_argument("--max-tuples", type=int, default=1,
+                       help="instance-size cap for bounded searches")
+
+    def run_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--run", help="replay a saved run log (JSON)")
+        p.add_argument("--steps", type=int, default=10, help="random run length")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+
+    p_check = sub.add_parser("check", help="static audit of a program")
+    common(p_check)
+    p_check.add_argument("--transparent", default=None,
+                         help="comma-separated p-transparent relations (enables C3/C4)")
+    p_check.add_argument("--decide-h", type=int, default=None,
+                         help="also run the exact boundedness/transparency decisions")
+    p_check.set_defaults(handler=_cmd_check)
+
+    p_lint = sub.add_parser("lint", help="hygiene findings for a program")
+    p_lint.add_argument("program", help="workflow program file (textual syntax)")
+    p_lint.add_argument("--depth", type=int, default=4,
+                        help="state-space exploration depth for dead-rule search")
+    p_lint.add_argument("--max-states", type=int, default=400,
+                        help="state-space exploration cap")
+    p_lint.set_defaults(handler=_cmd_lint)
+
+    p_run = sub.add_parser("run", help="generate and print a random run")
+    common(p_run, peer_required=False)
+    run_source(p_run)
+    p_run.add_argument("--save", help="write a replayable JSON run log here")
+    p_run.set_defaults(handler=_cmd_run)
+
+    p_explain = sub.add_parser("explain", help="explain a run to a peer")
+    common(p_explain)
+    run_source(p_explain)
+    p_explain.add_argument("--show-scenario", action="store_true",
+                           help="also print the replayed scenario subrun")
+    p_explain.set_defaults(handler=_cmd_explain)
+
+    p_synth = sub.add_parser("synthesize", help="synthesize the peer's view program")
+    common(p_synth)
+    p_synth.add_argument("--bound", type=int, required=True, help="the bound h")
+    p_synth.add_argument("--witnesses", action="store_true",
+                         help="print the witness runs of each ω-rule")
+    p_synth.set_defaults(handler=_cmd_synthesize)
+
+    p_enforce = sub.add_parser("enforce", help="replay a run through the monitor")
+    common(p_enforce)
+    run_source(p_enforce)
+    p_enforce.add_argument("--bound", type=int, required=True, help="the bound h")
+    p_enforce.set_defaults(handler=_cmd_enforce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (WorkflowError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Scenarios and faithful scenarios — the paper's Sections 3 and 4.
+
+Runtime explanations of collaborative workflow runs: observationally
+equivalent subruns (*scenarios*), the faithfulness restriction that makes
+them trustworthy, the unique PTIME-computable minimal faithful scenario,
+the semiring structure, and incremental maintenance.
+"""
+
+from .explain import Explanation, ObservationExplanation, explain_event, explain_run
+from .faithful import (
+    AttributeModification,
+    FaithfulScenario,
+    FaithfulnessAnalysis,
+    is_faithful_scenario,
+    minimal_faithful_scenario,
+    relevant_attributes,
+)
+from .incremental import IncrementalExplainer
+from .lifecycles import Lifecycle, LifecycleIndex, keys_in_sequence
+from .narrative import narrate_explanation, narrate_run, object_story
+from .scenarios import (
+    greedy_scenario,
+    has_scenario_of_size,
+    is_minimal_scenario,
+    is_scenario,
+    minimum_scenario,
+    scenario_within,
+)
+from .semiring import FaithfulSemiring
+from .subruns import (
+    EventSubsequence,
+    empty_subsequence,
+    full_subsequence,
+    visible_subsequence,
+)
+
+__all__ = [
+    "AttributeModification",
+    "EventSubsequence",
+    "Explanation",
+    "FaithfulScenario",
+    "FaithfulSemiring",
+    "FaithfulnessAnalysis",
+    "IncrementalExplainer",
+    "Lifecycle",
+    "LifecycleIndex",
+    "ObservationExplanation",
+    "empty_subsequence",
+    "explain_event",
+    "explain_run",
+    "full_subsequence",
+    "greedy_scenario",
+    "has_scenario_of_size",
+    "is_faithful_scenario",
+    "is_minimal_scenario",
+    "is_scenario",
+    "keys_in_sequence",
+    "minimal_faithful_scenario",
+    "minimum_scenario",
+    "narrate_explanation",
+    "narrate_run",
+    "object_story",
+    "relevant_attributes",
+    "scenario_within",
+    "visible_subsequence",
+]

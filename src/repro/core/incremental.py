@@ -1,0 +1,254 @@
+"""Incremental maintenance of minimal faithful scenarios (Section 4).
+
+The closure operator ``T_p^ω(ρ, ·)`` is additive (Lemma A.1), so
+``T_p^ω(ρ, α) = ⋃_{f∈α} T_p^ω(ρ, {f})``: maintaining one closure per
+event suffices.  When a new event ``e`` arrives, only two kinds of
+requirement edges appear: ``e`` requires earlier events (its boundary and
+modification requirements), and events whose closure touches an open
+lifecycle that ``e`` closes now require ``e``.  Both are handled with a
+single application of the requirement operator per event, avoiding
+fixpoint recomputation from scratch — mirroring the incremental
+maintenance algorithm sketched at the end of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import is_null
+from ..workflow.engine import apply_event
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run
+from .faithful import AttributeModification, relevant_attributes
+
+#: A lifecycle is identified by (relation, key, start) where start is
+#: None for tuples pre-existing in the initial instance.
+_LifecycleId = PyTuple[str, object, Optional[int]]
+
+
+class IncrementalExplainer:
+    """Maintains the minimal p-faithful scenario of a growing run.
+
+    Feed events with :meth:`extend`; query the scenario with
+    :meth:`minimal_scenario` and per-event explanations with
+    :meth:`explanation_of`, both in O(1) bookkeeping per event beyond the
+    new requirement edges.
+
+    >>> # explainer = IncrementalExplainer(program, "sue")
+    >>> # for event in events: explainer.extend(event)
+    >>> # explainer.minimal_scenario()
+    """
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        peer: str,
+        initial: Optional[Instance] = None,
+    ) -> None:
+        self.program = program
+        self.peer = peer
+        self.schema = program.schema
+        start = initial if initial is not None else Instance.empty(self.schema.schema)
+        self._instances: List[Instance] = [start]
+        self._events: List[Event] = []
+        self._visible: List[bool] = []
+        self._closures: List[Set[int]] = []
+        self._scenario: Set[int] = set()
+        # Lifecycle bookkeeping.
+        self._open: Dict[PyTuple[str, object], Optional[int]] = {}
+        self._closed: Dict[PyTuple[str, object], List[PyTuple[Optional[int], int]]] = {}
+        for relation in self.schema.schema:
+            for key in start.keys(relation.name):
+                self._open[(relation.name, key)] = None  # pre-existing
+        # For each open lifecycle, the events whose closure touches it.
+        self._touching: Dict[_LifecycleId, Set[int]] = {}
+        # Attribute modifications per (relation, key).
+        self._modifications: Dict[PyTuple[str, object], List[AttributeModification]] = {}
+        # Per-event key occurrences, cached.
+        self._key_occurrences: List[Mapping[str, FrozenSet[object]]] = []
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def current_instance(self) -> Instance:
+        return self._instances[-1]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def minimal_scenario(self) -> PyTuple[int, ...]:
+        """The indices of the minimal p-faithful scenario so far."""
+        return tuple(sorted(self._scenario))
+
+    def explanation_of(self, index: int) -> FrozenSet[int]:
+        """``T_p^ω(ρ, {f})``: the minimal faithful explanation of one event.
+
+        The event at *index* need not be visible at the peer.
+        """
+        return frozenset(self._closures[index])
+
+    def visible_indices(self) -> PyTuple[int, ...]:
+        return tuple(i for i, visible in enumerate(self._visible) if visible)
+
+    def run(self) -> Run:
+        """The full run accumulated so far."""
+        return Run(self.program, self._instances[0], self._events, self._instances[1:])
+
+    # ------------------------------------------------------------------
+    # Extension
+    # ------------------------------------------------------------------
+
+    def extend(self, event: Event) -> int:
+        """Append *event* to the run and update all scenario state.
+
+        Returns the index of the new event.  Raises
+        :class:`~repro.workflow.errors.EventError` if the event is not
+        applicable (the run state is left unchanged in that case).
+        """
+        before = self.current_instance
+        after = apply_event(self.schema, before, event, forbidden_fresh=None)
+        index = len(self._events)
+        self._events.append(event)
+        self._instances.append(after)
+        self._key_occurrences.append(event.key_occurrences())
+        closed_now = self._update_lifecycles(index, before, after)
+        self._record_modifications(index, before, after, event)
+        visible = self._is_visible(event, before, after)
+        self._visible.append(visible)
+        # Closure of the new event: itself plus the closures of its
+        # direct requirements (each already a fixpoint; the union is one
+        # by additivity).
+        requirements = self._direct_requirements(index, event)
+        closure: Set[int] = {index}
+        for j in requirements:
+            closure.update(self._closures[j])
+        self._closures.append(closure)
+        self._register_touching(index, closure)
+        if visible:
+            self._scenario.update(closure)
+        # Events whose closure touches a lifecycle closed by this event
+        # now require it (the right boundary) and everything it requires.
+        for lifecycle_id in closed_now:
+            for owner in self._touching.pop(lifecycle_id, set()):
+                self._grow_closure(owner, closure | {index})
+        return index
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _is_visible(self, event: Event, before: Instance, after: Instance) -> bool:
+        if event.peer == self.peer:
+            return True
+        return self.schema.view_instance(before, self.peer) != self.schema.view_instance(
+            after, self.peer
+        )
+
+    def _update_lifecycles(
+        self, index: int, before: Instance, after: Instance
+    ) -> List[_LifecycleId]:
+        """Open/close lifecycles; return ids of lifecycles closed at *index*."""
+        closed_now: List[_LifecycleId] = []
+        for relation in self.schema.schema:
+            name = relation.name
+            old_keys = set(before.keys(name))
+            new_keys = set(after.keys(name))
+            for key in old_keys - new_keys:
+                start = self._open.pop((name, key))
+                self._closed.setdefault((name, key), []).append((start, index))
+                closed_now.append((name, key, start))
+            for key in new_keys - old_keys:
+                self._open[(name, key)] = index
+        return closed_now
+
+    def _record_modifications(
+        self, index: int, before: Instance, after: Instance, event: Event
+    ) -> None:
+        for insertion in event.ground_insertions():
+            relation = insertion.view.relation.name
+            key = insertion.key_term.value
+            old = before.tuple_with_key(relation, key)
+            if old is None:
+                continue
+            new = after.tuple_with_key(relation, key)
+            for attribute in old.attributes:
+                if is_null(old[attribute]) and not is_null(new[attribute]):
+                    self._modifications.setdefault((relation, key), []).append(
+                        AttributeModification(index, relation, key, attribute)
+                    )
+
+    def _lifecycle_at(
+        self, relation: str, key: object, position: int
+    ) -> Optional[PyTuple[Optional[int], Optional[int]]]:
+        """The (start, end) of the lifecycle of (relation, key) containing *position*."""
+        open_start = self._open.get((relation, key), _MISSING)
+        if open_start is not _MISSING:
+            if open_start is None or open_start <= position:
+                return (open_start, None)
+        for start, end in self._closed.get((relation, key), ()):
+            if (start is None or start <= position) and position <= end:
+                return (start, end)
+        return None
+
+    def _direct_requirements(self, index: int, event: Event) -> Set[int]:
+        required: Set[int] = set()
+        for relation, keys in self._key_occurrences[index].items():
+            relevant = relevant_attributes(self.schema, relation, event.peer) | \
+                relevant_attributes(self.schema, relation, self.peer)
+            for key in keys:
+                span = self._lifecycle_at(relation, key, index)
+                if span is None:
+                    continue
+                start, end = span
+                if start is not None:
+                    required.add(start)
+                if end is not None:
+                    required.add(end)
+                for mod in self._modifications.get((relation, key), ()):
+                    if (
+                        mod.position < index
+                        and (start is None or start <= mod.position)
+                        and (end is None or mod.position <= end)
+                        and mod.attribute in relevant
+                    ):
+                        required.add(mod.position)
+        required.discard(index)
+        return required
+
+    def _touch_points(self, member: int) -> List[_LifecycleId]:
+        """Open lifecycles the event at *member* lies in and mentions."""
+        points: List[_LifecycleId] = []
+        for relation, keys in self._key_occurrences[member].items():
+            for key in keys:
+                open_start = self._open.get((relation, key), _MISSING)
+                if open_start is _MISSING:
+                    continue
+                if open_start is None or open_start <= member:
+                    points.append((relation, key, open_start))
+        return points
+
+    def _register_touching(self, owner: int, members: Iterable[int]) -> None:
+        for member in members:
+            for lifecycle_id in self._touch_points(member):
+                self._touching.setdefault(lifecycle_id, set()).add(owner)
+
+    def _grow_closure(self, owner: int, addition: Set[int]) -> None:
+        delta = addition - self._closures[owner]
+        if not delta:
+            return
+        self._closures[owner].update(delta)
+        self._register_touching(owner, delta)
+        if self._visible[owner]:
+            self._scenario.update(delta)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,126 @@
+"""Lifecycles of keyed objects along a run (Section 4).
+
+Tuples with a fixed key ``k`` in a relation ``R`` represent evolving
+objects.  An *R-lifecycle* of ``k`` is an interval of run positions
+between the insertion of a (new) tuple with key ``k`` and its deletion;
+it is *open* when the tuple survives to the end of the run.  Tuples
+already present in the run's initial instance give rise to *pre-existing*
+lifecycles without a left boundary event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.runs import Run
+
+
+@dataclass(frozen=True)
+class Lifecycle:
+    """An R-lifecycle of a key along a run.
+
+    ``start`` is the position of the left boundary event (None when the
+    tuple pre-exists in the initial instance); ``end`` is the position of
+    the right boundary event (None when the lifecycle is open).
+    """
+
+    relation: str
+    key: object
+    start: Optional[int]
+    end: Optional[int]
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    @property
+    def is_preexisting(self) -> bool:
+        return self.start is None
+
+    def contains(self, position: int) -> bool:
+        """True iff *position* lies inside the lifecycle interval."""
+        lower_ok = self.start is None or self.start <= position
+        upper_ok = self.end is None or position <= self.end
+        return lower_ok and upper_ok
+
+    def __repr__(self) -> str:
+        start = "·" if self.start is None else str(self.start)
+        end = "∞" if self.end is None else str(self.end)
+        return f"Lifecycle({self.relation}[{self.key!r}]: [{start}, {end}])"
+
+
+class LifecycleIndex:
+    """All lifecycles of a run, indexed by relation and key.
+
+    >>> # index = LifecycleIndex(run)
+    >>> # index.lifecycle_at("R", key, position)
+    """
+
+    def __init__(self, run: Run) -> None:
+        self.run = run
+        self._by_object: Dict[PyTuple[str, object], List[Lifecycle]] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        run = self.run
+        open_since: Dict[PyTuple[str, object], Optional[int]] = {}
+        for relation in run.program.schema.schema:
+            for key in run.initial.keys(relation.name):
+                open_since[(relation.name, key)] = None  # pre-existing
+        for i in range(len(run)):
+            before, after = run.instance_before(i), run.instance_after(i)
+            for relation in run.program.schema.schema:
+                name = relation.name
+                old_keys = set(before.keys(name))
+                new_keys = set(after.keys(name))
+                for key in old_keys - new_keys:  # deleted at i
+                    start = open_since.pop((name, key))
+                    self._record(Lifecycle(name, key, start, i))
+                for key in new_keys - old_keys:  # created at i
+                    open_since[(name, key)] = i
+        for (name, key), start in open_since.items():
+            self._record(Lifecycle(name, key, start, None))
+
+    def _record(self, lifecycle: Lifecycle) -> None:
+        self._by_object.setdefault((lifecycle.relation, lifecycle.key), []).append(lifecycle)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lifecycles(self, relation: str, key: object) -> PyTuple[Lifecycle, ...]:
+        """All lifecycles of *key* in *relation*, in chronological order."""
+        found = self._by_object.get((relation, key), [])
+        return tuple(sorted(found, key=lambda lc: -1 if lc.start is None else lc.start))
+
+    def all_lifecycles(self) -> PyTuple[Lifecycle, ...]:
+        out: List[Lifecycle] = []
+        for lifecycles in self._by_object.values():
+            out.extend(lifecycles)
+        return tuple(out)
+
+    def lifecycle_at(self, relation: str, key: object, position: int) -> Optional[Lifecycle]:
+        """The R-lifecycle of *key* containing *position*, if any.
+
+        A position can belong to no lifecycle, e.g. when an event refers
+        to ``k`` only through a negative ``¬Key_R(k)`` literal.
+        """
+        for lifecycle in self._by_object.get((relation, key), ()):
+            if lifecycle.contains(position):
+                return lifecycle
+        return None
+
+    def open_lifecycles(self) -> PyTuple[Lifecycle, ...]:
+        return tuple(lc for lc in self.all_lifecycles() if lc.is_open)
+
+    def closed_lifecycles(self) -> PyTuple[Lifecycle, ...]:
+        return tuple(lc for lc in self.all_lifecycles() if not lc.is_open)
+
+
+def keys_in_sequence(run: Run, relation: str, indices: Iterable[int]) -> FrozenSet[object]:
+    """``K(R, α)``: keys of *relation* occurring in the events at *indices*."""
+    keys: Set[object] = set()
+    for i in indices:
+        keys.update(run.events[i].keys_of(relation))
+    return frozenset(keys)

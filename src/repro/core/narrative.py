@@ -1,0 +1,135 @@
+"""Natural-language narratives for explanations.
+
+Turns the structured artifacts of Section 3-4 — lifecycles, faithful
+closures, observation provenance — into prose a workflow participant
+can read: a story per observed transition and a biography per object
+(keyed tuple), built from the same machinery the theorems certify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import is_null
+from ..workflow.runs import OMEGA, Run
+from .explain import Explanation, explain_run
+from .faithful import FaithfulnessAnalysis
+from .lifecycles import Lifecycle, LifecycleIndex
+
+
+def _event_phrase(run: Run, index: int) -> str:
+    event = run.events[index]
+    return f"step {index} ({event.rule.name} by {event.peer})"
+
+
+def object_story(run: Run, relation: str, key: object, peer: Optional[str] = None) -> str:
+    """The biography of the object *(relation, key)* along *run*.
+
+    Lists every lifecycle — creation, attribute modifications (with the
+    modifying events), deletion — using the Section 4 lifecycle index.
+    When *peer* is given, each lifecycle event is annotated with its
+    visibility at that peer.
+    """
+    index = LifecycleIndex(run)
+    lifecycles = index.lifecycles(relation, key)
+    if not lifecycles:
+        return f"{relation}[{key!r}] never existed in this run."
+    analysis = FaithfulnessAnalysis(run, peer) if peer is not None else None
+    lines: List[str] = [f"The story of {relation}[{key!r}]:"]
+    for number, lifecycle in enumerate(lifecycles, start=1):
+        if lifecycle.is_preexisting:
+            lines.append(f"  life {number}: already present at the start of the run")
+        else:
+            lines.append(
+                f"  life {number}: created at {_event_phrase(run, lifecycle.start)}"
+            )
+        if analysis is not None:
+            for mod in analysis.modifications_of(relation, key):
+                if lifecycle.contains(mod.position):
+                    lines.append(
+                        f"    attribute {mod.attribute!r} set at "
+                        f"{_event_phrase(run, mod.position)}"
+                    )
+        else:
+            scratch = FaithfulnessAnalysis(run, run.program.schema.peers[0])
+            for mod in scratch.modifications_of(relation, key):
+                if lifecycle.contains(mod.position):
+                    lines.append(
+                        f"    attribute {mod.attribute!r} set at "
+                        f"{_event_phrase(run, mod.position)}"
+                    )
+        if lifecycle.is_open:
+            lines.append("    still alive at the end of the run")
+        else:
+            lines.append(f"    deleted at {_event_phrase(run, lifecycle.end)}")
+    if peer is not None:
+        visible = set(run.visible_indices(peer))
+        touching = [
+            i
+            for i in range(len(run))
+            if key in run.events[i].keys_of(relation)
+        ]
+        seen = [i for i in touching if i in visible]
+        lines.append(
+            f"  {peer} directly observed {len(seen)} of the {len(touching)} "
+            f"events touching it"
+        )
+    return "\n".join(lines)
+
+
+def narrate_explanation(explanation: Explanation) -> str:
+    """A prose rendering of a run explanation.
+
+    One paragraph per observed transition, naming the chain of events
+    (including invisible ones) in its faithful provenance, plus a
+    closing summary of what the explanation discarded.
+    """
+    run = explanation.run
+    peer = explanation.peer
+    lines: List[str] = [
+        f"What happened, from {peer}'s point of view "
+        f"({len(explanation.view)} observed transitions in a "
+        f"{len(run)}-event run):"
+    ]
+    if not explanation.observations:
+        lines.append(f"  {peer} observed nothing at all.")
+    for number, observation in enumerate(explanation.observations, start=1):
+        event = run.events[observation.position]
+        if observation.observed_label is OMEGA:
+            actor = "another peer's action"
+        else:
+            actor = f"{peer}'s own action ({event.rule.name})"
+        causes = [
+            index
+            for index in observation.cause_positions
+            if index != observation.position
+        ]
+        if causes:
+            chain = "; then ".join(_event_phrase(run, index) for index in causes)
+            lines.append(
+                f"  {number}. At step {observation.position}, {actor} changed "
+                f"what {peer} sees.  It was enabled by: {chain}."
+            )
+        else:
+            lines.append(
+                f"  {number}. At step {observation.position}, {actor} changed "
+                f"what {peer} sees, needing nothing before it."
+            )
+    discarded = explanation.irrelevant_indices()
+    if discarded:
+        lines.append(
+            f"  The remaining {len(discarded)} events "
+            f"({', '.join(map(str, discarded))}) had no bearing on what "
+            f"{peer} observed."
+        )
+    else:
+        lines.append(f"  Every event of the run mattered to {peer}.")
+    return "\n".join(lines)
+
+
+def narrate_run(run: Run, peer: str) -> str:
+    """Convenience: explain and narrate *run* for *peer* in one call.
+
+    >>> # print(narrate_run(run, "sue"))
+    """
+    return narrate_explanation(explain_run(run, peer))

@@ -1,0 +1,122 @@
+"""The semiring of p-faithful scenarios (Theorem 4.8).
+
+p-faithful scenarios of a fixed run are closed under addition (union of
+events) and multiplication (intersection of events).  Addition has the
+*minimal* p-faithful scenario as identity on the set of faithful
+scenarios (it is contained in every one of them — Theorem 4.7), and the
+full run is the multiplicative identity.  On arbitrary subsequences the
+empty subsequence ``ε`` is the additive identity, as in the paper.
+
+This module packages the operations together with law-checking helpers
+used by the tests and benchmarks to validate the algebra empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.runs import Run
+from .faithful import FaithfulnessAnalysis, minimal_faithful_scenario
+from .subruns import EventSubsequence, empty_subsequence, full_subsequence
+
+
+class FaithfulSemiring:
+    """Addition/multiplication of subsequences of one run, for one peer.
+
+    >>> # sr = FaithfulSemiring(run, "sue")
+    >>> # sr.is_faithful(sr.add(a, b))
+    """
+
+    def __init__(self, run: Run, peer: str) -> None:
+        self.run = run
+        self.peer = peer
+        self.analysis = FaithfulnessAnalysis(run, peer)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def add(self, left: EventSubsequence, right: EventSubsequence) -> EventSubsequence:
+        """``α₁ + α₂``: the subsequence of events in either operand."""
+        return left + right
+
+    def multiply(self, left: EventSubsequence, right: EventSubsequence) -> EventSubsequence:
+        """``α₁ * α₂``: the subsequence of events in both operands."""
+        return left * right
+
+    @property
+    def zero(self) -> EventSubsequence:
+        """``ε``, the additive identity on arbitrary subsequences."""
+        return empty_subsequence(self.run)
+
+    @property
+    def one(self) -> EventSubsequence:
+        """``ρ`` itself, the multiplicative identity."""
+        return full_subsequence(self.run)
+
+    def minimal(self) -> EventSubsequence:
+        """The minimal faithful scenario: additive identity on faithful scenarios."""
+        return EventSubsequence(
+            self.run, minimal_faithful_scenario(self.run, self.peer).indices
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def is_faithful(self, subsequence: EventSubsequence) -> bool:
+        return self.analysis.is_faithful(subsequence.indices)
+
+    def faithful_closure(self, subsequence: EventSubsequence) -> EventSubsequence:
+        """``T_p^ω`` applied to the subsequence plus the visible events."""
+        seed = set(subsequence.indices)
+        seed.update(self.run.visible_indices(self.peer))
+        return EventSubsequence(self.run, self.analysis.closure(seed))
+
+    # ------------------------------------------------------------------
+    # Law checking (used to validate Theorem 4.8 empirically)
+    # ------------------------------------------------------------------
+
+    def check_closure_under_operations(
+        self, scenarios: Sequence[EventSubsequence]
+    ) -> List[str]:
+        """Return law violations among faithful *scenarios* (ideally none)."""
+        problems: List[str] = []
+        for a in scenarios:
+            if not self.is_faithful(a):
+                problems.append(f"not faithful: {a!r}")
+        for a in scenarios:
+            for b in scenarios:
+                if not self.is_faithful(self.add(a, b)):
+                    problems.append(f"sum not faithful: {a!r} + {b!r}")
+                if not self.is_faithful(self.multiply(a, b)):
+                    problems.append(f"product not faithful: {a!r} * {b!r}")
+        return problems
+
+    def check_semiring_laws(self, elements: Sequence[EventSubsequence]) -> List[str]:
+        """Check associativity, commutativity, identity and distributivity."""
+        problems: List[str] = []
+        for a in elements:
+            if self.add(a, self.zero) != a:
+                problems.append(f"ε is not additive identity for {a!r}")
+            if self.multiply(a, self.one) != a:
+                problems.append(f"ρ is not multiplicative identity for {a!r}")
+        for a in elements:
+            for b in elements:
+                if self.add(a, b) != self.add(b, a):
+                    problems.append("addition not commutative")
+                if self.multiply(a, b) != self.multiply(b, a):
+                    problems.append("multiplication not commutative")
+                for c in elements:
+                    if self.add(self.add(a, b), c) != self.add(a, self.add(b, c)):
+                        problems.append("addition not associative")
+                    if self.multiply(self.multiply(a, b), c) != self.multiply(
+                        a, self.multiply(b, c)
+                    ):
+                        problems.append("multiplication not associative")
+                    left = self.multiply(a, self.add(b, c))
+                    right = self.add(self.multiply(a, b), self.multiply(a, c))
+                    if left != right:
+                        problems.append("multiplication does not distribute over addition")
+        return problems

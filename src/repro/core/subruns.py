@@ -1,0 +1,129 @@
+"""Subruns: subsequences of a run's events that again form runs.
+
+A subrun of ``ρ`` is a run whose event sequence is a subsequence of
+``e(ρ)`` (Section 3).  The instances along a subrun are generally
+different from those of ``ρ``, and not every subsequence yields a
+subrun — each event's body must still hold and its updates must still be
+applicable when replayed.
+
+Subsequences are represented by sorted tuples of indices into ``e(ρ)``;
+:class:`EventSubsequence` wraps a run plus an index set and provides the
+semiring operations of Section 4 (union as ``+``, intersection as
+``*``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.events import Event
+from ..workflow.runs import Run, RunView, replay
+
+
+class EventSubsequence:
+    """A subsequence of the events of a fixed run, as an index set.
+
+    Supports the operations of Theorem 4.8: ``a + b`` (union of events)
+    and ``a * b`` (intersection of events).
+
+    >>> # sub = EventSubsequence(run, [0, 2])
+    >>> # (sub + other).indices
+    """
+
+    __slots__ = ("run", "indices")
+
+    def __init__(self, run: Run, indices: Iterable[int]) -> None:
+        index_set = frozenset(indices)
+        bad = [i for i in index_set if not 0 <= i < len(run)]
+        if bad:
+            raise IndexError(f"event indices out of range: {sorted(bad)}")
+        self.run = run
+        self.indices: FrozenSet[int] = index_set
+
+    # ------------------------------------------------------------------
+    # Semiring operations (Section 4)
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "EventSubsequence") -> "EventSubsequence":
+        """Addition: the subsequence of events in either operand."""
+        self._check_same_run(other)
+        return EventSubsequence(self.run, self.indices | other.indices)
+
+    def __mul__(self, other: "EventSubsequence") -> "EventSubsequence":
+        """Multiplication: the subsequence of events in both operands."""
+        self._check_same_run(other)
+        return EventSubsequence(self.run, self.indices & other.indices)
+
+    def _check_same_run(self, other: "EventSubsequence") -> None:
+        if self.run is not other.run:
+            raise ValueError("subsequences of different runs cannot be combined")
+
+    def is_subsequence_of(self, other: "EventSubsequence") -> bool:
+        return self.indices <= other.indices
+
+    def is_strict_subsequence_of(self, other: "EventSubsequence") -> bool:
+        return self.indices < other.indices
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def sorted_indices(self) -> PyTuple[int, ...]:
+        return tuple(sorted(self.indices))
+
+    def events(self) -> PyTuple[Event, ...]:
+        """The events of the subsequence, in run order."""
+        return tuple(self.run.events[i] for i in self.sorted_indices())
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __contains__(self, index: object) -> bool:
+        return index in self.indices
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sorted_indices())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EventSubsequence)
+            and self.run is other.run
+            and self.indices == other.indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.run), self.indices))
+
+    def __repr__(self) -> str:
+        return f"EventSubsequence{self.sorted_indices()}"
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def to_subrun(self) -> Optional[Run]:
+        """Replay the subsequence; the subrun, or None if it is not a run.
+
+        The subrun starts from the same initial instance as the original
+        run.  Freshness of head-only values is inherited from the
+        original run and not re-checked.
+        """
+        return replay(self.run.program, self.events(), initial=self.run.initial)
+
+    def yields_subrun(self) -> bool:
+        return self.to_subrun() is not None
+
+
+def full_subsequence(run: Run) -> EventSubsequence:
+    """The subsequence containing every event of *run* (the ``1`` of the semiring)."""
+    return EventSubsequence(run, range(len(run)))
+
+
+def empty_subsequence(run: Run) -> EventSubsequence:
+    """The empty subsequence ``ε`` (the ``0`` of the additive monoid)."""
+    return EventSubsequence(run, ())
+
+
+def visible_subsequence(run: Run, peer: str) -> EventSubsequence:
+    """The subsequence of events of *run* visible at *peer*."""
+    return EventSubsequence(run, run.visible_indices(peer))

@@ -1,0 +1,115 @@
+"""Transparent program design (Section 6).
+
+Design guidelines (C1)-(C4) guaranteeing transparency and boundedness
+(Theorem 6.2), boundedness via acyclicity (Theorem 6.3), run-level
+properties (Definition 6.4), transparency-form programs (Definition
+6.5), and the enforcement of Theorem 6.7 — both as a runtime monitor
+and as an explicit ``P → P^t`` program rewriting with projection Π.
+"""
+
+from .acyclic import AcyclicityReport, analyze_acyclicity, is_p_acyclic, p_graph
+from .enforce import (
+    EnforcementDecision,
+    EnforcementTrace,
+    TransparencyEnforcer,
+    enforce_run,
+)
+from .guidelines import (
+    STAGE_ID_ATTRIBUTE,
+    GuidelineReport,
+    check_c1,
+    check_c2,
+    check_c3,
+    check_c4,
+    check_design_guidelines,
+    check_linear_head_c1,
+)
+from .projection import (
+    is_liftable,
+    lift_events,
+    project_instance,
+    project_run,
+    projection_is_identity_for,
+    source_rule_name,
+)
+from .rewrite import (
+    DELETED_OPAQUELY,
+    DELETED_TRANSPARENTLY,
+    LIVE,
+    RewriteResult,
+    UnsupportedRewrite,
+    is_companion,
+    rewrite_transparent,
+)
+from .run_properties import (
+    RunTransparencyReport,
+    StageAnalysis,
+    analyze_stages,
+    is_run_h_bounded,
+    is_run_transparent,
+    run_stage_bound,
+)
+from .stage import (
+    STAGE_KEY,
+    STAGE_RELATION,
+    RunStage,
+    add_stage_infrastructure,
+    has_stage_relation,
+    rules_visible_at,
+    stages_of_run,
+)
+from .tf import (
+    check_c3_prime,
+    check_c4_prime,
+    check_transparency_form,
+    is_transparency_form,
+)
+
+__all__ = [
+    "AcyclicityReport",
+    "DELETED_OPAQUELY",
+    "DELETED_TRANSPARENTLY",
+    "EnforcementDecision",
+    "EnforcementTrace",
+    "GuidelineReport",
+    "LIVE",
+    "RewriteResult",
+    "RunStage",
+    "RunTransparencyReport",
+    "STAGE_ID_ATTRIBUTE",
+    "STAGE_KEY",
+    "STAGE_RELATION",
+    "StageAnalysis",
+    "TransparencyEnforcer",
+    "UnsupportedRewrite",
+    "add_stage_infrastructure",
+    "analyze_acyclicity",
+    "analyze_stages",
+    "check_c1",
+    "check_c2",
+    "check_c3",
+    "check_c3_prime",
+    "check_c4",
+    "check_c4_prime",
+    "check_design_guidelines",
+    "check_linear_head_c1",
+    "check_transparency_form",
+    "enforce_run",
+    "has_stage_relation",
+    "is_companion",
+    "is_liftable",
+    "is_p_acyclic",
+    "is_run_h_bounded",
+    "is_run_transparent",
+    "is_transparency_form",
+    "lift_events",
+    "p_graph",
+    "project_instance",
+    "project_run",
+    "projection_is_identity_for",
+    "rewrite_transparent",
+    "rules_visible_at",
+    "run_stage_bound",
+    "source_rule_name",
+    "stages_of_run",
+]

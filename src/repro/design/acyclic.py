@@ -1,0 +1,102 @@
+"""Boundedness by acyclicity (Theorem 6.3).
+
+For linear-head programs satisfying (C1), the *p-graph* has the
+relations as nodes and an edge ``R → Q`` whenever ``Q`` is invisible at
+``p`` and some rule updates ``R`` while reading ``Q``.  If the subgraph
+reachable from every p-visible relation is acyclic, the program is
+h-bounded for ``h = (ab + 1)^d`` where ``b`` bounds rule bodies, ``a``
+is the maximum arity plus one, and ``d = |D|`` (the path-length
+refinement ``(ab + 1)^g`` with ``g`` the longest reachable path is also
+provided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+import networkx as nx
+
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import KeyLiteral, RelLiteral
+
+
+def p_graph(program: WorkflowProgram, peer: str) -> "nx.DiGraph":
+    """The dependency graph of Theorem 6.3.
+
+    Edge ``R → Q`` ("R depends on Q"): some rule's head updates ``R``
+    and its body reads ``Q`` positively or via ``¬Key_Q``, with ``Q``
+    invisible at *peer*.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(program.schema.schema.relation_names)
+    for rule in program:
+        body_relations: Set[str] = set()
+        for literal in rule.body.literals:
+            if isinstance(literal, (RelLiteral, KeyLiteral)):
+                body_relations.add(literal.view.relation.name)
+        for atom in rule.head:
+            head_relation = atom.view.relation.name
+            for body_relation in body_relations:
+                if not program.schema.peer_sees(body_relation, peer):
+                    graph.add_edge(head_relation, body_relation)
+    return graph
+
+
+@dataclass(frozen=True)
+class AcyclicityReport:
+    """Result of the p-acyclicity analysis."""
+
+    acyclic: bool
+    cycle: Optional[PyTuple[str, ...]]
+    longest_path: int  # g: longest path from a p-visible relation
+    bound: Optional[int]  # (ab+1)^g, None when cyclic
+    coarse_bound: Optional[int]  # (ab+1)^d
+
+    def __bool__(self) -> bool:
+        return self.acyclic
+
+
+def analyze_acyclicity(program: WorkflowProgram, peer: str) -> AcyclicityReport:
+    """Check p-acyclicity and compute the Theorem 6.3 bound.
+
+    Only meaningful for linear-head programs satisfying (C1); the caller
+    can verify those with
+    :func:`repro.design.guidelines.check_linear_head_c1`.
+
+    >>> # report = analyze_acyclicity(program, "sue")
+    >>> # report.acyclic, report.bound
+    """
+    graph = p_graph(program, peer)
+    visible = [
+        relation
+        for relation in program.schema.schema.relation_names
+        if program.schema.peer_sees(relation, peer)
+    ]
+    reachable: Set[str] = set()
+    for relation in visible:
+        reachable.add(relation)
+        reachable.update(nx.descendants(graph, relation))
+    subgraph = graph.subgraph(reachable)
+    try:
+        cycle_edges = nx.find_cycle(subgraph)
+        cycle = tuple(edge[0] for edge in cycle_edges)
+    except nx.NetworkXNoCycle:
+        cycle = None
+    b = max(1, program.max_body_size())
+    a = program.schema.schema.max_arity() + 1
+    d = len(program.schema.schema)
+    if cycle is not None:
+        return AcyclicityReport(False, cycle, -1, None, None)
+    longest = 0
+    if reachable:
+        lengths = nx.dag_longest_path_length(subgraph) if subgraph.number_of_nodes() else 0
+        longest = int(lengths)
+    bound = (a * b + 1) ** max(longest, 0)
+    coarse = (a * b + 1) ** d
+    return AcyclicityReport(True, None, longest, bound, coarse)
+
+
+def is_p_acyclic(program: WorkflowProgram, peer: str) -> bool:
+    """True iff the program is p-acyclic (Theorem 6.3 premise)."""
+    return analyze_acyclicity(program, peer).acyclic

@@ -1,0 +1,366 @@
+"""Runtime enforcement of transparency and h-boundedness (Theorem 6.7).
+
+The paper rewrites a TF program ``P`` into ``P^t``, whose runs are the
+transparent, h-bounded runs of ``P`` enriched with bookkeeping relations
+``R^t`` (per-fact transparency bits ``tA``/``dK`` and per-attribute step
+provenance ``A^s_1..A^s_h``), related to ``P`` by a projection that is
+the identity for the observed peer.  This module implements the
+*semantics* of that construction directly, as an instrumented engine:
+
+* each p-stage gets an id; each event within a stage a step id;
+* a fact of an invisible relation *holds transparently* when its tuple
+  was transparently created in the current stage and every attribute
+  value was produced by transparent events of the stage; a negative key
+  fact holds transparently when the key was transparently created and
+  deleted within the stage (facts of p-visible relations are always
+  transparent);
+* an event is *transparent* when every body fact holds transparently
+  and its step provenance ``H`` (the union of the provenances of its
+  body facts plus the current step) has at most ``h`` step ids;
+* only transparent events may modify what the peer sees — a
+  non-transparent event with visible side effects is rejected (blocked,
+  or merely flagged in ``observe`` mode), exactly the runs ``P^t``
+  filters out.
+
+The explicit schema-level rewriting for ground programs lives in
+:mod:`repro.design.rewrite`; differential tests check the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import is_null
+from ..workflow.engine import apply_event
+from ..workflow.errors import EnforcementError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Comparison, KeyLiteral, RelLiteral
+from ..workflow.runs import Run
+
+
+@dataclass(frozen=True)
+class EnforcementDecision:
+    """The enforcer's verdict on one event."""
+
+    index: int
+    allowed: bool
+    transparent: bool
+    visible: bool
+    stage: int
+    step: Optional[int]
+    provenance: FrozenSet[int]
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class EnforcementTrace:
+    """All decisions for a replayed event sequence."""
+
+    decisions: PyTuple[EnforcementDecision, ...]
+
+    @property
+    def accepted(self) -> bool:
+        return all(decision.allowed for decision in self.decisions)
+
+    def blocked(self) -> PyTuple[EnforcementDecision, ...]:
+        return tuple(d for d in self.decisions if not d.allowed)
+
+
+class _FactState:
+    """Stage-local transparency bookkeeping for one (relation, key)."""
+
+    __slots__ = ("created_provenance", "attribute_provenance")
+
+    def __init__(self, created_provenance: FrozenSet[int]) -> None:
+        self.created_provenance = created_provenance
+        self.attribute_provenance: Dict[str, FrozenSet[int]] = {}
+
+    def full_provenance(self) -> FrozenSet[int]:
+        out: Set[int] = set(self.created_provenance)
+        for provenance in self.attribute_provenance.values():
+            out.update(provenance)
+        return frozenset(out)
+
+
+class TransparencyEnforcer:
+    """Instrumented engine enforcing transparency + h-boundedness.
+
+    Three reactions to a violating event (Remark 6.9):
+
+    * ``mode='block'`` raises :class:`EnforcementError`; the event is
+      not applied (the ``P^t`` semantics — the run cannot proceed);
+    * ``mode='observe'`` applies the event anyway and records the
+      violation (the "alert" alternative);
+    * ``mode='rollback'`` rejects the event *and* rolls the instance
+      back to the state at the beginning of the current stage,
+      discarding the stage's silent events (the "recovery" alternative).
+
+    >>> # enforcer = TransparencyEnforcer(program, "sue", h=2)
+    >>> # enforcer.extend(event)
+    """
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        peer: str,
+        h: int,
+        mode: str = "block",
+        initial: Optional[Instance] = None,
+    ) -> None:
+        if mode not in ("block", "observe", "rollback"):
+            raise ValueError(f"unknown enforcement mode {mode!r}")
+        self.program = program
+        self.peer = peer
+        self.h = h
+        self.mode = mode
+        self.schema = program.schema
+        start = initial if initial is not None else Instance.empty(self.schema.schema)
+        self._instances: List[Instance] = [start]
+        self._events: List[Event] = []
+        self.decisions: List[EnforcementDecision] = []
+        self._stage = 0
+        self._next_step = 0
+        # Stage-local state: transparent facts and transparent deletions.
+        self._facts: Dict[PyTuple[str, object], _FactState] = {}
+        self._deleted: Dict[PyTuple[str, object], FrozenSet[int]] = {}
+        # For rollback mode: how many events had been applied when the
+        # current stage opened.
+        self._stage_start = 0
+        self._rollbacks = 0
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def current_instance(self) -> Instance:
+        return self._instances[-1]
+
+    @property
+    def stage(self) -> int:
+        return self._stage
+
+    def run(self) -> Run:
+        return Run(
+            self.program, self._instances[0], self._events, self._instances[1:]
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Fact transparency
+    # ------------------------------------------------------------------
+
+    def _visible_relation(self, relation: str) -> bool:
+        return self.schema.peer_sees(relation, self.peer)
+
+    def _positive_fact_provenance(
+        self, relation: str, key: object, attributes: Sequence[str]
+    ) -> Optional[FrozenSet[int]]:
+        """Provenance if the fact holds transparently, else None."""
+        if self._visible_relation(relation):
+            return frozenset()
+        state = self._facts.get((relation, key))
+        if state is None:
+            return None  # created before the stage, or opaquely
+        provenance: Set[int] = set(state.created_provenance)
+        instance = self.current_instance
+        tup = instance.tuple_with_key(relation, key)
+        if tup is None:  # pragma: no cover - body matched, so it exists
+            return None
+        for attribute in attributes:
+            if attribute == self.schema.schema.relation(relation).key_attribute:
+                continue
+            if is_null(tup[attribute]):
+                continue
+            attr_provenance = state.attribute_provenance.get(attribute)
+            if attr_provenance is None:
+                return None  # value produced opaquely / outside the stage
+            provenance.update(attr_provenance)
+        return frozenset(provenance)
+
+    def _negative_fact_provenance(
+        self, relation: str, key: object
+    ) -> Optional[FrozenSet[int]]:
+        if self._visible_relation(relation):
+            return frozenset()
+        provenance = self._deleted.get((relation, key))
+        return provenance  # None unless transparently created+deleted
+
+    def _event_body_provenance(self, event: Event) -> PyTuple[bool, FrozenSet[int], str]:
+        """(transparent?, provenance H without current step, reason)."""
+        provenance: Set[int] = set()
+        for literal in event.ground_body():
+            if isinstance(literal, Comparison):
+                continue
+            relation = literal.view.relation.name
+            if isinstance(literal, RelLiteral) and literal.positive:
+                key = literal.key_term.value
+                fact = self._positive_fact_provenance(
+                    relation, key, literal.view.attributes
+                )
+                if fact is None:
+                    return False, frozenset(), (
+                        f"body fact {literal!r} does not hold transparently"
+                    )
+                provenance.update(fact)
+            elif isinstance(literal, KeyLiteral) and not literal.positive:
+                key = literal.term.value
+                fact = self._negative_fact_provenance(relation, key)
+                if fact is None:
+                    return False, frozenset(), (
+                        f"negative fact {literal!r} does not hold transparently"
+                    )
+                provenance.update(fact)
+            else:
+                # Normal form excludes other shapes; treat them strictly.
+                return False, frozenset(), f"literal {literal!r} outside normal form"
+        return True, frozenset(provenance), ""
+
+    # ------------------------------------------------------------------
+    # Extension
+    # ------------------------------------------------------------------
+
+    def extend(self, event: Event) -> EnforcementDecision:
+        """Process one event: classify, enforce, apply, track."""
+        before = self.current_instance
+        successor = apply_event(self.schema, before, event, forbidden_fresh=None)
+        visible = event.peer == self.peer or self.schema.view_instance(
+            before, self.peer
+        ) != self.schema.view_instance(successor, self.peer)
+        body_transparent, body_provenance, reason = self._event_body_provenance(event)
+        step = self._next_step
+        provenance = frozenset(body_provenance | {step})
+        transparent = body_transparent and len(provenance) <= self.h
+        if body_transparent and len(provenance) > self.h:
+            reason = (
+                f"step provenance needs {len(provenance)} ids but h={self.h}"
+            )
+        allowed = transparent or not visible
+        decision = EnforcementDecision(
+            index=len(self._events),
+            allowed=allowed,
+            transparent=transparent,
+            visible=visible,
+            stage=self._stage,
+            step=step,
+            provenance=provenance,
+            reason="" if allowed else f"non-transparent visible event: {reason}",
+        )
+        if not allowed and self.mode == "block":
+            raise EnforcementError(decision.reason)
+        if not allowed and self.mode == "rollback":
+            self._rollback_stage()
+            self.decisions.append(decision)
+            return decision
+        self._next_step += 1
+        self._events.append(event)
+        self._instances.append(successor)
+        self.decisions.append(decision)
+        self._track(event, before, successor, decision)
+        if decision.visible:
+            self._stage_start = len(self._events)
+        return decision
+
+    def _rollback_stage(self) -> None:
+        """Remark 6.9 recovery: revert to the start of the current stage.
+
+        The offending event and every silent event of the stage are
+        discarded; the instance returns to the last stage boundary.
+        """
+        del self._events[self._stage_start :]
+        del self._instances[self._stage_start + 1 :]
+        self._facts.clear()
+        self._deleted.clear()
+        self._rollbacks += 1
+
+    @property
+    def rollbacks(self) -> int:
+        """Number of stage rollbacks performed (rollback mode only)."""
+        return self._rollbacks
+
+    def replay(self, events: Sequence[Event]) -> EnforcementTrace:
+        """Feed *events* (in observe mode, never raises) and return the trace."""
+        for event in events:
+            self.extend(event)
+        return EnforcementTrace(tuple(self.decisions))
+
+    # ------------------------------------------------------------------
+    # Tracking updates
+    # ------------------------------------------------------------------
+
+    def _track(
+        self,
+        event: Event,
+        before: Instance,
+        after: Instance,
+        decision: EnforcementDecision,
+    ) -> None:
+        if decision.visible:
+            # Stage boundary: stale stage-local knowledge is discarded.
+            self._stage += 1
+            self._facts.clear()
+            self._deleted.clear()
+            mark_transparent = decision.transparent
+        else:
+            mark_transparent = decision.transparent
+        provenance = decision.provenance
+        for deletion in event.ground_deletions():
+            relation = deletion.view.relation.name
+            key = deletion.term.value
+            state = self._facts.pop((relation, key), None)
+            if mark_transparent and state is not None:
+                self._deleted[(relation, key)] = frozenset(
+                    provenance | state.full_provenance()
+                )
+        for insertion in event.ground_insertions():
+            relation = insertion.view.relation.name
+            key = insertion.key_term.value
+            if self._visible_relation(relation):
+                continue  # visible facts are transparent by definition
+            existed = before.has_key(relation, key)
+            old = before.tuple_with_key(relation, key)
+            new = after.tuple_with_key(relation, key)
+            if not existed:
+                if mark_transparent:
+                    state = _FactState(provenance)
+                    for attribute in new.attributes:
+                        if not is_null(new[attribute]):
+                            state.attribute_provenance[attribute] = provenance
+                    self._facts[(relation, key)] = state
+                else:
+                    self._facts.pop((relation, key), None)
+            else:
+                state = self._facts.get((relation, key))
+                for attribute in new.attributes:
+                    changed = is_null(old[attribute]) and not is_null(new[attribute])
+                    if not changed:
+                        continue
+                    if mark_transparent and state is not None:
+                        state.attribute_provenance[attribute] = provenance
+                    elif state is not None:
+                        state.attribute_provenance.pop(attribute, None)
+                        # An opaque touch poisons the whole fact.
+                        self._facts.pop((relation, key), None)
+                        break
+
+
+def enforce_run(
+    program: WorkflowProgram,
+    peer: str,
+    h: int,
+    events: Sequence[Event],
+    mode: str = "observe",
+    initial: Optional[Instance] = None,
+) -> EnforcementTrace:
+    """Replay *events* through a :class:`TransparencyEnforcer`.
+
+    >>> # trace = enforce_run(program, "sue", 2, run.events)
+    >>> # trace.accepted
+    """
+    enforcer = TransparencyEnforcer(program, peer, h, mode=mode, initial=initial)
+    return enforcer.replay(events)

@@ -1,0 +1,294 @@
+"""The design guidelines (C1)-(C4) of Section 6.
+
+Programs following the guidelines are transparent and h-bounded for the
+designated peer by construction (Theorem 6.2).  The checks here are the
+syntactic criteria the paper describes:
+
+* (C1) every peer that sees a relation visible at ``p`` sees it fully;
+* (C2) the program maintains the ``Stage`` relation: a creation rule
+  guarded by its absence, deletion by every p-visible rule, and a
+  ``Stage`` guard on every p-invisible rule;
+* (C3) relations split into p-transparent and p-opaque; relations ``p``
+  sees are transparent; invisible transparent relations carry a
+  ``StageID`` attribute;
+* (C4) events touching transparent relations read only transparent
+  facts of the current stage, and write only p-visible relations,
+  fresh-keyed transparent tuples, or same-stage modifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Comparison, Const, KeyLiteral, Literal, RelLiteral, Var
+from ..workflow.rules import Deletion, Insertion, Rule
+from .stage import STAGE_KEY, STAGE_RELATION, rules_visible_at
+
+#: Conventional name of the stage-id attribute on invisible transparent
+#: relations (C3).
+STAGE_ID_ATTRIBUTE = "sid"
+
+
+@dataclass(frozen=True)
+class GuidelineReport:
+    """All guideline violations found (empty = compliant)."""
+
+    violations: PyTuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_c1(program: WorkflowProgram, peer: str) -> List[str]:
+    """(C1): peers seeing a p-visible relation must see it fully."""
+    violations: List[str] = []
+    schema = program.schema
+    for relation in schema.schema:
+        if not schema.peer_sees(relation.name, peer):
+            continue
+        for other in schema.peers:
+            view = schema.view(relation.name, other)
+            if view is not None and not view.is_full():
+                violations.append(
+                    f"(C1) view {view.name} of p-visible relation "
+                    f"{relation.name} is not full"
+                )
+    return violations
+
+
+def check_linear_head_c1(program: WorkflowProgram, peer: str) -> List[str]:
+    """Premises of Theorem 6.3: linear heads plus (C1)."""
+    violations = check_c1(program, peer)
+    for rule in program:
+        if not rule.is_linear_head():
+            violations.append(f"(linear-head) rule {rule.name} has several updates")
+    return violations
+
+
+def _stage_literal(literal: Literal) -> bool:
+    return (
+        isinstance(literal, (RelLiteral, KeyLiteral))
+        and literal.view.relation.name == STAGE_RELATION
+    )
+
+
+def check_c2(program: WorkflowProgram, peer: str) -> List[str]:
+    """(C2): the Stage relation is maintained as Section 6 prescribes."""
+    violations: List[str] = []
+    schema = program.schema
+    if STAGE_RELATION not in schema.schema:
+        return [f"(C2) program has no {STAGE_RELATION} relation"]
+    for member in schema.peers:
+        view = schema.view(STAGE_RELATION, member)
+        if view is None or not view.is_full():
+            violations.append(f"(C2) peer {member} does not fully see {STAGE_RELATION}")
+    creation_rules = [
+        rule
+        for rule in program
+        if any(
+            isinstance(atom, Insertion) and atom.view.relation.name == STAGE_RELATION
+            for atom in rule.head
+        )
+    ]
+    if not creation_rules:
+        violations.append("(C2) no rule creates Stage tuples")
+    for rule in creation_rules:
+        guarded = any(
+            isinstance(literal, KeyLiteral)
+            and not literal.positive
+            and literal.view.relation.name == STAGE_RELATION
+            for literal in rule.body.literals
+        )
+        if not guarded:
+            violations.append(
+                f"(C2) stage-creation rule {rule.name} is not guarded by "
+                f"¬Key_{STAGE_RELATION}"
+            )
+    visible = {rule.name for rule in rules_visible_at(program, peer)}
+    for rule in program:
+        touches_stage_only = all(
+            atom.view.relation.name == STAGE_RELATION for atom in rule.head
+        )
+        if touches_stage_only:
+            continue  # the stage-creation rule itself
+        if rule.name in visible:
+            deletes_stage = any(
+                isinstance(atom, Deletion) and atom.view.relation.name == STAGE_RELATION
+                for atom in rule.head
+            )
+            guarded_by_absence = any(
+                isinstance(literal, KeyLiteral)
+                and not literal.positive
+                and literal.view.relation.name == STAGE_RELATION
+                for literal in rule.body.literals
+            )
+            if not deletes_stage and not guarded_by_absence:
+                violations.append(
+                    f"(C2) p-visible rule {rule.name} neither deletes "
+                    f"{STAGE_RELATION} nor is guarded by its absence"
+                )
+        else:
+            guarded = any(
+                isinstance(literal, RelLiteral)
+                and literal.positive
+                and literal.view.relation.name == STAGE_RELATION
+                for literal in rule.body.literals
+            )
+            if not guarded:
+                violations.append(
+                    f"(C2) p-invisible rule {rule.name} lacks a {STAGE_RELATION} guard"
+                )
+    return violations
+
+
+def check_c3(
+    program: WorkflowProgram,
+    peer: str,
+    transparent_relations: Iterable[str],
+) -> List[str]:
+    """(C3): visible ⊆ transparent; invisible transparent carry StageID."""
+    violations: List[str] = []
+    transparent = set(transparent_relations) | {STAGE_RELATION}
+    schema = program.schema
+    for relation in schema.schema:
+        if relation.name == STAGE_RELATION:
+            continue
+        visible = schema.peer_sees(relation.name, peer)
+        if visible and relation.name not in transparent:
+            violations.append(
+                f"(C3) p-visible relation {relation.name} must be p-transparent"
+            )
+        if relation.name in transparent and not visible:
+            if STAGE_ID_ATTRIBUTE not in relation.attributes:
+                violations.append(
+                    f"(C3) invisible transparent relation {relation.name} lacks a "
+                    f"{STAGE_ID_ATTRIBUTE!r} attribute"
+                )
+    return violations
+
+
+def check_c4(
+    program: WorkflowProgram,
+    peer: str,
+    transparent_relations: Iterable[str],
+) -> List[str]:
+    """(C4): syntactic criteria for events touching transparent relations."""
+    violations: List[str] = []
+    transparent = set(transparent_relations) | {STAGE_RELATION}
+    schema = program.schema
+
+    def stage_variable(rule: Rule) -> Optional[Var]:
+        for literal in rule.body.literals:
+            if (
+                isinstance(literal, RelLiteral)
+                and literal.positive
+                and literal.view.relation.name == STAGE_RELATION
+            ):
+                term = literal.terms[-1]
+                if isinstance(term, Var):
+                    return term
+        return None
+
+    for rule in program:
+        touches_transparent = any(
+            atom.view.relation.name in transparent for atom in rule.head
+        )
+        if not touches_transparent:
+            continue
+        stage_var = stage_variable(rule)
+        # (C4)(i): body only positive transparent facts, current stage id.
+        for literal in rule.body.literals:
+            if isinstance(literal, Comparison):
+                continue
+            if isinstance(literal, (RelLiteral, KeyLiteral)):
+                name = literal.view.relation.name
+                if name not in transparent:
+                    violations.append(
+                        f"(C4i) rule {rule.name} reads opaque relation {name}"
+                    )
+                    continue
+                if isinstance(literal, RelLiteral) and not literal.positive:
+                    violations.append(
+                        f"(C4i) rule {rule.name} uses a negative literal on "
+                        f"transparent relation {name}"
+                    )
+                if (
+                    isinstance(literal, RelLiteral)
+                    and literal.positive
+                    and name != STAGE_RELATION
+                    and not schema.peer_sees(name, peer)
+                ):
+                    relation = literal.view.relation
+                    if STAGE_ID_ATTRIBUTE in literal.view.attributes:
+                        position = literal.view.attributes.index(STAGE_ID_ATTRIBUTE)
+                        term = literal.terms[position]
+                        if stage_var is None or term != stage_var:
+                            violations.append(
+                                f"(C4i) rule {rule.name}: literal on invisible "
+                                f"transparent {name} does not bind the current stage id"
+                            )
+        # (C4)(ii): head updates.
+        body_vars = rule.body.variables()
+        for atom in rule.head:
+            name = atom.view.relation.name
+            if name == STAGE_RELATION or schema.peer_sees(name, peer):
+                continue
+            if name not in transparent:
+                if any(
+                    schema.peer_sees(other.view.relation.name, peer)
+                    or other.view.relation.name in transparent
+                    for other in rule.head
+                    if other is not atom
+                ):
+                    violations.append(
+                        f"(C4ii) rule {rule.name} mixes opaque update {name} with "
+                        "transparent/visible updates (Example 6.1)"
+                    )
+                continue
+            if isinstance(atom, Deletion):
+                violations.append(
+                    f"(C4ii) rule {rule.name} deletes from invisible transparent "
+                    f"relation {name}"
+                )
+                continue
+            key = atom.key_term
+            fresh_key = isinstance(key, Var) and key not in body_vars
+            if fresh_key:
+                continue
+            witnessed = any(
+                isinstance(literal, RelLiteral)
+                and literal.positive
+                and literal.view.relation.name == name
+                and literal.key_term == key
+                for literal in rule.body.literals
+            )
+            if not witnessed:
+                violations.append(
+                    f"(C4ii) rule {rule.name}: update of {name} neither creates a "
+                    "fresh key nor modifies a same-stage tuple from the body"
+                )
+    return violations
+
+
+def check_design_guidelines(
+    program: WorkflowProgram,
+    peer: str,
+    transparent_relations: Iterable[str],
+) -> GuidelineReport:
+    """All of (C1)-(C4) together (premise of Theorem 6.2).
+
+    >>> # report = check_design_guidelines(program, "sue", ["Cleared", ...])
+    >>> # report.ok
+    """
+    violations: List[str] = []
+    violations.extend(check_c1(program, peer))
+    violations.extend(check_c2(program, peer))
+    violations.extend(check_c3(program, peer, transparent_relations))
+    violations.extend(check_c4(program, peer, transparent_relations))
+    return GuidelineReport(tuple(violations))

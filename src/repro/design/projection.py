@@ -1,0 +1,166 @@
+"""Run projections Π (Definition 6.6) and lifting into ``P^t``.
+
+The rewriting of :mod:`repro.design.rewrite` enriches a program with the
+``Stage`` relation and per-relation companions; the projection Π drops
+that bookkeeping, mapping runs of ``P^t`` back to runs of ``P``.
+Theorem 6.7 states ``tRuns_{p,h}(P) = Π(Runs(P^t))``; this module
+provides both directions:
+
+* :func:`project_run` — Π: strip bookkeeping facts/updates, drop events
+  with emptied heads (``open_stage``), recover the source rule names;
+* :func:`lift_events` — search a ``P^t`` run whose projection is a
+  given source run (interleaving ``open_stage`` events and choosing
+  transparent/opaque variants), i.e. decide membership in
+  ``Π(Runs(P^t))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import FreshValueSource
+from ..workflow.engine import apply_event
+from ..workflow.enumerate import applicable_events
+from ..workflow.errors import EventError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run
+from .rewrite import RewriteResult, is_companion
+from .stage import STAGE_RELATION
+
+
+def source_rule_name(rewritten_rule_name: str) -> Optional[str]:
+    """The source rule a ``P^t`` rule came from (None for bookkeeping)."""
+    if rewritten_rule_name == "open_stage":
+        return None
+    return rewritten_rule_name.split("#", 1)[0]
+
+
+def project_instance(result: RewriteResult, instance: Instance) -> Instance:
+    """Π on instances: drop the ``Stage`` relation and companions."""
+    schema = result.source.schema.schema
+    data = {
+        relation.name: list(instance.relation(relation.name))
+        for relation in schema
+    }
+    return Instance.from_tuples(schema, data)
+
+
+def project_run(result: RewriteResult, run: Run) -> Run:
+    """Π on runs: strip bookkeeping and map events back to ``P``.
+
+    Events whose entire head is bookkeeping (``open_stage``) disappear;
+    other events map to the source rule with the same (source) head.
+    The source rules are ground, so the projected event needs no
+    valuation beyond the source rule's own (empty) one.
+    """
+    events: List[Event] = []
+    instances: List[Instance] = []
+    for i in range(len(run)):
+        event = run.events[i]
+        name = source_rule_name(event.rule.name)
+        if name is None:
+            continue
+        source_rule = result.source.rule(name)
+        valuation = {
+            var: value
+            for var, value in event.valuation
+            if var in source_rule.variables()
+        }
+        events.append(Event(source_rule, valuation))
+        instances.append(project_instance(result, run.instance_after(i)))
+    return Run(
+        result.source, project_instance(result, run.initial), events, instances
+    )
+
+
+def projection_is_identity_for(result: RewriteResult, run: Run, peer: str) -> bool:
+    """Check Definition 6.6: ``Π(ρ)@p`` matches ``ρ@p`` on ``D@p``.
+
+    The bookkeeping relations are not in the source's ``D@p``, so the
+    comparison is over the source view schema: the peer's observation
+    sequence of the projected run must coincide with the peer's
+    observations of the original run restricted to source relations.
+    """
+    from ..transparency.equivalence import canonical_content
+
+    projected = project_run(result, run)
+    original_view = [
+        canonical_content(project_instance(result, run.instance_after(i)))
+        for i in range(len(run))
+        if source_rule_name(run.events[i].rule.name) is not None
+    ]
+    projected_view = [
+        canonical_content(projected.instance_after(i))
+        for i in range(len(projected))
+    ]
+    return original_view == projected_view
+
+
+def lift_events(
+    result: RewriteResult, events: Sequence[Event], max_stage_openings: int = 64
+) -> Optional[List[Event]]:
+    """A ``P^t`` run projecting onto the source event sequence, if any.
+
+    Depth-first search: before each source event an ``open_stage`` event
+    may be fired (when no stage is open), and each source event maps to
+    one of its rewritten variants (transparent cases preferred, opaque
+    fallback).  Success means the source run is in ``Π(Runs(P^t))`` —
+    by Theorem 6.7, that it is transparent and h-bounded for the peer.
+
+    >>> # lifted = lift_events(rewrite_result, run.events)
+    >>> # lifted is not None  # <=> run is transparent and h-bounded
+    """
+    program = result.program
+    schema = program.schema
+    fresh = FreshValueSource(start=90_000)
+    fresh.observe(program.constants())
+    by_source: Dict[str, List] = {}
+    for rule in program:
+        name = source_rule_name(rule.name)
+        if name is not None:
+            by_source.setdefault(name, []).append(rule)
+    open_stage_rule = program.rule("open_stage")
+
+    def recurse(
+        instance: Instance, position: int, openings: int, chosen: List[Event]
+    ) -> Optional[List[Event]]:
+        if position == len(events):
+            return list(chosen)
+        source_event = events[position]
+        options: List[PyTuple[Optional[Event], Event]] = []
+        for rule in by_source.get(source_event.rule.name, []):
+            for candidate in applicable_events(
+                program, instance, fresh, rules=[rule]
+            ):
+                options.append((None, candidate))
+        # Prefer transparent variants (no '#opaque' suffix) first.
+        options.sort(key=lambda pair: pair[1].rule.name.endswith("#opaque"))
+        for _, candidate in options:
+            successor = apply_event(schema, instance, candidate, None, check_body=False)
+            chosen.append(candidate)
+            found = recurse(successor, position + 1, openings, chosen)
+            if found is not None:
+                return found
+            chosen.pop()
+        # No variant applicable: try opening a stage first.
+        if openings < max_stage_openings:
+            for opener in applicable_events(
+                program, instance, fresh, rules=[open_stage_rule]
+            ):
+                successor = apply_event(schema, instance, opener, None, check_body=False)
+                chosen.append(opener)
+                found = recurse(successor, position, openings + 1, chosen)
+                if found is not None:
+                    return found
+                chosen.pop()
+                break  # one fresh stage id is as good as another
+        return None
+
+    return recurse(Instance.empty(schema.schema), 0, 0, [])
+
+
+def is_liftable(result: RewriteResult, run: Run) -> bool:
+    """Does Theorem 6.7 admit *run* (is it in ``Π(Runs(P^t))``)?"""
+    return lift_events(result, run.events) is not None

@@ -1,0 +1,370 @@
+"""Explicit schema-level ``P → P^t`` rewriting (Theorem 6.7).
+
+The paper compiles transparency enforcement into the program itself:
+each relation ``R`` gains a companion ``R^t`` holding per-fact
+transparency bits and step provenance, and each rule is expanded by a
+case analysis over the provenance arrangements (at most exponentially
+many new rules).  The general construction is sketched informally in
+the paper; this module implements it *exactly* for a concrete subclass
+where the case analysis is tractable and fully mechanical:
+
+* ground, linear-head, normal-form programs over propositional
+  (unary) relations — the class used by the paper's own propositional
+  gadgets and by the chain/noise workload families;
+* rule bodies with at most one literal on a relation invisible to the
+  observed peer.
+
+Companion relations are ``Rt(K, obj, stg, dk, S1..Sh)``: a fresh key
+per lifecycle, the object key, the stage id at creation, a deletion
+mark (``⊥`` live, ``1`` transparently deleted, ``2`` opaquely deleted)
+and ``h`` step-provenance slots filled left to right.  The projection
+``Π`` drops the ``Stage`` relation and every companion, and is the
+identity for the observed peer (Definition 6.6).
+
+For the general class, the instrumented engine of
+:mod:`repro.design.enforce` implements the same semantics; differential
+tests check the two agree on this subclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import NULL
+from ..workflow.errors import EnforcementError
+from ..workflow.events import Event
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Var
+from ..workflow.rules import Deletion, Insertion, Rule, UpdateAtom
+from ..workflow.runs import Run
+from ..workflow.schema import Relation, Schema
+from ..workflow.views import CollaborativeSchema, View
+from .stage import STAGE_KEY, STAGE_RELATION
+
+
+class UnsupportedRewrite(EnforcementError):
+    """The program falls outside the mechanised rewriting subclass."""
+
+
+#: Deletion-mark values of the companion relations.
+LIVE = NULL
+DELETED_TRANSPARENTLY = 1
+DELETED_OPAQUELY = 2
+
+
+def _companion_name(relation: str) -> str:
+    return f"{relation}__t"
+
+
+def is_companion(relation: str) -> bool:
+    return relation.endswith("__t") or relation == STAGE_RELATION
+
+
+@dataclass
+class RewriteResult:
+    """The rewritten program ``P^t`` plus metadata."""
+
+    source: WorkflowProgram
+    peer: str
+    h: int
+    program: WorkflowProgram
+
+    def companion_relations(self) -> List[str]:
+        return [
+            name
+            for name in self.program.schema.schema.relation_names
+            if is_companion(name)
+        ]
+
+
+def _check_supported(program: WorkflowProgram, peer: str) -> None:
+    if not program.is_normal_form():
+        raise UnsupportedRewrite("program must be in normal form")
+    for relation in program.schema.schema:
+        if relation.arity != 1:
+            raise UnsupportedRewrite(
+                f"relation {relation.name} is not propositional (arity 1)"
+            )
+    for rule in program:
+        if not rule.is_linear_head():
+            raise UnsupportedRewrite(f"rule {rule.name} is not linear-head")
+        if not rule.is_ground():
+            raise UnsupportedRewrite(f"rule {rule.name} is not ground")
+        invisible = [
+            literal
+            for literal in rule.body.literals
+            if isinstance(literal, (RelLiteral, KeyLiteral))
+            and not program.schema.peer_sees(literal.view.relation.name, peer)
+        ]
+        if len(invisible) > 1:
+            raise UnsupportedRewrite(
+                f"rule {rule.name} reads {len(invisible)} invisible facts; "
+                "the mechanised rewrite supports at most one"
+            )
+
+
+def rewrite_transparent(
+    program: WorkflowProgram, peer: str, h: int
+) -> RewriteResult:
+    """Compile *program* into its transparency-enforcing ``P^t``.
+
+    >>> # result = rewrite_transparent(chain_program(2), "observer", h=3)
+    >>> # result.program  # runs of this are the transparent h-bounded runs
+    """
+    _check_supported(program, peer)
+    schema = program.schema
+    # ------------------------------------------------------------------
+    # Enriched schema: Stage + one companion per invisible relation.
+    # ------------------------------------------------------------------
+    slots = tuple(f"S{i + 1}" for i in range(h))
+    stage_relation = Relation(STAGE_RELATION, ("K", "sid"))
+    relations: List[Relation] = list(schema.schema) + [stage_relation]
+    companions: Dict[str, Relation] = {}
+    for relation in schema.schema:
+        if schema.peer_sees(relation.name, peer):
+            continue
+        companion = Relation(
+            _companion_name(relation.name), ("K", "obj", "stg", "dk") + slots
+        )
+        companions[relation.name] = companion
+        relations.append(companion)
+    views: List[View] = list(schema.all_views())
+    for member in schema.peers:
+        views.append(View(stage_relation, member, stage_relation.attributes))
+    for relation_name, companion in companions.items():
+        # The companion is visible to every peer that sees the original
+        # (mirroring the paper's "tA has the same visibility as A"); the
+        # observed peer does not see the original, hence no companion
+        # view for it either.
+        for member in schema.peers:
+            if schema.peer_sees(relation_name, member):
+                views.append(View(companion, member, companion.attributes))
+    new_schema = CollaborativeSchema(
+        Schema(relations), schema.peers, views
+    )
+
+    def view_of(relation: str, member: str) -> View:
+        found = new_schema.view(relation, member)
+        if found is None:
+            raise UnsupportedRewrite(
+                f"peer {member} has no view of {relation}, cannot rewrite"
+            )
+        return found
+
+    def rehome(literal: Literal) -> Literal:
+        if isinstance(literal, RelLiteral):
+            return RelLiteral(
+                view_of(literal.view.relation.name, literal.view.peer),
+                literal.terms,
+                literal.positive,
+            )
+        if isinstance(literal, KeyLiteral):
+            return KeyLiteral(
+                view_of(literal.view.relation.name, literal.view.peer),
+                literal.term,
+                literal.positive,
+            )
+        return literal
+
+    stage_var = Var("_s")
+    rules: List[Rule] = [
+        Rule(
+            "open_stage",
+            (Insertion(view_of(STAGE_RELATION, peer), (Const(STAGE_KEY), Var("_z"))),),
+            Query([KeyLiteral(view_of(STAGE_RELATION, peer), Const(STAGE_KEY), False)]),
+        )
+    ]
+
+    def visible_head(rule: Rule) -> bool:
+        return schema.peer_sees(rule.head[0].view.relation.name, peer)
+
+    def invisible_body_literal(rule: Rule) -> Optional[Literal]:
+        for literal in rule.body.literals:
+            if isinstance(literal, (RelLiteral, KeyLiteral)) and not schema.peer_sees(
+                literal.view.relation.name, peer
+            ):
+                return literal
+        return None
+
+    for rule in program:
+        head = rule.head[0]
+        head_relation = head.view.relation.name
+        invisible_literal = invisible_body_literal(rule)
+        base_body = [rehome(literal) for literal in rule.body.literals]
+        owner = rule.peer
+        if invisible_literal is None:
+            # Body fully visible: the event is transparent with H = {step}.
+            for variant in _emit_variants(
+                rule,
+                head,
+                base_body,
+                existing_slots=0,
+                carried=(),
+                has_invisible=False,
+                stage_var=stage_var,
+                owner=owner,
+                visible=visible_head(rule),
+                companions=companions,
+                view_of=view_of,
+                h=h,
+                schema=schema,
+                peer=peer,
+            ):
+                rules.append(variant)
+        else:
+            companion = companions[invisible_literal.view.relation.name]
+            for m in range(0, h):
+                carried = tuple(Var(f"_p{i}") for i in range(m))
+                companion_terms: List[object] = [
+                    Var("_kt"),
+                    _key_term_of(invisible_literal),
+                    stage_var,
+                ]
+                if isinstance(invisible_literal, RelLiteral) and invisible_literal.positive:
+                    companion_terms.append(Const(LIVE))
+                elif isinstance(invisible_literal, KeyLiteral) and not invisible_literal.positive:
+                    companion_terms.append(Const(DELETED_TRANSPARENTLY))
+                else:
+                    raise UnsupportedRewrite(
+                        f"rule {rule.name}: unsupported invisible literal shape"
+                    )
+                companion_terms.extend(carried)
+                companion_terms.extend(Const(NULL) for _ in range(h - m))
+                witness = RelLiteral(
+                    view_of(companion.name, owner), tuple(companion_terms), True
+                )
+                body = base_body + [witness]
+                for variant in _emit_variants(
+                    rule,
+                    head,
+                    body,
+                    existing_slots=m,
+                    carried=carried,
+                    has_invisible=True,
+                    stage_var=stage_var,
+                    owner=owner,
+                    visible=visible_head(rule),
+                    companions=companions,
+                    view_of=view_of,
+                    h=h,
+                    schema=schema,
+                    peer=peer,
+                    suffix=f"m{m}",
+                ):
+                    rules.append(variant)
+        # Opaque variants: non-transparent events may update invisible
+        # relations freely (inside an open stage), and may re-insert an
+        # already-present visible fact — a no-op, hence invisible at the
+        # peer and permitted by the "may not modify a visible relation"
+        # rule.
+        stage_guard = RelLiteral(
+            view_of(STAGE_RELATION, owner), (Const(STAGE_KEY), stage_var), True
+        )
+        if not visible_head(rule):
+            opaque_head: PyTuple[UpdateAtom, ...]
+            if isinstance(head, Insertion):
+                opaque_head = (Insertion(view_of(head_relation, owner), head.terms),)
+            else:
+                opaque_head = (Deletion(view_of(head_relation, owner), head.term),)
+            rules.append(
+                Rule(f"{rule.name}#opaque", opaque_head, Query(base_body + [stage_guard]))
+            )
+        elif isinstance(head, Insertion):
+            noop_witness = RelLiteral(
+                view_of(head_relation, owner), head.terms, True
+            )
+            rules.append(
+                Rule(
+                    f"{rule.name}#noop",
+                    (Insertion(view_of(head_relation, owner), head.terms),),
+                    Query(base_body + [noop_witness, stage_guard]),
+                )
+            )
+    rewritten = WorkflowProgram(new_schema, rules)
+    return RewriteResult(program, peer, h, rewritten)
+
+
+def _key_term_of(literal: Literal):
+    if isinstance(literal, RelLiteral):
+        return literal.key_term
+    return literal.term
+
+
+def _emit_variants(
+    rule: Rule,
+    head: UpdateAtom,
+    body: List[Literal],
+    existing_slots: int,
+    carried: PyTuple[Var, ...],
+    has_invisible: bool,
+    stage_var: Var,
+    owner: str,
+    visible: bool,
+    companions: Dict[str, Relation],
+    view_of,
+    h: int,
+    schema: CollaborativeSchema,
+    peer: str,
+    suffix: str = "",
+) -> List[Rule]:
+    """The transparent variant(s) of one rule for one provenance case.
+
+    ``H`` = carried slot ids + the fresh step id; the variant exists
+    only when ``|H| = existing_slots + 1 ≤ h``.  Visible heads update
+    the original relation only (and close the stage); invisible heads
+    additionally maintain the companion.
+    """
+    if existing_slots + 1 > h:
+        return []
+    head_relation = head.view.relation.name
+    step_var = Var("_w")
+    name = f"{rule.name}#t{suffix}" if suffix else f"{rule.name}#t"
+    stage_literal = RelLiteral(
+        view_of(STAGE_RELATION, owner), (Const(STAGE_KEY), stage_var), True
+    )
+    full_body = body + [stage_literal]
+    updates: List[UpdateAtom] = []
+    if isinstance(head, Insertion):
+        updates.append(Insertion(view_of(head_relation, owner), head.terms))
+    else:
+        updates.append(Deletion(view_of(head_relation, owner), head.term))
+    if visible:
+        closing = updates + [Deletion(view_of(STAGE_RELATION, owner), Const(STAGE_KEY))]
+        variants = [Rule(name, tuple(closing), Query(full_body))]
+        if not has_invisible:
+            # Fully visible body: the event may also fire with no open
+            # stage ("deletes the current fact Stage(0, s) if such
+            # exists").  With invisible body facts a stage is required
+            # for the companion join, so no such variant exists there.
+            nostage_body = body + [
+                KeyLiteral(view_of(STAGE_RELATION, owner), Const(STAGE_KEY), False)
+            ]
+            variants.append(
+                Rule(f"{name}#nostage", tuple(updates), Query(nostage_body))
+            )
+        return variants
+    companion = companions[head_relation]
+    slots_values: List[object] = list(carried) + [step_var]
+    slots_values.extend(Const(NULL) for _ in range(h - len(slots_values)))
+    if isinstance(head, Insertion):
+        # Creation: a fresh companion row (fresh lifecycle key), guarded
+        # by effectiveness (the object must be absent).
+        guard = KeyLiteral(view_of(head_relation, owner), head.terms[0], False)
+        companion_update = Insertion(
+            view_of(companion.name, owner),
+            (Var("_nk"), head.terms[0], stage_var, Const(LIVE)) + tuple(slots_values),
+        )
+        return [
+            Rule(name, (updates[0], companion_update), Query(full_body + [guard]))
+        ]
+    # Transparent deletion: mark the live companion row (bound in the
+    # body witness via _kt) as transparently deleted and record H - H0.
+    mark = Insertion(
+        view_of(companion.name, owner),
+        (Var("_kt"), head.term, stage_var, Const(DELETED_TRANSPARENTLY))
+        + tuple(carried)
+        + (step_var,)
+        + tuple(Const(NULL) for _ in range(h - existing_slots - 1)),
+    )
+    return [Rule(name, (updates[0], mark), Query(full_body))]

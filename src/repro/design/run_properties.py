@@ -1,0 +1,206 @@
+"""Run-level transparency and h-boundedness (Definition 6.4).
+
+Section 6 lifts the program-level properties to individual runs: a run
+is transparent for ``p`` when, within every p-stage, the minimum
+p-faithful subrun of the stage would behave identically on any p-fresh
+instance agreeing with the stage's initial instance on ``p``'s view; it
+is h-bounded when those minimal subruns have at most ``h`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.faithful import FaithfulnessAnalysis
+from ..transparency.bounded import SearchBudget
+from ..transparency.faithful_runs import (
+    is_minimum_faithful_run,
+    is_mostly_silent,
+    run_on,
+)
+from ..transparency.freshness import iter_p_fresh_instances
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run
+from .stage import RunStage, stages_of_run
+
+
+@dataclass(frozen=True)
+class StageAnalysis:
+    """The minimum p-faithful subrun of one stage."""
+
+    stage: RunStage
+    minimal_positions: PyTuple[int, ...]  # positions in the *global* run
+
+    def __len__(self) -> int:
+        return len(self.minimal_positions)
+
+
+def analyze_stages(run: Run, peer: str) -> List[StageAnalysis]:
+    """For every p-stage, its minimum p-faithful subrun ``α'.e'``.
+
+    The stage ``α.e'`` is treated as a run on the instance reached just
+    before it; its minimal faithful scenario (visible events: ``e'``) is
+    computed with the Section 4 machinery.
+    """
+    analyses: List[StageAnalysis] = []
+    for stage in stages_of_run(run, peer):
+        positions = stage.positions
+        start = run.instance_before(positions[0])
+        events = [run.events[i] for i in positions]
+        stage_run = run_on(run.program, events, start)
+        if stage_run is None:  # pragma: no cover - slices of runs replay
+            raise AssertionError("stage slice failed to replay")
+        analysis = FaithfulnessAnalysis(stage_run, peer)
+        visible_local = [len(positions) - 1]
+        closure = analysis.closure(visible_local)
+        minimal = tuple(sorted(positions[i] for i in closure))
+        analyses.append(StageAnalysis(stage, minimal))
+    return analyses
+
+
+def run_stage_bound(run: Run, peer: str) -> int:
+    """The largest minimal faithful stage subrun in the run (0 if none)."""
+    analyses = analyze_stages(run, peer)
+    return max((len(a) for a in analyses), default=0)
+
+
+def is_run_h_bounded(run: Run, peer: str, h: int) -> bool:
+    """Definition 6.4 (boundedness): every stage's ``|α'.e'| ≤ h``."""
+    return run_stage_bound(run, peer) <= h
+
+
+@dataclass(frozen=True)
+class RunTransparencyReport:
+    """Outcome of the run-level transparency check."""
+
+    transparent: bool
+    failing_stage: Optional[StageAnalysis] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.transparent
+
+
+def _candidate_instances(
+    run: Run, peer: str, start: Instance, budget: SearchBudget
+):
+    """Instances ``J`` with ``J@p = I@p`` built by varying invisible data.
+
+    Candidates keep the relations the peer sees (the conservative choice
+    for partially-visible relations) and re-enumerate the contents of
+    fully invisible relations over the run's values plus pool constants.
+    """
+    import itertools
+
+    from ..transparency.instances import enumerate_relation_contents
+
+    program = run.program
+    schema = program.schema
+    pool = budget.resolve_pool(program, max(1, len(run)))
+    values = sorted(
+        set(run.active_domain()) | set(pool), key=repr
+    )
+    invisible = [
+        relation
+        for relation in schema.schema
+        if schema.view(relation.name, peer) is None
+    ]
+    per_relation = [
+        list(
+            enumerate_relation_contents(
+                relation, values, values, budget.max_tuples_per_relation
+            )
+        )
+        for relation in invisible
+    ]
+    for combination in itertools.product(*per_relation):
+        data = {
+            relation.name: list(start.relation(relation.name))
+            for relation in schema.schema
+            if schema.view(relation.name, peer) is not None
+        }
+        for relation, tuples in zip(invisible, combination):
+            data[relation.name] = list(tuples)
+        yield Instance.from_tuples(schema.schema, data)
+
+
+def is_run_transparent(
+    run: Run,
+    peer: str,
+    budget: SearchBudget = SearchBudget(pool_extra=1, max_tuples_per_relation=1),
+    witness_freshness: bool = True,
+) -> RunTransparencyReport:
+    """Definition 6.4 (transparency) for one run, within a search budget.
+
+    For every stage, the minimal faithful subrun ``α'.e'`` is replayed
+    on every p-fresh instance ``J`` agreeing with the stage's start on
+    the peer's view (candidates built by varying the invisible data over
+    the run's values plus pool constants, then filtered by a bounded
+    p-freshness search); the subrun must apply, stay silent-but-last,
+    remain minimum-faithful, and land in the same p-view.
+    """
+    from ..transparency.freshness import is_p_fresh
+
+    program = run.program
+    schema = program.schema
+    for analysis in analyze_stages(run, peer):
+        positions = analysis.minimal_positions
+        if not positions:
+            continue
+        start = run.instance_before(analysis.stage.positions[0])
+        events = [run.events[i] for i in positions]
+        new_values: set = set()
+        for event in events:
+            new_values.update(event.new_values())
+        minimal_run = run_on(program, events, start)
+        if minimal_run is None or not is_minimum_faithful_run(minimal_run, peer):
+            return RunTransparencyReport(
+                False, analysis, "stage's minimal subrun is not faithful on its own start"
+            )
+        checked = 0
+        for other in _candidate_instances(run, peer, start, budget):
+            if other == start:
+                continue
+            if budget.max_instances is not None and checked >= budget.max_instances:
+                break
+            if other.active_domain() & new_values:
+                continue  # adom(J) ∩ new(α) must be empty
+            witness_pool = tuple(
+                sorted(other.active_domain() | set(budget.resolve_pool(program, 1)), key=repr)
+            )
+            if (
+                is_p_fresh(
+                    program,
+                    peer,
+                    other,
+                    witness_pool,
+                    budget.max_tuples_per_relation,
+                    witness_freshness,
+                )
+                is None
+            ):
+                continue
+            checked += 1
+            mirrored = run_on(program, events, other)
+            if mirrored is None:
+                return RunTransparencyReport(
+                    False, analysis, f"stage subrun not applicable on {other!r}"
+                )
+            if not is_mostly_silent(mirrored, peer):
+                return RunTransparencyReport(
+                    False, analysis, f"visibility differs on {other!r}"
+                )
+            if not is_minimum_faithful_run(mirrored, peer):
+                return RunTransparencyReport(
+                    False, analysis, f"not minimum-faithful on {other!r}"
+                )
+            if schema.view_instance(
+                mirrored.final_instance, peer
+            ) != schema.view_instance(minimal_run.final_instance, peer):
+                return RunTransparencyReport(
+                    False, analysis, f"final p-views differ on {other!r}"
+                )
+    return RunTransparencyReport(True)

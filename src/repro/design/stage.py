@@ -1,0 +1,202 @@
+"""Stages of runs and the ``Stage`` relation machinery (Section 6).
+
+A *p-stage* of a run is a maximal segment ``α.e'`` of consecutive
+events in which only the final event ``e'`` is visible at ``p``.  The
+design methodology controls transparency per stage: a binary ``Stage``
+relation visible to every peer holds the current stage id, is deleted by
+every p-visible event and must be re-initialised (with a fresh id)
+before silent work can resume.
+
+:func:`add_stage_infrastructure` rewrites a program to maintain
+``Stage`` mechanically; :func:`stages_of_run` splits runs into stages
+for the run-level properties of Definition 6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Var
+from ..workflow.rules import Deletion, Insertion, Rule, UpdateAtom
+from ..workflow.runs import Run
+from ..workflow.schema import Relation, Schema
+from ..workflow.views import CollaborativeSchema, View
+
+#: Conventional name and key of the stage relation.
+STAGE_RELATION = "Stage"
+STAGE_KEY = 0
+
+
+@dataclass(frozen=True)
+class RunStage:
+    """One p-stage: silent positions followed by the visible position.
+
+    A trailing group of silent events with no closing visible event is
+    represented with ``visible=None`` (it is not a stage by Definition
+    6.4 but is reported for completeness).
+    """
+
+    silent: PyTuple[int, ...]
+    visible: Optional[int]
+
+    @property
+    def positions(self) -> PyTuple[int, ...]:
+        if self.visible is None:
+            return self.silent
+        return self.silent + (self.visible,)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def stages_of_run(run: Run, peer: str, include_trailing: bool = False) -> List[RunStage]:
+    """Split *run* into its p-stages.
+
+    >>> # stages = stages_of_run(run, "sue")
+    """
+    stages: List[RunStage] = []
+    silent: List[int] = []
+    for i in range(len(run)):
+        if run.visible_at(peer, i):
+            stages.append(RunStage(tuple(silent), i))
+            silent = []
+        else:
+            silent.append(i)
+    if silent and include_trailing:
+        stages.append(RunStage(tuple(silent), None))
+    return stages
+
+
+def rules_visible_at(program: WorkflowProgram, peer: str) -> List[Rule]:
+    """Rules whose head updates a relation the peer sees.
+
+    Under guideline (C1) these are exactly the rules whose (effective)
+    events are visible at the peer.
+    """
+    visible: List[Rule] = []
+    for rule in program:
+        if any(
+            program.schema.peer_sees(atom.view.relation.name, peer)
+            for atom in rule.head
+        ):
+            visible.append(rule)
+    return visible
+
+
+def has_stage_relation(program: WorkflowProgram) -> bool:
+    return STAGE_RELATION in program.schema.schema
+
+
+def add_stage_infrastructure(
+    program: WorkflowProgram, peer: str, stage_owner: Optional[str] = None
+) -> WorkflowProgram:
+    """Rewrite *program* to maintain the ``Stage`` relation for *peer*.
+
+    Adds a binary relation ``Stage(K, sid)`` visible to every peer, a
+    stage-creation rule (owned by *stage_owner*, default the observing
+    peer) inserting ``Stage(0, z)`` with a fresh ``z`` when absent, and:
+
+    * every rule visible at *peer* is split in two variants — one that
+      additionally deletes the current ``Stage`` tuple, and one guarded
+      by its absence (the paper's "deletes the current fact Stage(0, s)
+      if such exists");
+    * every rule invisible at *peer* is guarded by ``Stage(0, s)``, so
+      silent work can only happen inside an open stage.
+    """
+    if has_stage_relation(program):
+        raise ValueError("program already has a Stage relation")
+    owner = stage_owner if stage_owner is not None else peer
+    stage_relation = Relation(STAGE_RELATION, ("K", "sid"))
+    schema = program.schema
+    new_schema = CollaborativeSchema(
+        schema.schema.extend([stage_relation]),
+        schema.peers,
+        list(schema.all_views())
+        + [
+            View(stage_relation, member, ("K", "sid"))
+            for member in schema.peers
+        ],
+    )
+
+    def stage_view(member: str) -> View:
+        return new_schema.view(STAGE_RELATION, member)
+
+    def rehome_atom(atom: UpdateAtom) -> UpdateAtom:
+        view = new_schema.view(atom.view.relation.name, atom.view.peer)
+        if isinstance(atom, Insertion):
+            return Insertion(view, atom.terms)
+        return Deletion(view, atom.term)
+
+    def rehome_literal(literal: Literal) -> Literal:
+        if isinstance(literal, RelLiteral):
+            view = new_schema.view(literal.view.relation.name, literal.view.peer)
+            return RelLiteral(view, literal.terms, literal.positive)
+        if isinstance(literal, KeyLiteral):
+            view = new_schema.view(literal.view.relation.name, literal.view.peer)
+            return KeyLiteral(view, literal.term, literal.positive)
+        return literal
+
+    stage_var = Var("_sid")
+    fresh_var = Var("_zid")
+    visible_names = {rule.name for rule in rules_visible_at(program, peer)}
+    rules: List[Rule] = [
+        Rule(
+            "open_stage",
+            (Insertion(stage_view(owner), (Const(STAGE_KEY), fresh_var)),),
+            Query([KeyLiteral(stage_view(owner), Const(STAGE_KEY), positive=False)]),
+        )
+    ]
+    for rule in program:
+        head = tuple(rehome_atom(atom) for atom in rule.head)
+        body = [rehome_literal(literal) for literal in rule.body.literals]
+        if rule.name in visible_names:
+            rules.append(
+                Rule(
+                    f"{rule.name}#close",
+                    head + (Deletion(stage_view(rule.peer), Const(STAGE_KEY)),),
+                    Query(
+                        body
+                        + [
+                            RelLiteral(
+                                stage_view(rule.peer),
+                                (Const(STAGE_KEY), stage_var),
+                                positive=True,
+                            )
+                        ]
+                    ),
+                )
+            )
+            rules.append(
+                Rule(
+                    f"{rule.name}#nostage",
+                    head,
+                    Query(
+                        body
+                        + [
+                            KeyLiteral(
+                                stage_view(rule.peer), Const(STAGE_KEY), positive=False
+                            )
+                        ]
+                    ),
+                )
+            )
+        else:
+            rules.append(
+                Rule(
+                    f"{rule.name}#staged",
+                    head,
+                    Query(
+                        body
+                        + [
+                            RelLiteral(
+                                stage_view(rule.peer),
+                                (Const(STAGE_KEY), stage_var),
+                                positive=True,
+                            )
+                        ]
+                    ),
+                )
+            )
+    return WorkflowProgram(new_schema, rules)

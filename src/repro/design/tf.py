@@ -1,0 +1,112 @@
+"""Transparency-form (TF) programs (Definition 6.5).
+
+TF relaxes the design guidelines: instead of separating transparent and
+opaque relations at the schema level, transparency is tracked at the
+fact level (by the enforcement of Theorem 6.7).  A normal-form program
+is in TF for ``p`` when it satisfies (C1), (C2) and:
+
+* (C3') a head insertion ``+R@q(x, ȳ)`` into a relation ``p`` does not
+  see either creates a fresh key (``x`` head-only) or modifies a tuple
+  witnessed in the body — keys are never "reused" after deletion;
+* (C4') selections on relations ``p`` does not see use only attributes
+  the selecting peer projects (visibility of a fact for ``q`` must not
+  depend on values ``q`` cannot see).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import RelLiteral, Var
+from ..workflow.rules import Insertion
+from .guidelines import check_c1, check_c2
+
+
+def check_c3_prime(program: WorkflowProgram, peer: str) -> List[str]:
+    """(C3'): no key reuse on relations invisible at *peer*.
+
+    The motivation is preventing the *reuse of a key after it has been
+    deleted*, so an insertion with a constant or body-bound key and no
+    body witness is flagged only when the relation is deletable at all
+    (some rule deletes from it); on never-deleted relations such an
+    insertion is a creation-or-no-op and cannot resurrect a key.
+    """
+    violations: List[str] = []
+    schema = program.schema
+    deletable = {
+        atom.view.relation.name
+        for rule in program
+        for atom in rule.deletions()
+    }
+    for rule in program:
+        body_vars = rule.body.variables()
+        for atom in rule.head:
+            if not isinstance(atom, Insertion):
+                continue
+            name = atom.view.relation.name
+            if schema.peer_sees(name, peer):
+                continue
+            if name not in deletable:
+                continue
+            key = atom.key_term
+            if isinstance(key, Var) and key not in body_vars:
+                continue  # fresh key creation
+            witnessed = any(
+                isinstance(literal, RelLiteral)
+                and literal.positive
+                and literal.view.relation.name == name
+                and literal.key_term == key
+                for literal in rule.body.literals
+            )
+            if not witnessed:
+                violations.append(
+                    f"(C3') rule {rule.name}: insertion into invisible relation "
+                    f"{name} reuses key {key!r} without a body witness"
+                )
+    return violations
+
+
+def check_c4_prime(program: WorkflowProgram, peer: str) -> List[str]:
+    """(C4'): selections on p-invisible relations use projected attributes."""
+    violations: List[str] = []
+    schema = program.schema
+    for relation in schema.schema:
+        if schema.peer_sees(relation.name, peer):
+            continue
+        for view in schema.views_of_relation(relation.name):
+            extra = view.selection.attributes() - set(view.attributes)
+            if extra:
+                violations.append(
+                    f"(C4') selection of {view.name} uses hidden attributes "
+                    f"{sorted(extra)}"
+                )
+    return violations
+
+
+def check_transparency_form(
+    program: WorkflowProgram, peer: str, require_stage: bool = True
+) -> List[str]:
+    """All TF conditions of Definition 6.5.
+
+    The paper's TF includes (C2) — maintenance of the ``Stage``
+    relation; set *require_stage* to False when enforcement is performed
+    by the runtime monitor of :mod:`repro.design.enforce`, which tracks
+    stages itself and does not need the relation materialised.
+    """
+    violations: List[str] = []
+    if not program.is_normal_form():
+        violations.append("(TF) program is not in normal form")
+    violations.extend(check_c1(program, peer))
+    if require_stage:
+        violations.extend(check_c2(program, peer))
+    violations.extend(check_c3_prime(program, peer))
+    violations.extend(check_c4_prime(program, peer))
+    return violations
+
+
+def is_transparency_form(
+    program: WorkflowProgram, peer: str, require_stage: bool = True
+) -> bool:
+    """True iff *program* is in transparency-form for *peer*."""
+    return not check_transparency_form(program, peer, require_stage)

@@ -1,0 +1,67 @@
+"""Hardness gadgets from the paper's proofs.
+
+Executable versions of the reductions behind Theorem 3.3 (Hitting Set →
+minimum scenario length), Theorem 3.4 (UNSAT → scenario minimality) and
+the PCP machinery behind the undecidability results of Section 5, each
+paired with a brute-force reference solver for differential validation.
+"""
+
+from .formulas import (
+    AndExpr,
+    BoolExpr,
+    NotExpr,
+    OrExpr,
+    VarExpr,
+    assignments,
+    is_satisfiable,
+    random_cnf,
+    satisfying_assignment,
+)
+from .hitting_set import (
+    HittingSetInstance,
+    HittingSetReduction,
+    brute_force_hitting_set,
+    greedy_hitting_set,
+    hitting_set_to_workflow,
+    random_instance,
+)
+from .pcp import (
+    PCPInstance,
+    brute_force_solution,
+    pcp_workflow,
+    search_solution,
+    u_reachable,
+)
+from .sat import (
+    MinimalityReduction,
+    formula_to_condition,
+    scenario_for_assignment,
+    unsat_to_minimality,
+)
+
+__all__ = [
+    "AndExpr",
+    "BoolExpr",
+    "HittingSetInstance",
+    "HittingSetReduction",
+    "MinimalityReduction",
+    "NotExpr",
+    "OrExpr",
+    "PCPInstance",
+    "VarExpr",
+    "assignments",
+    "brute_force_hitting_set",
+    "brute_force_solution",
+    "formula_to_condition",
+    "greedy_hitting_set",
+    "hitting_set_to_workflow",
+    "is_satisfiable",
+    "pcp_workflow",
+    "random_cnf",
+    "random_instance",
+    "satisfying_assignment",
+    "scenario_for_assignment",
+    "search_solution",
+    "u_reachable",
+    "unsat_to_minimality",
+]

@@ -1,0 +1,131 @@
+"""Boolean formulas and brute-force satisfiability.
+
+Support machinery for the coNP-hardness reduction of Theorem 3.4:
+propositional formulas over named variables, evaluation, brute-force
+(exponential) satisfiability, and random formula generation for the
+experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+
+class BoolExpr:
+    """Base class for propositional formulas."""
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return AndExpr((self, other))
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return OrExpr((self, other))
+
+    def __invert__(self) -> "BoolExpr":
+        return NotExpr(self)
+
+
+@dataclass(frozen=True)
+class VarExpr(BoolExpr):
+    """A propositional variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return assignment[self.name]
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NotExpr(BoolExpr):
+    inner: BoolExpr
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return not self.inner.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.inner.variables()
+
+    def __repr__(self) -> str:
+        return f"¬({self.inner!r})"
+
+
+@dataclass(frozen=True)
+class AndExpr(BoolExpr):
+    parts: PyTuple[BoolExpr, ...]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(part.evaluate(assignment) for part in self.parts)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.variables() for part in self.parts)) if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class OrExpr(BoolExpr):
+    parts: PyTuple[BoolExpr, ...]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return any(part.evaluate(assignment) for part in self.parts)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset().union(*(part.variables() for part in self.parts)) if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+def assignments(variables: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """All 2^n truth assignments over *variables*."""
+    ordered = list(variables)
+    for values in itertools.product((False, True), repeat=len(ordered)):
+        yield dict(zip(ordered, values))
+
+
+def satisfying_assignment(
+    formula: BoolExpr, variables: Optional[Sequence[str]] = None
+) -> Optional[Dict[str, bool]]:
+    """A satisfying assignment, or None (brute force)."""
+    names = sorted(variables if variables is not None else formula.variables())
+    for assignment in assignments(names):
+        if formula.evaluate(assignment):
+            return assignment
+    return None
+
+
+def is_satisfiable(formula: BoolExpr, variables: Optional[Sequence[str]] = None) -> bool:
+    return satisfying_assignment(formula, variables) is not None
+
+
+def random_cnf(
+    n_variables: int, n_clauses: int, clause_size: int = 3, seed: Optional[int] = None
+) -> BoolExpr:
+    """A random CNF formula over ``x0..x<n-1>``."""
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(n_variables)]
+    clauses: List[BoolExpr] = []
+    for _ in range(n_clauses):
+        literals: List[BoolExpr] = []
+        for name in rng.sample(names, k=min(clause_size, len(names))):
+            literal: BoolExpr = VarExpr(name)
+            if rng.random() < 0.5:
+                literal = NotExpr(literal)
+            literals.append(literal)
+        clauses.append(OrExpr(tuple(literals)))
+    return AndExpr(tuple(clauses))

@@ -1,0 +1,152 @@
+"""The Hitting Set reduction of Theorem 3.3.
+
+Finding a minimum-length scenario is NP-complete: from a Hitting Set
+instance ``(V, {c_1..c_k}, M)`` one builds a propositional workflow with
+peers ``p`` (seeing only ``OK``) and ``q`` (seeing everything) and the
+run that fires every (a)-rule, every (b)-rule and finally (c); the run
+has a scenario of length at most ``M + k + 1`` at ``p`` iff the Hitting
+Set instance has a solution of size at most ``M``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.events import Event
+from ..workflow.parser import parse_program
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run, execute
+
+#: The peer observing only OK in the reduction.
+OBSERVER_PEER = "p"
+
+
+@dataclass(frozen=True)
+class HittingSetInstance:
+    """A Hitting Set instance: hit every set with at most *bound* elements.
+
+    Elements are 0..universe-1; sets are non-empty frozen subsets.
+    """
+
+    universe: int
+    sets: PyTuple[FrozenSet[int], ...]
+    bound: int
+
+    def __post_init__(self) -> None:
+        for subset in self.sets:
+            if not subset:
+                raise ValueError("hitting set instances need non-empty sets")
+            if not all(0 <= v < self.universe for v in subset):
+                raise ValueError("set element outside the universe")
+
+    def is_hitting_set(self, candidate: Set[int]) -> bool:
+        return all(candidate & subset for subset in self.sets)
+
+
+def brute_force_hitting_set(instance: HittingSetInstance) -> Optional[FrozenSet[int]]:
+    """A smallest hitting set within the bound, or None (exponential)."""
+    elements = range(instance.universe)
+    for size in range(0, instance.bound + 1):
+        for candidate in itertools.combinations(elements, size):
+            if instance.is_hitting_set(set(candidate)):
+                return frozenset(candidate)
+    return None
+
+
+def random_instance(
+    universe: int,
+    n_sets: int,
+    set_size: int,
+    bound: int,
+    seed: Optional[int] = None,
+) -> HittingSetInstance:
+    """A random Hitting Set instance."""
+    rng = random.Random(seed)
+    sets = tuple(
+        frozenset(rng.sample(range(universe), k=min(set_size, universe)))
+        for _ in range(n_sets)
+    )
+    return HittingSetInstance(universe, sets, bound)
+
+
+@dataclass(frozen=True)
+class HittingSetReduction:
+    """The workflow, run and threshold produced from a Hitting Set instance."""
+
+    instance: HittingSetInstance
+    program: WorkflowProgram
+    run: Run
+    peer: str
+    threshold: int  # scenario length bound: M + k + 1
+
+    def scenario_exists(self) -> bool:
+        """Decide the scenario question (NP side) by exact search."""
+        from ..core.scenarios import has_scenario_of_size
+
+        return has_scenario_of_size(self.run, self.peer, self.threshold)
+
+
+def hitting_set_to_workflow(instance: HittingSetInstance) -> HittingSetReduction:
+    """Build the Theorem 3.3 gadget.
+
+    Rules (all at peer ``q``):
+      (a) ``+V_i@q  :-``                      for each element i,
+      (b) ``+C_j@q  :- V_i@q``                for each i ∈ c_j,
+      (c) ``+OK@q   :- C_1@q, ..., C_k@q``.
+
+    The run fires all (a), then all (b), then (c).
+
+    >>> # reduction = hitting_set_to_workflow(instance)
+    >>> # reduction.scenario_exists() == (brute_force_hitting_set(...) is not None)
+    """
+    n = instance.universe
+    k = len(instance.sets)
+    lines: List[str] = ["peers p, q"]
+    for i in range(n):
+        lines.append(f"relation V{i}(K)")
+    for j in range(k):
+        lines.append(f"relation C{j}(K)")
+    lines.append("relation OK(K)")
+    for i in range(n):
+        lines.append(f"view V{i}@q(K)")
+    for j in range(k):
+        lines.append(f"view C{j}@q(K)")
+    lines.append("view OK@q(K)")
+    lines.append("view OK@p(K)")
+    for i in range(n):
+        lines.append(f"[a{i}] +V{i}@q(0) :-")
+    for j, subset in enumerate(instance.sets):
+        for i in sorted(subset):
+            lines.append(f"[b{j}_{i}] +C{j}@q(0) :- V{i}@q(0)")
+    ok_body = ", ".join(f"C{j}@q(0)" for j in range(k))
+    lines.append(f"[c] +OK@q(0) :- {ok_body}")
+    program = parse_program("\n".join(lines))
+    events: List[Event] = []
+    for i in range(n):
+        events.append(Event(program.rule(f"a{i}"), {}))
+    for j, subset in enumerate(instance.sets):
+        for i in sorted(subset):
+            events.append(Event(program.rule(f"b{j}_{i}"), {}))
+    events.append(Event(program.rule("c"), {}))
+    run = execute(program, events)
+    return HittingSetReduction(
+        instance, program, run, OBSERVER_PEER, instance.bound + k + 1
+    )
+
+
+def greedy_hitting_set(instance: HittingSetInstance) -> FrozenSet[int]:
+    """The standard greedy approximation (most-sets-hit first)."""
+    remaining = list(instance.sets)
+    chosen: Set[int] = set()
+    while remaining:
+        counts: Dict[int, int] = {}
+        for subset in remaining:
+            for element in subset:
+                counts[element] = counts.get(element, 0) + 1
+        best = max(counts, key=lambda element: (counts[element], -element))
+        chosen.add(best)
+        remaining = [subset for subset in remaining if best not in subset]
+    return frozenset(chosen)

@@ -1,0 +1,144 @@
+"""The Post Correspondence Problem gadget (Theorems 5.4 / 5.9).
+
+The undecidability arguments of Section 5 rest on (?): it is
+undecidable whether a workflow program can reach an instance with a
+non-empty unary relation ``U``.  The proof encodes PCP: a builder peer
+nondeterministically appends dominoes to a pair of letter sequences,
+and a checker peer advances a matching pointer cell by cell; ``U``
+becomes non-empty exactly when the top and bottom sequences agree and
+end together — i.e. when the PCP instance has a solution.
+
+The encoding here is fully executable: sequences are linked lists of
+keyed cells (``TopCell(K, letter, prev)``), dominoes are appended in a
+single multi-insert event, and matching is a datalog-style walk.  Of
+course no procedure decides reachability in general (that is the
+theorem); :func:`search_solution` explores runs up to a depth bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.enumerate import enumerate_event_sequences
+from ..workflow.parser import parse_program
+from ..workflow.program import WorkflowProgram
+
+
+@dataclass(frozen=True)
+class PCPInstance:
+    """A PCP instance: dominoes of (top, bottom) words over an alphabet."""
+
+    dominoes: PyTuple[PyTuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.dominoes:
+            raise ValueError("a PCP instance needs at least one domino")
+        for top, bottom in self.dominoes:
+            if not top and not bottom:
+                raise ValueError("the empty domino is not allowed")
+
+    def check(self, indices: Sequence[int]) -> bool:
+        """Does the domino sequence *indices* solve the instance?"""
+        if not indices:
+            return False
+        top = "".join(self.dominoes[i][0] for i in indices)
+        bottom = "".join(self.dominoes[i][1] for i in indices)
+        return top == bottom
+
+
+def brute_force_solution(
+    instance: PCPInstance, max_length: int
+) -> Optional[PyTuple[int, ...]]:
+    """A solution of at most *max_length* dominoes, or None (bounded search)."""
+    for length in range(1, max_length + 1):
+        for indices in itertools.product(range(len(instance.dominoes)), repeat=length):
+            if instance.check(indices):
+                return tuple(indices)
+    return None
+
+
+def pcp_workflow(instance: PCPInstance) -> WorkflowProgram:
+    """The workflow program whose runs can flag ``U`` iff PCP is solvable.
+
+    Peers: ``builder`` appends dominoes and maintains the sequence
+    heads; ``checker`` advances the match pointer; ``observer`` sees
+    only ``U``.
+
+    >>> # program = pcp_workflow(PCPInstance((("a", "a"),)))
+    >>> # search_solution(program, max_events=4)
+    """
+    lines: List[str] = [
+        "peers builder, checker, observer",
+        "relation TopCell(K, letter, prev)",
+        "relation BotCell(K, letter, prev)",
+        "relation Head(K, top, bot)",
+        "relation Match(K, top, bot)",
+        "relation U(K)",
+        "view TopCell@builder(K, letter, prev)",
+        "view BotCell@builder(K, letter, prev)",
+        "view Head@builder(K, top, bot)",
+        "view TopCell@checker(K, letter, prev)",
+        "view BotCell@checker(K, letter, prev)",
+        "view Head@checker(K, top, bot)",
+        "view Match@checker(K, top, bot)",
+        "view U@checker(K)",
+        "view U@observer(K)",
+        # The roots: shared sentinel cells for both sequences and a
+        # fresh-keyed head pointing at them.  Heads are keyed by fresh
+        # values because a single event cannot delete and re-insert the
+        # same key (the disjoint-updates condition of Section 2).
+        "[init] +TopCell@builder('rootT', '#', null), "
+        "+BotCell@builder('rootB', '#', null), "
+        "+Head@builder(h, 'rootT', 'rootB') :- not Key[TopCell]@builder('rootT')",
+        "[seed_match] +Match@checker(m, 'rootT', 'rootB') :- Head@checker(h, t, b)",
+    ]
+    # Appending domino i: chain the top letters after the current top
+    # head, the bottom letters after the bottom head, and move the head.
+    for index, (top, bottom) in enumerate(instance.dominoes):
+        atoms: List[str] = []
+        top_prev = "t"
+        for position, letter in enumerate(top):
+            cell = f"nt{position}"
+            atoms.append(f"+TopCell@builder({cell}, '{letter}', {top_prev})")
+            top_prev = cell
+        bottom_prev = "b"
+        for position, letter in enumerate(bottom):
+            cell = f"nb{position}"
+            atoms.append(f"+BotCell@builder({cell}, '{letter}', {bottom_prev})")
+            bottom_prev = cell
+        atoms.append(f"+Head@builder(h2, {top_prev}, {bottom_prev})")
+        atoms.append("-Key[Head]@builder(h)")
+        lines.append(
+            f"[domino{index}] " + ", ".join(atoms) + " :- Head@builder(h, t, b)"
+        )
+    # Matching: advance one equal letter on both sides.
+    lines.append(
+        "[advance] +Match@checker(m2, t2, b2) :- Match@checker(m, t, b), "
+        "TopCell@checker(t2, l, t), BotCell@checker(b2, l, b)"
+    )
+    # Success: the match pointer reaches the heads past the sentinels.
+    lines.append(
+        "[flag] +U@checker(u) :- Match@checker(m, t, b), "
+        "Head@checker(h, t, b), t != 'rootT'"
+    )
+    return parse_program("\n".join(lines))
+
+
+def u_reachable(program: WorkflowProgram, max_events: int) -> bool:
+    """Bounded exploration: can ``U`` become non-empty within *max_events*?
+
+    This implements the (necessarily incomplete) positive side of (?):
+    a True answer certifies a PCP solution; False only means none was
+    found within the bound.
+    """
+    for _events, instance in enumerate_event_sequences(program, max_events):
+        if instance.keys("U"):
+            return True
+    return False
+
+
+def search_solution(instance: PCPInstance, max_events: int) -> bool:
+    """Search the workflow encoding for a solution witness."""
+    return u_reachable(pcp_workflow(instance), max_events)

@@ -1,0 +1,121 @@
+"""The UNSAT reduction of Theorem 3.4.
+
+Testing whether a run is a *minimal* scenario is coNP-complete: from a
+Boolean formula ``φ`` over ``x_1..x_n`` (not satisfied by the all-true
+assignment) one builds a workflow over a single relation
+``R(K, A_x1..A_xn, A_q)`` with a peer ``p_x`` per variable (seeing
+``K, A_x``), a peer ``q`` (seeing ``K, A_q``), and the observer ``p``
+seeing the projection on ``K`` under the selection
+``(A_q = 1) ∧ (β ∨ β_φ)`` — ``β`` says all variables are 1 and ``β_φ``
+encodes ``φ``.  The run ``r_x1 … r_xn e`` is a minimal scenario of
+itself at ``p`` iff ``φ`` is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.conditions import And, Condition, Eq, Not, Or, conjunction
+from ..workflow.events import Event
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Const, Query
+from ..workflow.rules import Insertion, Rule
+from ..workflow.runs import Run, execute
+from ..workflow.schema import Relation, Schema
+from ..workflow.views import CollaborativeSchema, View
+from .formulas import AndExpr, BoolExpr, NotExpr, OrExpr, VarExpr
+
+#: The observing peer of the reduction.
+OBSERVER_PEER = "p"
+
+
+def formula_to_condition(formula: BoolExpr) -> Condition:
+    """``β_φ``: translate ``φ`` to a selection condition.
+
+    A variable ``x`` is true iff the attribute ``A_x`` equals 1.
+    """
+    if isinstance(formula, VarExpr):
+        return Eq(f"A_{formula.name}", 1)
+    if isinstance(formula, NotExpr):
+        return Not(formula_to_condition(formula.inner))
+    if isinstance(formula, AndExpr):
+        return And(tuple(formula_to_condition(part) for part in formula.parts))
+    if isinstance(formula, OrExpr):
+        return Or(tuple(formula_to_condition(part) for part in formula.parts))
+    raise TypeError(f"unsupported formula node: {formula!r}")
+
+
+@dataclass(frozen=True)
+class MinimalityReduction:
+    """The gadget of Theorem 3.4 for one formula."""
+
+    formula: BoolExpr
+    program: WorkflowProgram
+    run: Run
+    peer: str
+
+    def run_is_minimal_scenario(self) -> bool:
+        """Decide minimality (the coNP side) by exact search."""
+        from ..core.scenarios import is_minimal_scenario
+
+        return is_minimal_scenario(self.run, self.peer, range(len(self.run)))
+
+
+def unsat_to_minimality(formula: BoolExpr) -> MinimalityReduction:
+    """Build the Theorem 3.4 gadget for *formula*.
+
+    Precondition (*): the all-true assignment must falsify the formula
+    (without loss of generality in the reduction; checked here).
+
+    >>> # reduction = unsat_to_minimality(formula)
+    >>> # reduction.run_is_minimal_scenario() == (formula is unsatisfiable)
+    """
+    variables = sorted(formula.variables())
+    all_true = {name: True for name in variables}
+    if formula.evaluate(all_true):
+        raise ValueError(
+            "Theorem 3.4 precondition (*): the all-true assignment must "
+            "falsify the formula"
+        )
+    attributes = ("K",) + tuple(f"A_{name}" for name in variables) + ("A_q",)
+    relation = Relation("R", attributes)
+    schema = Schema([relation])
+    peers = [OBSERVER_PEER, "q"] + [f"p_{name}" for name in variables]
+    beta = conjunction([Eq(f"A_{name}", 1) for name in variables])
+    selection = And((Eq("A_q", 1), Or((beta, formula_to_condition(formula)))))
+    views: List[View] = [View(relation, OBSERVER_PEER, ("K",), selection)]
+    views.append(View(relation, "q", ("K", "A_q")))
+    for name in variables:
+        views.append(View(relation, f"p_{name}", ("K", f"A_{name}")))
+    cschema = CollaborativeSchema(schema, peers, views)
+    rules: List[Rule] = []
+    for name in variables:
+        view = cschema.view("R", f"p_{name}")
+        rules.append(
+            Rule(f"r_{name}", (Insertion(view, (Const(0), Const(1))),), Query(()))
+        )
+    q_view = cschema.view("R", "q")
+    rules.append(Rule("e", (Insertion(q_view, (Const(0), Const(1))),), Query(())))
+    program = WorkflowProgram(cschema, rules)
+    events = [Event(program.rule(f"r_{name}"), {}) for name in variables]
+    events.append(Event(program.rule("e"), {}))
+    run = execute(program, events)
+    return MinimalityReduction(formula, program, run, OBSERVER_PEER)
+
+
+def scenario_for_assignment(
+    reduction: MinimalityReduction, assignment: Dict[str, bool]
+) -> PyTuple[int, ...]:
+    """The candidate subsequence ``ρ_ν`` for a truth assignment.
+
+    Keeps the ``r_x`` events of the variables set to true, plus the
+    final ``e``; by the proof, it is a scenario iff ``φ(ν)`` holds or
+    all variables are true.
+    """
+    variables = sorted(reduction.formula.variables())
+    positions = [
+        index for index, name in enumerate(variables) if assignment.get(name, False)
+    ]
+    positions.append(len(variables))  # the event e
+    return tuple(positions)

@@ -1,0 +1,111 @@
+"""Transparency, boundedness and view-program synthesis (Section 5).
+
+Static explanations: decide whether a program is h-bounded and
+transparent for a peer (Theorems 5.10/5.11), and for such programs
+synthesize the view program ``P@p`` whose runs are exactly the peer's
+views of the global runs, with provenance in the rule bodies (Theorem
+5.13).
+"""
+
+from .bounded import (
+    BoundednessResult,
+    SearchBudget,
+    check_h_bounded,
+    guess_bound_from_traces,
+    iter_boundedness_witnesses,
+    smallest_bound,
+)
+from .equivalence import (
+    EquivalenceReport,
+    Observation,
+    canonical_content,
+    check_view_program,
+    find_source_run,
+    find_view_run,
+    observations_of_run,
+    observations_of_view_run,
+)
+from .faithful_runs import (
+    SilentFaithfulRun,
+    is_minimum_faithful_run,
+    is_mostly_silent,
+    iter_silent_faithful_runs,
+    longest_silent_faithful_run,
+    run_on,
+)
+from .freshness import FreshWitness, is_p_fresh, iter_p_fresh_instances, p_fresh_instances
+from .instances import (
+    PoolConstant,
+    constant_pool,
+    count_instances,
+    default_pool_size,
+    enumerate_instances,
+)
+from .trees import (
+    TreeEquivalenceReport,
+    ViewTree,
+    check_tree_equivalence,
+    source_view_tree,
+    view_program_tree,
+)
+from .transparent import (
+    TransparencyResult,
+    TransparencyViolation,
+    check_transparent,
+    check_transparent_and_bounded,
+)
+from .viewprogram import (
+    WORLD,
+    SynthesisWitness,
+    SynthesizedRule,
+    ViewProgramSynthesis,
+    synthesize_view_program,
+    view_world_schema,
+)
+
+__all__ = [
+    "WORLD",
+    "BoundednessResult",
+    "EquivalenceReport",
+    "FreshWitness",
+    "Observation",
+    "PoolConstant",
+    "SearchBudget",
+    "SilentFaithfulRun",
+    "SynthesisWitness",
+    "TreeEquivalenceReport",
+    "SynthesizedRule",
+    "TransparencyResult",
+    "TransparencyViolation",
+    "ViewProgramSynthesis",
+    "canonical_content",
+    "check_h_bounded",
+    "ViewTree",
+    "check_transparent",
+    "check_transparent_and_bounded",
+    "check_tree_equivalence",
+    "check_view_program",
+    "constant_pool",
+    "count_instances",
+    "default_pool_size",
+    "enumerate_instances",
+    "find_source_run",
+    "guess_bound_from_traces",
+    "find_view_run",
+    "is_minimum_faithful_run",
+    "is_mostly_silent",
+    "is_p_fresh",
+    "iter_boundedness_witnesses",
+    "iter_p_fresh_instances",
+    "iter_silent_faithful_runs",
+    "longest_silent_faithful_run",
+    "observations_of_run",
+    "observations_of_view_run",
+    "p_fresh_instances",
+    "run_on",
+    "smallest_bound",
+    "source_view_tree",
+    "synthesize_view_program",
+    "view_program_tree",
+    "view_world_schema",
+]

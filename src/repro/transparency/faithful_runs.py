@@ -1,0 +1,135 @@
+"""Minimum p-faithful runs on arbitrary initial instances (Section 5).
+
+A run ``α`` on initial instance ``I`` is a *minimum p-faithful run* when
+``α = T_p^ω(α, v̄)`` for ``v̄`` the events of ``α`` visible at ``p`` —
+i.e. it is its own minimum p-faithful scenario.  Transparency and
+boundedness quantify over the minimum p-faithful runs in which all
+events but the last are silent at ``p``; this module searches for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import FreshValueSource
+from ..workflow.engine import apply_event
+from ..workflow.enumerate import applicable_events
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run
+from ..core.faithful import FaithfulnessAnalysis
+
+
+def run_on(
+    program: WorkflowProgram, events: Sequence[Event], initial: Instance
+) -> Optional[Run]:
+    """The run of *events* on *initial*, or None if not applicable.
+
+    Freshness is not enforced here; the callers manage ``new(α)``
+    disjointness hypotheses explicitly, following Lemma A.3.
+    """
+    instance = initial
+    instances: List[Instance] = []
+    for event in events:
+        try:
+            instance = apply_event(program.schema, instance, event, None)
+        except Exception:
+            return None
+        instances.append(instance)
+    return Run(program, initial, list(events), instances)
+
+
+def is_minimum_faithful_run(run: Run, peer: str) -> bool:
+    """Is *run* its own minimum p-faithful scenario?"""
+    analysis = FaithfulnessAnalysis(run, peer)
+    visible = run.visible_indices(peer)
+    return analysis.closure(visible) == frozenset(range(len(run)))
+
+
+def is_mostly_silent(run: Run, peer: str) -> bool:
+    """All events but the last are silent at *peer*; the last is visible."""
+    if not len(run):
+        return False
+    if not run.visible_at(peer, len(run) - 1):
+        return False
+    return all(not run.visible_at(peer, i) for i in range(len(run) - 1))
+
+
+@dataclass(frozen=True)
+class SilentFaithfulRun:
+    """A minimum p-faithful run whose only visible event is the last."""
+
+    initial: Instance
+    run: Run
+
+    @property
+    def events(self) -> PyTuple[Event, ...]:
+        return self.run.events
+
+    def __len__(self) -> int:
+        return len(self.run)
+
+
+def iter_silent_faithful_runs(
+    program: WorkflowProgram,
+    peer: str,
+    initial: Instance,
+    max_length: int,
+    fresh_start: int = 50_000,
+    skip_noop_silent: bool = True,
+) -> Iterator[SilentFaithfulRun]:
+    """All minimum p-faithful, mostly-silent runs on *initial*.
+
+    Performs a DFS over applicable events: silent events extend the
+    prefix, visible events terminate a candidate, and each candidate is
+    kept iff it is a minimum p-faithful run.  Fresh values for head-only
+    variables are minted canonically (sufficient up to isomorphism,
+    Lemma A.2).  Silent events that do not change the instance are
+    skipped by default: they can never belong to a minimum faithful run
+    (they are neither boundary nor modification events, hence never
+    required).
+    """
+    schema = program.schema
+
+    def visible(event: Event, before: Instance, after: Instance) -> bool:
+        if event.peer == peer:
+            return True
+        return schema.view_instance(before, peer) != schema.view_instance(after, peer)
+
+    def recurse(
+        prefix: List[Event], instance: Instance, fresh_index: int
+    ) -> Iterator[SilentFaithfulRun]:
+        if len(prefix) >= max_length:
+            return
+        source = FreshValueSource(start=fresh_index)
+        source.observe(program.constants())
+        source.observe(instance.active_domain())
+        source.observe(initial.active_domain())
+        for event in applicable_events(program, instance, source):
+            successor = apply_event(schema, instance, event, None, check_body=False)
+            if visible(event, instance, successor):
+                candidate = run_on(program, prefix + [event], initial)
+                if candidate is not None and is_minimum_faithful_run(candidate, peer):
+                    yield SilentFaithfulRun(initial, candidate)
+            else:
+                if skip_noop_silent and successor == instance:
+                    continue
+                yield from recurse(prefix + [event], successor, fresh_index + 64)
+
+    yield from recurse([], initial, fresh_start)
+
+
+def longest_silent_faithful_run(
+    program: WorkflowProgram,
+    peer: str,
+    initial: Instance,
+    max_length: int,
+) -> Optional[SilentFaithfulRun]:
+    """The longest silent minimum-faithful run on *initial*, up to the bound."""
+    best: Optional[SilentFaithfulRun] = None
+    for candidate in iter_silent_faithful_runs(program, peer, initial, max_length):
+        if best is None or len(candidate) > len(best):
+            best = candidate
+    return best

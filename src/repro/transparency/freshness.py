@@ -1,0 +1,140 @@
+"""p-fresh instances (Definition 5.5).
+
+An instance is *p-fresh* when it is empty or is the result of an event
+visible at ``p`` applied to some instance.  Transparency (Definition
+5.6) quantifies over p-fresh instances; this module enumerates them over
+a bounded constant pool by forward search: enumerate predecessor
+instances, fire every applicable visible event, and collect the results.
+
+Applicability here follows the transition relation of Section 2 without
+the run-level freshness condition, so head-only variables may take
+values already present in the predecessor (cf. Example 5.7, where the
+instance ``{Cleared(Sue), Approved(Sue)}`` is Sue-fresh via the event
+``+Cleared@hr(Sue)`` on ``{Approved(Sue)}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.engine import apply_event
+from ..workflow.enumerate import applicable_events
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from .instances import enumerate_instances
+
+
+@dataclass(frozen=True)
+class FreshWitness:
+    """Evidence that an instance is p-fresh: ``event(predecessor) = instance``."""
+
+    predecessor: Instance
+    event: Event
+
+
+def iter_p_fresh_instances(
+    program: WorkflowProgram,
+    peer: str,
+    pool: Sequence[object],
+    max_tuples_per_relation: int,
+    max_predecessors: Optional[int] = None,
+    witness_freshness: bool = True,
+) -> Iterator[PyTuple[Instance, Optional[FreshWitness]]]:
+    """Enumerate p-fresh instances over *pool* with witnesses.
+
+    Yields the empty instance first (p-fresh by definition, witness
+    None), then every distinct result of a visible event fired on an
+    enumerated predecessor.  Head-only variables range over the pool, so
+    results stay within pool values and the enumeration is sound up to
+    isomorphism (Lemma A.2).
+
+    *witness_freshness* (default True) requires the witness event's
+    head-only values to be fresh with respect to the predecessor (not in
+    ``adom(I') ∪ const(P)``), matching the run-level freshness
+    condition.  This is the reading under which the Stage construction of
+    Example 5.7 / Section 6 is transparent: a stage id "refreshed" by the
+    observing peer cannot collide with stale invisible facts.  Pass False
+    for the literal Definition 5.5 reading (plain applicability), under
+    which Example 5.7's instance ``{Cleared(Sue), Approved(Sue)}`` is
+    Sue-fresh via ``+Cleared@hr(Sue)`` on ``{Approved(Sue)}``.
+    """
+    schema = program.schema
+    constants = program.constants()
+    empty = Instance.empty(schema.schema)
+    seen: Set[Instance] = {empty}
+    yield empty, None
+    checked = 0
+    for predecessor in enumerate_instances(
+        schema.schema, pool, max_tuples_per_relation
+    ):
+        if max_predecessors is not None and checked >= max_predecessors:
+            return
+        checked += 1
+        if witness_freshness:
+            taken = predecessor.active_domain() | set(constants)
+            allowed = [value for value in pool if value not in taken]
+        else:
+            allowed = list(pool)
+        for event in applicable_events(
+            program, predecessor, head_only_values=allowed
+        ):
+            if any(value not in allowed for value in event.head_only_values()):
+                continue  # keep results within the pool
+            successor = apply_event(
+                schema, predecessor, event, forbidden_fresh=None, check_body=False
+            )
+            if event.peer != peer:
+                before = schema.view_instance(predecessor, peer)
+                after = schema.view_instance(successor, peer)
+                if before == after:
+                    continue  # invisible at p
+            if successor in seen:
+                continue
+            seen.add(successor)
+            yield successor, FreshWitness(predecessor, event)
+
+
+def p_fresh_instances(
+    program: WorkflowProgram,
+    peer: str,
+    pool: Sequence[object],
+    max_tuples_per_relation: int,
+    max_predecessors: Optional[int] = None,
+    witness_freshness: bool = True,
+) -> List[PyTuple[Instance, Optional[FreshWitness]]]:
+    """The list version of :func:`iter_p_fresh_instances`."""
+    return list(
+        iter_p_fresh_instances(
+            program,
+            peer,
+            pool,
+            max_tuples_per_relation,
+            max_predecessors,
+            witness_freshness,
+        )
+    )
+
+
+def is_p_fresh(
+    program: WorkflowProgram,
+    peer: str,
+    instance: Instance,
+    pool: Sequence[object],
+    max_tuples_per_relation: int,
+    witness_freshness: bool = True,
+) -> Optional[FreshWitness]:
+    """A witness that *instance* is p-fresh, or None if none found.
+
+    The empty instance is p-fresh by definition; a dedicated sentinel
+    witness with the instance itself as predecessor is returned for it.
+    """
+    if instance.is_empty():
+        return FreshWitness(instance, None)  # type: ignore[arg-type]
+    for candidate, witness in iter_p_fresh_instances(
+        program, peer, pool, max_tuples_per_relation, None, witness_freshness
+    ):
+        if candidate == instance:
+            return witness
+    return None

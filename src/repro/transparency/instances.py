@@ -1,0 +1,123 @@
+"""Bounded enumeration of instances over a finite constant pool.
+
+The decision procedures of Section 5 (Theorems 5.10 and 5.11) reduce to
+checks over instances and event sequences using values from a bounded
+constant set ``C_m`` (constants of the program plus polynomially many
+fresh constants) — invariance under isomorphism (Lemma A.2) makes this
+sound.  This module provides the constant pools and the (exponential,
+as the PSPACE bounds allow) instance enumeration they require.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import NULL
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.schema import Relation, Schema
+from ..workflow.tuples import Tuple
+
+
+@dataclass(frozen=True)
+class PoolConstant:
+    """A distinguished fresh constant of the pool ``C_m``."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"c{self.index}"
+
+
+def constant_pool(program: WorkflowProgram, extra: int) -> PyTuple[object, ...]:
+    """``C_m``: the program's constants plus *extra* fresh pool constants.
+
+    The pool never includes ``⊥`` (instances cannot hold null keys and
+    the enumerators add ``⊥`` separately for non-key attributes).
+    """
+    base = sorted(
+        (c for c in program.constants() if c is not NULL), key=repr
+    )
+    return tuple(base) + tuple(PoolConstant(i) for i in range(extra))
+
+
+def default_pool_size(program: WorkflowProgram, h: int) -> int:
+    """A generous bound on ``c_{h+1}`` (values in h+1 events + instance).
+
+    Each event instantiates at most (body literals + head updates) ×
+    max-arity values; the initial instance contributes keys drawn from
+    the events.  The theorem only needs the pool to be large enough, so
+    we over-approximate and let callers cap it for tractability.
+    """
+    atoms = program.max_body_size() + program.max_head_size()
+    arity = program.schema.schema.max_arity()
+    return max(1, (h + 1) * max(1, atoms) * max(1, arity))
+
+
+def enumerate_relation_contents(
+    relation: Relation,
+    keys: Sequence[object],
+    values: Sequence[object],
+    max_tuples: int,
+) -> Iterator[PyTuple[Tuple, ...]]:
+    """All contents of one relation: up to *max_tuples* tuples.
+
+    Keys range over *keys* (pairwise distinct per instance); non-key
+    attributes range over *values* plus ``⊥``.
+    """
+    value_pool: List[object] = [NULL] + list(values)
+    nonkey = len(relation.nonkey_attributes)
+    yield ()
+    for count in range(1, max_tuples + 1):
+        if count > len(keys):
+            return
+        for key_choice in itertools.combinations(keys, count):
+            for rows in itertools.product(
+                itertools.product(value_pool, repeat=nonkey), repeat=count
+            ):
+                yield tuple(
+                    Tuple(relation.attributes, (key,) + row)
+                    for key, row in zip(key_choice, rows)
+                )
+
+
+def enumerate_instances(
+    schema: Schema,
+    pool: Sequence[object],
+    max_tuples_per_relation: int,
+    relations: Optional[Sequence[str]] = None,
+) -> Iterator[Instance]:
+    """All instances over *pool* with bounded relation sizes.
+
+    WARNING: the count grows very fast; keep pools and bounds small (the
+    procedures of Section 5 are PSPACE-hard in general).
+    """
+    chosen = [schema.relation(name) for name in relations] if relations else list(schema)
+    per_relation = [
+        list(enumerate_relation_contents(r, pool, pool, max_tuples_per_relation))
+        for r in chosen
+    ]
+    for combination in itertools.product(*per_relation):
+        data = {
+            relation.name: tuples
+            for relation, tuples in zip(chosen, combination)
+        }
+        yield Instance.from_tuples(schema, data)
+
+
+def count_instances(
+    schema: Schema, pool: Sequence[object], max_tuples_per_relation: int
+) -> int:
+    """The number of instances :func:`enumerate_instances` would yield."""
+    total = 1
+    for relation in schema:
+        per = sum(
+            1
+            for _ in enumerate_relation_contents(
+                relation, pool, pool, max_tuples_per_relation
+            )
+        )
+        total *= per
+    return total

@@ -1,0 +1,181 @@
+"""Deciding transparency for h-bounded programs (Theorem 5.11).
+
+A program is *transparent* for ``p`` (Definition 5.6) when, for all
+p-fresh instances ``I, J`` with ``I@p = J@p``, every minimum p-faithful
+run ``α`` on ``I`` whose events are all silent at ``p`` except the last
+(and whose new values avoid ``adom(J)``) is also such a run on ``J``,
+with ``α(I)@p = α(J)@p``: what other peers may do to ``p``'s view is
+determined by what ``p`` sees.
+
+For h-bounded programs, violations have witnesses over bounded
+instances (the proof of Theorem 5.11), so :func:`check_transparent`
+performs a bounded exhaustive check: enumerate p-fresh instances over
+the pool, group them by their p-view, and replay each silent minimum
+faithful run of each group member on every other member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from .bounded import SearchBudget, check_h_bounded
+from .faithful_runs import (
+    SilentFaithfulRun,
+    is_minimum_faithful_run,
+    is_mostly_silent,
+    iter_silent_faithful_runs,
+    run_on,
+)
+from .freshness import iter_p_fresh_instances
+
+
+@dataclass(frozen=True)
+class TransparencyViolation:
+    """A counterexample to Definition 5.6."""
+
+    instance: Instance  # I: the silent faithful run applies here ...
+    other: Instance  # J: ... but not equivalently here, although I@p = J@p
+    events: PyTuple[Event, ...]
+    reason: str
+
+    def describe(self) -> str:
+        names = ", ".join(e.rule.name for e in self.events)
+        return (
+            f"run [{names}] on {self.instance!r} is not mirrored on "
+            f"{self.other!r}: {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
+class TransparencyResult:
+    """Outcome of a transparency check."""
+
+    transparent: bool
+    violation: Optional[TransparencyViolation] = None
+    pairs_checked: int = 0
+    exhausted: bool = True
+
+    def __bool__(self) -> bool:
+        return self.transparent
+
+
+def _mirror_failure(
+    program: WorkflowProgram,
+    peer: str,
+    source: Instance,
+    target: Instance,
+    candidate: SilentFaithfulRun,
+) -> Optional[str]:
+    """Why *candidate* (a silent faithful run on *source*) fails on *target*."""
+    events = list(candidate.events)
+    mirrored = run_on(program, events, target)
+    if mirrored is None:
+        return "the event sequence is not applicable"
+    if not is_mostly_silent(mirrored, peer):
+        return "visibility pattern differs (not all-but-last silent)"
+    if not is_minimum_faithful_run(mirrored, peer):
+        return "not a minimum p-faithful run on the other instance"
+    schema = program.schema
+    final_source = schema.view_instance(candidate.run.final_instance, peer)
+    final_target = schema.view_instance(mirrored.final_instance, peer)
+    if final_source != final_target:
+        return "final p-views differ"
+    return None
+
+
+def check_transparent(
+    program: WorkflowProgram,
+    peer: str,
+    h: int,
+    budget: SearchBudget = SearchBudget(),
+    require_bounded: bool = False,
+    witness_freshness: bool = True,
+) -> TransparencyResult:
+    """Decide transparency of an h-bounded *program* for *peer*.
+
+    The check is exact relative to the pool/budget (Theorem 5.11 bounds
+    counterexample sizes for h-bounded programs).  Set *require_bounded*
+    to first verify h-boundedness and raise if it fails.
+
+    >>> # result = check_transparent(program, "sue", h=2)
+    >>> # result.transparent, result.violation
+    """
+    if require_bounded:
+        bounded = check_h_bounded(program, peer, h, budget)
+        if not bounded:
+            raise ValueError(
+                f"program is not {h}-bounded for {peer!r}; transparency "
+                "check requires boundedness"
+            )
+    pool = budget.resolve_pool(program, h)
+    schema = program.schema
+    # Group p-fresh instances by their p-view.
+    groups: Dict[Instance, List[Instance]] = {}
+    count = 0
+    for instance, _witness in iter_p_fresh_instances(
+        program,
+        peer,
+        pool,
+        budget.max_tuples_per_relation,
+        max_predecessors=budget.max_instances,
+        witness_freshness=witness_freshness,
+    ):
+        groups.setdefault(schema.view_instance(instance, peer), []).append(instance)
+        count += 1
+    exhausted = budget.max_instances is None
+    pairs = 0
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        # Silent faithful runs are enumerated once per member and
+        # replayed on every other member of the same view-group.
+        runs_of: Dict[int, List[SilentFaithfulRun]] = {}
+        for index, source in enumerate(members):
+            runs_of[index] = list(
+                iter_silent_faithful_runs(program, peer, source, max_length=h)
+            )
+        for i, source in enumerate(members):
+            for j, target in enumerate(members):
+                if i == j:
+                    continue
+                pairs += 1
+                for candidate in runs_of[i]:
+                    # new(α) values are canonically minted fresh values,
+                    # disjoint from pool-valued instances by construction
+                    # (the adom(J) ∩ new(α) = ∅ side condition).
+                    reason = _mirror_failure(program, peer, source, target, candidate)
+                    if reason is not None:
+                        return TransparencyResult(
+                            False,
+                            TransparencyViolation(
+                                source, target, candidate.events, reason
+                            ),
+                            pairs,
+                            exhausted,
+                        )
+    return TransparencyResult(True, None, pairs, exhausted)
+
+
+def check_transparent_and_bounded(
+    program: WorkflowProgram,
+    peer: str,
+    h: int,
+    budget: SearchBudget = SearchBudget(),
+) -> PyTuple[bool, Optional[object]]:
+    """Theorem 5.11 (ii): decide h-boundedness and transparency together.
+
+    Returns ``(True, None)`` or ``(False, witness)`` where the witness is
+    a :class:`~repro.transparency.bounded.BoundednessResult` witness run
+    or a :class:`TransparencyViolation`.
+    """
+    bounded = check_h_bounded(program, peer, h, budget)
+    if not bounded:
+        return False, bounded.witness
+    result = check_transparent(program, peer, h, budget)
+    if not result:
+        return False, result.violation
+    return True, None

@@ -1,0 +1,244 @@
+"""Tree-of-runs equivalence for view programs (Remark 5.2).
+
+Soundness and completeness of a view program are stated over *linear*
+runs: every view of a run of ``P`` is a run of ``P@p`` and vice versa.
+Remark 5.2 points out this is weaker than what a peer might expect: a
+view program may offer a transition (e.g. ``+Hire@ω(x) :- Cleared@ω(x)``)
+that is possible in *some* matching run of ``P`` but not in *every* one,
+because it also depends on hidden state.  The stronger requirement —
+equivalence of the *trees* of runs as seen by the peer — holds for
+transparent programs; the paper omits the formal development, and this
+module supplies a bounded, executable version of it.
+
+The *view tree* of depth ``d`` of a system at a state is the set of
+pairs ``(observation, subtree)`` over all observable transitions: for
+the source program, up to ``max_silent`` silent events followed by one
+visible one; for the view program, single events.  Observations carry
+the acting side (the peer itself vs. ω) and the peer's resulting view
+with non-constant values canonicalised per branch, so trees of the two
+systems are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import FreshValueSource
+from ..workflow.engine import apply_event
+from ..workflow.enumerate import applicable_events
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from .viewprogram import WORLD, ViewProgramSynthesis
+
+
+@dataclass(frozen=True)
+class ViewTree:
+    """A canonical, hashable view tree of bounded depth."""
+
+    branches: FrozenSet[PyTuple[object, FrozenSet, "ViewTree"]]
+
+    def is_leaf(self) -> bool:
+        return not self.branches
+
+    def size(self) -> int:
+        return 1 + sum(branch[2].size() for branch in self.branches)
+
+    def labels(self) -> Set[object]:
+        return {branch[0] for branch in self.branches}
+
+
+_LEAF = ViewTree(frozenset())
+
+
+def _canonical_content(
+    program: WorkflowProgram, peer: str, instance: Instance, renaming: Dict[object, str]
+) -> FrozenSet:
+    """The peer's view with non-constant values canonically renamed.
+
+    *renaming* is extended in place: values are assigned placeholder
+    names in a deterministic order (sorted fact rendering), so the same
+    data pattern yields the same canonical content in both systems.
+    """
+    constants = program.constants()
+    view = program.schema.view_instance(instance, peer)
+    raw_facts: List[PyTuple[str, PyTuple]] = []
+    for relation in view.schema:
+        base = relation.name.split("@", 1)[0]
+        for tup in view.relation(relation.name):
+            raw_facts.append((base, tup.values))
+
+    def sort_key(fact: PyTuple[str, PyTuple]) -> PyTuple:
+        name, values = fact
+        parts = []
+        for value in values:
+            if value in renaming:
+                parts.append((0, renaming[value]))
+            elif value in constants:
+                parts.append((1, repr(value)))
+            else:
+                parts.append((2, ""))  # unnamed-so-far values sort together
+        return (name, tuple(parts))
+
+    canonical: Set[PyTuple[str, PyTuple]] = set()
+    for name, values in sorted(raw_facts, key=sort_key):
+        rendered = []
+        for value in values:
+            if value in constants:
+                rendered.append(("const", repr(value)))
+            else:
+                if value not in renaming:
+                    renaming[value] = f"□{len(renaming)}"
+                rendered.append(("var", renaming[value]))
+        canonical.add((name, tuple(rendered)))
+    return frozenset(canonical)
+
+
+def _label_of(event: Event, peer: str) -> object:
+    """The observation label: the peer's own rule name, or ω."""
+    if event.peer == peer:
+        return ("own", event.rule.name)
+    return "ω"
+
+
+def source_view_tree(
+    program: WorkflowProgram,
+    peer: str,
+    instance: Instance,
+    depth: int,
+    max_silent: int,
+    renaming: Optional[Dict[object, str]] = None,
+    _fresh_index: int = 70_000,
+) -> ViewTree:
+    """The depth-*depth* view tree of ``P`` at *instance* for *peer*.
+
+    Branches are observable transitions: at most *max_silent* silent
+    events followed by one visible event.  Distinct hidden successor
+    states with identical observations contribute separate subtrees
+    only if those subtrees differ — the set semantics merges equal
+    futures, which is exactly the tree-of-runs comparison.
+    """
+    if depth <= 0:
+        return _LEAF
+    if renaming is None:
+        renaming = {}
+    schema = program.schema
+    branches: Set[PyTuple[object, FrozenSet, ViewTree]] = set()
+
+    def explore(current: Instance, silent_used: int, fresh_index: int) -> None:
+        source = FreshValueSource(start=fresh_index)
+        source.observe(program.constants())
+        source.observe(current.active_domain())
+        for event in applicable_events(program, current, source):
+            successor = apply_event(schema, current, event, None, check_body=False)
+            visible = event.peer == peer or schema.view_instance(
+                current, peer
+            ) != schema.view_instance(successor, peer)
+            if visible:
+                branch_renaming = dict(renaming)
+                content = _canonical_content(program, peer, successor, branch_renaming)
+                subtree = source_view_tree(
+                    program,
+                    peer,
+                    successor,
+                    depth - 1,
+                    max_silent,
+                    branch_renaming,
+                    fresh_index + 512,
+                )
+                branches.add((_label_of(event, peer), content, subtree))
+            elif silent_used < max_silent:
+                if successor == current:
+                    continue  # silent no-ops do not open new futures
+                explore(successor, silent_used + 1, fresh_index + 64)
+
+    explore(instance, 0, _fresh_index)
+    return ViewTree(frozenset(branches))
+
+
+def view_program_tree(
+    view_program: WorkflowProgram,
+    peer: str,
+    instance: Instance,
+    depth: int,
+    renaming: Optional[Dict[object, str]] = None,
+    _fresh_index: int = 80_000,
+) -> ViewTree:
+    """The depth-*depth* view tree of ``P@p``: every event is observable."""
+    if depth <= 0:
+        return _LEAF
+    if renaming is None:
+        renaming = {}
+    schema = view_program.schema
+    branches: Set[PyTuple[object, FrozenSet, ViewTree]] = set()
+    source = FreshValueSource(start=_fresh_index)
+    source.observe(view_program.constants())
+    source.observe(instance.active_domain())
+    for event in applicable_events(view_program, instance, source):
+        successor = apply_event(schema, instance, event, None, check_body=False)
+        if successor == instance:
+            continue  # no-op transitions are invisible at the peer
+        branch_renaming = dict(renaming)
+        content = _canonical_content(view_program, peer, successor, branch_renaming)
+        subtree = view_program_tree(
+            view_program, peer, successor, depth - 1, branch_renaming,
+            _fresh_index + 512,
+        )
+        branches.add((_label_of(event, peer), content, subtree))
+    return ViewTree(frozenset(branches))
+
+
+@dataclass(frozen=True)
+class TreeEquivalenceReport:
+    """Outcome of a bounded tree-of-runs comparison."""
+
+    equivalent: bool
+    depth: int
+    source_tree: ViewTree
+    view_tree: ViewTree
+
+    def missing_in_view_program(self) -> Set[object]:
+        """Source observations the view program cannot offer (incompleteness)."""
+        return {
+            branch[:2]
+            for branch in self.source_tree.branches
+            if branch not in self.view_tree.branches
+        }
+
+    def extra_in_view_program(self) -> Set[object]:
+        """View-program observations no matching source future has (unsoundness
+        at tree level — Remark 5.2's subtlety)."""
+        return {
+            branch[:2]
+            for branch in self.view_tree.branches
+            if branch not in self.source_tree.branches
+        }
+
+
+def check_tree_equivalence(
+    synthesis: ViewProgramSynthesis,
+    depth: int = 3,
+    max_silent: Optional[int] = None,
+) -> TreeEquivalenceReport:
+    """Compare the trees of runs of ``P`` (at *peer*) and ``P@p``.
+
+    For transparent h-bounded programs the trees coincide at every
+    depth (the claim after Theorem 5.13); for merely linearly-equivalent
+    view programs the comparison exposes Remark 5.2's gap.
+
+    >>> # report = check_tree_equivalence(synthesis, depth=3)
+    >>> # report.equivalent
+    """
+    silent = max_silent if max_silent is not None else synthesis.h
+    source_root = Instance.empty(synthesis.source.schema.schema)
+    view_root = Instance.empty(synthesis.program.schema.schema)
+    source_tree = source_view_tree(
+        synthesis.source, synthesis.peer, source_root, depth, silent
+    )
+    view_tree = view_program_tree(
+        synthesis.program, synthesis.peer, view_root, depth
+    )
+    return TreeEquivalenceReport(
+        source_tree == view_tree, depth, source_tree, view_tree
+    )

@@ -1,0 +1,336 @@
+"""View-program synthesis ``P@p`` (Theorem 5.13).
+
+For a program ``P`` that is h-bounded and transparent for peer ``p``,
+the view program ``P@p`` is a program over the schema ``D@p`` with two
+peers — ``p`` itself (same rules as in ``P``) and the world peer ``ω`` —
+whose runs are exactly the views ``Runs(P)@p``.  The rules for ``ω`` are
+constructed from triples ``(I, α, J)``: a p-fresh instance ``I`` whose
+tuples use only keys mentioned by ``α``, a minimum p-faithful run ``α``
+on ``I`` with all events but the last invisible at ``p``, and
+``J = α(I)``.  The body of the synthesized rule lists the facts of
+``I@p`` — the *provenance* of the update the peer observes — and the
+head performs the delta ``J@p − I@p``.
+
+Two pragmatic adaptations keep the synthesized rules inside the FCQ¬
+safety fragment (the paper's sketch elides this):
+
+* a negative literal ``¬Key_R@ω(ν(a))`` is emitted only when ``ν(a)``
+  also occurs in a positive body literal — values created fresh by ``α``
+  are covered by the head-only fresh-value discipline instead;
+* pairwise inequalities are emitted only between safe body variables
+  (fresh head-only values are globally distinct by construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..workflow.domain import NULL, is_null
+from ..workflow.errors import SynthesisError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Var
+from ..workflow.rules import Deletion, Insertion, Rule, UpdateAtom
+from ..workflow.schema import Relation, Schema
+from ..workflow.views import CollaborativeSchema, View
+from .bounded import SearchBudget
+from .faithful_runs import iter_silent_faithful_runs
+from .freshness import iter_p_fresh_instances
+
+#: Name used for the paper's ω ("world") peer in synthesized programs.
+WORLD = "world"
+
+
+@dataclass(frozen=True)
+class SynthesisWitness:
+    """The triple ``(I, α, J)`` a synthesized ω-rule was built from."""
+
+    initial: Instance
+    events: PyTuple[Event, ...]
+    result: Instance
+
+
+@dataclass(frozen=True)
+class SynthesizedRule:
+    """An ω-rule together with its witness triple (provenance record)."""
+
+    rule: Rule
+    witness: SynthesisWitness
+
+    def provenance_facts(self, schema: CollaborativeSchema, peer: str) -> List[str]:
+        """The visible facts of ``I@p`` justifying the observed update."""
+        view = schema.view_instance(self.witness.initial, peer)
+        facts: List[str] = []
+        for relation in view.schema:
+            for tup in view.relation(relation.name):
+                facts.append(f"{relation.name}{tup!r}")
+        return facts
+
+
+@dataclass
+class ViewProgramSynthesis:
+    """The result of :func:`synthesize_view_program`."""
+
+    source: WorkflowProgram
+    peer: str
+    h: int
+    program: WorkflowProgram  # P@p: peers (peer, WORLD) over D@p
+    records: PyTuple[SynthesizedRule, ...]
+    triples_considered: int = 0
+
+    def world_rules(self) -> PyTuple[Rule, ...]:
+        return self.program.rules_of_peer(WORLD)
+
+    def peer_rules(self) -> PyTuple[Rule, ...]:
+        return self.program.rules_of_peer(self.peer)
+
+
+def view_world_schema(
+    program: WorkflowProgram, peer: str
+) -> CollaborativeSchema:
+    """The collaborative schema of ``P@p``: ``D@p`` seen fully by p and ω."""
+    relations: List[Relation] = []
+    for view in program.schema.views_of_peer(peer):
+        relations.append(Relation(view.relation.name, view.attributes))
+    schema = Schema(relations)
+    views = [
+        View(relation, member, relation.attributes)
+        for relation in relations
+        for member in (peer, WORLD)
+    ]
+    return CollaborativeSchema(schema, [peer, WORLD], views)
+
+
+def _translate_peer_rules(
+    program: WorkflowProgram, peer: str, target: CollaborativeSchema
+) -> List[Rule]:
+    """Re-home the peer's own rules onto the ``D@p`` schema."""
+    translated: List[Rule] = []
+    for rule in program.rules_of_peer(peer):
+        head: List[UpdateAtom] = []
+        for atom in rule.head:
+            view = target.view(atom.view.relation.name, peer)
+            if isinstance(atom, Insertion):
+                head.append(Insertion(view, atom.terms))
+            else:
+                head.append(Deletion(view, atom.term))
+        literals: List[Literal] = []
+        for literal in rule.body.literals:
+            if isinstance(literal, RelLiteral):
+                view = target.view(literal.view.relation.name, peer)
+                literals.append(RelLiteral(view, literal.terms, literal.positive))
+            elif isinstance(literal, KeyLiteral):
+                view = target.view(literal.view.relation.name, peer)
+                literals.append(KeyLiteral(view, literal.term, literal.positive))
+            else:
+                literals.append(literal)
+        translated.append(Rule(rule.name, tuple(head), Query(literals)))
+    return translated
+
+
+class _RuleBuilder:
+    """Builds one ω-rule from a triple (I, α, J)."""
+
+    def __init__(
+        self,
+        source: WorkflowProgram,
+        peer: str,
+        target: CollaborativeSchema,
+    ) -> None:
+        self.source = source
+        self.peer = peer
+        self.target = target
+        self.constants = source.constants()
+
+    def build(
+        self, initial: Instance, events: Sequence[Event], result: Instance
+    ) -> Optional[Rule]:
+        schema = self.source.schema
+        before = schema.view_instance(initial, self.peer)
+        after = schema.view_instance(result, self.peer)
+        if before == after:
+            return None  # no visible delta: nothing for ω to explain
+        nu: Dict[object, Var] = {}
+
+        def term_of(value: object):
+            if is_null(value) or value in self.constants:
+                return Const(value)
+            if value not in nu:
+                nu[value] = Var(f"v{len(nu)}")
+            return nu[value]
+
+        body: List[Literal] = []
+        safe_vars: Set[Var] = set()
+        # Positive body: the facts of I@p (the provenance).
+        for view in schema.views_of_peer(self.peer):
+            target_view = self.target.view(view.relation.name, WORLD)
+            for tup in before.relation(view.name):
+                terms = tuple(term_of(value) for value in tup.values)
+                body.append(RelLiteral(target_view, terms, positive=True))
+                safe_vars.update(t for t in terms if isinstance(t, Var))
+        # Negative key literals: keys mentioned by α but absent from I@p,
+        # kept only when safe.
+        for view in schema.views_of_peer(self.peer):
+            target_view = self.target.view(view.relation.name, WORLD)
+            mentioned: Set[object] = set()
+            for event in events:
+                mentioned.update(event.keys_of(view.relation.name))
+            present = set(before.keys(view.name))
+            for key in sorted(mentioned - present, key=repr):
+                term = term_of(key)
+                if isinstance(term, Var) and term not in safe_vars:
+                    continue  # unsafe: covered by fresh-value discipline
+                body.append(KeyLiteral(target_view, term, positive=False))
+        # Pairwise inequalities between safe variables.
+        ordered_safe = sorted(safe_vars, key=lambda v: v.name)
+        for left, right in itertools.combinations(ordered_safe, 2):
+            body.append(Comparison(left, right, positive=False))
+        # Head: the visible delta.
+        head: List[UpdateAtom] = []
+        for view in schema.views_of_peer(self.peer):
+            target_view = self.target.view(view.relation.name, WORLD)
+            before_tuples = {t.key: t for t in before.relation(view.name)}
+            after_tuples = {t.key: t for t in after.relation(view.name)}
+            for key, tup in after_tuples.items():
+                if before_tuples.get(key) != tup:
+                    head.append(
+                        Insertion(
+                            target_view, tuple(term_of(v) for v in tup.values)
+                        )
+                    )
+            for key in before_tuples:
+                if key not in after_tuples:
+                    head.append(Deletion(target_view, term_of(key)))
+        if not head:
+            return None
+        return Rule("w", tuple(head), Query(body))
+
+
+def _canonical_signature(rule: Rule) -> object:
+    """A renaming-invariant signature used to deduplicate ω-rules."""
+    order: Dict[Var, int] = {}
+
+    def blind(term: object) -> str:
+        if isinstance(term, Var):
+            return "?"
+        return repr(term)
+
+    def atom_key(atom: object) -> str:
+        if isinstance(atom, RelLiteral):
+            return f"R{int(atom.positive)}:{atom.view.name}({','.join(blind(t) for t in atom.terms)})"
+        if isinstance(atom, KeyLiteral):
+            return f"K{int(atom.positive)}:{atom.view.name}({blind(atom.term)})"
+        if isinstance(atom, Comparison):
+            return f"C{int(atom.positive)}:{blind(atom.left)},{blind(atom.right)}"
+        if isinstance(atom, Insertion):
+            return f"+{atom.view.name}({','.join(blind(t) for t in atom.terms)})"
+        return f"-{atom.view.name}({blind(atom.term)})"
+
+    def assign(term: object) -> str:
+        if isinstance(term, Var):
+            if term not in order:
+                order[term] = len(order)
+            return f"x{order[term]}"
+        return repr(term)
+
+    head_sorted = sorted(rule.head, key=atom_key)
+    body_sorted = sorted(rule.body.literals, key=atom_key)
+    parts: List[str] = []
+    for atom in head_sorted + body_sorted:
+        if isinstance(atom, RelLiteral):
+            parts.append(
+                f"R{int(atom.positive)}:{atom.view.name}({','.join(assign(t) for t in atom.terms)})"
+            )
+        elif isinstance(atom, KeyLiteral):
+            parts.append(f"K{int(atom.positive)}:{atom.view.name}({assign(atom.term)})")
+        elif isinstance(atom, Comparison):
+            pair = sorted([assign(atom.left), assign(atom.right)])
+            parts.append(f"C{int(atom.positive)}:{pair[0]},{pair[1]}")
+        elif isinstance(atom, Insertion):
+            parts.append(f"+{atom.view.name}({','.join(assign(t) for t in atom.terms)})")
+        else:
+            parts.append(f"-{atom.view.name}({assign(atom.term)})")
+    return tuple(parts)
+
+
+def synthesize_view_program(
+    program: WorkflowProgram,
+    peer: str,
+    h: int,
+    budget: SearchBudget = SearchBudget(),
+    witness_freshness: bool = True,
+) -> ViewProgramSynthesis:
+    """Construct the view-program ``P@p`` (Theorem 5.13).
+
+    Enumerates p-fresh instances over the bounded pool and, for each,
+    the minimum p-faithful mostly-silent runs of length at most ``h``;
+    every resulting triple yields an ω-rule (deduplicated up to variable
+    renaming).  For programs transparent and h-bounded for *peer*, the
+    result is sound and complete for the peer's views of runs.
+
+    >>> # synthesis = synthesize_view_program(program, "sue", h=3)
+    >>> # synthesis.world_rules()
+    """
+    target = view_world_schema(program, peer)
+    builder = _RuleBuilder(program, peer, target)
+    pool = budget.resolve_pool(program, h)
+    records: List[SynthesizedRule] = []
+    signatures: Set[object] = set()
+    rules: List[Rule] = _translate_peer_rules(program, peer, target)
+    triples = 0
+    for initial, _witness in iter_p_fresh_instances(
+        program,
+        peer,
+        pool,
+        budget.max_tuples_per_relation,
+        max_predecessors=budget.max_instances,
+        witness_freshness=witness_freshness,
+    ):
+        for candidate in iter_silent_faithful_runs(
+            program, peer, initial, max_length=h
+        ):
+            triples += 1
+            # ω-rules describe transitions caused by *other* peers; the
+            # peer's own visible events are covered by its own rules.
+            if candidate.events[-1].peer == peer:
+                continue
+            # Key condition: tuples of I use only keys mentioned by α.
+            if not _keys_covered(program, initial, candidate.events):
+                continue
+            rule = builder.build(initial, candidate.events, candidate.run.final_instance)
+            if rule is None:
+                continue
+            signature = _canonical_signature(rule)
+            if signature in signatures:
+                continue
+            signatures.add(signature)
+            named = Rule(f"w{len(records)}", rule.head, rule.body)
+            rules.append(named)
+            records.append(
+                SynthesizedRule(
+                    named,
+                    SynthesisWitness(
+                        initial, tuple(candidate.events), candidate.run.final_instance
+                    ),
+                )
+            )
+    view_program = WorkflowProgram(target, rules)
+    return ViewProgramSynthesis(
+        program, peer, h, view_program, tuple(records), triples
+    )
+
+
+def _keys_covered(
+    program: WorkflowProgram, initial: Instance, events: Sequence[Event]
+) -> bool:
+    """Do the tuples of *initial* use only keys in ``K(R, α)``?"""
+    for relation in program.schema.schema:
+        mentioned: Set[object] = set()
+        for event in events:
+            mentioned.update(event.keys_of(relation.name))
+        if not set(initial.keys(relation.name)) <= mentioned:
+            return False
+    return True

@@ -1,0 +1,183 @@
+"""The collaborative workflow substrate (Section 2 of the paper).
+
+This subpackage implements the data-driven collaborative workflow model
+of Abiteboul & Vianu (PODS 2013) with the extensions of the PODS 2018
+paper: peer views with projection *and* selection, FCQ¬ rule bodies,
+multi-update rule heads, the key chase, losslessness, normal form, and
+the run semantics.
+"""
+
+from .conditions import (
+    FALSE,
+    TRUE,
+    And,
+    AttrEq,
+    Condition,
+    Eq,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+)
+from .domain import NULL, FreshValue, FreshValueSource, is_null
+from .engine import apply_event, event_applicable, event_effect
+from .enumerate import RunGenerator, applicable_events, enumerate_event_sequences
+from .errors import (
+    ChaseFailure,
+    EventError,
+    FreshnessViolation,
+    InvalidInstanceError,
+    LosslessnessError,
+    ParseError,
+    QueryError,
+    RuleError,
+    RunError,
+    SchemaError,
+    SynthesisError,
+    UpdateNotApplicable,
+    WorkflowError,
+)
+from .events import Event
+from .instance import Instance, chase, chase_would_succeed
+from .isomorphism import (
+    Renaming,
+    canonicalize_instance,
+    find_instance_isomorphism,
+    instances_isomorphic,
+    rename_event,
+    rename_events,
+    rename_instance,
+    rename_run,
+    rename_tuple,
+)
+from .lint import LintFinding, lint_dynamic, lint_program, lint_static
+from .normalform import NormalFormResult, normalize, normalize_rule
+from .parser import parse_program, parse_schema
+from .program import WorkflowProgram
+from .queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Var
+from .rules import Deletion, Insertion, Rule, UpdateAtom
+from .runs import OMEGA, Run, RunView, ViewStep, execute, replay
+from .schema import KEY_ATTRIBUTE, Relation, Schema, proposition
+from .statespace import (
+    ExplorationStats,
+    ReachableState,
+    StateSpaceExplorer,
+    fact_reachable,
+)
+from .serialization import (
+    SerializationError,
+    event_from_dict,
+    event_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    program_to_text,
+    render_condition,
+    run_from_dict,
+    run_from_json,
+    run_to_dict,
+    run_to_json,
+    value_from_json,
+    value_to_json,
+)
+from .tuples import Tuple
+from .views import CollaborativeSchema, View
+
+__all__ = [
+    "NULL",
+    "OMEGA",
+    "KEY_ATTRIBUTE",
+    "TRUE",
+    "FALSE",
+    "And",
+    "AttrEq",
+    "ChaseFailure",
+    "CollaborativeSchema",
+    "Comparison",
+    "Condition",
+    "Const",
+    "Deletion",
+    "Eq",
+    "Event",
+    "EventError",
+    "FreshValue",
+    "FreshValueSource",
+    "FreshnessViolation",
+    "Insertion",
+    "Instance",
+    "InvalidInstanceError",
+    "KeyLiteral",
+    "LintFinding",
+    "Literal",
+    "LosslessnessError",
+    "NormalFormResult",
+    "Not",
+    "Or",
+    "ParseError",
+    "Query",
+    "QueryError",
+    "RelLiteral",
+    "Relation",
+    "Renaming",
+    "Rule",
+    "RuleError",
+    "Run",
+    "RunError",
+    "RunGenerator",
+    "RunView",
+    "Schema",
+    "SchemaError",
+    "SynthesisError",
+    "Tuple",
+    "UpdateAtom",
+    "UpdateNotApplicable",
+    "Var",
+    "View",
+    "ViewStep",
+    "WorkflowError",
+    "WorkflowProgram",
+    "applicable_events",
+    "apply_event",
+    "chase",
+    "chase_would_succeed",
+    "canonicalize_instance",
+    "find_instance_isomorphism",
+    "instances_isomorphic",
+    "conjunction",
+    "disjunction",
+    "enumerate_event_sequences",
+    "event_applicable",
+    "event_effect",
+    "execute",
+    "is_null",
+    "lint_dynamic",
+    "lint_program",
+    "lint_static",
+    "normalize",
+    "normalize_rule",
+    "parse_program",
+    "parse_schema",
+    "program_to_text",
+    "proposition",
+    "render_condition",
+    "rename_event",
+    "rename_events",
+    "rename_instance",
+    "rename_run",
+    "rename_tuple",
+    "replay",
+    "run_from_dict",
+    "run_from_json",
+    "run_to_dict",
+    "run_to_json",
+    "SerializationError",
+    "event_from_dict",
+    "event_to_dict",
+    "ExplorationStats",
+    "ReachableState",
+    "StateSpaceExplorer",
+    "fact_reachable",
+    "instance_from_dict",
+    "instance_to_dict",
+    "value_from_json",
+    "value_to_json",
+]

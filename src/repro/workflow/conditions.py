@@ -1,0 +1,312 @@
+"""Selection conditions over relation attributes.
+
+The paper defines *elementary conditions* ``A = a`` (attribute equals a
+constant, possibly ``⊥``) and ``A = B`` (two attributes are equal), and a
+*condition* as a Boolean combination of elementary conditions.  Peer
+views select tuples with such conditions.
+
+Conditions evaluate against :class:`~repro.workflow.tuples.Tuple` values
+over the full relation attributes.  They also support a small amount of
+symbolic reasoning used by the losslessness check: enumeration of
+canonical tuples that realise every equality pattern among the mentioned
+attributes and constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple as PyTuple
+
+from .domain import NULL, is_null
+from .tuples import Tuple
+
+
+class Condition:
+    """Base class for selection conditions.
+
+    Conditions compose with ``&`` (conjunction), ``|`` (disjunction) and
+    ``~`` (negation):
+
+    >>> c = Eq("A", 1) & ~Eq("B", NULL)
+    >>> c.evaluate(Tuple(("K", "A", "B"), (0, 1, "x")))
+    True
+    """
+
+    def evaluate(self, tup: Tuple) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attributes mentioned by the condition (``att(σ)``)."""
+        raise NotImplementedError
+
+    def constants(self) -> FrozenSet[object]:
+        """The non-null constants mentioned by the condition."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> object:
+        raise NotImplementedError
+
+
+class TrueCondition(Condition):
+    """The always-true condition."""
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def constants(self) -> FrozenSet[object]:
+        return frozenset()
+
+    def _key(self) -> object:
+        return ()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalseCondition(Condition):
+    """The always-false condition."""
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return False
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def constants(self) -> FrozenSet[object]:
+        return frozenset()
+
+    def _key(self) -> object:
+        return ()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE = TrueCondition()
+FALSE = FalseCondition()
+
+
+class Eq(Condition):
+    """Elementary condition ``A = a`` for a constant ``a`` (possibly ⊥)."""
+
+    def __init__(self, attribute: str, constant: object) -> None:
+        self.attribute = attribute
+        self.constant = constant
+
+    def evaluate(self, tup: Tuple) -> bool:
+        value = tup[self.attribute]
+        if is_null(self.constant):
+            return is_null(value)
+        return value == self.constant
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def constants(self) -> FrozenSet[object]:
+        if is_null(self.constant):
+            return frozenset()
+        return frozenset({self.constant})
+
+    def _key(self) -> object:
+        return (self.attribute, NULL if is_null(self.constant) else self.constant)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} = {self.constant!r}"
+
+
+class AttrEq(Condition):
+    """Elementary condition ``A = B`` between two attributes."""
+
+    def __init__(self, left: str, right: str) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, tup: Tuple) -> bool:
+        a, b = tup[self.left], tup[self.right]
+        if is_null(a) or is_null(b):
+            return is_null(a) and is_null(b)
+        return a == b
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+    def constants(self) -> FrozenSet[object]:
+        return frozenset()
+
+    def _key(self) -> object:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class Not(Condition):
+    """Negation of a condition."""
+
+    def __init__(self, inner: Condition) -> None:
+        self.inner = inner
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return not self.inner.evaluate(tup)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.inner.attributes()
+
+    def constants(self) -> FrozenSet[object]:
+        return self.inner.constants()
+
+    def _key(self) -> object:
+        return self.inner
+
+    def __repr__(self) -> str:
+        return f"not ({self.inner!r})"
+
+
+class _NaryCondition(Condition):
+    _symbol = "?"
+    _empty_value = True
+
+    def __init__(self, parts: Iterable[Condition]) -> None:
+        self.parts: PyTuple[Condition, ...] = tuple(parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for part in self.parts:
+            out.update(part.attributes())
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[object]:
+        out: Set[object] = set()
+        for part in self.parts:
+            out.update(part.constants())
+        return frozenset(out)
+
+    def _key(self) -> object:
+        return self.parts
+
+    def __repr__(self) -> str:
+        if not self.parts:
+            return "TRUE" if self._empty_value else "FALSE"
+        return "(" + f" {self._symbol} ".join(repr(p) for p in self.parts) + ")"
+
+
+class And(_NaryCondition):
+    """Conjunction of conditions."""
+
+    _symbol = "and"
+    _empty_value = True
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return all(part.evaluate(tup) for part in self.parts)
+
+
+class Or(_NaryCondition):
+    """Disjunction of conditions."""
+
+    _symbol = "or"
+    _empty_value = False
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return any(part.evaluate(tup) for part in self.parts)
+
+
+def conjunction(parts: Sequence[Condition]) -> Condition:
+    """``And`` of *parts*, simplifying the 0- and 1-element cases."""
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def disjunction(parts: Sequence[Condition]) -> Condition:
+    """``Or`` of *parts*, simplifying the 0- and 1-element cases."""
+    if not parts:
+        return FALSE
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+class _Fresh:
+    """A symbolic value distinct from all constants, used in enumeration."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Fresh) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("_Fresh", self.index))
+
+    def __repr__(self) -> str:
+        return f"?{self.index}"
+
+
+def canonical_tuples(
+    attributes: Sequence[str],
+    conditions: Iterable[Condition],
+    key_attribute: str,
+) -> Iterator[Tuple]:
+    """Enumerate canonical tuples realising every relevant equality pattern.
+
+    The truth of a Boolean combination of elementary conditions over
+    *attributes* depends only on (a) which attributes equal which of the
+    mentioned constants, (b) which attributes are ``⊥`` and (c) the
+    equality pattern among the remaining attributes.  Enumerating tuples
+    whose values range over the mentioned constants, ``⊥`` and one fresh
+    symbol per attribute position therefore covers every semantically
+    distinct case.  Tuples with a null key are skipped (they cannot occur
+    in valid instances).
+    """
+    constants: Set[object] = set()
+    for condition in conditions:
+        constants.update(condition.constants())
+    pool: List[object] = sorted(constants, key=repr)
+    pool.append(NULL)
+    pool.extend(_Fresh(i) for i in range(len(attributes)))
+    for values in itertools.product(pool, repeat=len(attributes)):
+        tup = Tuple(tuple(attributes), values)
+        if is_null(tup[key_attribute]):
+            continue
+        yield tup
+
+
+def condition_satisfiable(
+    condition: Condition,
+    attributes: Sequence[str],
+    key_attribute: str,
+    extra_context: Iterable[Condition] = (),
+) -> bool:
+    """Decide satisfiability of *condition* over valid tuples.
+
+    Satisfiability is checked by exhaustive evaluation over the canonical
+    tuples of :func:`canonical_tuples`; *extra_context* supplies further
+    conditions whose constants must participate in the enumeration.
+    """
+    context = [condition, *extra_context]
+    for tup in canonical_tuples(attributes, context, key_attribute):
+        if condition.evaluate(tup):
+            return True
+    return False

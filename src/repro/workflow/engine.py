@@ -1,0 +1,175 @@
+"""Transition semantics: applying events to global instances.
+
+The semantics of an update requested by a peer is specified directly on
+the global instance (Section 2), which circumvents the view update
+problem:
+
+* a deletion ``−Key_R@p(k)`` is applicable when ``k`` is a key value in
+  ``I@p(R@p)`` (the peer sees the tuple); it removes the tuple with key
+  ``k`` from ``I(R)``;
+* an insertion ``+R@p(u)`` is applicable when
+  ``J = chase_K(I ∪ {R(u^⊥)})`` is valid and ``u`` is subsumed by some
+  tuple of ``J@p(R@p)`` (the peer sees its insertion afterwards); the
+  result is ``J``.
+
+An event fires when its body holds on the peer's view, its head-only
+variables are globally fresh, and *all* of its updates are applicable;
+the updates (which touch pairwise distinct tuples) are then applied in
+any order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple as PyTuple
+
+from .domain import NULL, is_null
+from .errors import ChaseFailure, EventError, FreshnessViolation, UpdateNotApplicable
+from .events import Event
+from .instance import Instance
+from .queries import Const
+from .rules import Deletion, Insertion
+from .tuples import Tuple
+from .views import CollaborativeSchema
+
+
+def insertion_result(
+    schema: CollaborativeSchema, instance: Instance, insertion: Insertion
+) -> Instance:
+    """The result of a ground insertion, or raise :class:`UpdateNotApplicable`."""
+    view = insertion.view
+    values = tuple(term.value for term in insertion.terms)  # ground: Const terms
+    u = Tuple(view.attributes, values)
+    if is_null(u.key):
+        raise UpdateNotApplicable(f"insertion {insertion!r} has a null key")
+    padded = u.pad(view.relation.attributes)
+    try:
+        result = instance.insert(view.relation.name, padded)
+    except ChaseFailure as exc:
+        raise UpdateNotApplicable(f"insertion {insertion!r}: chase failed ({exc})") from exc
+    merged = result.tuple_with_key(view.relation.name, u.key)
+    observed = view.observe(merged)
+    if observed is None or not u.subsumed_by(observed):
+        raise UpdateNotApplicable(
+            f"insertion {insertion!r}: inserted tuple is not subsumed by the "
+            f"peer's view after the update"
+        )
+    return result
+
+
+def deletion_result(
+    schema: CollaborativeSchema, instance: Instance, deletion: Deletion
+) -> Instance:
+    """The result of a ground deletion, or raise :class:`UpdateNotApplicable`."""
+    view = deletion.view
+    key = deletion.term.value  # ground: Const term
+    tup = instance.tuple_with_key(view.relation.name, key)
+    if tup is None or not view.sees_tuple(tup):
+        raise UpdateNotApplicable(
+            f"deletion {deletion!r}: peer {view.peer} sees no tuple with key {key!r}"
+        )
+    return instance.delete(view.relation.name, key)
+
+
+def updates_applicable(
+    schema: CollaborativeSchema, instance: Instance, event: Event
+) -> bool:
+    """True iff every update in the event's head is applicable at *instance*."""
+    try:
+        for atom in event.ground_head():
+            if isinstance(atom, Insertion):
+                insertion_result(schema, instance, atom)
+            else:
+                deletion_result(schema, instance, atom)
+    except UpdateNotApplicable:
+        return False
+    return True
+
+
+def apply_event(
+    schema: CollaborativeSchema,
+    instance: Instance,
+    event: Event,
+    forbidden_fresh: Optional[FrozenSet[object]] = None,
+    check_body: bool = True,
+) -> Instance:
+    """Fire *event* at *instance* and return the successor instance.
+
+    Checks, in order: the body holds on the acting peer's view; head-only
+    variables carry pairwise-distinct values outside *forbidden_fresh*
+    (pass None to skip the freshness check); every update is applicable.
+    Raises a :class:`~repro.workflow.errors.EventError` subclass on any
+    violation.
+    """
+    if check_body:
+        view_instance = schema.view_instance(instance, event.peer)
+        if not event.rule.body.satisfied_by(view_instance, event.valuation_dict()):
+            raise EventError(
+                f"event {event!r}: body does not hold on {event.peer}'s view"
+            )
+    head_only = sorted(event.rule.head_only_variables(), key=lambda v: v.name)
+    if head_only:
+        valuation = event.valuation_dict()
+        values = [valuation[v] for v in head_only]
+        if len(set(values)) != len(values):
+            raise FreshnessViolation(
+                f"event {event!r}: head-only variables share a value"
+            )
+        if forbidden_fresh is not None:
+            clashes = [v for v in values if v in forbidden_fresh]
+            if clashes:
+                raise FreshnessViolation(
+                    f"event {event!r}: values {clashes!r} are not globally fresh"
+                )
+    ground_head = event.ground_head()
+    # Check applicability of every update against the *current* instance
+    # first: an event fires only if all its updates are applicable.
+    for atom in ground_head:
+        if isinstance(atom, Insertion):
+            insertion_result(schema, instance, atom)
+        else:
+            deletion_result(schema, instance, atom)
+    # The updates affect pairwise distinct tuples, so the application
+    # order is irrelevant; apply deletions first, then insertions.
+    result = instance
+    for atom in ground_head:
+        if isinstance(atom, Deletion):
+            result = result.delete(atom.view.relation.name, atom.term.value)
+    for atom in ground_head:
+        if isinstance(atom, Insertion):
+            values = tuple(term.value for term in atom.terms)
+            padded = Tuple(atom.view.attributes, values).pad(atom.view.relation.attributes)
+            result = result.insert(atom.view.relation.name, padded)
+    return result
+
+
+def event_applicable(
+    schema: CollaborativeSchema,
+    instance: Instance,
+    event: Event,
+    forbidden_fresh: Optional[FrozenSet[object]] = None,
+) -> bool:
+    """True iff :func:`apply_event` would succeed."""
+    try:
+        apply_event(schema, instance, event, forbidden_fresh)
+    except EventError:
+        return False
+    return True
+
+
+def event_effect(
+    schema: CollaborativeSchema, before: Instance, after: Instance, relation: str
+) -> Dict[str, Set[object]]:
+    """Summarise the effect of a transition on *relation*.
+
+    Returns a dict with keys ``created`` (keys newly present),
+    ``deleted`` (keys removed) and ``modified`` (keys present on both
+    sides whose tuple changed).
+    """
+    old = set(before.keys(relation))
+    new = set(after.keys(relation))
+    modified = {
+        k
+        for k in old & new
+        if before.tuple_with_key(relation, k) != after.tuple_with_key(relation, k)
+    }
+    return {"created": new - old, "deleted": old - new, "modified": modified}

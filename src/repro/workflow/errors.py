@@ -1,0 +1,71 @@
+"""Exception hierarchy for the collaborative workflow substrate.
+
+Every error raised by :mod:`repro` derives from :class:`WorkflowError`, so
+client code can catch the whole family with a single ``except`` clause.
+The sub-classes mirror the places where the formal model of Abiteboul,
+Bourhis and Vianu (PODS 2018) imposes side conditions: schema formation,
+key constraints / chase failure, rule well-formedness, update
+applicability and run formation.
+"""
+
+from __future__ import annotations
+
+
+class WorkflowError(Exception):
+    """Base class for all errors raised by the workflow substrate."""
+
+
+class SchemaError(WorkflowError):
+    """A relation, view or collaborative schema is malformed."""
+
+
+class LosslessnessError(SchemaError):
+    """A collaborative schema violates the losslessness condition."""
+
+
+class ChaseFailure(WorkflowError):
+    """The key chase terminated on an invalid instance.
+
+    Raised when two tuples share a key but hold distinct non-null values
+    for the same attribute, which the chase of Section 2 cannot repair.
+    """
+
+
+class InvalidInstanceError(WorkflowError):
+    """An instance violates the key constraints (null or duplicate key)."""
+
+
+class RuleError(WorkflowError):
+    """A rule violates the syntactic well-formedness conditions."""
+
+
+class QueryError(WorkflowError):
+    """An FCQ^neg query is malformed (e.g. violates the safety condition)."""
+
+
+class EventError(WorkflowError):
+    """An event (rule instantiation) is invalid for the current instance."""
+
+
+class UpdateNotApplicable(EventError):
+    """An insertion or deletion in an event head cannot be applied."""
+
+
+class FreshnessViolation(EventError):
+    """A head-only variable was instantiated with a non-fresh value."""
+
+
+class RunError(WorkflowError):
+    """A sequence of events does not form a run."""
+
+
+class ParseError(WorkflowError):
+    """The textual program syntax could not be parsed."""
+
+
+class SynthesisError(WorkflowError):
+    """View-program synthesis failed (e.g. precondition violated)."""
+
+
+class EnforcementError(WorkflowError):
+    """Transparency enforcement rejected an event or program."""

@@ -1,0 +1,246 @@
+"""Database instances, validity and the key chase ``chase_K``.
+
+An instance of a database schema maps each relation to a finite set of
+tuples.  An instance is *valid* when no tuple has ``⊥`` as its key and no
+two distinct tuples share a key.  Valid instances are represented with a
+per-relation mapping from key to tuple, which makes the key constraint
+structural.
+
+The chase of Section 2 repairs instances in which several tuples share a
+key but never disagree on a non-null attribute: such tuples are merged
+into one.  If two tuples with the same key carry distinct non-null values
+for the same attribute the chase fails (:class:`ChaseFailure`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from .domain import NULL, is_null
+from .errors import ChaseFailure, InvalidInstanceError, SchemaError
+from .schema import Relation, Schema
+from .tuples import Tuple
+
+
+class Instance:
+    """A valid instance of a database schema.
+
+    Internally each relation holds an insertion-ordered mapping from key
+    value to :class:`Tuple`.  Instances are immutable: the update methods
+    return new instances.
+
+    >>> D = Schema([Relation("R", ("K", "A"))])
+    >>> I = Instance.empty(D).insert("R", Tuple(("K", "A"), (1, "x")))
+    >>> I.tuple_with_key("R", 1)["A"]
+    'x'
+    """
+
+    __slots__ = ("schema", "_data")
+
+    def __init__(self, schema: Schema, data: Mapping[str, Mapping[object, Tuple]]) -> None:
+        object.__setattr__(self, "schema", schema)
+        normalised: Dict[str, Dict[object, Tuple]] = {}
+        for relation in schema:
+            tuples = dict(data.get(relation.name, {}))
+            for key, tup in tuples.items():
+                if is_null(key):
+                    raise InvalidInstanceError(
+                        f"tuple with null key in relation {relation.name}"
+                    )
+                if tup.key != key:
+                    raise InvalidInstanceError(
+                        f"tuple {tup!r} indexed under wrong key {key!r}"
+                    )
+                if tup.attributes != relation.attributes:
+                    raise InvalidInstanceError(
+                        f"tuple {tup!r} does not match schema of {relation!r}"
+                    )
+            normalised[relation.name] = tuples
+        unknown = set(data) - set(normalised)
+        if unknown:
+            raise SchemaError(f"instance mentions unknown relations: {sorted(unknown)}")
+        object.__setattr__(self, "_data", normalised)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Instance is immutable")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Instance":
+        """The empty instance ``∅`` over *schema*."""
+        return cls(schema, {})
+
+    @classmethod
+    def from_tuples(cls, schema: Schema, tuples: Mapping[str, Iterable[Tuple]]) -> "Instance":
+        """Build a valid instance from per-relation tuple collections.
+
+        Raises :class:`InvalidInstanceError` on duplicate or null keys.
+        """
+        data: Dict[str, Dict[object, Tuple]] = {}
+        for name, tups in tuples.items():
+            relation = schema.relation(name)
+            per_key: Dict[object, Tuple] = {}
+            for tup in tups:
+                if tup.attributes != relation.attributes:
+                    tup = tup.pad(relation.attributes)
+                if is_null(tup.key):
+                    raise InvalidInstanceError(f"null key in relation {name}")
+                if tup.key in per_key and per_key[tup.key] != tup:
+                    raise InvalidInstanceError(
+                        f"duplicate key {tup.key!r} in relation {name}"
+                    )
+                per_key[tup.key] = tup
+            data[name] = per_key
+        return cls(schema, data)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str) -> PyTuple[Tuple, ...]:
+        """All tuples of relation *name*, in insertion order."""
+        return tuple(self._data[name].values())
+
+    def tuples_by_key(self, name: str) -> Mapping[object, Tuple]:
+        return dict(self._data[name])
+
+    def keys(self, name: str) -> PyTuple[object, ...]:
+        """The key view ``Key_R``: the projection of *name* on ``K``."""
+        return tuple(self._data[name].keys())
+
+    def has_key(self, name: str, key: object) -> bool:
+        return key in self._data[name]
+
+    def tuple_with_key(self, name: str, key: object) -> Optional[Tuple]:
+        return self._data[name].get(key)
+
+    def is_empty(self) -> bool:
+        return all(not tuples for tuples in self._data.values())
+
+    def size(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(tuples) for tuples in self._data.values())
+
+    def active_domain(self) -> Set[object]:
+        """All non-null values occurring in the instance (``adom``)."""
+        values: Set[object] = set()
+        for tuples in self._data.values():
+            for tup in tuples.values():
+                values.update(v for v in tup.values if not is_null(v))
+        return values
+
+    # ------------------------------------------------------------------
+    # Updates (pure: return new instances)
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, tup: Tuple) -> "Instance":
+        """Insert *tup* (chase-merging with an existing tuple of same key).
+
+        Raises :class:`ChaseFailure` if the new tuple conflicts with an
+        existing tuple holding the same key.
+        """
+        relation = self.schema.relation(name)
+        if tup.attributes != relation.attributes:
+            tup = tup.pad(relation.attributes)
+        if is_null(tup.key):
+            raise InvalidInstanceError(f"cannot insert tuple with null key into {name}")
+        existing = self._data[name].get(tup.key)
+        if existing is not None:
+            try:
+                tup = existing.merge(tup)
+            except ValueError as exc:
+                raise ChaseFailure(f"insert into {name}: {exc}") from exc
+        data = {rel: dict(tuples) for rel, tuples in self._data.items()}
+        data[name][tup.key] = tup
+        return Instance(self.schema, data)
+
+    def delete(self, name: str, key: object) -> "Instance":
+        """Remove the tuple with key *key* from relation *name*."""
+        if key not in self._data[name]:
+            raise InvalidInstanceError(f"no tuple with key {key!r} in relation {name}")
+        data = {rel: dict(tuples) for rel, tuples in self._data.items()}
+        del data[name][key]
+        return Instance(self.schema, data)
+
+    def with_relation(self, name: str, tuples: Iterable[Tuple]) -> "Instance":
+        """A copy of the instance with relation *name* replaced."""
+        data = {rel: dict(tups) for rel, tups in self._data.items()}
+        relation = self.schema.relation(name)
+        per_key: Dict[object, Tuple] = {}
+        for tup in tuples:
+            if tup.attributes != relation.attributes:
+                tup = tup.pad(relation.attributes)
+            per_key[tup.key] = tup
+        data[name] = per_key
+        return Instance(self.schema, data)
+
+    # ------------------------------------------------------------------
+    # Comparison / hashing
+    # ------------------------------------------------------------------
+
+    def _canonical(self) -> PyTuple:
+        return tuple(
+            (name, frozenset(self._data[name].values()))
+            for name in sorted(self._data)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._canonical() == other._canonical()
+
+    def __hash__(self) -> int:
+        return hash(self._canonical())
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._data):
+            if self._data[name]:
+                tuples = ", ".join(repr(t) for t in self._data[name].values())
+                parts.append(f"{name}: {{{tuples}}}")
+        return "Instance{" + "; ".join(parts) + "}"
+
+
+def chase(schema: Schema, tuples: Mapping[str, Iterable[Tuple]]) -> Instance:
+    """The key chase ``chase_K`` on a (possibly invalid) tuple collection.
+
+    Groups tuples by key within each relation and merges them, filling
+    ``⊥`` values.  The result is the unique valid instance the chase
+    converges to; if two tuples with the same key carry distinct non-null
+    values for the same attribute, the chase fails.
+
+    >>> D = Schema([Relation("R", ("K", "A", "B"))])
+    >>> I = chase(D, {"R": [Tuple(("K", "A", "B"), (1, "x", NULL)),
+    ...                     Tuple(("K", "A", "B"), (1, NULL, "y"))]})
+    >>> I.tuple_with_key("R", 1)
+    (K=1, A='x', B='y')
+    """
+    merged: Dict[str, Dict[object, Tuple]] = {}
+    for name, tups in tuples.items():
+        relation = schema.relation(name)
+        per_key: Dict[object, Tuple] = {}
+        for tup in tups:
+            if tup.attributes != relation.attributes:
+                tup = tup.pad(relation.attributes)
+            if is_null(tup.key):
+                raise ChaseFailure(f"tuple with null key in relation {name}: {tup!r}")
+            existing = per_key.get(tup.key)
+            if existing is None:
+                per_key[tup.key] = tup
+            else:
+                try:
+                    per_key[tup.key] = existing.merge(tup)
+                except ValueError as exc:
+                    raise ChaseFailure(f"relation {name}, key {tup.key!r}: {exc}") from exc
+        merged[name] = per_key
+    return Instance(schema, merged)
+
+
+def chase_would_succeed(schema: Schema, tuples: Mapping[str, Iterable[Tuple]]) -> bool:
+    """True iff :func:`chase` on *tuples* yields a valid instance."""
+    try:
+        chase(schema, tuples)
+    except ChaseFailure:
+        return False
+    return True

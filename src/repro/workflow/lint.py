@@ -1,0 +1,158 @@
+"""Static and bounded-dynamic linting of workflow programs.
+
+Complements the audit of :mod:`repro.analysis.audit` (which checks the
+paper's formal properties) with designer-level hygiene findings:
+
+* relations no rule ever writes (their views can only ever be empty);
+* relations nothing ever reads (neither rule bodies nor selections);
+* peers that participate in nothing (no rules, no views);
+* rules that never fired within a bounded exploration of the state
+  space (possibly dead — reported with the bound, since emptiness is
+  undecidable in general, cf. Theorem 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from .program import WorkflowProgram
+from .queries import KeyLiteral, RelLiteral
+from .statespace import StateSpaceExplorer
+
+#: Finding severities, mildest first.
+SEVERITIES = ("info", "warning")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint finding."""
+
+    severity: str
+    category: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.category}({self.subject}): {self.message}"
+
+
+def _written_relations(program: WorkflowProgram) -> Set[str]:
+    return {
+        atom.view.relation.name for rule in program for atom in rule.head
+    }
+
+
+def _read_relations(program: WorkflowProgram) -> Set[str]:
+    read: Set[str] = set()
+    for rule in program:
+        for literal in rule.body.literals:
+            if isinstance(literal, (RelLiteral, KeyLiteral)):
+                read.add(literal.view.relation.name)
+    return read
+
+
+def lint_static(program: WorkflowProgram) -> List[LintFinding]:
+    """The purely syntactic findings."""
+    findings: List[LintFinding] = []
+    written = _written_relations(program)
+    read = _read_relations(program)
+    schema = program.schema
+    for relation in schema.schema:
+        name = relation.name
+        if name not in written:
+            findings.append(
+                LintFinding(
+                    "warning",
+                    "never-written",
+                    name,
+                    "no rule inserts into or deletes from this relation; "
+                    "all its views stay empty on runs from the empty instance",
+                )
+            )
+        if name not in read and not any(
+            view.selection.attributes()
+            for view in schema.views_of_relation(name)
+        ):
+            findings.append(
+                LintFinding(
+                    "info",
+                    "never-read",
+                    name,
+                    "no rule body or selection ever reads this relation",
+                )
+            )
+    for peer in schema.peers:
+        if not program.rules_of_peer(peer) and not schema.views_of_peer(peer):
+            findings.append(
+                LintFinding(
+                    "warning",
+                    "idle-peer",
+                    peer,
+                    "this peer has no rules and sees nothing",
+                )
+            )
+        elif not program.rules_of_peer(peer) and not any(
+            True for _ in schema.views_of_peer(peer)
+        ):  # pragma: no cover - same condition, kept for clarity
+            pass
+    return findings
+
+
+def lint_dynamic(
+    program: WorkflowProgram,
+    explore_depth: int = 4,
+    max_states: int = 400,
+) -> List[LintFinding]:
+    """Bounded-exploration findings: rules never observed firing.
+
+    A rule unfired within the explored fragment *may* still fire in
+    deeper runs — undecidable in general (Theorem 5.4) — so findings
+    state the bound explicitly.  A rule counts as live when it is
+    *applicable* at some explored state (a no-op firing is still a
+    firing).
+    """
+    from .domain import FreshValueSource
+    from .enumerate import applicable_events
+
+    fired: Set[str] = set()
+    all_rules = {rule.name for rule in program}
+    explorer = StateSpaceExplorer(program, dedup="isomorphic")
+    for state in explorer.iterate(max_depth=explore_depth, max_states=max_states):
+        if fired == all_rules:
+            break
+        remaining = [rule for rule in program if rule.name not in fired]
+        source = FreshValueSource(start=40_000)
+        source.observe(program.constants())
+        source.observe(state.instance.active_domain())
+        for event in applicable_events(
+            program, state.instance, source, rules=remaining
+        ):
+            fired.add(event.rule.name)
+    findings: List[LintFinding] = []
+    for rule in program:
+        if rule.name not in fired:
+            findings.append(
+                LintFinding(
+                    "warning",
+                    "possibly-dead-rule",
+                    rule.name,
+                    f"never fired within {explorer.stats.states_visited} explored "
+                    f"states (depth ≤ {explore_depth}); it may be unreachable",
+                )
+            )
+    return findings
+
+
+def lint_program(
+    program: WorkflowProgram,
+    explore_depth: int = 4,
+    max_states: int = 400,
+) -> List[LintFinding]:
+    """All lint findings, static first.
+
+    >>> # for finding in lint_program(program): print(finding)
+    """
+    findings = lint_static(program)
+    findings.extend(lint_dynamic(program, explore_depth, max_states))
+    return findings

@@ -1,0 +1,147 @@
+"""Normal form for workflow programs (Proposition 2.3).
+
+A program is in *normal form* when (i) every rule whose head contains a
+deletion ``−Key_R@q(x)`` also contains a body literal ``R@q(x, u)``, and
+(ii) rule bodies contain no negative relational literals ``¬R@q(x, u)``
+and no positive key literals ``Key_R@q(x)``.
+
+:func:`normalize` constructs the normal-form program ``P^nf`` together
+with the mapping ``θ`` from its rules back to the rules of ``P``:
+``ρ`` is a run of ``P`` iff the same instance sequence is a run of
+``P^nf`` under events with the same peers and θ-related rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple as PyTuple
+
+from .errors import RuleError
+from .program import WorkflowProgram
+from .queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Term, Var
+from .rules import Deletion, Rule, UpdateAtom
+
+
+@dataclass(frozen=True)
+class NormalFormResult:
+    """The normal-form program and the rule mapping ``θ``."""
+
+    program: WorkflowProgram
+    theta: Dict[str, str]  # rule name in P^nf -> rule name in P
+
+    def original_rule(self, nf_rule_name: str) -> str:
+        return self.theta[nf_rule_name]
+
+
+class _VarFactory:
+    """Mints variables that do not clash with a rule's existing ones."""
+
+    def __init__(self, taken: Iterable[Var]) -> None:
+        self._taken: Set[str] = {v.name for v in taken}
+        self._counter = 0
+
+    def fresh(self, hint: str = "z") -> Var:
+        while True:
+            name = f"_{hint}{self._counter}"
+            self._counter += 1
+            if name not in self._taken:
+                self._taken.add(name)
+                return Var(name)
+
+
+def _witness_deletions(rule: Rule, factory: _VarFactory) -> List[Literal]:
+    """Literals to add so every head deletion has a body witness (i)."""
+    extra: List[Literal] = []
+    witnessed = list(rule.body.literals)
+    for deletion in rule.deletions():
+        if rule.deletion_has_witness(deletion):
+            continue
+        view = deletion.view
+        terms: List[Term] = []
+        for attribute in view.attributes:
+            if attribute == view.relation.key_attribute:
+                terms.append(deletion.term)
+            else:
+                terms.append(factory.fresh("w"))
+        extra.append(RelLiteral(view, tuple(terms), positive=True))
+    return extra
+
+
+def _expand_literal(literal: Literal, factory: _VarFactory) -> List[List[Literal]]:
+    """The case split replacing one literal, as alternative literal lists.
+
+    * positive ``Key_R@q(x)`` becomes ``R@q(x, z̄)`` (one case);
+    * negative ``¬R@q(x, u)`` becomes either ``¬Key_R@q(x)`` or, for each
+      non-key attribute ``A``, ``R@q(x, z̄) ∧ u(A) ≠ z(A)``;
+    * every other literal is kept unchanged.
+    """
+    if isinstance(literal, KeyLiteral) and literal.positive:
+        view = literal.view
+        terms: List[Term] = []
+        for attribute in view.attributes:
+            if attribute == view.relation.key_attribute:
+                terms.append(literal.term)
+            else:
+                terms.append(factory.fresh("k"))
+        return [[RelLiteral(view, tuple(terms), positive=True)]]
+    if isinstance(literal, RelLiteral) and not literal.positive:
+        view = literal.view
+        key_term = literal.key_term
+        cases: List[List[Literal]] = [[KeyLiteral(view, key_term, positive=False)]]
+        for position, attribute in enumerate(view.attributes):
+            if attribute == view.relation.key_attribute:
+                continue
+            fresh_terms: List[Term] = []
+            mismatch: Term = literal.terms[position]
+            mismatch_var = factory.fresh("m")
+            for inner_position, inner_attribute in enumerate(view.attributes):
+                if inner_attribute == view.relation.key_attribute:
+                    fresh_terms.append(key_term)
+                elif inner_position == position:
+                    fresh_terms.append(mismatch_var)
+                else:
+                    fresh_terms.append(factory.fresh("n"))
+            cases.append(
+                [
+                    RelLiteral(view, tuple(fresh_terms), positive=True),
+                    Comparison(mismatch, mismatch_var, positive=False),
+                ]
+            )
+        return cases
+    return [[literal]]
+
+
+def normalize_rule(rule: Rule, name_prefix: str = "") -> List[Rule]:
+    """The set ``Rules(r)`` of normal-form rules replacing *rule*."""
+    factory = _VarFactory(rule.variables())
+    base_literals = list(rule.body.literals) + _witness_deletions(rule, factory)
+    alternatives = [_expand_literal(lit, factory) for lit in base_literals]
+    choices = list(itertools.product(*alternatives))
+    rules: List[Rule] = []
+    for index, choice in enumerate(choices):
+        literals: List[Literal] = []
+        for parts in choice:
+            literals.extend(parts)
+        if len(choices) == 1 and literals == list(rule.body.literals):
+            name = rule.name
+        else:
+            name = f"{rule.name}{name_prefix}#nf{index}"
+        rules.append(Rule(name, rule.head, Query(literals)))
+    return rules
+
+
+def normalize(program: WorkflowProgram) -> NormalFormResult:
+    """Construct the normal-form program ``P^nf`` and the mapping ``θ``.
+
+    Rules already in normal form are kept as-is (with ``θ`` the
+    identity); other rules are replaced by their case split.
+    """
+    new_rules: List[Rule] = []
+    theta: Dict[str, str] = {}
+    for rule in program:
+        variants = normalize_rule(rule)
+        for variant in variants:
+            new_rules.append(variant)
+            theta[variant.name] = rule.name
+    return NormalFormResult(WorkflowProgram(program.schema, new_rules), theta)

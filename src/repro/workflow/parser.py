@@ -1,0 +1,473 @@
+"""A concrete textual syntax for collaborative workflow programs.
+
+The syntax mirrors the paper's notation closely::
+
+    peers hr, ceo, cfo, sue
+    relation Cleared(K)
+    relation Approved(K)
+    view Cleared@hr(K)
+    view Cleared@sue(K)
+    view Approved@ceo(K)
+    [clear]   +Cleared@hr(x)  :-
+    [approve] +Approved@ceo(x) :- Cleared@ceo(x)
+
+* ``peers`` declares the peer set; ``relation`` a global relation (first
+  attribute is the key); ``view R@p(A, ...)`` a peer view, optionally
+  followed by ``where <condition>``.
+* Rules are ``[name] head :- body`` (the ``[name]`` is optional).  Head
+  atoms are ``+R@p(t, ...)`` and ``-Key[R]@p(t)`` (``-R@p(t)`` is
+  accepted sugar).  Body literals are ``R@p(t, ...)``,
+  ``not R@p(t, ...)``, ``Key[R]@p(t)``, ``not Key[R]@p(t)``, ``t = t``
+  and ``t != t``.
+* Identifiers in atom argument positions are variables; quoted strings
+  and integers are constants; ``null`` is the undefined value ``⊥``.
+* Conditions use ``and`` / ``or`` / ``not`` / parentheses over
+  ``A = <const>``, ``A = B``, ``A != ...`` and ``true`` / ``false``.
+* ``#`` starts a comment.  A statement continues on the next physical
+  line when a line ends with ``,``, ``and`` or ``or`` (so a multi-line
+  rule body keeps a trailing comma).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from .conditions import FALSE, TRUE, AttrEq, Condition, Eq, Not, conjunction, disjunction
+from .domain import NULL
+from .errors import ParseError
+from .program import WorkflowProgram
+from .queries import Comparison, Const, KeyLiteral, Literal, Query, RelLiteral, Term, Var
+from .rules import Deletion, Insertion, Rule, UpdateAtom
+from .schema import Relation, Schema
+from .views import CollaborativeSchema, View
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<arrow>:-)
+  | (?P<neq>!=)
+  | (?P<punct>[()\[\],@:+\-=!])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"peers", "peer", "relation", "view", "where", "not", "and", "or", "true", "false", "null", "key"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: object) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(line: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(line):
+        match = _TOKEN_RE.match(line, position)
+        if match is None:
+            raise ParseError(f"unexpected character {line[position]!r} in line: {line.strip()}")
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        text = match.group()
+        if match.lastgroup == "string":
+            tokens.append(_Token("const", text[1:-1]))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("const", int(text)))
+        elif match.lastgroup == "ident":
+            tokens.append(_Token("ident", text))
+        elif match.lastgroup == "arrow":
+            tokens.append(_Token("arrow", ":-"))
+        elif match.lastgroup == "neq":
+            tokens.append(_Token("neq", "!="))
+        else:
+            tokens.append(_Token("punct", text))
+    return tokens
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``#`` comment, ignoring ``#`` inside quoted strings."""
+    quote: Optional[str] = None
+    for position, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+        elif char == "#":
+            return line[:position]
+    return line
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Join physical lines into statements (see module docstring)."""
+    logical: List[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            if buffer:
+                logical.append(buffer)
+                buffer = ""
+            continue
+        buffer = f"{buffer} {stripped}" if buffer else stripped
+        if not buffer.rstrip().endswith((",", " and", " or")):
+            logical.append(buffer)
+            buffer = ""
+    if buffer:
+        logical.append(buffer)
+    return logical
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[_Token], context: str) -> None:
+        self.tokens = list(tokens)
+        self.index = 0
+        self.context = context
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        position = self.index + offset
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of statement: {self.context}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[object] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind!r}, found {token.value!r} in: {self.context}"
+            )
+        return token
+
+    def accept(self, kind: str, value: Optional[object] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind and (value is None or token.value == value):
+            self.index += 1
+            return token
+        return None
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "ident" and token.value.lower() == word:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class ProgramParser:
+    """Parses the textual syntax into a :class:`WorkflowProgram`."""
+
+    def __init__(self) -> None:
+        self.peers: List[str] = []
+        self.relations: Dict[str, Relation] = {}
+        self.views: List[View] = []
+        self._view_index: Dict[PyTuple[str, str], View] = {}
+        self.rules: List[Rule] = []
+        self._auto_rule_counter = 0
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> WorkflowProgram:
+        for line in _logical_lines(text):
+            self._parse_statement(line)
+        schema = CollaborativeSchema(
+            Schema(list(self.relations.values())), self.peers, self.views
+        )
+        # Re-intern views so rules reference the schema's view objects.
+        return WorkflowProgram(schema, self.rules)
+
+    def _parse_statement(self, line: str) -> None:
+        stream = _TokenStream(_tokenize(line), line)
+        head = stream.peek()
+        if head is None:
+            return
+        if head.kind == "ident" and head.value.lower() in ("peers", "peer"):
+            stream.next()
+            self._parse_peers(stream)
+        elif head.kind == "ident" and head.value.lower() == "relation":
+            stream.next()
+            self._parse_relation(stream)
+        elif head.kind == "ident" and head.value.lower() == "view":
+            stream.next()
+            self._parse_view(stream)
+        else:
+            self._parse_rule(stream)
+
+    def _parse_peers(self, stream: _TokenStream) -> None:
+        while True:
+            name = stream.expect("ident").value
+            if name not in self.peers:
+                self.peers.append(name)
+            if not stream.accept("punct", ","):
+                break
+        if not stream.at_end():
+            raise ParseError(f"trailing tokens in peers declaration: {stream.context}")
+
+    def _parse_relation(self, stream: _TokenStream) -> None:
+        name = stream.expect("ident").value
+        stream.expect("punct", "(")
+        attributes: List[str] = []
+        while True:
+            attributes.append(stream.expect("ident").value)
+            if not stream.accept("punct", ","):
+                break
+        stream.expect("punct", ")")
+        if name in self.relations:
+            raise ParseError(f"relation {name} declared twice")
+        self.relations[name] = Relation(name, tuple(attributes))
+
+    def _parse_view(self, stream: _TokenStream) -> None:
+        relation_name = stream.expect("ident").value
+        relation = self._relation(relation_name)
+        stream.expect("punct", "@")
+        peer = stream.expect("ident").value
+        if peer not in self.peers:
+            raise ParseError(f"view over undeclared peer {peer!r}")
+        stream.expect("punct", "(")
+        attributes: List[str] = []
+        while True:
+            attributes.append(stream.expect("ident").value)
+            if not stream.accept("punct", ","):
+                break
+        stream.expect("punct", ")")
+        selection: Condition = TRUE
+        if stream.accept_keyword("where"):
+            selection = self._parse_condition(stream, relation)
+        if not stream.at_end():
+            raise ParseError(f"trailing tokens in view declaration: {stream.context}")
+        view = View(relation, peer, tuple(attributes), selection)
+        key = (relation_name, peer)
+        if key in self._view_index:
+            raise ParseError(f"view {view.name} declared twice")
+        self._view_index[key] = view
+        self.views.append(view)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+
+    def _parse_condition(self, stream: _TokenStream, relation: Relation) -> Condition:
+        return self._parse_or(stream, relation)
+
+    def _parse_or(self, stream: _TokenStream, relation: Relation) -> Condition:
+        parts = [self._parse_and(stream, relation)]
+        while stream.accept_keyword("or"):
+            parts.append(self._parse_and(stream, relation))
+        return disjunction(parts)
+
+    def _parse_and(self, stream: _TokenStream, relation: Relation) -> Condition:
+        parts = [self._parse_unary_condition(stream, relation)]
+        while stream.accept_keyword("and"):
+            parts.append(self._parse_unary_condition(stream, relation))
+        return conjunction(parts)
+
+    def _parse_unary_condition(self, stream: _TokenStream, relation: Relation) -> Condition:
+        if stream.accept_keyword("not"):
+            return Not(self._parse_unary_condition(stream, relation))
+        if stream.accept("punct", "("):
+            inner = self._parse_or(stream, relation)
+            stream.expect("punct", ")")
+            return inner
+        if stream.accept_keyword("true"):
+            return TRUE
+        if stream.accept_keyword("false"):
+            return FALSE
+        attribute = stream.expect("ident").value
+        if not relation.has_attribute(attribute):
+            raise ParseError(
+                f"condition mentions unknown attribute {attribute!r} of {relation.name}"
+            )
+        negated = False
+        if stream.accept("neq"):
+            negated = True
+        else:
+            stream.expect("punct", "=")
+        token = stream.next()
+        condition: Condition
+        if token.kind == "const":
+            condition = Eq(attribute, token.value)
+        elif token.kind == "ident" and token.value.lower() == "null":
+            condition = Eq(attribute, NULL)
+        elif token.kind == "ident":
+            if not relation.has_attribute(token.value):
+                raise ParseError(
+                    f"condition mentions unknown attribute {token.value!r} of {relation.name}"
+                )
+            condition = AttrEq(attribute, token.value)
+        else:
+            raise ParseError(f"bad condition operand {token.value!r}")
+        return Not(condition) if negated else condition
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def _parse_rule(self, stream: _TokenStream) -> None:
+        name: Optional[str] = None
+        if stream.accept("punct", "["):
+            name = stream.expect("ident").value
+            stream.expect("punct", "]")
+        if name is None:
+            self._auto_rule_counter += 1
+            name = f"r{self._auto_rule_counter}"
+        head: List[UpdateAtom] = []
+        while True:
+            head.append(self._parse_update_atom(stream))
+            if not stream.accept("punct", ","):
+                break
+        stream.expect("arrow")
+        literals: List[Literal] = []
+        if not stream.at_end():
+            while True:
+                literals.append(self._parse_body_literal(stream))
+                if not stream.accept("punct", ","):
+                    break
+        if not stream.at_end():
+            raise ParseError(f"trailing tokens in rule: {stream.context}")
+        self.rules.append(Rule(name, tuple(head), Query(literals)))
+
+    def _parse_update_atom(self, stream: _TokenStream) -> UpdateAtom:
+        if stream.accept("punct", "+"):
+            view, terms = self._parse_atom_args(stream)
+            return Insertion(view, terms)
+        if stream.accept("punct", "-"):
+            if stream.accept_keyword("key"):
+                view, term = self._parse_key_atom(stream)
+                return Deletion(view, term)
+            view, terms = self._parse_atom_args(stream)
+            if len(terms) != 1 and len(view.attributes) != 1:
+                # "-R@p(k)" sugar: a single key term is expected.
+                raise ParseError(
+                    f"deletion sugar -{view.name}(...) takes exactly the key term"
+                )
+            return Deletion(view, terms[0])
+        raise ParseError(f"expected update atom in: {stream.context}")
+
+    def _parse_atom_args(self, stream: _TokenStream) -> PyTuple[View, PyTuple[Term, ...]]:
+        relation_name = stream.expect("ident").value
+        stream.expect("punct", "@")
+        peer = stream.expect("ident").value
+        view = self._view(relation_name, peer)
+        stream.expect("punct", "(")
+        terms: List[Term] = []
+        if not stream.accept("punct", ")"):
+            while True:
+                terms.append(self._parse_term(stream))
+                if not stream.accept("punct", ","):
+                    break
+            stream.expect("punct", ")")
+        return view, tuple(terms)
+
+    def _parse_key_atom(self, stream: _TokenStream) -> PyTuple[View, Term]:
+        stream.expect("punct", "[")
+        relation_name = stream.expect("ident").value
+        stream.expect("punct", "]")
+        stream.expect("punct", "@")
+        peer = stream.expect("ident").value
+        view = self._view(relation_name, peer)
+        stream.expect("punct", "(")
+        term = self._parse_term(stream)
+        stream.expect("punct", ")")
+        return view, term
+
+    def _parse_body_literal(self, stream: _TokenStream) -> Literal:
+        if stream.accept_keyword("not"):
+            if stream.accept_keyword("key"):
+                view, term = self._parse_key_atom(stream)
+                return KeyLiteral(view, term, positive=False)
+            view, terms = self._parse_atom_args(stream)
+            return RelLiteral(view, terms, positive=False)
+        token = stream.peek()
+        follower = stream.peek(1)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and token.value.lower() == "key"
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.value == "["
+        ):
+            stream.next()
+            view, term = self._parse_key_atom(stream)
+            return KeyLiteral(view, term, positive=True)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.value == "@"
+        ):
+            view, terms = self._parse_atom_args(stream)
+            return RelLiteral(view, terms, positive=True)
+        left = self._parse_term(stream)
+        if stream.accept("neq"):
+            return Comparison(left, self._parse_term(stream), positive=False)
+        stream.expect("punct", "=")
+        return Comparison(left, self._parse_term(stream), positive=True)
+
+    def _parse_term(self, stream: _TokenStream) -> Term:
+        token = stream.next()
+        if token.kind == "const":
+            return Const(token.value)
+        if token.kind == "ident":
+            if token.value.lower() == "null":
+                return Const(NULL)
+            return Var(token.value)
+        raise ParseError(f"expected a term, found {token.value!r} in: {stream.context}")
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def _relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise ParseError(f"relation {name!r} is not declared") from None
+
+    def _view(self, relation: str, peer: str) -> View:
+        try:
+            return self._view_index[(relation, peer)]
+        except KeyError:
+            raise ParseError(f"view {relation}@{peer} is not declared") from None
+
+
+def parse_program(text: str) -> WorkflowProgram:
+    """Parse the textual syntax into a :class:`WorkflowProgram`.
+
+    >>> P = parse_program('''
+    ... peers p
+    ... relation OK(K)
+    ... view OK@p(K)
+    ... [go] +OK@p(0) :-
+    ... ''')
+    >>> P.rule("go").peer
+    'p'
+    """
+    return ProgramParser().parse(text)
+
+
+def parse_schema(text: str) -> CollaborativeSchema:
+    """Parse declarations only and return the collaborative schema."""
+    return parse_program(text).schema

@@ -1,0 +1,132 @@
+"""Relation and database schemas.
+
+A relation schema is a relation symbol with a sequence of distinct
+attributes; following the paper, every relation is equipped with a unique
+single-attribute key ``K``, which we fix to be the *first* attribute of
+the relation.  A database schema is a finite set of relation schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Sequence, Tuple as PyTuple
+
+from .errors import SchemaError
+
+#: Conventional name for the key attribute (the paper calls it K).
+KEY_ATTRIBUTE = "K"
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation schema ``R`` with attribute sequence ``att(R)``.
+
+    The first attribute is the key ``K``.  Attributes must be distinct
+    non-empty strings.
+
+    >>> R = Relation("Assign", ("K", "emp", "proj"))
+    >>> R.key_attribute
+    'K'
+    >>> R.arity
+    3
+    """
+
+    name: str
+    attributes: PyTuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name} must have at least the key attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name} has duplicate attributes: {self.attributes}")
+        if not all(isinstance(a, str) and a for a in self.attributes):
+            raise SchemaError(f"relation {self.name} has invalid attribute names")
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    @property
+    def key_attribute(self) -> str:
+        """The key attribute ``K`` (the first attribute)."""
+        return self.attributes[0]
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def nonkey_attributes(self) -> PyTuple[str, ...]:
+        return self.attributes[1:]
+
+    def position(self, attribute: str) -> int:
+        """The index of *attribute* in ``att(R)``."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(f"relation {self.name} has no attribute {attribute!r}") from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+def proposition(name: str) -> Relation:
+    """A propositional relation: unary, holding only its key.
+
+    The paper uses propositions as syntactic sugar for unary relations
+    whose single fact has key ``0``.
+    """
+    return Relation(name, (KEY_ATTRIBUTE,))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema ``D``: a finite set of relation schemas.
+
+    >>> D = Schema([Relation("R", ("K", "A")), proposition("OK")])
+    >>> sorted(D.relation_names)
+    ['OK', 'R']
+    """
+
+    relations: PyTuple[Relation, ...]
+    _by_name: Dict[str, Relation] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, relations: Iterable[Relation]) -> None:
+        rels = tuple(relations)
+        names = [r.name for r in rels]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate relation names in schema: {names}")
+        object.__setattr__(self, "relations", rels)
+        object.__setattr__(self, "_by_name", {r.name: r for r in rels})
+
+    @property
+    def relation_names(self) -> PyTuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no relation named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def max_arity(self) -> int:
+        """The maximum arity of a relation in the schema (0 if empty)."""
+        return max((r.arity for r in self.relations), default=0)
+
+    def extend(self, extra: Iterable[Relation]) -> "Schema":
+        """A new schema with the relations of this one plus *extra*."""
+        return Schema(tuple(self.relations) + tuple(extra))
+
+    def __repr__(self) -> str:
+        return "Schema[" + ", ".join(repr(r) for r in self.relations) + "]"

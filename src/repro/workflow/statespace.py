@@ -1,0 +1,170 @@
+"""Bounded state-space exploration of workflow programs.
+
+Breadth-first exploration of the reachable global instances of a
+program, with optional canonical deduplication up to value isomorphism
+(Lemma A.2 makes isomorphic states interchangeable).  Useful for
+reachability questions ("can ``U`` become non-empty?"), deadlock
+detection, and state-space statistics on small programs — the building
+block the bounded decision procedures of Section 5 rely on implicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from .domain import FreshValueSource
+from .engine import apply_event
+from .enumerate import applicable_events
+from .events import Event
+from .instance import Instance
+from .isomorphism import canonicalize_instance
+from .program import WorkflowProgram
+
+
+@dataclass(frozen=True)
+class ReachableState:
+    """One explored state: the instance and a witness event path."""
+
+    instance: Instance
+    path: PyTuple[Event, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+
+@dataclass
+class ExplorationStats:
+    """Aggregates of one exploration."""
+
+    states_visited: int = 0
+    states_deduplicated: int = 0
+    transitions: int = 0
+    max_depth_reached: int = 0
+    deadlocks: int = 0
+
+
+class StateSpaceExplorer:
+    """Breadth-first exploration with canonical deduplication.
+
+    ``dedup='exact'`` merges equal instances; ``dedup='isomorphic'``
+    additionally merges instances equal up to renaming of values outside
+    ``const(P)`` (sound by Lemma A.2); ``dedup='none'`` explores the raw
+    tree.
+
+    >>> # explorer = StateSpaceExplorer(program)
+    >>> # hit = explorer.find(lambda inst: bool(inst.keys("U")), max_depth=6)
+    """
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        dedup: str = "isomorphic",
+        initial: Optional[Instance] = None,
+    ) -> None:
+        if dedup not in ("none", "exact", "isomorphic"):
+            raise ValueError(f"unknown dedup mode {dedup!r}")
+        self.program = program
+        self.dedup = dedup
+        self.initial = (
+            initial if initial is not None else Instance.empty(program.schema.schema)
+        )
+        self.stats = ExplorationStats()
+
+    def _signature(self, instance: Instance) -> object:
+        if self.dedup == "exact":
+            return instance
+        constants = self.program.constants()
+        return canonicalize_instance(instance, fixed=constants)
+
+    def iterate(
+        self,
+        max_depth: int,
+        max_states: Optional[int] = None,
+    ) -> Iterator[ReachableState]:
+        """Yield reachable states breadth-first (the initial state first)."""
+        self.stats = ExplorationStats()
+        seen: Set[object] = set()
+        queue: deque = deque()
+        root = ReachableState(self.initial, ())
+        queue.append(root)
+        if self.dedup != "none":
+            seen.add(self._signature(self.initial))
+        fresh_base = 30_000
+        while queue:
+            state = queue.popleft()
+            self.stats.states_visited += 1
+            self.stats.max_depth_reached = max(
+                self.stats.max_depth_reached, state.depth
+            )
+            yield state
+            if max_states is not None and self.stats.states_visited >= max_states:
+                return
+            if state.depth >= max_depth:
+                continue
+            source = FreshValueSource(start=fresh_base + 64 * self.stats.states_visited)
+            source.observe(self.program.constants())
+            source.observe(state.instance.active_domain())
+            successors = 0
+            for event in applicable_events(self.program, state.instance, source):
+                successor = apply_event(
+                    self.program.schema, state.instance, event, None, check_body=False
+                )
+                self.stats.transitions += 1
+                successors += 1
+                if self.dedup != "none":
+                    signature = self._signature(successor)
+                    if signature in seen:
+                        self.stats.states_deduplicated += 1
+                        continue
+                    seen.add(signature)
+                queue.append(ReachableState(successor, state.path + (event,)))
+            if successors == 0:
+                self.stats.deadlocks += 1
+
+    def find(
+        self,
+        predicate: Callable[[Instance], bool],
+        max_depth: int,
+        max_states: Optional[int] = None,
+    ) -> Optional[ReachableState]:
+        """The first reachable state satisfying *predicate*, if any."""
+        for state in self.iterate(max_depth, max_states):
+            if predicate(state.instance):
+                return state
+        return None
+
+    def reachable_count(self, max_depth: int) -> int:
+        """How many (dedup-distinct) states are reachable within the bound."""
+        return sum(1 for _ in self.iterate(max_depth))
+
+    def deadlock_states(self, max_depth: int) -> List[ReachableState]:
+        """States (within the bound) from which no event is applicable."""
+        out: List[ReachableState] = []
+        for state in self.iterate(max_depth):
+            source = FreshValueSource(start=99_000)
+            source.observe(self.program.constants())
+            source.observe(state.instance.active_domain())
+            if next(
+                iter(applicable_events(self.program, state.instance, source)), None
+            ) is None:
+                out.append(state)
+        return out
+
+
+def fact_reachable(
+    program: WorkflowProgram,
+    relation: str,
+    max_depth: int,
+    dedup: str = "isomorphic",
+) -> Optional[ReachableState]:
+    """A reachable state with a non-empty *relation*, if one exists in bound.
+
+    The bounded form of the (undecidable) question (?) of Theorem 5.4.
+
+    >>> # witness = fact_reachable(pcp_workflow(instance), "U", 6)
+    """
+    explorer = StateSpaceExplorer(program, dedup=dedup)
+    return explorer.find(lambda instance: bool(instance.keys(relation)), max_depth)

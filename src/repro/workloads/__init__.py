@@ -1,0 +1,55 @@
+"""Canonical programs from the paper and parametrized synthetic workloads."""
+
+from .generators import (
+    OBSERVER,
+    chain_program,
+    churn_program,
+    noisy_chain_program,
+    parallel_chains_program,
+    profile_program,
+    random_propositional_program,
+)
+from .simulation import (
+    PeerPolicy,
+    SimulationResult,
+    Simulator,
+    fact_goal,
+    simulate_until,
+)
+from .paper_examples import (
+    approval_program,
+    derivation_choice_program,
+    hiring_no_cfo_program,
+    hiring_program,
+    hiring_transparent_program,
+    lossy_schema_declarations,
+    opaque_veto_program,
+    replace_assignment_program,
+    transitive_closure_program,
+    vetoed_hiring_program,
+)
+
+__all__ = [
+    "OBSERVER",
+    "PeerPolicy",
+    "SimulationResult",
+    "Simulator",
+    "fact_goal",
+    "simulate_until",
+    "approval_program",
+    "chain_program",
+    "derivation_choice_program",
+    "churn_program",
+    "hiring_no_cfo_program",
+    "hiring_program",
+    "hiring_transparent_program",
+    "lossy_schema_declarations",
+    "noisy_chain_program",
+    "opaque_veto_program",
+    "parallel_chains_program",
+    "profile_program",
+    "random_propositional_program",
+    "replace_assignment_program",
+    "transitive_closure_program",
+    "vetoed_hiring_program",
+]

@@ -1,0 +1,213 @@
+"""Parametrized synthetic workloads.
+
+These generators produce program families used across tests, examples
+and benchmarks:
+
+* :func:`profile_program` — attribute-level workflow where modification
+  faithfulness requires strictly more than observational replay;
+* :func:`chain_program` — a silent derivation chain of configurable
+  depth ending in an event visible to the observer (drives boundedness
+  experiments: the minimal faithful run through the chain has exactly
+  ``depth + 1`` events);
+* :func:`noisy_chain_program` — the chain plus irrelevant relations and
+  peers whose activity the observer's explanations must filter out;
+* :func:`parallel_chains_program` — several independent chains;
+* :func:`churn_program` — create/delete lifecycle churn on a shared key
+  space;
+* :func:`random_propositional_program` — random ground propositional
+  programs for randomized differential testing.
+
+The canonical observer peer is always called ``observer``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..workflow.parser import parse_program
+from ..workflow.program import WorkflowProgram
+
+#: Name of the observing peer in all generated workloads.
+OBSERVER = "observer"
+
+
+def profile_program() -> WorkflowProgram:
+    """Profiles with separately-filled attributes.
+
+    ``P(K, email, phone)`` is created empty, then ``emailer`` fills the
+    email and ``phoner`` the phone.  The observer sees ``K, phone`` of
+    ``P`` and the ``Notified`` relation.  The ``notify`` rule (by
+    ``emailer``) only reads the email, yet modification faithfulness for
+    the observer also drags in the phone-filling event, because it
+    modifies an attribute in ``att(P, observer)`` within the same
+    lifecycle — a strictly stronger requirement than replayability.
+    """
+    return parse_program(
+        """
+        peers owner, emailer, phoner, observer
+        relation P(K, email, phone)
+        relation Notified(K)
+        view P@owner(K, email, phone)
+        view P@emailer(K, email)
+        view P@phoner(K, phone)
+        view P@observer(K, phone)
+        view Notified@owner(K)
+        view Notified@emailer(K)
+        view Notified@observer(K)
+        [create]    +P@owner(x, null, null) :-
+        [set_email] +P@emailer(x, 'e') :- P@emailer(x, null)
+        [set_phone] +P@phoner(x, 'p') :- P@phoner(x, null)
+        [notify]    +Notified@emailer(x) :- P@emailer(x, 'e')
+        """
+    )
+
+
+def chain_program(depth: int, observer_sees_start: bool = False) -> WorkflowProgram:
+    """A silent derivation chain ``S0 → S1 → ... → S<depth>``.
+
+    The observer sees only the last proposition (and optionally the
+    first).  Rules: ``start`` inserts ``S0``; ``step<i>`` derives
+    ``S<i+1>`` from ``S<i>``; all rules belong to a worker peer.  The
+    minimal faithful run reaching a visible event has ``depth + 1``
+    events, making the family the canonical h-boundedness stress.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    lines: List[str] = [f"peers worker, {OBSERVER}"]
+    for i in range(depth + 1):
+        lines.append(f"relation S{i}(K)")
+    for i in range(depth + 1):
+        lines.append(f"view S{i}@worker(K)")
+    lines.append(f"view S{depth}@{OBSERVER}(K)")
+    if observer_sees_start and depth > 0:
+        lines.append(f"view S0@{OBSERVER}(K)")
+    lines.append("[start] +S0@worker(0) :-")
+    for i in range(depth):
+        lines.append(f"[step{i}] +S{i + 1}@worker(0) :- S{i}@worker(0)")
+    return parse_program("\n".join(lines))
+
+
+def noisy_chain_program(depth: int, noise: int) -> WorkflowProgram:
+    """The chain of :func:`chain_program` plus *noise* irrelevant relations.
+
+    Each noise relation ``N<i>`` has its own peer inserting and deleting
+    facts the observer never sees; explanations must discard them.
+    """
+    base_lines: List[str] = [
+        "peers worker, "
+        + ", ".join(f"noisemaker{i}" for i in range(noise))
+        + (", " if noise else "")
+        + OBSERVER
+    ]
+    for i in range(depth + 1):
+        base_lines.append(f"relation S{i}(K)")
+        base_lines.append(f"view S{i}@worker(K)")
+    base_lines.append(f"view S{depth}@{OBSERVER}(K)")
+    for i in range(noise):
+        base_lines.append(f"relation N{i}(K)")
+        base_lines.append(f"view N{i}@noisemaker{i}(K)")
+    base_lines.append("[start] +S0@worker(0) :-")
+    for i in range(depth):
+        base_lines.append(f"[step{i}] +S{i + 1}@worker(0) :- S{i}@worker(0)")
+    for i in range(noise):
+        base_lines.append(f"[ins_n{i}] +N{i}@noisemaker{i}(0) :-")
+        base_lines.append(f"[del_n{i}] -Key[N{i}]@noisemaker{i}(0) :- N{i}@noisemaker{i}(0)")
+    return parse_program("\n".join(base_lines))
+
+
+def parallel_chains_program(chains: int, depth: int) -> WorkflowProgram:
+    """*chains* independent silent chains; the observer sees every chain's end."""
+    lines: List[str] = [f"peers worker, {OBSERVER}"]
+    for c in range(chains):
+        for i in range(depth + 1):
+            lines.append(f"relation C{c}S{i}(K)")
+            lines.append(f"view C{c}S{i}@worker(K)")
+        lines.append(f"view C{c}S{depth}@{OBSERVER}(K)")
+    for c in range(chains):
+        lines.append(f"[start{c}] +C{c}S0@worker(0) :-")
+        for i in range(depth):
+            lines.append(f"[step{c}_{i}] +C{c}S{i + 1}@worker(0) :- C{c}S{i}@worker(0)")
+    return parse_program("\n".join(lines))
+
+
+def churn_program() -> WorkflowProgram:
+    """Create/delete churn: objects cycle through lifecycles.
+
+    ``maker`` creates objects, ``killer`` deletes them, and ``auditor``
+    stamps visible audit facts for objects currently alive.  The
+    observer sees only the audit relation, so explanations must identify
+    the lifecycle each audited object was in.
+    """
+    return parse_program(
+        f"""
+        peers maker, killer, auditor, {OBSERVER}
+        relation Obj(K)
+        relation Audit(K, obj)
+        view Obj@maker(K)
+        view Obj@killer(K)
+        view Obj@auditor(K)
+        view Audit@auditor(K, obj)
+        view Audit@{OBSERVER}(K, obj)
+        [make]  +Obj@maker(x) :-
+        [kill]  -Key[Obj]@killer(x) :- Obj@killer(x)
+        [audit] +Audit@auditor(a, x) :- Obj@auditor(x)
+        """
+    )
+
+
+def random_propositional_program(
+    relations: int,
+    rules: int,
+    peers: int = 3,
+    visible_fraction: float = 0.3,
+    deletion_fraction: float = 0.2,
+    max_body: int = 2,
+    seed: Optional[int] = None,
+) -> WorkflowProgram:
+    """A random ground propositional program.
+
+    Propositions ``P0..P<relations-1>`` are distributed among *peers*
+    (each peer sees a random subset; the observer sees roughly
+    *visible_fraction* of them).  Rules are random ground insertions or
+    deletions guarded by up to *max_body* positive propositions visible
+    to the acting peer.  Used for randomized differential testing of
+    scenario/faithfulness algorithms.
+    """
+    rng = random.Random(seed)
+    peer_names = [f"p{i}" for i in range(peers)] + [OBSERVER]
+    lines: List[str] = ["peers " + ", ".join(peer_names)]
+    sees: dict = {peer: set() for peer in peer_names}
+    for r in range(relations):
+        lines.append(f"relation P{r}(K)")
+        holders = rng.sample(range(peers), k=max(1, rng.randint(1, peers)))
+        for h in holders:
+            sees[f"p{h}"].add(r)
+        if rng.random() < visible_fraction:
+            sees[OBSERVER].add(r)
+    for peer in peer_names:
+        for r in sorted(sees[peer]):
+            lines.append(f"view P{r}@{peer}(K)")
+    made_rules = 0
+    attempts = 0
+    while made_rules < rules and attempts < rules * 50:
+        attempts += 1
+        peer_index = rng.randrange(peers)
+        peer = f"p{peer_index}"
+        visible = sorted(sees[peer])
+        if not visible:
+            continue
+        target = rng.choice(visible)
+        body_size = rng.randint(0, max_body)
+        body_rels = rng.sample(visible, k=min(body_size, len(visible)))
+        if rng.random() < deletion_fraction:
+            # Normal form: the deletion needs a body witness on its key.
+            if target not in body_rels:
+                body_rels = body_rels + [target]
+            body = ", ".join(f"P{b}@{peer}(0)" for b in body_rels)
+            lines.append(f"[r{made_rules}] -Key[P{target}]@{peer}(0) :- {body}")
+        else:
+            body = ", ".join(f"P{b}@{peer}(0)" for b in body_rels)
+            lines.append(f"[r{made_rules}] +P{target}@{peer}(0) :- {body}".rstrip())
+        made_rules += 1
+    return parse_program("\n".join(lines))

@@ -1,0 +1,326 @@
+"""The running examples of the paper, as ready-made programs.
+
+Every example used in the paper's narrative is reproduced here so tests,
+examples and benchmarks can refer to a single canonical source:
+
+* Example 2.2 — the lossy schema rejected by losslessness;
+* the Section 2 ``Assign``/``Replace`` rule;
+* Example 4.2 — the cto/ceo/assistant/applicant approval workflow whose
+  unfaithful scenario is misleading;
+* Example 5.1 — the hiring workflow (hr/cfo/ceo/Sue) and its
+  view-program for Sue;
+* Example 5.7 — the non-transparent variant without cfoOK, and the
+  Stage-based transparent variant;
+* Proposition 5.3 — the transitive-closure program with no view-program;
+* Example 6.1 — simultaneous transparent/opaque head updates.
+
+Note on Example 5.1: taken literally, the rule ``+cfoOK@cfo(x) :-`` must
+instantiate ``x`` with a *globally fresh* value (run semantics, Section
+2), so ``cfoOK`` can never hold for a key for which ``Cleared`` holds and
+``approve`` can never fire.  :func:`hiring_program` therefore grounds the
+``cfook`` rule with the body ``Cleared@cfo(x)`` by default (the evident
+intent of the example); pass ``literal=True`` for the verbatim rules.
+"""
+
+from __future__ import annotations
+
+from ..workflow.parser import parse_program
+from ..workflow.program import WorkflowProgram
+from ..workflow.views import CollaborativeSchema
+
+
+def hiring_program(literal: bool = False) -> WorkflowProgram:
+    """Example 5.1: the hr/cfo/ceo hiring workflow observed by Sue.
+
+    Sue sees only ``Cleared`` and ``Hire``; the other peers see all
+    relations.  With ``literal=True`` the ``cfook`` rule has an empty
+    body, exactly as printed in the paper (see module docstring).
+    """
+    cfook_rule = "+cfoOK@cfo(x) :-" if literal else "+cfoOK@cfo(x) :- Cleared@cfo(x)"
+    return parse_program(
+        f"""
+        peers hr, ceo, cfo, sue
+        relation Cleared(K)
+        relation cfoOK(K)
+        relation Approved(K)
+        relation Hire(K)
+        view Cleared@hr(K)
+        view Cleared@ceo(K)
+        view Cleared@cfo(K)
+        view Cleared@sue(K)
+        view cfoOK@hr(K)
+        view cfoOK@ceo(K)
+        view cfoOK@cfo(K)
+        view Approved@hr(K)
+        view Approved@ceo(K)
+        view Approved@cfo(K)
+        view Hire@hr(K)
+        view Hire@ceo(K)
+        view Hire@cfo(K)
+        view Hire@sue(K)
+        [clear]   +Cleared@hr(x) :-
+        [cfook]   {cfook_rule}
+        [approve] +Approved@ceo(x) :- Cleared@ceo(x), cfoOK@ceo(x)
+        [hire]    +Hire@hr(x) :- Approved@hr(x)
+        """
+    )
+
+
+def hiring_no_cfo_program() -> WorkflowProgram:
+    """Example 5.7, first variant: cfoOK removed, still not transparent.
+
+    The fact ``Approved(Sue)`` can pre-exist invisibly to Sue and be used
+    by a later Sue-visible event, violating transparency.
+    """
+    return parse_program(
+        """
+        peers hr, ceo, sue
+        relation Cleared(K)
+        relation Approved(K)
+        relation Hire(K)
+        view Cleared@hr(K)
+        view Cleared@ceo(K)
+        view Cleared@sue(K)
+        view Approved@hr(K)
+        view Approved@ceo(K)
+        view Hire@hr(K)
+        view Hire@ceo(K)
+        view Hire@sue(K)
+        [clear]   +Cleared@hr(x) :-
+        [approve] +Approved@ceo(x) :- Cleared@ceo(x)
+        [hire]    +Hire@hr(x) :- Approved@hr(x)
+        """
+    )
+
+
+def hiring_transparent_program() -> WorkflowProgram:
+    """Example 5.7, second variant: the Stage-based transparent program.
+
+    The ``Stage`` relation (visible to every peer) holds at most one
+    tuple ``Stage(0, s)``; every Sue-visible event deletes it, so events
+    relying on invisible facts must run inside a freshly-opened stage,
+    preventing the reuse of information computed before the latest
+    Sue-visible update.
+
+    One correction to the program as printed in the paper: the
+    ``approve`` rule there writes ``+Approved@ceo(x, s)`` with ``x``
+    taken from the body, i.e. it *reuses* the candidate's key across
+    stages.  A stale ``Approved(x, s_old)`` from an earlier stage then
+    makes the insertion chase-conflict on instances that are Sue-fresh
+    but carry invisible junk, breaking the uniform transparency of
+    Definition 5.6 (Remark 5.12 insists non-reachable p-fresh instances
+    count).  The design guidelines (C4)(ii) of Section 6 prescribe the
+    fix the paper itself states — invisible transparent facts are
+    *created with new keys* and carry the stage id — so ``Approved``
+    here is ``Approved(a, cand, sid)`` with a fresh key ``a`` per
+    approval.
+    """
+    return parse_program(
+        """
+        peers hr, ceo, sue
+        relation Stage(K, sid)
+        relation Cleared(K)
+        relation Approved(K, cand, sid)
+        relation Hire(K)
+        view Stage@hr(K, sid)
+        view Stage@ceo(K, sid)
+        view Stage@sue(K, sid)
+        view Cleared@hr(K)
+        view Cleared@ceo(K)
+        view Cleared@sue(K)
+        view Approved@hr(K, cand, sid)
+        view Approved@ceo(K, cand, sid)
+        view Hire@hr(K)
+        view Hire@ceo(K)
+        view Hire@sue(K)
+        [stage]   +Stage@sue(0, z) :- not Key[Stage]@sue(0)
+        [clear]   +Cleared@hr(x), -Key[Stage]@hr(0) :- Stage@hr(0, s)
+        [approve] +Approved@ceo(a, x, s) :- Cleared@ceo(x), Stage@ceo(0, s)
+        [hire]    +Hire@hr(x), -Key[Stage]@hr(0) :- Approved@hr(a, x, s), Stage@hr(0, s)
+        """
+    )
+
+
+def approval_program() -> WorkflowProgram:
+    """Example 4.2: the cto/ceo/assistant/applicant approval workflow.
+
+    Propositions ``ok`` and ``approval`` are unary relations keyed by the
+    constant 0.  The applicant sees only ``approval``.  The run
+    ``e f g h`` (ok'd by cto, retracted, ok'd by ceo, approved) admits
+    the misleading scenario ``e h``, which faithfulness rules out.
+    """
+    return parse_program(
+        """
+        peers cto, ceo, assistant, applicant
+        relation ok(K)
+        relation approval(K)
+        view ok@cto(K)
+        view ok@ceo(K)
+        view ok@assistant(K)
+        view approval@cto(K)
+        view approval@ceo(K)
+        view approval@assistant(K)
+        view approval@applicant(K)
+        [e] +ok@cto(0) :-
+        [f] -Key[ok]@cto(0) :- ok@cto(0)
+        [g] +ok@ceo(0) :-
+        [h] +approval@assistant(0) :- ok@assistant(0)
+        """
+    )
+
+
+def vetoed_hiring_program() -> WorkflowProgram:
+    """Remark 5.2: linear equivalence is weaker than tree equivalence.
+
+    Like the hiring workflow, but the CFO may silently *veto* a cleared
+    candidate, after which approval (and hence hiring) is impossible.
+    The synthesized view program for Sue offers ``+Hire@ω(x)`` whenever
+    she sees ``Cleared(x)`` — sound and complete for linear runs (some
+    run of the source matches) — yet in runs where the veto already
+    happened the transition is impossible: the *trees* of runs differ,
+    which is exactly the subtlety Remark 5.2 describes and transparency
+    eliminates.
+    """
+    return parse_program(
+        """
+        peers hr, cfo, sue
+        relation Cleared(K)
+        relation Vetoed(K)
+        relation Approved(K)
+        relation Hire(K)
+        view Cleared@hr(K)
+        view Cleared@cfo(K)
+        view Cleared@sue(K)
+        view Vetoed@hr(K)
+        view Vetoed@cfo(K)
+        view Approved@hr(K)
+        view Approved@cfo(K)
+        view Hire@hr(K)
+        view Hire@cfo(K)
+        view Hire@sue(K)
+        [clear]   +Cleared@hr(x) :-
+        [veto]    +Vetoed@cfo(x) :- Cleared@cfo(x)
+        [approve] +Approved@cfo(x) :- Cleared@cfo(x), not Key[Vetoed]@cfo(x)
+        [hire]    +Hire@hr(x) :- Approved@hr(x)
+        """
+    )
+
+
+def derivation_choice_program() -> WorkflowProgram:
+    """Example 4.1 (essence): two alternative derivations of one fact.
+
+    ``C5`` can be derived from ``V1`` (rule ``c5a``) or from ``V2``
+    (rule ``c5b``); peer ``p`` sees only ``C5``.  In the run
+    ``v1 c5a v2 c5b``, the subrun ``v2 c5b`` is a scenario for ``p``
+    although ``c5a`` is the event that actually derived ``C5`` —
+    precisely the anomaly boundary faithfulness rules out.
+    """
+    return parse_program(
+        """
+        peers p, q
+        relation V1(K)
+        relation V2(K)
+        relation C5(K)
+        view V1@q(K)
+        view V2@q(K)
+        view C5@q(K)
+        view C5@p(K)
+        [v1]  +V1@q(0) :-
+        [v2]  +V2@q(0) :-
+        [c5a] +C5@q(0) :- V1@q(0)
+        [c5b] +C5@q(0) :- V2@q(0)
+        """
+    )
+
+
+def replace_assignment_program() -> WorkflowProgram:
+    """The Section 2 example rule: HR replaces employee x by x' on a project.
+
+    ``Assign(x, y)`` says employee ``x`` (the key) is assigned to project
+    ``y``; ``Replace(x, x2)`` requests replacing ``x`` by ``x2``.  The
+    ``replace`` rule deletes one assignment tuple and inserts another in
+    a single event, exactly as printed in Section 2.
+    """
+    return parse_program(
+        """
+        peers hr, manager
+        relation Assign(K, proj)
+        relation Replace(K, new)
+        view Assign@hr(K, proj)
+        view Assign@manager(K, proj)
+        view Replace@hr(K, new)
+        view Replace@manager(K, new)
+        [assign]  +Assign@manager(e, p) :-
+        [request] +Replace@manager(e, e2) :- Assign@manager(e, p)
+        [replace] -Key[Assign]@hr(x), +Assign@hr(x2, y) :- Assign@hr(x, y), Replace@hr(x, x2), x != x2
+        """
+    )
+
+
+def lossy_schema_declarations() -> str:
+    """Example 2.2: declarations of the schema violating losslessness.
+
+    Peer ``p`` sees all of ``R`` but only tuples with ``A = ⊥``; peer
+    ``q`` sees only ``K, A``.  The value of ``B`` is lost as soon as
+    ``A`` becomes non-null.  Returned as source text; parse with
+    :func:`repro.workflow.parser.parse_schema`.
+    """
+    return """
+        peers p, q
+        relation R(K, A, B)
+        view R@p(K, A, B) where A = null
+        view R@q(K, A)
+    """
+
+
+def transitive_closure_program() -> WorkflowProgram:
+    """Proposition 5.3: a program with no view-program for peer p.
+
+    Peer ``q`` sees binary relations R, S, T; peer ``p`` sees only R and
+    T.  ``q`` computes the transitive closure of R in S and transfers the
+    pair (0, 1) from S to T.  The insertion of (0, 1) into T@p depends on
+    a path of unbounded length in R@p, which no rule with a bounded body
+    can express.
+
+    Binary graph edges are encoded as tuples ``R(k, from, to)`` with a
+    fresh key per edge (the model's relations are keyed).
+    """
+    return parse_program(
+        """
+        peers p, q
+        relation R(K, A, B)
+        relation S(K, A, B)
+        relation T(K, A, B)
+        view R@p(K, A, B)
+        view T@p(K, A, B)
+        view R@q(K, A, B)
+        view S@q(K, A, B)
+        view T@q(K, A, B)
+        [edge]  +R@p(k, x, y) :-
+        [base]  +S@q(k, x, y) :- R@q(e, x, y)
+        [step]  +S@q(k, x, z) :- S@q(s, x, y), R@q(e, y, z)
+        [xfer]  +T@q(k, 0, 1) :- S@q(s, 0, 1)
+        """
+    )
+
+
+def opaque_veto_program() -> WorkflowProgram:
+    """Example 6.1: simultaneous updates of visible and opaque relations.
+
+    Peers may silently derive ``T('sue', 'reject')`` and thereby rule out
+    the future visible event inserting ``R('sue', 'hire')`` without
+    informing ``p`` — the transparency violation motivating guideline
+    (C4).  Key-less propositions are modelled with string keys 'sue'.
+    """
+    return parse_program(
+        """
+        peers p, q
+        relation R(K, decision)
+        relation T(K, decision)
+        view R@p(K, decision)
+        view R@q(K, decision)
+        view T@q(K, decision)
+        [hire]   +R@q('sue', 'hire'),   +T@q('sue', 'hire')   :-
+        [reject] +R@q('sue', 'reject'), +T@q('sue', 'reject') :-
+        """
+    )

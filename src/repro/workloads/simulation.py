@@ -1,0 +1,173 @@
+"""Policy-driven multi-peer simulation.
+
+:class:`~repro.workflow.enumerate.RunGenerator` picks events uniformly;
+realistic collaborative workloads need more control: peers acting in
+turns, rules with priorities, goal-directed termination, duty cycles.
+The :class:`Simulator` provides that: each peer follows a
+:class:`PeerPolicy` choosing among its applicable events, a scheduler
+interleaves the peers, and stop conditions end the run.  The result is
+an ordinary :class:`~repro.workflow.runs.Run`, directly consumable by
+the explanation and transparency machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.domain import FreshValueSource
+from ..workflow.engine import apply_event
+from ..workflow.enumerate import applicable_events
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run, execute
+
+#: A stop condition: called with (instance, step) after every event.
+StopCondition = Callable[[Instance, int], bool]
+
+
+@dataclass
+class PeerPolicy:
+    """How one peer picks among its applicable events.
+
+    ``rule_weights`` biases the choice (unlisted rules weigh 1.0; weight
+    0 disables a rule); ``activity`` in [0, 1] is the probability the
+    peer acts at all when scheduled (idleness model); ``chooser``, if
+    given, overrides the weighted choice entirely.
+    """
+
+    rule_weights: Dict[str, float] = field(default_factory=dict)
+    activity: float = 1.0
+    chooser: Optional[Callable[[Sequence[Event], random.Random], Optional[Event]]] = None
+
+    def choose(
+        self, candidates: Sequence[Event], rng: random.Random
+    ) -> Optional[Event]:
+        if not candidates:
+            return None
+        if rng.random() > self.activity:
+            return None
+        if self.chooser is not None:
+            return self.chooser(candidates, rng)
+        weights = [self.rule_weights.get(e.rule.name, 1.0) for e in candidates]
+        if not any(weight > 0 for weight in weights):
+            return None
+        return rng.choices(list(candidates), weights=weights, k=1)[0]
+
+
+def fact_goal(relation: str, count: int = 1) -> StopCondition:
+    """Stop once *relation* holds at least *count* tuples."""
+
+    def condition(instance: Instance, _step: int) -> bool:
+        return len(instance.keys(relation)) >= count
+
+    return condition
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A finished simulation: the run plus scheduling metadata."""
+
+    run: Run
+    stopped_by_goal: bool
+    idle_ticks: int
+    events_by_peer: Mapping[str, int]
+
+
+class Simulator:
+    """Schedules peers round-robin (or randomly) under their policies.
+
+    >>> # sim = Simulator(program, {"hr": PeerPolicy({"hire": 5.0})}, seed=0)
+    >>> # result = sim.run(max_events=50, stop=fact_goal("Hire"))
+    """
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        policies: Optional[Mapping[str, PeerPolicy]] = None,
+        seed: Optional[int] = None,
+        scheduling: str = "round-robin",
+    ) -> None:
+        if scheduling not in ("round-robin", "random"):
+            raise ValueError(f"unknown scheduling {scheduling!r}")
+        self.program = program
+        self.policies = dict(policies or {})
+        self.rng = random.Random(seed)
+        self.scheduling = scheduling
+        self._acting_peers = [
+            peer for peer in program.peers if program.rules_of_peer(peer)
+        ]
+
+    def _policy(self, peer: str) -> PeerPolicy:
+        return self.policies.get(peer, PeerPolicy())
+
+    def run(
+        self,
+        max_events: int,
+        initial: Optional[Instance] = None,
+        stop: Optional[StopCondition] = None,
+        max_idle_rounds: int = 3,
+    ) -> SimulationResult:
+        """Simulate until *max_events*, the *stop* condition, or deadlock.
+
+        A deadlock is declared after *max_idle_rounds* consecutive full
+        rounds in which no peer produced an event.
+        """
+        schema = self.program.schema
+        instance = initial if initial is not None else Instance.empty(schema.schema)
+        fresh = FreshValueSource()
+        fresh.observe(self.program.constants())
+        fresh.observe(instance.active_domain())
+        events: List[Event] = []
+        counts: Dict[str, int] = {peer: 0 for peer in self._acting_peers}
+        idle_ticks = 0
+        idle_rounds = 0
+        stopped = False
+        while len(events) < max_events and not stopped:
+            order = list(self._acting_peers)
+            if self.scheduling == "random":
+                self.rng.shuffle(order)
+            acted_this_round = False
+            for peer in order:
+                if len(events) >= max_events or stopped:
+                    break
+                candidates = list(
+                    applicable_events(self.program, instance, fresh, peers=[peer])
+                )
+                choice = self._policy(peer).choose(candidates, self.rng)
+                if choice is None:
+                    idle_ticks += 1
+                    continue
+                instance = apply_event(schema, instance, choice, None, check_body=False)
+                fresh.observe(instance.active_domain())
+                events.append(choice)
+                counts[peer] += 1
+                acted_this_round = True
+                if stop is not None and stop(instance, len(events)):
+                    stopped = True
+            if not acted_this_round:
+                idle_rounds += 1
+                if idle_rounds >= max_idle_rounds:
+                    break
+            else:
+                idle_rounds = 0
+        run = execute(self.program, events, initial=initial)
+        return SimulationResult(run, stopped, idle_ticks, counts)
+
+
+def simulate_until(
+    program: WorkflowProgram,
+    goal_relation: str,
+    max_events: int = 100,
+    policies: Optional[Mapping[str, PeerPolicy]] = None,
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience wrapper: simulate until *goal_relation* is non-empty.
+
+    >>> # result = simulate_until(hiring_program(), "Hire", seed=1)
+    >>> # result.stopped_by_goal
+    """
+    simulator = Simulator(program, policies, seed=seed)
+    return simulator.run(max_events, stop=fact_goal(goal_relation))

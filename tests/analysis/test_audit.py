@@ -1,0 +1,72 @@
+"""Tests for the one-call program audit."""
+
+import pytest
+
+from repro.analysis.audit import audit_program
+from repro.transparency.bounded import SearchBudget
+from repro.workloads import (
+    hiring_no_cfo_program,
+    hiring_program,
+    hiring_transparent_program,
+)
+
+BUDGET = SearchBudget(pool_extra=2, max_tuples_per_relation=1)
+
+
+class TestStaticOnly:
+    def test_hiring_audit(self, hiring):
+        report = audit_program(hiring, "sue")
+        assert report.lossless
+        assert report.normal_form
+        assert report.linear_head
+        assert not report.c1_violations
+        assert report.acyclicity.acyclic
+        assert report.boundedness is None and report.transparency is None
+
+    def test_guidelines_opt_in(self, hiring_transparent):
+        report = audit_program(
+            hiring_transparent, "sue", transparent_relations=["Cleared", "Approved", "Hire"]
+        )
+        assert report.follows_guidelines is True
+
+    def test_guidelines_absent_by_default(self, hiring):
+        assert audit_program(hiring, "sue").follows_guidelines is None
+
+    def test_tf_flag(self, hiring_no_cfo):
+        report = audit_program(hiring_no_cfo, "sue")
+        assert report.transparency_form  # no deletions => C3' vacuous
+
+
+class TestWithDecisions:
+    def test_non_transparent_detected(self, hiring_no_cfo):
+        report = audit_program(hiring_no_cfo, "sue", decide_h=2, budget=BUDGET)
+        assert report.boundedness is not None and report.boundedness.bounded
+        assert report.transparency is not None
+        assert not report.transparency.transparent
+
+    def test_transparency_skipped_when_unbounded(self):
+        from repro.workloads import chain_program
+
+        report = audit_program(
+            chain_program(3), "observer", decide_h=2,
+            budget=SearchBudget(pool_extra=0),
+        )
+        assert not report.boundedness.bounded
+        assert report.transparency is None
+
+
+class TestRendering:
+    def test_to_text_mentions_everything(self, hiring_no_cfo):
+        report = audit_program(
+            hiring_no_cfo,
+            "sue",
+            transparent_relations=["Cleared", "Approved", "Hire"],
+            decide_h=2,
+            budget=BUDGET,
+        )
+        text = report.to_text()
+        assert "lossless schema:        True" in text
+        assert "p-acyclic" in text
+        assert "2-bounded (decided):   True" in text
+        assert "transparent (decided):  False" in text
+        assert "findings:" in text  # guideline violations reported

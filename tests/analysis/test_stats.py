@@ -1,0 +1,98 @@
+"""Tests for run statistics and scaling-fit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    RunStatistics,
+    fit_power_law,
+    format_table,
+    mean,
+    stddev,
+)
+from repro.workflow import Event, execute
+
+
+class TestRunStatistics:
+    def test_example_42(self, approval_run):
+        stats = RunStatistics.of(approval_run, "applicant")
+        assert stats.events == 4
+        assert stats.visible == 1
+        assert stats.silent == 3
+        assert stats.scenario_size == 2
+        assert stats.compression == pytest.approx(0.5)
+
+    def test_empty_run(self, approval):
+        run = execute(approval, [])
+        stats = RunStatistics.of(run, "applicant")
+        assert stats.events == 0 and stats.compression == 0.0
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(math.sqrt(2))
+        assert stddev([5.0]) == 0.0
+
+
+class TestPowerLawFit:
+    def test_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        times = [n**2 * 0.001 for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+        assert fit.r_squared > 0.999
+        assert fit.is_polynomial(3)
+
+    def test_linear(self):
+        fit = fit_power_law([1, 2, 4, 8], [3, 6, 12, 24])
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_exponential_flagged(self):
+        sizes = [5, 10, 15, 20, 25]
+        times = [2.0**n for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert not fit.is_polynomial(5)
+
+    def test_degenerate_inputs(self):
+        assert fit_power_law([], []).exponent == 0.0
+        assert fit_power_law([1], [1]).exponent == 0.0
+        assert fit_power_law([0, -1], [1, 2]).exponent == 0.0
+
+    @given(
+        exponent=st.floats(0.5, 3.0),
+        coefficient=st.floats(0.001, 10.0),
+    )
+    def test_recovers_exact_power_laws(self, exponent, coefficient):
+        sizes = [10.0, 20.0, 40.0, 80.0]
+        times = [coefficient * n**exponent for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(exponent, rel=1e-6)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "n"], [["chain", 10], ["noise", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_print_table_sink(self, capsys):
+        import io
+
+        from repro.analysis.stats import print_table, set_table_sink
+
+        sink = io.StringIO()
+        set_table_sink(sink)
+        try:
+            print_table("T", ["a"], [[1]])
+        finally:
+            set_table_sink(None)
+        assert "=== T ===" in sink.getvalue()
+        assert "=== T ===" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical programs and runs from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import Event, execute
+from repro.workloads import paper_examples
+
+
+@pytest.fixture
+def hiring():
+    return paper_examples.hiring_program()
+
+
+@pytest.fixture
+def hiring_literal():
+    return paper_examples.hiring_program(literal=True)
+
+
+@pytest.fixture
+def hiring_no_cfo():
+    return paper_examples.hiring_no_cfo_program()
+
+
+@pytest.fixture
+def hiring_transparent():
+    return paper_examples.hiring_transparent_program()
+
+
+@pytest.fixture
+def approval():
+    return paper_examples.approval_program()
+
+
+@pytest.fixture
+def approval_run(approval):
+    """The Example 4.2 run ``e f g h``."""
+    events = [Event(approval.rule(name), {}) for name in "efgh"]
+    return execute(approval, events)
+
+
+@pytest.fixture
+def assignment():
+    return paper_examples.replace_assignment_program()
+
+
+@pytest.fixture
+def transitive_closure():
+    return paper_examples.transitive_closure_program()
+
+
+@pytest.fixture
+def opaque_veto():
+    return paper_examples.opaque_veto_program()

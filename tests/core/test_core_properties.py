@@ -1,0 +1,190 @@
+"""Property-based tests of the core invariants (hypothesis).
+
+Random propositional programs and random runs drive the Section 3-4
+machinery; every property below is a theorem or lemma of the paper:
+
+* Lemma A.1  — additivity of ``T_p^ω``;
+* Lemma 4.6  — faithful subsequences yield scenarios;
+* Theorem 4.7 — the minimal faithful scenario is a faithful scenario
+  contained in every faithful closure, and a fixpoint;
+* Theorem 4.8 — closure of faithful scenarios under + and *.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.faithful import FaithfulnessAnalysis, minimal_faithful_scenario
+from repro.core.incremental import IncrementalExplainer
+from repro.core.scenarios import greedy_scenario, is_scenario
+from repro.core.subruns import EventSubsequence
+from repro.workflow import RunGenerator, execute
+from repro.workloads.generators import OBSERVER, random_propositional_program
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+program_seeds = st.integers(0, 40)
+run_seeds = st.integers(0, 40)
+lengths = st.integers(3, 18)
+
+
+def make_run(program_seed: int, run_seed: int, length: int):
+    program = random_propositional_program(
+        relations=5, rules=9, seed=program_seed, deletion_fraction=0.25
+    )
+    run = RunGenerator(program, seed=run_seed).random_run(length)
+    return program, run
+
+
+class TestTheorem47Properties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_minimal_faithful_scenario_is_faithful_scenario(self, ps, rs, n):
+        _, run = make_run(ps, rs, n)
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        scenario = minimal_faithful_scenario(run, OBSERVER)
+        assert analysis.is_faithful(scenario.indices)
+        assert is_scenario(run, OBSERVER, scenario.indices)
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_scenario_contains_visible_events(self, ps, rs, n):
+        _, run = make_run(ps, rs, n)
+        scenario = minimal_faithful_scenario(run, OBSERVER)
+        assert set(run.visible_indices(OBSERVER)) <= set(scenario.indices)
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, st.integers(0, 30))
+    def test_minimality_within_closures(self, ps, rs, n, extra):
+        """The minimal scenario is contained in every faithful closure."""
+        _, run = make_run(ps, rs, n)
+        if not len(run):
+            return
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        scenario = frozenset(minimal_faithful_scenario(run, OBSERVER).indices)
+        seed = set(run.visible_indices(OBSERVER)) | {extra % len(run)}
+        closure = analysis.closure(seed)
+        assert scenario <= closure
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_closure_is_fixpoint_and_idempotent(self, ps, rs, n):
+        _, run = make_run(ps, rs, n)
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        closure = analysis.closure(run.visible_indices(OBSERVER))
+        assert analysis.step(closure) == closure
+        assert analysis.closure(closure) == closure
+
+
+class TestOperatorProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, st.integers(0, 30), st.integers(0, 30))
+    def test_additivity_lemma_a1(self, ps, rs, n, a, b):
+        """T_p^ω(α ∪ β) = T_p^ω(α) ∪ T_p^ω(β)."""
+        _, run = make_run(ps, rs, n)
+        if not len(run):
+            return
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        left = {a % len(run)}
+        right = {b % len(run)}
+        union = analysis.closure(left | right)
+        assert union == analysis.closure(left) | analysis.closure(right)
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, st.integers(0, 30), st.integers(0, 30))
+    def test_monotonicity(self, ps, rs, n, a, b):
+        _, run = make_run(ps, rs, n)
+        if not len(run):
+            return
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        small = {a % len(run)}
+        large = small | {b % len(run)}
+        assert analysis.closure(small) <= analysis.closure(large)
+
+
+class TestTheorem48Properties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, st.integers(0, 30), st.integers(0, 30))
+    def test_closure_under_sum_and_product(self, ps, rs, n, a, b):
+        _, run = make_run(ps, rs, n)
+        if not len(run):
+            return
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        visible = set(run.visible_indices(OBSERVER))
+        first = analysis.closure(visible | {a % len(run)})
+        second = analysis.closure(visible | {b % len(run)})
+        assert analysis.is_faithful(first | second)
+        assert analysis.is_faithful(first & second)
+
+
+class TestLemma46Properties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, st.integers(0, 30))
+    def test_faithful_subsequences_yield_scenarios(self, ps, rs, n, extra):
+        _, run = make_run(ps, rs, n)
+        if not len(run):
+            return
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        seed = set(run.visible_indices(OBSERVER)) | {extra % len(run)}
+        closure = analysis.closure(seed)
+        subrun = EventSubsequence(run, closure).to_subrun()
+        assert subrun is not None
+        assert subrun.view(OBSERVER) == run.view(OBSERVER)
+
+
+class TestScenarioProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_full_run_is_scenario(self, ps, rs, n):
+        _, run = make_run(ps, rs, n)
+        assert is_scenario(run, OBSERVER, range(len(run)))
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_greedy_result_is_scenario(self, ps, rs, n):
+        _, run = make_run(ps, rs, n)
+        greedy = greedy_scenario(run, OBSERVER)
+        assert is_scenario(run, OBSERVER, greedy.indices)
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_greedy_upper_bounds_faithful(self, ps, rs, n):
+        """The faithful scenario discards at least the never-relevant
+        events, so greedy (unconstrained) can only be ≤ in informational
+        guarantees, not necessarily in size — but both are scenarios and
+        both contain all visible events."""
+        _, run = make_run(ps, rs, n)
+        visible = set(run.visible_indices(OBSERVER))
+        greedy = greedy_scenario(run, OBSERVER)
+        faithful = minimal_faithful_scenario(run, OBSERVER)
+        assert visible <= greedy.indices
+        assert visible <= set(faithful.indices)
+
+
+class TestIncrementalProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_incremental_equals_scratch(self, ps, rs, n):
+        program, run = make_run(ps, rs, n)
+        explainer = IncrementalExplainer(program, OBSERVER)
+        for event in run.events:
+            explainer.extend(event)
+        assert explainer.minimal_scenario() == minimal_faithful_scenario(
+            run, OBSERVER
+        ).indices
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_per_event_closures_match(self, ps, rs, n):
+        program, run = make_run(ps, rs, n)
+        explainer = IncrementalExplainer(program, OBSERVER)
+        for event in run.events:
+            explainer.extend(event)
+        analysis = FaithfulnessAnalysis(run, OBSERVER)
+        for index in range(len(run)):
+            assert explainer.explanation_of(index) == analysis.closure([index])

@@ -1,0 +1,67 @@
+"""Tests for the high-level explanation API."""
+
+import pytest
+
+from repro.core.explain import explain_event, explain_run
+from repro.workflow import Event, RunGenerator, execute
+from repro.workflow.runs import OMEGA
+
+
+class TestExplainRun:
+    def test_example_42(self, approval_run):
+        explanation = explain_run(approval_run, "applicant")
+        assert explanation.peer == "applicant"
+        assert explanation.scenario.indices == (2, 3)
+        assert len(explanation.observations) == 1
+        observation = explanation.observations[0]
+        assert observation.position == 3
+        assert observation.observed_label is OMEGA
+        assert observation.cause_positions == (2, 3)
+
+    def test_scenario_subrun_equivalent(self, approval_run):
+        explanation = explain_run(approval_run, "applicant")
+        subrun = explanation.scenario_subrun()
+        assert subrun.view("applicant") == approval_run.view("applicant")
+
+    def test_irrelevant_indices(self, approval_run):
+        explanation = explain_run(approval_run, "applicant")
+        assert explanation.irrelevant_indices() == (0, 1)
+
+    def test_compression_ratio(self, approval_run):
+        explanation = explain_run(approval_run, "applicant")
+        assert explanation.compression_ratio() == pytest.approx(0.5)
+
+    def test_empty_run(self, approval):
+        run = execute(approval, [])
+        explanation = explain_run(run, "applicant")
+        assert explanation.compression_ratio() == 0.0
+        assert explanation.observations == ()
+
+    def test_to_text_mentions_causes(self, approval_run):
+        text = explain_run(approval_run, "applicant").to_text()
+        assert "applicant" in text
+        assert "caused by" in text
+        assert "g@ceo" in text
+
+    def test_observation_causes_within_scenario(self, hiring):
+        run = RunGenerator(hiring, seed=2).random_run(12)
+        explanation = explain_run(run, "sue")
+        scenario = set(explanation.scenario.indices)
+        for observation in explanation.observations:
+            assert set(observation.cause_positions) <= scenario
+
+    def test_scenario_events_in_order(self, approval_run):
+        explanation = explain_run(approval_run, "applicant")
+        names = [e.rule.name for e in explanation.scenario_events()]
+        assert names == ["g", "h"]
+
+
+class TestExplainEvent:
+    def test_invisible_event_explained(self, approval_run):
+        # f (the retraction) is invisible at the applicant but still has
+        # a faithful explanation: the insertion e it deletes.
+        assert explain_event(approval_run, "applicant", 1) == {0, 1}
+
+    def test_explanation_contains_event(self, approval_run):
+        for position in range(len(approval_run)):
+            assert position in explain_event(approval_run, "applicant", position)

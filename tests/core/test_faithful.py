@@ -1,0 +1,182 @@
+"""Tests for faithfulness: Definitions 4.3-4.5, Lemma 4.6, Theorem 4.7."""
+
+import pytest
+
+from repro.core.faithful import (
+    FaithfulnessAnalysis,
+    is_faithful_scenario,
+    minimal_faithful_scenario,
+    relevant_attributes,
+)
+from repro.core.scenarios import is_scenario
+from repro.core.subruns import EventSubsequence
+from repro.workflow import Event, RunGenerator, execute
+from repro.workflow.domain import FreshValue
+from repro.workflow.queries import Var
+from repro.workloads.generators import profile_program
+
+
+class TestExample42:
+    """Example 4.2: gh is applicant-faithful, eh is not."""
+
+    def test_eh_not_faithful(self, approval_run):
+        assert not is_faithful_scenario(approval_run, "applicant", [0, 3])
+
+    def test_gh_faithful(self, approval_run):
+        assert is_faithful_scenario(approval_run, "applicant", [2, 3])
+
+    def test_gh_is_the_minimal_faithful_scenario(self, approval_run):
+        scenario = minimal_faithful_scenario(approval_run, "applicant")
+        assert scenario.indices == (2, 3)
+
+    def test_faithful_scenario_is_scenario(self, approval_run):
+        # Lemma 4.6: faithfulness implies scenario-hood.
+        scenario = minimal_faithful_scenario(approval_run, "applicant")
+        assert is_scenario(approval_run, "applicant", scenario.indices)
+        subrun = scenario.subrun()
+        assert subrun.view("applicant") == approval_run.view("applicant")
+
+    def test_efgh_requires_boundary_closure(self, approval_run):
+        # Including e (position 0) forces its lifecycle's right boundary
+        # f (position 1): the set {e, g, h} is not boundary faithful.
+        analysis = FaithfulnessAnalysis(approval_run, "applicant")
+        assert not analysis.is_boundary_faithful(frozenset({0, 2, 3}))
+        assert analysis.is_boundary_faithful(frozenset({0, 1, 2, 3}))
+
+    def test_full_run_is_faithful(self, approval_run):
+        assert is_faithful_scenario(approval_run, "applicant", range(4))
+
+    def test_faithful_must_contain_visible(self, approval_run):
+        # Position 3 is visible at applicant: omitting it breaks faithfulness.
+        assert not is_faithful_scenario(approval_run, "applicant", [2])
+
+
+class TestRequiredEvents:
+    def test_boundary_requirements(self, approval_run):
+        analysis = FaithfulnessAnalysis(approval_run, "applicant")
+        # h (position 3) reads ok(0), whose lifecycle [2, ∞) starts at g.
+        assert analysis.required_events(3) == {2}
+        # f (position 1) deletes ok(0): it lies in lifecycle [0,1].
+        assert analysis.required_events(1) == {0}
+        # e (position 0) is a left boundary of a closed lifecycle [0,1]:
+        # including it requires the right boundary f.
+        assert analysis.required_events(0) == {1}
+
+    def test_closure_is_fixpoint(self, approval_run):
+        analysis = FaithfulnessAnalysis(approval_run, "applicant")
+        closure = analysis.closure([3])
+        assert analysis.step(closure) == closure
+        assert closure == {2, 3}
+
+    def test_closure_monotone(self, approval_run):
+        analysis = FaithfulnessAnalysis(approval_run, "applicant")
+        small = analysis.closure([3])
+        large = analysis.closure([0, 3])
+        assert small <= large
+
+
+class TestModificationFaithfulness:
+    """Attribute-level modification requirements on the profile workload."""
+
+    @pytest.fixture
+    def profile_run(self):
+        program = profile_program()
+        k = FreshValue(100)
+        events = [
+            Event(program.rule("create"), {Var("x"): k}),
+            Event(program.rule("set_email"), {Var("x"): k}),
+            Event(program.rule("set_phone"), {Var("x"): k}),
+            Event(program.rule("notify"), {Var("x"): k}),
+        ]
+        return execute(program, events)
+
+    def test_notify_requires_both_modifications(self, profile_run):
+        # notify (position 3) is by 'emailer' and reads only the email,
+        # but modification faithfulness for the observer also requires
+        # set_phone, which fills an attribute in att(P, observer).
+        analysis = FaithfulnessAnalysis(profile_run, "observer")
+        assert analysis.required_events(3) == {0, 1, 2}
+
+    def test_minimal_faithful_scenario_contains_all(self, profile_run):
+        scenario = minimal_faithful_scenario(profile_run, "observer")
+        assert scenario.indices == (0, 1, 2, 3)
+
+    def test_dropping_phone_changes_observer_view(self, profile_run):
+        # set_phone is visible at the observer (phone ∈ att(P@observer)),
+        # so dropping it does not even produce a scenario.
+        assert not is_scenario(profile_run, "observer", [0, 1, 3])
+        assert profile_run.visible_at("observer", 2)
+
+    def test_modification_faithful_predicate(self, profile_run):
+        analysis = FaithfulnessAnalysis(profile_run, "observer")
+        assert analysis.is_modification_faithful(frozenset({0, 1, 2, 3}))
+        assert not analysis.is_modification_faithful(frozenset({0, 1, 3}))
+
+    def test_relevant_attributes(self, profile_run):
+        schema = profile_run.program.schema
+        assert relevant_attributes(schema, "P", "observer") == {"K", "phone"}
+        assert relevant_attributes(schema, "P", "emailer") == {"K", "email"}
+        assert relevant_attributes(schema, "P", "nobody") == frozenset()
+
+
+class TestExample41:
+    """Example 4.1 (essence): faithfulness pins the actual derivation."""
+
+    @pytest.fixture
+    def derivation_run(self):
+        from repro.workloads.paper_examples import derivation_choice_program
+
+        program = derivation_choice_program()
+        events = [Event(program.rule(name), {}) for name in ("v1", "c5a", "v2", "c5b")]
+        return execute(program, events)
+
+    def test_alternative_derivation_is_a_scenario(self, derivation_run):
+        # v2 c5b reproduces p's observations although c5a actually
+        # derived C5.
+        assert is_scenario(derivation_run, "p", [2, 3])
+
+    def test_alternative_derivation_not_faithful(self, derivation_run):
+        assert not is_faithful_scenario(derivation_run, "p", [2, 3])
+
+    def test_faithful_scenario_uses_actual_derivation(self, derivation_run):
+        scenario = minimal_faithful_scenario(derivation_run, "p")
+        assert scenario.indices == (0, 1)  # v1 then c5a
+
+    def test_noop_rederivation_requires_left_boundary(self, derivation_run):
+        analysis = FaithfulnessAnalysis(derivation_run, "p")
+        # c5b (position 3) touches C5's lifecycle [1, ∞): it requires the
+        # actual creator c5a, which in turn requires v1.
+        assert analysis.closure([3]) == {0, 1, 2, 3}
+
+
+class TestTheorem47:
+    """The minimal faithful scenario: existence, uniqueness, minimality."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minimal_faithful_scenario_properties(self, hiring, seed):
+        run = RunGenerator(hiring, seed=seed).random_run(14)
+        analysis = FaithfulnessAnalysis(run, "sue")
+        scenario = minimal_faithful_scenario(run, "sue")
+        indices = frozenset(scenario.indices)
+        # Faithful, and a scenario (Lemma 4.6 / Theorem 4.7).
+        assert analysis.is_faithful(indices)
+        assert is_scenario(run, "sue", indices)
+        # Contained in every faithful superset we can build.
+        for extra in range(len(run)):
+            candidate = analysis.closure(indices | {extra})
+            assert indices <= candidate
+            assert analysis.is_faithful(candidate | frozenset(run.visible_indices("sue")))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_strictly_smaller_faithful_scenario(self, approval, seed):
+        run = RunGenerator(approval, seed=seed).random_run(10)
+        scenario = minimal_faithful_scenario(run, "applicant")
+        indices = frozenset(scenario.indices)
+        # Removing any single event breaks faithfulness (minimality).
+        for index in indices:
+            assert not is_faithful_scenario(run, "applicant", indices - {index})
+
+    def test_empty_run(self, approval):
+        run = execute(approval, [])
+        scenario = minimal_faithful_scenario(run, "applicant")
+        assert scenario.indices == ()

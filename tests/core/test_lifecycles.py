@@ -1,0 +1,88 @@
+"""Tests for lifecycle computation along runs."""
+
+import pytest
+
+from repro.core.lifecycles import Lifecycle, LifecycleIndex, keys_in_sequence
+from repro.workflow import Event, Instance, execute
+from repro.workflow.tuples import Tuple
+
+
+class TestApprovalLifecycles:
+    """The Example 4.2 run: ok(0) lives [0,1] then [2,∞); approval(0) [3,∞)."""
+
+    def test_ok_has_two_lifecycles(self, approval_run):
+        index = LifecycleIndex(approval_run)
+        lifecycles = index.lifecycles("ok", 0)
+        assert len(lifecycles) == 2
+        first, second = lifecycles
+        assert (first.start, first.end) == (0, 1)
+        assert (second.start, second.end) == (2, None)
+        assert not first.is_open and second.is_open
+
+    def test_approval_open_lifecycle(self, approval_run):
+        index = LifecycleIndex(approval_run)
+        (lifecycle,) = index.lifecycles("approval", 0)
+        assert lifecycle.start == 3 and lifecycle.is_open
+
+    def test_lifecycle_at_positions(self, approval_run):
+        index = LifecycleIndex(approval_run)
+        assert index.lifecycle_at("ok", 0, 0).end == 1
+        assert index.lifecycle_at("ok", 0, 1).start == 0
+        assert index.lifecycle_at("ok", 0, 2).is_open
+        assert index.lifecycle_at("ok", 0, 3).is_open
+
+    def test_missing_key_has_no_lifecycle(self, approval_run):
+        index = LifecycleIndex(approval_run)
+        assert index.lifecycles("ok", 99) == ()
+        assert index.lifecycle_at("ok", 99, 0) is None
+
+    def test_open_and_closed_partition(self, approval_run):
+        index = LifecycleIndex(approval_run)
+        total = len(index.all_lifecycles())
+        assert len(index.open_lifecycles()) + len(index.closed_lifecycles()) == total
+        assert total == 3  # ok: two, approval: one
+
+
+class TestPreexistingLifecycles:
+    def test_initial_instance_tuples_have_no_left_boundary(self, approval):
+        start = Instance.from_tuples(
+            approval.schema.schema, {"ok": [Tuple(("K",), (0,))]}
+        )
+        run = execute(approval, [Event(approval.rule("h"), {})], initial=start)
+        index = LifecycleIndex(run)
+        (lifecycle,) = index.lifecycles("ok", 0)
+        assert lifecycle.is_preexisting
+        assert lifecycle.is_open
+        assert lifecycle.contains(0)
+
+    def test_preexisting_then_deleted(self, approval):
+        start = Instance.from_tuples(
+            approval.schema.schema, {"ok": [Tuple(("K",), (0,))]}
+        )
+        run = execute(approval, [Event(approval.rule("f"), {})], initial=start)
+        (lifecycle,) = LifecycleIndex(run).lifecycles("ok", 0)
+        assert lifecycle.is_preexisting and lifecycle.end == 0
+
+
+class TestLifecycleContains:
+    def test_closed_interval(self):
+        lc = Lifecycle("R", 1, 2, 5)
+        assert lc.contains(2) and lc.contains(5) and lc.contains(3)
+        assert not lc.contains(1) and not lc.contains(6)
+
+    def test_open_interval(self):
+        lc = Lifecycle("R", 1, 2, None)
+        assert lc.contains(100)
+        assert not lc.contains(1)
+
+    def test_preexisting_interval(self):
+        lc = Lifecycle("R", 1, None, 4)
+        assert lc.contains(0) and lc.contains(4)
+        assert not lc.contains(5)
+
+
+class TestKeysInSequence:
+    def test_collects_keys(self, approval_run):
+        assert keys_in_sequence(approval_run, "ok", [0, 1, 2]) == {0}
+        assert keys_in_sequence(approval_run, "approval", [0, 1, 2]) == frozenset()
+        assert keys_in_sequence(approval_run, "approval", [3]) == {0}

@@ -1,0 +1,77 @@
+"""Tests for the prose narratives."""
+
+import pytest
+
+from repro.core.explain import explain_run
+from repro.core.narrative import narrate_explanation, narrate_run, object_story
+from repro.workflow import Event, RunGenerator, execute
+
+
+class TestNarrateExplanation:
+    def test_example_42_narrative(self, approval_run):
+        text = narrate_run(approval_run, "applicant")
+        assert "applicant's point of view" in text
+        assert "another peer's action" in text
+        # g (step 2) enables the approval; e and f are discarded.
+        assert "step 2" in text
+        assert "had no bearing" in text
+
+    def test_own_actions_attributed(self, approval_run):
+        text = narrate_run(approval_run, "assistant")
+        assert "assistant's own action (h)" in text
+
+    def test_empty_run(self, approval):
+        run = execute(approval, [])
+        text = narrate_run(run, "applicant")
+        assert "observed nothing" in text
+
+    def test_no_discard_case(self, approval):
+        run = execute(approval, [Event(approval.rule("g"), {}),
+                                 Event(approval.rule("h"), {})])
+        text = narrate_run(run, "applicant")
+        assert "Every event of the run mattered" in text
+
+    def test_unconditional_observation(self, approval):
+        run = execute(approval, [Event(approval.rule("e"), {})])
+        text = narrate_run(run, "ceo")
+        assert "needing nothing before it" in text
+
+    def test_matches_explanation_object(self, hiring):
+        run = RunGenerator(hiring, seed=6).random_run(12)
+        explanation = explain_run(run, "sue")
+        assert narrate_explanation(explanation) == narrate_run(run, "sue")
+
+
+class TestObjectStory:
+    def test_lifecycle_story(self, approval_run):
+        text = object_story(approval_run, "ok", 0, peer="applicant")
+        assert "life 1: created at step 0 (e by cto)" in text
+        assert "deleted at step 1 (f by cto)" in text
+        assert "life 2: created at step 2 (g by ceo)" in text
+        assert "still alive" in text
+
+    def test_never_existed(self, approval_run):
+        assert "never existed" in object_story(approval_run, "ok", 99)
+
+    def test_visibility_summary(self, approval_run):
+        text = object_story(approval_run, "approval", 0, peer="applicant")
+        assert "directly observed" in text
+
+    def test_attribute_modifications_reported(self):
+        from repro.workflow.domain import FreshValue
+        from repro.workflow.queries import Var
+        from repro.workloads.generators import profile_program
+
+        program = profile_program()
+        k = FreshValue(50)
+        run = execute(
+            program,
+            [
+                Event(program.rule("create"), {Var("x"): k}),
+                Event(program.rule("set_email"), {Var("x"): k}),
+                Event(program.rule("set_phone"), {Var("x"): k}),
+            ],
+        )
+        text = object_story(run, "P", k, peer="observer")
+        assert "attribute 'email' set at step 1" in text
+        assert "attribute 'phone' set at step 2" in text

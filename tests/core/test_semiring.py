@@ -1,0 +1,78 @@
+"""Tests for the semiring of faithful scenarios (Theorem 4.8)."""
+
+import pytest
+
+from repro.core.semiring import FaithfulSemiring
+from repro.core.subruns import EventSubsequence, full_subsequence
+from repro.workflow import RunGenerator
+
+
+def faithful_samples(semiring, run, peer, count=6):
+    """A family of faithful scenarios: closures of random seeds."""
+    scenarios = [semiring.minimal(), full_subsequence(run)]
+    for start in range(min(count, len(run))):
+        scenarios.append(semiring.faithful_closure(EventSubsequence(run, [start])))
+    return scenarios
+
+
+class TestClosure:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_closed_under_add_and_multiply(self, approval, seed):
+        run = RunGenerator(approval, seed=seed).random_run(10)
+        semiring = FaithfulSemiring(run, "applicant")
+        scenarios = faithful_samples(semiring, run, "applicant")
+        assert semiring.check_closure_under_operations(scenarios) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_closed_on_hiring_runs(self, hiring, seed):
+        run = RunGenerator(hiring, seed=seed).random_run(12)
+        semiring = FaithfulSemiring(run, "sue")
+        scenarios = faithful_samples(semiring, run, "sue")
+        assert semiring.check_closure_under_operations(scenarios) == []
+
+
+class TestLaws:
+    def test_semiring_laws_hold(self, approval_run):
+        semiring = FaithfulSemiring(approval_run, "applicant")
+        elements = faithful_samples(semiring, approval_run, "applicant")
+        elements.append(semiring.zero)
+        assert semiring.check_semiring_laws(elements) == []
+
+    def test_identities(self, approval_run):
+        semiring = FaithfulSemiring(approval_run, "applicant")
+        assert len(semiring.zero) == 0
+        assert len(semiring.one) == len(approval_run)
+
+    def test_minimal_is_additive_identity_on_faithful(self, approval_run):
+        """The minimal faithful scenario is ≤ every faithful scenario,
+        so adding it changes nothing (Theorem 4.7 consequence)."""
+        semiring = FaithfulSemiring(approval_run, "applicant")
+        minimal = semiring.minimal()
+        for scenario in faithful_samples(semiring, approval_run, "applicant"):
+            assert semiring.add(scenario, minimal) == scenario
+            assert minimal.is_subsequence_of(scenario)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_product_of_faithful_contains_minimal(self, hiring, seed):
+        run = RunGenerator(hiring, seed=seed).random_run(12)
+        semiring = FaithfulSemiring(run, "sue")
+        scenarios = faithful_samples(semiring, run, "sue")
+        minimal = semiring.minimal()
+        for a in scenarios:
+            for b in scenarios:
+                assert minimal.is_subsequence_of(semiring.multiply(a, b))
+
+
+class TestFaithfulClosure:
+    def test_closure_is_faithful(self, approval_run):
+        semiring = FaithfulSemiring(approval_run, "applicant")
+        for start in range(len(approval_run)):
+            closed = semiring.faithful_closure(
+                EventSubsequence(approval_run, [start])
+            )
+            assert semiring.is_faithful(closed)
+
+    def test_closure_extensive(self, approval_run):
+        semiring = FaithfulSemiring(approval_run, "applicant")
+        seed = EventSubsequence(approval_run, [0])
+        assert seed.is_subsequence_of(semiring.faithful_closure(seed))

@@ -1,0 +1,52 @@
+"""Stress tests: the core stays correct and tractable on long runs."""
+
+import time
+
+import pytest
+
+from repro.core.faithful import minimal_faithful_scenario
+from repro.core.incremental import IncrementalExplainer
+from repro.core.scenarios import is_scenario
+from repro.workflow import RunGenerator
+from repro.workloads import churn_program, hiring_program, noisy_chain_program
+
+
+class TestLongRuns:
+    def test_churn_300_events(self):
+        program = churn_program()
+        run = RunGenerator(program, seed=1).random_run(300)
+        start = time.perf_counter()
+        scenario = minimal_faithful_scenario(run, "observer")
+        elapsed = time.perf_counter() - start
+        assert is_scenario(run, "observer", scenario.indices)
+        assert elapsed < 30.0  # PTIME in practice, with a wide margin
+
+    def test_incremental_300_events_matches(self):
+        program = hiring_program()
+        run = RunGenerator(program, seed=2).random_run(300)
+        explainer = IncrementalExplainer(program, "sue")
+        for event in run.events:
+            explainer.extend(event)
+        assert (
+            explainer.minimal_scenario()
+            == minimal_faithful_scenario(run, "sue").indices
+        )
+
+    def test_noise_is_discarded_at_scale(self):
+        program = noisy_chain_program(depth=3, noise=4)
+        run = RunGenerator(program, seed=3).random_run(200)
+        scenario = minimal_faithful_scenario(run, "observer")
+        noise_events = [
+            i
+            for i in scenario.indices
+            if run.events[i].rule.name.startswith(("ins_n", "del_n"))
+        ]
+        assert noise_events == []
+
+    def test_explanation_sizes_stay_small_on_noise(self):
+        program = noisy_chain_program(depth=2, noise=5)
+        run = RunGenerator(program, seed=4).random_run(250)
+        scenario = minimal_faithful_scenario(run, "observer")
+        # Only the chain (3 events) can ever matter to the observer;
+        # re-derivations are no-ops and never required.
+        assert len(scenario.indices) <= 3

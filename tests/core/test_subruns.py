@@ -1,0 +1,99 @@
+"""Tests for event subsequences and subrun replay."""
+
+import pytest
+
+from repro.core.subruns import (
+    EventSubsequence,
+    empty_subsequence,
+    full_subsequence,
+    visible_subsequence,
+)
+from repro.workflow import Event, RunGenerator, execute
+
+
+class TestConstruction:
+    def test_out_of_range_rejected(self, approval_run):
+        with pytest.raises(IndexError):
+            EventSubsequence(approval_run, [0, 99])
+
+    def test_sorted_indices(self, approval_run):
+        sub = EventSubsequence(approval_run, [3, 0, 2])
+        assert sub.sorted_indices() == (0, 2, 3)
+
+    def test_events_in_run_order(self, approval_run):
+        sub = EventSubsequence(approval_run, [2, 0])
+        assert [e.rule.name for e in sub.events()] == ["e", "g"]
+
+    def test_len_contains_iter(self, approval_run):
+        sub = EventSubsequence(approval_run, [0, 2])
+        assert len(sub) == 2
+        assert 0 in sub and 1 not in sub
+        assert list(sub) == [0, 2]
+
+
+class TestOperators:
+    def test_addition_is_union(self, approval_run):
+        a = EventSubsequence(approval_run, [0, 1])
+        b = EventSubsequence(approval_run, [1, 2])
+        assert (a + b).indices == {0, 1, 2}
+
+    def test_multiplication_is_intersection(self, approval_run):
+        a = EventSubsequence(approval_run, [0, 1])
+        b = EventSubsequence(approval_run, [1, 2])
+        assert (a * b).indices == {1}
+
+    def test_cross_run_combination_rejected(self, approval):
+        run_a = execute(approval, [Event(approval.rule("e"), {})])
+        run_b = execute(approval, [Event(approval.rule("e"), {})])
+        with pytest.raises(ValueError):
+            EventSubsequence(run_a, [0]) + EventSubsequence(run_b, [0])
+
+    def test_subsequence_relations(self, approval_run):
+        small = EventSubsequence(approval_run, [0])
+        big = EventSubsequence(approval_run, [0, 1])
+        assert small.is_subsequence_of(big)
+        assert small.is_strict_subsequence_of(big)
+        assert not big.is_subsequence_of(small)
+        assert not big.is_strict_subsequence_of(big)
+
+    def test_equality(self, approval_run):
+        assert EventSubsequence(approval_run, [0, 1]) == EventSubsequence(
+            approval_run, [1, 0]
+        )
+
+
+class TestHelpers:
+    def test_full_and_empty(self, approval_run):
+        assert len(full_subsequence(approval_run)) == 4
+        assert len(empty_subsequence(approval_run)) == 0
+
+    def test_visible_subsequence(self, approval_run):
+        assert visible_subsequence(approval_run, "applicant").indices == {3}
+
+
+class TestReplay:
+    def test_valid_subrun(self, approval_run):
+        # g h replays fine: ceo inserts ok, assistant approves.
+        subrun = EventSubsequence(approval_run, [2, 3]).to_subrun()
+        assert subrun is not None
+        assert subrun.final_instance.has_key("approval", 0)
+
+    def test_invalid_subrun(self, approval_run):
+        # h alone has no ok(0): body fails.
+        assert EventSubsequence(approval_run, [3]).to_subrun() is None
+        assert not EventSubsequence(approval_run, [3]).yields_subrun()
+
+    def test_full_subsequence_is_a_subrun(self, approval_run):
+        subrun = full_subsequence(approval_run).to_subrun()
+        assert subrun is not None
+        assert subrun.final_instance == approval_run.final_instance
+
+    def test_deletion_without_insert_fails(self, approval_run):
+        # f (the deletion) without e has nothing to delete.
+        assert EventSubsequence(approval_run, [1]).to_subrun() is None
+
+    def test_subrun_instances_differ_from_run(self, approval_run):
+        # Subrun e-g-h skips the deletion f; after its second event the
+        # subrun instance still holds ok(0), unlike the run's I_1.
+        subrun = EventSubsequence(approval_run, [0, 2, 3]).to_subrun()
+        assert subrun.instance_after(1) != approval_run.instance_after(1)

@@ -1,0 +1,91 @@
+"""Tests for boundedness by acyclicity (Theorem 6.3)."""
+
+import pytest
+
+from repro.design.acyclic import analyze_acyclicity, is_p_acyclic, p_graph
+from repro.transparency.bounded import SearchBudget, smallest_bound
+from repro.workflow.parser import parse_program
+from repro.workloads.generators import chain_program
+
+
+class TestPGraph:
+    def test_chain_edges(self):
+        program = chain_program(2)
+        graph = p_graph(program, "observer")
+        # step0: S1 depends on S0 (invisible); step1: S2 on S1.
+        assert graph.has_edge("S1", "S0")
+        assert graph.has_edge("S2", "S1")
+        assert not graph.has_edge("S0", "S1")
+
+    def test_visible_body_relations_excluded(self, hiring):
+        graph = p_graph(hiring, "sue")
+        # approve reads Cleared (visible at sue): no edge for it...
+        # cfook's body Cleared is visible, so cfoOK -> Cleared absent.
+        assert not graph.has_edge("cfoOK", "Cleared")
+        # hire reads Approved (invisible): edge Hire -> Approved.
+        assert graph.has_edge("Hire", "Approved")
+
+
+class TestAcyclicity:
+    def test_chain_acyclic(self):
+        report = analyze_acyclicity(chain_program(3), "observer")
+        assert report.acyclic
+        assert report.longest_path == 3
+        assert report.bound is not None and report.bound >= 4
+
+    def test_cycle_detected(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation Vis(K)
+            relation A(K)
+            relation B(K)
+            view Vis@p(K)
+            view Vis@q(K)
+            view A@q(K)
+            view B@q(K)
+            [va] +A@q(0) :- B@q(0)
+            [vb] +B@q(0) :- A@q(0)
+            [show] +Vis@q(0) :- A@q(0)
+            """
+        )
+        report = analyze_acyclicity(program, "p")
+        assert not report.acyclic
+        assert report.cycle is not None
+        assert not is_p_acyclic(program, "p")
+
+    def test_unreachable_cycle_harmless(self):
+        # A cycle among relations not reachable from any p-visible
+        # relation does not break p-acyclicity.
+        program = parse_program(
+            """
+            peers p, q
+            relation Vis(K)
+            relation A(K)
+            relation B(K)
+            view Vis@p(K)
+            view Vis@q(K)
+            view A@q(K)
+            view B@q(K)
+            [va] +A@q(0) :- B@q(0)
+            [vb] +B@q(0) :- A@q(0)
+            [show] +Vis@q(0) :-
+            """
+        )
+        assert is_p_acyclic(program, "p")
+
+
+class TestBoundSoundness:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_bound_dominates_actual(self, depth):
+        """Theorem 6.3: the (ab+1)^g bound is an upper bound on the
+        actual smallest h (checked with the Theorem 5.10 decision)."""
+        program = chain_program(depth)
+        report = analyze_acyclicity(program, "observer")
+        assert report.acyclic
+        actual = smallest_bound(
+            program, "observer", depth + 2, SearchBudget(pool_extra=0)
+        )
+        assert actual is not None
+        assert actual <= report.bound
+        assert report.bound <= report.coarse_bound

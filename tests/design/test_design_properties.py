@@ -1,0 +1,110 @@
+"""Property-based tests of the design/enforcement layer (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.design.enforce import TransparencyEnforcer, enforce_run
+from repro.design.projection import is_liftable
+from repro.design.rewrite import UnsupportedRewrite, rewrite_transparent
+from repro.design.run_properties import run_stage_bound
+from repro.design.stage import stages_of_run
+from repro.workflow import RunGenerator
+from repro.workloads.generators import OBSERVER, random_propositional_program
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+program_seeds = st.integers(0, 40)
+run_seeds = st.integers(0, 40)
+lengths = st.integers(2, 14)
+bounds = st.integers(1, 4)
+
+
+def make_run(ps: int, rs: int, n: int):
+    program = random_propositional_program(
+        relations=5, rules=8, seed=ps, deletion_fraction=0.2, max_body=1
+    )
+    run = RunGenerator(program, seed=rs).random_run(n)
+    return program, run
+
+
+class TestEnforcerProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, bounds)
+    def test_acceptance_monotone_in_h(self, ps, rs, n, h):
+        """If the monitor accepts a run at bound h, it accepts it at h+1."""
+        program, run = make_run(ps, rs, n)
+        if enforce_run(program, OBSERVER, h, run.events).accepted:
+            assert enforce_run(program, OBSERVER, h + 1, run.events).accepted
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, bounds)
+    def test_observe_mode_preserves_the_run(self, ps, rs, n, h):
+        """Observe mode never changes what actually executes."""
+        program, run = make_run(ps, rs, n)
+        enforcer = TransparencyEnforcer(program, OBSERVER, h, mode="observe")
+        for event in run.events:
+            enforcer.extend(event)
+        assert enforcer.run().final_instance == run.final_instance
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths, bounds)
+    def test_accepted_runs_are_stage_bounded(self, ps, rs, n, h):
+        """Monitor acceptance implies the Definition 6.4 stage bound."""
+        program, run = make_run(ps, rs, n)
+        trace = enforce_run(program, OBSERVER, h, run.events)
+        if trace.accepted:
+            assert run_stage_bound(run, OBSERVER) <= h
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_rollback_state_stays_consistent(self, ps, rs, n):
+        """Whatever rollbacks happen, the enforcer's retained events
+        always form a valid run ending at its current instance."""
+        program, run = make_run(ps, rs, n)
+        enforcer = TransparencyEnforcer(program, OBSERVER, 1, mode="rollback")
+        for event in run.events:
+            try:
+                enforcer.extend(event)
+            except Exception:
+                break  # an event inapplicable after a rollback: stop here
+        from repro.workflow import execute
+
+        replay = execute(program, enforcer.run().events, check_freshness=False)
+        assert replay.final_instance == enforcer.current_instance
+
+
+class TestLiftAgreement:
+    @SETTINGS
+    @given(program_seeds, run_seeds, st.integers(2, 8), st.integers(2, 3))
+    def test_monitor_matches_rewrite(self, ps, rs, n, h):
+        """Theorem 6.7 differential on the ground subclass: the runtime
+        monitor and the explicit P^t lift agree."""
+        program = random_propositional_program(
+            relations=4, rules=6, seed=ps, deletion_fraction=0.0, max_body=1
+        )
+        try:
+            rewrite = rewrite_transparent(program, OBSERVER, h)
+        except UnsupportedRewrite:
+            return
+        run = RunGenerator(program, seed=rs).random_run(n)
+        monitor = enforce_run(program, OBSERVER, h, run.events).accepted
+        assert monitor == is_liftable(rewrite, run)
+
+
+class TestStageProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_stage_positions_partition_visible_prefix(self, ps, rs, n):
+        program, run = make_run(ps, rs, n)
+        stages = stages_of_run(run, OBSERVER)
+        covered = [i for stage in stages for i in stage.positions]
+        visible = list(run.visible_indices(OBSERVER))
+        last_visible = visible[-1] if visible else -1
+        assert covered == list(range(last_visible + 1))
+        assert [s.visible for s in stages] == visible

@@ -1,0 +1,216 @@
+"""Tests for the runtime transparency enforcer (Theorem 6.7 semantics)."""
+
+import pytest
+
+from repro.design.enforce import TransparencyEnforcer, enforce_run
+from repro.design.run_properties import is_run_h_bounded, run_stage_bound
+from repro.workflow import Event, RunGenerator, execute
+from repro.workflow.domain import FreshValue
+from repro.workflow.errors import EnforcementError
+from repro.workflow.queries import Var
+from repro.workloads.generators import chain_program
+
+
+def events_of(program, *names):
+    return [Event(program.rule(name), {}) for name in names]
+
+
+class TestTransparentRunsAccepted:
+    def test_approval_run_accepted(self, approval):
+        trace = enforce_run(approval, "applicant", 2, events_of(approval, *"efgh"))
+        assert trace.accepted
+
+    def test_chain_within_budget(self):
+        program = chain_program(2)
+        events = events_of(program, "start", "step0", "step1")
+        assert enforce_run(program, "observer", 3, events).accepted
+
+    def test_visible_only_runs_accepted(self, approval):
+        # Events of visible relations are transparent with singleton
+        # provenance.
+        trace = enforce_run(approval, "cto", 1, events_of(approval, *"efgh"))
+        assert trace.accepted
+
+
+class TestBoundednessEnforced:
+    def test_chain_blocked_when_h_too_small(self):
+        program = chain_program(3)
+        events = events_of(program, "start", "step0", "step1", "step2")
+        trace = enforce_run(program, "observer", 3, events)
+        assert not trace.accepted
+        (blocked,) = trace.blocked()
+        assert blocked.index == 3  # the visible event overflows h
+        assert "provenance" in blocked.reason
+
+    def test_chain_accepted_with_enough_budget(self):
+        program = chain_program(3)
+        events = events_of(program, "start", "step0", "step1", "step2")
+        assert enforce_run(program, "observer", 4, events).accepted
+
+    def test_accepted_runs_are_h_bounded(self, approval):
+        run = RunGenerator(approval, seed=5).random_run(12)
+        h = 3
+        trace = enforce_run(approval, "applicant", h, run.events)
+        if trace.accepted:
+            assert is_run_h_bounded(run, "applicant", h)
+
+
+class TestTransparencyEnforced:
+    def test_stale_fact_usage_blocked(self, hiring_no_cfo):
+        """The Example 5.7 anomaly: Approved derived in an old stage is
+        used by a later visible event."""
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k, k2 = FreshValue(0), FreshValue(1)
+        events = [
+            Event(clear, {Var("x"): k}),       # visible
+            Event(approve, {Var("x"): k}),      # silent, transparent
+            Event(clear, {Var("x"): k2}),       # visible: new stage
+            Event(hire, {Var("x"): k}),         # visible, uses stale Approved
+        ]
+        trace = enforce_run(hiring_no_cfo, "sue", 2, events)
+        assert not trace.accepted
+        (blocked,) = trace.blocked()
+        assert blocked.index == 3
+
+    def test_same_stage_usage_allowed(self, hiring_no_cfo):
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k = FreshValue(0)
+        events = [
+            Event(clear, {Var("x"): k}),
+            Event(approve, {Var("x"): k}),
+            Event(hire, {Var("x"): k}),
+        ]
+        assert enforce_run(hiring_no_cfo, "sue", 2, events).accepted
+
+    def test_block_mode_raises(self, hiring_no_cfo):
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k, k2 = FreshValue(0), FreshValue(1)
+        enforcer = TransparencyEnforcer(hiring_no_cfo, "sue", 2, mode="block")
+        enforcer.extend(Event(clear, {Var("x"): k}))
+        enforcer.extend(Event(approve, {Var("x"): k}))
+        enforcer.extend(Event(clear, {Var("x"): k2}))
+        with pytest.raises(EnforcementError):
+            enforcer.extend(Event(hire, {Var("x"): k}))
+        # The blocked event was not applied.
+        assert not enforcer.current_instance.has_key("Hire", k)
+
+    def test_opaque_silent_work_allowed(self, hiring_no_cfo):
+        """Non-transparent events may proceed while they stay invisible."""
+        clear, approve = hiring_no_cfo.rule("clear"), hiring_no_cfo.rule("approve")
+        k, k2 = FreshValue(0), FreshValue(1)
+        events = [
+            Event(clear, {Var("x"): k}),
+            Event(clear, {Var("x"): k2}),
+            Event(approve, {Var("x"): k}),  # transparent (Cleared visible)
+        ]
+        assert enforce_run(hiring_no_cfo, "sue", 2, events).accepted
+
+
+class TestDeletionTracking:
+    def test_transparent_delete_and_recreate(self, approval):
+        # e creates ok, f deletes it, g recreates, h uses it: all within
+        # one applicant-stage, all transparent.
+        trace = enforce_run(approval, "applicant", 3, events_of(approval, *"efgh"))
+        assert trace.accepted
+        # h's provenance includes g's step (the live creator).
+        final = trace.decisions[-1]
+        assert final.transparent
+
+    def test_enforcer_invalid_event_rejected(self, approval):
+        enforcer = TransparencyEnforcer(approval, "applicant", 2)
+        with pytest.raises(Exception):
+            enforcer.extend(Event(approval.rule("h"), {}))
+        assert len(enforcer) == 0
+
+
+class TestRollbackMode:
+    """Remark 6.9: roll back to the state at the beginning of the stage."""
+
+    def test_rollback_discards_stage(self, hiring_no_cfo):
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k, k2 = FreshValue(0), FreshValue(1)
+        enforcer = TransparencyEnforcer(hiring_no_cfo, "sue", 2, mode="rollback")
+        enforcer.extend(Event(clear, {Var("x"): k}))
+        enforcer.extend(Event(approve, {Var("x"): k}))  # silent, same stage? no:
+        # clear was visible, so approve opens a new stage's silent prefix.
+        enforcer.extend(Event(clear, {Var("x"): k2}))   # visible: stage boundary
+        snapshot = enforcer.current_instance
+        events_before = len(enforcer)
+        decision = enforcer.extend(Event(hire, {Var("x"): k}))  # stale Approved
+        assert not decision.allowed
+        assert enforcer.current_instance == snapshot
+        assert len(enforcer) == events_before
+        assert enforcer.rollbacks == 1
+        assert not enforcer.current_instance.has_key("Hire", k)
+
+    def test_rollback_discards_silent_prefix_too(self, hiring_no_cfo):
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k, k2 = FreshValue(0), FreshValue(1)
+        enforcer = TransparencyEnforcer(hiring_no_cfo, "sue", 1, mode="rollback")
+        enforcer.extend(Event(clear, {Var("x"): k}))
+        boundary = enforcer.current_instance
+        # Silent approve, then a hire whose provenance {approve, hire}
+        # overflows h=1: the rollback must also drop the approve.
+        enforcer.extend(Event(approve, {Var("x"): k}))
+        assert enforcer.current_instance.has_key("Approved", k)
+        decision = enforcer.extend(Event(hire, {Var("x"): k}))
+        assert not decision.allowed
+        assert enforcer.current_instance == boundary
+        assert not enforcer.current_instance.has_key("Approved", k)
+
+    def test_workflow_continues_after_rollback(self, hiring_no_cfo):
+        clear, approve, hire = (
+            hiring_no_cfo.rule("clear"),
+            hiring_no_cfo.rule("approve"),
+            hiring_no_cfo.rule("hire"),
+        )
+        k, k2 = FreshValue(0), FreshValue(1)
+        enforcer = TransparencyEnforcer(hiring_no_cfo, "sue", 2, mode="rollback")
+        enforcer.extend(Event(clear, {Var("x"): k}))
+        enforcer.extend(Event(approve, {Var("x"): k}))
+        enforcer.extend(Event(clear, {Var("x"): k2}))   # stage boundary
+        rolled = enforcer.extend(Event(hire, {Var("x"): k}))  # stale: rolled back
+        assert not rolled.allowed and enforcer.rollbacks == 1
+        # The workflow continues — with the *other* candidate, whose
+        # approval can be derived transparently within the current
+        # stage.  (Candidate k is burnt: its stale Approved fact from
+        # the old stage persists in the data and a no-op re-insert
+        # cannot launder it — the Example 5.7 key-reuse problem.)
+        enforcer.extend(Event(approve, {Var("x"): k2}))
+        decision = enforcer.extend(Event(hire, {Var("x"): k2}))
+        assert decision.allowed
+        run = enforcer.run()
+        assert run.final_instance.has_key("Hire", k2)
+        assert not run.final_instance.has_key("Hire", k)
+
+    def test_unknown_mode_rejected(self, hiring_no_cfo):
+        with pytest.raises(ValueError):
+            TransparencyEnforcer(hiring_no_cfo, "sue", 2, mode="panic")
+
+
+class TestStageCounter:
+    def test_stage_increments_on_visible_events(self, approval):
+        enforcer = TransparencyEnforcer(approval, "cto", 2)
+        for event in events_of(approval, "e", "f"):
+            enforcer.extend(event)
+        assert enforcer.stage == 2  # both events are cto's own (visible)

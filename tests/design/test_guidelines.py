@@ -1,0 +1,140 @@
+"""Tests for the design guidelines (C1)-(C4) and Theorem 6.2."""
+
+import pytest
+
+from repro.design.guidelines import (
+    check_c1,
+    check_c2,
+    check_c3,
+    check_c4,
+    check_design_guidelines,
+    check_linear_head_c1,
+)
+from repro.workflow.parser import parse_program
+
+TRANSPARENT = ["Cleared", "Approved", "Hire"]
+
+
+class TestC1:
+    def test_full_views_pass(self, hiring_transparent):
+        assert check_c1(hiring_transparent, "sue") == []
+
+    def test_partial_view_detected(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation R(K, A)
+            view R@p(K, A)
+            view R@q(K)
+            [r] +R@p(x, y) :-
+            """
+        )
+        violations = check_c1(program, "p")
+        assert violations and "R@q" in violations[0]
+
+    def test_invisible_relations_unconstrained(self, hiring_transparent):
+        # Approved is invisible at sue; partial views of it would be
+        # fine for C1 (but the example sees it fully anyway).
+        assert check_c1(hiring_transparent, "sue") == []
+
+
+class TestC2:
+    def test_stage_program_passes(self, hiring_transparent):
+        assert check_c2(hiring_transparent, "sue") == []
+
+    def test_missing_stage_detected(self, hiring_no_cfo):
+        violations = check_c2(hiring_no_cfo, "sue")
+        assert violations and "no Stage relation" in violations[0]
+
+    def test_unguarded_silent_rule_detected(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation Stage(K, sid)
+            relation Vis(K)
+            relation Hid(K)
+            view Stage@p(K, sid)
+            view Stage@q(K, sid)
+            view Vis@p(K)
+            view Vis@q(K)
+            view Hid@q(K)
+            [open] +Stage@p(0, z) :- not Key[Stage]@p(0)
+            [silent] +Hid@q(x) :-
+            [show] +Vis@q(x), -Key[Stage]@q(0) :- Stage@q(0, s)
+            """
+        )
+        violations = check_c2(program, "p")
+        assert any("silent" in v for v in violations)
+
+
+class TestC3:
+    def test_stage_id_attribute_required(self, hiring_transparent):
+        assert check_c3(hiring_transparent, "sue", TRANSPARENT) == []
+
+    def test_missing_stage_id_detected(self, hiring_no_cfo):
+        violations = check_c3(hiring_no_cfo, "sue", ["Cleared", "Approved", "Hire"])
+        assert any("Approved" in v for v in violations)
+
+    def test_visible_must_be_transparent(self, hiring_transparent):
+        violations = check_c3(hiring_transparent, "sue", ["Approved"])
+        assert any("Cleared" in v for v in violations)
+
+
+class TestC4:
+    def test_stage_program_passes(self, hiring_transparent):
+        assert check_c4(hiring_transparent, "sue", TRANSPARENT) == []
+
+    def test_example_61_mixed_updates_detected(self, opaque_veto):
+        violations = check_c4(opaque_veto, "p", ["R"])
+        assert any("mixes opaque update" in v for v in violations)
+
+    def test_opaque_read_detected(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation Vis(K)
+            relation Opaque(K)
+            view Vis@p(K)
+            view Vis@q(K)
+            view Opaque@q(K)
+            [bad] +Vis@q(x) :- Opaque@q(y)
+            """
+        )
+        violations = check_c4(program, "p", ["Vis"])
+        assert any("reads opaque relation" in v for v in violations)
+
+    def test_key_reuse_detected(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation Stage(K, sid)
+            relation Vis(K)
+            relation Tr(K, sid)
+            view Stage@p(K, sid)
+            view Stage@q(K, sid)
+            view Vis@p(K)
+            view Vis@q(K)
+            view Tr@q(K, sid)
+            [open] +Stage@p(0, z) :- not Key[Stage]@p(0)
+            [bad] +Tr@q(x, s) :- Vis@q(x), Stage@q(0, s)
+            """
+        )
+        # x is bound in the body but there is no Tr(x, ...) witness:
+        # this reuses the key of Vis for Tr (the Example 5.7 pitfall).
+        violations = check_c4(program, "p", ["Vis", "Tr"])
+        assert any("neither creates a fresh key" in v for v in violations)
+
+
+class TestCombined:
+    def test_theorem_62_premise_for_stage_program(self, hiring_transparent):
+        report = check_design_guidelines(hiring_transparent, "sue", TRANSPARENT)
+        assert report.ok, report.violations
+
+    def test_non_compliant_program_reported(self, hiring_no_cfo):
+        report = check_design_guidelines(hiring_no_cfo, "sue", TRANSPARENT)
+        assert not report.ok
+
+    def test_linear_head_check(self, hiring, hiring_transparent):
+        assert check_linear_head_c1(hiring, "sue") == []
+        violations = check_linear_head_c1(hiring_transparent, "sue")
+        assert any("linear-head" in v for v in violations)

@@ -1,0 +1,101 @@
+"""Tests for the explicit P → P^t rewriting and the projection Π."""
+
+import pytest
+
+from repro.design.enforce import enforce_run
+from repro.design.projection import (
+    is_liftable,
+    lift_events,
+    project_run,
+    projection_is_identity_for,
+    source_rule_name,
+)
+from repro.design.rewrite import UnsupportedRewrite, rewrite_transparent
+from repro.workflow import Event, RunGenerator, execute
+from repro.workloads.generators import chain_program, noisy_chain_program
+
+
+def events_of(program, *names):
+    return [Event(program.rule(name), {}) for name in names]
+
+
+@pytest.fixture(scope="module")
+def chain2_rewrite():
+    return rewrite_transparent(chain_program(2), "observer", h=3)
+
+
+class TestRewriteStructure:
+    def test_companions_created(self, chain2_rewrite):
+        companions = set(chain2_rewrite.companion_relations())
+        # S0, S1 are invisible to the observer; S2 is visible.
+        assert "S0__t" in companions and "S1__t" in companions
+        assert "S2__t" not in companions
+
+    def test_stage_rule_present(self, chain2_rewrite):
+        assert chain2_rewrite.program.rule("open_stage")
+
+    def test_transparent_and_opaque_variants(self, chain2_rewrite):
+        names = {rule.name for rule in chain2_rewrite.program}
+        assert "start#t" in names and "start#opaque" in names
+        assert "step0#tm0" in names and "step0#tm1" in names
+
+    def test_unsupported_programs_rejected(self, hiring):
+        with pytest.raises(UnsupportedRewrite):
+            rewrite_transparent(hiring, "sue", h=3)  # not ground
+
+
+class TestLifting:
+    def test_transparent_run_lifts(self, chain2_rewrite):
+        program = chain2_rewrite.source
+        run = execute(program, events_of(program, "start", "step0", "step1"))
+        lifted = lift_events(chain2_rewrite, run.events)
+        assert lifted is not None
+        names = [event.rule.name for event in lifted]
+        assert names[0] == "open_stage"
+        assert all(not name.endswith("#opaque") for name in names[1:])
+
+    def test_overflowing_run_does_not_lift_transparently(self):
+        program = chain_program(3)
+        result = rewrite_transparent(program, "observer", h=3)
+        run = execute(program, events_of(program, "start", "step0", "step1", "step2"))
+        assert not is_liftable(result, run)
+
+    def test_lift_matches_enforcer(self):
+        """Differential: Π(Runs(P^t)) membership == enforcer acceptance."""
+        program = chain_program(2)
+        for h in (2, 3, 4):
+            result = rewrite_transparent(program, "observer", h=h)
+            for seed in range(5):
+                run = RunGenerator(program, seed=seed).random_run(6)
+                lifted = is_liftable(result, run)
+                accepted = enforce_run(program, "observer", h, run.events).accepted
+                assert lifted == accepted, (h, seed, [e.rule.name for e in run.events])
+
+    def test_lift_matches_enforcer_on_approval(self, approval):
+        result = rewrite_transparent(approval, "applicant", h=2)
+        for seed in range(6):
+            run = RunGenerator(approval, seed=seed).random_run(8)
+            lifted = is_liftable(result, run)
+            accepted = enforce_run(approval, "applicant", 2, run.events).accepted
+            assert lifted == accepted, (seed, [e.rule.name for e in run.events])
+
+
+class TestProjection:
+    def test_roundtrip(self, chain2_rewrite):
+        program = chain2_rewrite.source
+        run = execute(program, events_of(program, "start", "step0", "step1"))
+        lifted = lift_events(chain2_rewrite, run.events)
+        lifted_run = execute(chain2_rewrite.program, lifted, check_freshness=False)
+        projected = project_run(chain2_rewrite, lifted_run)
+        assert [e.rule.name for e in projected.events] == ["start", "step0", "step1"]
+        assert projected.final_instance == run.final_instance
+
+    def test_projection_identity_for_peer(self, chain2_rewrite):
+        run = RunGenerator(chain2_rewrite.program, seed=2).random_run(8)
+        assert projection_is_identity_for(chain2_rewrite, run, "observer")
+
+    def test_source_rule_name(self):
+        assert source_rule_name("open_stage") is None
+        assert source_rule_name("start#t") == "start"
+        assert source_rule_name("step0#tm1") == "step0"
+        assert source_rule_name("plain") == "plain"

@@ -1,0 +1,81 @@
+"""Tests for stages and the Stage-relation infrastructure."""
+
+import pytest
+
+from repro.design.stage import (
+    STAGE_RELATION,
+    add_stage_infrastructure,
+    has_stage_relation,
+    rules_visible_at,
+    stages_of_run,
+)
+from repro.workflow import Event, RunGenerator, execute
+
+
+class TestStagesOfRun:
+    def test_example_42_stages(self, approval_run):
+        # For the applicant only h (position 3) is visible: one stage
+        # with silent prefix e f g.
+        stages = stages_of_run(approval_run, "applicant")
+        assert len(stages) == 1
+        assert stages[0].silent == (0, 1, 2)
+        assert stages[0].visible == 3
+
+    def test_trailing_silent_events(self, approval):
+        run = execute(approval, [Event(approval.rule("e"), {})])
+        assert stages_of_run(run, "applicant") == []
+        trailing = stages_of_run(run, "applicant", include_trailing=True)
+        assert len(trailing) == 1 and trailing[0].visible is None
+
+    def test_every_visible_event_closes_a_stage(self, hiring):
+        run = RunGenerator(hiring, seed=4).random_run(12)
+        stages = stages_of_run(run, "sue")
+        assert [s.visible for s in stages] == list(run.visible_indices("sue"))
+
+    def test_positions_and_len(self, approval_run):
+        (stage,) = stages_of_run(approval_run, "applicant")
+        assert stage.positions == (0, 1, 2, 3)
+        assert len(stage) == 4
+
+
+class TestRulesVisibleAt:
+    def test_hiring(self, hiring):
+        names = {rule.name for rule in rules_visible_at(hiring, "sue")}
+        assert names == {"clear", "hire"}
+
+
+class TestAddStageInfrastructure:
+    def test_schema_extended(self, hiring_no_cfo):
+        staged = add_stage_infrastructure(hiring_no_cfo, "sue")
+        assert has_stage_relation(staged)
+        for member in staged.schema.peers:
+            assert staged.schema.peer_sees(STAGE_RELATION, member)
+
+    def test_rule_variants(self, hiring_no_cfo):
+        staged = add_stage_infrastructure(hiring_no_cfo, "sue")
+        names = {rule.name for rule in staged}
+        # clear/hire are sue-visible: two variants each; approve is
+        # silent: one guarded variant; plus the stage-creation rule.
+        assert "open_stage" in names
+        assert {"clear#close", "clear#nostage", "hire#close", "hire#nostage"} <= names
+        assert "approve#staged" in names
+
+    def test_double_application_rejected(self, hiring_no_cfo):
+        staged = add_stage_infrastructure(hiring_no_cfo, "sue")
+        with pytest.raises(ValueError):
+            add_stage_infrastructure(staged, "sue")
+
+    def test_silent_work_requires_open_stage(self, hiring_no_cfo):
+        from repro.workflow import Instance, applicable_events
+
+        staged = add_stage_infrastructure(hiring_no_cfo, "sue")
+        empty = Instance.empty(staged.schema.schema)
+        names = {e.rule.name for e in applicable_events(staged, empty)}
+        # Without a stage, approve#staged cannot fire.
+        assert "approve#staged" not in names
+        assert "open_stage" in names
+
+    def test_staged_program_runs(self, hiring_no_cfo):
+        staged = add_stage_infrastructure(hiring_no_cfo, "sue")
+        run = RunGenerator(staged, seed=1).random_run(15)
+        assert len(run) > 0

@@ -1,0 +1,132 @@
+"""Tests for transparency-form checks and run-level properties."""
+
+import pytest
+
+from repro.design.run_properties import (
+    analyze_stages,
+    is_run_h_bounded,
+    is_run_transparent,
+    run_stage_bound,
+)
+from repro.design.tf import (
+    check_c3_prime,
+    check_c4_prime,
+    check_transparency_form,
+    is_transparency_form,
+)
+from repro.transparency.bounded import SearchBudget
+from repro.workflow import Event, RunGenerator, execute
+from repro.workflow.conditions import Eq
+from repro.workflow.domain import FreshValue
+from repro.workflow.queries import Var
+from repro.workloads.generators import chain_program
+
+
+class TestC3Prime:
+    def test_fresh_keys_pass(self, hiring_transparent):
+        assert check_c3_prime(hiring_transparent, "sue") == []
+
+    def test_non_deletable_relations_exempt(self, hiring_no_cfo):
+        # approve writes Approved(x) with a body-bound key and no
+        # witness, but nothing ever deletes Approved: no key can be
+        # "reused after deletion", so (C3') is satisfied.
+        assert check_c3_prime(hiring_no_cfo, "sue") == []
+
+    def test_key_reuse_after_deletion_detected(self, approval):
+        # ok(0) is deleted by f and re-inserted by e/g without a body
+        # witness: exactly the reuse (C3') forbids.
+        violations = check_c3_prime(approval, "applicant")
+        assert violations
+        assert any("ok" in v for v in violations)
+
+
+class TestC4Prime:
+    def test_projected_selection_ok(self, hiring):
+        assert check_c4_prime(hiring, "sue") == []
+
+    def test_hidden_selection_attribute_detected(self):
+        from repro.workflow.parser import parse_program
+        from repro.workflow.program import WorkflowProgram
+        from repro.workflow.schema import Relation, Schema
+        from repro.workflow.views import CollaborativeSchema, View
+
+        R = Relation("R", ("K", "A", "B"))
+        schema = CollaborativeSchema(
+            Schema([R]),
+            ["q", "obs"],
+            [
+                # q's selection uses B, which q does not project; R is
+                # invisible at obs, so (C4') applies.
+                View(R, "q", ("K", "A"), Eq("B", 1)),
+            ],
+        )
+        program = WorkflowProgram(schema, [])
+        violations = check_c4_prime(program, "obs")
+        assert any("hidden attributes" in v for v in violations)
+
+
+class TestTransparencyForm:
+    def test_stage_program_is_tf(self, hiring_transparent):
+        assert is_transparency_form(hiring_transparent, "sue")
+
+    def test_chain_is_tf_without_stage(self):
+        program = chain_program(2)
+        assert is_transparency_form(program, "observer", require_stage=False)
+        assert not is_transparency_form(program, "observer", require_stage=True)
+
+    def test_violations_reported(self, approval):
+        # approval re-creates the deleted key 0 of ok: a (C3') violation.
+        violations = check_transparency_form(approval, "applicant", require_stage=False)
+        assert violations
+
+
+class TestRunStageBound:
+    def test_approval_run(self, approval_run):
+        # The single applicant-stage's minimal faithful subrun is g h.
+        analyses = analyze_stages(approval_run, "applicant")
+        assert len(analyses) == 1
+        assert analyses[0].minimal_positions == (2, 3)
+        assert run_stage_bound(approval_run, "applicant") == 2
+        assert is_run_h_bounded(approval_run, "applicant", 2)
+        assert not is_run_h_bounded(approval_run, "applicant", 1)
+
+    def test_chain_runs(self):
+        program = chain_program(2)
+        run = execute(
+            program, [Event(program.rule(n), {}) for n in ("start", "step0", "step1")]
+        )
+        assert run_stage_bound(run, "observer") == 3
+
+    def test_empty_run(self, approval):
+        run = execute(approval, [])
+        assert run_stage_bound(run, "applicant") == 0
+
+
+class TestRunTransparency:
+    BUDGET = SearchBudget(pool_extra=2, max_tuples_per_relation=1)
+
+    def test_transparent_run(self, hiring_no_cfo):
+        # clear; approve; hire in one stage: transparent (all the
+        # information used is derived within the stage from Cleared).
+        k = FreshValue(0)
+        events = [
+            Event(hiring_no_cfo.rule("clear"), {Var("x"): k}),
+            Event(hiring_no_cfo.rule("approve"), {Var("x"): k}),
+            Event(hiring_no_cfo.rule("hire"), {Var("x"): k}),
+        ]
+        run = execute(hiring_no_cfo, events)
+        report = is_run_transparent(run, "sue", self.BUDGET)
+        assert report.transparent, report.reason
+
+    def test_non_transparent_run(self, hiring_no_cfo):
+        # Stale Approved used across a stage boundary.
+        k, k2 = FreshValue(0), FreshValue(1)
+        events = [
+            Event(hiring_no_cfo.rule("clear"), {Var("x"): k}),
+            Event(hiring_no_cfo.rule("approve"), {Var("x"): k}),
+            Event(hiring_no_cfo.rule("clear"), {Var("x"): k2}),
+            Event(hiring_no_cfo.rule("hire"), {Var("x"): k}),
+        ]
+        run = execute(hiring_no_cfo, events)
+        report = is_run_transparent(run, "sue", self.BUDGET)
+        assert not report.transparent

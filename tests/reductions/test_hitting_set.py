@@ -1,0 +1,88 @@
+"""Tests for the Theorem 3.3 reduction and its reference solvers."""
+
+import pytest
+
+from repro.core.scenarios import is_scenario
+from repro.reductions.hitting_set import (
+    HittingSetInstance,
+    brute_force_hitting_set,
+    greedy_hitting_set,
+    hitting_set_to_workflow,
+    random_instance,
+)
+
+
+class TestInstance:
+    def test_is_hitting_set(self):
+        instance = HittingSetInstance(3, (frozenset({0, 1}), frozenset({2})), 2)
+        assert instance.is_hitting_set({0, 2})
+        assert not instance.is_hitting_set({0})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            HittingSetInstance(2, (frozenset(),), 1)
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError):
+            HittingSetInstance(2, (frozenset({5}),), 1)
+
+
+class TestBruteForce:
+    def test_finds_minimum(self):
+        instance = HittingSetInstance(
+            4, (frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})), 2
+        )
+        solution = brute_force_hitting_set(instance)
+        assert solution is not None and len(solution) == 2
+        assert instance.is_hitting_set(set(solution))
+
+    def test_respects_bound(self):
+        instance = HittingSetInstance(
+            3, (frozenset({0}), frozenset({1}), frozenset({2})), 2
+        )
+        assert brute_force_hitting_set(instance) is None
+
+    def test_greedy_is_valid(self):
+        for seed in range(5):
+            instance = random_instance(5, 4, 2, 5, seed=seed)
+            assert instance.is_hitting_set(set(greedy_hitting_set(instance)))
+
+
+class TestReduction:
+    def test_run_structure(self):
+        instance = HittingSetInstance(2, (frozenset({0, 1}),), 1)
+        reduction = hitting_set_to_workflow(instance)
+        names = [event.rule.name for event in reduction.run.events]
+        assert names[0].startswith("a") and names[-1] == "c"
+        assert reduction.run.final_instance.has_key("OK", 0)
+
+    def test_observer_sees_only_ok(self):
+        instance = HittingSetInstance(2, (frozenset({0}),), 1)
+        reduction = hitting_set_to_workflow(instance)
+        assert reduction.run.visible_indices("p") == (len(reduction.run) - 1,)
+
+    def test_full_run_is_scenario(self):
+        instance = HittingSetInstance(2, (frozenset({0, 1}),), 1)
+        reduction = hitting_set_to_workflow(instance)
+        assert is_scenario(reduction.run, "p", range(len(reduction.run)))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem_33_equivalence(self, seed):
+        """Scenario of length ≤ M+k+1 exists iff a hitting set ≤ M does."""
+        instance = random_instance(
+            universe=4, n_sets=3, set_size=2, bound=1 + seed % 2, seed=seed
+        )
+        reduction = hitting_set_to_workflow(instance)
+        expected = brute_force_hitting_set(instance) is not None
+        assert reduction.scenario_exists() == expected
+
+    def test_explicit_solution_yields_scenario(self):
+        instance = HittingSetInstance(
+            3, (frozenset({0, 1}), frozenset({1, 2})), 1
+        )
+        reduction = hitting_set_to_workflow(instance)
+        # {1} hits both sets: keep a1, one b-rule per set, and c.
+        rules = {event.rule.name: i for i, event in enumerate(reduction.run.events)}
+        chosen = [rules["a1"], rules["b0_1"], rules["b1_1"], rules["c"]]
+        assert is_scenario(reduction.run, "p", chosen)
+        assert len(chosen) <= reduction.threshold

@@ -1,0 +1,70 @@
+"""Tests for the PCP workflow gadget (Theorems 5.4 / 5.9)."""
+
+import pytest
+
+from repro.reductions.pcp import (
+    PCPInstance,
+    brute_force_solution,
+    pcp_workflow,
+    search_solution,
+    u_reachable,
+)
+
+
+class TestInstance:
+    def test_check_solution(self):
+        instance = PCPInstance((("a", "ab"), ("ba", "a")))
+        assert instance.check([0, 1])
+        assert not instance.check([0])
+        assert not instance.check([])
+
+    def test_empty_domino_rejected(self):
+        with pytest.raises(ValueError):
+            PCPInstance((("", ""),))
+
+    def test_no_dominoes_rejected(self):
+        with pytest.raises(ValueError):
+            PCPInstance(())
+
+
+class TestBruteForce:
+    def test_trivial(self):
+        assert brute_force_solution(PCPInstance((("a", "a"),)), 2) == (0,)
+
+    def test_two_dominoes(self):
+        assert brute_force_solution(PCPInstance((("a", "ab"), ("ba", "a"))), 3) == (0, 1)
+
+    def test_unsolvable_within_bound(self):
+        assert brute_force_solution(PCPInstance((("a", "b"),)), 4) is None
+
+
+class TestWorkflowEncoding:
+    def test_program_builds(self):
+        program = pcp_workflow(PCPInstance((("a", "ab"), ("ba", "a"))))
+        names = {rule.name for rule in program}
+        assert {"init", "seed_match", "domino0", "domino1", "advance", "flag"} <= names
+
+    def test_solvable_instance_reaches_u(self):
+        assert search_solution(PCPInstance((("a", "a"),)), max_events=5)
+
+    def test_unsolvable_instance_does_not_reach_u(self):
+        assert not search_solution(PCPInstance((("a", "b"),)), max_events=5)
+
+    def test_observer_sees_only_u(self):
+        program = pcp_workflow(PCPInstance((("a", "a"),)))
+        views = program.schema.views_of_peer("observer")
+        assert [view.relation.name for view in views] == ["U"]
+
+    @pytest.mark.parametrize(
+        "dominoes,solvable,depth",
+        [
+            ((("a", "a"),), True, 5),
+            ((("ab", "ab"),), True, 6),
+            ((("a", "b"),), False, 5),
+            ((("ab", "ba"),), False, 5),
+        ],
+    )
+    def test_agreement_with_brute_force(self, dominoes, solvable, depth):
+        instance = PCPInstance(dominoes)
+        assert (brute_force_solution(instance, 2) is not None) == solvable
+        assert search_solution(instance, max_events=depth) == solvable

@@ -1,0 +1,99 @@
+"""Tests for formulas and the Theorem 3.4 minimality reduction."""
+
+import pytest
+
+from repro.core.scenarios import is_scenario
+from repro.reductions.formulas import (
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    VarExpr,
+    assignments,
+    is_satisfiable,
+    random_cnf,
+    satisfying_assignment,
+)
+from repro.reductions.sat import (
+    formula_to_condition,
+    scenario_for_assignment,
+    unsat_to_minimality,
+)
+
+x, y, z = VarExpr("x"), VarExpr("y"), VarExpr("z")
+
+
+class TestFormulas:
+    def test_evaluation(self):
+        formula = AndExpr((x, OrExpr((NotExpr(y), z))))
+        assert formula.evaluate({"x": True, "y": False, "z": False})
+        assert not formula.evaluate({"x": False, "y": False, "z": False})
+
+    def test_variables(self):
+        assert AndExpr((x, NotExpr(y))).variables() == {"x", "y"}
+
+    def test_assignments_count(self):
+        assert len(list(assignments(["a", "b"]))) == 4
+
+    def test_satisfiability(self):
+        assert is_satisfiable(OrExpr((x, NotExpr(x))))
+        assert not is_satisfiable(AndExpr((x, NotExpr(x))))
+        model = satisfying_assignment(AndExpr((x, NotExpr(y))))
+        assert model == {"x": True, "y": False}
+
+    def test_random_cnf_shape(self):
+        formula = random_cnf(4, 5, seed=1)
+        assert formula.variables() <= {f"x{i}" for i in range(4)}
+
+
+class TestFormulaToCondition:
+    def test_translation_agrees_with_evaluation(self):
+        from repro.workflow.tuples import Tuple
+
+        formula = OrExpr((AndExpr((x, NotExpr(y))), z))
+        condition = formula_to_condition(formula)
+        for assignment in assignments(["x", "y", "z"]):
+            tup = Tuple(
+                ("K", "A_x", "A_y", "A_z"),
+                (0,) + tuple(1 if assignment[n] else 0 for n in ("x", "y", "z")),
+            )
+            assert condition.evaluate(tup) == formula.evaluate(assignment)
+
+
+class TestReduction:
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError):
+            unsat_to_minimality(x)  # satisfied by all-true
+
+    def test_unsat_formula_gives_minimal_run(self):
+        reduction = unsat_to_minimality(AndExpr((x, NotExpr(x))))
+        assert reduction.run_is_minimal_scenario()
+
+    def test_sat_formula_gives_non_minimal_run(self):
+        reduction = unsat_to_minimality(AndExpr((x, NotExpr(y))))
+        assert not reduction.run_is_minimal_scenario()
+
+    def test_observer_sees_ok_only_after_e(self):
+        reduction = unsat_to_minimality(AndExpr((x, NotExpr(y))))
+        assert reduction.run.visible_indices("p") == (len(reduction.run) - 1,)
+
+    def test_satisfying_assignment_yields_scenario(self):
+        formula = AndExpr((x, NotExpr(y)))
+        reduction = unsat_to_minimality(formula)
+        model = satisfying_assignment(formula)
+        positions = scenario_for_assignment(reduction, model)
+        assert is_scenario(reduction.run, "p", positions)
+        assert len(positions) < len(reduction.run)
+
+    def test_falsifying_assignment_yields_no_scenario(self):
+        formula = AndExpr((x, NotExpr(y)))
+        reduction = unsat_to_minimality(formula)
+        positions = scenario_for_assignment(reduction, {"x": False, "y": True})
+        assert not is_scenario(reduction.run, "p", positions)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem_34_equivalence_random(self, seed):
+        formula = random_cnf(3, 3, clause_size=2, seed=seed)
+        if formula.evaluate({name: True for name in formula.variables()}):
+            pytest.skip("precondition (*) fails: formula holds under all-true")
+        reduction = unsat_to_minimality(formula)
+        assert reduction.run_is_minimal_scenario() == (not is_satisfiable(formula))

@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workflow.serialization import program_to_text
+from repro.workloads import hiring_no_cfo_program, hiring_program
+
+HIRING_TEXT = program_to_text(hiring_program())
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "hiring.wf"
+    path.write_text(HIRING_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def no_cfo_file(tmp_path):
+    path = tmp_path / "no_cfo.wf"
+    path.write_text(program_to_text(hiring_no_cfo_program()))
+    return str(path)
+
+
+class TestCheck:
+    def test_basic_audit(self, program_file, capsys):
+        assert main(["check", program_file, "--peer", "sue"]) == 0
+        out = capsys.readouterr().out
+        assert "lossless schema:        True" in out
+        assert "p-acyclic" in out
+
+    def test_with_decisions(self, no_cfo_file, capsys):
+        code = main(
+            ["check", no_cfo_file, "--peer", "sue", "--decide-h", "2",
+             "--pool-extra", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2-bounded (decided):   True" in out
+        assert "transparent (decided):  False" in out
+
+    def test_with_guidelines(self, program_file, capsys):
+        main(
+            ["check", program_file, "--peer", "sue",
+             "--transparent", "Cleared,Hire"]
+        )
+        out = capsys.readouterr().out
+        assert "guidelines (C1)-(C4)" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.wf", "--peer", "p"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_program_exit_zero(self, program_file, capsys):
+        assert main(["lint", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "never-read(Hire)" in out  # info only
+
+    def test_warnings_exit_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "dead.wf"
+        path.write_text(
+            "peers p\n"
+            "relation R(K)\n"
+            "relation Never(K)\n"
+            "view R@p(K)\n"
+            "view Never@p(K)\n"
+            "[dead] +R@p(x) :- Never@p(n)\n"
+        )
+        assert main(["lint", str(path), "--depth", "2"]) == 1
+        assert "possibly-dead-rule(dead)" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_prints_run(self, program_file, capsys):
+        assert main(["run", program_file, "--steps", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Run(5 events)" in out
+
+    def test_peer_view_printed(self, program_file, capsys):
+        main(["run", program_file, "--steps", "6", "--peer", "sue"])
+        assert "RunView@sue" in capsys.readouterr().out
+
+    def test_save_and_replay(self, program_file, tmp_path, capsys):
+        log = tmp_path / "run.json"
+        main(["run", program_file, "--steps", "6", "--save", str(log)])
+        data = json.loads(log.read_text())
+        assert len(data["events"]) == 6
+        # The saved log can be fed back into explain.
+        assert main(
+            ["explain", program_file, "--peer", "sue", "--run", str(log)]
+        ) == 0
+
+
+class TestExplain:
+    def test_explanation_text(self, program_file, capsys):
+        assert main(
+            ["explain", program_file, "--peer", "sue", "--steps", "8", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "minimal faithful scenario" in out
+
+    def test_show_scenario(self, program_file, capsys):
+        main(
+            ["explain", program_file, "--peer", "sue", "--steps", "8",
+             "--seed", "3", "--show-scenario"]
+        )
+        assert "replayed" in capsys.readouterr().out
+
+
+class TestSynthesize:
+    def test_view_program_printed(self, program_file, capsys):
+        code = main(
+            ["synthesize", program_file, "--peer", "sue", "--bound", "3",
+             "--witnesses"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+Cleared@world" in out
+        assert "+Hire@world" in out
+        assert "witnessed by" in out
+
+
+class TestEnforce:
+    def test_accepting_run(self, program_file, tmp_path, capsys):
+        log = tmp_path / "run.json"
+        main(["run", program_file, "--steps", "5", "--seed", "0", "--save", str(log)])
+        capsys.readouterr()
+        code = main(
+            ["enforce", program_file, "--peer", "sue", "--bound", "3",
+             "--run", str(log)]
+        )
+        out = capsys.readouterr().out
+        assert "run accepted:" in out
+        assert code in (0, 1)
+
+    def test_blocking_run(self, no_cfo_file, tmp_path, capsys):
+        """A stale-approval run is reported and exits non-zero."""
+        from repro.workflow import Event, execute
+        from repro.workflow.domain import FreshValue
+        from repro.workflow.queries import Var
+        from repro.workflow.serialization import run_to_json
+
+        program = hiring_no_cfo_program()
+        k, k2 = FreshValue(0), FreshValue(1)
+        run = execute(
+            program,
+            [
+                Event(program.rule("clear"), {Var("x"): k}),
+                Event(program.rule("approve"), {Var("x"): k}),
+                Event(program.rule("clear"), {Var("x"): k2}),
+                Event(program.rule("hire"), {Var("x"): k}),
+            ],
+        )
+        log = tmp_path / "sneaky.json"
+        log.write_text(run_to_json(run))
+        code = main(
+            ["enforce", no_cfo_file, "--peer", "sue", "--bound", "2",
+             "--run", str(log)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BLOCKED" in out
+        assert "run accepted: False" in out

@@ -1,0 +1,100 @@
+"""Tests for minimum p-faithful runs on arbitrary initial instances."""
+
+import pytest
+
+from repro.transparency.faithful_runs import (
+    is_minimum_faithful_run,
+    is_mostly_silent,
+    iter_silent_faithful_runs,
+    longest_silent_faithful_run,
+    run_on,
+)
+from repro.workflow import Event, Instance, execute
+from repro.workflow.tuples import Tuple
+from repro.workloads.generators import chain_program
+
+
+class TestRunOn:
+    def test_valid(self, approval):
+        start = Instance.from_tuples(
+            approval.schema.schema, {"ok": [Tuple(("K",), (0,))]}
+        )
+        run = run_on(approval, [Event(approval.rule("h"), {})], start)
+        assert run is not None
+        assert run.final_instance.has_key("approval", 0)
+
+    def test_invalid_returns_none(self, approval):
+        empty = Instance.empty(approval.schema.schema)
+        assert run_on(approval, [Event(approval.rule("h"), {})], empty) is None
+
+
+class TestPredicates:
+    def test_minimum_faithful(self, approval):
+        run = execute(approval, [Event(approval.rule("g"), {}), Event(approval.rule("h"), {})])
+        assert is_minimum_faithful_run(run, "applicant")
+
+    def test_not_minimum_faithful(self, approval):
+        # e g h: e is irrelevant to the applicant (g's insert suffices)...
+        # actually e creates ok's first lifecycle which g closes? No: g
+        # re-inserts the same fact (no-op); e's lifecycle is open and h
+        # reads it; all of e g h in the closure? g is a no-op, never
+        # required. So e-g-h is NOT minimum faithful (g is redundant).
+        run = execute(
+            approval,
+            [Event(approval.rule("e"), {}), Event(approval.rule("g"), {}),
+             Event(approval.rule("h"), {})],
+        )
+        assert not is_minimum_faithful_run(run, "applicant")
+
+    def test_mostly_silent(self, approval):
+        run = execute(approval, [Event(approval.rule("e"), {}), Event(approval.rule("h"), {})])
+        assert is_mostly_silent(run, "applicant")
+        assert not is_mostly_silent(run, "cto")  # e is cto's own event
+
+    def test_mostly_silent_needs_visible_last(self, approval):
+        run = execute(approval, [Event(approval.rule("e"), {})])
+        assert not is_mostly_silent(run, "applicant")
+        empty = execute(approval, [])
+        assert not is_mostly_silent(empty, "applicant")
+
+
+class TestSilentFaithfulSearch:
+    def test_chain_runs_found(self):
+        program = chain_program(2)
+        empty = Instance.empty(program.schema.schema)
+        runs = list(
+            iter_silent_faithful_runs(program, "observer", empty, max_length=3)
+        )
+        assert len(runs) == 1
+        assert [e.rule.name for e in runs[0].events] == ["start", "step0", "step1"]
+
+    def test_bound_cuts_search(self):
+        program = chain_program(3)
+        empty = Instance.empty(program.schema.schema)
+        runs = list(
+            iter_silent_faithful_runs(program, "observer", empty, max_length=3)
+        )
+        assert runs == []  # the only silent faithful run has length 4
+
+    def test_longest(self):
+        program = chain_program(2)
+        empty = Instance.empty(program.schema.schema)
+        longest = longest_silent_faithful_run(program, "observer", empty, 5)
+        assert longest is not None and len(longest) == 3
+
+    def test_runs_from_partial_instance(self):
+        program = chain_program(2)
+        start = Instance.from_tuples(
+            program.schema.schema, {"S1": [Tuple(("K",), (0,))]}
+        )
+        runs = list(
+            iter_silent_faithful_runs(program, "observer", start, max_length=3)
+        )
+        lengths = sorted(len(r) for r in runs)
+        assert lengths == [1]  # just step1 (S1 pre-exists, no left boundary)
+
+    def test_all_results_are_minimum_faithful_and_silent(self, approval):
+        empty = Instance.empty(approval.schema.schema)
+        for candidate in iter_silent_faithful_runs(approval, "applicant", empty, 3):
+            assert is_minimum_faithful_run(candidate.run, "applicant")
+            assert is_mostly_silent(candidate.run, "applicant")

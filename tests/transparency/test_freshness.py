@@ -1,0 +1,96 @@
+"""Tests for p-fresh instance enumeration (Definition 5.5)."""
+
+import pytest
+
+from repro.transparency.freshness import (
+    is_p_fresh,
+    iter_p_fresh_instances,
+    p_fresh_instances,
+)
+from repro.transparency.instances import constant_pool
+from repro.workflow import Instance
+from repro.workflow.tuples import Tuple
+
+
+class TestEmptyInstance:
+    def test_empty_always_p_fresh(self, hiring_no_cfo):
+        pool = constant_pool(hiring_no_cfo, 1)
+        instances = p_fresh_instances(hiring_no_cfo, "sue", pool, 1)
+        assert instances[0][0].is_empty()
+        assert instances[0][1] is None
+
+
+class TestForwardEnumeration:
+    def test_results_of_visible_events(self, hiring_no_cfo):
+        pool = constant_pool(hiring_no_cfo, 1)
+        found = p_fresh_instances(hiring_no_cfo, "sue", pool, 1)
+        # Some fresh instance contains a Cleared fact (clear is visible).
+        assert any(
+            not inst.is_empty() and inst.keys("Cleared") for inst, _ in found
+        )
+
+    def test_witnesses_replay(self, hiring_no_cfo):
+        from repro.workflow.engine import apply_event
+
+        pool = constant_pool(hiring_no_cfo, 1)
+        for instance, witness in p_fresh_instances(hiring_no_cfo, "sue", pool, 1):
+            if witness is None:
+                continue
+            result = apply_event(
+                hiring_no_cfo.schema, witness.predecessor, witness.event, None
+            )
+            assert result == instance
+
+    def test_invisible_events_do_not_witness(self, hiring_no_cfo):
+        # approve (inserting Approved, invisible to sue) never witnesses.
+        pool = constant_pool(hiring_no_cfo, 1)
+        for _instance, witness in p_fresh_instances(hiring_no_cfo, "sue", pool, 1):
+            if witness is not None:
+                assert witness.event.rule.name != "approve"
+
+    def test_no_duplicates(self, hiring_no_cfo):
+        pool = constant_pool(hiring_no_cfo, 1)
+        found = [inst for inst, _ in p_fresh_instances(hiring_no_cfo, "sue", pool, 1)]
+        assert len(found) == len(set(found))
+
+
+class TestWitnessFreshness:
+    def test_freshness_excludes_value_reuse(self, hiring_no_cfo):
+        # Under witness freshness, {Cleared(c), Approved(c)} is NOT
+        # sue-fresh: the clear event's head-only x cannot reuse c.
+        pool = constant_pool(hiring_no_cfo, 1)
+        schema = hiring_no_cfo.schema.schema
+        c = pool[-1]
+        target = Instance.from_tuples(
+            schema,
+            {"Cleared": [Tuple(("K",), (c,))], "Approved": [Tuple(("K",), (c,))]},
+        )
+        assert is_p_fresh(hiring_no_cfo, "sue", target, pool, 1) is None
+
+    def test_literal_reading_allows_value_reuse(self, hiring_no_cfo):
+        # Under the literal Definition 5.5 reading (Example 5.7's usage),
+        # the same instance IS sue-fresh via +Cleared@hr(c) on {Approved(c)}.
+        pool = constant_pool(hiring_no_cfo, 1)
+        schema = hiring_no_cfo.schema.schema
+        c = pool[-1]
+        target = Instance.from_tuples(
+            schema,
+            {"Cleared": [Tuple(("K",), (c,))], "Approved": [Tuple(("K",), (c,))]},
+        )
+        witness = is_p_fresh(
+            hiring_no_cfo, "sue", target, pool, 1, witness_freshness=False
+        )
+        assert witness is not None
+        assert witness.event.rule.name == "clear"
+
+    def test_fresh_values_still_allowed(self, hiring_no_cfo):
+        # {Cleared(c0), Approved(c1)} is sue-fresh even with freshness:
+        # clear(c0) on {Approved(c1)}.
+        pool = constant_pool(hiring_no_cfo, 2)
+        schema = hiring_no_cfo.schema.schema
+        c0, c1 = pool[-2], pool[-1]
+        target = Instance.from_tuples(
+            schema,
+            {"Cleared": [Tuple(("K",), (c0,))], "Approved": [Tuple(("K",), (c1,))]},
+        )
+        assert is_p_fresh(hiring_no_cfo, "sue", target, pool, 1) is not None

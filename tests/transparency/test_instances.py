@@ -1,0 +1,74 @@
+"""Tests for constant pools and bounded instance enumeration."""
+
+import pytest
+
+from repro.transparency.instances import (
+    PoolConstant,
+    constant_pool,
+    count_instances,
+    default_pool_size,
+    enumerate_instances,
+    enumerate_relation_contents,
+)
+from repro.workflow import NULL, Relation, Schema
+from repro.workloads.paper_examples import approval_program
+
+
+class TestConstantPool:
+    def test_includes_program_constants(self, approval):
+        pool = constant_pool(approval, extra=2)
+        assert 0 in pool
+        assert PoolConstant(0) in pool and PoolConstant(1) in pool
+
+    def test_null_excluded(self, approval):
+        assert NULL not in constant_pool(approval, extra=1)
+
+    def test_default_pool_size_grows_with_h(self, approval):
+        assert default_pool_size(approval, 4) > default_pool_size(approval, 1)
+        assert default_pool_size(approval, 0) >= 1
+
+
+class TestRelationContents:
+    R = Relation("R", ("K", "A"))
+
+    def test_empty_content_first(self):
+        contents = list(enumerate_relation_contents(self.R, [1, 2], ["v"], 1))
+        assert contents[0] == ()
+
+    def test_counts(self):
+        # 1 empty + 2 keys × (NULL, v) values = 5.
+        contents = list(enumerate_relation_contents(self.R, [1, 2], ["v"], 1))
+        assert len(contents) == 5
+
+    def test_two_tuples_distinct_keys(self):
+        contents = list(enumerate_relation_contents(self.R, [1, 2], [], 2))
+        two = [c for c in contents if len(c) == 2]
+        for pair in two:
+            assert pair[0].key != pair[1].key
+
+    def test_max_tuples_cap(self):
+        contents = list(enumerate_relation_contents(self.R, [1, 2, 3], [], 1))
+        assert all(len(c) <= 1 for c in contents)
+
+
+class TestEnumerateInstances:
+    def test_all_valid(self):
+        schema = Schema([Relation("R", ("K", "A")), Relation("S", ("K",))])
+        for instance in enumerate_instances(schema, [1, 2], 1):
+            for relation in schema:
+                keys = instance.keys(relation.name)
+                assert len(set(keys)) == len(keys)
+
+    def test_count_matches(self):
+        schema = Schema([Relation("R", ("K",)), Relation("S", ("K",))])
+        instances = list(enumerate_instances(schema, [1, 2], 1))
+        assert len(instances) == count_instances(schema, [1, 2], 1)
+        # R: empty, {1}, {2}; same for S => 9 combinations.
+        assert len(instances) == 9
+
+    def test_relations_filter(self):
+        schema = Schema([Relation("R", ("K",)), Relation("S", ("K",))])
+        instances = list(enumerate_instances(schema, [1], 1, relations=["R"]))
+        assert len(instances) == 2
+        for instance in instances:
+            assert instance.relation("S") == ()

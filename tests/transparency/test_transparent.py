@@ -1,0 +1,69 @@
+"""Tests for the transparency decision (Theorem 5.11, Example 5.7)."""
+
+import pytest
+
+from repro.transparency.bounded import SearchBudget
+from repro.transparency.transparent import (
+    check_transparent,
+    check_transparent_and_bounded,
+)
+from repro.workloads.generators import chain_program
+
+SMALL = SearchBudget(pool_extra=2, max_tuples_per_relation=1)
+
+
+class TestExample57:
+    def test_no_cfo_variant_not_transparent(self, hiring_no_cfo):
+        result = check_transparent(hiring_no_cfo, "sue", h=2, budget=SMALL)
+        assert not result.transparent
+        assert result.violation is not None
+        # The violating run involves the invisible Approved relation.
+        names = {event.rule.name for event in result.violation.events}
+        assert names & {"approve", "hire"}
+
+    def test_literal_hiring_not_transparent(self, hiring):
+        result = check_transparent(hiring, "sue", h=3, budget=SMALL)
+        assert not result.transparent
+
+    def test_stage_variant_transparent(self, hiring_transparent):
+        result = check_transparent(hiring_transparent, "sue", h=2, budget=SMALL)
+        assert result.transparent
+        assert result.pairs_checked > 0
+
+    def test_combined_check(self, hiring_transparent):
+        ok, witness = check_transparent_and_bounded(
+            hiring_transparent, "sue", h=2, budget=SMALL
+        )
+        assert ok and witness is None
+
+    def test_combined_check_flags_unbounded(self):
+        program = chain_program(3)
+        ok, witness = check_transparent_and_bounded(
+            program, "observer", h=2, budget=SearchBudget(pool_extra=0)
+        )
+        assert not ok and witness is not None
+
+    def test_require_bounded_raises(self):
+        program = chain_program(3)
+        with pytest.raises(ValueError):
+            check_transparent(
+                program,
+                "observer",
+                h=2,
+                budget=SearchBudget(pool_extra=0),
+                require_bounded=True,
+            )
+
+
+class TestTransparentFamilies:
+    def test_chain_is_transparent(self):
+        # The observer sees only the chain's end; chains from the empty
+        # instance behave identically on view-equal fresh instances.
+        program = chain_program(1)
+        result = check_transparent(program, "observer", h=2, budget=SearchBudget(pool_extra=0))
+        assert result.transparent
+
+    def test_violation_description(self, hiring_no_cfo):
+        result = check_transparent(hiring_no_cfo, "sue", h=2, budget=SMALL)
+        text = result.violation.describe()
+        assert "not mirrored" in text

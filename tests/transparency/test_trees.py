@@ -1,0 +1,100 @@
+"""Tests for tree-of-runs equivalence (Remark 5.2)."""
+
+import pytest
+
+from repro.transparency.bounded import SearchBudget
+from repro.transparency.equivalence import check_view_program
+from repro.transparency.trees import (
+    ViewTree,
+    check_tree_equivalence,
+    source_view_tree,
+    view_program_tree,
+)
+from repro.transparency.viewprogram import synthesize_view_program
+from repro.workflow import Instance, RunGenerator
+from repro.workloads import chain_program, hiring_program, vetoed_hiring_program
+
+SMALL = SearchBudget(pool_extra=1, max_tuples_per_relation=1)
+
+
+@pytest.fixture(scope="module")
+def hiring_synthesis():
+    return synthesize_view_program(hiring_program(), "sue", h=3, budget=SMALL)
+
+
+@pytest.fixture(scope="module")
+def veto_synthesis():
+    return synthesize_view_program(vetoed_hiring_program(), "sue", h=2, budget=SMALL)
+
+
+class TestViewTree:
+    def test_leaf_at_depth_zero(self, hiring_synthesis):
+        source = hiring_synthesis.source
+        tree = source_view_tree(
+            source, "sue", Instance.empty(source.schema.schema), 0, 3
+        )
+        assert tree.is_leaf() and tree.size() == 1
+
+    def test_branches_grow_with_depth(self, hiring_synthesis):
+        source = hiring_synthesis.source
+        empty = Instance.empty(source.schema.schema)
+        shallow = source_view_tree(source, "sue", empty, 1, 3)
+        deep = source_view_tree(source, "sue", empty, 2, 3)
+        assert deep.size() > shallow.size()
+
+    def test_isomorphic_branches_merge(self, hiring_synthesis):
+        # From the empty instance, every 'clear' leads to an isomorphic
+        # future: the canonicalisation merges them into one branch.
+        source = hiring_synthesis.source
+        empty = Instance.empty(source.schema.schema)
+        tree = source_view_tree(source, "sue", empty, 1, 3)
+        assert len(tree.branches) == 1
+
+    def test_view_program_tree_structure(self, hiring_synthesis):
+        empty = Instance.empty(hiring_synthesis.program.schema.schema)
+        tree = view_program_tree(hiring_synthesis.program, "sue", empty, 2)
+        labels = tree.labels()
+        assert "ω" in labels
+
+
+class TestTreeEquivalence:
+    def test_hiring_trees_coincide(self, hiring_synthesis):
+        report = check_tree_equivalence(hiring_synthesis, depth=3)
+        assert report.equivalent
+        assert report.source_tree == report.view_tree
+
+    def test_chain_trees_coincide(self):
+        synthesis = synthesize_view_program(
+            chain_program(1), "observer", h=2, budget=SearchBudget(pool_extra=0)
+        )
+        assert check_tree_equivalence(synthesis, depth=3).equivalent
+
+
+class TestRemark52:
+    """The veto workflow: linearly equivalent, tree-inequivalent."""
+
+    def test_view_program_linearly_equivalent(self, veto_synthesis):
+        source = veto_synthesis.source
+        source_runs = [RunGenerator(source, seed=s).random_run(8) for s in range(5)]
+        view_runs = [
+            RunGenerator(veto_synthesis.program, seed=s).random_run(4)
+            for s in range(5)
+        ]
+        report = check_view_program(veto_synthesis, source_runs, view_runs)
+        assert report.ok
+
+    def test_trees_differ(self, veto_synthesis):
+        report = check_tree_equivalence(veto_synthesis, depth=3)
+        assert not report.equivalent
+
+    def test_gap_is_an_extra_view_offer(self, veto_synthesis):
+        # The view program promises a Hire transition that vetoed
+        # futures of the source cannot deliver.
+        report = check_tree_equivalence(veto_synthesis, depth=3)
+        assert report.extra_in_view_program()
+
+    def test_hire_rule_synthesized(self, veto_synthesis):
+        relations = {
+            rule.head[0].view.relation.name for rule in veto_synthesis.world_rules()
+        }
+        assert "Hire" in relations

@@ -1,0 +1,125 @@
+"""Tests for selection conditions and canonical-tuple enumeration."""
+
+import pytest
+
+from repro.workflow.conditions import (
+    FALSE,
+    TRUE,
+    And,
+    AttrEq,
+    Condition,
+    Eq,
+    Not,
+    Or,
+    canonical_tuples,
+    condition_satisfiable,
+    conjunction,
+    disjunction,
+)
+from repro.workflow.domain import NULL
+from repro.workflow.tuples import Tuple
+
+ATTRS = ("K", "A", "B")
+
+
+def t(k, a, b):
+    return Tuple(ATTRS, (k, a, b))
+
+
+class TestElementary:
+    def test_eq_constant(self):
+        assert Eq("A", "x").evaluate(t(1, "x", 2))
+        assert not Eq("A", "x").evaluate(t(1, "y", 2))
+
+    def test_eq_null(self):
+        assert Eq("A", NULL).evaluate(t(1, NULL, 2))
+        assert not Eq("A", NULL).evaluate(t(1, "x", 2))
+
+    def test_attr_eq(self):
+        assert AttrEq("A", "B").evaluate(t(1, "x", "x"))
+        assert not AttrEq("A", "B").evaluate(t(1, "x", "y"))
+
+    def test_attr_eq_nulls(self):
+        assert AttrEq("A", "B").evaluate(t(1, NULL, NULL))
+        assert not AttrEq("A", "B").evaluate(t(1, NULL, "x"))
+
+    def test_attributes_and_constants(self):
+        assert Eq("A", "x").attributes() == {"A"}
+        assert Eq("A", "x").constants() == {"x"}
+        assert Eq("A", NULL).constants() == frozenset()
+        assert AttrEq("A", "B").attributes() == {"A", "B"}
+
+
+class TestBooleanCombinations:
+    def test_true_false(self):
+        assert TRUE.evaluate(t(1, 2, 3))
+        assert not FALSE.evaluate(t(1, 2, 3))
+
+    def test_not(self):
+        assert Not(Eq("A", "x")).evaluate(t(1, "y", 2))
+        assert (~Eq("A", "x")).evaluate(t(1, "y", 2))
+
+    def test_and_or_operators(self):
+        cond = Eq("A", "x") & Eq("B", "y")
+        assert cond.evaluate(t(1, "x", "y"))
+        assert not cond.evaluate(t(1, "x", "z"))
+        cond = Eq("A", "x") | Eq("B", "y")
+        assert cond.evaluate(t(1, "z", "y"))
+        assert not cond.evaluate(t(1, "z", "z"))
+
+    def test_empty_combinators(self):
+        assert And(()).evaluate(t(1, 2, 3))
+        assert not Or(()).evaluate(t(1, 2, 3))
+
+    def test_conjunction_disjunction_helpers(self):
+        assert conjunction([]) is TRUE
+        assert disjunction([]) is FALSE
+        single = Eq("A", 1)
+        assert conjunction([single]) is single
+        assert disjunction([single]) is single
+
+    def test_nested_attributes(self):
+        cond = (Eq("A", "x") & AttrEq("A", "B")) | Not(Eq("B", "z"))
+        assert cond.attributes() == {"A", "B"}
+        assert cond.constants() == {"x", "z"}
+
+    def test_equality_and_hash(self):
+        assert Eq("A", 1) == Eq("A", 1)
+        assert Eq("A", 1) != Eq("A", 2)
+        assert And((Eq("A", 1), TRUE)) == And((Eq("A", 1), TRUE))
+        assert len({Eq("A", 1), Eq("A", 1)}) == 1
+
+
+class TestCanonicalTuples:
+    def test_no_null_keys(self):
+        for tup in canonical_tuples(ATTRS, [Eq("A", "x")], "K"):
+            assert tup["K"] is not NULL
+
+    def test_covers_constants(self):
+        seen_a = {tup["A"] for tup in canonical_tuples(ATTRS, [Eq("A", "x")], "K")}
+        assert "x" in seen_a
+        assert NULL in seen_a
+
+    def test_realises_attribute_equality(self):
+        assert any(
+            AttrEq("A", "B").evaluate(tup) and tup["A"] is not NULL
+            for tup in canonical_tuples(ATTRS, [], "K")
+        )
+
+
+class TestSatisfiability:
+    def test_satisfiable(self):
+        assert condition_satisfiable(Eq("A", "x"), ATTRS, "K")
+        assert condition_satisfiable(AttrEq("A", "B") & ~Eq("A", NULL), ATTRS, "K")
+
+    def test_unsatisfiable(self):
+        assert not condition_satisfiable(Eq("A", "x") & Eq("A", "y"), ATTRS, "K")
+        assert not condition_satisfiable(Eq("A", "x") & ~Eq("A", "x"), ATTRS, "K")
+        assert not condition_satisfiable(FALSE, ATTRS, "K")
+
+    def test_null_key_unsatisfiable(self):
+        assert not condition_satisfiable(Eq("K", NULL), ATTRS, "K")
+
+    def test_context_constants_matter(self):
+        # "A != x" is satisfiable even when "x" is the only constant around.
+        assert condition_satisfiable(~Eq("A", "x"), ATTRS, "K", [Eq("A", "x")])

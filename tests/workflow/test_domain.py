@@ -1,0 +1,70 @@
+"""Tests for the data domain: NULL and fresh value generation."""
+
+import copy
+import pickle
+
+from repro.workflow.domain import NULL, FreshValue, FreshValueSource, is_null
+
+
+class TestNull:
+    def test_singleton(self):
+        from repro.workflow.domain import _Null
+
+        assert _Null() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(NULL) is NULL
+        assert copy.deepcopy(NULL) is NULL
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+class TestFreshValue:
+    def test_equality_by_index(self):
+        assert FreshValue(3) == FreshValue(3)
+        assert FreshValue(3) != FreshValue(4)
+
+    def test_hashable(self):
+        assert len({FreshValue(1), FreshValue(1), FreshValue(2)}) == 2
+
+    def test_ordering(self):
+        assert FreshValue(1) < FreshValue(2)
+
+    def test_repr(self):
+        assert repr(FreshValue(17)) == "ν17"
+
+
+class TestFreshValueSource:
+    def test_distinct_values(self):
+        source = FreshValueSource()
+        values = [source.fresh() for _ in range(100)]
+        assert len(set(values)) == 100
+
+    def test_observe_prevents_collision(self):
+        source = FreshValueSource()
+        source.observe([FreshValue(0), FreshValue(1)])
+        value = source.fresh()
+        assert value not in (FreshValue(0), FreshValue(1))
+
+    def test_start_offset(self):
+        source = FreshValueSource(start=1000)
+        assert source.fresh() == FreshValue(1000)
+
+    def test_stream(self):
+        source = FreshValueSource()
+        stream = source.stream()
+        first, second = next(stream), next(stream)
+        assert first != second

@@ -1,0 +1,125 @@
+"""Tests for applicable-event enumeration and run generation."""
+
+import pytest
+
+from repro.workflow.enumerate import (
+    RunGenerator,
+    applicable_events,
+    enumerate_event_sequences,
+)
+from repro.workflow.events import Event
+from repro.workflow.instance import Instance
+from repro.workflow.runs import execute
+
+
+class TestApplicableEvents:
+    def test_empty_instance_only_unconditional_rules(self, approval):
+        empty = Instance.empty(approval.schema.schema)
+        names = {e.rule.name for e in applicable_events(approval, empty)}
+        # f needs ok(0) to delete; h needs ok(0) in the body.
+        assert names == {"e", "g"}
+
+    def test_after_insert_more_rules_apply(self, approval):
+        run = execute(approval, [Event(approval.rule("e"), {})])
+        names = {
+            e.rule.name for e in applicable_events(approval, run.final_instance)
+        }
+        # e and g become no-op re-insertions (still applicable);
+        # f can delete; h can approve.
+        assert names == {"e", "f", "g", "h"}
+
+    def test_rule_filter(self, approval):
+        empty = Instance.empty(approval.schema.schema)
+        events = list(
+            applicable_events(approval, empty, rules=[approval.rule("e")])
+        )
+        assert {e.rule.name for e in events} == {"e"}
+
+    def test_peer_filter(self, approval):
+        empty = Instance.empty(approval.schema.schema)
+        events = list(applicable_events(approval, empty, peers=["ceo"]))
+        assert {e.rule.name for e in events} == {"g"}
+
+    def test_head_only_variables_get_fresh_values(self, hiring):
+        empty = Instance.empty(hiring.schema.schema)
+        events = [e for e in applicable_events(hiring, empty)]
+        assert events
+        for event in events:
+            assert event.rule.name == "clear"
+            assert event.head_only_values()
+
+    def test_valuations_range_over_view(self, hiring):
+        # After two clears, cfook applies to each cleared key.
+        clear = hiring.rule("clear")
+        from repro.workflow.domain import FreshValue
+        from repro.workflow.queries import Var
+
+        run = execute(
+            hiring,
+            [
+                Event(clear, {Var("x"): FreshValue(0)}),
+                Event(clear, {Var("x"): FreshValue(1)}),
+            ],
+        )
+        cfook_events = [
+            e
+            for e in applicable_events(hiring, run.final_instance)
+            if e.rule.name == "cfook"
+        ]
+        assert len(cfook_events) == 2
+
+
+class TestRunGenerator:
+    def test_reproducible_with_seed(self, hiring):
+        run_a = RunGenerator(hiring, seed=7).random_run(10)
+        run_b = RunGenerator(hiring, seed=7).random_run(10)
+        assert [e.rule.name for e in run_a.events] == [e.rule.name for e in run_b.events]
+
+    def test_produces_valid_run(self, hiring):
+        run = RunGenerator(hiring, seed=1).random_run(15)
+        # Re-execution succeeds (freshness included).
+        replayed = execute(hiring, run.events)
+        assert replayed.final_instance == run.final_instance
+
+    def test_rule_weights_bias_choice(self, hiring):
+        run = RunGenerator(hiring, seed=3).random_run(
+            10, rule_weights={"clear": 100.0, "cfook": 0.0001, "approve": 0.0001, "hire": 0.0001}
+        )
+        names = [e.rule.name for e in run.events]
+        assert names.count("clear") >= 8
+
+    def test_stops_when_stuck(self):
+        from repro.workflow.parser import parse_program
+
+        # A program whose single rule can fire only once.
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            view R@p(K)
+            [once] +R@p(0) :- not Key[R]@p(0)
+            """
+        )
+        run = RunGenerator(program, seed=0).random_run(10)
+        assert len(run) == 1
+
+
+class TestEnumerateSequences:
+    def test_depth_bound(self, approval):
+        sequences = list(enumerate_event_sequences(approval, max_length=2))
+        lengths = {len(events) for events, _ in sequences}
+        assert lengths == {1, 2}
+
+    def test_all_prefixes_are_runs(self, approval):
+        for events, final in enumerate_event_sequences(approval, max_length=3):
+            run = execute(approval, events, check_freshness=False)
+            assert run.final_instance == final
+
+    def test_prune_stops_extension(self, approval):
+        # Pruning everything yields only length-1 sequences.
+        sequences = list(
+            enumerate_event_sequences(
+                approval, max_length=3, prune=lambda events, inst: True
+            )
+        )
+        assert all(len(events) == 1 for events, _ in sequences)

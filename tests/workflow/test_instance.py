@@ -1,0 +1,185 @@
+"""Tests for instances, validity and the key chase."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workflow.domain import NULL
+from repro.workflow.errors import ChaseFailure, InvalidInstanceError, SchemaError
+from repro.workflow.instance import Instance, chase, chase_would_succeed
+from repro.workflow.schema import Relation, Schema
+from repro.workflow.tuples import Tuple
+
+R = Relation("R", ("K", "A", "B"))
+S = Relation("S", ("K", "A"))
+D = Schema([R, S])
+
+
+def rt(k, a, b):
+    return Tuple(("K", "A", "B"), (k, a, b))
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert Instance.empty(D).is_empty()
+        assert Instance.empty(D).size() == 0
+
+    def test_from_tuples(self):
+        inst = Instance.from_tuples(D, {"R": [rt(1, "x", NULL)]})
+        assert inst.has_key("R", 1)
+        assert inst.tuple_with_key("R", 1)["A"] == "x"
+        assert not inst.has_key("R", 2)
+
+    def test_null_key_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_tuples(D, {"R": [rt(NULL, "x", "y")]})
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_tuples(D, {"R": [rt(1, "x", NULL), rt(1, "y", NULL)]})
+
+    def test_identical_duplicates_collapse(self):
+        inst = Instance.from_tuples(D, {"R": [rt(1, "x", NULL), rt(1, "x", NULL)]})
+        assert inst.size() == 1
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Instance(D, {"Z": {}})
+
+    def test_short_tuples_padded(self):
+        inst = Instance.from_tuples(D, {"R": [Tuple(("K", "A"), (1, "x"))]})
+        assert inst.tuple_with_key("R", 1)["B"] is NULL
+
+
+class TestAccess:
+    def test_keys_and_relation(self):
+        inst = Instance.from_tuples(D, {"R": [rt(1, "x", NULL), rt(2, "y", NULL)]})
+        assert set(inst.keys("R")) == {1, 2}
+        assert len(inst.relation("R")) == 2
+        assert inst.relation("S") == ()
+
+    def test_active_domain_skips_nulls(self):
+        inst = Instance.from_tuples(D, {"R": [rt(1, "x", NULL)]})
+        assert inst.active_domain() == {1, "x"}
+
+    def test_size(self):
+        inst = Instance.from_tuples(
+            D, {"R": [rt(1, "x", NULL)], "S": [Tuple(("K", "A"), (9, "z"))]}
+        )
+        assert inst.size() == 2
+
+
+class TestUpdates:
+    def test_insert_new_tuple(self):
+        inst = Instance.empty(D).insert("R", rt(1, "x", NULL))
+        assert inst.has_key("R", 1)
+
+    def test_insert_is_pure(self):
+        base = Instance.empty(D)
+        base.insert("R", rt(1, "x", NULL))
+        assert base.is_empty()
+
+    def test_insert_merges_on_same_key(self):
+        inst = Instance.empty(D).insert("R", rt(1, "x", NULL)).insert("R", rt(1, NULL, "y"))
+        assert inst.tuple_with_key("R", 1).values == (1, "x", "y")
+        assert inst.size() == 1
+
+    def test_insert_conflict_raises_chase_failure(self):
+        inst = Instance.empty(D).insert("R", rt(1, "x", NULL))
+        with pytest.raises(ChaseFailure):
+            inst.insert("R", rt(1, "z", NULL))
+
+    def test_insert_null_key_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.empty(D).insert("R", rt(NULL, "x", NULL))
+
+    def test_delete(self):
+        inst = Instance.empty(D).insert("R", rt(1, "x", NULL)).delete("R", 1)
+        assert not inst.has_key("R", 1)
+
+    def test_delete_missing_key_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.empty(D).delete("R", 1)
+
+    def test_with_relation(self):
+        inst = Instance.empty(D).with_relation("R", [rt(5, "q", NULL)])
+        assert set(inst.keys("R")) == {5}
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = Instance.from_tuples(D, {"R": [rt(1, "x", NULL), rt(2, "y", NULL)]})
+        b = Instance.from_tuples(D, {"R": [rt(2, "y", NULL), rt(1, "x", NULL)]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_content_sensitive(self):
+        a = Instance.from_tuples(D, {"R": [rt(1, "x", NULL)]})
+        b = Instance.from_tuples(D, {"R": [rt(1, "y", NULL)]})
+        assert a != b
+
+
+class TestChase:
+    def test_merges_same_key(self):
+        inst = chase(D, {"R": [rt(1, "x", NULL), rt(1, NULL, "y")]})
+        assert inst.tuple_with_key("R", 1).values == (1, "x", "y")
+
+    def test_fails_on_conflict(self):
+        with pytest.raises(ChaseFailure):
+            chase(D, {"R": [rt(1, "x", NULL), rt(1, "z", NULL)]})
+
+    def test_fails_on_null_key(self):
+        with pytest.raises(ChaseFailure):
+            chase(D, {"R": [rt(NULL, "x", NULL)]})
+
+    def test_chase_would_succeed(self):
+        assert chase_would_succeed(D, {"R": [rt(1, "x", NULL), rt(1, NULL, "y")]})
+        assert not chase_would_succeed(D, {"R": [rt(1, "x", NULL), rt(1, "y", NULL)]})
+
+    def test_multiway_merge(self):
+        inst = chase(
+            D,
+            {"R": [rt(1, NULL, NULL), rt(1, "x", NULL), rt(1, NULL, "y"), rt(1, "x", "y")]},
+        )
+        assert inst.tuple_with_key("R", 1).values == (1, "x", "y")
+
+    def test_pads_short_tuples(self):
+        inst = chase(D, {"R": [Tuple(("K", "A"), (1, "x")), Tuple(("K", "B"), (1, "y"))]})
+        assert inst.tuple_with_key("R", 1).values == (1, "x", "y")
+
+
+values = st.one_of(st.integers(0, 3), st.just(NULL))
+tuples = st.builds(rt, st.integers(1, 3), values, values)
+
+
+@given(st.lists(tuples, max_size=8))
+def test_chase_idempotent(tuples_list):
+    """Property: chasing a chased instance changes nothing."""
+    try:
+        once = chase(D, {"R": tuples_list})
+    except ChaseFailure:
+        return
+    twice = chase(D, {"R": once.relation("R")})
+    assert once == twice
+
+
+@given(st.lists(tuples, max_size=8))
+def test_chase_order_insensitive(tuples_list):
+    """Property: the chase result does not depend on tuple order."""
+    try:
+        forward = chase(D, {"R": tuples_list})
+    except ChaseFailure:
+        with pytest.raises(ChaseFailure):
+            chase(D, {"R": list(reversed(tuples_list))})
+        return
+    assert forward == chase(D, {"R": list(reversed(tuples_list))})
+
+
+@given(st.lists(tuples, max_size=8))
+def test_chase_result_subsumes_inputs(tuples_list):
+    """Property: every input tuple is subsumed by its chased merge."""
+    try:
+        result = chase(D, {"R": tuples_list})
+    except ChaseFailure:
+        return
+    for tup in tuples_list:
+        assert tup.subsumed_by(result.tuple_with_key("R", tup.key))

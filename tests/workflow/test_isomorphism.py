@@ -1,0 +1,149 @@
+"""Tests for value isomorphisms and Lemma A.2 invariances."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.faithful import minimal_faithful_scenario
+from repro.transparency.faithful_runs import is_minimum_faithful_run, run_on
+from repro.workflow import Instance, RunGenerator, execute
+from repro.workflow.domain import FreshValue
+from repro.workflow.errors import WorkflowError
+from repro.workflow.isomorphism import (
+    Renaming,
+    canonicalize_instance,
+    find_instance_isomorphism,
+    instances_isomorphic,
+    rename_event,
+    rename_instance,
+    rename_run,
+)
+from repro.workflow.schema import Relation, Schema
+from repro.workflow.tuples import Tuple
+from repro.workloads import hiring_program
+from repro.workloads.generators import OBSERVER, random_propositional_program
+
+R = Relation("R", ("K", "A"))
+D = Schema([R])
+
+
+def inst(*pairs):
+    return Instance.from_tuples(D, {"R": [Tuple(("K", "A"), p) for p in pairs]})
+
+
+class TestRenaming:
+    def test_identity_outside_mapping(self):
+        f = Renaming({1: "a"})
+        assert f(1) == "a" and f(2) == 2
+
+    def test_injectivity_required(self):
+        with pytest.raises(WorkflowError):
+            Renaming({1: "a", 2: "a"})
+
+    def test_null_cannot_be_renamed(self):
+        from repro.workflow import NULL
+
+        with pytest.raises(WorkflowError):
+            Renaming({NULL: 1})
+
+    def test_inverse(self):
+        f = Renaming({1: "a", 2: "b"})
+        g = f.inverse()
+        assert g("a") == 1 and g(f(2)) == 2
+
+    def test_fixes(self):
+        f = Renaming({1: "a"})
+        assert f.fixes([2, 3])
+        assert not f.fixes([1])
+
+
+class TestRenameObjects:
+    def test_rename_instance(self):
+        f = Renaming({1: 10, "x": "y"})
+        renamed = rename_instance(f, inst((1, "x"), (2, "x")))
+        assert renamed == inst((10, "y"), (2, "y"))
+
+    def test_rename_run_preserves_consistency(self, hiring):
+        run = RunGenerator(hiring, seed=3).random_run(8)
+        f = Renaming({value: FreshValue(900 + i) for i, value in
+                      enumerate(sorted(run.active_domain(), key=repr))})
+        renamed = rename_run(f, run)
+        # Lemma A.2 (i): the renamed sequence is a run with renamed instances.
+        replayed = execute(hiring, renamed.events, check_freshness=False)
+        assert replayed.final_instance == renamed.final_instance
+
+
+class TestLemmaA2:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_visibility_invariant(self, hiring, seed):
+        run = RunGenerator(hiring, seed=seed).random_run(10)
+        f = Renaming({value: FreshValue(800 + i) for i, value in
+                      enumerate(sorted(run.active_domain(), key=repr))})
+        renamed = rename_run(f, run)
+        assert run.visible_indices("sue") == renamed.visible_indices("sue")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_faithfulness_invariant(self, hiring, seed):
+        """Lemma A.2 (ii): minimum p-faithfulness survives renaming."""
+        run = RunGenerator(hiring, seed=seed).random_run(10)
+        f = Renaming({value: FreshValue(700 + i) for i, value in
+                      enumerate(sorted(run.active_domain(), key=repr))})
+        renamed = rename_run(f, run)
+        assert (
+            minimal_faithful_scenario(run, "sue").indices
+            == minimal_faithful_scenario(renamed, "sue").indices
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_propositional_invariance(self, seed):
+        program = random_propositional_program(5, 8, seed=seed)
+        run = RunGenerator(program, seed=seed).random_run(12)
+        values = sorted(run.active_domain() - set(program.constants()), key=repr)
+        f = Renaming({v: FreshValue(600 + i) for i, v in enumerate(values)})
+        renamed = rename_run(f, run)
+        assert (
+            minimal_faithful_scenario(run, OBSERVER).indices
+            == minimal_faithful_scenario(renamed, OBSERVER).indices
+        )
+
+
+class TestIsomorphismSearch:
+    def test_isomorphic_instances(self):
+        assert instances_isomorphic(inst((1, "x")), inst((2, "y")))
+
+    def test_fixed_values_respected(self):
+        assert not instances_isomorphic(inst((1, "x")), inst((2, "x")), fixed=[1, 2])
+        assert instances_isomorphic(inst((1, "x")), inst((1, "y")), fixed=[1])
+
+    def test_non_isomorphic(self):
+        # Same key repeated vs distinct values.
+        assert not instances_isomorphic(inst((1, 1)), inst((1, 2)))
+
+    def test_size_mismatch(self):
+        assert not instances_isomorphic(inst((1, "x")), inst((1, "x"), (2, "y")))
+
+    def test_witness_maps_correctly(self):
+        witness = find_instance_isomorphism(inst((1, "x")), inst((2, "y")))
+        assert witness is not None
+        assert rename_instance(witness, inst((1, "x"))) == inst((2, "y"))
+
+    def test_cap_enforced(self):
+        big_left = inst(*((i, None) for i in range(1, 14)))
+        big_right = inst(*((i + 100, None) for i in range(1, 14)))
+        with pytest.raises(WorkflowError):
+            find_instance_isomorphism(big_left, big_right)
+
+
+class TestCanonicalization:
+    def test_isomorphic_instances_share_canonical_form(self):
+        a = canonicalize_instance(inst((1, "x"), (2, "x")))
+        b = canonicalize_instance(inst((7, "q"), (9, "q")))
+        assert a == b
+
+    def test_distinguishes_patterns(self):
+        same = canonicalize_instance(inst((1, 1)))
+        different = canonicalize_instance(inst((1, 2)))
+        assert same != different
+
+    def test_fixed_values_kept(self):
+        canonical = canonicalize_instance(inst((0, "x")), fixed=[0])
+        assert 0 in canonical.active_domain()

@@ -1,0 +1,132 @@
+"""Tests for the program linter."""
+
+import pytest
+
+from repro.workflow.lint import LintFinding, lint_dynamic, lint_program, lint_static
+from repro.workflow.parser import parse_program
+
+
+class TestStaticLint:
+    def test_clean_program_has_no_warnings(self, hiring):
+        findings = lint_static(hiring)
+        assert not [f for f in findings if f.severity == "warning"]
+        # Hire is a terminal output relation: an informational finding.
+        assert [f.subject for f in findings] == ["Hire"]
+
+    def test_never_written_relation(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            relation Ghost(K)
+            view R@p(K)
+            view Ghost@p(K)
+            [r] +R@p(x) :- Ghost@p(g)
+            """
+        )
+        findings = lint_static(program)
+        assert any(
+            f.category == "never-written" and f.subject == "Ghost" for f in findings
+        )
+
+    def test_never_read_relation(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            relation Sink(K)
+            view R@p(K)
+            view Sink@p(K)
+            [r] +R@p(x) :-
+            [s] +Sink@p(x) :- R@p(y)
+            """
+        )
+        findings = lint_static(program)
+        assert any(
+            f.category == "never-read" and f.subject == "Sink" for f in findings
+        )
+
+    def test_selection_counts_as_read(self):
+        program = parse_program(
+            """
+            peers p, q
+            relation R(K, flag)
+            view R@p(K, flag)
+            view R@q(K) where flag = 1
+            [r] +R@p(x, 1) :-
+            """
+        )
+        findings = lint_static(program)
+        # R is read via q's selection: only findings about other things.
+        assert not any(f.subject == "R" and f.category == "never-read" for f in findings)
+
+    def test_idle_peer(self):
+        program = parse_program(
+            """
+            peers p, ghost
+            relation R(K)
+            view R@p(K)
+            [r] +R@p(x) :- R@p(y)
+            """
+        )
+        findings = lint_static(program)
+        assert any(f.category == "idle-peer" and f.subject == "ghost" for f in findings)
+
+
+class TestDynamicLint:
+    def test_dead_rule_detected(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            relation Never(K)
+            view R@p(K)
+            view Never@p(K)
+            [live] +R@p(x) :-
+            [dead] +R@p(x) :- Never@p(n)
+            [write_never] +Never@p(x) :- Never@p(y)
+            """
+        )
+        findings = lint_dynamic(program, explore_depth=3, max_states=100)
+        dead = {f.subject for f in findings if f.category == "possibly-dead-rule"}
+        assert "dead" in dead and "write_never" in dead
+        assert "live" not in dead
+
+    def test_live_rules_not_flagged(self, approval):
+        findings = lint_dynamic(approval, explore_depth=4, max_states=200)
+        assert not findings
+
+    def test_bound_mentioned_in_message(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            relation Never(K)
+            view R@p(K)
+            view Never@p(K)
+            [dead] +R@p(x) :- Never@p(n)
+            """
+        )
+        findings = lint_dynamic(program, explore_depth=2)
+        assert findings and "depth" in findings[0].message
+
+
+class TestCombined:
+    def test_lint_program_merges(self):
+        program = parse_program(
+            """
+            peers p, ghost
+            relation R(K)
+            relation Never(K)
+            view R@p(K)
+            view Never@p(K)
+            [dead] +R@p(x) :- Never@p(n)
+            """
+        )
+        findings = lint_program(program, explore_depth=2)
+        categories = {f.category for f in findings}
+        assert {"never-written", "idle-peer", "possibly-dead-rule"} <= categories
+
+    def test_finding_str(self):
+        finding = LintFinding("warning", "never-written", "R", "boom")
+        assert str(finding) == "[warning] never-written(R): boom"

@@ -1,0 +1,140 @@
+"""Tests for the normal-form transformation (Proposition 2.3)."""
+
+import pytest
+
+from repro.workflow.events import Event
+from repro.workflow.normalform import normalize, normalize_rule
+from repro.workflow.parser import parse_program
+from repro.workflow.queries import Comparison, KeyLiteral, Query, RelLiteral, Var
+from repro.workflow.runs import execute
+
+
+def program_with(rule_lines: str):
+    return parse_program(
+        f"""
+        peers p, q
+        relation R(K, A)
+        relation S(K, A)
+        view R@p(K, A)
+        view R@q(K, A)
+        view S@p(K, A)
+        view S@q(K, A)
+        {rule_lines}
+        """
+    )
+
+
+class TestAlreadyNormal:
+    def test_identity_on_normal_rules(self):
+        program = program_with("[r] +R@p(x, y) :- S@p(x, y)")
+        result = normalize(program)
+        assert result.program.is_normal_form()
+        assert [rule.name for rule in result.program] == ["r"]
+        assert result.theta == {"r": "r"}
+
+
+class TestDeletionWitness:
+    def test_witness_added(self):
+        program = program_with("[d] -Key[R]@p(x) :- S@p(x, y)")
+        result = normalize(program)
+        assert result.program.is_normal_form()
+        (rule,) = result.program.rules
+        witnesses = [
+            lit
+            for lit in rule.body.positive_literals()
+            if isinstance(lit, RelLiteral) and lit.view.relation.name == "R"
+        ]
+        assert witnesses, "deletion must gain a positive R@p witness literal"
+        assert result.theta[rule.name] == "d"
+
+
+class TestPositiveKeyLiteral:
+    def test_replaced_by_relational_literal(self):
+        program = program_with("[k] +S@p(x, 1) :- Key[R]@p(x)")
+        result = normalize(program)
+        assert result.program.is_normal_form()
+        (rule,) = result.program.rules
+        assert not any(
+            isinstance(lit, KeyLiteral) and lit.positive for lit in rule.body.literals
+        )
+
+
+class TestNegativeRelLiteral:
+    def test_case_split(self):
+        program = program_with("[n] +S@p(x, 1) :- R@p(x, y), not R@p(x, 0)")
+        result = normalize(program)
+        assert result.program.is_normal_form()
+        # One case for ¬Key (unreachable here since R@p(x,y) holds) and
+        # one per non-key attribute of R@p.
+        assert len(result.program.rules) == 2
+        assert set(result.theta.values()) == {"n"}
+
+    def test_semantics_preserved_not_key_case(self):
+        """A ¬R case satisfied via a differing attribute value."""
+        original = program_with(
+            "[ins] +R@q(x, y) :-\n[n] +S@p(x, 1) :- R@p(x, y), not R@p(x, 0)"
+        )
+        nf = normalize(original).program
+        # Build a run of the original: insert R(k, 5), then fire n.
+        gen_events = []
+        from repro.workflow.domain import FreshValue
+
+        ins = Event(original.rule("ins"), {Var("x"): FreshValue(0), Var("y"): 5})
+        run = execute(original, [ins])
+        instance = run.final_instance
+        # In the original program, rule n applies with x=k, y=5.
+        from repro.workflow.enumerate import applicable_events
+
+        orig_events = [
+            e for e in applicable_events(original, instance) if e.rule.name == "n"
+        ]
+        assert orig_events
+        nf_events = [
+            e
+            for e in applicable_events(nf, instance)
+            if normalize(original).theta.get(e.rule.name) == "n"
+        ]
+        assert nf_events
+        # Both fire and produce the same successor instance.
+        from repro.workflow.engine import apply_event
+
+        orig_next = apply_event(original.schema, instance, orig_events[0], None, False)
+        nf_next = apply_event(nf.schema, instance, nf_events[0], None, False)
+        assert orig_next == nf_next
+
+    def test_negative_literal_unsatisfied_in_both(self):
+        """When R@p(x, 0) holds, neither program can fire rule n on x."""
+        original = program_with(
+            "[ins] +R@q(x, 0) :-\n[n] +S@p(x, 1) :- R@p(x, y), not R@p(x, 0)"
+        )
+        nf_result = normalize(original)
+        from repro.workflow.domain import FreshValue
+        from repro.workflow.enumerate import applicable_events
+
+        ins = Event(original.rule("ins"), {Var("x"): FreshValue(0)})
+        instance = execute(original, [ins]).final_instance
+        assert not [
+            e for e in applicable_events(original, instance) if e.rule.name == "n"
+        ]
+        assert not [
+            e
+            for e in applicable_events(nf_result.program, instance)
+            if nf_result.theta.get(e.rule.name) == "n"
+        ]
+
+
+class TestPaperProgramsNormalForm:
+    def test_paper_examples_normalize_to_themselves_or_nf(self):
+        from repro.workloads import paper_examples
+
+        for factory in (
+            paper_examples.hiring_program,
+            paper_examples.approval_program,
+            paper_examples.replace_assignment_program,
+            paper_examples.hiring_transparent_program,
+        ):
+            program = factory()
+            result = normalize(program)
+            assert result.program.is_normal_form()
+            # theta maps onto original rule names.
+            assert set(result.theta.values()) <= {r.name for r in program}

@@ -1,0 +1,167 @@
+"""Tests for the textual program syntax."""
+
+import pytest
+
+from repro.workflow.conditions import TRUE, AttrEq, Eq, Not
+from repro.workflow.domain import NULL
+from repro.workflow.errors import ParseError
+from repro.workflow.parser import parse_program, parse_schema
+from repro.workflow.queries import Comparison, Const, KeyLiteral, RelLiteral, Var
+from repro.workflow.rules import Deletion, Insertion
+
+BASE = """
+peers p, q
+relation R(K, A)
+relation S(K, A)
+view R@p(K, A)
+view R@q(K)
+view S@p(K, A)
+"""
+
+
+class TestDeclarations:
+    def test_peers(self):
+        program = parse_program(BASE)
+        assert program.schema.peers == ("p", "q")
+
+    def test_relations_and_views(self):
+        program = parse_program(BASE)
+        assert program.schema.schema.relation("R").attributes == ("K", "A")
+        assert program.schema.view("R", "q").attributes == ("K",)
+        assert program.schema.view("R", "p").selection == TRUE
+        assert program.schema.view("S", "q") is None
+
+    def test_view_with_condition(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K, A, B)
+            view R@p(K, A) where A = 'x' and not (B = null)
+            """
+        )
+        selection = program.schema.view("R", "p").selection
+        from repro.workflow.tuples import Tuple
+
+        assert selection.evaluate(Tuple(("K", "A", "B"), (1, "x", 2)))
+        assert not selection.evaluate(Tuple(("K", "A", "B"), (1, "x", NULL)))
+        assert not selection.evaluate(Tuple(("K", "A", "B"), (1, "y", 2)))
+
+    def test_attr_eq_condition(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K, A, B)
+            view R@p(K) where A = B
+            """
+        )
+        assert program.schema.view("R", "p").selection == AttrEq("A", "B")
+
+    def test_or_condition(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K, A)
+            view R@p(K, A) where A = 1 or A = 2
+            """
+        )
+        from repro.workflow.tuples import Tuple
+
+        sel = program.schema.view("R", "p").selection
+        assert sel.evaluate(Tuple(("K", "A"), (0, 1)))
+        assert sel.evaluate(Tuple(("K", "A"), (0, 2)))
+        assert not sel.evaluate(Tuple(("K", "A"), (0, 3)))
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("peers p\nrelation R(K)\nrelation R(K)")
+
+    def test_undeclared_relation_in_view(self):
+        with pytest.raises(ParseError):
+            parse_program("peers p\nview R@p(K)")
+
+    def test_undeclared_peer_in_view(self):
+        with pytest.raises(ParseError):
+            parse_program("relation R(K)\nview R@p(K)")
+
+    def test_unknown_condition_attribute(self):
+        with pytest.raises(ParseError):
+            parse_program("peers p\nrelation R(K)\nview R@p(K) where Z = 1")
+
+
+class TestRules:
+    def test_named_rule(self):
+        program = parse_program(BASE + "[go] +R@p(x, y) :- S@p(x, y)")
+        rule = program.rule("go")
+        assert rule.peer == "p"
+        assert isinstance(rule.head[0], Insertion)
+
+    def test_auto_named_rules(self):
+        program = parse_program(BASE + "+R@p(x, y) :- S@p(x, y)\n+S@p(x, y) :- R@p(x, y)")
+        assert [r.name for r in program] == ["r1", "r2"]
+
+    def test_empty_body(self):
+        program = parse_program(BASE + "[go] +R@p(x, y) :-")
+        assert len(program.rule("go").body) == 0
+        assert program.rule("go").head_only_variables() == {Var("x"), Var("y")}
+
+    def test_deletion_head(self):
+        program = parse_program(BASE + "[d] -Key[R]@p(x) :- R@p(x, y)")
+        assert isinstance(program.rule("d").head[0], Deletion)
+
+    def test_deletion_sugar(self):
+        program = parse_program(BASE + "[d] -R@q(x) :- R@q(x)")
+        assert isinstance(program.rule("d").head[0], Deletion)
+
+    def test_negative_literal(self):
+        program = parse_program(BASE + "[n] +R@p(x, y) :- S@p(x, y), not R@p(x, y)")
+        negatives = [l for l in program.rule("n").body.literals if not l.positive]
+        assert len(negatives) == 1
+        assert isinstance(negatives[0], RelLiteral)
+
+    def test_key_literals(self):
+        program = parse_program(
+            BASE + "[k] +R@p(x, 1) :- Key[S]@p(x), not Key[R]@p(x)"
+        )
+        literals = program.rule("k").body.literals
+        assert isinstance(literals[0], KeyLiteral) and literals[0].positive
+        assert isinstance(literals[1], KeyLiteral) and not literals[1].positive
+
+    def test_comparisons(self):
+        program = parse_program(BASE + "[c] +R@p(x, y) :- S@p(x, y), S@p(y, x), x != y")
+        comparisons = program.rule("c").body.comparisons()
+        assert len(comparisons) == 1 and not comparisons[0].positive
+
+    def test_constants(self):
+        program = parse_program(BASE + "[c] +R@p(0, 'hi') :-")
+        insertion = program.rule("c").head[0]
+        assert insertion.terms == (Const(0), Const("hi"))
+
+    def test_null_term(self):
+        program = parse_program(BASE + "[c] +R@p(x, null) :-")
+        assert program.rule("c").head[0].terms[1] == Const(NULL)
+
+    def test_multiline_body_with_trailing_comma(self):
+        program = parse_program(
+            BASE
+            + """
+            [m] +R@p(x, y) :- S@p(x, y),
+                S@p(y, x)
+            """
+        )
+        assert len(program.rule("m").body.positive_literals()) == 2
+
+    def test_comments_ignored(self):
+        program = parse_program(BASE + "# a comment\n[go] +R@p(x, y) :- S@p(x, y) # tail")
+        assert program.rule("go")
+
+    def test_undeclared_view_in_rule(self):
+        with pytest.raises(ParseError):
+            parse_program(BASE + "[bad] +S@q(x, y) :-")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(BASE + "[bad] +R@p(x, y) :- S@p(x, y) garbage(")
+
+    def test_parse_schema_helper(self):
+        schema = parse_schema(BASE)
+        assert schema.peers == ("p", "q")

@@ -1,0 +1,115 @@
+"""Robustness battery: malformed program texts must fail cleanly.
+
+Every case must raise :class:`~repro.workflow.errors.ParseError` (or a
+more specific :class:`WorkflowError`) — never a bare Python exception —
+with the offending construct mentioned where practical.
+"""
+
+import pytest
+
+from repro.workflow.errors import ParseError, WorkflowError
+from repro.workflow.parser import parse_program
+
+VALID_PREAMBLE = """
+peers p, q
+relation R(K, A)
+relation S(K)
+view R@p(K, A)
+view R@q(K, A)
+view S@p(K)
+"""
+
+
+def must_fail(text: str) -> None:
+    with pytest.raises(WorkflowError):
+        parse_program(text)
+
+
+class TestDeclarationErrors:
+    def test_unknown_character(self):
+        must_fail("peers p\nrelation R(K)\nview R@p(K)\n[r] +R@p(x) :- €")
+
+    def test_relation_without_parens(self):
+        must_fail("peers p\nrelation R")
+
+    def test_view_before_relation(self):
+        must_fail("peers p\nview R@p(K)\nrelation R(K)")
+
+    def test_view_for_undeclared_peer(self):
+        must_fail("peers p\nrelation R(K)\nview R@z(K)")
+
+    def test_duplicate_views(self):
+        must_fail("peers p\nrelation R(K)\nview R@p(K)\nview R@p(K)")
+
+    def test_duplicate_relations(self):
+        must_fail("peers p\nrelation R(K)\nrelation R(K)")
+
+    def test_trailing_tokens_in_peers(self):
+        must_fail("peers p q")
+
+    def test_condition_unknown_attribute(self):
+        must_fail("peers p\nrelation R(K)\nview R@p(K) where Z = 1")
+
+    def test_condition_dangling_operator(self):
+        must_fail("peers p\nrelation R(K, A)\nview R@p(K) where A =")
+
+    def test_condition_unbalanced_parens(self):
+        must_fail("peers p\nrelation R(K, A)\nview R@p(K) where (A = 1")
+
+
+class TestRuleErrors:
+    def test_missing_arrow(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x, y)")
+
+    def test_unknown_relation_in_head(self):
+        must_fail(VALID_PREAMBLE + "[r] +Z@p(x) :-")
+
+    def test_unknown_view_in_head(self):
+        must_fail(VALID_PREAMBLE + "[r] +S@q(x) :-")
+
+    def test_wrong_arity_head(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x) :-")
+
+    def test_wrong_arity_body(self):
+        must_fail(VALID_PREAMBLE + "[r] +S@p(x) :- R@p(x)")
+
+    def test_unsafe_variable(self):
+        must_fail(VALID_PREAMBLE + "[r] +S@p(x) :- not Key[R]@p(x)")
+
+    def test_cross_peer_head(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x, y), +R@q(x, y) :- R@p(x, y)")
+
+    def test_cross_peer_body(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x, y) :- R@q(x, y)")
+
+    def test_same_constant_keys_in_head(self):
+        must_fail(VALID_PREAMBLE + "[r] +S@p(0), -Key[S]@p(0) :- S@p(0)")
+
+    def test_unclosed_bracket_name(self):
+        must_fail(VALID_PREAMBLE + "[r +R@p(x, y) :-")
+
+    def test_body_garbage(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x, y) :- R@p(x, y), +")
+
+    def test_head_without_sign(self):
+        must_fail(VALID_PREAMBLE + "[r] R@p(x, y) :- R@p(x, y)")
+
+    def test_duplicate_rule_names(self):
+        must_fail(VALID_PREAMBLE + "[r] +S@p(x) :-\n[r] +S@p(x) :-")
+
+    def test_comparison_missing_operand(self):
+        must_fail(VALID_PREAMBLE + "[r] +R@p(x, y) :- R@p(x, y), x !=")
+
+
+class TestErrorMessages:
+    def test_message_mentions_peer(self):
+        with pytest.raises(ParseError, match="undeclared peer 'z'"):
+            parse_program("peers p\nrelation R(K)\nview R@z(K)")
+
+    def test_message_mentions_relation(self):
+        with pytest.raises(ParseError, match="'Z'"):
+            parse_program("peers p\nrelation R(K)\nview Z@p(K)")
+
+    def test_unexpected_character_reported(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("peers p\nrelation R(K)\nview R@p(K)\n[r] +R@p(x) :- %")

@@ -1,0 +1,86 @@
+"""Tests for workflow program construction and properties."""
+
+import pytest
+
+from repro.workflow.domain import NULL
+from repro.workflow.errors import RuleError, SchemaError
+from repro.workflow.parser import parse_program
+
+
+class TestConstruction:
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(RuleError):
+            parse_program(
+                """
+                peers p
+                relation R(K)
+                view R@p(K)
+                [a] +R@p(x) :-
+                [a] +R@p(x) :-
+                """
+            )
+
+    def test_rule_lookup(self, hiring):
+        assert hiring.rule("clear").peer == "hr"
+        with pytest.raises(RuleError):
+            hiring.rule("nope")
+
+    def test_rules_of_peer(self, hiring):
+        assert {r.name for r in hiring.rules_of_peer("hr")} == {"clear", "hire"}
+        assert hiring.rules_of_peer("sue") == ()
+
+    def test_foreign_view_rejected(self):
+        # Build a program whose rule references a view not in the schema.
+        from repro.workflow.program import WorkflowProgram
+        from repro.workflow.queries import Query, Var
+        from repro.workflow.rules import Insertion, Rule
+        from repro.workflow.schema import Relation, Schema
+        from repro.workflow.views import CollaborativeSchema, View
+
+        R = Relation("R", ("K",))
+        schema = CollaborativeSchema(Schema([R]), ["p"], [View(R, "p", ("K",))])
+        foreign_view = View(R, "p", ("K",))  # equal, fine
+        WorkflowProgram(schema, [Rule("r", (Insertion(foreign_view, (Var("x"),)),), Query(()))])
+
+        other = Relation("R", ("K",))
+        different = View(other, "q", ("K",))
+        with pytest.raises((SchemaError, RuleError)):
+            WorkflowProgram(
+                schema, [Rule("r", (Insertion(different, (Var("x"),)),), Query(()))]
+            )
+
+
+class TestProperties:
+    def test_constants_include_null(self, approval):
+        constants = approval.constants()
+        assert NULL in constants
+        assert 0 in constants
+
+    def test_max_head_and_body_size(self, hiring_transparent):
+        assert hiring_transparent.max_head_size() == 2
+        assert hiring_transparent.max_body_size() == 2
+
+    def test_is_linear_head(self, hiring, hiring_transparent):
+        assert hiring.is_linear_head()
+        assert not hiring_transparent.is_linear_head()
+
+    def test_is_normal_form(self, hiring):
+        assert hiring.is_normal_form()
+
+    def test_not_normal_form_with_negative_literal(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K, A)
+            view R@p(K, A)
+            [n] +R@p(x, 1) :- R@p(x, y), not R@p(x, 0)
+            """
+        )
+        assert not program.is_normal_form()
+
+    def test_with_rules_and_extend(self, hiring):
+        trimmed = hiring.with_rules([hiring.rule("clear")])
+        assert len(trimmed) == 1
+        extended = trimmed.extend([hiring.rule("hire")])
+        assert len(extended) == 2
+        assert len(hiring) == 4

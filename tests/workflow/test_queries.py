@@ -1,0 +1,171 @@
+"""Tests for FCQ¬ queries: safety and evaluation."""
+
+import pytest
+
+from repro.workflow.conditions import TRUE
+from repro.workflow.domain import NULL
+from repro.workflow.errors import QueryError
+from repro.workflow.instance import Instance
+from repro.workflow.queries import (
+    Comparison,
+    Const,
+    KeyLiteral,
+    Query,
+    RelLiteral,
+    Var,
+)
+from repro.workflow.schema import Relation, Schema
+from repro.workflow.tuples import Tuple
+from repro.workflow.views import View
+
+R = Relation("R", ("K", "A"))
+S = Relation("S", ("K", "A"))
+D = Schema([R, S])
+R_at_p = View(R, "p", ("K", "A"))
+S_at_p = View(S, "p", ("K", "A"))
+
+VIEW_SCHEMA = Schema([R_at_p.view_relation, S_at_p.view_relation])
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def view_inst(r_tuples=(), s_tuples=()):
+    return Instance.from_tuples(
+        VIEW_SCHEMA,
+        {
+            "R@p": [Tuple(("K", "A"), t) for t in r_tuples],
+            "S@p": [Tuple(("K", "A"), t) for t in s_tuples],
+        },
+    )
+
+
+def vals(query, inst):
+    return sorted(
+        tuple(sorted((v.name, val) for v, val in valuation.items()))
+        for valuation in query.valuations(inst)
+    )
+
+
+class TestSafety:
+    def test_safe_query(self):
+        Query([RelLiteral(R_at_p, (x, y))])
+
+    def test_unsafe_comparison_variable(self):
+        with pytest.raises(QueryError):
+            Query([RelLiteral(R_at_p, (x, Const(1))), Comparison(x, y, positive=False)])
+
+    def test_unsafe_negative_literal_variable(self):
+        with pytest.raises(QueryError):
+            Query([RelLiteral(S_at_p, (x, Const(1)), positive=False)])
+
+    def test_positive_key_literal_makes_safe(self):
+        Query([KeyLiteral(R_at_p, x)])
+
+    def test_negative_key_literal_does_not_make_safe(self):
+        with pytest.raises(QueryError):
+            Query([KeyLiteral(R_at_p, x, positive=False)])
+
+    def test_empty_query_is_safe(self):
+        assert len(Query(())) == 0
+
+
+class TestArity:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QueryError):
+            RelLiteral(R_at_p, (x,))
+
+
+class TestEvaluation:
+    def test_single_literal(self):
+        q = Query([RelLiteral(R_at_p, (x, y))])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")])
+        assert vals(q, inst) == [
+            (("x", 1), ("y", "a")),
+            (("x", 2), ("y", "b")),
+        ]
+
+    def test_join_on_shared_variable(self):
+        q = Query([RelLiteral(R_at_p, (x, y)), RelLiteral(S_at_p, (z, y))])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")], s_tuples=[(9, "a")])
+        assert vals(q, inst) == [(("x", 1), ("y", "a"), ("z", 9))]
+
+    def test_constant_filter(self):
+        q = Query([RelLiteral(R_at_p, (x, Const("a")))])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")])
+        assert vals(q, inst) == [(("x", 1),)]
+
+    def test_null_constant_matches_null(self):
+        q = Query([RelLiteral(R_at_p, (x, Const(NULL)))])
+        inst = view_inst(r_tuples=[(1, NULL), (2, "b")])
+        assert vals(q, inst) == [(("x", 1),)]
+
+    def test_repeated_variable_requires_equality(self):
+        q = Query([RelLiteral(R_at_p, (x, x))])
+        inst = view_inst(r_tuples=[(1, 1), (2, "b")])
+        assert vals(q, inst) == [(("x", 1),)]
+
+    def test_negative_literal(self):
+        q = Query(
+            [RelLiteral(R_at_p, (x, y)), RelLiteral(S_at_p, (x, y), positive=False)]
+        )
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")], s_tuples=[(1, "a")])
+        assert vals(q, inst) == [(("x", 2), ("y", "b"))]
+
+    def test_positive_key_literal(self):
+        q = Query([KeyLiteral(R_at_p, x)])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")])
+        assert vals(q, inst) == [(("x", 1),), (("x", 2),)]
+
+    def test_negative_key_literal(self):
+        q = Query([RelLiteral(R_at_p, (x, y)), KeyLiteral(S_at_p, x, positive=False)])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")], s_tuples=[(1, "z")])
+        assert vals(q, inst) == [(("x", 2), ("y", "b"))]
+
+    def test_inequality(self):
+        q = Query(
+            [
+                RelLiteral(R_at_p, (x, y)),
+                RelLiteral(R_at_p, (z, y)),
+                Comparison(x, z, positive=False),
+            ]
+        )
+        inst = view_inst(r_tuples=[(1, "a"), (2, "a"), (3, "b")])
+        assert vals(q, inst) == [
+            (("x", 1), ("y", "a"), ("z", 2)),
+            (("x", 2), ("y", "a"), ("z", 1)),
+        ]
+
+    def test_equality_comparison(self):
+        q = Query([RelLiteral(R_at_p, (x, y)), Comparison(y, Const("a"))])
+        inst = view_inst(r_tuples=[(1, "a"), (2, "b")])
+        assert vals(q, inst) == [(("x", 1), ("y", "a"))]
+
+    def test_empty_query_has_empty_valuation(self):
+        q = Query(())
+        assert list(q.valuations(view_inst())) == [{}]
+
+    def test_satisfied_by(self):
+        q = Query([RelLiteral(R_at_p, (x, y))])
+        inst = view_inst(r_tuples=[(1, "a")])
+        assert q.satisfied_by(inst, {x: 1, y: "a"})
+        assert not q.satisfied_by(inst, {x: 1, y: "b"})
+
+    def test_satisfied_by_with_negation(self):
+        q = Query([RelLiteral(R_at_p, (x, y)), KeyLiteral(S_at_p, x, positive=False)])
+        inst = view_inst(r_tuples=[(1, "a")], s_tuples=[(1, "q")])
+        assert not q.satisfied_by(inst, {x: 1, y: "a"})
+
+
+class TestSubstitution:
+    def test_literal_substitution(self):
+        lit = RelLiteral(R_at_p, (x, y)).substitute({x: 1, y: "a"})
+        assert lit.terms == (Const(1), Const("a"))
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(QueryError):
+            RelLiteral(R_at_p, (x, y)).substitute({x: 1})
+
+    def test_comparison_holds_with_nulls(self):
+        assert Comparison(Const(NULL), Const(NULL)).holds({})
+        assert not Comparison(Const(NULL), Const(1)).holds({})
+        assert Comparison(Const(NULL), Const(1), positive=False).holds({})

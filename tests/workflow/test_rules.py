@@ -1,0 +1,122 @@
+"""Tests for update atoms and rule well-formedness."""
+
+import pytest
+
+from repro.workflow.errors import RuleError
+from repro.workflow.queries import Comparison, Const, Query, RelLiteral, Var
+from repro.workflow.rules import Deletion, Insertion, Rule
+from repro.workflow.schema import Relation, Schema
+from repro.workflow.views import View
+
+R = Relation("R", ("K", "A"))
+S = Relation("S", ("K", "A"))
+R_at_p = View(R, "p", ("K", "A"))
+S_at_p = View(S, "p", ("K", "A"))
+R_at_q = View(R, "q", ("K", "A"))
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestUpdateAtoms:
+    def test_insertion_arity_checked(self):
+        with pytest.raises(RuleError):
+            Insertion(R_at_p, (x,))
+
+    def test_insertion_key_term(self):
+        assert Insertion(R_at_p, (x, y)).key_term == x
+
+    def test_deletion_key_term(self):
+        assert Deletion(R_at_p, x).key_term == x
+
+    def test_substitution(self):
+        ins = Insertion(R_at_p, (x, y)).substitute({x: 1, y: 2})
+        assert ins.terms == (Const(1), Const(2))
+        dele = Deletion(R_at_p, x).substitute({x: 1})
+        assert dele.term == Const(1)
+
+
+class TestRuleFormation:
+    def test_simple_rule(self):
+        rule = Rule("r", (Insertion(R_at_p, (x, y)),), Query([RelLiteral(S_at_p, (x, y))]))
+        assert rule.peer == "p"
+        assert rule.head_only_variables() == frozenset()
+
+    def test_head_only_variables(self):
+        rule = Rule("r", (Insertion(R_at_p, (x, y)),), Query(()))
+        assert rule.head_only_variables() == {x, y}
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", (), Query(()))
+
+    def test_mixed_peer_head_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", (Insertion(R_at_p, (x, y)), Insertion(R_at_q, (x, y))), Query(()))
+
+    def test_body_of_other_peer_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", (Insertion(R_at_p, (x, y)),), Query([RelLiteral(R_at_q, (x, y))]))
+
+    def test_same_constant_keys_rejected(self):
+        with pytest.raises(RuleError):
+            Rule(
+                "r",
+                (Insertion(R_at_p, (Const(0), x)), Deletion(R_at_p, Const(0))),
+                Query([RelLiteral(R_at_p, (Const(0), x))]),
+            )
+
+    def test_distinct_constant_keys_allowed(self):
+        Rule(
+            "r",
+            (Insertion(R_at_p, (Const(0), x)), Deletion(R_at_p, Const(1))),
+            Query([RelLiteral(R_at_p, (Const(1), x))]),
+        )
+
+    def test_variable_keys_require_inequality(self):
+        body_without = Query([RelLiteral(R_at_p, (x, y)), RelLiteral(R_at_p, (z, y))])
+        with pytest.raises(RuleError):
+            Rule("r", (Deletion(R_at_p, x), Insertion(R_at_p, (z, y))), body_without)
+
+    def test_variable_keys_with_inequality_allowed(self):
+        body = Query(
+            [
+                RelLiteral(R_at_p, (x, y)),
+                RelLiteral(R_at_p, (z, y)),
+                Comparison(x, z, positive=False),
+            ]
+        )
+        rule = Rule("r", (Deletion(R_at_p, x), Insertion(R_at_p, (z, y))), body)
+        assert len(rule.deletions()) == 1
+        assert len(rule.insertions()) == 1
+
+    def test_updates_of_distinct_relations_unconstrained(self):
+        Rule(
+            "r",
+            (Insertion(R_at_p, (x, y)), Insertion(S_at_p, (x, y))),
+            Query([RelLiteral(R_at_p, (x, y))]),
+        )
+
+
+class TestRuleProperties:
+    def test_constants(self):
+        rule = Rule(
+            "r",
+            (Insertion(R_at_p, (Const(0), Const("v"))),),
+            Query([RelLiteral(S_at_p, (x, Const("w")))]),
+        )
+        assert rule.constants() == {0, "v", "w"}
+
+    def test_is_linear_head(self):
+        single = Rule("r", (Insertion(R_at_p, (x, y)),), Query(()))
+        assert single.is_linear_head()
+
+    def test_is_ground(self):
+        assert Rule("r", (Insertion(R_at_p, (Const(0), Const(1))),), Query(())).is_ground()
+        assert not Rule("r", (Insertion(R_at_p, (x, y)),), Query(())).is_ground()
+
+    def test_deletion_has_witness(self):
+        body = Query([RelLiteral(R_at_p, (x, y))])
+        rule = Rule("r", (Deletion(R_at_p, x),), body)
+        assert rule.deletion_has_witness(rule.deletions()[0])
+        bare = Rule("r2", (Deletion(R_at_p, Const(0)),), Query(()))
+        assert not bare.deletion_has_witness(bare.deletions()[0])

@@ -1,0 +1,85 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.workflow.errors import SchemaError
+from repro.workflow.schema import KEY_ATTRIBUTE, Relation, Schema, proposition
+
+
+class TestRelation:
+    def test_key_is_first_attribute(self):
+        r = Relation("R", ("K", "A", "B"))
+        assert r.key_attribute == "K"
+        assert r.arity == 3
+        assert r.nonkey_attributes == ("A", "B")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("K", "A", "A"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", ("K",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ())
+
+    def test_position(self):
+        r = Relation("R", ("K", "A", "B"))
+        assert r.position("B") == 2
+        with pytest.raises(SchemaError):
+            r.position("Z")
+
+    def test_has_attribute(self):
+        r = Relation("R", ("K", "A"))
+        assert r.has_attribute("A")
+        assert not r.has_attribute("B")
+
+    def test_equality_and_hash(self):
+        assert Relation("R", ("K", "A")) == Relation("R", ("K", "A"))
+        assert hash(Relation("R", ("K",))) == hash(Relation("R", ("K",)))
+        assert Relation("R", ("K", "A")) != Relation("R", ("K", "B"))
+
+    def test_repr(self):
+        assert repr(Relation("R", ("K", "A"))) == "R(K, A)"
+
+
+class TestProposition:
+    def test_unary_with_key(self):
+        p = proposition("OK")
+        assert p.attributes == (KEY_ATTRIBUTE,)
+        assert p.arity == 1
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([Relation("R", ("K", "A")), proposition("OK")])
+        assert schema.relation("R").arity == 2
+        assert "OK" in schema
+        assert "Z" not in schema
+        assert len(schema) == 2
+
+    def test_unknown_relation(self):
+        schema = Schema([])
+        with pytest.raises(SchemaError):
+            schema.relation("R")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([proposition("A"), proposition("A")])
+
+    def test_max_arity(self):
+        schema = Schema([Relation("R", ("K", "A", "B")), proposition("OK")])
+        assert schema.max_arity() == 3
+        assert Schema([]).max_arity() == 0
+
+    def test_extend(self):
+        schema = Schema([proposition("A")])
+        extended = schema.extend([proposition("B")])
+        assert "B" in extended and "A" in extended
+        assert "B" not in schema
+
+    def test_iteration_order(self):
+        schema = Schema([proposition("B"), proposition("A")])
+        assert [r.name for r in schema] == ["B", "A"]

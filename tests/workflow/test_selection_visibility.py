@@ -1,0 +1,166 @@
+"""Tests for selection-driven visibility: tuples entering/leaving views.
+
+Peer views select tuples with conditions over the *full* attribute set,
+so an update to an attribute a peer does not even project can make a
+tuple appear in (or vanish from) that peer's view — the subtle part of
+the model that ``att(R, p) = att(R@p) ∪ att(σ(R@p))`` exists for.
+"""
+
+import pytest
+
+from repro.core.faithful import FaithfulnessAnalysis, minimal_faithful_scenario
+from repro.workflow import Event, Instance, execute, parse_program
+from repro.workflow.domain import NULL, FreshValue
+from repro.workflow.queries import Var
+
+# Orders become visible to the auditor only once they are flagged; the
+# auditor projects just the key, so the flag attribute is selection-only.
+PROGRAM = """
+peers clerk, auditor
+relation Order(K, amount, flag)
+view Order@clerk(K, amount, flag)
+view Order@auditor(K) where flag = 'review'
+[create] +Order@clerk(x, 'small', null) :-
+[flag]   +Order@clerk(x, a, 'review') :- Order@clerk(x, a, null)
+"""
+
+
+@pytest.fixture
+def program():
+    return parse_program(PROGRAM)
+
+
+def make_run(program, *rule_names_and_valuations):
+    events = [Event(program.rule(name), valuation) for name, valuation in rule_names_and_valuations]
+    return execute(program, events)
+
+
+class TestSelectionEntry:
+    def test_tuple_enters_view_on_flag(self, program):
+        k = FreshValue(0)
+        run = make_run(
+            program,
+            ("create", {Var("x"): k}),
+            ("flag", {Var("x"): k, Var("a"): "small"}),
+        )
+        # Before the flag, the auditor sees nothing.
+        assert not run.view_instance_at("auditor", 0).keys("Order@auditor")
+        # After, the order appears (projected to its key).
+        assert run.view_instance_at("auditor", 1).keys("Order@auditor") == (k,)
+
+    def test_visibility_of_the_flagging_event(self, program):
+        k = FreshValue(0)
+        run = make_run(
+            program,
+            ("create", {Var("x"): k}),
+            ("flag", {Var("x"): k, Var("a"): "small"}),
+        )
+        assert not run.visible_at("auditor", 0)  # creation is hidden
+        assert run.visible_at("auditor", 1)  # the flag flips the selection
+
+    def test_selection_attribute_is_relevant(self, program):
+        from repro.core.faithful import relevant_attributes
+
+        assert relevant_attributes(program.schema, "Order", "auditor") == {"K", "flag"}
+
+    def test_faithful_scenario_keeps_creation(self, program):
+        k = FreshValue(0)
+        run = make_run(
+            program,
+            ("create", {Var("x"): k}),
+            ("flag", {Var("x"): k, Var("a"): "small"}),
+        )
+        scenario = minimal_faithful_scenario(run, "auditor")
+        # The creation is the left boundary of the lifecycle the visible
+        # flag event belongs to: boundary faithfulness keeps it.
+        assert scenario.indices == (0, 1)
+
+    def test_unflagged_orders_stay_invisible(self, program):
+        k1, k2 = FreshValue(0), FreshValue(1)
+        run = make_run(
+            program,
+            ("create", {Var("x"): k1}),
+            ("create", {Var("x"): k2}),
+            ("flag", {Var("x"): k1, Var("a"): "small"}),
+        )
+        assert run.view_instance_at("auditor", 2).keys("Order@auditor") == (k1,)
+        # The second creation is irrelevant to the auditor.
+        scenario = minimal_faithful_scenario(run, "auditor")
+        assert 1 not in scenario.indices
+
+
+# A peer that LOSES sight of tuples: the screener sees only unprocessed
+# items; processing an item (filling its column) removes it from view.
+LEAVE_PROGRAM = """
+peers worker, screener
+relation Item(K, result)
+view Item@worker(K, result)
+view Item@screener(K) where result = null
+[add]     +Item@worker(x, null) :-
+[process] +Item@worker(x, 'done') :- Item@worker(x, null)
+"""
+
+
+class TestSelectionExit:
+    @pytest.fixture
+    def leave_program(self):
+        return parse_program(LEAVE_PROGRAM)
+
+    def test_tuple_leaves_view_when_processed(self, leave_program):
+        k = FreshValue(0)
+        run = make_run(
+            leave_program,
+            ("add", {Var("x"): k}),
+            ("process", {Var("x"): k}),
+        )
+        assert run.view_instance_at("screener", 0).keys("Item@screener") == (k,)
+        assert run.view_instance_at("screener", 1).keys("Item@screener") == ()
+        assert run.visible_at("screener", 0)
+        assert run.visible_at("screener", 1)
+
+    def test_insertion_into_own_blind_spot_rejected(self, leave_program):
+        """The screener cannot insert a processed item: condition (ii)
+        of the insertion semantics — the inserted tuple must be visible
+        to the inserter afterwards — fails because its view selects only
+        unprocessed items... but inserting an unprocessed one works."""
+        from repro.workflow.engine import insertion_result
+        from repro.workflow.errors import UpdateNotApplicable
+        from repro.workflow.queries import Const
+        from repro.workflow.rules import Insertion
+
+        schema = leave_program.schema
+        screener_view = schema.view("Item", "screener")
+        empty = Instance.empty(schema.schema)
+        ok = insertion_result(
+            schema, empty, Insertion(screener_view, (Const(5),))
+        )
+        assert ok.has_key("Item", 5)
+
+        # A worker inserting 'done' directly is fine (their view is full)...
+        worker_view = schema.view("Item", "worker")
+        done = insertion_result(
+            schema, empty, Insertion(worker_view, (Const(6), Const("done")))
+        )
+        assert done.tuple_with_key("Item", 6)["result"] == "done"
+        # ...but merging 'done' onto a screener-inserted key would then
+        # hide it from the screener; the screener can never do that
+        # because its view has no 'result' attribute to write.
+        assert "result" not in screener_view.attributes
+
+    def test_faithfulness_tracks_the_hiding_event(self, leave_program):
+        """An event that hides a tuple from the peer is visible, and the
+        modification that did it is in att(R, screener)."""
+        k, k2 = FreshValue(0), FreshValue(1)
+        run = make_run(
+            leave_program,
+            ("add", {Var("x"): k}),
+            ("add", {Var("x"): k2}),
+            ("process", {Var("x"): k}),
+        )
+        scenario = minimal_faithful_scenario(run, "screener")
+        assert set(scenario.indices) == {0, 1, 2}
+        analysis = FaithfulnessAnalysis(run, "screener")
+        # The processing event (position 2) modifies 'result', which is
+        # a selection attribute of the screener's view.
+        mods = analysis.modifications_of("Item", k)
+        assert any(m.position == 2 and m.attribute == "result" for m in mods)

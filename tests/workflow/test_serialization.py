@@ -1,0 +1,170 @@
+"""Tests for program unparsing and run serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.workflow import NULL, Event, RunGenerator, parse_program
+from repro.workflow.conditions import TRUE, AttrEq, Eq, Not, Or
+from repro.workflow.domain import FreshValue
+from repro.workflow.serialization import (
+    SerializationError,
+    event_from_dict,
+    event_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    program_to_text,
+    render_condition,
+    run_from_json,
+    run_to_json,
+    value_from_json,
+    value_to_json,
+)
+from repro.workloads import (
+    approval_program,
+    hiring_program,
+    hiring_transparent_program,
+    profile_program,
+    replace_assignment_program,
+)
+
+ALL_PROGRAMS = [
+    hiring_program,
+    hiring_transparent_program,
+    approval_program,
+    profile_program,
+    replace_assignment_program,
+]
+
+
+def programs_equivalent(a, b) -> bool:
+    """Structural equivalence: same peers, relations, views and rules."""
+    if a.schema.peers != b.schema.peers:
+        return False
+    if a.schema.schema.relations != b.schema.schema.relations:
+        return False
+    if {repr(v) for v in a.schema.all_views()} != {repr(v) for v in b.schema.all_views()}:
+        return False
+    return [repr(r) for r in a.rules] == [repr(r) for r in b.rules]
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_PROGRAMS)
+    def test_parse_unparse_fixpoint(self, factory):
+        program = factory()
+        text = program_to_text(program)
+        reparsed = parse_program(text)
+        assert programs_equivalent(program, reparsed), text
+
+    def test_conditions_rendered(self):
+        program = parse_program(
+            """
+            peers p
+            relation R(K, A, B)
+            view R@p(K, A) where (A = 'x' or A = B) and not (B = null)
+            """
+        )
+        text = program_to_text(program)
+        reparsed = parse_program(text)
+        assert programs_equivalent(program, reparsed)
+
+    def test_runs_behave_identically_after_roundtrip(self):
+        program = hiring_program()
+        reparsed = parse_program(program_to_text(program))
+        run_a = RunGenerator(program, seed=5).random_run(10)
+        run_b = RunGenerator(reparsed, seed=5).random_run(10)
+        assert [e.rule.name for e in run_a.events] == [e.rule.name for e in run_b.events]
+        assert run_a.final_instance.size() == run_b.final_instance.size()
+
+
+class TestConditionRendering:
+    def test_simple(self):
+        assert render_condition(TRUE) == "true"
+        assert render_condition(Eq("A", 1)) == "A = 1"
+        assert render_condition(Eq("A", NULL)) == "A = null"
+        assert render_condition(AttrEq("A", "B")) == "A = B"
+        assert render_condition(Not(Eq("A", "x"))) == "not (A = 'x')"
+
+    def test_nested(self):
+        rendered = render_condition(Or((Eq("A", 1), Eq("A", 2))))
+        assert "or" in rendered
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(SerializationError):
+            render_condition(Eq("A", "don't"))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [1, "x", 3.5, True])
+    def test_plain_values(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_null(self):
+        assert value_from_json(value_to_json(NULL)) is NULL
+
+    def test_fresh(self):
+        assert value_from_json(value_to_json(FreshValue(7))) == FreshValue(7)
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(SerializationError):
+            value_to_json(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            value_from_json({"$mystery": 1})
+
+
+class TestEventCodec:
+    def test_roundtrip(self, hiring):
+        run = RunGenerator(hiring, seed=0).random_run(5)
+        for event in run.events:
+            data = event_to_dict(event)
+            decoded = event_from_dict(hiring, data)
+            assert decoded.rule.name == event.rule.name
+            assert decoded.valuation == event.valuation
+
+    def test_json_compatible(self, hiring):
+        run = RunGenerator(hiring, seed=0).random_run(3)
+        json.dumps([event_to_dict(e) for e in run.events])
+
+
+class TestInstanceCodec:
+    def test_roundtrip(self, hiring):
+        run = RunGenerator(hiring, seed=2).random_run(8)
+        data = instance_to_dict(run.final_instance)
+        decoded = instance_from_dict(hiring, data)
+        assert decoded == run.final_instance
+
+    def test_empty_relations_omitted(self, hiring):
+        from repro.workflow import Instance
+
+        data = instance_to_dict(Instance.empty(hiring.schema.schema))
+        assert data == {}
+
+
+class TestRunCodec:
+    @pytest.mark.parametrize("factory", [hiring_program, approval_program])
+    def test_json_roundtrip(self, factory):
+        program = factory()
+        run = RunGenerator(program, seed=9).random_run(10)
+        text = run_to_json(run)
+        replayed = run_from_json(program, text)
+        assert len(replayed) == len(run)
+        assert replayed.final_instance == run.final_instance
+
+    def test_roundtrip_with_instances(self, hiring):
+        run = RunGenerator(hiring, seed=1).random_run(6)
+        text = run_to_json(run, include_instances=True, indent=2)
+        data = json.loads(text)
+        assert len(data["instances"]) == len(run)
+
+    def test_tampered_log_rejected(self, approval):
+        from repro.workflow.errors import RunError
+
+        run = RunGenerator(approval, seed=0).random_run(4)
+        data = json.loads(run_to_json(run))
+        data["events"] = [{"rule": "h", "valuation": {}}]  # h needs ok(0)
+        from repro.workflow.serialization import run_from_dict
+
+        with pytest.raises(RunError):
+            run_from_dict(approval, data)

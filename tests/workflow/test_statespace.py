@@ -1,0 +1,104 @@
+"""Tests for bounded state-space exploration."""
+
+import pytest
+
+from repro.reductions.pcp import PCPInstance, pcp_workflow
+from repro.workflow.statespace import (
+    ExplorationStats,
+    StateSpaceExplorer,
+    fact_reachable,
+)
+from repro.workflow import execute
+from repro.workloads import approval_program, chain_program
+
+
+class TestIteration:
+    def test_initial_state_first(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        first = next(explorer.iterate(max_depth=2))
+        assert first.instance.is_empty()
+        assert first.depth == 0
+
+    def test_paths_are_witnesses(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        for state in explorer.iterate(max_depth=3):
+            if state.path:
+                replayed = execute(approval, state.path, check_freshness=False)
+                assert replayed.final_instance == state.instance
+
+    def test_depth_bound_respected(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        assert all(s.depth <= 2 for s in explorer.iterate(max_depth=2))
+
+    def test_max_states_cap(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        states = list(explorer.iterate(max_depth=5, max_states=4))
+        assert len(states) == 4
+
+
+class TestDeduplication:
+    def test_chain_state_count(self):
+        # chain(2) from empty: {}, {S0}, {S0,S1}, {S0,S1,S2} = 4 states.
+        explorer = StateSpaceExplorer(chain_program(2), dedup="exact")
+        assert explorer.reachable_count(max_depth=5) == 4
+
+    def test_isomorphic_dedup_collapses_fresh_values(self, hiring):
+        iso = StateSpaceExplorer(hiring, dedup="isomorphic")
+        iso_count = iso.reachable_count(max_depth=2)
+        exact = StateSpaceExplorer(hiring, dedup="exact")
+        exact_count = exact.reachable_count(max_depth=2)
+        # Two 'clear' events with different fresh keys are isomorphic.
+        assert iso_count <= exact_count
+
+    def test_no_dedup_explores_tree(self, approval):
+        tree = StateSpaceExplorer(approval, dedup="none")
+        merged = StateSpaceExplorer(approval, dedup="exact")
+        assert tree.reachable_count(3) >= merged.reachable_count(3)
+
+    def test_unknown_mode_rejected(self, approval):
+        with pytest.raises(ValueError):
+            StateSpaceExplorer(approval, dedup="fuzzy")
+
+
+class TestFind:
+    def test_reachability_witness(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        hit = explorer.find(lambda inst: inst.has_key("approval", 0), max_depth=3)
+        assert hit is not None
+        names = [event.rule.name for event in hit.path]
+        assert names[-1] == "h"
+
+    def test_unreachable_predicate(self):
+        explorer = StateSpaceExplorer(chain_program(1))
+        assert explorer.find(lambda inst: len(inst.keys("S1")) > 1, 5) is None
+
+    def test_fact_reachable_pcp(self):
+        program = pcp_workflow(PCPInstance((("a", "a"),)))
+        assert fact_reachable(program, "U", max_depth=5) is not None
+        bad = pcp_workflow(PCPInstance((("a", "b"),)))
+        assert fact_reachable(bad, "U", max_depth=5) is None
+
+
+class TestStats:
+    def test_stats_populated(self, approval):
+        explorer = StateSpaceExplorer(approval)
+        count = explorer.reachable_count(max_depth=3)
+        assert explorer.stats.states_visited == count
+        assert explorer.stats.transitions > 0
+        assert explorer.stats.max_depth_reached <= 3
+
+    def test_deadlock_detection(self):
+        from repro.workflow.parser import parse_program
+
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            view R@p(K)
+            [once] +R@p(0) :- not Key[R]@p(0)
+            """
+        )
+        explorer = StateSpaceExplorer(program, dedup="exact")
+        deadlocked = explorer.deadlock_states(max_depth=3)
+        assert len(deadlocked) == 1
+        assert deadlocked[0].instance.has_key("R", 0)

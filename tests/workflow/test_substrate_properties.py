@@ -1,0 +1,129 @@
+"""Property-based tests of the substrate invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.workflow import (
+    Event,
+    RunGenerator,
+    execute,
+    normalize,
+    parse_program,
+    program_to_text,
+    run_from_json,
+    run_to_json,
+)
+from repro.workflow.engine import apply_event
+from repro.workflow.enumerate import applicable_events
+from repro.workloads.generators import OBSERVER, random_propositional_program
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+program_seeds = st.integers(0, 60)
+run_seeds = st.integers(0, 60)
+lengths = st.integers(1, 15)
+
+
+def make_program(seed: int):
+    return random_propositional_program(
+        relations=5, rules=9, seed=seed, deletion_fraction=0.25
+    )
+
+
+class TestRunInvariants:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_generated_runs_revalidate(self, ps, rs, n):
+        """Runs produced by the generator always re-execute."""
+        program = make_program(ps)
+        run = RunGenerator(program, seed=rs).random_run(n)
+        replayed = execute(program, run.events)
+        assert replayed.final_instance == run.final_instance
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_instances_stay_valid(self, ps, rs, n):
+        """Key constraints hold at every step of every run."""
+        program = make_program(ps)
+        run = RunGenerator(program, seed=rs).random_run(n)
+        for instance in run.instances:
+            for relation in program.schema.schema:
+                keys = instance.keys(relation.name)
+                assert len(set(keys)) == len(keys)
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_views_are_functions_of_instances(self, ps, rs, n):
+        """Equal instances give equal peer views (view determinism)."""
+        program = make_program(ps)
+        run = RunGenerator(program, seed=rs).random_run(n)
+        schema = program.schema
+        for i in range(len(run)):
+            again = schema.view_instance(run.instance_after(i), OBSERVER)
+            assert run.view_instance_at(OBSERVER, i) == again
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_own_events_always_visible(self, ps, rs, n):
+        program = make_program(ps)
+        run = RunGenerator(program, seed=rs).random_run(n)
+        for i, event in enumerate(run.events):
+            if event.peer == OBSERVER:
+                assert run.visible_at(OBSERVER, i)
+
+
+class TestNormalFormProperties:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_normal_form_preserves_transitions(self, ps, rs, n):
+        """Proposition 2.3: at every instance along a run, the successor
+        instances reachable in P and in P^nf coincide."""
+        program = make_program(ps)
+        result = normalize(program)
+        run = RunGenerator(program, seed=rs).random_run(min(n, 6))
+        for i in range(min(len(run), 3)):
+            instance = run.instance_before(i)
+            original = {
+                apply_event(program.schema, instance, event, None, False)
+                for event in applicable_events(program, instance)
+            }
+            normalised = {
+                apply_event(result.program.schema, instance, event, None, False)
+                for event in applicable_events(result.program, instance)
+            }
+            assert original == normalised
+
+    @SETTINGS
+    @given(program_seeds)
+    def test_normal_form_idempotent(self, ps):
+        program = make_program(ps)
+        once = normalize(program).program
+        assert once.is_normal_form()
+        twice = normalize(once).program
+        assert [repr(r.body) for r in twice] == [repr(r.body) for r in once]
+
+
+class TestSerializationProperties:
+    @SETTINGS
+    @given(program_seeds)
+    def test_program_text_roundtrip(self, ps):
+        program = make_program(ps)
+        text = program_to_text(program)
+        reparsed = parse_program(text)
+        assert [repr(r) for r in reparsed] == [repr(r) for r in program]
+        assert program_to_text(reparsed) == text
+
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_run_json_roundtrip(self, ps, rs, n):
+        program = make_program(ps)
+        run = RunGenerator(program, seed=rs).random_run(n)
+        replayed = run_from_json(program, run_to_json(run))
+        assert replayed.final_instance == run.final_instance
+        assert len(replayed) == len(run)

@@ -1,0 +1,142 @@
+"""Tests for tuples: projection, padding, subsumption and merging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workflow.domain import NULL
+from repro.workflow.errors import SchemaError
+from repro.workflow.tuples import Tuple
+
+ATTRS = ("K", "A", "B")
+
+
+def make(k, a, b):
+    return Tuple(ATTRS, (k, a, b))
+
+
+class TestBasics:
+    def test_getitem_and_key(self):
+        t = make(1, "x", NULL)
+        assert t["K"] == 1
+        assert t["A"] == "x"
+        assert t.key == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            make(1, 2, 3)["Z"]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Tuple(("K", "A"), (1,))
+
+    def test_immutable(self):
+        t = make(1, 2, 3)
+        with pytest.raises(AttributeError):
+            t.values = (9, 9, 9)
+
+    def test_from_mapping_defaults_to_null(self):
+        t = Tuple.from_mapping(ATTRS, {"K": 1, "B": "y"})
+        assert t["A"] is NULL
+        assert t["B"] == "y"
+
+    def test_replace(self):
+        t = make(1, "x", "y").replace(A="z")
+        assert t["A"] == "z"
+        assert t["B"] == "y"
+        with pytest.raises(SchemaError):
+            t.replace(Z=1)
+
+    def test_as_dict(self):
+        assert make(1, 2, 3).as_dict() == {"K": 1, "A": 2, "B": 3}
+
+    def test_equality_and_hash(self):
+        assert make(1, 2, 3) == make(1, 2, 3)
+        assert make(1, 2, 3) != make(1, 2, 4)
+        assert len({make(1, 2, 3), make(1, 2, 3)}) == 1
+
+    def test_iter_len(self):
+        t = make(1, 2, 3)
+        assert list(t) == [1, 2, 3]
+        assert len(t) == 3
+
+
+class TestProjectionPadding:
+    def test_project(self):
+        t = make(1, "x", "y").project(("K", "B"))
+        assert t.attributes == ("K", "B")
+        assert t.values == (1, "y")
+
+    def test_pad_fills_null(self):
+        t = Tuple(("K", "B"), (1, "y")).pad(ATTRS)
+        assert t["A"] is NULL
+        assert t["B"] == "y"
+
+    def test_pad_then_project_roundtrip(self):
+        t = Tuple(("K", "A"), (1, "x"))
+        assert t.pad(ATTRS).project(("K", "A")) == t
+
+    def test_non_null_attributes(self):
+        assert make(1, NULL, "y").non_null_attributes() == ("K", "B")
+
+
+class TestSubsumption:
+    def test_null_subsumed_by_anything(self):
+        assert make(1, NULL, NULL).subsumed_by(make(1, "x", "y"))
+
+    def test_conflicting_value_not_subsumed(self):
+        assert not make(1, "x", NULL).subsumed_by(make(1, "z", "y"))
+
+    def test_different_attributes_not_subsumed(self):
+        assert not Tuple(("K",), (1,)).subsumed_by(make(1, 2, 3))
+
+    def test_reflexive(self):
+        t = make(1, "x", NULL)
+        assert t.subsumed_by(t)
+
+
+class TestMerge:
+    def test_merge_fills_nulls_both_ways(self):
+        merged = make(1, "x", NULL).merge(make(1, NULL, "y"))
+        assert merged.values == (1, "x", "y")
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            make(1, "x", NULL).merge(make(1, "z", NULL))
+
+    def test_conflicts_with(self):
+        assert make(1, "x", NULL).conflicts_with(make(1, "z", NULL))
+        assert not make(1, "x", NULL).conflicts_with(make(1, NULL, "y"))
+
+    def test_merge_different_attribute_sets_rejected(self):
+        with pytest.raises(SchemaError):
+            make(1, 2, 3).merge(Tuple(("K",), (1,)))
+
+
+values = st.one_of(st.integers(0, 5), st.just(NULL))
+
+
+@given(a=values, b=values, c=values, d=values)
+def test_merge_commutative_when_defined(a, b, c, d):
+    """Property: merge is commutative (when it succeeds on either side)."""
+    left, right = make(1, a, b), make(1, c, d)
+    try:
+        first = left.merge(right)
+    except ValueError:
+        with pytest.raises(ValueError):
+            right.merge(left)
+        return
+    assert first == right.merge(left)
+
+
+@given(a=values, b=values)
+def test_merge_idempotent(a, b):
+    t = make(1, a, b)
+    assert t.merge(t) == t
+
+
+@given(a=values, b=values, c=values, d=values)
+def test_subsumption_iff_merge_equals_bigger(a, b, c, d):
+    """u subsumed by v iff merging them yields v (for same keys)."""
+    u, v = make(1, a, b), make(1, c, d)
+    if u.subsumed_by(v):
+        assert u.merge(v) == v

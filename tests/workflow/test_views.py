@@ -1,0 +1,173 @@
+"""Tests for peer views, collaborative schemas and losslessness."""
+
+import pytest
+
+from repro.workflow.conditions import TRUE, AttrEq, Eq, Not
+from repro.workflow.domain import NULL
+from repro.workflow.errors import LosslessnessError, SchemaError
+from repro.workflow.instance import Instance
+from repro.workflow.parser import parse_schema
+from repro.workflow.schema import Relation, Schema
+from repro.workflow.tuples import Tuple
+from repro.workflow.views import CollaborativeSchema, View
+from repro.workloads.paper_examples import lossy_schema_declarations
+
+R = Relation("R", ("K", "A", "B"))
+D = Schema([R])
+
+
+def rt(k, a, b):
+    return Tuple(("K", "A", "B"), (k, a, b))
+
+
+class TestView:
+    def test_must_include_key(self):
+        with pytest.raises(SchemaError):
+            View(R, "p", ("A", "B"))
+
+    def test_unknown_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            View(R, "p", ("K", "Z"))
+
+    def test_attribute_order_normalised(self):
+        view = View(R, "p", ("B", "K"))
+        assert view.attributes == ("K", "B")
+
+    def test_selection_over_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            View(R, "p", ("K",), Eq("Z", 1))
+
+    def test_name_and_view_relation(self):
+        view = View(R, "p", ("K", "A"))
+        assert view.name == "R@p"
+        assert view.view_relation.attributes == ("K", "A")
+
+    def test_relevant_attributes_include_selection(self):
+        view = View(R, "p", ("K", "A"), Eq("B", "x"))
+        assert view.relevant_attributes == {"K", "A", "B"}
+
+    def test_observe_projects_and_selects(self):
+        view = View(R, "p", ("K", "A"), Eq("B", "x"))
+        assert view.observe(rt(1, "a", "x")) == Tuple(("K", "A"), (1, "a"))
+        assert view.observe(rt(1, "a", "y")) is None
+
+    def test_is_full(self):
+        assert View(R, "p", ("K", "A", "B")).is_full()
+        assert not View(R, "p", ("K", "A")).is_full()
+        assert not View(R, "p", ("K", "A", "B"), Eq("A", 1)).is_full()
+
+
+class TestCollaborativeSchema:
+    def make(self):
+        return CollaborativeSchema(
+            D,
+            ["p", "q"],
+            [
+                View(R, "p", ("K", "A", "B")),
+                View(R, "q", ("K", "A"), Eq("B", "x")),
+            ],
+        )
+
+    def test_lookup(self):
+        cs = self.make()
+        assert cs.view("R", "p").is_full()
+        assert cs.view("R", "q").attributes == ("K", "A")
+        assert cs.view("Z", "p") is None
+        assert cs.peer_sees("R", "q")
+
+    def test_peer_schema(self):
+        cs = self.make()
+        assert cs.peer_schema("q").relation("R@q").attributes == ("K", "A")
+
+    def test_view_instance(self):
+        cs = self.make()
+        inst = Instance.from_tuples(D, {"R": [rt(1, "a", "x"), rt(2, "b", "y")]})
+        at_q = cs.view_instance(inst, "q")
+        assert set(at_q.keys("R@q")) == {1}
+        assert at_q.tuple_with_key("R@q", 1).values == (1, "a")
+        at_p = cs.view_instance(inst, "p")
+        assert set(at_p.keys("R@p")) == {1, 2}
+
+    def test_duplicate_view_rejected(self):
+        with pytest.raises(SchemaError):
+            CollaborativeSchema(
+                D, ["p"], [View(R, "p", ("K",)), View(R, "p", ("K", "A"))]
+            )
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(SchemaError):
+            CollaborativeSchema(D, ["p"], [View(R, "z", ("K",))])
+
+    def test_duplicate_peer_rejected(self):
+        with pytest.raises(SchemaError):
+            CollaborativeSchema(D, ["p", "p"], [])
+
+
+class TestLosslessness:
+    def test_full_view_is_lossless(self):
+        cs = CollaborativeSchema(D, ["p"], [View(R, "p", ("K", "A", "B"))])
+        assert cs.is_lossless()
+
+    def test_partitioned_attributes_lossless(self):
+        cs = CollaborativeSchema(
+            D,
+            ["p", "q"],
+            [View(R, "p", ("K", "A")), View(R, "q", ("K", "B"))],
+        )
+        assert cs.is_lossless()
+
+    def test_missing_attribute_detected(self):
+        cs = CollaborativeSchema(D, ["p"], [View(R, "p", ("K", "A"))])
+        violations = cs.losslessness_violations()
+        assert violations and "B" in violations[0]
+
+    def test_paper_example_2_2_is_lossy(self):
+        schema = parse_schema(lossy_schema_declarations())
+        assert not schema.is_lossless()
+
+    def test_selection_split_lossless(self):
+        # p sees tuples with A=x fully, q sees the others fully.
+        cs = CollaborativeSchema(
+            D,
+            ["p", "q"],
+            [
+                View(R, "p", ("K", "A", "B"), Eq("A", "x")),
+                View(R, "q", ("K", "A", "B"), Not(Eq("A", "x"))),
+            ],
+        )
+        assert cs.is_lossless()
+
+    def test_selection_gap_detected(self):
+        # Tuples with A=y are seen by nobody.
+        cs = CollaborativeSchema(
+            D,
+            ["p"],
+            [View(R, "p", ("K", "A", "B"), Eq("A", "x"))],
+        )
+        assert not cs.is_lossless()
+
+    def test_require_lossless_flag(self):
+        with pytest.raises(LosslessnessError):
+            CollaborativeSchema(
+                D, ["p"], [View(R, "p", ("K", "A"))], require_lossless=True
+            )
+
+    def test_reconstruct_lossless_roundtrip(self):
+        cs = CollaborativeSchema(
+            D,
+            ["p", "q"],
+            [View(R, "p", ("K", "A")), View(R, "q", ("K", "B"))],
+        )
+        inst = Instance.from_tuples(D, {"R": [rt(1, "a", "x"), rt(2, NULL, "y")]})
+        views = {peer: cs.view_instance(inst, peer) for peer in cs.peers}
+        assert cs.reconstruct(views) == inst
+
+    def test_reconstruct_lossy_drops_value(self):
+        # Example 2.2: once A becomes non-null, p no longer sees the
+        # tuple and the value of B is lost.
+        schema = parse_schema(lossy_schema_declarations())
+        inst = Instance.from_tuples(schema.schema, {"R": [rt("k", "a", "c")]})
+        views = {peer: schema.view_instance(inst, peer) for peer in schema.peers}
+        rebuilt = schema.reconstruct(views)
+        assert rebuilt.tuple_with_key("R", "k")["B"] is NULL
+        assert rebuilt != inst

@@ -1,0 +1,115 @@
+"""Tests for the workload generators and paper example programs."""
+
+import pytest
+
+from repro.workflow import RunGenerator, execute
+from repro.workloads import (
+    approval_program,
+    chain_program,
+    churn_program,
+    derivation_choice_program,
+    hiring_program,
+    hiring_transparent_program,
+    noisy_chain_program,
+    parallel_chains_program,
+    profile_program,
+    random_propositional_program,
+)
+
+
+class TestChainFamily:
+    @pytest.mark.parametrize("depth", [0, 1, 4])
+    def test_rule_count(self, depth):
+        assert len(chain_program(depth)) == depth + 1
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            chain_program(-1)
+
+    def test_observer_sees_only_end(self):
+        program = chain_program(3)
+        views = program.schema.views_of_peer("observer")
+        assert [view.relation.name for view in views] == ["S3"]
+
+    def test_observer_sees_start_option(self):
+        program = chain_program(3, observer_sees_start=True)
+        names = {view.relation.name for view in program.schema.views_of_peer("observer")}
+        assert names == {"S0", "S3"}
+
+    def test_chain_runs_to_completion(self):
+        program = chain_program(2)
+        run = RunGenerator(program, seed=0).random_run(10)
+        assert run.final_instance.has_key("S2", 0)
+
+
+class TestNoisyAndParallel:
+    def test_noise_rules_present(self):
+        program = noisy_chain_program(2, 3)
+        names = {rule.name for rule in program}
+        assert "ins_n0" in names and "del_n2" in names
+
+    def test_noise_invisible_to_observer(self):
+        program = noisy_chain_program(1, 2)
+        run = RunGenerator(program, seed=1).random_run(15)
+        for index in run.visible_indices("observer"):
+            assert run.events[index].rule.name.startswith("step") or \
+                run.events[index].rule.name == "start"
+
+    def test_parallel_chains_independent(self):
+        program = parallel_chains_program(3, 1)
+        assert len(program) == 6  # 3 starts + 3 steps
+
+
+class TestChurnAndProfile:
+    def test_churn_lifecycles(self):
+        from repro.core.lifecycles import LifecycleIndex
+
+        program = churn_program()
+        run = RunGenerator(program, seed=3).random_run(20)
+        index = LifecycleIndex(run)
+        assert index.all_lifecycles()
+
+    def test_profile_lossless(self):
+        assert profile_program().schema.is_lossless()
+
+
+class TestRandomPropositional:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generates_runnable_programs(self, seed):
+        program = random_propositional_program(5, 8, seed=seed)
+        run = RunGenerator(program, seed=seed).random_run(10)
+        # Re-execution validates the run end to end.
+        assert execute(program, run.events).final_instance == run.final_instance
+
+    def test_reproducible(self):
+        a = random_propositional_program(5, 8, seed=42)
+        b = random_propositional_program(5, 8, seed=42)
+        assert [repr(r) for r in a] == [repr(r) for r in b]
+
+    def test_rule_count_honoured(self):
+        program = random_propositional_program(6, 12, seed=0)
+        assert len(program) == 12
+
+
+class TestPaperExamples:
+    def test_all_examples_lossless(self):
+        for factory in (
+            hiring_program,
+            hiring_transparent_program,
+            approval_program,
+            derivation_choice_program,
+            profile_program,
+        ):
+            assert factory().schema.is_lossless(), factory.__name__
+
+    def test_literal_hiring_never_approves(self):
+        """Under strict fresh-value semantics the literal Example 5.1
+        rules can never derive Approved (see module docstring)."""
+        program = hiring_program(literal=True)
+        run = RunGenerator(program, seed=0).random_run(30)
+        assert not any(run.instances[i].keys("Approved") for i in range(len(run)))
+
+    def test_corrected_hiring_approves(self):
+        program = hiring_program()
+        run = RunGenerator(program, seed=3).random_run(30)
+        assert any(run.instances[i].keys("Approved") for i in range(len(run)))

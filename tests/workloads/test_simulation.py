@@ -1,0 +1,114 @@
+"""Tests for the policy-driven simulator."""
+
+import pytest
+
+from repro.workloads.simulation import (
+    PeerPolicy,
+    SimulationResult,
+    Simulator,
+    fact_goal,
+    simulate_until,
+)
+from repro.workflow import execute
+from repro.workloads import chain_program, hiring_program
+
+
+class TestPeerPolicy:
+    def test_weighted_choice(self, hiring):
+        import random
+
+        from repro.workflow import Instance, applicable_events
+
+        instance = Instance.empty(hiring.schema.schema)
+        candidates = list(applicable_events(hiring, instance, peers=["hr"]))
+        policy = PeerPolicy({"clear": 1.0})
+        assert policy.choose(candidates, random.Random(0)) is not None
+
+    def test_zero_weights_disable(self, hiring):
+        import random
+
+        from repro.workflow import Instance, applicable_events
+
+        instance = Instance.empty(hiring.schema.schema)
+        candidates = list(applicable_events(hiring, instance, peers=["hr"]))
+        policy = PeerPolicy({"clear": 0.0, "hire": 0.0})
+        assert policy.choose(candidates, random.Random(0)) is None
+
+    def test_inactive_peer_idles(self, hiring):
+        import random
+
+        from repro.workflow import Instance, applicable_events
+
+        instance = Instance.empty(hiring.schema.schema)
+        candidates = list(applicable_events(hiring, instance, peers=["hr"]))
+        policy = PeerPolicy(activity=0.0)
+        assert policy.choose(candidates, random.Random(0)) is None
+
+    def test_custom_chooser(self, hiring):
+        import random
+
+        from repro.workflow import Instance, applicable_events
+
+        instance = Instance.empty(hiring.schema.schema)
+        candidates = list(applicable_events(hiring, instance, peers=["hr"]))
+        policy = PeerPolicy(chooser=lambda events, rng: events[0])
+        assert policy.choose(candidates, random.Random(0)) is candidates[0]
+
+
+class TestSimulator:
+    def test_produces_valid_run(self, hiring):
+        result = Simulator(hiring, seed=1).run(max_events=20)
+        replayed = execute(hiring, result.run.events)
+        assert replayed.final_instance == result.run.final_instance
+
+    def test_goal_stops_simulation(self, hiring):
+        result = simulate_until(hiring, "Hire", max_events=200, seed=2)
+        assert result.stopped_by_goal
+        assert result.run.final_instance.keys("Hire")
+
+    def test_unreachable_goal_runs_to_cap_or_deadlock(self):
+        program = chain_program(1)
+        simulator = Simulator(program, seed=0)
+        result = simulator.run(max_events=10, stop=fact_goal("S0", count=5))
+        assert not result.stopped_by_goal  # only one S0 fact ever exists
+
+    def test_deadlock_detected(self):
+        from repro.workflow.parser import parse_program
+
+        program = parse_program(
+            """
+            peers p
+            relation R(K)
+            view R@p(K)
+            [once] +R@p(0) :- not Key[R]@p(0)
+            """
+        )
+        result = Simulator(program, seed=0).run(max_events=50)
+        assert len(result.run) == 1  # fires once, then deadlocks
+
+    def test_events_by_peer_counts(self, hiring):
+        result = Simulator(hiring, seed=3).run(max_events=15)
+        assert sum(result.events_by_peer.values()) == len(result.run)
+
+    def test_policies_shape_the_run(self, hiring):
+        # Silence everyone but hr: only 'clear' events can happen
+        # ('hire' needs Approved, which silenced peers cannot produce).
+        policies = {
+            "cfo": PeerPolicy(activity=0.0),
+            "ceo": PeerPolicy(activity=0.0),
+        }
+        result = Simulator(hiring, policies, seed=4).run(max_events=10)
+        assert {e.rule.name for e in result.run.events} <= {"clear"}
+
+    def test_random_scheduling(self, hiring):
+        result = Simulator(hiring, seed=5, scheduling="random").run(max_events=12)
+        assert len(result.run) > 0
+
+    def test_unknown_scheduling_rejected(self, hiring):
+        with pytest.raises(ValueError):
+            Simulator(hiring, scheduling="lifo")
+
+    def test_reproducible(self, hiring):
+        a = Simulator(hiring, seed=9).run(max_events=15)
+        b = Simulator(hiring, seed=9).run(max_events=15)
+        assert [e.rule.name for e in a.run.events] == [e.rule.name for e in b.run.events]
