@@ -9,18 +9,80 @@ empirically and printing its result table.  Run with::
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from pathlib import Path
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import pytest
 
 from repro.analysis.stats import set_table_sink
+from repro.runtime.budget import Budget, use_budget
+from repro.workflow.errors import BudgetExceeded
 
 #: Where the experiment tables are archived (pytest captures stdout, so
 #: `pytest benchmarks/ --benchmark-only` without -s would otherwise
 #: swallow them).
 TABLES_PATH = Path(__file__).resolve().parent.parent / "benchmark_tables.txt"
+
+#: Machine-readable per-experiment outcomes, including the ``truncated``
+#: flag for experiments whose wall-clock budget expired.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "benchmark_results.json"
+
+#: Environment knob: wall-clock seconds granted to each experiment
+#: ("0"/"off" disables the budget).  Adversarial sizes then surface as
+#: ``truncated`` results instead of hanging the whole benchmark session.
+BUDGET_ENV = "BENCH_WALL_BUDGET"
+DEFAULT_WALL_BUDGET = 300.0
+
+_results: List[dict] = []
+
+
+def _wall_budget_seconds() -> Optional[float]:
+    raw = os.environ.get(BUDGET_ENV, "").strip().lower()
+    if raw in ("", None):
+        return DEFAULT_WALL_BUDGET
+    if raw in ("0", "off", "none", "unlimited"):
+        return None
+    return float(raw)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Run every experiment under an ambient wall-clock budget.
+
+    The engine polls the ambient budget once per event application, so
+    any experiment that loops through the hot paths is bounded without
+    per-benchmark wiring.  A tripped budget records ``truncated: true``
+    in benchmark_results.json and skips the experiment instead of
+    failing or hanging it.
+    """
+    seconds = _wall_budget_seconds()
+    entry = {"experiment": item.nodeid, "truncated": False, "seconds": None}
+    start = time.perf_counter()
+    budget = Budget(wall_seconds=seconds) if seconds is not None else None
+    try:
+        with use_budget(budget):
+            return (yield)
+    except BudgetExceeded as exc:
+        entry["truncated"] = True
+        entry["reason"] = str(exc)
+        pytest.skip(f"wall-clock budget exhausted: {exc}")
+    finally:
+        entry["seconds"] = round(time.perf_counter() - start, 3)
+        _results.append(entry)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _results:
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {"wall_budget_seconds": _wall_budget_seconds(), "results": _results},
+                indent=2,
+            )
+            + "\n"
+        )
 
 
 @pytest.fixture(scope="session", autouse=True)

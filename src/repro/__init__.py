@@ -65,6 +65,20 @@ from .design import (
     stages_of_run,
 )
 from .analysis import AuditReport, audit_program
+from .runtime import (
+    AnytimeResult,
+    Budget,
+    BudgetExceeded,
+    CancellationToken,
+    FaultInjector,
+    FaultPlan,
+    JournalWriter,
+    Supervisor,
+    anytime_minimum_scenario,
+    anytime_reachable_states,
+    recover_run,
+    use_budget,
+)
 from .transparency import (
     SearchBudget,
     check_h_bounded,
@@ -103,7 +117,15 @@ from .workflow import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnytimeResult",
     "AuditReport",
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
+    "FaultInjector",
+    "FaultPlan",
+    "JournalWriter",
+    "Supervisor",
     "NULL",
     "OMEGA",
     "CollaborativeSchema",
@@ -128,6 +150,8 @@ __all__ = [
     "WorkflowProgram",
     "add_stage_infrastructure",
     "analyze_acyclicity",
+    "anytime_minimum_scenario",
+    "anytime_reachable_states",
     "applicable_events",
     "audit_program",
     "chase",
@@ -156,10 +180,12 @@ __all__ = [
     "parse_schema",
     "program_to_text",
     "project_run",
+    "recover_run",
     "rewrite_transparent",
     "run_from_json",
     "run_to_json",
     "smallest_bound",
     "stages_of_run",
     "synthesize_view_program",
+    "use_budget",
 ]

@@ -9,10 +9,19 @@
 * ``explain``    — the minimal faithful scenario explaining a run (from
   a saved log or a fresh random run) to a peer;
 * ``synthesize`` — the peer's view program (Theorem 5.13);
-* ``enforce``    — replay a run log through the transparency monitor.
+* ``enforce``    — replay a run log through the transparency monitor;
+* ``recover``    — replay a run journal, re-validating every step.
 
 Programs are read from files in the textual syntax of
 :mod:`repro.workflow.parser`.
+
+Every command accepts the global ``--wall-budget`` / ``--max-steps``
+options, which install an ambient :class:`repro.runtime.budget.Budget`
+around the whole command: the worst-case exponential procedures
+(scenario search, boundedness checking, synthesis, exploration) then
+terminate with exit code 3 and a one-line diagnostic instead of running
+open-ended.  Any other :class:`~repro.workflow.errors.WorkflowError`
+exits with code 2 and a one-line diagnostic.
 """
 
 from __future__ import annotations
@@ -25,10 +34,11 @@ from typing import List, Optional, Sequence
 from .analysis.audit import audit_program
 from .core.explain import explain_run
 from .design.enforce import enforce_run
+from .runtime.budget import Budget, use_budget
 from .transparency.bounded import SearchBudget
 from .transparency.viewprogram import synthesize_view_program
 from .workflow.enumerate import RunGenerator
-from .workflow.errors import WorkflowError
+from .workflow.errors import BudgetExceeded, WorkflowError
 from .workflow.parser import parse_program
 from .workflow.program import WorkflowProgram
 from .workflow.runs import Run
@@ -92,7 +102,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.save:
         Path(args.save).write_text(run_to_json(run, indent=2))
         print(f"\nrun log saved to {args.save}")
+    if args.journal:
+        from .runtime.journal import journal_run
+
+        journal_run(run, args.journal, snapshot_every=args.snapshot_every)
+        print(f"run journal written to {args.journal}")
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .runtime.journal import recover_run
+
+    program = _load_program(args.program)
+    recovered = recover_run(program, args.journal)
+    status = recovered.status or "missing end record (crash?)"
+    print(f"journal status:      {status}")
+    print(f"events replayed:     {recovered.events_replayed}")
+    print(f"snapshots verified:  {recovered.snapshots_verified}")
+    if recovered.quarantined:
+        print(f"quarantined events:  {len(recovered.quarantined)}")
+    print(f"\nrecovered run:\n{recovered.run}")
+    if args.peer:
+        print()
+        print(recovered.run.view(args.peer))
+    if args.save:
+        Path(args.save).write_text(run_to_json(recovered.run, indent=2))
+        print(f"\nrecovered run log saved to {args.save}")
+    return 0 if recovered.complete else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -140,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Explanations and transparency in collaborative workflows",
     )
+    parser.add_argument("--wall-budget", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget for the whole command "
+                             "(exponential searches exit 3 when it trips)")
+    parser.add_argument("--max-steps", type=int, default=None, metavar="N",
+                        help="step budget for the whole command (event "
+                             "applications and search nodes)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser, peer_required: bool = True) -> None:
@@ -175,7 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run, peer_required=False)
     run_source(p_run)
     p_run.add_argument("--save", help="write a replayable JSON run log here")
+    p_run.add_argument("--journal", help="write an append-only run journal here")
+    p_run.add_argument("--snapshot-every", type=int, default=10,
+                       help="journal snapshot period (events)")
     p_run.set_defaults(handler=_cmd_run)
+
+    p_recover = sub.add_parser(
+        "recover", help="replay a run journal, re-validating every step"
+    )
+    common(p_recover, peer_required=False)
+    p_recover.add_argument("--journal", required=True,
+                           help="the journal file to recover from")
+    p_recover.add_argument("--save", help="write the recovered run log (JSON) here")
+    p_recover.set_defaults(handler=_cmd_recover)
 
     p_explain = sub.add_parser("explain", help="explain a run to a peer")
     common(p_explain)
@@ -201,11 +255,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 command-specific negative verdict, 2 any
+    :class:`WorkflowError` (one-line diagnostic, no traceback), 3 the
+    command's execution budget ran out.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    budget = None
+    if args.wall_budget is not None or args.max_steps is not None:
+        try:
+            budget = Budget(wall_seconds=args.wall_budget, max_steps=args.max_steps)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
-        return args.handler(args)
+        with use_budget(budget):
+            return args.handler(args)
+    except BudgetExceeded as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return 3
     except (WorkflowError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

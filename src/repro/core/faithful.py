@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..runtime.budget import ambient_checkpoint
 from ..workflow.domain import is_null
 from ..workflow.runs import Run
 from ..workflow.views import CollaborativeSchema
@@ -153,6 +154,7 @@ class FaithfulnessAnalysis:
         closed: Set[int] = set()
         frontier: List[int] = list(indices)
         while frontier:
+            ambient_checkpoint()
             i = frontier.pop()
             if i in closed:
                 continue

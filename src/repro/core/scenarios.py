@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..runtime.budget import Budget, checkpoint
 from ..workflow.engine import apply_event
-from ..workflow.errors import EventError
+from ..workflow.errors import BudgetExceeded, EventError
 from ..workflow.events import Event
 from ..workflow.instance import Instance
 from ..workflow.runs import OMEGA, Run
@@ -58,6 +59,7 @@ class _ScenarioSearch:
         peer: str,
         allowed: Optional[FrozenSet[int]] = None,
         max_size: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.run = run
         self.peer = peer
@@ -66,10 +68,25 @@ class _ScenarioSearch:
         self.max_size = max_size if max_size is not None else len(run)
         self.target = run.view(peer).observations()
         self.best: Optional[PyTuple[int, ...]] = None
+        self.budget = budget
+        self.truncated = False
+        self.reason: Optional[str] = None
         self._seen: Dict[PyTuple[int, Instance, int], int] = {}
 
-    def search(self) -> Optional[PyTuple[int, ...]]:
-        self._explore(0, self.run.initial, 0, [])
+    def search(self, anytime: bool = False) -> Optional[PyTuple[int, ...]]:
+        """Run the search; with *anytime* a tripped budget is absorbed.
+
+        In anytime mode :class:`BudgetExceeded` marks the search
+        ``truncated`` and the best candidate found so far is returned
+        (None when none was reached yet) instead of propagating.
+        """
+        try:
+            self._explore(0, self.run.initial, 0, [])
+        except BudgetExceeded as exc:
+            if not anytime:
+                raise
+            self.truncated = True
+            self.reason = str(exc)
         return self.best
 
     def _bound(self) -> int:
@@ -80,6 +97,7 @@ class _ScenarioSearch:
     def _explore(
         self, position: int, instance: Instance, matched: int, chosen: List[int]
     ) -> None:
+        checkpoint(self.budget, depth=len(chosen))
         if len(chosen) > self._bound():
             return
         remaining_targets = len(self.target) - matched
@@ -142,23 +160,29 @@ class _ScenarioSearch:
 
 
 def minimum_scenario(
-    run: Run, peer: str, max_size: Optional[int] = None
+    run: Run, peer: str, max_size: Optional[int] = None, budget: Optional[Budget] = None
 ) -> Optional[EventSubsequence]:
     """A minimum-length scenario of *run* at *peer* (exact, exponential).
 
     Returns None when *max_size* is given and no scenario of at most
     that many events exists.  Without *max_size* the full run is itself
-    a scenario, so the result is never None.
+    a scenario, so the result is never None.  A *budget* bounds the
+    exponential search and raises
+    :class:`~repro.workflow.errors.BudgetExceeded` when it trips; for a
+    graceful best-so-far answer use
+    :func:`repro.runtime.supervisor.anytime_minimum_scenario`.
     """
-    best = _ScenarioSearch(run, peer, max_size=max_size).search()
+    best = _ScenarioSearch(run, peer, max_size=max_size, budget=budget).search()
     if best is None:
         return None
     return EventSubsequence(run, best)
 
 
-def has_scenario_of_size(run: Run, peer: str, size: int) -> bool:
+def has_scenario_of_size(
+    run: Run, peer: str, size: int, budget: Optional[Budget] = None
+) -> bool:
     """Decide the NP-complete bounded-scenario problem of Theorem 3.3."""
-    return minimum_scenario(run, peer, max_size=size) is not None
+    return minimum_scenario(run, peer, max_size=size, budget=budget) is not None
 
 
 def scenario_within(
@@ -166,10 +190,11 @@ def scenario_within(
     peer: str,
     allowed: Iterable[int],
     max_size: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[EventSubsequence]:
     """A scenario using only events at *allowed* positions, if one exists."""
     best = _ScenarioSearch(
-        run, peer, allowed=frozenset(allowed), max_size=max_size
+        run, peer, allowed=frozenset(allowed), max_size=max_size, budget=budget
     ).search()
     if best is None:
         return None

@@ -1,0 +1,238 @@
+"""Composable execution budgets with cooperative cancellation.
+
+Every interesting procedure of the reproduction — minimum-scenario
+search, state-space exploration, boundedness checking, view-program
+synthesis — is worst-case exponential per the paper's own complexity
+results (Theorems 3.3, 5.10, 5.13).  A :class:`Budget` bounds such a
+computation along three axes (wall-clock deadline, step count,
+recursion/search depth) plus an external :class:`CancellationToken`.
+The bounded code *cooperates* by polling :meth:`Budget.checkpoint` in
+its hot loops; a violated budget raises
+:class:`~repro.workflow.errors.BudgetExceeded`.
+
+Budgets compose in two ways:
+
+* **explicitly** — the hot paths take an optional ``budget`` argument
+  threaded into their inner loops;
+* **ambiently** — :func:`use_budget` installs a budget in a
+  context-variable scope and :func:`ambient_checkpoint` (polled once per
+  :func:`~repro.workflow.engine.apply_event`) enforces it, so callers
+  like the CLI and the benchmark harness can bound *any* library entry
+  point without plumbing an argument through every signature.
+
+All budgets are optional; the default everywhere remains unlimited, so
+behavior is unchanged unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from ..workflow.errors import BudgetExceeded
+
+__all__ = [
+    "AnytimeResult",
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
+    "ambient_checkpoint",
+    "checkpoint",
+    "current_budget",
+    "use_budget",
+]
+
+
+class CancellationToken:
+    """A cooperative cancellation flag shared between caller and search.
+
+    The owner calls :meth:`cancel`; the running computation observes the
+    token at its next budget checkpoint and unwinds with
+    :class:`BudgetExceeded`.  Tokens are plain objects, safe to hand to
+    another thread.
+    """
+
+    __slots__ = ("_cancelled", "_reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        self._cancelled = True
+        self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> Optional[str]:
+        return self._reason
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self._reason}" if self._cancelled else "active"
+        return f"CancellationToken({state})"
+
+
+class Budget:
+    """A composable cap on wall-clock time, steps and search depth.
+
+    ``wall_seconds`` starts counting at construction (the *clock* is
+    injectable for tests); ``max_steps`` bounds the cumulative cost
+    ticked through :meth:`checkpoint`; ``max_depth`` bounds the
+    ``depth`` argument of checkpoints inside recursive searches; and
+    *token* adds external cancellation.  ``None`` for any axis means
+    unlimited — ``Budget()`` never trips.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if wall_seconds is not None and wall_seconds < 0:
+            raise ValueError("wall_seconds must be non-negative")
+        if max_steps is not None and max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        self.wall_seconds = wall_seconds
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.token = token
+        self.steps = 0
+        self._clock = clock
+        self.started_at = clock()
+        self.deadline = (
+            self.started_at + wall_seconds if wall_seconds is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self.started_at
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock seconds left, or None when unbounded."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def remaining_steps(self) -> Optional[int]:
+        """Steps left, or None when unbounded."""
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.steps)
+
+    def violation(self, depth: Optional[int] = None) -> Optional[str]:
+        """The reason the budget is exhausted, or None while within it."""
+        if self.token is not None and self.token.cancelled:
+            return self.token.reason or "cancelled by caller"
+        if self.max_steps is not None and self.steps > self.max_steps:
+            return f"step budget of {self.max_steps} exhausted"
+        if self.deadline is not None and self._clock() > self.deadline:
+            return f"wall-clock budget of {self.wall_seconds:g}s exhausted"
+        if depth is not None and self.max_depth is not None and depth > self.max_depth:
+            return f"depth budget of {self.max_depth} exceeded (at depth {depth})"
+        return None
+
+    def exhausted(self, depth: Optional[int] = None) -> bool:
+        """Non-raising form of :meth:`checkpoint` (does not tick steps)."""
+        return self.violation(depth) is not None
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, cost: int = 1, depth: Optional[int] = None) -> None:
+        """Tick *cost* steps and raise :class:`BudgetExceeded` if over.
+
+        This is the single polling primitive: hot loops call it once per
+        unit of work (a state popped, a search node expanded, an event
+        applied).
+        """
+        self.steps += cost
+        reason = self.violation(depth)
+        if reason is not None:
+            raise BudgetExceeded(reason)
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.wall_seconds is not None:
+            parts.append(f"wall={self.wall_seconds:g}s")
+        if self.max_steps is not None:
+            parts.append(f"steps={self.steps}/{self.max_steps}")
+        if self.max_depth is not None:
+            parts.append(f"depth<={self.max_depth}")
+        if self.token is not None:
+            parts.append(repr(self.token))
+        return f"Budget({', '.join(parts) if parts else 'unlimited'})"
+
+
+# ----------------------------------------------------------------------
+# Ambient budgets
+# ----------------------------------------------------------------------
+
+_AMBIENT: "contextvars.ContextVar[Optional[Budget]]" = contextvars.ContextVar(
+    "repro_runtime_budget", default=None
+)
+
+
+def current_budget() -> Optional[Budget]:
+    """The ambient budget installed by :func:`use_budget`, if any."""
+    return _AMBIENT.get()
+
+
+@contextlib.contextmanager
+def use_budget(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install *budget* as the ambient budget for the dynamic extent.
+
+    >>> # with use_budget(Budget(wall_seconds=5.0)):
+    >>> #     explorer.reachable_count(max_depth=8)  # bounded to ~5s
+    """
+    token = _AMBIENT.set(budget)
+    try:
+        yield budget
+    finally:
+        _AMBIENT.reset(token)
+
+
+def ambient_checkpoint(cost: int = 1, depth: Optional[int] = None) -> None:
+    """Poll the ambient budget (no-op when none is installed)."""
+    budget = _AMBIENT.get()
+    if budget is not None:
+        budget.checkpoint(cost, depth)
+
+
+def checkpoint(
+    budget: Optional[Budget] = None, cost: int = 1, depth: Optional[int] = None
+) -> None:
+    """Poll an explicit *budget* and the ambient one (each at most once)."""
+    if budget is not None:
+        budget.checkpoint(cost, depth)
+    ambient = _AMBIENT.get()
+    if ambient is not None and ambient is not budget:
+        ambient.checkpoint(cost, depth)
+
+
+@dataclass(frozen=True)
+class AnytimeResult:
+    """A best-so-far answer from a budget-bounded search.
+
+    ``truncated`` is True when the search was cut short by its budget,
+    in which case *value* is the best answer found so far — valid but
+    possibly suboptimal/incomplete — and *reason* says which axis ran
+    out.  A result with ``truncated=False`` is the exact answer.
+    """
+
+    value: Any
+    truncated: bool
+    reason: Optional[str] = None

@@ -1,0 +1,124 @@
+"""Checkpointing: snapshot policy and fast resume from a journal.
+
+:func:`repro.runtime.journal.recover_run` replays a journal from its
+initial instance, re-validating every event — the paranoid path.  For
+long runs the journal's periodic snapshots allow a *fast resume*: jump
+to the latest snapshot and replay only the tail, which is what
+:func:`resume_state` implements.  The tail events are still applied
+through the engine, so their validity is re-checked; only the prefix
+before the snapshot is trusted (its integrity can be audited separately
+with :func:`verify_snapshots` or a full :func:`recover_run`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..workflow.engine import apply_event
+from ..workflow.errors import EventError, RecoveryError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.serialization import event_from_dict, instance_from_dict
+from .journal import read_journal
+
+__all__ = [
+    "CheckpointPolicy",
+    "Snapshot",
+    "latest_snapshot",
+    "resume_state",
+    "verify_snapshots",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the supervisor writes instance snapshots into the journal.
+
+    ``every_events``: snapshot after every N applied events (0 or None
+    disables periodic snapshots).  ``at_end``: always snapshot the final
+    instance when the run completes, giving recovery an O(1) tail.
+    """
+
+    every_events: Optional[int] = 10
+    at_end: bool = True
+
+    def due(self, events_applied: int) -> bool:
+        return bool(self.every_events) and events_applied % self.every_events == 0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A decoded snapshot: the instance after *position* journaled events."""
+
+    position: int
+    instance: Instance
+
+
+def _snapshots(program: WorkflowProgram, records: List[Dict[str, Any]]) -> List[Snapshot]:
+    out: List[Snapshot] = []
+    events_seen = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "event":
+            events_seen += 1
+        elif kind == "snapshot":
+            out.append(
+                Snapshot(events_seen, instance_from_dict(program, record.get("instance", {})))
+            )
+    return out
+
+
+def latest_snapshot(
+    program: WorkflowProgram, source: Any
+) -> Optional[Snapshot]:
+    """The most recent snapshot in a journal, decoded; None if there is none."""
+    records = source if isinstance(source, list) else read_journal(source)
+    snapshots = _snapshots(program, records)
+    return snapshots[-1] if snapshots else None
+
+
+def verify_snapshots(program: WorkflowProgram, source: Any) -> int:
+    """Re-derive every snapshot by replay and count the verified ones.
+
+    Raises :class:`~repro.workflow.errors.RecoveryError` on the first
+    snapshot that diverges from the replayed instance.
+    """
+    from .journal import recover_run
+
+    return recover_run(program, source, verify_snapshots=True).snapshots_verified
+
+
+def resume_state(
+    program: WorkflowProgram, source: Any
+) -> Tuple[Instance, int]:
+    """Fast resume: the latest recoverable state and how many events led there.
+
+    Starts from the latest snapshot (or the initial instance when the
+    journal has none) and applies only the journaled events after it,
+    re-checking validity event by event.  Returns ``(instance, n)``
+    where *n* counts all journaled events reflected in *instance*.
+    """
+    records = source if isinstance(source, list) else read_journal(source)
+    if not records or records[0].get("type") != "begin":
+        raise RecoveryError("journal has no begin record")
+    initial = instance_from_dict(program, records[0].get("initial", {}))
+    events: List[Event] = [
+        event_from_dict(program, record["event"])
+        for record in records[1:]
+        if record.get("type") == "event"
+    ]
+    snapshot = latest_snapshot(program, records)
+    if snapshot is None:
+        instance, position = initial, 0
+    else:
+        instance, position = snapshot.instance, snapshot.position
+    for offset, event in enumerate(events[position:]):
+        try:
+            instance = apply_event(program.schema, instance, event, None)
+        except EventError as exc:
+            raise RecoveryError(
+                f"journaled event {position + offset} no longer applies on resume: {exc}"
+            ) from exc
+    return instance, len(events)

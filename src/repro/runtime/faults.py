@@ -1,0 +1,128 @@
+"""Deterministic, seed-driven fault injection for resilience testing.
+
+A :class:`FaultInjector` is consulted by the supervisor before every
+event-application attempt and, depending on its :class:`FaultPlan`,
+raises one of three fault shapes:
+
+* :class:`TransientFault` — a fault that clears after a bounded number
+  of attempts (a flaky backend); bounded retry with backoff should
+  absorb it;
+* :class:`InjectedChaseFailure` — a *persistent* chase failure pinned to
+  an event; retrying never helps, so the supervisor must quarantine the
+  event instead of aborting the run;
+* :class:`CrashFault` — a simulated process death: the test harness
+  abandons every in-memory structure and recovers from the journal.
+
+The schedule is a pure function of the plan's seed and the event index
+(each index draws from its own :class:`random.Random`), so a fault
+schedule is reproducible regardless of retry counts, recovery order, or
+how many times an index is revisited — the property the crash-recovery
+equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..workflow.errors import ChaseFailure, WorkflowError
+from ..workflow.events import Event
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedChaseFailure",
+    "InjectedFault",
+    "TransientFault",
+]
+
+
+class InjectedFault(WorkflowError):
+    """Base class for faults raised by a :class:`FaultInjector`."""
+
+
+class TransientFault(InjectedFault):
+    """An injected fault that clears after a bounded number of attempts."""
+
+
+class InjectedChaseFailure(ChaseFailure):
+    """An injected *persistent* chase failure (subclasses the real one)."""
+
+
+class CrashFault(InjectedFault):
+    """A simulated process crash: in-memory state is lost, the journal survives."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The knobs of deterministic fault injection.
+
+    ``seed`` drives every probabilistic decision.  ``transient_rate`` /
+    ``poison_rate`` / ``crash_rate`` are per-event probabilities of the
+    three fault shapes (a crash wins over poison, poison over
+    transient).  ``transient_attempts`` is how many consecutive attempts
+    a transient fault survives before clearing.  ``crash_at_event``
+    forces a deterministic crash before applying that event index —
+    the precision tool for recovery tests.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    transient_attempts: int = 2
+    poison_rate: float = 0.0
+    crash_rate: float = 0.0
+    crash_at_event: Optional[int] = None
+
+
+class FaultInjector:
+    """Raises faults per a :class:`FaultPlan`; deterministic per (seed, index)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._attempts: Dict[int, int] = {}
+        self._crashed_at: Dict[int, bool] = {}
+
+    def attempts(self, index: int) -> int:
+        """How many application attempts have been made for *index*."""
+        return self._attempts.get(index, 0)
+
+    def fault_at(self, index: int) -> Optional[str]:
+        """The scheduled fault shape at *index* (pure in seed and index)."""
+        plan = self.plan
+        if plan.crash_at_event is not None and index == plan.crash_at_event:
+            return "crash"
+        # One generator per index: the schedule does not depend on the
+        # order or multiplicity of queries.
+        rng = random.Random(f"{plan.seed}:{index}")
+        if plan.crash_rate and rng.random() < plan.crash_rate:
+            return "crash"
+        if plan.poison_rate and rng.random() < plan.poison_rate:
+            return "poison"
+        if plan.transient_rate and rng.random() < plan.transient_rate:
+            return "transient"
+        return None
+
+    def before_apply(self, index: int, event: Event) -> None:
+        """Consulted by the supervisor before each application attempt.
+
+        Raises the scheduled fault, if any.  A crash fires only on the
+        first attempt for its index (a restarted process does not re-die
+        at the same instruction); a transient fault fires for the first
+        ``transient_attempts`` attempts; poison fires always.
+        """
+        attempt = self._attempts.get(index, 0) + 1
+        self._attempts[index] = attempt
+        fault = self.fault_at(index)
+        if fault == "crash" and not self._crashed_at.get(index):
+            self._crashed_at[index] = True
+            raise CrashFault(f"injected crash before event {index} ({event.rule.name})")
+        if fault == "poison":
+            raise InjectedChaseFailure(
+                f"injected persistent chase failure at event {index} ({event.rule.name})"
+            )
+        if fault == "transient" and attempt <= self.plan.transient_attempts:
+            raise TransientFault(
+                f"injected transient fault at event {index}, attempt {attempt}"
+            )

@@ -1,0 +1,323 @@
+"""Append-only run journals: durable, replayable execution records.
+
+A journal is a sequence of JSON-lines records describing one execution
+of a workflow program, in the spirit of ProvDB's versioned lifecycle
+store: a ``begin`` record with the initial instance, one ``event``
+record per applied event (the event encoding of
+:mod:`repro.workflow.serialization`), periodic ``snapshot`` records
+with the full instance, optional ``quarantine`` records for events the
+supervisor set aside, and an ``end`` record with the final status.
+
+Each record is flushed as soon as it is written, so a crashed process
+leaves a journal describing exactly the prefix it completed; a torn
+final line (the crash interrupted a write) is detected and dropped on
+read.  :func:`recover_run` replays the journaled events through the
+engine — validity is re-checked at every step — and verifies every
+snapshot against the replayed instance, turning the journal into a
+recovery mechanism and not merely a log.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..workflow.errors import JournalError, RecoveryError, RunError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import Run, execute
+from ..workflow.serialization import (
+    event_from_dict,
+    event_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+)
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalWriter",
+    "MemorySink",
+    "RecoveredRun",
+    "journal_run",
+    "read_journal",
+    "recover_run",
+]
+
+#: Bumped when the record format changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class MemorySink:
+    """An in-memory journal sink that survives a simulated process crash.
+
+    The fault-injection tests model a crash by abandoning the writer and
+    every other in-memory structure while keeping the sink's lines — the
+    analogue of the OS page cache surviving a process death.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def write(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:  # file-object protocol
+        pass
+
+    def read_lines(self) -> List[str]:
+        return list(self.lines)
+
+
+class JournalWriter:
+    """Append-only writer of journal records.
+
+    *sink* is a path (opened for appending) or any object with ``write``
+    and ``flush``; every record is one JSON line, flushed immediately.
+    ``snapshot_every`` controls periodic instance snapshots taken by
+    :meth:`record_event` (None or 0 disables them; recovery then replays
+    from the initial instance).
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, Any],
+        snapshot_every: Optional[int] = 10,
+    ) -> None:
+        self._owns_sink = isinstance(sink, (str, Path))
+        self._sink = open(sink, "a", encoding="utf-8") if self._owns_sink else sink
+        self.snapshot_every = snapshot_every
+        self.events_recorded = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Record emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise JournalError("journal writer is closed")
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+        self._sink.flush()
+
+    def begin(self, initial: Instance, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Open the journal with the run's initial instance."""
+        record: Dict[str, Any] = {
+            "type": "begin",
+            "version": JOURNAL_VERSION,
+            "initial": instance_to_dict(initial),
+        }
+        if meta:
+            record["meta"] = meta
+        self._emit(record)
+
+    def record_event(self, index: int, event: Event, instance: Optional[Instance] = None) -> None:
+        """Journal one applied event; snapshot periodically when *instance* given."""
+        self._emit({"type": "event", "index": index, "event": event_to_dict(event)})
+        self.events_recorded += 1
+        if (
+            instance is not None
+            and self.snapshot_every
+            and self.events_recorded % self.snapshot_every == 0
+        ):
+            self.snapshot(index, instance)
+
+    def snapshot(self, index: int, instance: Instance) -> None:
+        """Journal a full instance snapshot after the event at *index*."""
+        self._emit(
+            {
+                "type": "snapshot",
+                "index": index,
+                "events": self.events_recorded,
+                "instance": instance_to_dict(instance),
+            }
+        )
+
+    def quarantine(self, index: int, event: Event, error: str, attempts: int) -> None:
+        """Journal an event the supervisor set aside as poisoned."""
+        self._emit(
+            {
+                "type": "quarantine",
+                "index": index,
+                "event": event_to_dict(event),
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+
+    def end(self, status: str = "completed", reason: Optional[str] = None) -> None:
+        """Close the journal with a final status record."""
+        record: Dict[str, Any] = {"type": "end", "status": status}
+        if reason:
+            record["reason"] = reason
+        self._emit(record)
+
+    def observer(self) -> Callable[[int, Event, Instance], None]:
+        """An observer for :func:`repro.workflow.runs.execute`.
+
+        Journals each event (with periodic snapshots) as the engine
+        applies it, so a crash mid-execution leaves a replayable prefix.
+        """
+
+        def observe(index: int, event: Event, instance: Instance) -> None:
+            self.record_event(index, event, instance)
+
+        return observe
+
+    def close(self) -> None:
+        if not self._closed and self._owns_sink:
+            self._sink.close()
+        self._closed = True
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading and recovery
+# ----------------------------------------------------------------------
+
+
+def read_journal(source: Union[str, Path, MemorySink, Iterable[str]]) -> List[Dict[str, Any]]:
+    """Parse a journal into its records.
+
+    *source* is a path, a :class:`MemorySink`, or an iterable of lines.
+    A torn final line (a crash interrupted the write) is dropped; a
+    malformed line anywhere else raises :class:`JournalError`.
+    """
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    elif isinstance(source, MemorySink):
+        lines = "".join(source.read_lines()).splitlines()
+    else:
+        lines = "".join(source).splitlines()
+    records: List[Dict[str, Any]] = []
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == len(lines) - 1:
+                break  # torn tail write from a crash: recoverable
+            raise JournalError(f"malformed journal line {position}: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise JournalError(f"journal line {position} is not a typed record")
+        records.append(record)
+    return records
+
+
+@dataclass
+class RecoveredRun:
+    """The result of replaying a journal through the engine.
+
+    ``complete`` is True when the journal carries an ``end`` record with
+    status ``completed`` — otherwise the process died (or was budget-
+    killed) mid-run and *run* is the validated prefix it had finished.
+    """
+
+    run: Run
+    complete: bool
+    status: Optional[str]
+    events_replayed: int
+    snapshots_verified: int
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def final_instance(self) -> Instance:
+        return self.run.final_instance
+
+
+def recover_run(
+    program: WorkflowProgram,
+    source: Union[str, Path, MemorySink, Iterable[str], List[Dict[str, Any]]],
+    verify_snapshots: bool = True,
+) -> RecoveredRun:
+    """Replay a journal against *program*, re-checking validity stepwise.
+
+    The journaled events are re-executed through the engine (so every
+    body/applicability/chase condition is re-checked — a corrupted
+    journal cannot smuggle in an invalid state) and, when
+    *verify_snapshots* is set, each snapshot record is compared against
+    the replayed instance at the same point, raising
+    :class:`RecoveryError` on divergence.
+
+    >>> # recovered = recover_run(program, "run.journal")
+    >>> # recovered.run.final_instance  # isomorphic to the crashed run's
+    """
+    if isinstance(source, list) and (not source or isinstance(source[0], dict)):
+        records = source  # pre-parsed
+    else:
+        records = read_journal(source)
+    if not records or records[0].get("type") != "begin":
+        raise RecoveryError("journal has no begin record")
+    begin = records[0]
+    if begin.get("version", JOURNAL_VERSION) != JOURNAL_VERSION:
+        raise RecoveryError(f"unsupported journal version {begin.get('version')!r}")
+    initial = instance_from_dict(program, begin.get("initial", {}))
+    events: List[Event] = []
+    # (events seen so far, snapshot record) in journal order
+    snapshots: List[tuple] = []
+    quarantined: List[Dict[str, Any]] = []
+    status: Optional[str] = None
+    for record in records[1:]:
+        kind = record.get("type")
+        if kind == "event":
+            events.append(event_from_dict(program, record["event"]))
+        elif kind == "snapshot":
+            snapshots.append((len(events), record))
+        elif kind == "quarantine":
+            quarantined.append(record)
+        elif kind == "end":
+            status = record.get("status")
+        elif kind == "begin":
+            raise RecoveryError("journal contains a second begin record")
+        else:
+            raise RecoveryError(f"unknown journal record type {kind!r}")
+    try:
+        run = execute(program, events, initial=initial, check_freshness=False)
+    except RunError as exc:
+        raise RecoveryError(f"journal replay failed: {exc}") from exc
+    verified = 0
+    if verify_snapshots:
+        for events_seen, record in snapshots:
+            if events_seen == 0:
+                expected = run.initial
+            else:
+                expected = run.instances[events_seen - 1]
+            recorded = instance_from_dict(program, record.get("instance", {}))
+            if recorded != expected:
+                raise RecoveryError(
+                    f"snapshot after {events_seen} events diverges from replay"
+                )
+            verified += 1
+    return RecoveredRun(
+        run=run,
+        complete=status == "completed",
+        status=status,
+        events_replayed=len(events),
+        snapshots_verified=verified,
+        quarantined=quarantined,
+    )
+
+
+def journal_run(
+    run: Run,
+    sink: Union[str, Path, Any],
+    snapshot_every: Optional[int] = 10,
+    status: str = "completed",
+) -> JournalWriter:
+    """Journal an already-executed run (e.g. for archival or transport)."""
+    writer = JournalWriter(sink, snapshot_every=snapshot_every)
+    writer.begin(run.initial)
+    for index, event in enumerate(run.events):
+        writer.record_event(index, event, run.instances[index])
+    writer.end(status)
+    writer.close()
+    return writer

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
 
+from ..runtime.budget import Budget, checkpoint
+from ..workflow.errors import BudgetExceeded
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
 from .faithful_runs import SilentFaithfulRun, iter_silent_faithful_runs
@@ -51,6 +53,8 @@ class BoundednessResult:
     witness: Optional[SilentFaithfulRun] = None
     instances_checked: int = 0
     exhausted: bool = True  # False when the budget cut the search short
+    truncated: bool = False  # True when a runtime Budget killed the search
+    reason: Optional[str] = None
 
     def __bool__(self) -> bool:
         return self.bounded
@@ -62,6 +66,7 @@ def iter_boundedness_witnesses(
     h: int,
     budget: SearchBudget = SearchBudget(),
     slack: int = 0,
+    runtime_budget: Optional[Budget] = None,
 ) -> Iterator[SilentFaithfulRun]:
     """All violations found: silent minimum-faithful runs longer than *h*.
 
@@ -77,8 +82,9 @@ def iter_boundedness_witnesses(
         if budget.max_instances is not None and checked >= budget.max_instances:
             return
         checked += 1
+        checkpoint(runtime_budget)
         for candidate in iter_silent_faithful_runs(
-            program, peer, initial, max_length=h + 1 + slack
+            program, peer, initial, max_length=h + 1 + slack, budget=runtime_budget
         ):
             if len(candidate) > h:
                 yield candidate
@@ -89,6 +95,8 @@ def check_h_bounded(
     peer: str,
     h: int,
     budget: SearchBudget = SearchBudget(),
+    runtime_budget: Optional[Budget] = None,
+    anytime: bool = False,
 ) -> BoundednessResult:
     """Decide whether *program* is h-bounded for *peer* (Theorem 5.10).
 
@@ -96,24 +104,38 @@ def check_h_bounded(
     ``max_instances`` and the theorem's pool size, a ``bounded=True``
     answer is a proof; with a trimmed budget it is a bounded search.
 
+    *runtime_budget* bounds the wall-clock/step cost of the exponential
+    search; when it trips, :class:`~repro.workflow.errors.BudgetExceeded`
+    propagates unless *anytime* is set, in which case the result so far
+    is returned with ``exhausted=False, truncated=True`` — a "no
+    violation found yet", never a silent proof.
+
     >>> # result = check_h_bounded(program, "sue", h=3)
     >>> # result.bounded, result.witness
     """
     pool = budget.resolve_pool(program, h)
     checked = 0
     exhausted = True
-    for initial in enumerate_instances(
-        program.schema.schema, pool, budget.max_tuples_per_relation
-    ):
-        if budget.max_instances is not None and checked >= budget.max_instances:
-            exhausted = False
-            break
-        checked += 1
-        for candidate in iter_silent_faithful_runs(
-            program, peer, initial, max_length=h + 1
+    try:
+        for initial in enumerate_instances(
+            program.schema.schema, pool, budget.max_tuples_per_relation
         ):
-            if len(candidate) > h:
-                return BoundednessResult(False, h, candidate, checked, True)
+            if budget.max_instances is not None and checked >= budget.max_instances:
+                exhausted = False
+                break
+            checked += 1
+            checkpoint(runtime_budget)
+            for candidate in iter_silent_faithful_runs(
+                program, peer, initial, max_length=h + 1, budget=runtime_budget
+            ):
+                if len(candidate) > h:
+                    return BoundednessResult(False, h, candidate, checked, True)
+    except BudgetExceeded as exc:
+        if not anytime:
+            raise
+        return BoundednessResult(
+            True, h, None, checked, exhausted=False, truncated=True, reason=str(exc)
+        )
     return BoundednessResult(True, h, None, checked, exhausted)
 
 
@@ -158,6 +180,7 @@ def smallest_bound(
     peer: str,
     max_h: int,
     budget: SearchBudget = SearchBudget(),
+    runtime_budget: Optional[Budget] = None,
 ) -> Optional[int]:
     """The least ``h ≤ max_h`` for which the program is h-bounded.
 
@@ -176,8 +199,9 @@ def smallest_bound(
         if budget.max_instances is not None and checked >= budget.max_instances:
             break
         checked += 1
+        checkpoint(runtime_budget)
         for candidate in iter_silent_faithful_runs(
-            program, peer, initial, max_length=max_h + 1
+            program, peer, initial, max_length=max_h + 1, budget=runtime_budget
         ):
             longest = max(longest, len(candidate))
             if longest > max_h:

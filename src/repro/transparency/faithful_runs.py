@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..runtime.budget import Budget, checkpoint
 from ..workflow.domain import FreshValueSource
 from ..workflow.engine import apply_event
 from ..workflow.enumerate import applicable_events
@@ -79,6 +80,7 @@ def iter_silent_faithful_runs(
     max_length: int,
     fresh_start: int = 50_000,
     skip_noop_silent: bool = True,
+    budget: Optional[Budget] = None,
 ) -> Iterator[SilentFaithfulRun]:
     """All minimum p-faithful, mostly-silent runs on *initial*.
 
@@ -101,6 +103,7 @@ def iter_silent_faithful_runs(
     def recurse(
         prefix: List[Event], instance: Instance, fresh_index: int
     ) -> Iterator[SilentFaithfulRun]:
+        checkpoint(budget, depth=len(prefix))
         if len(prefix) >= max_length:
             return
         source = FreshValueSource(start=fresh_index)
@@ -126,10 +129,13 @@ def longest_silent_faithful_run(
     peer: str,
     initial: Instance,
     max_length: int,
+    budget: Optional[Budget] = None,
 ) -> Optional[SilentFaithfulRun]:
     """The longest silent minimum-faithful run on *initial*, up to the bound."""
     best: Optional[SilentFaithfulRun] = None
-    for candidate in iter_silent_faithful_runs(program, peer, initial, max_length):
+    for candidate in iter_silent_faithful_runs(
+        program, peer, initial, max_length, budget=budget
+    ):
         if best is None or len(candidate) > len(best):
             best = candidate
     return best

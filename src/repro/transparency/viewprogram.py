@@ -27,8 +27,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..runtime.budget import Budget, checkpoint
 from ..workflow.domain import NULL, is_null
-from ..workflow.errors import SynthesisError
+from ..workflow.errors import BudgetExceeded, SynthesisError
 from ..workflow.events import Event
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
@@ -80,6 +81,8 @@ class ViewProgramSynthesis:
     program: WorkflowProgram  # P@p: peers (peer, WORLD) over D@p
     records: PyTuple[SynthesizedRule, ...]
     triples_considered: int = 0
+    truncated: bool = False  # True when a runtime Budget killed the search
+    reason: Optional[str] = None
 
     def world_rules(self) -> PyTuple[Rule, ...]:
         return self.program.rules_of_peer(WORLD)
@@ -262,6 +265,8 @@ def synthesize_view_program(
     h: int,
     budget: SearchBudget = SearchBudget(),
     witness_freshness: bool = True,
+    runtime_budget: Optional[Budget] = None,
+    anytime: bool = False,
 ) -> ViewProgramSynthesis:
     """Construct the view-program ``P@p`` (Theorem 5.13).
 
@@ -270,6 +275,12 @@ def synthesize_view_program(
     every resulting triple yields an ω-rule (deduplicated up to variable
     renaming).  For programs transparent and h-bounded for *peer*, the
     result is sound and complete for the peer's views of runs.
+
+    *runtime_budget* bounds the enumeration; when it trips,
+    :class:`~repro.workflow.errors.BudgetExceeded` propagates unless
+    *anytime* is set, in which case the ω-rules synthesized so far are
+    returned in a program flagged ``truncated=True`` (sound but
+    possibly incomplete — its runs are a subset of ``Runs(P)@p``).
 
     >>> # synthesis = synthesize_view_program(program, "sue", h=3)
     >>> # synthesis.world_rules()
@@ -281,45 +292,55 @@ def synthesize_view_program(
     signatures: Set[object] = set()
     rules: List[Rule] = _translate_peer_rules(program, peer, target)
     triples = 0
-    for initial, _witness in iter_p_fresh_instances(
-        program,
-        peer,
-        pool,
-        budget.max_tuples_per_relation,
-        max_predecessors=budget.max_instances,
-        witness_freshness=witness_freshness,
-    ):
-        for candidate in iter_silent_faithful_runs(
-            program, peer, initial, max_length=h
+    truncated = False
+    reason: Optional[str] = None
+    try:
+        for initial, _witness in iter_p_fresh_instances(
+            program,
+            peer,
+            pool,
+            budget.max_tuples_per_relation,
+            max_predecessors=budget.max_instances,
+            witness_freshness=witness_freshness,
         ):
-            triples += 1
-            # ω-rules describe transitions caused by *other* peers; the
-            # peer's own visible events are covered by its own rules.
-            if candidate.events[-1].peer == peer:
-                continue
-            # Key condition: tuples of I use only keys mentioned by α.
-            if not _keys_covered(program, initial, candidate.events):
-                continue
-            rule = builder.build(initial, candidate.events, candidate.run.final_instance)
-            if rule is None:
-                continue
-            signature = _canonical_signature(rule)
-            if signature in signatures:
-                continue
-            signatures.add(signature)
-            named = Rule(f"w{len(records)}", rule.head, rule.body)
-            rules.append(named)
-            records.append(
-                SynthesizedRule(
-                    named,
-                    SynthesisWitness(
-                        initial, tuple(candidate.events), candidate.run.final_instance
-                    ),
+            checkpoint(runtime_budget)
+            for candidate in iter_silent_faithful_runs(
+                program, peer, initial, max_length=h, budget=runtime_budget
+            ):
+                triples += 1
+                # ω-rules describe transitions caused by *other* peers; the
+                # peer's own visible events are covered by its own rules.
+                if candidate.events[-1].peer == peer:
+                    continue
+                # Key condition: tuples of I use only keys mentioned by α.
+                if not _keys_covered(program, initial, candidate.events):
+                    continue
+                rule = builder.build(initial, candidate.events, candidate.run.final_instance)
+                if rule is None:
+                    continue
+                signature = _canonical_signature(rule)
+                if signature in signatures:
+                    continue
+                signatures.add(signature)
+                named = Rule(f"w{len(records)}", rule.head, rule.body)
+                rules.append(named)
+                records.append(
+                    SynthesizedRule(
+                        named,
+                        SynthesisWitness(
+                            initial, tuple(candidate.events), candidate.run.final_instance
+                        ),
+                    )
                 )
-            )
+    except BudgetExceeded as exc:
+        if not anytime:
+            raise
+        truncated = True
+        reason = str(exc)
     view_program = WorkflowProgram(target, rules)
     return ViewProgramSynthesis(
-        program, peer, h, view_program, tuple(records), triples
+        program, peer, h, view_program, tuple(records), triples,
+        truncated=truncated, reason=reason,
     )
 
 

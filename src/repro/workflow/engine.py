@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple as PyTuple
 
+from ..runtime.budget import ambient_checkpoint
 from .domain import NULL, is_null
 from .errors import ChaseFailure, EventError, FreshnessViolation, UpdateNotApplicable
 from .events import Event
@@ -100,6 +101,10 @@ def apply_event(
     Raises a :class:`~repro.workflow.errors.EventError` subclass on any
     violation.
     """
+    # Event application is the unit of work every search loop performs,
+    # so one ambient-budget poll here bounds any library entry point
+    # wrapped in repro.runtime.budget.use_budget.
+    ambient_checkpoint()
     if check_body:
         view_instance = schema.view_instance(instance, event.peer)
         if not event.rule.body.satisfied_by(view_instance, event.valuation_dict()):

@@ -69,3 +69,22 @@ class SynthesisError(WorkflowError):
 
 class EnforcementError(WorkflowError):
     """Transparency enforcement rejected an event or program."""
+
+
+class BudgetExceeded(WorkflowError):
+    """A cooperative execution budget (wall clock, steps, depth) ran out.
+
+    Raised from the checkpoints polled inside the worst-case exponential
+    searches (state-space exploration, scenario search, boundedness
+    checking, view-program synthesis) so callers can bound them; the
+    anytime entry points of :mod:`repro.runtime.supervisor` catch it and
+    return an explicitly ``truncated`` best-so-far answer instead.
+    """
+
+
+class JournalError(WorkflowError):
+    """A run journal is malformed or was written to after closing."""
+
+
+class RecoveryError(JournalError):
+    """Replaying a journal failed (invalid event or snapshot mismatch)."""

@@ -13,7 +13,7 @@ view instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple, Union
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple, Union
 
 from .engine import apply_event
 from .errors import EventError, RunError
@@ -205,6 +205,7 @@ def execute(
     events: Sequence[Event],
     initial: Optional[Instance] = None,
     check_freshness: bool = True,
+    observer: Optional[Callable[[int, Event, Instance], None]] = None,
 ) -> Run:
     """Execute *events* from *initial* (default: empty) and return the run.
 
@@ -213,6 +214,11 @@ def execute(
     in ``const(P)`` nor in any earlier instance).  Raises
     :class:`~repro.workflow.errors.RunError` if the sequence is not a
     run.
+
+    *observer* is invoked as ``observer(i, event, instance)`` after each
+    successful transition — the hook the run journal of
+    :mod:`repro.runtime.journal` uses to persist progress durably while
+    the run is still executing, so a crash leaves a replayable prefix.
     """
     schema = program.schema
     instance = initial if initial is not None else Instance.empty(schema.schema)
@@ -227,6 +233,8 @@ def execute(
             raise RunError(f"event {i} ({event!r}) is not applicable: {exc}") from exc
         instances.append(instance)
         used.update(instance.active_domain())
+        if observer is not None:
+            observer(i, event, instance)
     return Run(program, initial if initial is not None else Instance.empty(schema.schema), events, instances)
 
 

@@ -14,8 +14,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..runtime.budget import Budget, checkpoint
 from .domain import FreshValueSource
 from .engine import apply_event
+from .errors import BudgetExceeded
 from .enumerate import applicable_events
 from .events import Event
 from .instance import Instance
@@ -46,6 +48,24 @@ class ExplorationStats:
     deadlocks: int = 0
 
 
+@dataclass
+class ExplorationResult:
+    """A materialised exploration, possibly budget-truncated.
+
+    ``truncated=True`` marks a *partial* reachable set: the budget
+    expired before the frontier was exhausted, and *states* holds the
+    best-so-far prefix — never a silent wrong answer.
+    """
+
+    states: List[ReachableState]
+    stats: ExplorationStats
+    truncated: bool = False
+    reason: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
 class StateSpaceExplorer:
     """Breadth-first exploration with canonical deduplication.
 
@@ -63,6 +83,7 @@ class StateSpaceExplorer:
         program: WorkflowProgram,
         dedup: str = "isomorphic",
         initial: Optional[Instance] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         if dedup not in ("none", "exact", "isomorphic"):
             raise ValueError(f"unknown dedup mode {dedup!r}")
@@ -71,6 +92,7 @@ class StateSpaceExplorer:
         self.initial = (
             initial if initial is not None else Instance.empty(program.schema.schema)
         )
+        self.budget = budget
         self.stats = ExplorationStats()
 
     def _signature(self, instance: Instance) -> object:
@@ -95,6 +117,7 @@ class StateSpaceExplorer:
         fresh_base = 30_000
         while queue:
             state = queue.popleft()
+            checkpoint(self.budget, depth=state.depth)
             self.stats.states_visited += 1
             self.stats.max_depth_reached = max(
                 self.stats.max_depth_reached, state.depth
@@ -123,6 +146,25 @@ class StateSpaceExplorer:
                 queue.append(ReachableState(successor, state.path + (event,)))
             if successors == 0:
                 self.stats.deadlocks += 1
+
+    def explore(
+        self,
+        max_depth: int,
+        max_states: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Materialise the reachable set, degrading gracefully on budget.
+
+        Unlike :meth:`iterate`, a tripped budget does not propagate:
+        the states visited so far are returned with ``truncated=True``
+        and the budget's reason — the anytime form of exploration.
+        """
+        states: List[ReachableState] = []
+        try:
+            for state in self.iterate(max_depth, max_states):
+                states.append(state)
+        except BudgetExceeded as exc:
+            return ExplorationResult(states, self.stats, truncated=True, reason=str(exc))
+        return ExplorationResult(states, self.stats)
 
     def find(
         self,
@@ -159,6 +201,7 @@ def fact_reachable(
     relation: str,
     max_depth: int,
     dedup: str = "isomorphic",
+    budget: Optional[Budget] = None,
 ) -> Optional[ReachableState]:
     """A reachable state with a non-empty *relation*, if one exists in bound.
 
@@ -166,5 +209,5 @@ def fact_reachable(
 
     >>> # witness = fact_reachable(pcp_workflow(instance), "U", 6)
     """
-    explorer = StateSpaceExplorer(program, dedup=dedup)
+    explorer = StateSpaceExplorer(program, dedup=dedup, budget=budget)
     return explorer.find(lambda instance: bool(instance.keys(relation)), max_depth)

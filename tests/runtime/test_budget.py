@@ -1,0 +1,132 @@
+"""Tests for composable budgets and cooperative cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.budget import (
+    AnytimeResult,
+    Budget,
+    CancellationToken,
+    ambient_checkpoint,
+    checkpoint,
+    current_budget,
+    use_budget,
+)
+from repro.workflow import Event, execute
+from repro.workflow.errors import BudgetExceeded
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBudget:
+    def test_unlimited_never_trips(self):
+        budget = Budget()
+        for _ in range(10_000):
+            budget.checkpoint()
+        assert not budget.exhausted()
+
+    def test_step_budget(self):
+        budget = Budget(max_steps=3)
+        for _ in range(3):
+            budget.checkpoint()
+        with pytest.raises(BudgetExceeded, match="step budget of 3"):
+            budget.checkpoint()
+        assert budget.remaining_steps() == 0
+
+    def test_step_cost_aggregates(self):
+        budget = Budget(max_steps=10)
+        budget.checkpoint(cost=10)
+        with pytest.raises(BudgetExceeded):
+            budget.checkpoint(cost=1)
+
+    def test_wall_budget_with_injected_clock(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=5.0, clock=clock)
+        budget.checkpoint()
+        clock.now = 4.9
+        budget.checkpoint()
+        assert budget.remaining_seconds() == pytest.approx(0.1)
+        clock.now = 5.1
+        with pytest.raises(BudgetExceeded, match="wall-clock budget"):
+            budget.checkpoint()
+
+    def test_depth_budget(self):
+        budget = Budget(max_depth=2)
+        budget.checkpoint(depth=2)
+        with pytest.raises(BudgetExceeded, match="depth budget of 2"):
+            budget.checkpoint(depth=3)
+        # Depth is not cumulative: shallow checkpoints still pass.
+        budget.checkpoint(depth=0)
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        budget = Budget(token=token)
+        budget.checkpoint()
+        token.cancel("user hit ^C")
+        assert token.cancelled
+        with pytest.raises(BudgetExceeded, match="user hit"):
+            budget.checkpoint()
+
+    def test_negative_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-1.0)
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+
+    def test_repr_mentions_axes(self):
+        assert "steps=0/7" in repr(Budget(max_steps=7))
+        assert "unlimited" in repr(Budget())
+
+
+class TestAmbientBudget:
+    def test_default_is_none(self):
+        assert current_budget() is None
+        ambient_checkpoint()  # no-op without an installed budget
+
+    def test_use_budget_scopes_and_restores(self):
+        outer = Budget(max_steps=100)
+        inner = Budget(max_steps=5)
+        with use_budget(outer):
+            assert current_budget() is outer
+            with use_budget(inner):
+                assert current_budget() is inner
+            assert current_budget() is outer
+        assert current_budget() is None
+
+    def test_ambient_checkpoint_trips(self):
+        with use_budget(Budget(max_steps=2)):
+            ambient_checkpoint()
+            ambient_checkpoint()
+            with pytest.raises(BudgetExceeded):
+                ambient_checkpoint()
+
+    def test_engine_polls_ambient_budget(self, approval):
+        """`apply_event` ticks the ambient budget once per event."""
+        events = [Event(approval.rule(name), {}) for name in "efgh"]
+        execute(approval, events)  # no budget: fine
+        with use_budget(Budget(max_steps=2)):
+            with pytest.raises(BudgetExceeded):
+                execute(approval, events)
+
+    def test_explicit_checkpoint_dedups_ambient(self):
+        """An explicitly-passed budget is not double-ticked ambiently."""
+        budget = Budget(max_steps=4)
+        with use_budget(budget):
+            checkpoint(budget)
+            assert budget.steps == 1
+
+
+class TestAnytimeResult:
+    def test_fields_and_immutability(self):
+        result = AnytimeResult([1, 2], truncated=True, reason="out of time")
+        assert result.value == [1, 2]
+        assert result.truncated
+        with pytest.raises(AttributeError):
+            result.truncated = False

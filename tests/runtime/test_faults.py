@@ -1,0 +1,102 @@
+"""Tests for deterministic, seed-driven fault injection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    InjectedChaseFailure,
+    TransientFault,
+)
+from repro.workflow import Event
+from repro.workflow.errors import ChaseFailure, WorkflowError
+
+
+@pytest.fixture
+def event(approval):
+    return Event(approval.rule("e"), {})
+
+
+class TestFaultTaxonomy:
+    def test_faults_are_workflow_errors(self):
+        assert issubclass(CrashFault, WorkflowError)
+        assert issubclass(TransientFault, WorkflowError)
+        # Poison subclasses the real chase failure so existing handlers
+        # (and the supervisor's quarantine classifier) treat it as one.
+        assert issubclass(InjectedChaseFailure, ChaseFailure)
+
+
+class TestSchedule:
+    def test_no_rates_no_faults(self, event):
+        injector = FaultInjector(FaultPlan())
+        for index in range(50):
+            injector.before_apply(index, event)
+        assert all(injector.fault_at(i) is None for i in range(50))
+
+    def test_schedule_is_pure_in_seed_and_index(self):
+        plan = FaultPlan(seed=7, transient_rate=0.3, poison_rate=0.1, crash_rate=0.1)
+        first = [FaultInjector(plan).fault_at(i) for i in range(100)]
+        second = [FaultInjector(plan).fault_at(i) for i in range(100)]
+        assert first == second
+        # Querying out of order or repeatedly does not perturb it.
+        injector = FaultInjector(plan)
+        shuffled = {i: injector.fault_at(i) for i in reversed(range(100))}
+        assert [shuffled[i] for i in range(100)] == first
+
+    def test_different_seeds_differ(self):
+        plan_a = FaultPlan(seed=1, transient_rate=0.5)
+        plan_b = FaultPlan(seed=2, transient_rate=0.5)
+        schedule_a = [FaultInjector(plan_a).fault_at(i) for i in range(50)]
+        schedule_b = [FaultInjector(plan_b).fault_at(i) for i in range(50)]
+        assert schedule_a != schedule_b
+
+    def test_crash_at_event_overrides(self):
+        injector = FaultInjector(FaultPlan(crash_at_event=3))
+        assert injector.fault_at(3) == "crash"
+        assert injector.fault_at(2) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), index=st.integers(0, 1_000))
+    def test_schedule_never_depends_on_history(self, seed, index):
+        plan = FaultPlan(seed=seed, transient_rate=0.4, poison_rate=0.2,
+                         crash_rate=0.1)
+        fresh = FaultInjector(plan).fault_at(index)
+        warmed = FaultInjector(plan)
+        for other in range(0, index, 7):  # arbitrary prior traffic
+            warmed.fault_at(other)
+        assert warmed.fault_at(index) == fresh
+
+
+class TestFiring:
+    def test_crash_fires_once_per_index(self, event):
+        injector = FaultInjector(FaultPlan(crash_at_event=0))
+        with pytest.raises(CrashFault):
+            injector.before_apply(0, event)
+        # The restarted process retries the same index and proceeds.
+        injector.before_apply(0, event)
+        assert injector.attempts(0) == 2
+
+    def test_transient_clears_after_configured_attempts(self, event):
+        injector = FaultInjector(FaultPlan(transient_rate=1.0, transient_attempts=2))
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                injector.before_apply(0, event)
+        injector.before_apply(0, event)  # third attempt: cleared
+        assert injector.attempts(0) == 3
+
+    def test_poison_fires_every_attempt(self, event):
+        injector = FaultInjector(FaultPlan(poison_rate=1.0))
+        for _ in range(5):
+            with pytest.raises(InjectedChaseFailure):
+                injector.before_apply(0, event)
+        assert injector.attempts(0) == 5
+
+    def test_diagnostics_name_the_event(self, event):
+        injector = FaultInjector(FaultPlan(crash_at_event=2))
+        with pytest.raises(CrashFault, match="event 2"):
+            injector.before_apply(2, event)

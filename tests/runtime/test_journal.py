@@ -1,0 +1,142 @@
+"""Tests for the append-only run journal and journal-based recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.journal import (
+    JournalWriter,
+    MemorySink,
+    journal_run,
+    read_journal,
+    recover_run,
+)
+from repro.workflow import RunGenerator, instances_isomorphic
+from repro.workflow.errors import JournalError, RecoveryError
+from repro.workloads import paper_examples
+
+
+class TestReadJournal:
+    def test_round_trip_records(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=2)
+        records = read_journal(sink)
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "end"
+        assert kinds.count("event") == 4
+        assert kinds.count("snapshot") == 2  # after events 2 and 4
+
+    def test_torn_tail_line_dropped(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=None)
+        sink.write('{"type": "event", "index": 99, "ev')  # crash mid-write
+        records = read_journal(sink)
+        assert all(r.get("index") != 99 for r in records)
+
+    def test_malformed_interior_line_raises(self):
+        lines = ['{"type": "begin"}\n', "not json\n", '{"type": "end"}\n']
+        with pytest.raises(JournalError, match="malformed journal line 1"):
+            read_journal(lines)
+
+    def test_untyped_record_raises(self):
+        with pytest.raises(JournalError, match="not a typed record"):
+            read_journal(['{"no_type": 1}\n'])
+
+    def test_file_sink(self, approval_run, tmp_path):
+        path = tmp_path / "run.journal"
+        journal_run(approval_run, path)
+        assert len(read_journal(path)) >= 6  # begin + 4 events + end
+
+    def test_writer_rejects_use_after_close(self):
+        writer = JournalWriter(MemorySink())
+        writer.close()
+        with pytest.raises(JournalError, match="closed"):
+            writer.end()
+
+
+class TestRecoverRun:
+    def test_complete_round_trip(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=2)
+        recovered = recover_run(approval_run.program, sink)
+        assert recovered.complete
+        assert recovered.status == "completed"
+        assert recovered.events_replayed == 4
+        assert recovered.snapshots_verified == 2
+        assert recovered.final_instance == approval_run.final_instance
+
+    def test_missing_begin_raises(self):
+        with pytest.raises(RecoveryError, match="no begin record"):
+            recover_run(paper_examples.approval_program(), ['{"type": "end"}\n'])
+
+    def test_version_mismatch_raises(self, approval):
+        records = [{"type": "begin", "version": 999, "initial": {}}]
+        with pytest.raises(RecoveryError, match="unsupported journal version"):
+            recover_run(approval, records)
+
+    def test_second_begin_raises(self, approval):
+        records = [
+            {"type": "begin", "version": 1, "initial": {}},
+            {"type": "begin", "version": 1, "initial": {}},
+        ]
+        with pytest.raises(RecoveryError, match="second begin"):
+            recover_run(approval, records)
+
+    def test_tampered_snapshot_detected(self):
+        # The hiring program's runs carry real tuples (the approval
+        # program is propositional), so an emptied snapshot diverges.
+        program = paper_examples.hiring_program()
+        run = RunGenerator(program, seed=0).random_run(4)
+        sink = MemorySink()
+        journal_run(run, sink, snapshot_every=2)
+        tampered = False
+        for position, line in enumerate(sink.lines):
+            record = json.loads(line)
+            if record["type"] == "snapshot":
+                assert record["instance"], "want a non-trivial snapshot"
+                record["instance"] = {}
+                sink.lines[position] = json.dumps(record) + "\n"
+                tampered = True
+                break
+        assert tampered
+        with pytest.raises(RecoveryError, match="diverges from replay"):
+            recover_run(program, sink)
+        # ... unless verification is explicitly waived.
+        recovered = recover_run(program, sink, verify_snapshots=False)
+        assert recovered.events_replayed == len(run)
+
+    def test_journal_without_end_is_incomplete(self, approval):
+        from repro.workflow import Event, execute
+
+        run = execute(approval, [Event(approval.rule("e"), {})])
+        sink = MemorySink()
+        writer = JournalWriter(sink)
+        writer.begin(run.initial)
+        writer.record_event(0, run.events[0], run.instances[0])
+        # No end record: the process died here.
+        recovered = recover_run(approval, sink)
+        assert not recovered.complete
+        assert recovered.status is None
+        assert recovered.events_replayed == 1
+
+
+class TestJournalProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), steps=st.integers(0, 8),
+           snapshot_every=st.sampled_from([None, 1, 3]))
+    def test_journal_round_trip_is_isomorphic(self, seed, steps, snapshot_every):
+        """Any journaled random run recovers to an isomorphic final instance."""
+        program = paper_examples.hiring_program()
+        run = RunGenerator(program, seed=seed).random_run(steps)
+        sink = MemorySink()
+        journal_run(run, sink, snapshot_every=snapshot_every)
+        recovered = recover_run(program, sink)
+        assert recovered.complete
+        assert recovered.events_replayed == len(run)
+        assert recovered.final_instance == run.final_instance
+        assert instances_isomorphic(recovered.final_instance, run.final_instance)

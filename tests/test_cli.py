@@ -166,3 +166,58 @@ class TestEnforce:
         assert code == 1
         assert "BLOCKED" in out
         assert "run accepted: False" in out
+
+
+class TestJournalAndRecover:
+    def test_run_writes_journal_and_recover_replays_it(
+        self, program_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        assert main(
+            ["run", program_file, "--steps", "6", "--seed", "1",
+             "--journal", str(journal), "--snapshot-every", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", program_file, "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal status:      completed" in out
+        assert "events replayed:     6" in out
+        assert "snapshots verified:  3" in out
+
+    def test_recover_incomplete_journal_exits_one(
+        self, program_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        main(["run", program_file, "--steps", "4", "--seed", "0",
+              "--journal", str(journal)])
+        capsys.readouterr()
+        # Drop the end record: the writing process "died" before it.
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(l for l in lines if '"type": "end"' not in l))
+        assert main(["recover", program_file, "--journal", str(journal)]) == 1
+        assert "missing end record" in capsys.readouterr().out
+
+    def test_recover_missing_journal_exits_two(self, program_file, capsys):
+        code = main(
+            ["recover", program_file, "--journal", "/nonexistent.journal"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGlobalBudget:
+    def test_tripped_budget_exits_three(self, program_file, capsys):
+        code = main(
+            ["--max-steps", "3", "run", program_file, "--steps", "10",
+             "--seed", "0"]
+        )
+        assert code == 3
+        assert "budget exceeded:" in capsys.readouterr().err
+
+    def test_generous_budget_unaffected(self, program_file, capsys):
+        code = main(
+            ["--wall-budget", "600", "--max-steps", "100000",
+             "run", program_file, "--steps", "5", "--seed", "0"]
+        )
+        assert code == 0
+        capsys.readouterr()
