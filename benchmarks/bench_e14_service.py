@@ -1,0 +1,155 @@
+"""E14: the multi-run service — throughput and tail latency under load.
+
+(The issue tracking this experiment numbered it E12; E12 was already
+the PCP gadget, so the service experiment is E14.)
+
+Drives the full TCP stack (loadgen client → JSON-lines protocol →
+broker mailboxes → sharded registry → journals off) at 1, 8 and 64
+concurrent runs, cached views vs from-scratch recomputation per read.
+Expected shape: events/sec grows with run concurrency (per-run FIFO is
+the only serialization point), and the cached configuration dominates
+the uncached one once view reads are interleaved — reads cost
+O(|delta|) maintenance amortized instead of O(|I|) projection each.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.service import ServiceServer, WorkflowService, run_loadgen
+from repro.workloads import churn_program
+
+EVENTS_PER_RUN = 12
+CONCURRENCY = (1, 8, 64)
+
+
+def drive(cache_views: bool, runs: int, view_every: int = 3):
+    """One loadgen session against a fresh in-process server."""
+
+    async def main():
+        service = WorkflowService(churn_program(), cache_views=cache_views)
+        server = ServiceServer(service, port=0)
+        await server.start()
+        try:
+            return await run_loadgen(
+                service.program,
+                server.host,
+                server.port,
+                runs=runs,
+                events_per_run=EVENTS_PER_RUN,
+                seed=runs,
+                verify=False,
+                view_every=view_every,
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+@pytest.mark.parametrize("runs", CONCURRENCY)
+def test_cached_service_under_load(benchmark, runs):
+    report = benchmark.pedantic(
+        lambda: drive(True, runs), rounds=1, iterations=1, warmup_rounds=1
+    )
+    assert report.clean
+    assert report.applied == runs * EVENTS_PER_RUN
+
+
+@pytest.mark.parametrize("runs", CONCURRENCY)
+def test_uncached_service_under_load(benchmark, runs):
+    report = benchmark.pedantic(
+        lambda: drive(False, runs), rounds=1, iterations=1, warmup_rounds=1
+    )
+    assert report.clean
+    assert report.applied == runs * EVENTS_PER_RUN
+
+
+def test_e14_table(benchmark):
+    rows = []
+    for runs in CONCURRENCY:
+        for cached in (True, False):
+            report = drive(cached, runs)
+            assert report.clean
+            rows.append(
+                [
+                    runs,
+                    "cached" if cached else "scratch",
+                    report.applied,
+                    f"{report.events_per_second:.0f}",
+                    f"{report.p50_ms:.2f}",
+                    f"{report.p99_ms:.2f}",
+                ]
+            )
+    print_table(
+        "E14: service throughput/latency (views cached vs from scratch)",
+        ["runs", "views", "events", "events/s", "p50 ms", "p99 ms"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e14_maintenance_table(benchmark):
+    """The cache's asymptotic payoff, isolated from the wire.
+
+    Per-event view refresh is O(|delta|) with the cache and O(|I|)
+    from scratch, so the scratch column grows with instance size while
+    the cached column stays flat.
+    """
+    from repro.service.viewcache import CachedPeerView
+    from repro.workflow import Event, FreshValue, Instance, Var
+    from repro.workflow.engine import apply_event_with_delta
+
+    program = churn_program()
+    schema = program.schema
+    make = program.rule("make")
+    probe = 50  # events measured at each size
+
+    rows = []
+    instance = Instance.empty(schema.schema)
+    cache = CachedPeerView(schema, "maker", instance)
+    next_fresh = 0
+    for size in (100, 400, 1600):
+        while instance.size() < size:
+            event = Event(make, {Var("x"): FreshValue(next_fresh)})
+            next_fresh += 1
+            instance, delta = apply_event_with_delta(schema, instance, event)
+            cache.apply_delta(delta)
+
+        steps = []
+        for _ in range(probe):
+            event = Event(make, {Var("x"): FreshValue(next_fresh)})
+            next_fresh += 1
+            successor, delta = apply_event_with_delta(schema, instance, event)
+            steps.append((successor, delta))
+            instance = successor
+
+        def maintain():
+            for _, delta in steps:
+                cache.apply_delta(delta)
+
+        def scratch():
+            for successor, _ in steps:
+                schema.view_instance(successor, "maker")
+
+        cached_us = wall_time(maintain) / probe * 1e6
+        scratch_us = wall_time(scratch) / probe * 1e6
+        assert cache.instance() == schema.view_instance(instance, "maker")
+        rows.append(
+            [
+                instance.size(),
+                f"{cached_us:.1f}",
+                f"{scratch_us:.1f}",
+                f"{scratch_us / cached_us:.1f}x",
+            ]
+        )
+    print_table(
+        "E14b: per-event view refresh (cache O(|delta|) vs scratch O(|I|))",
+        ["instance size", "cached us/event", "scratch us/event", "speedup"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -10,10 +10,15 @@
   a saved log or a fresh random run) to a peer;
 * ``synthesize`` — the peer's view program (Theorem 5.13);
 * ``enforce``    — replay a run log through the transparency monitor;
-* ``recover``    — replay a run journal, re-validating every step.
+* ``recover``    — replay a run journal, re-validating every step;
+* ``serve``      — host runs behind the JSON-lines TCP service;
+* ``loadgen``    — drive and verify a live service under load.
 
 Programs are read from files in the textual syntax of
-:mod:`repro.workflow.parser`.
+:mod:`repro.workflow.parser`; the service commands alternatively accept
+``--workload <name>`` to use a built-in generator from
+:mod:`repro.workloads` (``churn``, ``profile``, ``hiring``,
+``chain:<depth>``).
 
 Every command accepts the global ``--wall-budget`` / ``--max-steps``
 options, which install an ambient :class:`repro.runtime.budget.Budget`
@@ -47,6 +52,35 @@ from .workflow.serialization import program_to_text, run_from_json, run_to_json
 
 def _load_program(path: str) -> WorkflowProgram:
     return parse_program(Path(path).read_text())
+
+
+def _load_service_program(args: argparse.Namespace) -> WorkflowProgram:
+    """A program file or a named ``--workload`` generator (exactly one)."""
+    if bool(args.program) == bool(args.workload):
+        raise WorkflowError(
+            "provide a program file or --workload <name>, but not both"
+        )
+    if args.program:
+        return _load_program(args.program)
+    from . import workloads
+
+    name = args.workload
+    named = {
+        "churn": workloads.churn_program,
+        "profile": workloads.profile_program,
+        "hiring": workloads.hiring_program,
+    }
+    if name in named:
+        return named[name]()
+    if name.startswith("chain:"):
+        try:
+            return workloads.chain_program(int(name.split(":", 1)[1]))
+        except ValueError:
+            raise WorkflowError(f"bad chain depth in workload {name!r}") from None
+    raise WorkflowError(
+        f"unknown workload {name!r} "
+        f"(expected {', '.join(sorted(named))} or chain:<depth>)"
+    )
 
 
 def _budget(args: argparse.Namespace) -> SearchBudget:
@@ -111,10 +145,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
-    from .runtime.journal import recover_run
+    from .runtime.journal import journal_path, recover_run
 
+    if args.journal and (args.journal_dir or args.run_id):
+        raise WorkflowError("use either --journal or --journal-dir/--run-id")
+    if args.journal:
+        source = args.journal
+    elif args.journal_dir and args.run_id:
+        # The same <dir>/<quoted run id>.journal convention `repro serve
+        # --journal-dir` uses, so the two commands always agree on layout.
+        source = journal_path(args.journal_dir, args.run_id)
+    else:
+        raise WorkflowError(
+            "recover needs --journal FILE, or --journal-dir DIR with --run-id ID"
+        )
     program = _load_program(args.program)
-    recovered = recover_run(program, args.journal)
+    recovered = recover_run(program, source)
     status = recovered.status or "missing end record (crash?)"
     print(f"journal status:      {status}")
     print(f"events replayed:     {recovered.events_replayed}")
@@ -169,6 +215,82 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
         )
     print(f"\nrun accepted: {trace.accepted}")
     return 0 if trace.accepted else 1
+
+
+def _fault_plan(args: argparse.Namespace):
+    from .runtime.faults import FaultPlan
+
+    if not (args.fault_transient or args.fault_poison or args.fault_crash):
+        return None
+    return FaultPlan(
+        seed=args.fault_seed,
+        transient_rate=args.fault_transient,
+        poison_rate=args.fault_poison,
+        crash_rate=args.fault_crash,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceServer, WorkflowService
+
+    program = _load_service_program(args)
+    journal_dir = Path(args.journal_dir) if args.journal_dir else None
+    service = WorkflowService(
+        program,
+        shards=args.shards,
+        journal_dir=journal_dir,
+        queue_capacity=args.queue_capacity,
+        cache_views=not args.no_cache_views,
+        snapshot_every=args.snapshot_every,
+        fault_plan=_fault_plan(args),
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        # Flushed immediately so scripts (the CI smoke job) can parse
+        # the bound port before traffic starts.
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 1
+    print("service shut down cleanly", flush=True)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service import run_loadgen
+
+    program = _load_service_program(args)
+    report = asyncio.run(
+        run_loadgen(
+            program,
+            args.host,
+            args.port,
+            runs=args.runs,
+            events_per_run=args.events,
+            seed=args.seed,
+            verify=not args.no_verify,
+            view_every=args.view_every,
+            max_concurrency=args.max_concurrency,
+            shutdown=args.shutdown,
+        )
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for key, value in report.to_dict().items():
+            print(f"{key:>24}: {value}")
+    return 0 if report.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,8 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         "recover", help="replay a run journal, re-validating every step"
     )
     common(p_recover, peer_required=False)
-    p_recover.add_argument("--journal", required=True,
+    p_recover.add_argument("--journal",
                            help="the journal file to recover from")
+    p_recover.add_argument("--journal-dir",
+                           help="a service journal directory (with --run-id)")
+    p_recover.add_argument("--run-id",
+                           help="the hosted run id to recover (with --journal-dir)")
     p_recover.add_argument("--save", help="write the recovered run log (JSON) here")
     p_recover.set_defaults(handler=_cmd_recover)
 
@@ -250,6 +376,63 @@ def build_parser() -> argparse.ArgumentParser:
     run_source(p_enforce)
     p_enforce.add_argument("--bound", type=int, required=True, help="the bound h")
     p_enforce.set_defaults(handler=_cmd_enforce)
+
+    def service_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", nargs="?", default=None,
+                       help="workflow program file (textual syntax)")
+        p.add_argument("--workload", default=None,
+                       help="built-in workload instead of a program file "
+                            "(churn, profile, hiring, chain:<depth>)")
+        p.add_argument("--host", default="127.0.0.1", help="service host")
+        p.add_argument("--port", type=int, default=7477, help="service port")
+
+    p_serve = sub.add_parser(
+        "serve", help="host workflow runs behind the JSON-lines TCP service"
+    )
+    service_common(p_serve)
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="run-registry shard count")
+    p_serve.add_argument("--journal-dir", default=None,
+                         help="directory for per-run journals (durability "
+                              "+ crash recovery); layout matches "
+                              "'repro recover --journal-dir'")
+    p_serve.add_argument("--queue-capacity", type=int, default=64,
+                         help="per-run mailbox bound (backpressure threshold)")
+    p_serve.add_argument("--snapshot-every", type=int, default=10,
+                         help="journal snapshot period (events)")
+    p_serve.add_argument("--no-cache-views", action="store_true",
+                         help="recompute peer views from scratch per read "
+                              "instead of maintaining them incrementally")
+    p_serve.add_argument("--fault-seed", type=int, default=0,
+                         help="fault-injection seed")
+    p_serve.add_argument("--fault-transient", type=float, default=0.0,
+                         help="per-event transient-fault rate")
+    p_serve.add_argument("--fault-poison", type=float, default=0.0,
+                         help="per-event poison-fault rate")
+    p_serve.add_argument("--fault-crash", type=float, default=0.0,
+                         help="per-event crash rate (recovered from journals)")
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive and verify a live workflow service"
+    )
+    service_common(p_load)
+    p_load.add_argument("--runs", type=int, default=8,
+                        help="concurrent runs to drive")
+    p_load.add_argument("--events", type=int, default=20,
+                        help="events per run")
+    p_load.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_load.add_argument("--view-every", type=int, default=0,
+                        help="interleave a view read every N events")
+    p_load.add_argument("--max-concurrency", type=int, default=None,
+                        help="cap on simultaneously active runs")
+    p_load.add_argument("--no-verify", action="store_true",
+                        help="skip the client-side replay consistency check")
+    p_load.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown request when done")
+    p_load.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    p_load.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

@@ -47,12 +47,16 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
         TransientFault,
     )
     from .journal import (
+        JOURNAL_SUFFIX,
         JournalWriter,
         MemorySink,
         RecoveredRun,
+        journal_path,
         journal_run,
+        list_journals,
         read_journal,
         recover_run,
+        run_id_from_path,
     )
     from .supervisor import (
         QuarantinedEvent,
@@ -65,12 +69,16 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
 
 _LAZY = {
     # journal
+    "JOURNAL_SUFFIX": "journal",
     "JournalWriter": "journal",
     "MemorySink": "journal",
     "RecoveredRun": "journal",
+    "journal_path": "journal",
     "journal_run": "journal",
+    "list_journals": "journal",
     "read_journal": "journal",
     "recover_run": "journal",
+    "run_id_from_path": "journal",
     # checkpoint
     "CheckpointPolicy": "checkpoint",
     "Snapshot": "checkpoint",

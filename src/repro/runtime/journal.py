@@ -38,17 +38,69 @@ from ..workflow.serialization import (
 )
 
 __all__ = [
+    "JOURNAL_SUFFIX",
     "JOURNAL_VERSION",
     "JournalWriter",
     "MemorySink",
     "RecoveredRun",
+    "journal_path",
     "journal_run",
+    "list_journals",
     "read_journal",
     "recover_run",
+    "run_id_from_path",
 ]
 
 #: Bumped when the record format changes incompatibly.
 JOURNAL_VERSION = 1
+
+#: File suffix of on-disk run journals in a journal directory.
+JOURNAL_SUFFIX = ".journal"
+
+
+# ----------------------------------------------------------------------
+# Journal directory layout
+# ----------------------------------------------------------------------
+#
+# Every component that maps run ids to journal files — ``repro serve
+# --journal-dir``, ``repro recover --journal-dir``, the service registry
+# — goes through these three functions, so the layout is defined in
+# exactly one place: ``<dir>/<quoted run id>.journal``, with the run id
+# percent-encoded so arbitrary ids stay one flat file per run.
+
+
+def _quote_run_id(run_id: str) -> str:
+    from urllib.parse import quote
+
+    if not run_id:
+        raise JournalError("run id must be non-empty")
+    return quote(run_id, safe="")
+
+
+def journal_path(journal_dir: Union[str, Path], run_id: str) -> Path:
+    """The canonical journal file for *run_id* under *journal_dir*."""
+    return Path(journal_dir) / (_quote_run_id(run_id) + JOURNAL_SUFFIX)
+
+
+def run_id_from_path(path: Union[str, Path]) -> str:
+    """Invert :func:`journal_path` on a journal file name."""
+    from urllib.parse import unquote
+
+    name = Path(path).name
+    if not name.endswith(JOURNAL_SUFFIX):
+        raise JournalError(f"{name!r} is not a journal file (missing {JOURNAL_SUFFIX})")
+    return unquote(name[: -len(JOURNAL_SUFFIX)])
+
+
+def list_journals(journal_dir: Union[str, Path]) -> Dict[str, Path]:
+    """All run journals under *journal_dir*, as ``run_id -> path``."""
+    directory = Path(journal_dir)
+    if not directory.is_dir():
+        return {}
+    return {
+        run_id_from_path(path): path
+        for path in sorted(directory.glob("*" + JOURNAL_SUFFIX))
+    }
 
 
 class MemorySink:

@@ -1,0 +1,331 @@
+"""Async event broker: per-run FIFO mailboxes with admission control.
+
+Submissions for one run are funneled through a bounded mailbox drained
+by a single worker task, which gives the service the paper's run
+semantics for free: events of a hosted run are applied in a total
+order, one at a time, against its current instance.  Distinct runs
+drain concurrently — the asyncio analogue of a shard-per-core event
+loop.
+
+Admission control happens *before* enqueueing, so an overloaded or
+budget-exhausted service answers immediately instead of buffering
+unboundedly:
+
+* **backpressure** — a full mailbox rejects the event with
+  ``rejected_backpressure`` (the client retries; nothing was applied);
+* **budget** — an exhausted :class:`~repro.runtime.budget.Budget`
+  (wall-clock or step cap over the whole service) rejects with
+  ``rejected_budget``.
+
+Application reuses the supervisor's resilience semantics
+(:mod:`repro.runtime.supervisor`): transient faults are retried with
+exponential backoff (async sleeps — the loop keeps serving other runs
+while one backs off), deterministic rejections are quarantined with a
+journaled diagnostic after bounded retries, and an injected
+:class:`~repro.runtime.faults.CrashFault` kills the hosted run's
+in-memory state, which is then recovered from its journal before the
+event is retried — the full crash/recover/resume story, inline in the
+serving path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple as PyTuple
+
+from ..runtime.budget import Budget
+from ..runtime.faults import CrashFault, FaultInjector, FaultPlan, TransientFault
+from ..runtime.supervisor import POISON_ERRORS, RetryPolicy
+from ..workflow.events import Event
+from .errors import ServiceError, UnknownRunError
+from .registry import ShardedRunRegistry
+
+__all__ = ["EventBroker", "SubmitOutcome"]
+
+#: Submission statuses reported to clients.
+APPLIED = "applied"
+QUARANTINED = "quarantined"
+REJECTED_BACKPRESSURE = "rejected_backpressure"
+REJECTED_BUDGET = "rejected_budget"
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """The broker's verdict on one submitted event.
+
+    ``seq`` is the event's position in the run when applied (-1
+    otherwise); ``attempts`` counts application attempts including
+    retries; ``recovered`` flags that a crash/recovery happened while
+    this event was in flight.
+    """
+
+    run_id: str
+    status: str
+    seq: int = -1
+    attempts: int = 0
+    reason: Optional[str] = None
+    recovered: bool = False
+
+    @property
+    def applied(self) -> bool:
+        return self.status == APPLIED
+
+    @property
+    def rejected(self) -> bool:
+        return self.status in (REJECTED_BACKPRESSURE, REJECTED_BUDGET)
+
+
+@dataclass
+class _Mailbox:
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    worker: Optional[asyncio.Task] = None
+    #: 1 while the worker is applying a dequeued event (quiesce must
+    #: wait for it: the event is in flight but no longer in the queue).
+    in_flight: int = 0
+
+
+class EventBroker:
+    """Admission control + per-run ordered application over a registry."""
+
+    def __init__(
+        self,
+        registry: ShardedRunRegistry,
+        queue_capacity: int = 64,
+        retry: Optional[RetryPolicy] = None,
+        budget: Optional[Budget] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ServiceError("mailbox capacity must be at least 1")
+        self.registry = registry
+        self.queue_capacity = queue_capacity
+        self.retry = retry if retry is not None else RetryPolicy(initial_backoff=0.001)
+        self.budget = budget
+        self.fault_plan = fault_plan
+        # One injector per run: the injector's attempt/crash bookkeeping
+        # is per submission index, so sharing one across runs would let
+        # run A's crash at index i suppress run B's.  The per-run seed
+        # keeps schedules deterministic yet varied across runs.
+        self._injectors: Dict[str, FaultInjector] = {}
+        self._mailboxes: Dict[str, _Mailbox] = {}
+        self.counters: Dict[str, int] = {
+            APPLIED: 0,
+            QUARANTINED: 0,
+            REJECTED_BACKPRESSURE: 0,
+            REJECTED_BUDGET: 0,
+            "retries": 0,
+            "crash_recoveries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission (the client-facing edge)
+    # ------------------------------------------------------------------
+
+    async def submit(self, run_id: str, event: Event) -> SubmitOutcome:
+        """Submit one event to *run_id*'s mailbox and await its outcome.
+
+        FIFO per run: outcomes resolve in mailbox order.  Concurrent
+        submitters interleave at the queue, but each submitter's own
+        awaited submissions keep their relative order.
+        """
+        if self.budget is not None and self.budget.exhausted():
+            self.counters[REJECTED_BUDGET] += 1
+            return SubmitOutcome(
+                run_id,
+                REJECTED_BUDGET,
+                reason=self.budget.violation() or "budget exhausted",
+            )
+        hosted = await self.registry.get(run_id)  # raises UnknownRunError
+        hosted.submitted += 1
+        mailbox = self._mailbox(run_id)
+        if mailbox.queue.qsize() >= self.queue_capacity:
+            self.counters[REJECTED_BACKPRESSURE] += 1
+            return SubmitOutcome(
+                run_id,
+                REJECTED_BACKPRESSURE,
+                reason=f"mailbox full ({self.queue_capacity} events queued)",
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        mailbox.queue.put_nowait((event, future))
+        return await future
+
+    def queue_depth(self, run_id: str) -> int:
+        mailbox = self._mailboxes.get(run_id)
+        return mailbox.queue.qsize() if mailbox is not None else 0
+
+    # ------------------------------------------------------------------
+    # Per-run workers
+    # ------------------------------------------------------------------
+
+    def _mailbox(self, run_id: str) -> _Mailbox:
+        mailbox = self._mailboxes.get(run_id)
+        if mailbox is None:
+            mailbox = _Mailbox()
+            mailbox.worker = asyncio.get_running_loop().create_task(
+                self._drain(run_id, mailbox), name=f"broker:{run_id}"
+            )
+            self._mailboxes[run_id] = mailbox
+        return mailbox
+
+    async def _drain(self, run_id: str, mailbox: _Mailbox) -> None:
+        while True:
+            event, future = await mailbox.queue.get()
+            if future.cancelled():
+                continue
+            mailbox.in_flight = 1
+            try:
+                outcome = await self._apply(run_id, event)
+            except asyncio.CancelledError:
+                # Worker cancelled mid-apply (run closed / shutdown):
+                # resolve the submitter instead of leaving it hanging.
+                if not future.done():
+                    future.set_exception(
+                        UnknownRunError(
+                            f"run {run_id!r} closed while its event was in flight"
+                        )
+                    )
+                raise
+            except UnknownRunError as exc:
+                future.set_exception(exc)
+                continue
+            except Exception as exc:  # defensive: never kill the worker silently
+                future.set_exception(exc)
+                continue
+            finally:
+                mailbox.in_flight = 0
+            self.counters[outcome.status] = self.counters.get(outcome.status, 0) + 1
+            if self.budget is not None:
+                # Tick the service budget per applied event without
+                # raising out of the worker; admission sees the result.
+                self.budget.steps += 1
+            future.set_result(outcome)
+
+    def _injector(self, run_id: str) -> Optional[FaultInjector]:
+        if self.fault_plan is None:
+            return None
+        injector = self._injectors.get(run_id)
+        if injector is None:
+            plan = dataclasses.replace(
+                self.fault_plan,
+                seed=self.fault_plan.seed ^ zlib.crc32(run_id.encode("utf-8")),
+            )
+            injector = FaultInjector(plan)
+            self._injectors[run_id] = injector
+        return injector
+
+    async def _apply(self, run_id: str, event: Event) -> SubmitOutcome:
+        """Apply one event with the supervisor's retry/quarantine policy."""
+        attempt = 0
+        recovered = False
+        injector = self._injector(run_id)
+        while True:
+            attempt += 1
+            hosted = await self.registry.get(run_id)
+            try:
+                if injector is not None:
+                    # Index by events *attempted* (applied + quarantined),
+                    # which is stable across retries and crash recovery —
+                    # the supervisor's submission-index semantics.
+                    injector.before_apply(
+                        hosted.applied + hosted.quarantined, event
+                    )
+                seq, _ = hosted.apply(event)
+                return SubmitOutcome(
+                    run_id, APPLIED, seq=seq, attempts=attempt, recovered=recovered
+                )
+            except CrashFault:
+                await self.registry.crash_and_recover(run_id)
+                self.counters["crash_recoveries"] += 1
+                recovered = True
+                # The injector only crashes once per index: retry resumes
+                # against the journal-recovered instance.
+                continue
+            except TransientFault as exc:
+                if attempt >= self.retry.max_attempts:
+                    hosted.record_quarantine(
+                        event, f"transient fault persisted: {exc}", attempt
+                    )
+                    return SubmitOutcome(
+                        run_id,
+                        QUARANTINED,
+                        attempts=attempt,
+                        reason=f"transient fault persisted: {exc}",
+                        recovered=recovered,
+                    )
+                self.counters["retries"] += 1
+                await asyncio.sleep(self.retry.backoff(attempt))
+            except POISON_ERRORS as exc:
+                diagnostic = f"{type(exc).__name__}: {exc}"
+                if attempt >= self.retry.max_attempts:
+                    hosted.record_quarantine(event, diagnostic, attempt)
+                    return SubmitOutcome(
+                        run_id,
+                        QUARANTINED,
+                        attempts=attempt,
+                        reason=diagnostic,
+                        recovered=recovered,
+                    )
+                self.counters["retries"] += 1
+                await asyncio.sleep(self.retry.backoff(attempt))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def quiesce(self, run_id: Optional[str] = None) -> None:
+        """Wait until the given run's mailbox (or all mailboxes) drains."""
+        boxes = (
+            [self._mailboxes[run_id]]
+            if run_id is not None and run_id in self._mailboxes
+            else list(self._mailboxes.values())
+        )
+        for mailbox in boxes:
+            while not mailbox.queue.empty() or mailbox.in_flight:
+                await asyncio.sleep(0)
+
+    def _fail_pending(self, run_id: str, mailbox: _Mailbox) -> None:
+        """Resolve still-queued submissions of a dying mailbox."""
+        while not mailbox.queue.empty():
+            _, future = mailbox.queue.get_nowait()
+            if not future.done():
+                future.set_exception(
+                    UnknownRunError(
+                        f"run {run_id!r} closed before its event was applied"
+                    )
+                )
+
+    async def release(self, run_id: str) -> None:
+        """Drop one run's mailbox (used when the run is closed)."""
+        mailbox = self._mailboxes.pop(run_id, None)
+        if mailbox is not None and mailbox.worker is not None:
+            mailbox.worker.cancel()
+            try:
+                await mailbox.worker
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._fail_pending(run_id, mailbox)
+
+    async def shutdown(self) -> None:
+        """Cancel every worker task; pending submissions resolve with errors."""
+        for mailbox in self._mailboxes.values():
+            if mailbox.worker is not None:
+                mailbox.worker.cancel()
+        for run_id, mailbox in self._mailboxes.items():
+            if mailbox.worker is not None:
+                try:
+                    await mailbox.worker
+                except (asyncio.CancelledError, Exception):
+                    pass
+            self._fail_pending(run_id, mailbox)
+        self._mailboxes.clear()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "queue_capacity": self.queue_capacity,
+            "active_mailboxes": len(self._mailboxes),
+            "queued_events": sum(m.queue.qsize() for m in self._mailboxes.values()),
+            **self.counters,
+        }

@@ -1,0 +1,25 @@
+"""Errors of the multi-run workflow service."""
+
+from __future__ import annotations
+
+from ..workflow.errors import WorkflowError
+
+
+class ServiceError(WorkflowError):
+    """Base class for errors raised by the service layer."""
+
+
+class UnknownRunError(ServiceError):
+    """A request referenced a run id the registry does not host."""
+
+
+class DuplicateRunError(ServiceError):
+    """An open request used a run id that is already hosted."""
+
+
+class AdmissionError(ServiceError):
+    """The broker rejected an event at admission (backpressure/budget)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed request or response line on the wire."""

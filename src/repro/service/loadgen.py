@@ -1,0 +1,280 @@
+"""Load generator and verification client for the workflow service.
+
+Drives synthetic traffic from :mod:`repro.workloads.generators` against
+a live server: one connection per concurrent run, events pre-generated
+client-side with :class:`~repro.workflow.enumerate.RunGenerator` and
+submitted in order.  Beyond throughput/latency numbers the harness is a
+*checker* — it independently replays the events the server reported as
+applied and verifies:
+
+* **ordering** — the server's ``seq`` for a run's applied events is
+  exactly 0, 1, 2, … in submission order (per-run FIFO survived
+  concurrency, backpressure, retries and crash recovery);
+* **consistency** — every peer's served view instance equals the view
+  of the client-side replay, tuple for tuple (the materialized caches
+  never drift from ``I@p``, even across injected faults).
+
+Any mismatch counts as a violation in the :class:`LoadReport`; the CI
+smoke job asserts both counters are zero under fault injection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..workflow.enumerate import RunGenerator
+from ..workflow.events import Event
+from ..workflow.program import WorkflowProgram
+from ..workflow.runs import execute
+from ..workflow.serialization import event_to_dict, instance_to_dict
+from .errors import ServiceError
+from .protocol import decode_line, encode_message
+
+__all__ = ["LoadReport", "RunOutcome", "ServiceClient", "run_loadgen"]
+
+
+class ServiceClient:
+    """A minimal JSON-lines client for one connection to the service."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, **message: Any) -> Dict[str, Any]:
+        """Send one request and await its response line."""
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        return decode_line(line)
+
+    async def expect_ok(self, **message: Any) -> Dict[str, Any]:
+        response = await self.request(**message)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"request {message.get('op')!r} failed: "
+                f"{response.get('error')}: {response.get('message')}"
+            )
+        return response
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+def _canonical_view(data: Dict[str, Any]) -> Dict[str, frozenset]:
+    """An order-insensitive form of an instance_to_dict payload."""
+    return {
+        relation: frozenset(
+            frozenset((attr, repr(value)) for attr, value in row.items())
+            for row in rows
+        )
+        for relation, rows in data.items()
+        if rows
+    }
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one driven run."""
+
+    run_id: str
+    submitted: int = 0
+    applied: int = 0
+    quarantined: int = 0
+    rejected: int = 0
+    recoveries: int = 0
+    ordering_violations: int = 0
+    consistency_violations: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate results of one load-generation session."""
+
+    runs: int
+    wall_seconds: float
+    submitted: int
+    applied: int
+    quarantined: int
+    rejected: int
+    recoveries: int
+    ordering_violations: int
+    consistency_violations: int
+    events_per_second: float
+    p50_ms: float
+    p99_ms: float
+    verified_views: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no ordering or consistency violation was observed."""
+        return self.ordering_violations == 0 and self.consistency_violations == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "submitted": self.submitted,
+            "applied": self.applied,
+            "quarantined": self.quarantined,
+            "rejected": self.rejected,
+            "recoveries": self.recoveries,
+            "ordering_violations": self.ordering_violations,
+            "consistency_violations": self.consistency_violations,
+            "events_per_second": round(self.events_per_second, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "verified_views": self.verified_views,
+            "clean": self.clean,
+        }
+
+
+async def _drive_run(
+    program: WorkflowProgram,
+    host: str,
+    port: int,
+    run_id: str,
+    events: Sequence[Event],
+    verify: bool,
+    view_every: int,
+    close_run: bool,
+) -> RunOutcome:
+    outcome = RunOutcome(run_id)
+    client = await ServiceClient.connect(host, port)
+    try:
+        await client.expect_ok(op="open", run=run_id)
+        applied_events: List[Event] = []
+        expected_seq = 0
+        for position, event in enumerate(events):
+            start = time.perf_counter()
+            response = await client.expect_ok(
+                op="submit", run=run_id, event=event_to_dict(event)
+            )
+            outcome.latencies.append(time.perf_counter() - start)
+            outcome.submitted += 1
+            status = response.get("status")
+            if response.get("recovered"):
+                outcome.recoveries += 1
+            if status == "applied":
+                if response.get("seq") != expected_seq:
+                    outcome.ordering_violations += 1
+                expected_seq += 1
+                outcome.applied += 1
+                applied_events.append(event)
+            elif status == "quarantined":
+                outcome.quarantined += 1
+            else:
+                outcome.rejected += 1
+            if view_every and (position + 1) % view_every == 0:
+                await client.expect_ok(
+                    op="view", run=run_id, peer=program.schema.peers[-1]
+                )
+        if verify:
+            replayed = execute(
+                program, applied_events, check_freshness=False
+            )
+            for peer in program.schema.peers:
+                response = await client.expect_ok(op="view", run=run_id, peer=peer)
+                expected = instance_to_dict(
+                    program.schema.view_instance(replayed.final_instance, peer)
+                )
+                if _canonical_view(response.get("instance", {})) != _canonical_view(
+                    expected
+                ):
+                    outcome.consistency_violations += 1
+        if close_run:
+            await client.expect_ok(op="close", run=run_id)
+    finally:
+        await client.close()
+    return outcome
+
+
+async def run_loadgen(
+    program: WorkflowProgram,
+    host: str,
+    port: int,
+    runs: int = 8,
+    events_per_run: int = 20,
+    seed: int = 0,
+    verify: bool = True,
+    view_every: int = 0,
+    close_runs: bool = True,
+    run_prefix: str = "load",
+    max_concurrency: Optional[int] = None,
+    shutdown: bool = False,
+) -> LoadReport:
+    """Drive *runs* concurrent runs against a live server and report.
+
+    Each run gets its own connection and its own pre-generated event
+    sequence (seeded per run, so distinct runs exercise distinct
+    trajectories).  ``view_every`` adds a read-your-writes view fetch
+    every N events; ``shutdown`` sends a shutdown request at the end.
+    """
+    generated: List[PyTuple[str, List[Event]]] = []
+    for index in range(runs):
+        generator = RunGenerator(program, seed=seed * 10007 + index)
+        generated.append(
+            (
+                f"{run_prefix}-{seed}-{index}",
+                list(generator.random_run(events_per_run).events),
+            )
+        )
+    semaphore = asyncio.Semaphore(max_concurrency or runs)
+
+    async def bounded(run_id: str, events: List[Event]) -> RunOutcome:
+        async with semaphore:
+            return await _drive_run(
+                program, host, port, run_id, events, verify, view_every, close_runs
+            )
+
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(
+        *(bounded(run_id, events) for run_id, events in generated)
+    )
+    wall = time.perf_counter() - started
+    if shutdown:
+        client = await ServiceClient.connect(host, port)
+        try:
+            await client.expect_ok(op="shutdown")
+        finally:
+            await client.close()
+    latencies = sorted(
+        latency for outcome in outcomes for latency in outcome.latencies
+    )
+    applied = sum(o.applied for o in outcomes)
+    return LoadReport(
+        runs=runs,
+        wall_seconds=wall,
+        submitted=sum(o.submitted for o in outcomes),
+        applied=applied,
+        quarantined=sum(o.quarantined for o in outcomes),
+        rejected=sum(o.rejected for o in outcomes),
+        recoveries=sum(o.recoveries for o in outcomes),
+        ordering_violations=sum(o.ordering_violations for o in outcomes),
+        consistency_violations=sum(o.consistency_violations for o in outcomes),
+        events_per_second=(applied / wall) if wall > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        verified_views=(len(program.schema.peers) * runs) if verify else 0,
+    )

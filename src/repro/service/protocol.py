@@ -1,0 +1,117 @@
+"""The JSON-lines wire protocol of the workflow service.
+
+One request per line, one response per line, both JSON objects.  Every
+request carries an ``op`` and an optional client-chosen ``id`` that the
+response echoes (so clients may pipeline).  Success responses have
+``"ok": true``; failures have ``"ok": false`` plus ``error`` (a stable
+machine-readable code) and ``message``.
+
+Operations
+----------
+
+``open``      ``{"op": "open", "run": <id>}`` — host a run (recovering
+              it from its journal when one exists).  Response:
+              ``{"ok": true, "run": ..., "recovered": bool,
+              "applied": int}``.
+``submit``    ``{"op": "submit", "run": <id>, "event": {"rule": name,
+              "valuation": {...}}}`` — the event encoding of
+              :func:`repro.workflow.serialization.event_to_dict`.
+              Response carries ``status`` (``applied`` / ``quarantined``
+              / ``rejected_backpressure`` / ``rejected_budget``),
+              ``seq``, ``attempts``, ``recovered`` and the acting
+              peer's post-event view ``version``.
+``view``      ``{"op": "view", "run": <id>, "peer": p}`` — the peer's
+              materialized view instance and its ``version``.
+``explain``   ``{"op": "explain", "run": <id>, "peer": p,
+              "index": i?}`` — the minimal p-faithful scenario of the
+              hosted run (or of one event when ``index`` given), served
+              by the per-(run, peer) incremental explainer.
+``stats``     ``{"op": "stats", "run": <id>?}`` — service-wide or
+              per-run counters.
+``close``     ``{"op": "close", "run": <id>}`` — stop hosting, sealing
+              the journal with status ``completed``.
+``shutdown``  ``{"op": "shutdown"}`` — drain and stop the server.
+``ping``      liveness probe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple as PyTuple
+
+from .errors import ProtocolError
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Every operation the server understands.
+OPS = ("open", "submit", "view", "explain", "stats", "close", "shutdown", "ping")
+
+#: Ops that must name a run.
+_RUN_OPS = frozenset({"open", "submit", "view", "explain", "close"})
+#: Ops that must name a peer.
+_PEER_OPS = frozenset({"view", "explain"})
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a JSON line (UTF-8, newline-terminated)."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict or raise :class:`ProtocolError`."""
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        raise ProtocolError("empty protocol line")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return message
+
+
+def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
+    """Validate a request message; returns ``(op, message)``.
+
+    Checks the op is known and that run/peer are present where the op
+    requires them, so handlers can assume a well-formed request.
+    """
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    if op in _RUN_OPS and not isinstance(message.get("run"), str):
+        raise ProtocolError(f"op {op!r} requires a string 'run' field")
+    if op in _PEER_OPS and not isinstance(message.get("peer"), str):
+        raise ProtocolError(f"op {op!r} requires a string 'peer' field")
+    if op == "submit" and not isinstance(message.get("event"), dict):
+        raise ProtocolError("op 'submit' requires an 'event' object")
+    return op, message
+
+
+def ok_response(request_id: Optional[Any] = None, **fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, **fields}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(
+    request_id: Optional[Any], code: str, message: str
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

@@ -1,0 +1,344 @@
+"""Sharded registry of hosted runs.
+
+The registry is the service's ownership map: every hosted run — one
+live instance of the collaborative workflow model, with its journal,
+its materialized peer views and its lazily-wired explainers — lives in
+exactly one of N shards, selected by a stable hash of the run id.
+Shards serialize their structural mutations (open/close/lookup) behind
+per-shard :class:`asyncio.Lock`\\ s so thousands of runs can be hosted
+without a global bottleneck; the *per-run* event order is enforced one
+level up by the broker's per-run mailboxes.
+
+Durability reuses the PR-1 journal machinery wholesale: when the
+registry is given a journal directory, every hosted run appends to its
+canonical journal file (:func:`repro.runtime.journal.journal_path`),
+and opening a run id whose journal already exists *recovers* it by
+replaying the journal through the engine — the same code path
+``repro recover`` uses — before serving traffic again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..core.incremental import IncrementalExplainer
+from ..runtime.journal import (
+    JournalWriter,
+    journal_path,
+    read_journal,
+    recover_run,
+)
+from ..workflow.engine import ViewDelta, apply_event_with_delta
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from .errors import DuplicateRunError, ServiceError, UnknownRunError
+from .viewcache import ViewCacheSet
+
+__all__ = ["HostedRun", "ShardedRunRegistry"]
+
+
+class HostedRun:
+    """One live run hosted by the service.
+
+    Holds the current global instance, the applied event log (events
+    determine runs, so this is enough to rebuild anything), the run's
+    journal writer, the delta-maintained view caches, and one
+    :class:`~repro.core.incremental.IncrementalExplainer` per peer that
+    has asked for explanations — extended in lockstep with the run so
+    explanation queries never replay.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        program: WorkflowProgram,
+        initial: Instance,
+        instance: Optional[Instance] = None,
+        events: Optional[List[Event]] = None,
+        journal: Optional[JournalWriter] = None,
+        journal_file: Optional[Path] = None,
+        cache_views: bool = True,
+    ) -> None:
+        self.run_id = run_id
+        self.program = program
+        self.initial = initial
+        self.instance = instance if instance is not None else initial
+        self.events: List[Event] = list(events or [])
+        self.journal = journal
+        self.journal_file = journal_file
+        self.caches: Optional[ViewCacheSet] = (
+            ViewCacheSet(program.schema, self.instance) if cache_views else None
+        )
+        self._explainers: Dict[str, IncrementalExplainer] = {}
+        self.submitted = len(self.events)
+        self.quarantined = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    @property
+    def applied(self) -> int:
+        return len(self.events)
+
+    def apply(self, event: Event) -> PyTuple[int, ViewDelta]:
+        """Apply one event; journal it; refresh caches and explainers.
+
+        Returns ``(seq, delta)`` where *seq* is the event's position in
+        the run.  Raises the engine's :class:`EventError`/
+        :class:`ChaseFailure` unchanged when the event does not apply —
+        classification (retry/quarantine) is the broker's job.
+        """
+        result, delta = apply_event_with_delta(
+            self.program.schema, self.instance, event, forbidden_fresh=None
+        )
+        seq = len(self.events)
+        if self.journal is not None:
+            self.journal.record_event(seq, event, result)
+        self.instance = result
+        self.events.append(event)
+        if self.caches is not None:
+            self.caches.apply_delta(delta)
+        for explainer in self._explainers.values():
+            explainer.extend(event)
+        return seq, delta
+
+    def record_quarantine(self, event: Event, error: str, attempts: int) -> None:
+        self.quarantined += 1
+        if self.journal is not None:
+            self.journal.quarantine(len(self.events), event, error, attempts)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def view_instance(self, peer: str) -> Instance:
+        """``I@p`` of the current instance — O(|delta|)-fresh when cached."""
+        if self.caches is not None:
+            return self.caches.peer(peer).instance()
+        return self.program.schema.view_instance(self.instance, peer)
+
+    def view_version(self, peer: str) -> int:
+        if self.caches is not None:
+            return self.caches.peer(peer).version
+        return len(self.events)
+
+    def explainer(self, peer: str) -> IncrementalExplainer:
+        """The peer's incremental explainer, created (and caught up) lazily.
+
+        The first explanation query for a (run, peer) pays one replay of
+        the event log; every later query is served from the maintained
+        closure state without replay.
+        """
+        explainer = self._explainers.get(peer)
+        if explainer is None:
+            explainer = IncrementalExplainer(self.program, peer, initial=self.initial)
+            for event in self.events:
+                explainer.extend(event)
+            self._explainers[peer] = explainer
+        return explainer
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "run_id": self.run_id,
+            "applied": self.applied,
+            "submitted": self.submitted,
+            "quarantined": self.quarantined,
+            "recoveries": self.recoveries,
+            "instance_tuples": self.instance.size(),
+            "explainers": sorted(self._explainers),
+            "view_versions": dict(self.caches.versions()) if self.caches else {},
+        }
+        return out
+
+
+@dataclass
+class _Shard:
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    runs: Dict[str, HostedRun] = field(default_factory=dict)
+
+
+class ShardedRunRegistry:
+    """Run-id → :class:`HostedRun` across N lock-guarded shards."""
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        shards: int = 8,
+        journal_dir: Optional[Path] = None,
+        snapshot_every: Optional[int] = 10,
+        cache_views: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError("registry needs at least one shard")
+        self.program = program
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.snapshot_every = snapshot_every
+        self.cache_views = cache_views
+        self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, run_id: str) -> int:
+        """Stable shard assignment (crc32, not the salted builtin hash)."""
+        return zlib.crc32(run_id.encode("utf-8")) % len(self._shards)
+
+    def _shard(self, run_id: str) -> _Shard:
+        return self._shards[self.shard_index(run_id)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def open(
+        self,
+        run_id: str,
+        initial: Optional[Instance] = None,
+        recover: bool = True,
+    ) -> PyTuple[HostedRun, bool]:
+        """Host *run_id*, recovering it from its journal if one exists.
+
+        Returns ``(hosted, recovered)``.  Opening an id that is already
+        hosted raises :class:`DuplicateRunError`; opening an id whose
+        journal exists replays it (``recover=True``) or refuses
+        (``recover=False``) — it never silently truncates durable state.
+        """
+        shard = self._shard(run_id)
+        async with shard.lock:
+            if run_id in shard.runs:
+                raise DuplicateRunError(f"run {run_id!r} is already hosted")
+            hosted = self._materialize(run_id, initial)
+            shard.runs[run_id] = hosted
+            recovered = hosted.recoveries > 0
+            if not recover and recovered:
+                del shard.runs[run_id]
+                raise ServiceError(
+                    f"run {run_id!r} has a journal at {hosted.journal_file}; "
+                    "open with recovery or choose a new id"
+                )
+            if recovered:
+                self.recoveries += 1
+            return hosted, recovered
+
+    def _materialize(self, run_id: str, initial: Optional[Instance]) -> HostedRun:
+        start = (
+            initial
+            if initial is not None
+            else Instance.empty(self.program.schema.schema)
+        )
+        if self.journal_dir is None:
+            return HostedRun(run_id, self.program, start, cache_views=self.cache_views)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        path = journal_path(self.journal_dir, run_id)
+        if path.exists():
+            recovered = recover_run(self.program, read_journal(path))
+            writer = JournalWriter(path, snapshot_every=self.snapshot_every)
+            hosted = HostedRun(
+                run_id,
+                self.program,
+                recovered.run.initial,
+                instance=recovered.final_instance,
+                events=list(recovered.run.events),
+                journal=writer,
+                journal_file=path,
+                cache_views=self.cache_views,
+            )
+            hosted.recoveries = 1
+            hosted.quarantined = len(recovered.quarantined)
+            return hosted
+        writer = JournalWriter(path, snapshot_every=self.snapshot_every)
+        writer.begin(start, meta={"run_id": run_id})
+        return HostedRun(
+            run_id,
+            self.program,
+            start,
+            journal=writer,
+            journal_file=path,
+            cache_views=self.cache_views,
+        )
+
+    async def get(self, run_id: str) -> HostedRun:
+        shard = self._shard(run_id)
+        async with shard.lock:
+            hosted = shard.runs.get(run_id)
+        if hosted is None:
+            raise UnknownRunError(f"run {run_id!r} is not hosted")
+        return hosted
+
+    async def close(self, run_id: str, status: str = "completed") -> HostedRun:
+        """Stop hosting *run_id*, sealing its journal with *status*."""
+        shard = self._shard(run_id)
+        async with shard.lock:
+            hosted = shard.runs.pop(run_id, None)
+        if hosted is None:
+            raise UnknownRunError(f"run {run_id!r} is not hosted")
+        if hosted.journal is not None:
+            hosted.journal.end(status)
+            hosted.journal.close()
+        return hosted
+
+    async def crash_and_recover(self, run_id: str) -> HostedRun:
+        """Simulate a process death of one run and recover it from disk.
+
+        The in-memory :class:`HostedRun` — instance, caches, explainers
+        — is abandoned; the journal (appended *before* each event was
+        acknowledged) survives, and the run is re-materialized by
+        replaying it.  Without a journal directory the state is
+        genuinely lost and :class:`ServiceError` is raised.
+        """
+        shard = self._shard(run_id)
+        async with shard.lock:
+            hosted = shard.runs.pop(run_id, None)
+            if hosted is None:
+                raise UnknownRunError(f"run {run_id!r} is not hosted")
+            prior_recoveries = hosted.recoveries
+            if hosted.journal is not None:
+                hosted.journal.end("crashed")
+                hosted.journal.close()
+            if self.journal_dir is None:
+                raise ServiceError(
+                    f"run {run_id!r} crashed without a journal; state is lost"
+                )
+            recovered = self._materialize(run_id, None)
+            recovered.recoveries = prior_recoveries + 1
+            shard.runs[run_id] = recovered
+            self.recoveries += 1
+            return recovered
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        return sorted(
+            run_id for shard in self._shards for run_id in shard.runs
+        )
+
+    def hosted_count(self) -> int:
+        return sum(len(shard.runs) for shard in self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard.runs) for shard in self._shards]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shards": self.shard_count,
+            "hosted_runs": self.hosted_count(),
+            "shard_sizes": self.shard_sizes(),
+            "recoveries": self.recoveries,
+            "journal_dir": str(self.journal_dir) if self.journal_dir else None,
+            "cache_views": self.cache_views,
+        }

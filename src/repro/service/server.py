@@ -1,0 +1,296 @@
+"""The multi-run workflow service and its TCP front end.
+
+:class:`WorkflowService` composes the sharded registry, the event
+broker and the view caches behind one ``handle(request) -> response``
+method speaking the JSON-lines protocol of
+:mod:`repro.service.protocol`; :class:`ServiceServer` exposes it over
+an :mod:`asyncio` TCP socket, one protocol line per request.
+
+Requests on one connection are handled strictly in order, so a client's
+submissions to a run are FIFO end to end: connection order = mailbox
+order = application order.  Concurrency across runs comes from
+concurrent connections (and from the broker's per-run workers, which
+let one run back off on a transient fault while others keep applying).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..runtime.budget import Budget
+from ..runtime.faults import FaultPlan
+from ..runtime.supervisor import RetryPolicy
+from ..workflow.errors import EventError, WorkflowError
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.serialization import (
+    event_from_dict,
+    instance_from_dict,
+    instance_to_dict,
+)
+from .broker import EventBroker
+from .errors import (
+    DuplicateRunError,
+    ProtocolError,
+    ServiceError,
+    UnknownRunError,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .registry import ShardedRunRegistry
+
+__all__ = ["ServiceServer", "WorkflowService"]
+
+
+def _error_code(exc: BaseException) -> str:
+    if isinstance(exc, UnknownRunError):
+        return "unknown_run"
+    if isinstance(exc, DuplicateRunError):
+        return "duplicate_run"
+    if isinstance(exc, ProtocolError):
+        return "protocol"
+    if isinstance(exc, EventError):
+        return "event"
+    if isinstance(exc, ServiceError):
+        return "service"
+    return "workflow"
+
+
+class WorkflowService:
+    """Request dispatch over one workflow program's hosted runs."""
+
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        shards: int = 8,
+        journal_dir: Optional[Path] = None,
+        queue_capacity: int = 64,
+        cache_views: bool = True,
+        snapshot_every: Optional[int] = 10,
+        retry: Optional[RetryPolicy] = None,
+        budget: Optional[Budget] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.program = program
+        self.registry = ShardedRunRegistry(
+            program,
+            shards=shards,
+            journal_dir=journal_dir,
+            snapshot_every=snapshot_every,
+            cache_views=cache_views,
+        )
+        self.broker = EventBroker(
+            self.registry,
+            queue_capacity=queue_capacity,
+            retry=retry if retry is not None else RetryPolicy(initial_backoff=0.001),
+            budget=budget,
+            fault_plan=fault_plan,
+        )
+        self.shutdown_requested = asyncio.Event()
+        self.started_at = time.monotonic()
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one protocol request; never raises (errors become responses)."""
+        request_id = message.get("id") if isinstance(message, dict) else None
+        self.requests += 1
+        try:
+            op, request = parse_request(message)
+            handler = getattr(self, f"_op_{op}")
+            return await handler(request, request_id)
+        except WorkflowError as exc:
+            return error_response(request_id, _error_code(exc), str(exc))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    async def _op_ping(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        return ok_response(request_id, pong=True, protocol=PROTOCOL_VERSION)
+
+    async def _op_open(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        initial: Optional[Instance] = None
+        if request.get("initial"):
+            initial = instance_from_dict(self.program, request["initial"])
+        hosted, recovered = await self.registry.open(
+            request["run"], initial=initial, recover=bool(request.get("recover", True))
+        )
+        return ok_response(
+            request_id,
+            run=hosted.run_id,
+            recovered=recovered,
+            applied=hosted.applied,
+            shard=self.registry.shard_index(hosted.run_id),
+        )
+
+    async def _op_submit(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        event = event_from_dict(self.program, request["event"])
+        outcome = await self.broker.submit(request["run"], event)
+        hosted = await self.registry.get(request["run"])
+        response = ok_response(
+            request_id,
+            run=outcome.run_id,
+            status=outcome.status,
+            seq=outcome.seq,
+            attempts=outcome.attempts,
+            recovered=outcome.recovered,
+            version=hosted.view_version(event.peer),
+        )
+        if outcome.reason:
+            response["reason"] = outcome.reason
+        return response
+
+    async def _op_view(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        peer = request["peer"]
+        if peer not in self.program.schema.peers:
+            raise ServiceError(f"unknown peer {peer!r}")
+        hosted = await self.registry.get(request["run"])
+        return ok_response(
+            request_id,
+            run=hosted.run_id,
+            peer=peer,
+            version=hosted.view_version(peer),
+            applied=hosted.applied,
+            instance=instance_to_dict(hosted.view_instance(peer)),
+            cached=hosted.caches is not None,
+        )
+
+    async def _op_explain(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        peer = request["peer"]
+        if peer not in self.program.schema.peers:
+            raise ServiceError(f"unknown peer {peer!r}")
+        hosted = await self.registry.get(request["run"])
+        explainer = hosted.explainer(peer)
+        if "index" in request:
+            index = int(request["index"])
+            if not 0 <= index < hosted.applied:
+                raise ServiceError(
+                    f"event index {index} out of range (run has {hosted.applied})"
+                )
+            scenario = sorted(explainer.explanation_of(index))
+        else:
+            scenario = list(explainer.minimal_scenario())
+        return ok_response(
+            request_id,
+            run=hosted.run_id,
+            peer=peer,
+            applied=hosted.applied,
+            scenario=scenario,
+            rules=[hosted.events[i].rule.name for i in scenario],
+        )
+
+    async def _op_stats(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        if request.get("run"):
+            hosted = await self.registry.get(request["run"])
+            return ok_response(request_id, run_stats=hosted.stats())
+        return ok_response(
+            request_id,
+            uptime_seconds=round(time.monotonic() - self.started_at, 3),
+            requests=self.requests,
+            registry=self.registry.stats(),
+            broker=self.broker.stats(),
+        )
+
+    async def _op_close(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        run_id = request["run"]
+        await self.broker.quiesce(run_id)
+        await self.broker.release(run_id)
+        hosted = await self.registry.close(run_id)
+        return ok_response(request_id, run=run_id, applied=hosted.applied)
+
+    async def _op_shutdown(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        self.shutdown_requested.set()
+        return ok_response(request_id, shutting_down=True)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Drain mailboxes and seal every hosted run's journal.
+
+        Unclosed runs are sealed with status ``suspended``: their
+        journals remain recoverable, and re-opening the same run id
+        against the same journal directory resumes them.
+        """
+        await self.broker.quiesce()
+        await self.broker.shutdown()
+        for run_id in self.registry.run_ids():
+            try:
+                await self.registry.close(run_id, status="suspended")
+            except UnknownRunError:  # pragma: no cover - racing close
+                pass
+
+
+class ServiceServer:
+    """The asyncio TCP front end: one JSON line in, one JSON line out."""
+
+    def __init__(
+        self, service: WorkflowService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    response = error_response(None, "protocol", str(exc))
+                else:
+                    response = await self.service.handle(message)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:  # server closing under our feet
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except BaseException:  # teardown best effort (incl. cancellation)
+                pass
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request arrives, then tear down cleanly."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self.service.shutdown_requested.wait()
+        await self.service.aclose()
+
+    async def stop(self) -> None:
+        self.service.shutdown_requested.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.aclose()

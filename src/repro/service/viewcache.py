@@ -1,0 +1,177 @@
+"""Incrementally-maintained materialized peer views.
+
+The paper's peers interact only through their views ``I@p(R@p)``
+(Section 2), so a serving layer answers every read and every visibility
+question against a view instance.  Recomputing ``I@p`` from the global
+instance on each event costs O(|I|) per peer per event; this module
+keeps each peer's view *materialized* and refreshes it from the
+:class:`~repro.workflow.engine.ViewDelta` of the transition instead —
+re-observing only the touched keys through the view's selection and
+projection, in the DBSP spirit of processing deltas rather than
+collections.  A chase-induced merge is still just a touched key (the
+chase rewrites the merged tuple in place), so the delta path is exact;
+a full recompute (:meth:`CachedPeerView.rebuild`) remains as the
+fallback for delta-less state changes such as crash recovery.
+
+Each cache carries a monotonically increasing ``version`` so higher
+layers (the per-(run, peer) explanation wiring, read-your-writes
+clients) can cheaply detect staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple as PyTuple
+
+from ..workflow.engine import ViewDelta
+from ..workflow.instance import Instance
+from ..workflow.schema import Schema
+from ..workflow.tuples import Tuple
+from ..workflow.views import CollaborativeSchema, View
+
+__all__ = ["CachedPeerView", "ViewCacheSet"]
+
+
+class CachedPeerView:
+    """The materialized view instance ``I@p`` of one peer, delta-maintained.
+
+    >>> # cache = CachedPeerView(schema, "sue", instance)
+    >>> # instance2, delta = apply_event_with_delta(schema, instance, event)
+    >>> # cache.apply_delta(delta)
+    >>> # cache.instance() == schema.view_instance(instance2, "sue")
+    """
+
+    __slots__ = (
+        "schema",
+        "peer",
+        "version",
+        "_views",
+        "_view_schema",
+        "_data",
+        "_instance",
+        "_delta_refreshes",
+        "_rebuilds",
+    )
+
+    def __init__(self, schema: CollaborativeSchema, peer: str, instance: Instance) -> None:
+        self.schema = schema
+        self.peer = peer
+        self.version = 0
+        #: relation name -> the peer's view of it (one view per relation).
+        self._views: Dict[str, View] = {
+            view.relation.name: view for view in schema.views_of_peer(peer)
+        }
+        self._view_schema: Schema = schema.peer_schema(peer)
+        self._data: Dict[str, Dict[object, Tuple]] = {}
+        self._instance: Optional[Instance] = None
+        self._delta_refreshes = 0
+        self._rebuilds = 0
+        self.rebuild(instance)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def rebuild(self, instance: Instance) -> None:
+        """Full recompute of the materialized view from *instance*.
+
+        Used at construction and after delta-less state changes (crash
+        recovery replaces the whole instance); O(|I|).
+        """
+        data: Dict[str, Dict[object, Tuple]] = {}
+        for name, view in self._views.items():
+            observed: Dict[object, Tuple] = {}
+            for tup in instance.relation(name):
+                seen = view.observe(tup)
+                if seen is not None:
+                    observed[seen.key] = seen
+            data[view.name] = observed
+        self._data = data
+        self._instance = None
+        self._rebuilds += 1
+        self.version += 1
+
+    def apply_delta(self, delta: ViewDelta) -> bool:
+        """Refresh the materialized view from one transition's delta.
+
+        Re-observes only the touched keys: a touched key whose after-
+        tuple passes the view's selection is (re)stored projected on
+        ``att(R@p)``; one that is deleted or selected away is dropped.
+        Returns True when the peer's view actually changed (the version
+        is bumped either way: the cache has *seen* the transition, which
+        is what read-your-writes clients key on).
+        """
+        changed = False
+        for relation, keys in delta.changes.items():
+            view = self._views.get(relation)
+            if view is None:
+                continue  # the peer has no view of this relation
+            observed = self._data[view.name]
+            for key, (_, after) in keys.items():
+                seen = view.observe(after) if after is not None else None
+                if seen is None:
+                    if observed.pop(key, None) is not None:
+                        changed = True
+                else:
+                    if observed.get(key) != seen:
+                        observed[key] = seen
+                        changed = True
+        if changed:
+            self._instance = None
+        self._delta_refreshes += 1
+        self.version += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def instance(self) -> Instance:
+        """The materialized view instance ``I@p`` (cached between changes)."""
+        if self._instance is None:
+            self._instance = Instance(self._view_schema, self._data)
+        return self._instance
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "version": self.version,
+            "delta_refreshes": self._delta_refreshes,
+            "rebuilds": self._rebuilds,
+            "tuples": sum(len(tuples) for tuples in self._data.values()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedPeerView(peer={self.peer!r}, version={self.version}, "
+            f"tuples={sum(len(t) for t in self._data.values())})"
+        )
+
+
+class ViewCacheSet:
+    """All peers' cached views of one hosted run, maintained together."""
+
+    __slots__ = ("schema", "_caches")
+
+    def __init__(self, schema: CollaborativeSchema, instance: Instance) -> None:
+        self.schema = schema
+        self._caches: Dict[str, CachedPeerView] = {
+            peer: CachedPeerView(schema, peer, instance) for peer in schema.peers
+        }
+
+    def peer(self, peer: str) -> CachedPeerView:
+        return self._caches[peer]
+
+    def apply_delta(self, delta: ViewDelta) -> PyTuple[str, ...]:
+        """Refresh every peer's cache; return the peers whose view changed."""
+        return tuple(
+            peer for peer, cache in self._caches.items() if cache.apply_delta(delta)
+        )
+
+    def rebuild(self, instance: Instance) -> None:
+        for cache in self._caches.values():
+            cache.rebuild(instance)
+
+    def versions(self) -> Mapping[str, int]:
+        return {peer: cache.version for peer, cache in self._caches.items()}
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {peer: cache.stats() for peer, cache in self._caches.items()}

@@ -20,7 +20,8 @@ any order.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple as PyTuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple as PyTuple
 
 from ..runtime.budget import ambient_checkpoint
 from .domain import NULL, is_null
@@ -145,6 +146,97 @@ def apply_event(
             padded = Tuple(atom.view.attributes, values).pad(atom.view.relation.attributes)
             result = result.insert(atom.view.relation.name, padded)
     return result
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """The keys one transition touched, with their before/after tuples.
+
+    ``changes`` maps each touched relation to ``key -> (before, after)``
+    where ``before``/``after`` are the full tuples at that key in the
+    source/result instance (``None`` when absent on that side).  The
+    transition semantics only ever touches the keys appearing in the
+    event's ground head — even a chase-induced merge rewrites exactly
+    the merged key — so the delta is complete: every key not listed is
+    untouched, and a peer view can be refreshed in O(|delta|) by
+    re-observing the touched keys through selection and projection
+    instead of re-evaluating the view over the whole instance.
+
+    ``chase_merged`` is True when some insertion merged into an existing
+    tuple (the chase filled nulls rather than creating a fresh tuple) —
+    the case callers that maintain derived state keyed on tuple identity
+    may want to treat conservatively.
+    """
+
+    changes: Mapping[str, Mapping[object, PyTuple[Optional[Tuple], Optional[Tuple]]]]
+    chase_merged: bool = False
+
+    def is_empty(self) -> bool:
+        return not any(self.changes.values())
+
+    def touched_relations(self) -> PyTuple[str, ...]:
+        return tuple(sorted(name for name, keys in self.changes.items() if keys))
+
+    def inserted(self, relation: str) -> PyTuple[object, ...]:
+        """Keys newly present in *relation* after the transition."""
+        keys = self.changes.get(relation, {})
+        return tuple(k for k, (before, after) in keys.items()
+                     if before is None and after is not None)
+
+    def deleted(self, relation: str) -> PyTuple[object, ...]:
+        """Keys removed from *relation* by the transition."""
+        keys = self.changes.get(relation, {})
+        return tuple(k for k, (before, after) in keys.items()
+                     if before is not None and after is None)
+
+    def updated(self, relation: str) -> PyTuple[object, ...]:
+        """Keys present on both sides whose tuple changed (chase merges)."""
+        keys = self.changes.get(relation, {})
+        return tuple(k for k, (before, after) in keys.items()
+                     if before is not None and after is not None and before != after)
+
+
+def event_delta(before: Instance, after: Instance, event: Event) -> ViewDelta:
+    """The :class:`ViewDelta` of the transition ``before ⊢_event after``.
+
+    Costs O(#update atoms): the touched keys are read off the event's
+    ground head and looked up on both sides, never scanning an instance.
+    """
+    changes: Dict[str, Dict[object, PyTuple[Optional[Tuple], Optional[Tuple]]]] = {}
+    chase_merged = False
+    for atom in event.ground_head():
+        relation = atom.view.relation.name
+        if isinstance(atom, Insertion):
+            key = Tuple(
+                atom.view.attributes, tuple(term.value for term in atom.terms)
+            ).key
+        else:
+            key = atom.term.value
+        old = before.tuple_with_key(relation, key)
+        new = after.tuple_with_key(relation, key)
+        if old == new:
+            continue
+        if isinstance(atom, Insertion) and old is not None and new is not None:
+            chase_merged = True
+        changes.setdefault(relation, {})[key] = (old, new)
+    return ViewDelta(changes, chase_merged)
+
+
+def apply_event_with_delta(
+    schema: CollaborativeSchema,
+    instance: Instance,
+    event: Event,
+    forbidden_fresh: Optional[FrozenSet[object]] = None,
+    check_body: bool = True,
+) -> PyTuple[Instance, ViewDelta]:
+    """Like :func:`apply_event`, also returning the transition's delta.
+
+    The delta lets callers that materialize peer views (the service view
+    cache) refresh them from the touched keys instead of recomputing
+    ``I@p`` from the whole instance on every event.
+    """
+    result = apply_event(schema, instance, event, forbidden_fresh, check_body)
+    return result, event_delta(instance, result, event)
 
 
 def event_applicable(

@@ -1,0 +1,81 @@
+"""The loadgen harness as a checker: clean reports under fault injection."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime.faults import FaultPlan
+from repro.service import ServiceServer, WorkflowService, run_loadgen
+from repro.workloads.generators import churn_program
+
+
+def drive(program, service_kwargs, loadgen_kwargs):
+    async def main():
+        service = WorkflowService(program, **service_kwargs)
+        server = ServiceServer(service, port=0)
+        await server.start()
+        try:
+            return await run_loadgen(
+                program, server.host, server.port, **loadgen_kwargs
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestLoadgen:
+    def test_sixty_four_concurrent_runs_stay_ordered(self):
+        """The acceptance bar: 64 concurrent runs, per-run FIFO intact."""
+        program = churn_program()
+        report = drive(
+            program,
+            {},
+            dict(runs=64, events_per_run=5, seed=1, verify=False),
+        )
+        assert report.runs == 64
+        assert report.submitted == report.applied + report.quarantined
+        assert report.ordering_violations == 0
+        assert report.clean
+
+    def test_verified_views_without_faults(self):
+        program = churn_program()
+        report = drive(
+            program,
+            {},
+            dict(runs=8, events_per_run=12, seed=2, verify=True, view_every=4),
+        )
+        assert report.applied == report.submitted == 8 * 12
+        assert report.quarantined == 0
+        assert report.verified_views == 8 * len(program.schema.peers)
+        assert report.clean
+
+    def test_fault_injected_session_stays_consistent(self, tmp_path):
+        """Crashes, transients and poisons: views must still verify."""
+        program = churn_program()
+        report = drive(
+            program,
+            dict(
+                journal_dir=tmp_path,
+                fault_plan=FaultPlan(
+                    seed=13, crash_rate=0.08, transient_rate=0.08, poison_rate=0.02
+                ),
+            ),
+            dict(runs=16, events_per_run=15, seed=3, verify=True),
+        )
+        assert report.submitted == 16 * 15
+        assert report.applied + report.quarantined == report.submitted
+        assert report.recoveries > 0, "the crash rate must actually fire"
+        assert report.ordering_violations == 0
+        assert report.consistency_violations == 0
+        assert report.clean
+
+    def test_uncached_service_serves_identical_views(self):
+        program = churn_program()
+        report = drive(
+            program,
+            dict(cache_views=False),
+            dict(runs=6, events_per_run=10, seed=4, verify=True),
+        )
+        assert report.clean
+        assert report.applied == 60

@@ -1,0 +1,188 @@
+"""End-to-end tests of the JSON-lines TCP front end."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import ServiceClient, ServiceServer, WorkflowService
+from repro.service.protocol import decode_line, encode_message, parse_request
+from repro.service.errors import ProtocolError
+from repro.workflow import RunGenerator, execute
+from repro.service.loadgen import _canonical_view
+from repro.workflow.serialization import event_to_dict, instance_to_dict
+from repro.workloads.generators import churn_program
+
+
+def run_server_scenario(scenario, **service_kwargs):
+    """Start an in-process server on an ephemeral port, run *scenario*."""
+    program = churn_program()
+
+    async def main():
+        service = WorkflowService(program, **service_kwargs)
+        server = ServiceServer(service, port=0)
+        await server.start()
+        try:
+            return await scenario(program, server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestProtocolUnit:
+    def test_round_trip(self):
+        message = {"op": "ping", "id": 7}
+        assert decode_line(encode_message(message)) == message
+
+    def test_malformed_lines_rejected(self):
+        for line in (b"", b"   \n", b"not json\n", b"[1,2]\n"):
+            with pytest.raises(ProtocolError):
+                decode_line(line)
+
+    def test_requests_validated(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "fly"})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "submit", "run": "r"})  # no event
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "view", "run": "r"})  # no peer
+        op, _ = parse_request({"op": "ping"})
+        assert op == "ping"
+
+
+class TestServerEndToEnd:
+    def test_full_session(self):
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=2).random_run(10)
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                pong = await client.expect_ok(op="ping", id=1)
+                assert pong["id"] == 1 and pong["pong"]
+
+                opened = await client.expect_ok(op="open", run="r")
+                assert opened["recovered"] is False
+
+                versions = []
+                for seq, event in enumerate(run.events):
+                    response = await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+                    assert response["status"] == "applied"
+                    assert response["seq"] == seq
+                    versions.append(response["version"])
+
+                peer = program.schema.peers[0]
+                view = await client.expect_ok(op="view", run="r", peer=peer)
+                expected = program.schema.view_instance(run.final_instance, peer)
+                assert _canonical_view(view["instance"]) == _canonical_view(
+                    instance_to_dict(expected)
+                )
+                assert view["version"] == versions[-1]
+
+                explain = await client.expect_ok(
+                    op="explain", run="r", peer="auditor"
+                )
+                assert isinstance(explain["scenario"], list)
+                assert len(explain["rules"]) == len(explain["scenario"])
+
+                stats = await client.expect_ok(op="stats")
+                assert stats["registry"]["hosted_runs"] == 1
+                assert stats["broker"]["applied"] == len(run.events)
+
+                closed = await client.expect_ok(op="close", run="r")
+                assert closed["applied"] == len(run.events)
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_error_codes_are_stable(self):
+        async def scenario(program, server):
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                response = await client.request(op="view", run="ghost", peer="maker")
+                assert response["ok"] is False
+                assert response["error"] == "unknown_run"
+
+                response = await client.request(op="open")
+                assert response["error"] == "protocol"
+
+                await client.expect_ok(op="open", run="r")
+                response = await client.request(op="view", run="r", peer="martian")
+                assert response["error"] == "service"
+
+                response = await client.request(
+                    op="submit", run="r", event={"rule": "no-such-rule"}
+                )
+                assert response["ok"] is False
+
+                response = await client.request(op="open", run="r")
+                assert response["error"] == "duplicate_run"
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_shutdown_request_stops_the_server(self):
+        program = churn_program()
+
+        async def main():
+            service = WorkflowService(program)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            serving = asyncio.create_task(server.serve_until_shutdown())
+            client = await ServiceClient.connect(server.host, server.port)
+            await client.expect_ok(op="open", run="r")
+            response = await client.expect_ok(op="shutdown")
+            assert response["shutting_down"]
+            await client.close()
+            await asyncio.wait_for(serving, timeout=5)
+
+        asyncio.run(main())
+
+    def test_suspended_runs_resume_across_server_lives(self, tmp_path):
+        """Stop a journaled server mid-run; a new server resumes the run."""
+        program = churn_program()
+        run = RunGenerator(program, seed=4).random_run(8)
+
+        async def first_life():
+            service = WorkflowService(program, journal_dir=tmp_path)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(server.host, server.port)
+            await client.expect_ok(op="open", run="r")
+            for event in run.events[:5]:
+                await client.expect_ok(
+                    op="submit", run="r", event=event_to_dict(event)
+                )
+            await client.close()
+            await server.stop()  # seals the journal as "suspended"
+
+        async def second_life():
+            service = WorkflowService(program, journal_dir=tmp_path)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(server.host, server.port)
+            opened = await client.expect_ok(op="open", run="r")
+            assert opened["recovered"] is True
+            assert opened["applied"] == 5
+            for event in run.events[5:]:
+                response = await client.expect_ok(
+                    op="submit", run="r", event=event_to_dict(event)
+                )
+                assert response["status"] == "applied"
+            peer = program.schema.peers[0]
+            view = await client.expect_ok(op="view", run="r", peer=peer)
+            await client.close()
+            await server.stop()
+            return view["instance"]
+
+        asyncio.run(first_life())
+        served = asyncio.run(second_life())
+        replayed = execute(program, run.events, check_freshness=False)
+        expected = program.schema.view_instance(
+            replayed.final_instance, program.schema.peers[0]
+        )
+        assert _canonical_view(served) == _canonical_view(instance_to_dict(expected))

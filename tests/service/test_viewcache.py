@@ -1,0 +1,103 @@
+"""Property tests: cached views never drift from ``I@p`` (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.service.viewcache import CachedPeerView, ViewCacheSet
+from repro.workflow import RunGenerator
+from repro.workflow.engine import event_delta
+from repro.workloads.generators import (
+    churn_program,
+    profile_program,
+    random_propositional_program,
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+program_seeds = st.integers(0, 40)
+run_seeds = st.integers(0, 40)
+lengths = st.integers(1, 15)
+
+
+def assert_cache_tracks_run(program, run):
+    """Delta-maintained caches equal the from-scratch view at every step."""
+    schema = program.schema
+    caches = {peer: CachedPeerView(schema, peer, run.initial) for peer in schema.peers}
+    instance = run.initial
+    for event, successor in zip(run.events, run.instances):
+        delta = event_delta(instance, successor, event)
+        for peer, cache in caches.items():
+            cache.apply_delta(delta)
+            assert cache.instance() == schema.view_instance(successor, peer), (
+                f"cached view of {peer} drifted after {event}"
+            )
+        instance = successor
+
+
+class TestCachedViewEquivalence:
+    @SETTINGS
+    @given(program_seeds, run_seeds, lengths)
+    def test_random_programs_with_deletions(self, ps, rs, n):
+        program = random_propositional_program(
+            relations=5, rules=9, seed=ps, deletion_fraction=0.25
+        )
+        run = RunGenerator(program, seed=rs).random_run(n)
+        assert_cache_tracks_run(program, run)
+
+    @SETTINGS
+    @given(run_seeds, lengths)
+    def test_profile_program_chase_merges(self, rs, n):
+        """The profile workload fills nulls via chase merges."""
+        program = profile_program()
+        run = RunGenerator(program, seed=rs).random_run(n)
+        assert_cache_tracks_run(program, run)
+
+    @SETTINGS
+    @given(run_seeds, lengths)
+    def test_churn_program_insert_delete_cycles(self, rs, n):
+        program = churn_program()
+        run = RunGenerator(program, seed=rs).random_run(n)
+        assert_cache_tracks_run(program, run)
+
+
+class TestCacheMechanics:
+    def test_version_advances_on_every_delta(self):
+        program = churn_program()
+        run = RunGenerator(program, seed=7).random_run(8)
+        schema = program.schema
+        cache = CachedPeerView(schema, schema.peers[0], run.initial)
+        versions = [cache.version]
+        instance = run.initial
+        for event, successor in zip(run.events, run.instances):
+            cache.apply_delta(event_delta(instance, successor, event))
+            versions.append(cache.version)
+            instance = successor
+        assert versions == sorted(set(versions)), "versions must be strictly increasing"
+
+    def test_rebuild_matches_from_scratch(self):
+        program = profile_program()
+        run = RunGenerator(program, seed=3).random_run(10)
+        schema = program.schema
+        for peer in schema.peers:
+            cache = CachedPeerView(schema, peer, run.initial)
+            cache.rebuild(run.final_instance)
+            assert cache.instance() == schema.view_instance(run.final_instance, peer)
+
+    def test_cacheset_reports_changed_peers(self):
+        program = churn_program()
+        run = RunGenerator(program, seed=11).random_run(6)
+        caches = ViewCacheSet(program.schema, run.initial)
+        instance = run.initial
+        saw_change = False
+        for event, successor in zip(run.events, run.instances):
+            changed = caches.apply_delta(event_delta(instance, successor, event))
+            assert set(changed) <= set(program.schema.peers)
+            saw_change = saw_change or bool(changed)
+            instance = successor
+        assert saw_change, "a churn run must change at least one peer's view"

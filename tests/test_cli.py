@@ -221,3 +221,103 @@ class TestGlobalBudget:
         )
         assert code == 0
         capsys.readouterr()
+
+
+class TestServiceCommands:
+    def test_serve_and_loadgen_roundtrip(self, tmp_path, capsys):
+        """A served workload survives loadgen verification end to end."""
+        import json as json_module
+        import socket
+        import threading
+        import time
+
+        from repro.cli import main as cli_main
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        server_rc = []
+        thread = threading.Thread(
+            target=lambda: server_rc.append(
+                cli_main(
+                    ["serve", "--workload", "churn", "--port", str(port),
+                     "--journal-dir", str(tmp_path / "journals")]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            try:
+                with socket.create_connection(("127.0.0.1", port), 0.2):
+                    break
+            except OSError:
+                time.sleep(0.05)
+
+        code = main(
+            ["loadgen", "--workload", "churn", "--port", str(port),
+             "--runs", "4", "--events", "8", "--seed", "2",
+             "--shutdown", "--json"]
+        )
+        thread.join(timeout=10)
+        out = capsys.readouterr().out
+        # The serve thread's own output may trail the JSON report.
+        report, _ = json_module.JSONDecoder().raw_decode(out[out.index("{"):])
+        assert code == 0
+        assert report["clean"] is True
+        assert report["applied"] == 4 * 8
+        assert server_rc == [0], "serve must exit 0 after a shutdown request"
+
+    def test_recover_by_journal_dir_matches_serve_layout(
+        self, program_file, tmp_path, capsys
+    ):
+        """`recover --journal-dir/--run-id` finds journals `serve` wrote."""
+        import asyncio
+
+        from repro.service import ShardedRunRegistry
+        from repro.workflow import RunGenerator
+        from repro.workflow.parser import parse_program
+
+        program = parse_program(HIRING_TEXT)
+        run = RunGenerator(program, seed=3).random_run(5)
+
+        async def host():
+            registry = ShardedRunRegistry(program, journal_dir=tmp_path)
+            hosted, _ = await registry.open("cli run/1")
+            for event in run.events:
+                hosted.apply(event)
+            await registry.close("cli run/1")
+
+        asyncio.run(host())
+        code = main(
+            ["recover", program_file, "--journal-dir", str(tmp_path),
+             "--run-id", "cli run/1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journal status:      completed" in out
+        assert "events replayed:     5" in out
+
+    def test_recover_journal_flag_conflicts(self, program_file, capsys):
+        code = main(
+            ["recover", program_file, "--journal", "x.journal",
+             "--journal-dir", "/tmp", "--run-id", "r"]
+        )
+        assert code == 2
+        assert "either --journal or" in capsys.readouterr().err
+
+    def test_recover_requires_a_source(self, program_file, capsys):
+        assert main(["recover", program_file]) == 2
+        assert "recover needs" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(["loadgen", "--workload", "nope", "--port", "1"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_workload_and_program_are_exclusive(self, program_file, capsys):
+        code = main(["serve", program_file, "--workload", "churn"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err

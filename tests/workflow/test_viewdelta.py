@@ -1,0 +1,109 @@
+"""ViewDelta: per-transition touched-key summaries (the cache feed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import (
+    Instance,
+    RunGenerator,
+    ViewDelta,
+    apply_event_with_delta,
+    event_delta,
+)
+from repro.workloads.generators import churn_program, profile_program
+
+
+def apply_delta_to_data(instance, delta):
+    """Replay a delta against raw relation data (the cache's contract)."""
+    data = {
+        name: dict(instance.tuples_by_key(name))
+        for name in delta.touched_relations()
+    }
+    for relation, changes in delta.changes.items():
+        for key, (_, after) in changes.items():
+            if after is None:
+                data[relation].pop(key, None)
+            else:
+                data[relation][key] = after
+    return data
+
+
+class TestViewDelta:
+    def test_insertion_delta(self):
+        program = churn_program()
+        run = RunGenerator(program, seed=0).random_run(1)
+        event = run.events[0]
+        instance, delta = apply_event_with_delta(
+            program.schema, run.initial, event
+        )
+        assert instance == run.instances[0]
+        assert not delta.is_empty()
+        relation = next(iter(delta.touched_relations()))
+        inserted = delta.inserted(relation)
+        assert len(inserted) == 1
+        before, after = next(iter(delta.changes[relation].values()))
+        assert before is None and after is not None
+
+    def test_deltas_are_complete_along_runs(self):
+        """Replaying each event's delta reproduces the successor instance
+        exactly — the property that makes O(|delta|) cache refresh sound."""
+        program = churn_program()
+        run = RunGenerator(program, seed=5).random_run(20)
+        instance = run.initial
+        for event, successor in zip(run.events, run.instances):
+            delta = event_delta(instance, successor, event)
+            patched = apply_delta_to_data(instance, delta)
+            for relation in delta.touched_relations():
+                assert patched[relation] == dict(
+                    successor.tuples_by_key(relation)
+                )
+            # Untouched relations are untouched.
+            for relation in program.schema.schema.relation_names:
+                if relation not in delta.touched_relations():
+                    assert dict(instance.tuples_by_key(relation)) == dict(
+                        successor.tuples_by_key(relation)
+                    )
+            instance = successor
+
+    def test_deletion_shows_up_as_removed_key(self):
+        program = churn_program()
+        for seed in range(20):
+            run = RunGenerator(program, seed=seed).random_run(12)
+            instance = run.initial
+            for event, successor in zip(run.events, run.instances):
+                delta = event_delta(instance, successor, event)
+                if delta.deleted("Obj"):
+                    (key,) = delta.deleted("Obj")
+                    assert instance.has_key("Obj", key)
+                    assert not successor.has_key("Obj", key)
+                    return
+                instance = successor
+        pytest.fail("no deletion occurred in 20 seeded churn runs")
+
+    def test_chase_merge_is_flagged_and_exact(self):
+        """Null-filling merges rewrite the merged key in place, so the
+        delta still covers the whole transition."""
+        program = profile_program()
+        for seed in range(40):
+            run = RunGenerator(program, seed=seed).random_run(12)
+            instance = run.initial
+            for event, successor in zip(run.events, run.instances):
+                delta = event_delta(instance, successor, event)
+                if delta.chase_merged:
+                    patched = apply_delta_to_data(instance, delta)
+                    for relation in delta.touched_relations():
+                        assert patched[relation] == dict(
+                            successor.tuples_by_key(relation)
+                        )
+                    return
+                instance = successor
+        pytest.fail("no chase merge occurred in 40 seeded profile runs")
+
+    def test_noop_delta_is_empty(self):
+        program = churn_program()
+        instance = Instance.empty(program.schema.schema)
+        delta = ViewDelta(changes={})
+        assert delta.is_empty()
+        assert delta.touched_relations() == ()
+        assert apply_delta_to_data(instance, delta) == {}
