@@ -304,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-steps", type=int, default=None, metavar="N",
                         help="step budget for the whole command (event "
                              "applications and search nodes)")
+    parser.add_argument("--profile-queries", action="store_true",
+                        help="after the command, print the per-rule query "
+                             "hot-path table (plans, candidates, time) "
+                             "collected by the query planner")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser, peer_required: bool = True) -> None:
@@ -462,6 +466,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (WorkflowError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "profile_queries", False):
+            from .workflow.planner import render_profile
+
+            table = render_profile()
+            print(table if table else "no queries were evaluated", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

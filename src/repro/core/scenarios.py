@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from ..runtime.budget import Budget, checkpoint
-from ..workflow.engine import apply_event
+from ..workflow.engine import apply_event_with_delta, refresh_view_instance
 from ..workflow.errors import BudgetExceeded, EventError
 from ..workflow.events import Event
 from ..workflow.instance import Instance
@@ -80,8 +80,9 @@ class _ScenarioSearch:
         ``truncated`` and the best candidate found so far is returned
         (None when none was reached yet) instead of propagating.
         """
+        initial_view = self.schema.view_instance(self.run.initial, self.peer)
         try:
-            self._explore(0, self.run.initial, 0, [])
+            self._explore(0, self.run.initial, initial_view, 0, [])
         except BudgetExceeded as exc:
             if not anytime:
                 raise
@@ -95,7 +96,12 @@ class _ScenarioSearch:
         return self.max_size
 
     def _explore(
-        self, position: int, instance: Instance, matched: int, chosen: List[int]
+        self,
+        position: int,
+        instance: Instance,
+        view: Instance,
+        matched: int,
+        chosen: List[int],
     ) -> None:
         checkpoint(self.budget, depth=len(chosen))
         if len(chosen) > self._bound():
@@ -119,30 +125,31 @@ class _ScenarioSearch:
         must_include = include_allowed and event.peer == self.peer
         # Branch 1: include the event (if allowed).
         if include_allowed:
-            self._try_include(position, instance, matched, chosen, event)
+            self._try_include(position, instance, view, matched, chosen, event)
         # Branch 2: skip the event (not possible for the peer's own
         # events, whose labels must appear verbatim in the view).
         if not must_include:
-            self._explore(position + 1, instance, matched, chosen)
+            self._explore(position + 1, instance, view, matched, chosen)
 
     def _try_include(
         self,
         position: int,
         instance: Instance,
+        view: Instance,
         matched: int,
         chosen: List[int],
         event: Event,
     ) -> None:
         try:
-            successor = apply_event(self.schema, instance, event, None)
+            successor, delta = apply_event_with_delta(self.schema, instance, event, None)
         except EventError:
             return
-        if event.peer == self.peer:
-            visible = True
-        else:
-            before = self.schema.view_instance(instance, self.peer)
-            after = self.schema.view_instance(successor, self.peer)
-            visible = before != after
+        # The observing peer's view is maintained incrementally: one
+        # O(|delta|) patch per replayed event instead of recomputing
+        # I@p from the whole instance (refresh returns the same object
+        # when the transition is invisible to the peer).
+        successor_view = refresh_view_instance(self.schema, self.peer, view, delta)
+        visible = event.peer == self.peer or successor_view is not view
         new_matched = matched
         if visible:
             if matched >= len(self.target):
@@ -151,11 +158,11 @@ class _ScenarioSearch:
             expected_label = event if event.peer == self.peer else OMEGA
             if label != expected_label:
                 return
-            if self.schema.view_instance(successor, self.peer) != view_instance:
+            if successor_view != view_instance:
                 return
             new_matched = matched + 1
         chosen.append(position)
-        self._explore(position + 1, successor, new_matched, chosen)
+        self._explore(position + 1, successor, successor_view, new_matched, chosen)
         chosen.pop()
 
 

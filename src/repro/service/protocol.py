@@ -26,8 +26,15 @@ Operations
               "index": i?}`` — the minimal p-faithful scenario of the
               hosted run (or of one event when ``index`` given), served
               by the per-(run, peer) incremental explainer.
+``applicable`` ``{"op": "applicable", "run": <id>, "peer": p?}`` — the
+              events currently applicable at the run's instance (for
+              one peer when ``peer`` given), served by the run's
+              delta-maintained applicable-event index.  Response:
+              ``{"ok": true, "run": ..., "applied": int, "count": int,
+              "events": [{"rule": ..., "valuation": {...}}, ...]}``.
 ``stats``     ``{"op": "stats", "run": <id>?}`` — service-wide or
-              per-run counters.
+              per-run counters (including the process-wide query
+              evaluation counters under ``queries``).
 ``close``     ``{"op": "close", "run": <id>}`` — stop hosting, sealing
               the journal with status ``completed``.
 ``shutdown``  ``{"op": "shutdown"}`` — drain and stop the server.
@@ -54,10 +61,20 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Every operation the server understands.
-OPS = ("open", "submit", "view", "explain", "stats", "close", "shutdown", "ping")
+OPS = (
+    "open",
+    "submit",
+    "view",
+    "explain",
+    "applicable",
+    "stats",
+    "close",
+    "shutdown",
+    "ping",
+)
 
 #: Ops that must name a run.
-_RUN_OPS = frozenset({"open", "submit", "view", "explain", "close"})
+_RUN_OPS = frozenset({"open", "submit", "view", "explain", "applicable", "close"})
 #: Ops that must name a peer.
 _PEER_OPS = frozenset({"view", "explain"})
 

@@ -33,6 +33,7 @@ from ..runtime.journal import (
     recover_run,
 )
 from ..workflow.engine import ViewDelta, apply_event_with_delta
+from ..workflow.eventindex import ApplicableEventIndex
 from ..workflow.events import Event
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
@@ -75,6 +76,7 @@ class HostedRun:
             ViewCacheSet(program.schema, self.instance) if cache_views else None
         )
         self._explainers: Dict[str, IncrementalExplainer] = {}
+        self._event_index: Optional[ApplicableEventIndex] = None
         self.submitted = len(self.events)
         self.quarantined = 0
         self.recoveries = 0
@@ -105,6 +107,8 @@ class HostedRun:
         self.events.append(event)
         if self.caches is not None:
             self.caches.apply_delta(delta)
+        if self._event_index is not None:
+            self._event_index.advance(delta, result)
         for explainer in self._explainers.values():
             explainer.extend(event)
         return seq, delta
@@ -128,6 +132,25 @@ class HostedRun:
         if self.caches is not None:
             return self.caches.peer(peer).version
         return len(self.events)
+
+    def event_index(self) -> ApplicableEventIndex:
+        """The run's applicable-event index, created (and kept) lazily.
+
+        The first call pays one full per-peer view computation; every
+        applied event thereafter advances the index in O(|delta|), so
+        repeated ``applicable`` queries re-evaluate only the rules the
+        traffic actually touches.
+        """
+        if self._event_index is None:
+            self._event_index = ApplicableEventIndex(self.program, self.instance)
+        return self._event_index
+
+    def applicable(self, peer: Optional[str] = None) -> List[Event]:
+        """The events currently applicable (optionally for one peer)."""
+        events = self.event_index().events()
+        if peer is None:
+            return list(events)
+        return [event for event in events if event.peer == peer]
 
     def explainer(self, peer: str) -> IncrementalExplainer:
         """The peer's incremental explainer, created (and caught up) lazily.

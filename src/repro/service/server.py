@@ -24,10 +24,12 @@ from ..runtime.budget import Budget
 from ..runtime.faults import FaultPlan
 from ..runtime.supervisor import RetryPolicy
 from ..workflow.errors import EventError, WorkflowError
+from ..workflow.evalstats import EVAL_STATS
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
 from ..workflow.serialization import (
     event_from_dict,
+    event_to_dict,
     instance_from_dict,
     instance_to_dict,
 )
@@ -192,6 +194,20 @@ class WorkflowService:
             rules=[hosted.events[i].rule.name for i in scenario],
         )
 
+    async def _op_applicable(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        peer = request.get("peer")
+        if peer is not None and peer not in self.program.schema.peers:
+            raise ServiceError(f"unknown peer {peer!r}")
+        hosted = await self.registry.get(request["run"])
+        events = hosted.applicable(peer)
+        return ok_response(
+            request_id,
+            run=hosted.run_id,
+            applied=hosted.applied,
+            count=len(events),
+            events=[event_to_dict(event) for event in events],
+        )
+
     async def _op_stats(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         if request.get("run"):
             hosted = await self.registry.get(request["run"])
@@ -202,6 +218,7 @@ class WorkflowService:
             requests=self.requests,
             registry=self.registry.stats(),
             broker=self.broker.stats(),
+            queries=EVAL_STATS.snapshot(),
         )
 
     async def _op_close(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
-from ..workflow.engine import apply_event
+from ..workflow.engine import apply_event, apply_event_with_delta, delta_visible_to
 from ..workflow.enumerate import applicable_events
 from ..workflow.events import Event
 from ..workflow.instance import Instance
@@ -177,11 +177,6 @@ def find_source_run(
     seen_states: Set[PyTuple[Instance, int, int]] = set()
     base_used: Set[object] = set(program.constants())
 
-    def visible(event: Event, before: Instance, after: Instance) -> bool:
-        if event.peer == peer:
-            return True
-        return schema.view_instance(before, peer) != schema.view_instance(after, peer)
-
     def recurse(
         instance: Instance,
         position: int,
@@ -210,10 +205,12 @@ def find_source_run(
             if not _fresh_ok(event, used):
                 continue
             try:
-                successor = apply_event(schema, instance, event, None)
+                successor, delta = apply_event_with_delta(schema, instance, event, None)
             except Exception:
                 continue
-            if visible(event, instance, successor):
+            # Visibility from the transition's delta: O(touched keys)
+            # instead of two whole-instance view computations.
+            if event.peer == peer or delta_visible_to(schema, peer, delta):
                 if observation.own_event is not None:
                     rule_name, valuation = observation.own_event
                     if event.peer != peer or event.rule.name != rule_name:

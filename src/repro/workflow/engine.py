@@ -239,6 +239,55 @@ def apply_event_with_delta(
     return result, event_delta(instance, result, event)
 
 
+def delta_visible_to(schema: CollaborativeSchema, peer: str, delta: ViewDelta) -> bool:
+    """True iff the transition described by *delta* changes *peer*'s view.
+
+    O(|delta|): each touched key is observed through the peer's view of
+    its relation on both sides; the transition is visible iff some
+    observation differs.  Equivalent to
+    ``schema.view_instance(before, peer) != schema.view_instance(after,
+    peer)`` because the delta is complete — every untouched key observes
+    identically on both sides.
+    """
+    for relation, keys in delta.changes.items():
+        view = schema.view(relation, peer)
+        if view is None:
+            continue
+        for before, after in keys.values():
+            seen_before = view.observe(before) if before is not None else None
+            seen_after = view.observe(after) if after is not None else None
+            if seen_before != seen_after:
+                return True
+    return False
+
+
+def refresh_view_instance(
+    schema: CollaborativeSchema,
+    peer: str,
+    view_instance: Instance,
+    delta: ViewDelta,
+) -> Instance:
+    """*peer*'s view of the successor instance, updated in O(|delta|).
+
+    *view_instance* must be the peer's view of the transition's source
+    instance; the touched keys are re-observed through the peer's views
+    and patched in with :meth:`Instance.replace_tuples`.  Returns the
+    same object when the transition is invisible to the peer, so
+    ``result is view_instance`` doubles as a visibility test.
+    """
+    result = view_instance
+    for relation, keys in delta.changes.items():
+        view = schema.view(relation, peer)
+        if view is None:
+            continue
+        observed = {
+            key: (view.observe(after) if after is not None else None)
+            for key, (_, after) in keys.items()
+        }
+        result = result.replace_tuples(view.name, observed)
+    return result
+
+
 def event_applicable(
     schema: CollaborativeSchema,
     instance: Instance,

@@ -13,8 +13,9 @@ import random
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from .domain import FreshValueSource
-from .engine import apply_event, event_applicable
+from .engine import apply_event, apply_event_with_delta, event_applicable
 from .errors import EventError
+from .eventindex import ApplicableEventIndex, head_only_assignments
 from .events import Event
 from .instance import Instance
 from .program import WorkflowProgram
@@ -61,7 +62,7 @@ def applicable_events(
         view_instance = view_cache[rule.peer]
         head_only = sorted(rule.head_only_variables(), key=lambda v: v.name)
         for valuation in rule.body.valuations(view_instance):
-            for head_values in _head_only_assignments(
+            for head_values in head_only_assignments(
                 head_only, fresh_source, head_only_values
             ):
                 full = dict(valuation)
@@ -76,20 +77,8 @@ def applicable_events(
                 yield event
 
 
-def _head_only_assignments(
-    head_only: Sequence,
-    fresh_source: FreshValueSource,
-    head_only_values: Optional[Sequence[object]],
-) -> Iterator[PyTuple[object, ...]]:
-    """Assignments for head-only variables (see applicable_events)."""
-    if not head_only:
-        yield ()
-        return
-    if head_only_values is None:
-        yield tuple(fresh_source.fresh() for _ in head_only)
-        return
-    pool = list(head_only_values) + [fresh_source.fresh() for _ in head_only]
-    yield from itertools.product(pool, repeat=len(head_only))
+# Shared with the incremental index; re-exported for compatibility.
+_head_only_assignments = head_only_assignments
 
 
 class RunGenerator:
@@ -99,9 +88,15 @@ class RunGenerator:
     >>> # run = gen.random_run(steps=20)
     """
 
-    def __init__(self, program: WorkflowProgram, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        program: WorkflowProgram,
+        seed: Optional[int] = None,
+        use_event_index: bool = True,
+    ) -> None:
         self.program = program
         self.rng = random.Random(seed)
+        self.use_event_index = use_event_index
 
     def random_run(
         self,
@@ -115,15 +110,30 @@ class RunGenerator:
         At each step an applicable event is chosen uniformly (or with
         per-rule *rule_weights*); generation stops early when no event is
         applicable and *stop_when_stuck* is set, and raises otherwise.
+
+        By default candidates come from an incrementally maintained
+        :class:`~repro.workflow.eventindex.ApplicableEventIndex` — only
+        rules whose bodies the previous event's delta touched are
+        re-evaluated per step.  The candidate sequence is identical to
+        the from-scratch enumeration, so seeded generation is unaffected
+        by the ``use_event_index`` switch.
         """
         schema = self.program.schema
         instance = initial if initial is not None else Instance.empty(schema.schema)
         fresh = FreshValueSource()
         fresh.observe(self.program.constants())
         fresh.observe(instance.active_domain())
+        index = (
+            ApplicableEventIndex(self.program, instance)
+            if self.use_event_index
+            else None
+        )
         events: List[Event] = []
         for _ in range(steps):
-            candidates = list(applicable_events(self.program, instance, fresh))
+            if index is not None:
+                candidates = list(index.events(fresh))
+            else:
+                candidates = list(applicable_events(self.program, instance, fresh))
             if not candidates:
                 if stop_when_stuck:
                     break
@@ -133,7 +143,15 @@ class RunGenerator:
                 event = self.rng.choices(candidates, weights=weights, k=1)[0]
             else:
                 event = self.rng.choice(candidates)
-            instance = apply_event(schema, instance, event, forbidden_fresh=None, check_body=False)
+            if index is not None:
+                instance, delta = apply_event_with_delta(
+                    schema, instance, event, forbidden_fresh=None, check_body=False
+                )
+                index.advance(delta, instance)
+            else:
+                instance = apply_event(
+                    schema, instance, event, forbidden_fresh=None, check_body=False
+                )
             fresh.observe(instance.active_domain())
             events.append(event)
         return execute(self.program, events, initial)

@@ -1,0 +1,58 @@
+"""Observability counters for the query execution layer.
+
+The planner (:mod:`repro.workflow.planner`), the instance-level hash
+indexes (:mod:`repro.workflow.instance`) and the incremental
+applicable-event index (:mod:`repro.workflow.eventindex`) all report
+into one process-wide :data:`EVAL_STATS` object, so a benchmark, the
+``repro serve`` ``stats`` operation, or the ``--profile-queries`` CLI
+flag can answer "where did evaluation time go?" without any wiring.
+
+This module sits below every other workflow module (it imports
+nothing from the package) precisely so that both :mod:`instance` and
+:mod:`planner` can report here without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class EvalStats:
+    """Process-wide counters for query planning, indexing and evaluation."""
+
+    #: Rule bodies compiled into a :class:`~repro.workflow.planner.QueryPlan`.
+    plans_compiled: int = 0
+    #: Evaluations answered by an already-compiled plan.
+    plan_cache_hits: int = 0
+    #: Bound-position signature indexes materialized on instances.
+    index_builds: int = 0
+    #: Literal fetches answered by an index (signature or key lookup).
+    index_hits: int = 0
+    #: Candidate tuples unified against a literal (planned and naive).
+    literals_scanned: int = 0
+    #: Complete valuations emitted by query evaluation.
+    valuations_emitted: int = 0
+    #: Queries evaluated through the planner.
+    planned_evals: int = 0
+    #: Queries evaluated with the naive backtracking fallback.
+    naive_evals: int = 0
+    #: Applicable-event index advances (delta-driven refreshes).
+    event_index_advances: int = 0
+    #: Rule bodies re-evaluated because a delta touched their relations.
+    event_index_rules_reevaluated: int = 0
+    #: Rule bodies skipped because the delta did not touch them.
+    event_index_rules_skipped: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (for ``stats`` responses)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter set every component reports into.
+EVAL_STATS = EvalStats()

@@ -18,8 +18,88 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 from .domain import NULL, is_null
 from .errors import ChaseFailure, InvalidInstanceError, SchemaError
+from .evalstats import EVAL_STATS
 from .schema import Relation, Schema
 from .tuples import Tuple
+
+
+class _RelationIndex:
+    """Lazy hash indexes over one relation's rows.
+
+    ``_rows`` is the relation's key → tuple mapping (not copied: rows
+    dicts are shared between an instance and its untouched derivations,
+    so the index rides along for free).  ``_by_sig`` maps a *bound-
+    position signature* — a tuple of value positions — to a hash index
+    from the values at those positions to the matching tuples.  Each
+    signature is materialized on first lookup and reused for every
+    later probe against the same rows.
+
+    Buckets are tuples (immutable), which makes the copy-on-write
+    derivation in :meth:`with_changes` safe: a derived index shares
+    every untouched bucket with its parent.
+    """
+
+    __slots__ = ("_rows", "_by_sig")
+
+    def __init__(
+        self,
+        rows: Mapping[object, Tuple],
+        by_sig: Optional[Dict[PyTuple[int, ...], Dict[PyTuple, PyTuple[Tuple, ...]]]] = None,
+    ) -> None:
+        self._rows = rows
+        self._by_sig: Dict[PyTuple[int, ...], Dict[PyTuple, PyTuple[Tuple, ...]]] = (
+            by_sig if by_sig is not None else {}
+        )
+
+    def lookup(
+        self, positions: PyTuple[int, ...], values: PyTuple[object, ...]
+    ) -> PyTuple[Tuple, ...]:
+        """Tuples whose values at *positions* equal *values*, hashed."""
+        sig = self._by_sig.get(positions)
+        if sig is None:
+            grouped: Dict[PyTuple, List[Tuple]] = {}
+            for tup in self._rows.values():
+                tup_values = tup.values
+                grouped.setdefault(
+                    tuple(tup_values[i] for i in positions), []
+                ).append(tup)
+            sig = {key: tuple(bucket) for key, bucket in grouped.items()}
+            self._by_sig[positions] = sig
+            EVAL_STATS.index_builds += 1
+        EVAL_STATS.index_hits += 1
+        return sig.get(values, ())
+
+    def with_changes(
+        self,
+        new_rows: Mapping[object, Tuple],
+        changes: Sequence[PyTuple[Optional[Tuple], Optional[Tuple]]],
+    ) -> "_RelationIndex":
+        """A derived index after *changes* (pairs of before/after tuples).
+
+        Every already-materialized signature is maintained incrementally
+        — only the buckets the changed tuples hash into are rewritten,
+        everything else is shared with this index — so the cost is
+        O(signatures × |changes|), independent of the relation size.
+        """
+        derived: Dict[PyTuple[int, ...], Dict[PyTuple, PyTuple[Tuple, ...]]] = {}
+        for positions, sig in self._by_sig.items():
+            sig = dict(sig)
+            for before, after in changes:
+                if before is not None:
+                    key = tuple(before.values[i] for i in positions)
+                    bucket = sig.get(key, ())
+                    # Rows map each key to one tuple and distinct keys
+                    # never hold equal tuples, so at most one entry goes.
+                    remaining = tuple(t for t in bucket if t != before)
+                    if remaining:
+                        sig[key] = remaining
+                    else:
+                        sig.pop(key, None)
+                if after is not None:
+                    key = tuple(after.values[i] for i in positions)
+                    sig[key] = sig.get(key, ()) + (after,)
+            derived[positions] = sig
+        return _RelationIndex(new_rows, derived)
 
 
 class Instance:
@@ -35,10 +115,12 @@ class Instance:
     'x'
     """
 
-    __slots__ = ("schema", "_data")
+    __slots__ = ("schema", "_data", "_indexes", "_hash")
 
     def __init__(self, schema: Schema, data: Mapping[str, Mapping[object, Tuple]]) -> None:
         object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_indexes", {})
+        object.__setattr__(self, "_hash", None)
         normalised: Dict[str, Dict[object, Tuple]] = {}
         for relation in schema:
             tuples = dict(data.get(relation.name, {}))
@@ -96,6 +178,48 @@ class Instance:
             data[name] = per_key
         return cls(schema, data)
 
+    @classmethod
+    def _derive(
+        cls,
+        schema: Schema,
+        data: Dict[str, Dict[object, Tuple]],
+        indexes: Dict[str, _RelationIndex],
+    ) -> "Instance":
+        """Construct from already-validated per-relation row dicts.
+
+        The update methods produce only valid data (they start from a
+        valid instance and preserve its invariants), so re-running the
+        O(|I|) constructor validation on every derived instance would
+        make each event application linear in the instance.  Derived
+        instances share the row dicts — and the lazily-built
+        :class:`_RelationIndex` objects — of every untouched relation.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_indexes", indexes)
+        object.__setattr__(self, "_hash", None)
+        return self
+
+    def _carry_indexes(
+        self,
+        name: str,
+        new_rows: Mapping[object, Tuple],
+        changes: Sequence[PyTuple[Optional[Tuple], Optional[Tuple]]],
+    ) -> Dict[str, _RelationIndex]:
+        """Indexes for a derivation touching only relation *name*.
+
+        Untouched relations keep their index objects (their rows dicts
+        are shared); the touched relation's index is maintained
+        incrementally from the before/after *changes* when it has been
+        built, and simply rebuilt lazily otherwise.
+        """
+        indexes = {rel: idx for rel, idx in self._indexes.items() if rel != name}
+        old = self._indexes.get(name)
+        if old is not None:
+            indexes[name] = old.with_changes(new_rows, changes)
+        return indexes
+
     # ------------------------------------------------------------------
     # Read access
     # ------------------------------------------------------------------
@@ -114,8 +238,38 @@ class Instance:
     def has_key(self, name: str, key: object) -> bool:
         return key in self._data[name]
 
+    def relation_size(self, name: str) -> int:
+        """Cardinality of relation *name* (O(1); used by the planner)."""
+        return len(self._data[name])
+
     def tuple_with_key(self, name: str, key: object) -> Optional[Tuple]:
         return self._data[name].get(key)
+
+    def contains_tuple(self, name: str, tup: Tuple) -> bool:
+        """O(1) membership: is *tup* exactly a tuple of relation *name*?
+
+        Keys are unique, so the tuple is present iff the tuple stored at
+        its key equals it; a null key can never be stored, so it answers
+        False.  This replaces the O(n) ``any(t == tup ...)`` scans in
+        negative-literal and ``satisfied_by`` checks.
+        """
+        return self._data[name].get(tup.key) == tup
+
+    def tuples_matching(
+        self, name: str, positions: Sequence[int], values: Sequence[object]
+    ) -> PyTuple[Tuple, ...]:
+        """Tuples of *name* whose values at *positions* equal *values*.
+
+        Served by a lazily-built hash index on the bound-position
+        signature; the index is carried to derived instances for every
+        relation an update does not touch (and maintained incrementally
+        for the one it does).
+        """
+        index = self._indexes.get(name)
+        if index is None:
+            index = _RelationIndex(self._data[name])
+            self._indexes[name] = index
+        return index.lookup(tuple(positions), tuple(values))
 
     def is_empty(self) -> bool:
         return all(not tuples for tuples in self._data.values())
@@ -153,17 +307,68 @@ class Instance:
                 tup = existing.merge(tup)
             except ValueError as exc:
                 raise ChaseFailure(f"insert into {name}: {exc}") from exc
-        data = {rel: dict(tuples) for rel, tuples in self._data.items()}
-        data[name][tup.key] = tup
-        return Instance(self.schema, data)
+        new_rows = dict(self._data[name])
+        new_rows[tup.key] = tup
+        data = dict(self._data)
+        data[name] = new_rows
+        return Instance._derive(
+            self.schema, data, self._carry_indexes(name, new_rows, ((existing, tup),))
+        )
 
     def delete(self, name: str, key: object) -> "Instance":
         """Remove the tuple with key *key* from relation *name*."""
-        if key not in self._data[name]:
+        existing = self._data[name].get(key)
+        if existing is None:
             raise InvalidInstanceError(f"no tuple with key {key!r} in relation {name}")
-        data = {rel: dict(tuples) for rel, tuples in self._data.items()}
-        del data[name][key]
-        return Instance(self.schema, data)
+        new_rows = dict(self._data[name])
+        del new_rows[key]
+        data = dict(self._data)
+        data[name] = new_rows
+        return Instance._derive(
+            self.schema, data, self._carry_indexes(name, new_rows, ((existing, None),))
+        )
+
+    def replace_tuples(
+        self, name: str, changes: Mapping[object, Optional[Tuple]]
+    ) -> "Instance":
+        """Store or drop the tuples at the given keys of relation *name*.
+
+        ``changes`` maps each key to its new tuple, or to None to remove
+        it; unlike :meth:`insert` there is no chase merge — the given
+        tuple *replaces* whatever the key held.  This is the primitive
+        delta-driven view maintenance uses: a
+        :class:`~repro.workflow.engine.ViewDelta` lists exactly the
+        touched keys with their after-tuples, and one batched call
+        refreshes a materialized view without rescanning the relation.
+        """
+        relation = self.schema.relation(name)
+        rows = self._data[name]
+        new_rows = dict(rows)
+        index_changes: List[PyTuple[Optional[Tuple], Optional[Tuple]]] = []
+        for key, tup in changes.items():
+            before = rows.get(key)
+            if tup is None:
+                if before is None:
+                    continue
+                del new_rows[key]
+            else:
+                if tup.attributes != relation.attributes:
+                    tup = tup.pad(relation.attributes)
+                if is_null(key) or tup.key != key:
+                    raise InvalidInstanceError(
+                        f"tuple {tup!r} cannot be stored under key {key!r} in {name}"
+                    )
+                if before == tup:
+                    continue
+                new_rows[key] = tup
+            index_changes.append((before, tup))
+        if not index_changes:
+            return self
+        data = dict(self._data)
+        data[name] = new_rows
+        return Instance._derive(
+            self.schema, data, self._carry_indexes(name, new_rows, index_changes)
+        )
 
     def with_relation(self, name: str, tuples: Iterable[Tuple]) -> "Instance":
         """A copy of the instance with relation *name* replaced."""
@@ -191,7 +396,13 @@ class Instance:
         return isinstance(other, Instance) and self._canonical() == other._canonical()
 
     def __hash__(self) -> int:
-        return hash(self._canonical())
+        # Cached: state-space dedup and search memoization hash the same
+        # instances repeatedly, and the canonical form is O(|I|).
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._canonical())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         parts = []

@@ -1,0 +1,424 @@
+"""Planned, indexed evaluation of FCQ¬ queries.
+
+The naive evaluator in :mod:`repro.workflow.queries` joins the positive
+literals in declared order by scanning whole relations and checks every
+negative literal with a linear membership test.  This module compiles
+each :class:`~repro.workflow.queries.Query` once into a
+:class:`QueryPlan` and evaluates it with three classic improvements:
+
+* **join ordering** — at execution time the positive literals are
+  greedily reordered most-selective-first, using the instance's
+  relation cardinalities and the number of already-bound positions
+  (constants count as bound from the start);
+* **indexed candidate fetch** — a literal whose key position is bound
+  fetches its (at most one) candidate by key in O(1); a literal with
+  any bound positions probes the lazily-built bound-position signature
+  index on the :class:`~repro.workflow.instance.Instance`; only a
+  literal with no bound positions scans its relation;
+* **filter push-down** — negative literals and comparisons run at the
+  earliest join step that binds all their variables (an O(1) key or
+  tuple membership probe), pruning partial valuations instead of
+  filtering complete ones.
+
+Plans are cached per query object (queries hash by identity and are
+immutable after construction) in a :class:`weakref.WeakKeyDictionary`,
+so compiling is paid once per rule body per process.  Evaluation is
+result-identical to the naive evaluator — only the *order* in which
+valuations are emitted may differ; the property suite in
+``tests/workflow/test_planner_equivalence.py`` asserts multiset
+equality on random schemas, instances and queries.
+
+Set ``REPRO_NAIVE_QUERIES=1`` (or call :func:`set_planned` with False)
+to route :meth:`Query.valuations` through the naive evaluator instead;
+every caller is oblivious to the switch.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from time import perf_counter
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from .evalstats import EVAL_STATS
+from .instance import Instance
+from .queries import (
+    Comparison,
+    Const,
+    KeyLiteral,
+    Literal,
+    Query,
+    RelLiteral,
+    Var,
+    _UNBOUND,
+    _unify,
+    term_value,
+)
+from .tuples import Tuple
+
+__all__ = [
+    "QueryPlan",
+    "evaluate",
+    "plan_for",
+    "label_query",
+    "planned_enabled",
+    "set_planned",
+    "profile_rows",
+    "render_profile",
+    "reset_profile",
+]
+
+
+# ----------------------------------------------------------------------
+# Global switch: planned by default, naive on request
+# ----------------------------------------------------------------------
+
+_PLANNED = os.environ.get("REPRO_NAIVE_QUERIES", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def planned_enabled() -> bool:
+    """True when :meth:`Query.valuations` routes through the planner."""
+    return _PLANNED
+
+
+def set_planned(flag: bool) -> None:
+    """Switch planned evaluation on or off process-wide (tests, benches)."""
+    global _PLANNED
+    _PLANNED = bool(flag)
+
+
+# ----------------------------------------------------------------------
+# Compiled literal steps
+# ----------------------------------------------------------------------
+
+
+class _RelStep:
+    """A compiled positive relational literal."""
+
+    __slots__ = ("literal", "name", "terms", "arity", "key_position", "const_items", "var_items", "variables")
+
+    def __init__(self, literal: RelLiteral) -> None:
+        view = literal.view
+        self.literal = literal
+        self.name = view.name
+        self.terms = literal.terms
+        self.arity = len(literal.terms)
+        self.key_position = view.attributes.index(view.relation.key_attribute)
+        self.const_items: PyTuple[PyTuple[int, object], ...] = tuple(
+            (i, t.value) for i, t in enumerate(literal.terms) if isinstance(t, Const)
+        )
+        self.var_items: PyTuple[PyTuple[int, Var], ...] = tuple(
+            (i, t) for i, t in enumerate(literal.terms) if isinstance(t, Var)
+        )
+        self.variables: FrozenSet[Var] = literal.variables()
+
+
+class _KeyStep:
+    """A compiled positive key literal ``Key_R@p(y)``."""
+
+    __slots__ = ("literal", "name", "term", "variables")
+
+    def __init__(self, literal: KeyLiteral) -> None:
+        self.literal = literal
+        self.name = literal.view.name
+        self.term = literal.term
+        self.variables: FrozenSet[Var] = literal.variables()
+
+
+def _filter_holds(flt: Literal, valuation: Dict[Var, object], inst: Instance) -> bool:
+    """One pushed-down filter: a comparison or a negative literal.
+
+    Membership probes are O(1) (:meth:`Instance.has_key` /
+    :meth:`Instance.contains_tuple`); a ground tuple with a null key can
+    never be stored, so ``contains_tuple`` answers False for it exactly
+    like the naive scan does.
+    """
+    if isinstance(flt, Comparison):
+        return flt.holds(valuation)
+    if isinstance(flt, KeyLiteral):
+        return not inst.has_key(flt.view.name, term_value(flt.term, valuation))
+    values = tuple(term_value(t, valuation) for t in flt.terms)
+    return not inst.contains_tuple(flt.view.name, Tuple(flt.view.attributes, values))
+
+
+# ----------------------------------------------------------------------
+# Query plans
+# ----------------------------------------------------------------------
+
+
+class QueryPlan:
+    """A compiled FCQ¬ query: ordered, indexed, filter-pushing evaluation.
+
+    Compilation analyses each literal once (positions of constants and
+    variables, the key position, the variable set).  The join *order* is
+    chosen per evaluation because selectivity depends on the instance's
+    relation cardinalities; ordering is O(n²) in the number of positive
+    literals, which is tiny next to the joins it saves.
+
+    Each plan keeps its own profile counters (``evals``, ``candidates``,
+    ``emitted``, ``elapsed``) feeding the ``--profile-queries`` table.
+    """
+
+    __slots__ = ("__weakref__", "query", "steps", "filters", "label", "describe", "evals", "candidates", "emitted", "elapsed")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        steps: List[object] = []
+        for literal in query.positive_literals():
+            if isinstance(literal, RelLiteral):
+                steps.append(_RelStep(literal))
+            else:
+                steps.append(_KeyStep(literal))
+        self.steps: PyTuple[object, ...] = tuple(steps)
+        self.filters: PyTuple[PyTuple[Literal, FrozenSet[Var]], ...] = tuple(
+            (flt, flt.variables())
+            for flt in (*query.negative_literals(), *query.comparisons())
+        )
+        self.label: Optional[str] = None
+        self.describe = repr(query)
+        self.evals = 0
+        self.candidates = 0
+        self.emitted = 0
+        self.elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Ordering and filter scheduling (per instance)
+    # ------------------------------------------------------------------
+
+    def _cost(self, step: object, bound: FrozenSet[Var], inst: Instance) -> int:
+        """Estimated candidates the step yields given *bound* variables."""
+        card = inst.relation_size(step.name)
+        if isinstance(step, _KeyStep):
+            if isinstance(step.term, Const) or step.term in bound:
+                return 0
+            return card
+        nbound = len(step.const_items) + sum(
+            1 for _, var in step.var_items if var in bound
+        )
+        if nbound == 0:
+            return card
+        key_bound = any(
+            pos == step.key_position for pos, _ in step.const_items
+        ) or any(
+            pos == step.key_position and var in bound for pos, var in step.var_items
+        )
+        if key_bound or nbound == step.arity:
+            return 1
+        # A bound position cuts the candidate set roughly geometrically;
+        # the exact constant only matters for tie-breaking.
+        return max(1, card >> (2 * nbound))
+
+    def _schedule(
+        self, inst: Instance
+    ) -> PyTuple[List[object], List[List[Literal]]]:
+        """Greedy most-selective-first order plus filter push-down.
+
+        Returns the ordered steps and, for each join depth ``i``, the
+        filters whose variables are all bound once ``i`` steps have run
+        (index 0 holds ground filters, checked before any join work).
+        """
+        remaining = list(enumerate(self.steps))
+        bound: set = set()
+        ordered: List[object] = []
+        while remaining:
+            frozen = frozenset(bound)
+            best_at, (_, best) = min(
+                enumerate(remaining),
+                key=lambda item: (self._cost(item[1][1], frozen, inst), item[1][0]),
+            )
+            del remaining[best_at]
+            ordered.append(best)
+            bound.update(best.variables)
+        schedule: List[List[Literal]] = [[] for _ in range(len(ordered) + 1)]
+        prefixes: List[FrozenSet[Var]] = [frozenset()]
+        acc: set = set()
+        for step in ordered:
+            acc.update(step.variables)
+            prefixes.append(frozenset(acc))
+        for flt, variables in self.filters:
+            for depth, prefix in enumerate(prefixes):
+                if variables <= prefix:
+                    schedule[depth].append(flt)
+                    break
+        return ordered, schedule
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _candidates_for(
+        self, step: _RelStep, valuation: Dict[Var, object], inst: Instance
+    ) -> Sequence[Tuple]:
+        positions: List[int] = []
+        values: List[object] = []
+        for pos, value in step.const_items:
+            positions.append(pos)
+            values.append(value)
+        for pos, var in step.var_items:
+            value = valuation.get(var, _UNBOUND)
+            if value is not _UNBOUND:
+                positions.append(pos)
+                values.append(value)
+        if not positions:
+            return inst.relation(step.name)
+        for pos, value in zip(positions, values):
+            if pos == step.key_position:
+                EVAL_STATS.index_hits += 1
+                tup = inst.tuple_with_key(step.name, value)
+                return (tup,) if tup is not None else ()
+        return inst.tuples_matching(step.name, tuple(positions), tuple(values))
+
+    def run(self, inst: Instance) -> Iterator[Dict[Var, object]]:
+        """All satisfying valuations on *inst* (order is plan-defined)."""
+        start = perf_counter()
+        self.evals += 1
+        EVAL_STATS.planned_evals += 1
+        try:
+            ordered, schedule = self._schedule(inst)
+            yield from self._join(ordered, schedule, 0, {}, inst)
+        finally:
+            self.elapsed += perf_counter() - start
+
+    def _join(
+        self,
+        ordered: List[object],
+        schedule: List[List[Literal]],
+        depth: int,
+        valuation: Dict[Var, object],
+        inst: Instance,
+    ) -> Iterator[Dict[Var, object]]:
+        for flt in schedule[depth]:
+            if not _filter_holds(flt, valuation, inst):
+                return
+        if depth == len(ordered):
+            self.emitted += 1
+            EVAL_STATS.valuations_emitted += 1
+            yield dict(valuation)
+            return
+        step = ordered[depth]
+        if isinstance(step, _KeyStep):
+            term = step.term
+            if isinstance(term, Const) or term in valuation:
+                # has_key answers False for ⊥ exactly like unification
+                # against the (never-null) stored keys would.
+                if inst.has_key(step.name, term_value(term, valuation)):
+                    EVAL_STATS.index_hits += 1
+                    yield from self._join(ordered, schedule, depth + 1, valuation, inst)
+                return
+            for key in inst.keys(step.name):
+                self.candidates += 1
+                EVAL_STATS.literals_scanned += 1
+                extended = _unify(term, key, valuation)
+                if extended is not None:
+                    yield from self._join(ordered, schedule, depth + 1, extended, inst)
+            return
+        for tup in self._candidates_for(step, valuation, inst):
+            self.candidates += 1
+            EVAL_STATS.literals_scanned += 1
+            extended: Optional[Dict[Var, object]] = valuation
+            for term, value in zip(step.terms, tup.values):
+                extended = _unify(term, value, extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                yield from self._join(ordered, schedule, depth + 1, extended, inst)
+
+
+# ----------------------------------------------------------------------
+# Plan cache and profile registry
+# ----------------------------------------------------------------------
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Query, QueryPlan]" = weakref.WeakKeyDictionary()
+
+
+def plan_for(query: Query) -> QueryPlan:
+    """The compiled plan for *query*, compiled on first use.
+
+    Queries are immutable and hash by identity, so the cache key is the
+    query object itself; entries die with their queries (weak keys).
+    """
+    plan = _PLAN_CACHE.get(query)
+    if plan is None:
+        plan = QueryPlan(query)
+        _PLAN_CACHE[query] = plan
+        EVAL_STATS.plans_compiled += 1
+    else:
+        EVAL_STATS.plan_cache_hits += 1
+    return plan
+
+
+def evaluate(query: Query, inst: Instance) -> Iterator[Dict[Var, object]]:
+    """Planned evaluation of *query* on *inst* (the hot path)."""
+    return plan_for(query).run(inst)
+
+
+def label_query(query: Query, label: str) -> None:
+    """Attach a human-readable label (typically the rule name) to a plan.
+
+    The label shows up in the ``--profile-queries`` table instead of the
+    raw body text; the first label wins.
+    """
+    plan = plan_for(query)
+    if plan.label is None:
+        plan.label = label
+
+
+def profile_rows() -> List[PyTuple[str, int, int, int, float, float]]:
+    """Per-plan hot-path rows: (label, evals, candidates, emitted, ms, µs/eval).
+
+    Sorted by total elapsed time, hottest first; plans that never ran
+    are omitted.
+    """
+    rows = []
+    for plan in list(_PLAN_CACHE.values()):
+        if plan.evals == 0:
+            continue
+        label = plan.label if plan.label is not None else plan.describe
+        if len(label) > 48:
+            label = label[:45] + "..."
+        total_ms = plan.elapsed * 1e3
+        per_eval_us = plan.elapsed / plan.evals * 1e6
+        rows.append((label, plan.evals, plan.candidates, plan.emitted, total_ms, per_eval_us))
+    rows.sort(key=lambda row: row[4], reverse=True)
+    return rows
+
+
+def render_profile(limit: int = 20) -> str:
+    """The ``--profile-queries`` table as text (empty string if idle)."""
+    rows = profile_rows()
+    if not rows:
+        return ""
+    headers = ("rule / body", "evals", "candidates", "emitted", "total ms", "us/eval")
+    formatted = [
+        (label, str(evals), str(cand), str(emitted), f"{ms:.2f}", f"{us:.1f}")
+        for label, evals, cand, emitted, ms, us in rows[:limit]
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted))
+        for i in range(len(headers))
+    ]
+    lines = ["query hot path (hottest first)"]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    stats = EVAL_STATS
+    lines.append(
+        f"plans={stats.plans_compiled} cache_hits={stats.plan_cache_hits} "
+        f"index_builds={stats.index_builds} index_hits={stats.index_hits} "
+        f"scanned={stats.literals_scanned} emitted={stats.valuations_emitted}"
+    )
+    return "\n".join(lines)
+
+
+def reset_profile() -> None:
+    """Zero every plan's counters (benchmarks isolate phases with this)."""
+    for plan in list(_PLAN_CACHE.values()):
+        plan.evals = 0
+        plan.candidates = 0
+        plan.emitted = 0
+        plan.elapsed = 0.0

@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from .domain import NULL, is_null
 from .errors import QueryError
+from .evalstats import EVAL_STATS
 from .instance import Instance
 from .tuples import Tuple
 from .views import View
@@ -274,10 +275,25 @@ class Query:
         """All valuations of the query's variables satisfying the body.
 
         *view_instance* is the peer's view instance ``I@p`` (its relations
-        are named ``R@p``).  Evaluation is a backtracking join over the
-        positive literals followed by filtering with negative literals
-        and comparisons.
+        are named ``R@p``).  By default evaluation routes through the
+        query planner (:mod:`repro.workflow.planner`): indexed candidate
+        fetches, selectivity-ordered joins and pushed-down filters.  The
+        result *set* is identical to :meth:`valuations_naive`; only the
+        emission order may differ.  ``REPRO_NAIVE_QUERIES=1`` (or
+        ``planner.set_planned(False)``) restores the naive path.
         """
+        from . import planner  # deferred: planner imports this module
+
+        if planner.planned_enabled():
+            return planner.evaluate(self, view_instance)
+        return self.valuations_naive(view_instance)
+
+    def valuations_naive(self, view_instance: Instance) -> Iterator[Dict[Var, object]]:
+        """Reference evaluation: backtracking join in declared literal
+        order over the positive literals, then negative-literal and
+        comparison filtering.  Kept as the semantic baseline the planner
+        is property-tested against (and as the fallback path)."""
+        EVAL_STATS.naive_evals += 1
         yield from self._extend({}, list(self.positive_literals()), view_instance)
 
     def _extend(
@@ -317,7 +333,9 @@ class Query:
             elif isinstance(literal, RelLiteral):
                 values = tuple(term_value(t, valuation) for t in literal.terms)
                 target = Tuple(literal.view.attributes, values)
-                if any(tup == target for tup in inst.relation(literal.view.name)):
+                # O(1): keys are unique, so membership is a lookup at the
+                # target's key (a null key is never stored, answer False).
+                if inst.contains_tuple(literal.view.name, target):
                     return False
         return all(cmp.holds(valuation) for cmp in self.comparisons())
 
@@ -327,7 +345,7 @@ class Query:
             if isinstance(literal, RelLiteral):
                 values = tuple(term_value(t, valuation) for t in literal.terms)
                 target = Tuple(literal.view.attributes, values)
-                if not any(t == target for t in view_instance.relation(literal.view.name)):
+                if not view_instance.contains_tuple(literal.view.name, target):
                     return False
             elif isinstance(literal, KeyLiteral):
                 key = term_value(literal.term, valuation)

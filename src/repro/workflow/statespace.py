@@ -16,9 +16,10 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from ..runtime.budget import Budget, checkpoint
 from .domain import FreshValueSource
-from .engine import apply_event
+from .engine import apply_event, apply_event_with_delta
 from .errors import BudgetExceeded
 from .enumerate import applicable_events
+from .eventindex import ApplicableEventIndex
 from .events import Event
 from .instance import Instance
 from .isomorphism import canonicalize_instance
@@ -84,6 +85,7 @@ class StateSpaceExplorer:
         dedup: str = "isomorphic",
         initial: Optional[Instance] = None,
         budget: Optional[Budget] = None,
+        use_event_index: bool = True,
     ) -> None:
         if dedup not in ("none", "exact", "isomorphic"):
             raise ValueError(f"unknown dedup mode {dedup!r}")
@@ -93,6 +95,7 @@ class StateSpaceExplorer:
             initial if initial is not None else Instance.empty(program.schema.schema)
         )
         self.budget = budget
+        self.use_event_index = use_event_index
         self.stats = ExplorationStats()
 
     def _signature(self, instance: Instance) -> object:
@@ -111,12 +114,17 @@ class StateSpaceExplorer:
         seen: Set[object] = set()
         queue: deque = deque()
         root = ReachableState(self.initial, ())
-        queue.append(root)
+        root_index = (
+            ApplicableEventIndex(self.program, self.initial)
+            if self.use_event_index
+            else None
+        )
+        queue.append((root, root_index))
         if self.dedup != "none":
             seen.add(self._signature(self.initial))
         fresh_base = 30_000
         while queue:
-            state = queue.popleft()
+            state, index = queue.popleft()
             checkpoint(self.budget, depth=state.depth)
             self.stats.states_visited += 1
             self.stats.max_depth_reached = max(
@@ -131,10 +139,20 @@ class StateSpaceExplorer:
             source.observe(self.program.constants())
             source.observe(state.instance.active_domain())
             successors = 0
-            for event in applicable_events(self.program, state.instance, source):
-                successor = apply_event(
-                    self.program.schema, state.instance, event, None, check_body=False
-                )
+            candidates = (
+                index.events(source)
+                if index is not None
+                else applicable_events(self.program, state.instance, source)
+            )
+            for event in candidates:
+                if index is not None:
+                    successor, delta = apply_event_with_delta(
+                        self.program.schema, state.instance, event, None, check_body=False
+                    )
+                else:
+                    successor = apply_event(
+                        self.program.schema, state.instance, event, None, check_body=False
+                    )
                 self.stats.transitions += 1
                 successors += 1
                 if self.dedup != "none":
@@ -143,7 +161,15 @@ class StateSpaceExplorer:
                         self.stats.states_deduplicated += 1
                         continue
                     seen.add(signature)
-                queue.append(ReachableState(successor, state.path + (event,)))
+                # Each child carries a derived index: an O(|delta|)
+                # patch sharing cached valuations with the parent, so
+                # only rules the event touched are re-evaluated later.
+                child_index = (
+                    index.advanced(delta, successor) if index is not None else None
+                )
+                queue.append(
+                    (ReachableState(successor, state.path + (event,)), child_index)
+                )
             if successors == 0:
                 self.stats.deadlocks += 1
 
@@ -178,9 +204,14 @@ class StateSpaceExplorer:
                 return state
         return None
 
-    def reachable_count(self, max_depth: int) -> int:
-        """How many (dedup-distinct) states are reachable within the bound."""
-        return sum(1 for _ in self.iterate(max_depth))
+    def reachable_count(self, max_depth: int, max_states: Optional[int] = None) -> int:
+        """How many (dedup-distinct) states are reachable within the bound.
+
+        *max_states* is forwarded to :meth:`iterate`, so counting honours
+        the same cap as ``iterate``/``explore`` instead of silently
+        exceeding it.
+        """
+        return sum(1 for _ in self.iterate(max_depth, max_states))
 
     def deadlock_states(self, max_depth: int) -> List[ReachableState]:
         """States (within the bound) from which no event is applicable."""

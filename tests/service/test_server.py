@@ -11,6 +11,7 @@ from repro.service.protocol import decode_line, encode_message, parse_request
 from repro.service.errors import ProtocolError
 from repro.workflow import RunGenerator, execute
 from repro.service.loadgen import _canonical_view
+from repro.workflow.enumerate import applicable_events
 from repro.workflow.serialization import event_to_dict, instance_to_dict
 from repro.workloads.generators import churn_program
 
@@ -93,6 +94,53 @@ class TestServerEndToEnd:
 
                 closed = await client.expect_ok(op="close", run="r")
                 assert closed["applied"] == len(run.events)
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_applicable_op_matches_from_scratch_enumeration(self):
+        """The ``applicable`` op serves the delta-maintained index, and
+        its answer equals a from-scratch enumeration at the run's
+        current instance (peer-filtered when ``peer`` is given)."""
+
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=5).random_run(8)
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="r")
+                # Query once on the empty run so later submits exercise
+                # the incremental advance path rather than a fresh build.
+                initial = await client.expect_ok(op="applicable", run="r")
+                assert initial["applied"] == 0
+                for event in run.events:
+                    await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+
+                response = await client.expect_ok(op="applicable", run="r")
+                assert response["applied"] == len(run.events)
+                assert response["count"] == len(response["events"])
+                expected = [
+                    event_to_dict(event)
+                    for event in applicable_events(program, run.final_instance)
+                ]
+                assert response["events"] == expected
+
+                peer = program.schema.peers[0]
+                filtered = await client.expect_ok(
+                    op="applicable", run="r", peer=peer
+                )
+                assert filtered["events"] == [
+                    encoded
+                    for event, encoded in zip(
+                        applicable_events(program, run.final_instance), expected
+                    )
+                    if event.peer == peer
+                ]
+
+                bad = await client.request(op="applicable", run="r", peer="martian")
+                assert bad["ok"] is False and bad["error"] == "service"
             finally:
                 await client.close()
 
