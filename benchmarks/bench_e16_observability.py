@@ -1,0 +1,210 @@
+"""E16: the cost of observability on the event-application hot path.
+
+The tracing design promises that instrumentation is effectively free
+while disabled: :func:`repro.obs.trace.span` returns a shared no-op
+object without allocating anything when no sink is installed, and a
+:class:`NullSink` is normalized back to that same fast path.  The
+experiment replays the E15 churn workload — straight-line
+``apply_event`` throughput, the most span-dense path in the system —
+under four configurations:
+
+* **disabled** — no sink installed (the default);
+* **null sink** — ``configure_tracing(NullSink())`` (must be identical
+  to disabled: the sink is special-cased away);
+* **ring buffer** — every span recorded into a bounded deque;
+* **json lines** — every span serialized to ``os.devnull``.
+
+The acceptance bar is the one docs/OBSERVABILITY.md advertises: the
+disabled :func:`~repro.obs.trace.span` call costs **< 5%** of one event
+application.  The bar is enforced by *direct* measurement — the no-op
+call is timed in a tight loop (sub-microsecond, very stable) and
+divided by the per-event cost of the replay — because wall-clock A/B
+differencing cannot resolve 5% here: an A/A test of the replay itself
+shows >30% max/min spread on a noisy shared host, so the four-way
+comparison table is reported for context (interleaved sampling,
+best-of-N) rather than asserted on.  Recording sinks are allowed to
+cost real time — that is the price of the data.
+
+``BENCH_E16_SCALE=smoke`` shrinks the replay for CI; the full run
+archives its measurements in ``BENCH_E16.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import wall_time
+from repro.analysis import print_table
+from repro.obs import (
+    METRICS,
+    JsonLinesSink,
+    NullSink,
+    RingBufferSink,
+    configure_tracing,
+    span,
+)
+from repro.workflow import RunGenerator, execute
+from repro.workloads import churn_program
+
+SMOKE = os.environ.get("BENCH_E16_SCALE", "").strip().lower() == "smoke"
+EVENTS = 60 if SMOKE else 400
+REPLAYS = 2 if SMOKE else 6
+REPEAT = 3 if SMOKE else 14
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_E16.json"
+
+_baseline: dict = {}
+
+
+def _workload():
+    """A pre-generated churn run and its replay closure."""
+    program = churn_program()
+    events = list(RunGenerator(program, seed=16).random_run(EVENTS).events)
+
+    def replay() -> None:
+        for _ in range(REPLAYS):
+            execute(program, events, check_freshness=False)
+
+    return events, replay
+
+
+def test_e16_tracing_overhead(benchmark):
+    events, replay = _workload()
+    replay()  # warm caches before timing anything
+
+    devnull = open(os.devnull, "w", encoding="utf-8")
+    ring = RingBufferSink(capacity=8192)
+    configurations = [
+        ("disabled", None),
+        ("null sink", NullSink()),
+        ("ring buffer", ring),
+        ("json lines", JsonLinesSink(devnull, flush_every=1024)),
+    ]
+
+    # Interleaved sampling, best-of: every round measures all four
+    # configurations (order alternating), and each configuration's cost
+    # is its minimum across rounds.  Contiguous per-configuration blocks
+    # would confound the comparison with process drift (heap growth, CPU
+    # frequency scaling, noisy neighbours — an A/A test of this workload
+    # shows >30% max/min spread on a shared host); interleaving spreads
+    # the noise over every configuration equally and the minimum
+    # converges on the undisturbed cost.
+    samples: dict = {name: [] for name, _ in configurations}
+    try:
+        for round_index in range(REPEAT):
+            ordering = (
+                configurations if round_index % 2 == 0 else configurations[::-1]
+            )
+            for name, sink in ordering:
+                previous = configure_tracing(sink)
+                try:
+                    samples[name].append(wall_time(replay, repeat=1))
+                finally:
+                    configure_tracing(previous)
+    finally:
+        devnull.close()
+
+    timings = {name: min(times) for name, times in samples.items()}
+    ratios = {name: timings[name] / timings["disabled"] for name in timings}
+
+    total_events = EVENTS * REPLAYS
+    rows = []
+    json_rows = []
+    for name, _ in configurations:
+        seconds = timings[name]
+        overhead = (ratios[name] - 1.0) * 100.0
+        rows.append(
+            [
+                name,
+                f"{total_events / seconds:,.0f}",
+                f"{seconds / total_events * 1e6:.2f}",
+                f"{overhead:+.1f}%",
+            ]
+        )
+        json_rows.append(
+            {
+                "configuration": name,
+                "events_per_second": round(total_events / seconds, 1),
+                "us_per_event": round(seconds / total_events * 1e6, 3),
+                "overhead_pct": round(overhead, 2),
+            }
+        )
+    print_table(
+        "E16: tracing overhead on apply_event (churn replay)",
+        ["sink", "events/s", "us/event", "overhead"],
+        rows,
+    )
+    _baseline["tracing"] = json_rows
+
+    # The recording sinks actually recorded: one span per application
+    # plus the enclosing replay structure.
+    assert ring.emitted >= total_events
+
+    # The enforced bar: time the disabled span() call directly (stable
+    # even on a noisy host) and compare it to the cost of one event
+    # application.  One span call per apply_event is the instrumentation
+    # density on this path.
+    calls = 20_000 if SMOKE else 200_000
+    assert not configure_tracing(None)  # ensure the disabled fast path
+
+    def noop_calls() -> None:
+        for _ in range(calls):
+            with span("e16-noop"):
+                pass
+
+    noop_us = wall_time(noop_calls, repeat=REPEAT) / calls * 1e6
+    per_event_us = timings["disabled"] / total_events * 1e6
+    implied_pct = noop_us / per_event_us * 100.0
+    print_table(
+        "E16 (bar): disabled span() call vs one event application",
+        ["span() us", "apply_event us", "implied overhead"],
+        [[f"{noop_us:.4f}", f"{per_event_us:.2f}", f"{implied_pct:.3f}%"]],
+    )
+    _baseline["noop_span"] = {
+        "span_call_us": round(noop_us, 5),
+        "apply_event_us": round(per_event_us, 3),
+        "implied_overhead_pct": round(implied_pct, 4),
+    }
+    assert implied_pct < 5.0, (
+        f"disabled span() costs {implied_pct:.2f}% of one event "
+        f"application (bar is 5%)"
+    )
+    if not SMOKE:
+        # Recording is allowed to cost, but not pathologically.
+        assert ratios["ring buffer"] < 10.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e16_metrics_scrape_cost(benchmark):
+    """Rendering the process registry is cheap enough to poll."""
+    _, replay = _workload()
+    replay()  # populate engine counters
+
+    render_ms = wall_time(lambda: METRICS.render_prometheus(), repeat=REPEAT) * 1e3
+    snapshot_ms = wall_time(lambda: METRICS.snapshot(), repeat=REPEAT) * 1e3
+    families = len(METRICS.families())
+    print_table(
+        "E16b: metrics scrape cost",
+        ["families", "render ms", "snapshot ms"],
+        [[families, f"{render_ms:.3f}", f"{snapshot_ms:.3f}"]],
+    )
+    _baseline["metrics"] = {
+        "families": families,
+        "render_ms": round(render_ms, 4),
+        "snapshot_ms": round(snapshot_ms, 4),
+    }
+    assert families >= 10  # engine, search, service, broker, caches all report
+    if not SMOKE:
+        assert render_ms < 50.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e16_write_baseline(benchmark):
+    """Archive the measured numbers (full runs only — smoke sizes would
+    overwrite the committed baseline with non-comparable figures)."""
+    if not SMOKE and _baseline:
+        BASELINE_PATH.write_text(
+            json.dumps({"experiment": "E16", **_baseline}, indent=2) + "\n"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -14,7 +14,7 @@ paper's own gadgets to show it:
 Run with: ``python examples/hardness_gadgets.py``
 """
 
-from repro import minimal_faithful_scenario, minimum_scenario
+from repro.api import minimal_faithful_scenario, minimum_scenario
 from repro.reductions import (
     AndExpr,
     NotExpr,

@@ -12,7 +12,7 @@ and decisions become visible to the applicant.  The example shows
 Run with: ``python examples/loan_applications.py``
 """
 
-from repro import (
+from repro.api import (
     IncrementalExplainer,
     is_faithful_scenario,
     is_scenario,

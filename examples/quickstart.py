@@ -14,8 +14,13 @@ candidate) sees only the ``Cleared`` and ``Hire`` relations.  We:
 Run with: ``python examples/quickstart.py``
 """
 
-from repro import RunGenerator, SearchBudget, explain_run, parse_program
-from repro.transparency import synthesize_view_program
+from repro.api import (
+    RunGenerator,
+    SearchBudget,
+    explain_run,
+    parse_program,
+    synthesize_view_program,
+)
 
 PROGRAM = """
 peers hr, ceo, cfo, sue

@@ -15,18 +15,17 @@ the full methodology:
 Run with: ``python examples/transparent_design.py``
 """
 
-from repro import (
+from repro.api import (
     RunGenerator,
     SearchBudget,
-    analyze_acyclicity,
     check_design_guidelines,
     check_transparent,
     enforce_run,
-    lift_events,
     parse_program,
     rewrite_transparent,
     smallest_bound,
 )
+from repro.design import analyze_acyclicity, lift_events
 from repro.workflow import Event, execute
 from repro.workflow.domain import FreshValue
 from repro.workflow.queries import Var

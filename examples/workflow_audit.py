@@ -9,7 +9,7 @@ archived and replayed later for audits?
 Run with: ``python examples/workflow_audit.py``
 """
 
-from repro import (
+from repro.api import (
     RunGenerator,
     SearchBudget,
     audit_program,
@@ -18,7 +18,7 @@ from repro import (
     run_from_json,
     run_to_json,
 )
-from repro.transparency import check_tree_equivalence, synthesize_view_program
+from repro.api import check_tree_equivalence, synthesize_view_program
 
 PROGRAM = """
 peers intake, medical, claimant

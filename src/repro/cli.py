@@ -36,18 +36,26 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis.audit import audit_program
-from .core.explain import explain_run
-from .design.enforce import enforce_run
-from .runtime.budget import Budget, use_budget
-from .transparency.bounded import SearchBudget
-from .transparency.viewprogram import synthesize_view_program
-from .workflow.enumerate import RunGenerator
+# The CLI consumes the same stable facade downstream code does — the
+# explain/run/synthesize paths below exercise repro.api end to end.
+from .api import (
+    Budget,
+    Run,
+    RunGenerator,
+    SearchBudget,
+    WorkflowProgram,
+    audit_program,
+    enforce_run,
+    explain_run,
+    parse_program,
+    program_to_text,
+    run_from_json,
+    run_provenance,
+    run_to_json,
+    synthesize_view_program,
+    use_budget,
+)
 from .workflow.errors import BudgetExceeded, WorkflowError
-from .workflow.parser import parse_program
-from .workflow.program import WorkflowProgram
-from .workflow.runs import Run
-from .workflow.serialization import program_to_text, run_from_json, run_to_json
 
 
 def _load_program(path: str) -> WorkflowProgram:
@@ -116,7 +124,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     program = _load_program(args.program)
     findings = lint_program(
-        program, explore_depth=args.depth, max_states=args.max_states
+        program, max_depth=args.depth, max_states=args.max_states
     )
     for finding in findings:
         print(finding)
@@ -185,6 +193,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.show_scenario:
         print("\nThe minimal faithful scenario, replayed:")
         print(explanation.scenario_subrun())
+    if args.provenance:
+        log = run_provenance(run)
+        print("\nProvenance of the scenario events:")
+        for citation in log.citations(explanation.scenario.indices):
+            touched = ", ".join(
+                f"{t['action']} {t['relation']}({t['key']})"
+                for t in citation["touched"]
+            ) or "no tuple changes"
+            visible = ", ".join(citation["visible_to"])
+            print(
+                f"  [{citation['seq']}] {citation['rule']}@{citation['peer']}: "
+                f"{touched}; visible to {visible}"
+            )
     return 0
 
 
@@ -308,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after the command, print the per-rule query "
                              "hot-path table (plans, candidates, time) "
                              "collected by the query planner")
+    parser.add_argument("--metrics", action="store_true",
+                        help="after the command, dump the process metrics "
+                             "registry as Prometheus text to stderr")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="trace the command's spans to FILE as JSON "
+                             "lines ('-' for stderr)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser, peer_required: bool = True) -> None:
@@ -366,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_source(p_explain)
     p_explain.add_argument("--show-scenario", action="store_true",
                            help="also print the replayed scenario subrun")
+    p_explain.add_argument("--provenance", action="store_true",
+                           help="cite each scenario event's provenance "
+                                "(touched tuples, observing peers)")
     p_explain.set_defaults(handler=_cmd_explain)
 
     p_synth = sub.add_parser("synthesize", help="synthesize the peer's view program")
@@ -457,6 +487,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    trace_sink = None
+    if getattr(args, "trace", None):
+        from .obs.trace import JsonLinesSink, configure_tracing
+
+        trace_sink = JsonLinesSink(
+            sys.stderr if args.trace == "-" else args.trace
+        )
+        configure_tracing(trace_sink)
     try:
         with use_budget(budget):
             return args.handler(args)
@@ -467,11 +505,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if trace_sink is not None:
+            from .obs.trace import configure_tracing
+
+            configure_tracing(None)
+            trace_sink.close()
         if getattr(args, "profile_queries", False):
             from .workflow.planner import render_profile
 
             table = render_profile()
             print(table if table else "no queries were evaluated", file=sys.stderr)
+        if getattr(args, "metrics", False):
+            from .obs.metrics import METRICS
+
+            print(METRICS.render_prometheus(), end="", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

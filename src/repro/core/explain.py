@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple as PyTuple
 
+from ..obs.provenance import ProvenanceLog
 from ..workflow.events import Event
 from ..workflow.runs import OMEGA, Run, RunView
 from .faithful import FaithfulnessAnalysis, FaithfulScenario, minimal_faithful_scenario
@@ -100,6 +101,37 @@ def explain_run(run: Run, peer: str) -> Explanation:
             ObservationExplanation(step.index, step.label, causes)
         )
     return Explanation(run, peer, view, scenario, tuple(observations))
+
+
+def run_provenance(run: Run) -> ProvenanceLog:
+    """The per-event provenance log of *run*, rebuilt by replay.
+
+    The service records provenance live, at application time
+    (:class:`repro.service.registry.HostedRun`); this is the offline
+    form for runs that exist only as event logs — one replay, O(|delta|)
+    recording per event.  Each record's ``visible_to`` holds the peers
+    whose view of the transition changed, so explanation citations
+    ("event 3 inserted key k of R, visible to sue") can be grounded in
+    the same structure either way.
+    """
+    from ..workflow.engine import apply_event_with_delta, refresh_view_instance
+
+    schema = run.program.schema
+    log = ProvenanceLog()
+    instance = run.initial
+    views = {peer: schema.view_instance(instance, peer) for peer in schema.peers}
+    for seq, event in enumerate(run.events):
+        instance, delta = apply_event_with_delta(
+            schema, instance, event, forbidden_fresh=None, check_body=False
+        )
+        visible_to = {event.peer}
+        for peer, view in views.items():
+            refreshed = refresh_view_instance(schema, peer, view, delta)
+            if refreshed is not view:
+                visible_to.add(peer)
+                views[peer] = refreshed
+        log.record(seq, event.rule.name, event.peer, delta, visible_to)
+    return log
 
 
 def explain_event(run: Run, peer: str, position: int) -> FrozenSet[int]:

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..deprecation import renamed_kwarg
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..runtime.budget import Budget, checkpoint
 from ..workflow.engine import apply_event_with_delta, refresh_view_instance
 from ..workflow.errors import BudgetExceeded, EventError
@@ -28,6 +31,17 @@ from ..workflow.events import Event
 from ..workflow.instance import Instance
 from ..workflow.runs import OMEGA, Run
 from .subruns import EventSubsequence
+
+_SEARCH_NODES = METRICS.counter(
+    "repro_search_nodes_total",
+    "Search nodes expanded, by search kind",
+    labelnames=("search",),
+).labels(search="scenario")
+_SEARCHES = METRICS.counter(
+    "repro_scenario_searches_total",
+    "Branch-and-bound scenario searches run",
+    labelnames=("outcome",),
+)
 
 
 def is_scenario(run: Run, peer: str, indices: Iterable[int]) -> bool:
@@ -58,14 +72,14 @@ class _ScenarioSearch:
         run: Run,
         peer: str,
         allowed: Optional[FrozenSet[int]] = None,
-        max_size: Optional[int] = None,
+        max_depth: Optional[int] = None,
         budget: Optional[Budget] = None,
     ) -> None:
         self.run = run
         self.peer = peer
         self.schema = run.program.schema
         self.allowed = allowed if allowed is not None else frozenset(range(len(run)))
-        self.max_size = max_size if max_size is not None else len(run)
+        self.max_depth = max_depth if max_depth is not None else len(run)
         self.target = run.view(peer).observations()
         self.best: Optional[PyTuple[int, ...]] = None
         self.budget = budget
@@ -81,19 +95,31 @@ class _ScenarioSearch:
         (None when none was reached yet) instead of propagating.
         """
         initial_view = self.schema.view_instance(self.run.initial, self.peer)
-        try:
-            self._explore(0, self.run.initial, initial_view, 0, [])
-        except BudgetExceeded as exc:
-            if not anytime:
-                raise
-            self.truncated = True
-            self.reason = str(exc)
+        with span(
+            "scenario_search",
+            peer=self.peer,
+            run_events=len(self.run),
+            max_depth=self.max_depth,
+        ) as trace:
+            try:
+                self._explore(0, self.run.initial, initial_view, 0, [])
+            except BudgetExceeded as exc:
+                if not anytime:
+                    _SEARCHES.labels(outcome="budget").inc()
+                    raise
+                self.truncated = True
+                self.reason = str(exc)
+            _SEARCHES.labels(
+                outcome="truncated" if self.truncated else "completed"
+            ).inc()
+            trace.set("best", len(self.best) if self.best is not None else None)
+            trace.set("truncated", self.truncated)
         return self.best
 
     def _bound(self) -> int:
         if self.best is not None:
-            return min(self.max_size, len(self.best) - 1)
-        return self.max_size
+            return min(self.max_depth, len(self.best) - 1)
+        return self.max_depth
 
     def _explore(
         self,
@@ -104,6 +130,7 @@ class _ScenarioSearch:
         chosen: List[int],
     ) -> None:
         checkpoint(self.budget, depth=len(chosen))
+        _SEARCH_NODES.inc()
         if len(chosen) > self._bound():
             return
         remaining_targets = len(self.target) - matched
@@ -167,19 +194,31 @@ class _ScenarioSearch:
 
 
 def minimum_scenario(
-    run: Run, peer: str, max_size: Optional[int] = None, budget: Optional[Budget] = None
+    run: Run,
+    peer: str,
+    max_depth: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    *,
+    max_size: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
     """A minimum-length scenario of *run* at *peer* (exact, exponential).
 
-    Returns None when *max_size* is given and no scenario of at most
-    that many events exists.  Without *max_size* the full run is itself
+    Returns None when *max_depth* is given and no scenario of at most
+    that many events exists.  Without *max_depth* the full run is itself
     a scenario, so the result is never None.  A *budget* bounds the
     exponential search and raises
     :class:`~repro.workflow.errors.BudgetExceeded` when it trips; for a
     graceful best-so-far answer use
     :func:`repro.runtime.supervisor.anytime_minimum_scenario`.
+
+    .. deprecated:: 1.1
+       the *max_size* keyword; use *max_depth* (the shared search-limit
+       vocabulary: ``max_depth`` / ``max_states`` / ``budget``).
     """
-    best = _ScenarioSearch(run, peer, max_size=max_size, budget=budget).search()
+    max_depth = renamed_kwarg(
+        "minimum_scenario", "max_size", "max_depth", max_size, max_depth
+    )
+    best = _ScenarioSearch(run, peer, max_depth=max_depth, budget=budget).search()
     if best is None:
         return None
     return EventSubsequence(run, best)
@@ -189,19 +228,28 @@ def has_scenario_of_size(
     run: Run, peer: str, size: int, budget: Optional[Budget] = None
 ) -> bool:
     """Decide the NP-complete bounded-scenario problem of Theorem 3.3."""
-    return minimum_scenario(run, peer, max_size=size, budget=budget) is not None
+    return minimum_scenario(run, peer, max_depth=size, budget=budget) is not None
 
 
 def scenario_within(
     run: Run,
     peer: str,
     allowed: Iterable[int],
-    max_size: Optional[int] = None,
+    max_depth: Optional[int] = None,
     budget: Optional[Budget] = None,
+    *,
+    max_size: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
-    """A scenario using only events at *allowed* positions, if one exists."""
+    """A scenario using only events at *allowed* positions, if one exists.
+
+    .. deprecated:: 1.1
+       the *max_size* keyword; use *max_depth*.
+    """
+    max_depth = renamed_kwarg(
+        "scenario_within", "max_size", "max_depth", max_size, max_depth
+    )
     best = _ScenarioSearch(
-        run, peer, allowed=frozenset(allowed), max_size=max_size, budget=budget
+        run, peer, allowed=frozenset(allowed), max_depth=max_depth, budget=budget
     ).search()
     if best is None:
         return None
@@ -217,7 +265,7 @@ def is_minimal_scenario(run: Run, peer: str, indices: Iterable[int]) -> bool:
     index_set = frozenset(indices)
     if not is_scenario(run, peer, index_set):
         return False
-    smaller = scenario_within(run, peer, index_set, max_size=len(index_set) - 1)
+    smaller = scenario_within(run, peer, index_set, max_depth=len(index_set) - 1)
     return smaller is None
 
 

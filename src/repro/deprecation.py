@@ -1,0 +1,48 @@
+"""Deprecation shims for renamed keyword arguments.
+
+The naming-consistency pass (see docs/API.md) standardized the
+search-limit vocabulary on ``max_depth`` / ``max_states`` / ``budget``
+across :mod:`repro.core.scenarios`, :mod:`repro.workflow.statespace`,
+:mod:`repro.workflow.enumerate` and :mod:`repro.workflow.lint`.  The old
+spellings keep working for one release through :func:`renamed_kwarg`,
+which emits a :class:`DeprecationWarning` naming the replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, TypeVar
+
+__all__ = ["renamed_kwarg"]
+
+T = TypeVar("T")
+
+
+def renamed_kwarg(
+    where: str,
+    old_name: str,
+    new_name: str,
+    old_value: Optional[T],
+    new_value: Optional[T],
+    stacklevel: int = 3,
+) -> Optional[T]:
+    """Resolve a renamed keyword argument, warning when the old name is used.
+
+    Returns *new_value* when the caller used the new spelling (or
+    neither), and *old_value* — with a :class:`DeprecationWarning` —
+    when only the old spelling was passed.  Passing both is an error.
+    """
+    if old_value is None:
+        return new_value
+    if new_value is not None:
+        raise TypeError(
+            f"{where}() got both {old_name!r} (deprecated) and {new_name!r}; "
+            f"pass only {new_name!r}"
+        )
+    warnings.warn(
+        f"the {old_name!r} argument of {where}() is deprecated; "
+        f"use {new_name!r} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return old_value

@@ -1,0 +1,184 @@
+"""Per-run provenance: which events touched which tuples and peer views.
+
+ProvDB-style lifecycle provenance for hosted runs: every applied event
+leaves one :class:`ProvenanceRecord` — its sequence number, rule, acting
+peer, the ``(relation, key)`` pairs its transition touched (read off the
+engine's ``ViewDelta``, so recording is O(|delta|)), and the peers whose
+views the transition changed.  The log is queryable in both directions:
+
+* :meth:`ProvenanceLog.events_touching` — "which events wrote this
+  tuple?" (key-level provenance of the current database state);
+* :meth:`ProvenanceLog.events_visible_to` — "which events changed what
+  this peer sees?" (view-level provenance).
+
+The paper's explanations are provenance queries over exactly this
+structure: a scenario is a set of event positions, and citing each
+position's record grounds the explanation in what the system *recorded*
+happening rather than a replay.  The service's ``explain`` op attaches
+these citations; the ``provenance`` op exposes the queries directly.
+
+The module is dependency-free: deltas are consumed through their
+``changes`` mapping (relation -> key -> (before, after)) without
+importing the engine, so the log can also archive spans or journal
+entries from other layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["ProvenanceLog", "ProvenanceRecord"]
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """What one applied event touched, as recorded at application time."""
+
+    seq: int
+    rule: str
+    peer: str
+    #: ``(relation, key, action)`` triples; action is ``insert``,
+    #: ``delete`` or ``update`` (a chase merge rewriting an existing key).
+    touched: Tuple[Tuple[str, Any, str], ...]
+    #: Peers whose view the transition changed (always includes any peer
+    #: that observed the event as visible).
+    visible_to: Tuple[str, ...]
+    #: The id of the tracing span that covered the application, when
+    #: tracing was on — lets a provenance answer link back to timings.
+    span_id: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "rule": self.rule,
+            "peer": self.peer,
+            "touched": [
+                {"relation": relation, "key": _jsonable(key), "action": action}
+                for relation, key, action in self.touched
+            ],
+            "visible_to": list(self.visible_to),
+            **({"span_id": self.span_id} if self.span_id is not None else {}),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _touched_from_delta(delta: Any) -> Tuple[Tuple[str, Any, str], ...]:
+    """``(relation, key, action)`` triples from a ViewDelta-shaped object."""
+    touched: List[Tuple[str, Any, str]] = []
+    for relation, keys in delta.changes.items():
+        for key, (before, after) in keys.items():
+            if before is None:
+                action = "insert"
+            elif after is None:
+                action = "delete"
+            else:
+                action = "update"
+            touched.append((relation, key, action))
+    touched.sort(key=lambda t: (t[0], repr(t[1])))
+    return tuple(touched)
+
+
+class ProvenanceLog:
+    """The append-only provenance log of one run.
+
+    Indexed on append: key-level lookups (:meth:`events_touching`) and
+    view-level lookups (:meth:`events_visible_to`) are O(answer), not
+    O(run length).
+    """
+
+    def __init__(self, run_id: str = "") -> None:
+        self.run_id = run_id
+        self._records: List[ProvenanceRecord] = []
+        #: (relation, repr(key)) -> seqs that touched it, in order.
+        self._by_key: Dict[Tuple[str, str], List[int]] = {}
+        #: relation -> seqs that touched it, in order.
+        self._by_relation: Dict[str, List[int]] = {}
+        #: peer -> seqs visible to it, in order.
+        self._by_peer: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        seq: int,
+        rule: str,
+        peer: str,
+        delta: Any,
+        visible_to: Iterable[str],
+        span_id: Optional[int] = None,
+    ) -> ProvenanceRecord:
+        """Append the provenance of one applied event.
+
+        *delta* is anything with a ViewDelta-shaped ``changes`` mapping;
+        *visible_to* are the peers whose views the transition changed
+        (the acting peer should be included by the caller when its event
+        is visible-by-definition).
+        """
+        record = ProvenanceRecord(
+            seq=seq,
+            rule=rule,
+            peer=peer,
+            touched=_touched_from_delta(delta),
+            visible_to=tuple(sorted(set(visible_to))),
+            span_id=span_id,
+        )
+        self._records.append(record)
+        for relation, key, _action in record.touched:
+            self._by_key.setdefault((relation, repr(key)), []).append(seq)
+            by_rel = self._by_relation.setdefault(relation, [])
+            if not by_rel or by_rel[-1] != seq:
+                by_rel.append(seq)
+        for observer in record.visible_to:
+            self._by_peer.setdefault(observer, []).append(seq)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[ProvenanceRecord, ...]:
+        return tuple(self._records)
+
+    def get(self, seq: int) -> Optional[ProvenanceRecord]:
+        """The record with sequence number *seq* (None when unknown)."""
+        for record in self._records:
+            if record.seq == seq:
+                return record
+        return None
+
+    def events_touching(
+        self, relation: str, key: Any = None
+    ) -> Tuple[int, ...]:
+        """Seqs of events that touched *relation* (or one of its keys)."""
+        if key is None:
+            return tuple(self._by_relation.get(relation, ()))
+        return tuple(self._by_key.get((relation, repr(key)), ()))
+
+    def events_visible_to(self, peer: str) -> Tuple[int, ...]:
+        """Seqs of events that changed *peer*'s view."""
+        return tuple(self._by_peer.get(peer, ()))
+
+    def citations(self, seqs: Iterable[int]) -> List[Dict[str, Any]]:
+        """The records for *seqs* as dicts (for explain responses).
+
+        Unknown seqs are skipped — a scenario computed on a recovered
+        run may cite positions the in-memory log never saw.
+        """
+        wanted = set(seqs)
+        return [
+            record.to_dict() for record in self._records if record.seq in wanted
+        ]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self._records]

@@ -1,0 +1,313 @@
+"""Zero-dependency structured tracing: nestable spans with pluggable sinks.
+
+A *span* is one timed unit of work — an event application, a scenario
+search, a synthesis pass — carrying a name, a monotonic start/duration,
+a process-unique ``span_id``, the ``parent_id`` of the enclosing span
+(spans nest through a :mod:`contextvars` stack, so nesting is correct
+across ``asyncio`` tasks), and free-form attributes::
+
+    with span("apply_event", run_id=run_id, peer=event.peer) as s:
+        ...
+        s.set("delta_keys", len(delta.changes))
+
+Tracing is **off by default** and costs almost nothing while off:
+:func:`span` returns a shared no-op context manager without allocating
+a span, so the instrumented hot paths (one :func:`span` call per event
+application) stay within the <5% overhead bar that benchmark E16
+enforces.  Turn it on by installing a sink::
+
+    from repro.obs import RingBufferSink, configure_tracing
+
+    sink = RingBufferSink(capacity=10_000)
+    configure_tracing(sink)          # process-wide, returns previous sink
+    ...
+    for finished in sink.spans():    # SpanRecord objects, oldest first
+        print(finished.name, finished.duration_us)
+
+or scoped, for tests and one-shot captures::
+
+    with capture_spans() as sink:
+        run = RunGenerator(program, seed=0).random_run(5)
+    assert any(s.name == "apply_event" for s in sink.spans())
+
+Sinks receive **finished** spans (:class:`SpanRecord`), one call per
+span, innermost first.  Three implementations ship: the implicit no-op
+default (:class:`NullSink`), an in-memory bounded :class:`RingBufferSink`
+and a :class:`JsonLinesSink` writing one JSON object per line.
+
+This module sits below every other ``repro`` module — it imports
+nothing from the package — so any layer (engine, search, service,
+runtime) can be instrumented without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, Tuple
+
+__all__ = [
+    "JsonLinesSink",
+    "NullSink",
+    "RingBufferSink",
+    "SpanRecord",
+    "TraceSink",
+    "capture_spans",
+    "configure_tracing",
+    "current_span_id",
+    "span",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as delivered to sinks.
+
+    ``started_at`` is a :func:`time.monotonic` timestamp (comparable
+    within the process, not wall-clock); ``duration_us`` is the span's
+    length in microseconds measured with :func:`time.perf_counter_ns`.
+    ``status`` is ``"ok"`` or ``"error"`` (an exception escaped the
+    span), with the exception's type name in ``error``.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    started_at: float
+    duration_us: float
+    status: str = "ok"
+    error: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": round(self.started_at, 6),
+            "duration_us": round(self.duration_us, 3),
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attributes:
+            out["attributes"] = {k: _jsonable(v) for k, v in self.attributes.items()}
+        return out
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class TraceSink:
+    """The sink interface: one :meth:`emit` call per finished span."""
+
+    def emit(self, record: SpanRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(TraceSink):
+    """Discards every span.  Installing it is equivalent to tracing off:
+    :func:`configure_tracing` special-cases it back to the disabled fast
+    path, so spans are never even allocated."""
+
+    def emit(self, record: SpanRecord) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent *capacity* finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, record: SpanRecord) -> None:
+        self._buffer.append(record)
+        self.emitted += 1
+
+    def spans(self) -> List[SpanRecord]:
+        """The buffered spans, oldest first."""
+        return list(self._buffer)
+
+    def named(self, name: str) -> List[SpanRecord]:
+        return [record for record in self._buffer if record.name == name]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonLinesSink(TraceSink):
+    """Writes one JSON object per finished span to a file or stream."""
+
+    def __init__(self, target, flush_every: int = 64) -> None:
+        """*target* is a path (opened for append) or an open text stream."""
+        if hasattr(target, "write"):
+            self._stream: TextIO = target
+            self._owns = False
+        else:
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns = True
+        self.flush_every = flush_every
+        self.emitted = 0
+
+    def emit(self, record: SpanRecord) -> None:
+        self._stream.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self.emitted += 1
+        if self.flush_every and self.emitted % self.flush_every == 0:
+            self._stream.flush()
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+# ----------------------------------------------------------------------
+# The tracer: a process-wide sink plus a contextvar nesting stack
+# ----------------------------------------------------------------------
+
+_SINK: Optional[TraceSink] = None
+
+_ids = itertools.count(1)
+
+#: The innermost active span's id (None at top level).  A contextvar so
+#: nesting is tracked correctly across asyncio task switches.
+_CURRENT: "contextvars.ContextVar[Optional[int]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def configure_tracing(sink: Optional[TraceSink]) -> Optional[TraceSink]:
+    """Install *sink* process-wide and return the previously installed one.
+
+    ``None`` or a :class:`NullSink` disables tracing entirely (the
+    zero-allocation fast path benchmark E16 measures).
+    """
+    global _SINK
+    previous = _SINK
+    _SINK = None if sink is None or isinstance(sink, NullSink) else sink
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """True iff a real (non-null) sink is installed."""
+    return _SINK is not None
+
+
+def current_span_id() -> Optional[int]:
+    """The innermost active span's id, or None outside any span."""
+    return _CURRENT.get()
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live span: context manager measuring one unit of work."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "_started_at",
+        "_start_ns",
+        "_token",
+    )
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.span_id = next(_ids)
+        self.parent_id: Optional[int] = None
+        self.attributes = attributes
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span while it is running."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        self.parent_id = _CURRENT.get()
+        self._token = _CURRENT.set(self.span_id)
+        self._started_at = time.monotonic()
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_us = (time.perf_counter_ns() - self._start_ns) / 1e3
+        _CURRENT.reset(self._token)
+        sink = _SINK
+        if sink is None:  # sink removed mid-span: drop silently
+            return None
+        record = SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            started_at=self._started_at,
+            duration_us=duration_us,
+            status="error" if exc_type is not None else "ok",
+            error=exc_type.__name__ if exc_type is not None else None,
+            attributes=self.attributes,
+        )
+        try:
+            sink.emit(record)
+        except Exception:  # a broken sink must never break the traced code
+            pass
+        return None
+
+
+def span(name: str, **attributes: Any):
+    """Open a span named *name* with the given attributes.
+
+    Returns a context manager; while tracing is disabled it is a shared
+    no-op object and no span is allocated.  The live span supports
+    ``.set(key, value)`` for attributes only known mid-work.
+    """
+    if _SINK is None:
+        return _NOOP
+    return _ActiveSpan(name, attributes)
+
+
+@contextlib.contextmanager
+def capture_spans(capacity: int = 4096) -> Iterator[RingBufferSink]:
+    """Scoped tracing into a fresh ring buffer (restores the prior sink).
+
+    >>> # with capture_spans() as sink:
+    >>> #     apply_event(schema, instance, event)
+    >>> # sink.named("apply_event")
+    """
+    sink = RingBufferSink(capacity)
+    previous = configure_tracing(sink)
+    try:
+        yield sink
+    finally:
+        configure_tracing(previous)

@@ -31,6 +31,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Type
 
+from ..deprecation import renamed_kwarg
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..workflow.engine import apply_event
 from ..workflow.errors import (
     BudgetExceeded,
@@ -54,6 +57,21 @@ __all__ = [
     "anytime_minimum_scenario",
     "anytime_reachable_states",
 ]
+
+_RETRIES = METRICS.counter(
+    "repro_supervisor_retries_total",
+    "Event applications retried by the supervisor, by failure class",
+    labelnames=("failure",),
+)
+_QUARANTINES = METRICS.counter(
+    "repro_supervisor_quarantines_total",
+    "Events quarantined as poisoned by the supervisor",
+)
+_SUPERVISED_RUNS = METRICS.counter(
+    "repro_supervisor_runs_total",
+    "Supervised executions, by outcome",
+    labelnames=("outcome",),
+)
 
 #: Deterministic failures that quarantine an event after retries.
 #: EventError covers UpdateNotApplicable, FreshnessViolation and body
@@ -162,10 +180,12 @@ class Supervisor:
             except self.transient_errors as exc:
                 if attempt >= self.retry.max_attempts:
                     return None, attempt, f"transient fault persisted: {exc}"
+                _RETRIES.labels(failure="transient").inc()
                 self.retry.sleep(self.retry.backoff(attempt))
             except POISON_ERRORS as exc:
                 if attempt >= self.retry.max_attempts:
                     return None, attempt, f"{type(exc).__name__}: {exc}"
+                _RETRIES.labels(failure="poison").inc()
                 self.retry.sleep(self.retry.backoff(attempt))
 
     # ------------------------------------------------------------------
@@ -193,34 +213,44 @@ class Supervisor:
         quarantined: List[QuarantinedEvent] = []
         truncated = False
         reason: Optional[str] = None
-        try:
-            for index, event in enumerate(events):
-                try:
-                    checkpoint(self.budget)
-                except BudgetExceeded as exc:
-                    truncated = True
-                    reason = str(exc)
-                    break
-                successor, attempts, error = self._apply_with_retry(index, event, instance)
-                if successor is None:
-                    diagnostic = error or "event failed"
-                    quarantined.append(
-                        QuarantinedEvent(index, event, attempts, diagnostic)
+        with span("supervised_execute", events=len(events)) as trace:
+            try:
+                for index, event in enumerate(events):
+                    try:
+                        checkpoint(self.budget)
+                    except BudgetExceeded as exc:
+                        truncated = True
+                        reason = str(exc)
+                        break
+                    successor, attempts, error = self._apply_with_retry(
+                        index, event, instance
                     )
+                    if successor is None:
+                        diagnostic = error or "event failed"
+                        quarantined.append(
+                            QuarantinedEvent(index, event, attempts, diagnostic)
+                        )
+                        _QUARANTINES.inc()
+                        if self.journal is not None:
+                            self.journal.quarantine(index, event, diagnostic, attempts)
+                        continue
+                    instance = successor
+                    applied_events.append(event)
+                    instances.append(instance)
                     if self.journal is not None:
-                        self.journal.quarantine(index, event, diagnostic, attempts)
-                    continue
-                instance = successor
-                applied_events.append(event)
-                instances.append(instance)
+                        self.journal.record_event(index, event, instance)
+            except CrashFault:
                 if self.journal is not None:
-                    self.journal.record_event(index, event, instance)
-        except CrashFault:
+                    self.journal.end("crashed")
+                _SUPERVISED_RUNS.labels(outcome="crashed").inc()
+                raise
             if self.journal is not None:
-                self.journal.end("crashed")
-            raise
-        if self.journal is not None:
-            self.journal.end("truncated" if truncated else "completed", reason)
+                self.journal.end("truncated" if truncated else "completed", reason)
+            outcome = "truncated" if truncated else "completed"
+            _SUPERVISED_RUNS.labels(outcome=outcome).inc()
+            trace.set("applied", len(applied_events))
+            trace.set("quarantined", len(quarantined))
+            trace.set("outcome", outcome)
         run = Run(self.program, start, applied_events, instances)
         return SupervisedRun(run, quarantined, truncated, reason)
 
@@ -234,6 +264,8 @@ def anytime_minimum_scenario(
     run: Run,
     peer: str,
     budget: Budget,
+    max_depth: Optional[int] = None,
+    *,
     max_size: Optional[int] = None,
 ) -> AnytimeResult:
     """Minimum-scenario search that degrades gracefully under a budget.
@@ -248,14 +280,20 @@ def anytime_minimum_scenario(
 
     >>> # result = anytime_minimum_scenario(run, "sue", Budget(wall_seconds=1.0))
     >>> # result.value, result.truncated
+
+    .. deprecated:: 1.1
+       the *max_size* keyword; use *max_depth*.
     """
     from ..core.scenarios import _ScenarioSearch
     from ..core.subruns import EventSubsequence
 
-    search = _ScenarioSearch(run, peer, max_size=max_size, budget=budget)
+    max_depth = renamed_kwarg(
+        "anytime_minimum_scenario", "max_size", "max_depth", max_size, max_depth
+    )
+    search = _ScenarioSearch(run, peer, max_depth=max_depth, budget=budget)
     best = search.search(anytime=True)
     if best is None:
-        # No scenario within max_size found before truncation (or none
+        # No scenario within max_depth found before truncation (or none
         # exists); the full run is the universal fallback scenario.
         value = EventSubsequence(run, tuple(range(len(run))))
     else:

@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import weakref
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple as PyTuple
 
+from ..obs.metrics import METRICS
 from ..runtime.budget import Budget
 from ..runtime.faults import CrashFault, FaultInjector, FaultPlan, TransientFault
 from ..runtime.supervisor import POISON_ERRORS, RetryPolicy
@@ -50,6 +52,40 @@ APPLIED = "applied"
 QUARANTINED = "quarantined"
 REJECTED_BACKPRESSURE = "rejected_backpressure"
 REJECTED_BUDGET = "rejected_budget"
+
+_SUBMISSIONS = METRICS.counter(
+    "repro_broker_submissions_total",
+    "Event submissions resolved by the broker, by status",
+    labelnames=("status",),
+)
+_BROKER_RETRIES = METRICS.counter(
+    "repro_broker_retries_total",
+    "Event applications retried by broker workers",
+)
+_BROKER_RECOVERIES = METRICS.counter(
+    "repro_broker_crash_recoveries_total",
+    "Crash/recover cycles performed while an event was in flight",
+)
+
+#: Live brokers, tracked weakly for the mailbox-depth gauge.
+_live_brokers: "weakref.WeakSet[EventBroker]" = weakref.WeakSet()
+
+
+def _collect_broker_gauges(metrics) -> None:
+    gauge = metrics.gauge(
+        "repro_broker_queued_events",
+        "Events waiting in per-run mailboxes, summed over live brokers",
+    )
+    gauge.set(
+        sum(
+            mailbox.queue.qsize()
+            for broker in _live_brokers
+            for mailbox in broker._mailboxes.values()
+        )
+    )
+
+
+METRICS.register_collector(_collect_broker_gauges)
 
 
 @dataclass(frozen=True)
@@ -119,6 +155,7 @@ class EventBroker:
             "retries": 0,
             "crash_recoveries": 0,
         }
+        _live_brokers.add(self)
 
     # ------------------------------------------------------------------
     # Submission (the client-facing edge)
@@ -133,6 +170,7 @@ class EventBroker:
         """
         if self.budget is not None and self.budget.exhausted():
             self.counters[REJECTED_BUDGET] += 1
+            _SUBMISSIONS.labels(status=REJECTED_BUDGET).inc()
             return SubmitOutcome(
                 run_id,
                 REJECTED_BUDGET,
@@ -143,6 +181,7 @@ class EventBroker:
         mailbox = self._mailbox(run_id)
         if mailbox.queue.qsize() >= self.queue_capacity:
             self.counters[REJECTED_BACKPRESSURE] += 1
+            _SUBMISSIONS.labels(status=REJECTED_BACKPRESSURE).inc()
             return SubmitOutcome(
                 run_id,
                 REJECTED_BACKPRESSURE,
@@ -197,6 +236,7 @@ class EventBroker:
             finally:
                 mailbox.in_flight = 0
             self.counters[outcome.status] = self.counters.get(outcome.status, 0) + 1
+            _SUBMISSIONS.labels(status=outcome.status).inc()
             if self.budget is not None:
                 # Tick the service budget per applied event without
                 # raising out of the worker; admission sees the result.
@@ -239,6 +279,7 @@ class EventBroker:
             except CrashFault:
                 await self.registry.crash_and_recover(run_id)
                 self.counters["crash_recoveries"] += 1
+                _BROKER_RECOVERIES.inc()
                 recovered = True
                 # The injector only crashes once per index: retry resumes
                 # against the journal-recovered instance.
@@ -256,6 +297,7 @@ class EventBroker:
                         recovered=recovered,
                     )
                 self.counters["retries"] += 1
+                _BROKER_RETRIES.inc()
                 await asyncio.sleep(self.retry.backoff(attempt))
             except POISON_ERRORS as exc:
                 diagnostic = f"{type(exc).__name__}: {exc}"
@@ -269,6 +311,7 @@ class EventBroker:
                         recovered=recovered,
                     )
                 self.counters["retries"] += 1
+                _BROKER_RETRIES.inc()
                 await asyncio.sleep(self.retry.backoff(attempt))
 
     # ------------------------------------------------------------------

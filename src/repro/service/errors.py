@@ -1,8 +1,27 @@
-"""Errors of the multi-run workflow service."""
+"""Errors of the multi-run workflow service, and the wire error codes.
+
+The :data:`ERROR_CODES` registry is the single source of truth for the
+machine-readable ``error`` codes the JSON-lines protocol emits: the
+server classifies exceptions through :func:`error_code`, the protocol
+docs enumerate :data:`ERROR_CODES`, and the load generator's violation
+checks accept exactly these codes — one registry, three consumers.
+"""
 
 from __future__ import annotations
 
-from ..workflow.errors import WorkflowError
+from typing import Dict, Tuple, Type
+
+from ..workflow.errors import EventError, WorkflowError
+
+__all__ = [
+    "AdmissionError",
+    "DuplicateRunError",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ServiceError",
+    "UnknownRunError",
+    "error_code",
+]
 
 
 class ServiceError(WorkflowError):
@@ -23,3 +42,35 @@ class AdmissionError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A malformed request or response line on the wire."""
+
+
+#: Every ``error`` code a response can carry, with its meaning.  This is
+#: the registry the protocol documentation and the load generator's
+#: violation checks share with the server.
+ERROR_CODES: Dict[str, str] = {
+    "unknown_run": "the request referenced a run id that is not hosted",
+    "duplicate_run": "an open used a run id that is already hosted",
+    "protocol": "the request line was malformed or used an unknown op",
+    "event": "the event was rejected by the engine (body, freshness, chase)",
+    "service": "a service-layer failure (admission, unknown peer, ...)",
+    "workflow": "any other workflow-level failure",
+}
+
+#: Exception classification, most specific first — the first matching
+#: entry decides the wire code (so ProtocolError is "protocol", not its
+#: base class's "service").
+_CLASSIFICATION: Tuple[Tuple[Type[BaseException], str], ...] = (
+    (UnknownRunError, "unknown_run"),
+    (DuplicateRunError, "duplicate_run"),
+    (ProtocolError, "protocol"),
+    (EventError, "event"),
+    (ServiceError, "service"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for *exc* (always a key of :data:`ERROR_CODES`)."""
+    for kind, code in _CLASSIFICATION:
+        if isinstance(exc, kind):
+            return code
+    return "workflow"

@@ -30,8 +30,8 @@ from ..workflow.events import Event
 from ..workflow.program import WorkflowProgram
 from ..workflow.runs import execute
 from ..workflow.serialization import event_to_dict, instance_to_dict
-from .errors import ServiceError
-from .protocol import decode_line, encode_message
+from .errors import ERROR_CODES, ServiceError
+from .protocol import PROTOCOL_VERSION, decode_line, encode_message
 
 __all__ = ["LoadReport", "RunOutcome", "ServiceClient", "run_loadgen"]
 
@@ -49,13 +49,30 @@ class ServiceClient:
         return cls(reader, writer)
 
     async def request(self, **message: Any) -> Dict[str, Any]:
-        """Send one request and await its response line."""
+        """Send one request and await its response line.
+
+        The client is also a protocol checker: a failure response whose
+        ``error`` is not in the shared :data:`ERROR_CODES` registry, or
+        a response claiming a newer protocol than this client speaks,
+        is itself a violation and raises.
+        """
         self._writer.write(encode_message(message))
         await self._writer.drain()
         line = await self._reader.readline()
         if not line:
             raise ServiceError("server closed the connection mid-request")
-        return decode_line(line)
+        response = decode_line(line)
+        claimed = response.get("protocol")
+        if isinstance(claimed, int) and claimed > PROTOCOL_VERSION:
+            raise ServiceError(
+                f"server speaks protocol {claimed}, client only {PROTOCOL_VERSION}"
+            )
+        if not response.get("ok") and response.get("error") not in ERROR_CODES:
+            raise ServiceError(
+                f"failure response carries unregistered error code "
+                f"{response.get('error')!r} (known: {', '.join(sorted(ERROR_CODES))})"
+            )
+        return response
 
     async def expect_ok(self, **message: Any) -> Dict[str, Any]:
         response = await self.request(**message)

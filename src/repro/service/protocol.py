@@ -35,10 +35,35 @@ Operations
 ``stats``     ``{"op": "stats", "run": <id>?}`` — service-wide or
               per-run counters (including the process-wide query
               evaluation counters under ``queries``).
+``metrics``   ``{"op": "metrics"}`` — the process-wide metrics registry
+              rendered as Prometheus text exposition format (version
+              0.0.4) in the response's ``text`` field, plus the
+              structured ``snapshot``.
+``provenance`` ``{"op": "provenance", "run": <id>, "relation": R?,
+              "key": k?, "peer": p?}`` — provenance queries over the
+              hosted run's per-event provenance log: which events
+              touched relation ``R`` (or its key ``k``), or which
+              events changed peer ``p``'s view.  Without a filter the
+              whole log is returned under ``records``.
 ``close``     ``{"op": "close", "run": <id>}`` — stop hosting, sealing
               the journal with status ``completed``.
 ``shutdown``  ``{"op": "shutdown"}`` — drain and stop the server.
 ``ping``      liveness probe.
+
+Versioning
+----------
+
+Every response envelope carries ``"protocol": PROTOCOL_VERSION``.
+Requests *may* carry a ``protocol`` field; the server rejects requests
+that demand a newer protocol than it speaks (``ProtocolError``), and
+ignores older ones — version 2 is a strict superset of version 1.
+
+Error codes
+-----------
+
+The machine-readable ``error`` codes of failure responses are the keys
+of :data:`repro.service.errors.ERROR_CODES` — the single registry the
+server, this documentation and the load generator share.
 """
 
 from __future__ import annotations
@@ -58,7 +83,9 @@ __all__ = [
     "parse_request",
 ]
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``metrics`` and ``provenance`` ops and the
+#: ``protocol`` field on every response envelope.
+PROTOCOL_VERSION = 2
 
 #: Every operation the server understands.
 OPS = (
@@ -68,13 +95,17 @@ OPS = (
     "explain",
     "applicable",
     "stats",
+    "metrics",
+    "provenance",
     "close",
     "shutdown",
     "ping",
 )
 
 #: Ops that must name a run.
-_RUN_OPS = frozenset({"open", "submit", "view", "explain", "applicable", "close"})
+_RUN_OPS = frozenset(
+    {"open", "submit", "view", "explain", "applicable", "provenance", "close"}
+)
 #: Ops that must name a peer.
 _PEER_OPS = frozenset({"view", "explain"})
 
@@ -109,6 +140,15 @@ def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
     op = message.get("op")
     if not isinstance(op, str) or op not in OPS:
         raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    requested = message.get("protocol")
+    if requested is not None:
+        if not isinstance(requested, int):
+            raise ProtocolError("the 'protocol' field must be an integer")
+        if requested > PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"request demands protocol {requested}, "
+                f"server speaks {PROTOCOL_VERSION}"
+            )
     if op in _RUN_OPS and not isinstance(message.get("run"), str):
         raise ProtocolError(f"op {op!r} requires a string 'run' field")
     if op in _PEER_OPS and not isinstance(message.get("peer"), str):
@@ -119,7 +159,7 @@ def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
 
 
 def ok_response(request_id: Optional[Any] = None, **fields: Any) -> Dict[str, Any]:
-    response: Dict[str, Any] = {"ok": True, **fields}
+    response: Dict[str, Any] = {"ok": True, "protocol": PROTOCOL_VERSION, **fields}
     if request_id is not None:
         response["id"] = request_id
     return response
@@ -128,7 +168,12 @@ def ok_response(request_id: Optional[Any] = None, **fields: Any) -> Dict[str, An
 def error_response(
     request_id: Optional[Any], code: str, message: str
 ) -> Dict[str, Any]:
-    response: Dict[str, Any] = {"ok": False, "error": code, "message": message}
+    response: Dict[str, Any] = {
+        "ok": False,
+        "protocol": PROTOCOL_VERSION,
+        "error": code,
+        "message": message,
+    }
     if request_id is not None:
         response["id"] = request_id
     return response

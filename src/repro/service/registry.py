@@ -20,12 +20,16 @@ replaying the journal through the engine — the same code path
 from __future__ import annotations
 
 import asyncio
+import weakref
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple as PyTuple
 
 from ..core.incremental import IncrementalExplainer
+from ..obs.metrics import METRICS
+from ..obs.provenance import ProvenanceLog
+from ..obs.trace import current_span_id
 from ..runtime.journal import (
     JournalWriter,
     journal_path,
@@ -41,6 +45,33 @@ from .errors import DuplicateRunError, ServiceError, UnknownRunError
 from .viewcache import ViewCacheSet
 
 __all__ = ["HostedRun", "ShardedRunRegistry"]
+
+_VIEW_READS = METRICS.counter(
+    "repro_registry_view_reads_total",
+    "Peer-view reads served, by source (cached / recomputed)",
+    labelnames=("source",),
+)
+_VIEW_READS_CACHED = _VIEW_READS.labels(source="cached")
+_VIEW_READS_RECOMPUTED = _VIEW_READS.labels(source="recomputed")
+_RECOVERIES = METRICS.counter(
+    "repro_registry_recoveries_total",
+    "Runs recovered by replaying their journal",
+)
+
+#: Live registries, tracked weakly so the hosted-runs gauge can be
+#: collected at scrape time without keeping closed services alive.
+_live_registries: "weakref.WeakSet[ShardedRunRegistry]" = weakref.WeakSet()
+
+
+def _collect_registry_gauges(metrics) -> None:
+    gauge = metrics.gauge(
+        "repro_registry_hosted_runs",
+        "Runs currently hosted, summed over live registries",
+    )
+    gauge.set(sum(registry.hosted_count() for registry in _live_registries))
+
+
+METRICS.register_collector(_collect_registry_gauges)
 
 
 class HostedRun:
@@ -80,6 +111,11 @@ class HostedRun:
         self.submitted = len(self.events)
         self.quarantined = 0
         self.recoveries = 0
+        #: Per-event provenance, recorded at application time.  A
+        #: recovered run starts with an empty log — provenance queries
+        #: and explain citations cover the events applied since hosting
+        #: began (the journal holds the durable history).
+        self.provenance = ProvenanceLog(run_id)
 
     # ------------------------------------------------------------------
     # Application
@@ -106,7 +142,30 @@ class HostedRun:
         self.instance = result
         self.events.append(event)
         if self.caches is not None:
-            self.caches.apply_delta(delta)
+            changed_peers = self.caches.apply_delta(delta)
+        else:
+            # No caches to consult: fall back to the peers that have a
+            # view of some touched relation (a superset of the peers
+            # whose view content actually changed).
+            changed_peers = tuple(
+                sorted(
+                    {
+                        view.peer
+                        for relation in delta.changes
+                        for view in self.program.schema.views_of_relation(relation)
+                    }
+                )
+            )
+        visible_to = set(changed_peers)
+        visible_to.add(event.peer)
+        self.provenance.record(
+            seq,
+            event.rule.name,
+            event.peer,
+            delta,
+            visible_to,
+            span_id=current_span_id(),
+        )
         if self._event_index is not None:
             self._event_index.advance(delta, result)
         for explainer in self._explainers.values():
@@ -125,7 +184,9 @@ class HostedRun:
     def view_instance(self, peer: str) -> Instance:
         """``I@p`` of the current instance — O(|delta|)-fresh when cached."""
         if self.caches is not None:
+            _VIEW_READS_CACHED.inc()
             return self.caches.peer(peer).instance()
+        _VIEW_READS_RECOMPUTED.inc()
         return self.program.schema.view_instance(self.instance, peer)
 
     def view_version(self, peer: str) -> int:
@@ -206,6 +267,7 @@ class ShardedRunRegistry:
         self.cache_views = cache_views
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
         self.recoveries = 0
+        _live_registries.add(self)
 
     # ------------------------------------------------------------------
     # Sharding
@@ -254,6 +316,7 @@ class ShardedRunRegistry:
                 )
             if recovered:
                 self.recoveries += 1
+                _RECOVERIES.inc()
             return hosted, recovered
 
     def _materialize(self, run_id: str, initial: Optional[Instance]) -> HostedRun:
@@ -339,6 +402,7 @@ class ShardedRunRegistry:
             recovered.recoveries = prior_recoveries + 1
             shard.runs[run_id] = recovered
             self.recoveries += 1
+            _RECOVERIES.inc()
             return recovered
 
     # ------------------------------------------------------------------

@@ -20,10 +20,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..obs.metrics import METRICS
 from ..runtime.budget import Budget
 from ..runtime.faults import FaultPlan
 from ..runtime.supervisor import RetryPolicy
-from ..workflow.errors import EventError, WorkflowError
+from ..workflow.errors import WorkflowError
 from ..workflow.evalstats import EVAL_STATS
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
@@ -34,14 +35,8 @@ from ..workflow.serialization import (
     instance_to_dict,
 )
 from .broker import EventBroker
-from .errors import (
-    DuplicateRunError,
-    ProtocolError,
-    ServiceError,
-    UnknownRunError,
-)
+from .errors import ProtocolError, ServiceError, UnknownRunError, error_code
 from .protocol import (
-    PROTOCOL_VERSION,
     decode_line,
     encode_message,
     error_response,
@@ -52,19 +47,11 @@ from .registry import ShardedRunRegistry
 
 __all__ = ["ServiceServer", "WorkflowService"]
 
-
-def _error_code(exc: BaseException) -> str:
-    if isinstance(exc, UnknownRunError):
-        return "unknown_run"
-    if isinstance(exc, DuplicateRunError):
-        return "duplicate_run"
-    if isinstance(exc, ProtocolError):
-        return "protocol"
-    if isinstance(exc, EventError):
-        return "event"
-    if isinstance(exc, ServiceError):
-        return "service"
-    return "workflow"
+_REQUESTS = METRICS.counter(
+    "repro_service_requests_total",
+    "Protocol requests handled, by op and outcome",
+    labelnames=("op", "outcome"),
+)
 
 
 class WorkflowService:
@@ -109,19 +96,24 @@ class WorkflowService:
         """Answer one protocol request; never raises (errors become responses)."""
         request_id = message.get("id") if isinstance(message, dict) else None
         self.requests += 1
+        op = "invalid"
         try:
             op, request = parse_request(message)
             handler = getattr(self, f"_op_{op}")
-            return await handler(request, request_id)
+            response = await handler(request, request_id)
+            _REQUESTS.labels(op=op, outcome="ok").inc()
+            return response
         except WorkflowError as exc:
-            return error_response(request_id, _error_code(exc), str(exc))
+            code = error_code(exc)
+            _REQUESTS.labels(op=op, outcome=code).inc()
+            return error_response(request_id, code, str(exc))
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
     async def _op_ping(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
-        return ok_response(request_id, pong=True, protocol=PROTOCOL_VERSION)
+        return ok_response(request_id, pong=True)
 
     async def _op_open(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         initial: Optional[Instance] = None
@@ -192,6 +184,7 @@ class WorkflowService:
             applied=hosted.applied,
             scenario=scenario,
             rules=[hosted.events[i].rule.name for i in scenario],
+            provenance=hosted.provenance.citations(scenario),
         )
 
     async def _op_applicable(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
@@ -220,6 +213,32 @@ class WorkflowService:
             broker=self.broker.stats(),
             queries=EVAL_STATS.snapshot(),
         )
+
+    async def _op_metrics(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        return ok_response(
+            request_id,
+            text=METRICS.render_prometheus(),
+            snapshot=METRICS.snapshot(),
+        )
+
+    async def _op_provenance(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        hosted = await self.registry.get(request["run"])
+        log = hosted.provenance
+        response: Dict[str, Any] = {"run": hosted.run_id, "applied": hosted.applied}
+        if request.get("relation"):
+            seqs = log.events_touching(request["relation"], request.get("key"))
+            response["seqs"] = list(seqs)
+            response["records"] = log.citations(seqs)
+        elif request.get("peer"):
+            peer = request["peer"]
+            if peer not in self.program.schema.peers:
+                raise ServiceError(f"unknown peer {peer!r}")
+            seqs = log.events_visible_to(peer)
+            response["seqs"] = list(seqs)
+            response["records"] = log.citations(seqs)
+        else:
+            response["records"] = log.to_dicts()
+        return ok_response(request_id, **response)
 
     async def _op_close(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         run_id = request["run"]

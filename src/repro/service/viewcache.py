@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Tuple as PyTuple
 
+from ..obs.metrics import METRICS
 from ..workflow.engine import ViewDelta
 from ..workflow.instance import Instance
 from ..workflow.schema import Schema
@@ -29,6 +30,14 @@ from ..workflow.tuples import Tuple
 from ..workflow.views import CollaborativeSchema, View
 
 __all__ = ["CachedPeerView", "ViewCacheSet"]
+
+_REFRESHES = METRICS.counter(
+    "repro_viewcache_refreshes_total",
+    "Materialized-view maintenance operations, by kind",
+    labelnames=("kind",),
+)
+_DELTA_REFRESHES = _REFRESHES.labels(kind="delta")
+_REBUILDS = _REFRESHES.labels(kind="rebuild")
 
 
 class CachedPeerView:
@@ -88,6 +97,7 @@ class CachedPeerView:
         self._data = data
         self._instance = None
         self._rebuilds += 1
+        _REBUILDS.inc()
         self.version += 1
 
     def apply_delta(self, delta: ViewDelta) -> bool:
@@ -118,6 +128,7 @@ class CachedPeerView:
         if changed:
             self._instance = None
         self._delta_refreshes += 1
+        _DELTA_REFRESHES.inc()
         self.version += 1
         return changed
 

@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..obs.trace import span
 from ..runtime.budget import Budget, checkpoint
 from ..workflow.domain import NULL, is_null
 from ..workflow.errors import BudgetExceeded, SynthesisError
@@ -294,49 +295,53 @@ def synthesize_view_program(
     triples = 0
     truncated = False
     reason: Optional[str] = None
-    try:
-        for initial, _witness in iter_p_fresh_instances(
-            program,
-            peer,
-            pool,
-            budget.max_tuples_per_relation,
-            max_predecessors=budget.max_instances,
-            witness_freshness=witness_freshness,
-        ):
-            checkpoint(runtime_budget)
-            for candidate in iter_silent_faithful_runs(
-                program, peer, initial, max_length=h, budget=runtime_budget
+    with span("synthesize_view_program", peer=peer, h=h) as trace:
+        try:
+            for initial, _witness in iter_p_fresh_instances(
+                program,
+                peer,
+                pool,
+                budget.max_tuples_per_relation,
+                max_predecessors=budget.max_instances,
+                witness_freshness=witness_freshness,
             ):
-                triples += 1
-                # ω-rules describe transitions caused by *other* peers; the
-                # peer's own visible events are covered by its own rules.
-                if candidate.events[-1].peer == peer:
-                    continue
-                # Key condition: tuples of I use only keys mentioned by α.
-                if not _keys_covered(program, initial, candidate.events):
-                    continue
-                rule = builder.build(initial, candidate.events, candidate.run.final_instance)
-                if rule is None:
-                    continue
-                signature = _canonical_signature(rule)
-                if signature in signatures:
-                    continue
-                signatures.add(signature)
-                named = Rule(f"w{len(records)}", rule.head, rule.body)
-                rules.append(named)
-                records.append(
-                    SynthesizedRule(
-                        named,
-                        SynthesisWitness(
-                            initial, tuple(candidate.events), candidate.run.final_instance
-                        ),
+                checkpoint(runtime_budget)
+                for candidate in iter_silent_faithful_runs(
+                    program, peer, initial, max_length=h, budget=runtime_budget
+                ):
+                    triples += 1
+                    # ω-rules describe transitions caused by *other* peers; the
+                    # peer's own visible events are covered by its own rules.
+                    if candidate.events[-1].peer == peer:
+                        continue
+                    # Key condition: tuples of I use only keys mentioned by α.
+                    if not _keys_covered(program, initial, candidate.events):
+                        continue
+                    rule = builder.build(initial, candidate.events, candidate.run.final_instance)
+                    if rule is None:
+                        continue
+                    signature = _canonical_signature(rule)
+                    if signature in signatures:
+                        continue
+                    signatures.add(signature)
+                    named = Rule(f"w{len(records)}", rule.head, rule.body)
+                    rules.append(named)
+                    records.append(
+                        SynthesizedRule(
+                            named,
+                            SynthesisWitness(
+                                initial, tuple(candidate.events), candidate.run.final_instance
+                            ),
+                        )
                     )
-                )
-    except BudgetExceeded as exc:
-        if not anytime:
-            raise
-        truncated = True
-        reason = str(exc)
+        except BudgetExceeded as exc:
+            if not anytime:
+                raise
+            truncated = True
+            reason = str(exc)
+        trace.set("triples", triples)
+        trace.set("omega_rules", len(records))
+        trace.set("truncated", truncated)
     view_program = WorkflowProgram(target, rules)
     return ViewProgramSynthesis(
         program, peer, h, view_program, tuple(records), triples,

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple as PyTuple
 
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..runtime.budget import ambient_checkpoint
 from .domain import NULL, is_null
 from .errors import ChaseFailure, EventError, FreshnessViolation, UpdateNotApplicable
@@ -32,6 +34,22 @@ from .queries import Const
 from .rules import Deletion, Insertion
 from .tuples import Tuple
 from .views import CollaborativeSchema
+
+#: Engine metrics, bound once at import so the hot path pays one method
+#: call per tick (see docs/OBSERVABILITY.md for the full catalogue).
+_EVENTS_APPLIED = METRICS.counter(
+    "repro_engine_events_applied_total", "Events successfully applied"
+)
+_EVENT_REJECTIONS = METRICS.counter(
+    "repro_engine_event_rejections_total",
+    "Event applications rejected (body/freshness/update violations)",
+    labelnames=("error",),
+)
+_DELTA_KEYS = METRICS.histogram(
+    "repro_engine_delta_keys",
+    "Keys touched per transition delta",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
 
 
 def insertion_result(
@@ -106,6 +124,25 @@ def apply_event(
     # so one ambient-budget poll here bounds any library entry point
     # wrapped in repro.runtime.budget.use_budget.
     ambient_checkpoint()
+    with span("apply_event", rule=event.rule.name, peer=event.peer):
+        try:
+            result = _apply_event(
+                schema, instance, event, forbidden_fresh, check_body
+            )
+        except EventError as exc:
+            _EVENT_REJECTIONS.labels(error=type(exc).__name__).inc()
+            raise
+    _EVENTS_APPLIED.inc()
+    return result
+
+
+def _apply_event(
+    schema: CollaborativeSchema,
+    instance: Instance,
+    event: Event,
+    forbidden_fresh: Optional[FrozenSet[object]],
+    check_body: bool,
+) -> Instance:
     if check_body:
         view_instance = schema.view_instance(instance, event.peer)
         if not event.rule.body.satisfied_by(view_instance, event.valuation_dict()):
@@ -236,7 +273,9 @@ def apply_event_with_delta(
     ``I@p`` from the whole instance on every event.
     """
     result = apply_event(schema, instance, event, forbidden_fresh, check_body)
-    return result, event_delta(instance, result, event)
+    delta = event_delta(instance, result, event)
+    _DELTA_KEYS.observe(sum(len(keys) for keys in delta.changes.values()))
+    return result, delta
 
 
 def delta_visible_to(schema: CollaborativeSchema, peer: str, delta: ViewDelta) -> bool:

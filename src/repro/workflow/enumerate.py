@@ -12,6 +12,9 @@ import itertools
 import random
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..obs.metrics import METRICS
+from ..obs.trace import span
+from ..deprecation import renamed_kwarg
 from .domain import FreshValueSource
 from .engine import apply_event, apply_event_with_delta, event_applicable
 from .errors import EventError
@@ -21,6 +24,13 @@ from .instance import Instance
 from .program import WorkflowProgram
 from .rules import Rule
 from .runs import Run, execute
+
+_ENUM_SCANS = METRICS.counter(
+    "repro_enumerate_scans_total", "Applicable-event enumeration passes"
+)
+_ENUM_CANDIDATES = METRICS.counter(
+    "repro_enumerate_candidates_total", "Applicable events yielded by enumeration"
+)
 
 
 def applicable_events(
@@ -44,6 +54,7 @@ def applicable_events(
     This implements event *applicability* in the sense of Definition 5.5,
     where freshness — a run-level condition — is not imposed.
     """
+    _ENUM_SCANS.inc()
     schema = program.schema
     if fresh_source is None:
         fresh_source = FreshValueSource()
@@ -74,6 +85,7 @@ def applicable_events(
                     )
                 except EventError:
                     continue
+                _ENUM_CANDIDATES.inc()
                 yield event
 
 
@@ -129,57 +141,72 @@ class RunGenerator:
             else None
         )
         events: List[Event] = []
-        for _ in range(steps):
-            if index is not None:
-                candidates = list(index.events(fresh))
-            else:
-                candidates = list(applicable_events(self.program, instance, fresh))
-            if not candidates:
-                if stop_when_stuck:
-                    break
-                raise EventError("no applicable event (workflow is stuck)")
-            if rule_weights:
-                weights = [rule_weights.get(e.rule.name, 1.0) for e in candidates]
-                event = self.rng.choices(candidates, weights=weights, k=1)[0]
-            else:
-                event = self.rng.choice(candidates)
-            if index is not None:
-                instance, delta = apply_event_with_delta(
-                    schema, instance, event, forbidden_fresh=None, check_body=False
-                )
-                index.advance(delta, instance)
-            else:
-                instance = apply_event(
-                    schema, instance, event, forbidden_fresh=None, check_body=False
-                )
-            fresh.observe(instance.active_domain())
-            events.append(event)
+        with span("random_run", steps=steps, indexed=index is not None) as trace:
+            for _ in range(steps):
+                if index is not None:
+                    candidates = list(index.events(fresh))
+                else:
+                    candidates = list(applicable_events(self.program, instance, fresh))
+                if not candidates:
+                    if stop_when_stuck:
+                        break
+                    raise EventError("no applicable event (workflow is stuck)")
+                if rule_weights:
+                    weights = [rule_weights.get(e.rule.name, 1.0) for e in candidates]
+                    event = self.rng.choices(candidates, weights=weights, k=1)[0]
+                else:
+                    event = self.rng.choice(candidates)
+                if index is not None:
+                    instance, delta = apply_event_with_delta(
+                        schema, instance, event, forbidden_fresh=None, check_body=False
+                    )
+                    index.advance(delta, instance)
+                else:
+                    instance = apply_event(
+                        schema, instance, event, forbidden_fresh=None, check_body=False
+                    )
+                fresh.observe(instance.active_domain())
+                events.append(event)
+            trace.set("events", len(events))
         return execute(self.program, events, initial)
 
 
 def enumerate_event_sequences(
     program: WorkflowProgram,
-    max_length: int,
+    max_depth: Optional[int] = None,
     initial: Optional[Instance] = None,
     prune: Optional[object] = None,
     fresh_start: int = 10_000,
+    *,
+    max_length: Optional[int] = None,
 ) -> Iterator[PyTuple[PyTuple[Event, ...], Instance]]:
     """Depth-first enumeration of event sequences applicable from *initial*.
 
     Yields pairs ``(events, final_instance)`` for every applicable
-    sequence of length 1..max_length, including intermediate prefixes.
+    sequence of length 1..max_depth, including intermediate prefixes.
     Fresh values for head-only variables are minted canonically, which is
     sufficient up to isomorphism (Lemma A.2).  *prune*, if given, is a
     predicate ``prune(events, instance) -> bool``; sequences for which it
     returns True are not extended further (but are still yielded).
+
+    .. deprecated:: 1.1
+       the *max_length* keyword; use *max_depth* (the shared search-limit
+       vocabulary: ``max_depth`` / ``max_states`` / ``budget``).
     """
+    max_depth = renamed_kwarg(
+        "enumerate_event_sequences", "max_length", "max_depth", max_length, max_depth
+    )
+    if max_depth is None:
+        raise TypeError(
+            "enumerate_event_sequences() missing required argument 'max_depth'"
+        )
     schema = program.schema
     start = initial if initial is not None else Instance.empty(schema.schema)
 
     def recurse(
         prefix: PyTuple[Event, ...], instance: Instance, fresh_index: int
     ) -> Iterator[PyTuple[PyTuple[Event, ...], Instance]]:
-        if len(prefix) >= max_length:
+        if len(prefix) >= max_depth:
             return
         source = FreshValueSource(start=fresh_index)
         source.observe(program.constants())

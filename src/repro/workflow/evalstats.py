@@ -7,15 +7,24 @@ into one process-wide :data:`EVAL_STATS` object, so a benchmark, the
 ``repro serve`` ``stats`` operation, or the ``--profile-queries`` CLI
 flag can answer "where did evaluation time go?" without any wiring.
 
-This module sits below every other workflow module (it imports
-nothing from the package) precisely so that both :mod:`instance` and
-:mod:`planner` can report here without an import cycle.
+This module sits below every other workflow module (it imports only
+the dependency-free :mod:`repro.obs.metrics`) precisely so that both
+:mod:`instance` and :mod:`planner` can report here without an import
+cycle.
+
+The counters double as one producer of the process-wide metrics
+registry: a collector registered below copies them into the
+``repro_query_events`` gauge family at scrape time, so the service's
+``metrics`` op and the CLI ``--metrics`` dump expose query-evaluation
+health without a second bookkeeping path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 from typing import Dict
+
+from ..obs.metrics import METRICS, MetricsRegistry
 
 
 @dataclass
@@ -56,3 +65,17 @@ class EvalStats:
 
 #: The process-wide counter set every component reports into.
 EVAL_STATS = EvalStats()
+
+
+def _collect_eval_stats(registry: MetricsRegistry) -> None:
+    """Copy :data:`EVAL_STATS` into the registry at scrape time."""
+    gauge = registry.gauge(
+        "repro_query_events",
+        "Query planning/indexing/evaluation counters (from EvalStats)",
+        labelnames=("counter",),
+    )
+    for name, value in EVAL_STATS.snapshot().items():
+        gauge.labels(counter=name).set(value)
+
+
+METRICS.register_collector(_collect_eval_stats)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..deprecation import renamed_kwarg
 from .program import WorkflowProgram
 from .queries import KeyLiteral, RelLiteral
 from .statespace import StateSpaceExplorer
@@ -101,8 +102,10 @@ def lint_static(program: WorkflowProgram) -> List[LintFinding]:
 
 def lint_dynamic(
     program: WorkflowProgram,
-    explore_depth: int = 4,
+    max_depth: Optional[int] = None,
     max_states: int = 400,
+    *,
+    explore_depth: Optional[int] = None,
 ) -> List[LintFinding]:
     """Bounded-exploration findings: rules never observed firing.
 
@@ -111,14 +114,24 @@ def lint_dynamic(
     state the bound explicitly.  A rule counts as live when it is
     *applicable* at some explored state (a no-op firing is still a
     firing).
+
+    .. deprecated:: 1.1
+       the *explore_depth* keyword; use *max_depth* (the shared
+       search-limit vocabulary: ``max_depth`` / ``max_states`` /
+       ``budget``).
     """
     from .domain import FreshValueSource
     from .enumerate import applicable_events
 
+    max_depth = renamed_kwarg(
+        "lint_dynamic", "explore_depth", "max_depth", explore_depth, max_depth
+    )
+    if max_depth is None:
+        max_depth = 4
     fired: Set[str] = set()
     all_rules = {rule.name for rule in program}
     explorer = StateSpaceExplorer(program, dedup="isomorphic")
-    for state in explorer.iterate(max_depth=explore_depth, max_states=max_states):
+    for state in explorer.iterate(max_depth=max_depth, max_states=max_states):
         if fired == all_rules:
             break
         remaining = [rule for rule in program if rule.name not in fired]
@@ -138,7 +151,7 @@ def lint_dynamic(
                     "possibly-dead-rule",
                     rule.name,
                     f"never fired within {explorer.stats.states_visited} explored "
-                    f"states (depth ≤ {explore_depth}); it may be unreachable",
+                    f"states (depth ≤ {max_depth}); it may be unreachable",
                 )
             )
     return findings
@@ -146,13 +159,21 @@ def lint_dynamic(
 
 def lint_program(
     program: WorkflowProgram,
-    explore_depth: int = 4,
+    max_depth: Optional[int] = None,
     max_states: int = 400,
+    *,
+    explore_depth: Optional[int] = None,
 ) -> List[LintFinding]:
     """All lint findings, static first.
 
     >>> # for finding in lint_program(program): print(finding)
+
+    .. deprecated:: 1.1
+       the *explore_depth* keyword; use *max_depth*.
     """
+    max_depth = renamed_kwarg(
+        "lint_program", "explore_depth", "max_depth", explore_depth, max_depth
+    )
     findings = lint_static(program)
-    findings.extend(lint_dynamic(program, explore_depth, max_states))
+    findings.extend(lint_dynamic(program, max_depth, max_states))
     return findings

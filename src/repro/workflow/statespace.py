@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..runtime.budget import Budget, checkpoint
 from .domain import FreshValueSource
 from .engine import apply_event, apply_event_with_delta
@@ -24,6 +26,17 @@ from .events import Event
 from .instance import Instance
 from .isomorphism import canonicalize_instance
 from .program import WorkflowProgram
+
+_STATES_VISITED = METRICS.counter(
+    "repro_search_nodes_total",
+    "Search nodes expanded, by search kind",
+    labelnames=("search",),
+).labels(search="statespace")
+_EXPLORATIONS = METRICS.counter(
+    "repro_statespace_explorations_total",
+    "State-space explorations materialised, by outcome",
+    labelnames=("outcome",),
+)
 
 
 @dataclass(frozen=True)
@@ -126,6 +139,7 @@ class StateSpaceExplorer:
         while queue:
             state, index = queue.popleft()
             checkpoint(self.budget, depth=state.depth)
+            _STATES_VISITED.inc()
             self.stats.states_visited += 1
             self.stats.max_depth_reached = max(
                 self.stats.max_depth_reached, state.depth
@@ -185,11 +199,25 @@ class StateSpaceExplorer:
         and the budget's reason — the anytime form of exploration.
         """
         states: List[ReachableState] = []
-        try:
-            for state in self.iterate(max_depth, max_states):
-                states.append(state)
-        except BudgetExceeded as exc:
-            return ExplorationResult(states, self.stats, truncated=True, reason=str(exc))
+        with span(
+            "statespace_explore",
+            dedup=self.dedup,
+            max_depth=max_depth,
+            max_states=max_states,
+        ) as trace:
+            try:
+                for state in self.iterate(max_depth, max_states):
+                    states.append(state)
+            except BudgetExceeded as exc:
+                _EXPLORATIONS.labels(outcome="truncated").inc()
+                trace.set("states", len(states))
+                trace.set("truncated", True)
+                return ExplorationResult(
+                    states, self.stats, truncated=True, reason=str(exc)
+                )
+            _EXPLORATIONS.labels(outcome="completed").inc()
+            trace.set("states", len(states))
+            trace.set("truncated", False)
         return ExplorationResult(states, self.stats)
 
     def find(
@@ -199,9 +227,12 @@ class StateSpaceExplorer:
         max_states: Optional[int] = None,
     ) -> Optional[ReachableState]:
         """The first reachable state satisfying *predicate*, if any."""
-        for state in self.iterate(max_depth, max_states):
-            if predicate(state.instance):
-                return state
+        with span("statespace_find", max_depth=max_depth) as trace:
+            for state in self.iterate(max_depth, max_states):
+                if predicate(state.instance):
+                    trace.set("found_depth", state.depth)
+                    return state
+            trace.set("found_depth", None)
         return None
 
     def reachable_count(self, max_depth: int, max_states: Optional[int] = None) -> int:

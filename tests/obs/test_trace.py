@@ -1,0 +1,181 @@
+"""Structured tracing: span nesting, sinks, and the disabled fast path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    JsonLinesSink,
+    NullSink,
+    RingBufferSink,
+    SpanRecord,
+    capture_spans,
+    configure_tracing,
+    current_span_id,
+    span,
+    tracing_enabled,
+)
+
+
+class TestDisabledFastPath:
+    def test_off_by_default(self):
+        assert not tracing_enabled()
+        assert current_span_id() is None
+
+    def test_disabled_span_is_shared_noop(self):
+        # No allocation while off: every call returns the same object.
+        assert span("a") is span("b", key="value")
+
+    def test_noop_span_supports_the_span_protocol(self):
+        with span("anything") as active:
+            active.set("key", "value")  # silently dropped
+
+    def test_null_sink_keeps_tracing_disabled(self):
+        previous = configure_tracing(NullSink())
+        try:
+            assert not tracing_enabled()
+            assert span("a") is span("b")
+        finally:
+            configure_tracing(previous)
+
+
+class TestSpans:
+    def test_capture_records_name_status_and_timing(self):
+        with capture_spans() as sink:
+            with span("work", peer="sue"):
+                pass
+        (record,) = sink.spans()
+        assert record.name == "work"
+        assert record.status == "ok"
+        assert record.error is None
+        assert record.duration_us >= 0
+        assert record.attributes == {"peer": "sue"}
+
+    def test_nesting_via_parent_id(self):
+        with capture_spans() as sink:
+            with span("outer") as outer:
+                assert current_span_id() == outer.span_id
+                with span("inner") as inner:
+                    assert current_span_id() == inner.span_id
+                assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+        inner_record = sink.named("inner")[0]
+        outer_record = sink.named("outer")[0]
+        assert inner_record.parent_id == outer_record.span_id
+        assert outer_record.parent_id is None
+        # Sinks see spans innermost first (emitted on exit).
+        assert [r.name for r in sink.spans()] == ["inner", "outer"]
+
+    def test_mid_span_attributes(self):
+        with capture_spans() as sink:
+            with span("search") as active:
+                active.set("nodes", 17)
+        assert sink.spans()[0].attributes["nodes"] == 17
+
+    def test_exceptions_recorded_and_propagated(self):
+        with capture_spans() as sink:
+            with pytest.raises(KeyError):
+                with span("failing"):
+                    raise KeyError("boom")
+        (record,) = sink.spans()
+        assert record.status == "error"
+        assert record.error == "KeyError"
+
+    def test_capture_restores_previous_sink(self):
+        outer_sink = RingBufferSink()
+        previous = configure_tracing(outer_sink)
+        try:
+            with capture_spans() as inner_sink:
+                with span("inner-only"):
+                    pass
+            with span("outer-only"):
+                pass
+            assert [r.name for r in inner_sink.spans()] == ["inner-only"]
+            assert [r.name for r in outer_sink.spans()] == ["outer-only"]
+        finally:
+            configure_tracing(previous)
+
+    def test_broken_sink_never_breaks_traced_code(self):
+        class Broken(RingBufferSink):
+            def emit(self, record):
+                raise RuntimeError("sink bug")
+
+        previous = configure_tracing(Broken())
+        try:
+            with span("work"):
+                pass  # must not raise
+        finally:
+            configure_tracing(previous)
+
+
+class TestSinks:
+    def test_ring_buffer_drops_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        for name in ("a", "b", "c"):
+            sink.emit(
+                SpanRecord(
+                    name=name, span_id=1, parent_id=None, started_at=0.0, duration_us=1.0
+                )
+            )
+        assert [r.name for r in sink.spans()] == ["b", "c"]
+        assert sink.emitted == 3
+        assert len(sink) == 2
+        sink.clear()
+        assert sink.spans() == []
+
+    def test_ring_buffer_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonlines_sink_writes_one_object_per_span(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream, flush_every=1)
+        previous = configure_tracing(sink)
+        try:
+            with span("outer", steps=2):
+                with span("inner"):
+                    pass
+        finally:
+            configure_tracing(previous)
+            sink.close()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [entry["name"] for entry in lines] == ["inner", "outer"]
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+        assert lines[1]["attributes"] == {"steps": 2}
+
+    def test_jsonlines_sink_owns_paths(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(path)
+        sink.emit(
+            SpanRecord(
+                name="a", span_id=1, parent_id=None, started_at=0.0, duration_us=1.0
+            )
+        )
+        sink.close()
+        assert json.loads(path.read_text().strip())["name"] == "a"
+
+
+class TestInstrumentation:
+    def test_engine_and_generator_spans_nest(self, approval):
+        from repro.workflow import RunGenerator
+
+        with capture_spans() as sink:
+            RunGenerator(approval, seed=0).random_run(4)
+        runs = sink.named("random_run")
+        applies = sink.named("apply_event")
+        assert len(runs) == 1
+        assert applies, "apply_event spans should be recorded"
+        # Candidate applications nest under the generator's span (the
+        # final replay of the chosen run happens outside it).
+        assert any(record.parent_id == runs[0].span_id for record in applies)
+
+    def test_scenario_search_span_records_outcome(self, approval_run):
+        from repro.core import minimum_scenario
+
+        with capture_spans() as sink:
+            minimum_scenario(approval_run, "applicant")
+        (record,) = sink.named("scenario_search")
+        assert record.status == "ok"

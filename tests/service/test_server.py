@@ -234,3 +234,123 @@ class TestServerEndToEnd:
             replayed.final_instance, program.schema.peers[0]
         )
         assert _canonical_view(served) == _canonical_view(instance_to_dict(expected))
+
+
+class TestObservabilityOps:
+    """The protocol's observability surface: metrics, provenance, version."""
+
+    def test_responses_carry_the_protocol_version(self):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        async def scenario(program, server):
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                pong = await client.expect_ok(op="ping")
+                assert pong["protocol"] == PROTOCOL_VERSION
+                failure = await client.request(op="view", run="ghost", peer="maker")
+                assert failure["protocol"] == PROTOCOL_VERSION
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_requests_may_pin_a_protocol_version(self):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        async def scenario(program, server):
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                ok = await client.request(op="ping", protocol=PROTOCOL_VERSION)
+                assert ok["ok"]
+                too_new = await client.request(
+                    op="ping", protocol=PROTOCOL_VERSION + 1
+                )
+                assert too_new["ok"] is False
+                assert too_new["error"] == "protocol"
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_metrics_op_returns_parseable_prometheus_text(self):
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=3).random_run(6)
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="r")
+                for event in run.events:
+                    await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+                response = await client.expect_ok(op="metrics")
+            finally:
+                await client.close()
+            return response
+
+        response = run_server_scenario(scenario)
+        text = response["text"]
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                name, kind = line.split()[2:4]
+                families.add(name)
+                assert kind in ("counter", "gauge", "histogram")
+            elif not line.startswith("#"):
+                sample, value = line.rsplit(" ", 1)
+                float(value)  # every sample line ends in a number
+        assert "repro_service_requests_total" in families
+        assert "repro_engine_events_applied_total" in families
+        snapshot = response["snapshot"]
+        assert snapshot["repro_service_requests_total"].get("submit,ok", 0) >= 6
+
+    def test_provenance_op_answers_both_directions(self):
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=5).random_run(8)
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="r")
+                for event in run.events:
+                    await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+                full = await client.expect_ok(op="provenance", run="r")
+                assert len(full["records"]) == len(run.events)
+                relation = full["records"][0]["touched"][0]["relation"]
+                by_relation = await client.expect_ok(
+                    op="provenance", run="r", relation=relation
+                )
+                assert 0 in by_relation["seqs"]
+                peer = run.events[0].peer
+                by_peer = await client.expect_ok(
+                    op="provenance", run="r", peer=peer
+                )
+                assert 0 in by_peer["seqs"]
+                bad = await client.request(op="provenance", run="r", peer="martian")
+                assert bad["error"] == "service"
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
+    def test_explain_cites_provenance_records(self):
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=6).random_run(8)
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="r")
+                for event in run.events:
+                    await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+                peer = program.schema.peers[0]
+                explain = await client.expect_ok(op="explain", run="r", peer=peer)
+            finally:
+                await client.close()
+            return explain
+
+        explain = run_server_scenario(scenario)
+        citations = explain["provenance"]
+        assert [c["seq"] for c in citations] == explain["scenario"]
+        for citation in citations:
+            assert citation["rule"] in {r for r in explain["rules"]}
+            assert citation["touched"]

@@ -1,0 +1,97 @@
+"""The renamed-kwarg shims from the naming-consistency pass.
+
+Search limits are spelled ``max_depth`` / ``max_states`` / ``budget``
+everywhere; the pre-rename spellings (``max_size``, ``max_length``,
+``explore_depth``) still work for one release, warn, and reject being
+mixed with the new name.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.deprecation import renamed_kwarg
+
+
+class TestRenamedKwarg:
+    def test_new_spelling_passes_through_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert renamed_kwarg("f", "old", "new", None, 7) == 7
+            assert renamed_kwarg("f", "old", "new", None, None) is None
+
+    def test_old_spelling_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="'old'.*deprecated.*'new'"):
+            assert renamed_kwarg("f", "old", "new", 7, None) == 7
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            renamed_kwarg("f", "old", "new", 1, 2)
+
+
+class TestScenarioShims:
+    def test_minimum_scenario_max_size(self, approval_run):
+        from repro.core import minimum_scenario
+
+        with pytest.warns(DeprecationWarning, match="max_size"):
+            old = minimum_scenario(approval_run, "applicant", max_size=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = minimum_scenario(approval_run, "applicant", max_depth=3)
+        assert old == new
+
+    def test_scenario_within_max_size(self, approval_run):
+        from repro.core.scenarios import scenario_within
+
+        allowed = range(len(approval_run.events))
+        with pytest.warns(DeprecationWarning, match="max_size"):
+            old = scenario_within(approval_run, "applicant", allowed, max_size=3)
+        new = scenario_within(approval_run, "applicant", allowed, max_depth=3)
+        assert old == new
+
+    def test_mixing_spellings_is_an_error(self, approval_run):
+        from repro.core import minimum_scenario
+
+        with pytest.raises(TypeError):
+            minimum_scenario(approval_run, "applicant", max_depth=3, max_size=3)
+
+    def test_anytime_minimum_scenario_max_size(self, approval_run):
+        from repro.runtime import Budget, anytime_minimum_scenario
+
+        with pytest.warns(DeprecationWarning, match="max_size"):
+            result = anytime_minimum_scenario(
+                approval_run, "applicant", Budget(), max_size=3
+            )
+        assert result.value is not None
+
+
+class TestEnumerateShims:
+    def test_max_length_still_works(self, approval):
+        from repro.workflow.enumerate import enumerate_event_sequences
+
+        with pytest.warns(DeprecationWarning, match="max_length"):
+            old = list(enumerate_event_sequences(approval, max_length=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = list(enumerate_event_sequences(approval, max_depth=2))
+        assert len(old) == len(new)
+
+    def test_depth_is_required(self, approval):
+        from repro.workflow.enumerate import enumerate_event_sequences
+
+        with pytest.raises(TypeError, match="max_depth"):
+            list(enumerate_event_sequences(approval))
+
+
+class TestLintShims:
+    def test_explore_depth_still_works(self, approval):
+        from repro.workflow.lint import lint_program
+
+        with pytest.warns(DeprecationWarning, match="explore_depth"):
+            old = lint_program(approval, explore_depth=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = lint_program(approval, max_depth=3)
+        assert [f.category for f in old] == [f.category for f in new]

@@ -106,12 +106,12 @@ class TestRunGenerator:
 
 class TestEnumerateSequences:
     def test_depth_bound(self, approval):
-        sequences = list(enumerate_event_sequences(approval, max_length=2))
+        sequences = list(enumerate_event_sequences(approval, max_depth=2))
         lengths = {len(events) for events, _ in sequences}
         assert lengths == {1, 2}
 
     def test_all_prefixes_are_runs(self, approval):
-        for events, final in enumerate_event_sequences(approval, max_length=3):
+        for events, final in enumerate_event_sequences(approval, max_depth=3):
             run = execute(approval, events, check_freshness=False)
             assert run.final_instance == final
 
@@ -119,7 +119,7 @@ class TestEnumerateSequences:
         # Pruning everything yields only length-1 sequences.
         sequences = list(
             enumerate_event_sequences(
-                approval, max_length=3, prune=lambda events, inst: True
+                approval, max_depth=3, prune=lambda events, inst: True
             )
         )
         assert all(len(events) == 1 for events, _ in sequences)

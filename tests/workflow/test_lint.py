@@ -87,13 +87,13 @@ class TestDynamicLint:
             [write_never] +Never@p(x) :- Never@p(y)
             """
         )
-        findings = lint_dynamic(program, explore_depth=3, max_states=100)
+        findings = lint_dynamic(program, max_depth=3, max_states=100)
         dead = {f.subject for f in findings if f.category == "possibly-dead-rule"}
         assert "dead" in dead and "write_never" in dead
         assert "live" not in dead
 
     def test_live_rules_not_flagged(self, approval):
-        findings = lint_dynamic(approval, explore_depth=4, max_states=200)
+        findings = lint_dynamic(approval, max_depth=4, max_states=200)
         assert not findings
 
     def test_bound_mentioned_in_message(self):
@@ -107,7 +107,7 @@ class TestDynamicLint:
             [dead] +R@p(x) :- Never@p(n)
             """
         )
-        findings = lint_dynamic(program, explore_depth=2)
+        findings = lint_dynamic(program, max_depth=2)
         assert findings and "depth" in findings[0].message
 
 
@@ -123,7 +123,7 @@ class TestCombined:
             [dead] +R@p(x) :- Never@p(n)
             """
         )
-        findings = lint_program(program, explore_depth=2)
+        findings = lint_program(program, max_depth=2)
         categories = {f.category for f in findings}
         assert {"never-written", "idle-peer", "possibly-dead-rule"} <= categories
 
