@@ -118,6 +118,21 @@ from .runtime import (
 )
 
 # ----------------------------------------------------------------------
+# Parallel search: the multiprocessing frontier/portfolio engine
+# ----------------------------------------------------------------------
+from .parallel import (
+    WorkerPool,
+    available_workers,
+    default_workers,
+    parallel_check_h_bounded,
+    parallel_explore,
+    parallel_find,
+    parallel_minimum_scenario,
+    parallel_smallest_bound,
+    set_default_workers,
+)
+
+# ----------------------------------------------------------------------
 # The multi-run service and its protocol
 # ----------------------------------------------------------------------
 from .service import (
@@ -223,6 +238,16 @@ __all__ = [
     "anytime_reachable_states",
     "recover_run",
     "use_budget",
+    # parallel search
+    "WorkerPool",
+    "available_workers",
+    "default_workers",
+    "parallel_check_h_bounded",
+    "parallel_explore",
+    "parallel_find",
+    "parallel_minimum_scenario",
+    "parallel_smallest_bound",
+    "set_default_workers",
     # service
     "ERROR_CODES",
     "PROTOCOL_VERSION",

@@ -200,6 +200,7 @@ def minimum_scenario(
     budget: Optional[Budget] = None,
     *,
     max_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
     """A minimum-length scenario of *run* at *peer* (exact, exponential).
 
@@ -211,6 +212,12 @@ def minimum_scenario(
     graceful best-so-far answer use
     :func:`repro.runtime.supervisor.anytime_minimum_scenario`.
 
+    *workers* (or the process default from
+    :func:`repro.parallel.set_default_workers`) runs the search as a
+    parallel cap portfolio: the returned scenario has the identical
+    (optimal) size, though among equal-size optima the chosen index set
+    may differ from the sequential search's.
+
     .. deprecated:: 1.1
        the *max_size* keyword; use *max_depth* (the shared search-limit
        vocabulary: ``max_depth`` / ``max_states`` / ``budget``).
@@ -218,6 +225,14 @@ def minimum_scenario(
     max_depth = renamed_kwarg(
         "minimum_scenario", "max_size", "max_depth", max_size, max_depth
     )
+    from ..parallel.config import resolve_workers
+
+    if resolve_workers(workers) > 1:
+        from ..parallel.scenarios import parallel_minimum_scenario
+
+        return parallel_minimum_scenario(
+            run, peer, max_depth=max_depth, budget=budget, workers=workers
+        )
     best = _ScenarioSearch(run, peer, max_depth=max_depth, budget=budget).search()
     if best is None:
         return None

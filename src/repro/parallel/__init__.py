@@ -1,0 +1,38 @@
+"""Multiprocessing search engine with sequential-identical results.
+
+The package parallelises the reproduction's three expensive searches —
+state-space exploration (:mod:`.frontier`), h-boundedness checking
+(:mod:`.bounded`) and minimum-scenario search (:mod:`.scenarios`) — on
+top of one ordered, budget-aware, fault-tolerant worker pool
+(:mod:`.pool`).  Every entry point is *proven equivalent to its
+sequential counterpart by the differential suite* under
+``tests/parallel/``: same results for every worker count, bit-identical
+across repeated runs, anytime-valid under budgets.  See
+``docs/PARALLEL.md`` for the architecture and the determinism argument.
+"""
+
+from .bounded import parallel_check_h_bounded, parallel_smallest_bound
+from .config import (
+    available_workers,
+    default_workers,
+    resolve_workers,
+    set_default_workers,
+)
+from .frontier import parallel_explore, parallel_find
+from .pool import BudgetSpec, TaskTruncated, WorkerPool
+from .scenarios import parallel_minimum_scenario
+
+__all__ = [
+    "BudgetSpec",
+    "TaskTruncated",
+    "WorkerPool",
+    "available_workers",
+    "default_workers",
+    "parallel_check_h_bounded",
+    "parallel_explore",
+    "parallel_find",
+    "parallel_minimum_scenario",
+    "parallel_smallest_bound",
+    "resolve_workers",
+    "set_default_workers",
+]

@@ -1,0 +1,264 @@
+"""Parallel h-boundedness checking (Theorem 5.10, fanned out).
+
+The sequential :func:`~repro.transparency.bounded.check_h_bounded` is an
+enumeration of candidate initial instances, each probed independently
+for a too-long silent minimum-faithful run — embarrassingly parallel.
+The engine here enumerates instances in the parent (in the sequential
+enumeration order), fans fixed-size chunks out to a
+:class:`~repro.parallel.pool.WorkerPool`, and merges chunk results *in
+enumeration order*: the verdict, the witness, ``instances_checked`` and
+``exhausted`` come out exactly as the sequential loop would have
+produced them, for every worker count.
+
+``workers=1`` (and hosts without the ``fork`` start method) delegate to
+the sequential implementations outright — zero overhead, and step-budget
+accounting stays exact.  In process mode, wall-clock budgets propagate
+into workers via :class:`~repro.parallel.pool.BudgetSpec`; step budgets
+are polled in the parent once per enumerated instance (the sequential
+outer-loop poll points), not inside the workers' run searches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple as PyTuple
+
+from ..obs.trace import span
+from ..runtime.budget import Budget, checkpoint
+from ..transparency.bounded import (
+    BoundednessResult,
+    SearchBudget,
+    check_h_bounded,
+    smallest_bound,
+)
+from ..transparency.faithful_runs import iter_silent_faithful_runs
+from ..transparency.instances import enumerate_instances
+from ..workflow.errors import BudgetExceeded
+from ..workflow.instance import Instance
+from ..workflow.program import WorkflowProgram
+from .config import resolve_workers
+from .pool import BudgetSpec, TaskTruncated, WorkerPool, _fork_available
+
+__all__ = [
+    "parallel_check_h_bounded",
+    "parallel_smallest_bound",
+]
+
+
+def _check_chunk(ctx: PyTuple, arg: PyTuple):
+    """Probe a chunk of initial instances for boundedness violations.
+
+    Returns, per instance, the first silent faithful run longer than
+    ``h`` (the witness the sequential loop would return) or None.
+    """
+    program, peer, h = ctx
+    chunk, spec = arg
+    budget = spec.to_budget() if spec is not None else None
+    out: List[Optional[object]] = []
+    try:
+        for _gidx, initial in chunk:
+            violation = None
+            for candidate in iter_silent_faithful_runs(
+                program, peer, initial, max_length=h + 1, budget=budget
+            ):
+                if len(candidate) > h:
+                    violation = candidate
+                    break
+            out.append(violation)
+    except BudgetExceeded as exc:
+        return TaskTruncated(reason=str(exc), partial=out)
+    return out
+
+
+def _longest_chunk(ctx: PyTuple, arg: PyTuple):
+    """The longest silent faithful run per instance, capped at max_h+1.
+
+    An instance whose longest run exceeds ``max_h`` short-circuits (its
+    reported length is just "too long"), mirroring the sequential early
+    ``return None``.
+    """
+    program, peer, max_h = ctx
+    chunk, spec = arg
+    budget = spec.to_budget() if spec is not None else None
+    out: List[int] = []
+    try:
+        for _gidx, initial in chunk:
+            longest = 0
+            for candidate in iter_silent_faithful_runs(
+                program, peer, initial, max_length=max_h + 1, budget=budget
+            ):
+                longest = max(longest, len(candidate))
+                if longest > max_h:
+                    break
+            out.append(longest)
+    except BudgetExceeded as exc:
+        return TaskTruncated(reason=str(exc), partial=out)
+    return out
+
+
+def _enumerated(
+    program: WorkflowProgram,
+    const_pool: PyTuple[object, ...],
+    budget: SearchBudget,
+) -> Iterator[Instance]:
+    return enumerate_instances(
+        program.schema.schema, const_pool, budget.max_tuples_per_relation
+    )
+
+
+def _rounds(
+    instances: Iterator[Instance],
+    budget: SearchBudget,
+    runtime_budget: Optional[Budget],
+    round_size: int,
+    state: dict,
+) -> Iterator[List[PyTuple[int, Instance]]]:
+    """Pull instances round by round, counting and polling like the
+    sequential outer loop (``checked += 1`` then a budget checkpoint per
+    instance; the ``max_instances`` cap flips ``exhausted`` exactly when
+    a further instance exists)."""
+    while True:
+        batch: List[PyTuple[int, Instance]] = []
+        for initial in instances:
+            if (
+                budget.max_instances is not None
+                and state["checked"] >= budget.max_instances
+            ):
+                state["exhausted"] = False
+                yield batch
+                return
+            state["checked"] += 1
+            checkpoint(runtime_budget)
+            batch.append((state["checked"], initial))
+            if len(batch) >= round_size:
+                break
+        yield batch
+        if not batch:
+            return
+
+
+def _chunked(items: List, size: int) -> List[List]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def parallel_check_h_bounded(
+    program: WorkflowProgram,
+    peer: str,
+    h: int,
+    budget: SearchBudget = SearchBudget(),
+    runtime_budget: Optional[Budget] = None,
+    anytime: bool = False,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: int = 4,
+) -> BoundednessResult:
+    """Decide h-boundedness on a worker pool.
+
+    Result-identical to :func:`~repro.transparency.bounded.check_h_bounded`
+    for every worker count: same verdict, same witness (the first
+    violation in instance-enumeration order), same
+    ``instances_checked``/``exhausted`` flags.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or not _fork_available():
+        # workers=1 pins the sequential path (a process-wide default > 1
+        # would otherwise bounce the call straight back here).
+        return check_h_bounded(
+            program, peer, h, budget, runtime_budget, anytime, workers=1
+        )
+    const_pool = budget.resolve_pool(program, h)
+    state = {"checked": 0, "exhausted": True}
+    completed = 0
+    with span("parallel_check_h_bounded", peer=peer, h=h, workers=workers):
+        try:
+            with WorkerPool(workers, _check_chunk, (program, peer, h)) as pool:
+                for batch in _rounds(
+                    _enumerated(program, const_pool, budget),
+                    budget,
+                    runtime_budget,
+                    workers * chunk_size * 2,
+                    state,
+                ):
+                    if not batch:
+                        break
+                    spec = BudgetSpec.capture(runtime_budget)
+                    chunks = _chunked(batch, chunk_size)
+                    results = pool.run((chunk, spec) for chunk in chunks)
+                    for chunk, result in zip(chunks, results):
+                        truncated = isinstance(result, TaskTruncated)
+                        entries = (result.partial or []) if truncated else result
+                        for (gidx, _initial), violation in zip(chunk, entries):
+                            completed = gidx
+                            if violation is not None:
+                                return BoundednessResult(
+                                    False, h, violation, gidx, True
+                                )
+                        if truncated:
+                            raise BudgetExceeded(result.reason)
+                    if not state["exhausted"]:
+                        break
+        except BudgetExceeded as exc:
+            if not anytime:
+                raise
+            return BoundednessResult(
+                True,
+                h,
+                None,
+                completed,
+                exhausted=False,
+                truncated=True,
+                reason=str(exc),
+            )
+    return BoundednessResult(True, h, None, state["checked"], state["exhausted"])
+
+
+def parallel_smallest_bound(
+    program: WorkflowProgram,
+    peer: str,
+    max_h: int,
+    budget: SearchBudget = SearchBudget(),
+    runtime_budget: Optional[Budget] = None,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: int = 4,
+) -> Optional[int]:
+    """The least ``h <= max_h`` bound, searched on a worker pool.
+
+    Identical to :func:`~repro.transparency.bounded.smallest_bound`: the
+    per-instance longest-silent-run lengths are merged in enumeration
+    order, and the first instance exceeding ``max_h`` yields None at the
+    same point the sequential scan would.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or not _fork_available():
+        return smallest_bound(
+            program, peer, max_h, budget, runtime_budget, workers=1
+        )
+    const_pool = budget.resolve_pool(program, max_h)
+    state = {"checked": 0, "exhausted": True}
+    longest = 0
+    with span("parallel_smallest_bound", peer=peer, max_h=max_h, workers=workers):
+        with WorkerPool(workers, _longest_chunk, (program, peer, max_h)) as pool:
+            for batch in _rounds(
+                _enumerated(program, const_pool, budget),
+                budget,
+                runtime_budget,
+                workers * chunk_size * 2,
+                state,
+            ):
+                if not batch:
+                    break
+                spec = BudgetSpec.capture(runtime_budget)
+                chunks = _chunked(batch, chunk_size)
+                results = pool.run((chunk, spec) for chunk in chunks)
+                for chunk, result in zip(chunks, results):
+                    truncated = isinstance(result, TaskTruncated)
+                    entries = (result.partial or []) if truncated else result
+                    for (_gidx, _initial), length in zip(chunk, entries):
+                        longest = max(longest, length)
+                        if longest > max_h:
+                            return None
+                    if truncated:
+                        raise BudgetExceeded(result.reason)
+                if not state["exhausted"]:
+                    break
+    return longest

@@ -1,0 +1,57 @@
+"""Process-wide defaults for the parallel search engine.
+
+Every parallel-aware entry point (``StateSpaceExplorer``,
+:func:`~repro.transparency.bounded.check_h_bounded`,
+:func:`~repro.core.scenarios.minimum_scenario`, ...) takes an optional
+``workers`` argument; ``None`` resolves to the process default set here.
+The default default is 1 — strictly sequential, the exact pre-parallel
+code paths — so nothing changes behaviour unless a caller (or the CLI's
+global ``--workers`` flag) opts in.
+
+Worker processes reset the default back to 1 on startup, so a parallel
+search can never recursively fan out from inside a worker.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "available_workers",
+    "default_workers",
+    "resolve_workers",
+    "set_default_workers",
+]
+
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the process-wide default worker count (1 = sequential)."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = int(workers)
+
+
+def default_workers() -> int:
+    """The process-wide default worker count."""
+    return _DEFAULT_WORKERS
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve an entry point's ``workers`` argument to a concrete count."""
+    if workers is None:
+        return _DEFAULT_WORKERS
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return int(workers)
+
+
+def available_workers() -> int:
+    """CPUs usable by this process (the sensible upper bound for pools)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -1,0 +1,405 @@
+"""Deterministic parallel frontier exploration (the BFS tentpole).
+
+The sequential :class:`~repro.workflow.statespace.StateSpaceExplorer`
+visits states in FIFO order; because children are always one level
+deeper than their parent, the queue contents at any moment form one BFS
+layer.  This module exploits that: it expands whole layers on a
+:class:`~repro.parallel.pool.WorkerPool` (each worker applies events
+and canonicalizes successors — the two expensive steps) and then
+*replays* the exact sequential control flow in the parent over the
+precomputed expansions: visit counting, budget checkpoints, the
+``max_states`` cutoff, deduplication against the global seen-set and
+child enqueueing all happen in the parent, in sequential order, using
+the workers' results as a lookup table.
+
+The replay makes the engine deterministic by construction: the yielded
+state stream, the final :class:`ExplorationStats` and every witness
+path are identical to the sequential explorer's regardless of worker
+count or interleaving — workers only precompute values the replay
+*would* have computed, they never influence its decisions.  The
+differential suite under ``tests/parallel/`` checks that equivalence
+against the sequential engine directly.
+
+Dedup keys are process-stable strings rather than instances: model
+objects cache structural hashes, and a string key never smuggles a
+hash computed in another process into the parent's seen-set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..obs.metrics import METRICS
+from ..obs.trace import span
+from ..runtime.budget import Budget, checkpoint
+from ..runtime.faults import FaultPlan
+from ..workflow.domain import FreshValueSource
+from ..workflow.engine import apply_event, apply_event_with_delta
+from ..workflow.enumerate import applicable_events
+from ..workflow.errors import BudgetExceeded
+from ..workflow.eventindex import ApplicableEventIndex
+from ..workflow.instance import Instance
+from ..workflow.isomorphism import canonicalize_instance
+from ..workflow.program import WorkflowProgram
+from ..workflow.statespace import (
+    FRESH_BASE,
+    ExplorationResult,
+    ExplorationStats,
+    ReachableState,
+)
+from .config import resolve_workers
+from .pool import BudgetSpec, TaskTruncated, WorkerPool
+
+__all__ = [
+    "iterate_states",
+    "parallel_explore",
+    "parallel_find",
+    "signature_key",
+]
+
+_STATES = METRICS.counter(
+    "repro_search_nodes_total",
+    "Search nodes expanded, by search kind",
+    labelnames=("search",),
+).labels(search="parallel_statespace")
+_FRONTIER = METRICS.histogram(
+    "repro_parallel_frontier_states",
+    "BFS layer sizes dispatched by the parallel frontier engine",
+)
+_DEDUP = METRICS.counter(
+    "repro_parallel_dedup_total",
+    "Successor dedup decisions in the parallel frontier merge",
+    labelnames=("outcome",),
+)
+_EXPLORATIONS = METRICS.counter(
+    "repro_parallel_explorations_total",
+    "Parallel explorations materialised, by outcome",
+    labelnames=("outcome",),
+)
+
+
+def signature_key(instance: Instance) -> str:
+    """A process-stable dedup key: equal instances, equal strings.
+
+    The rendering tags every value with its type name, so values whose
+    ``repr`` collide across types (``1`` vs ``"1"``) stay distinct.
+    """
+    parts: List[str] = []
+    for relation in instance.schema:
+        rows = sorted(
+            "|".join(f"{type(v).__name__}:{v!r}" for v in tup.values)
+            for tup in instance.relation(relation.name)
+        )
+        parts.append(relation.name + "{" + ";".join(rows) + "}")
+    return "&".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _FrontierContext:
+    """Per-worker immutable context: the program and the dedup mode."""
+
+    __slots__ = ("program", "dedup", "constants")
+
+    def __init__(self, program: WorkflowProgram, dedup: str) -> None:
+        self.program = program
+        self.dedup = dedup
+        self.constants = program.constants()
+
+    def __reduce__(self):
+        return (_FrontierContext, (self.program, self.dedup))
+
+
+def _node_signature(ctx: _FrontierContext, instance: Instance) -> Optional[str]:
+    if ctx.dedup == "none":
+        return None
+    if ctx.dedup == "exact":
+        return signature_key(instance)
+    return signature_key(canonicalize_instance(instance, fixed=ctx.constants))
+
+
+def _expand_batch(ctx: _FrontierContext, arg: PyTuple) -> Any:
+    """Expand a batch of states; returns one successor list per state.
+
+    Each batch entry is ``(visit_index, instance, index)`` where *index*
+    is the parent's :class:`ApplicableEventIndex` (in-process execution
+    only; across processes it is None and the worker enumerates from
+    scratch — the two paths yield identical event sequences, which the
+    event-index property suite guarantees).  The successor entries are
+    ``(event, successor, key, child_index)`` in enumeration order — the
+    exact order the sequential explorer would have produced.
+    """
+    batch, spec = arg
+    budget = spec.to_budget() if spec is not None else None
+    out: List[Any] = []
+    for visit_index, instance, index in batch:
+        try:
+            source = FreshValueSource(start=FRESH_BASE + 64 * visit_index)
+            source.observe(ctx.constants)
+            source.observe(instance.active_domain())
+            expansions: List[PyTuple] = []
+            candidates = (
+                index.events(source)
+                if index is not None
+                else applicable_events(ctx.program, instance, source)
+            )
+            for event in candidates:
+                # Poll only the task-local wall budget: the module-level
+                # checkpoint would also tick the ambient budget's step
+                # counter, which the sequential engine never does here —
+                # the parent replay is the sole place steps are spent.
+                if budget is not None:
+                    budget.checkpoint()
+                if index is not None:
+                    successor, delta = apply_event_with_delta(
+                        ctx.program.schema, instance, event, None, check_body=False
+                    )
+                    child_index = index.advanced(delta, successor)
+                else:
+                    successor = apply_event(
+                        ctx.program.schema, instance, event, None, check_body=False
+                    )
+                    child_index = None
+                expansions.append(
+                    (event, successor, _node_signature(ctx, successor), child_index)
+                )
+        except BudgetExceeded as exc:
+            return TaskTruncated(reason=str(exc), partial=out)
+        out.append(expansions)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Parent side: the deterministic replay merge
+# ----------------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ("state", "index", "visit_index")
+
+    def __init__(self, state: ReachableState, index, visit_index: int) -> None:
+        self.state = state
+        self.index = index
+        self.visit_index = visit_index
+
+
+def _chunked(items: Sequence, size: int) -> List[List]:
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def iterate_states(
+    program: WorkflowProgram,
+    max_depth: int,
+    max_states: Optional[int] = None,
+    *,
+    dedup: str = "isomorphic",
+    initial: Optional[Instance] = None,
+    budget: Optional[Budget] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    use_event_index: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    stats: Optional[ExplorationStats] = None,
+) -> Iterator[ReachableState]:
+    """Yield reachable states in the exact sequential BFS visit order.
+
+    Semantics match :meth:`StateSpaceExplorer.iterate` bit for bit —
+    same states, same order, same stats accounting, and budget
+    violations raise :class:`BudgetExceeded` from the same replay
+    positions the sequential loop polls — while event application and
+    canonicalization run on *workers* processes a layer at a time.
+    """
+    if dedup not in ("none", "exact", "isomorphic"):
+        raise ValueError(f"unknown dedup mode {dedup!r}")
+    workers = resolve_workers(workers)
+    if initial is None:
+        initial = Instance.empty(program.schema.schema)
+    if stats is None:
+        stats = ExplorationStats()
+    context = _FrontierContext(program, dedup)
+    seen: set = set()
+    if dedup != "none":
+        seen.add(_node_signature(context, initial))
+    # In-process pools thread the incremental event index through the
+    # layers like the sequential explorer; a process pool cannot (the
+    # index's shared valuation caches do not survive pickling), so its
+    # workers enumerate from scratch — more work per state, but spread
+    # over the workers.
+    carry_index = workers == 1 and use_event_index
+    root_index = ApplicableEventIndex(program, initial) if carry_index else None
+    wave: List[_Node] = [_Node(ReachableState(initial, ()), root_index, 1)]
+    visited_before_wave = 0
+    with WorkerPool(workers, _expand_batch, context, fault_plan=fault_plan) as pool:
+        while wave:
+            _FRONTIER.observe(len(wave))
+            # 1. Decide which nodes the sequential loop would expand
+            #    (deep-enough nodes and those past the max_states cutoff
+            #    are yielded but never expanded) and dispatch them.
+            to_expand = [
+                node
+                for node in wave
+                if node.state.depth < max_depth
+                and (max_states is None or node.visit_index < max_states)
+            ]
+            spec = BudgetSpec.capture(budget)
+            if chunk_size is not None:
+                size = max(1, chunk_size)
+            else:
+                size = max(1, -(-len(to_expand) // (workers * 4)))
+            batches = _chunked(
+                [(n.visit_index, n.state.instance, n.index) for n in to_expand],
+                size,
+            )
+            results = pool.run((batch, spec) for batch in batches)
+            expansions: Dict[int, Any] = {}
+            truncated_reason: Optional[str] = None
+            for batch, result in zip(batches, results):
+                if isinstance(result, TaskTruncated):
+                    # The batch's trailing states never got expanded;
+                    # the replay raises when it reaches the first one.
+                    entries = result.partial or []
+                    truncated_reason = result.reason
+                else:
+                    entries = result
+                for (visit_index, _instance, _index), entry in zip(batch, entries):
+                    expansions[visit_index] = entry
+            # 2. Replay the sequential control flow over the lookup table.
+            next_wave: List[_Node] = []
+            next_visit = visited_before_wave + len(wave) + 1
+            for node in wave:
+                state = node.state
+                checkpoint(budget, depth=state.depth)
+                _STATES.inc()
+                stats.states_visited += 1
+                stats.max_depth_reached = max(stats.max_depth_reached, state.depth)
+                yield state
+                if max_states is not None and stats.states_visited >= max_states:
+                    return
+                if state.depth >= max_depth:
+                    continue
+                entry = expansions.get(node.visit_index)
+                if entry is None:
+                    # The worker's budget tripped before expanding this
+                    # node — surface it exactly like a parent-side trip.
+                    raise BudgetExceeded(
+                        truncated_reason or "worker budget exhausted mid-layer"
+                    )
+                successors = 0
+                for event, successor, key, child_index in entry:
+                    stats.transitions += 1
+                    successors += 1
+                    if dedup != "none":
+                        if key in seen:
+                            stats.states_deduplicated += 1
+                            _DEDUP.labels(outcome="hit").inc()
+                            continue
+                        seen.add(key)
+                        _DEDUP.labels(outcome="miss").inc()
+                    next_wave.append(
+                        _Node(
+                            ReachableState(successor, state.path + (event,)),
+                            child_index,
+                            next_visit,
+                        )
+                    )
+                    next_visit += 1
+                if successors == 0:
+                    stats.deadlocks += 1
+            visited_before_wave += len(wave)
+            wave = next_wave
+
+
+def parallel_explore(
+    program: WorkflowProgram,
+    max_depth: int,
+    max_states: Optional[int] = None,
+    *,
+    dedup: str = "isomorphic",
+    initial: Optional[Instance] = None,
+    budget: Optional[Budget] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ExplorationResult:
+    """Materialise the reachable set on a worker pool (anytime-valid).
+
+    The parallel counterpart of :meth:`StateSpaceExplorer.explore`: the
+    result (states, stats, truncation flags) is identical to the
+    sequential engine's for every worker count; a tripped budget returns
+    the best-so-far prefix with ``truncated=True`` instead of raising.
+    """
+    stats = ExplorationStats()
+    states: List[ReachableState] = []
+    with span(
+        "parallel_explore",
+        dedup=dedup,
+        max_depth=max_depth,
+        max_states=max_states,
+        workers=resolve_workers(workers),
+    ) as trace:
+        try:
+            for state in iterate_states(
+                program,
+                max_depth,
+                max_states,
+                dedup=dedup,
+                initial=initial,
+                budget=budget,
+                workers=workers,
+                chunk_size=chunk_size,
+                fault_plan=fault_plan,
+                stats=stats,
+            ):
+                states.append(state)
+        except BudgetExceeded as exc:
+            _EXPLORATIONS.labels(outcome="truncated").inc()
+            trace.set("states", len(states))
+            trace.set("truncated", True)
+            return ExplorationResult(states, stats, truncated=True, reason=str(exc))
+        _EXPLORATIONS.labels(outcome="completed").inc()
+        trace.set("states", len(states))
+        trace.set("truncated", False)
+    return ExplorationResult(states, stats)
+
+
+def parallel_find(
+    program: WorkflowProgram,
+    predicate: Callable[[Instance], bool],
+    max_depth: int,
+    max_states: Optional[int] = None,
+    *,
+    dedup: str = "isomorphic",
+    initial: Optional[Instance] = None,
+    budget: Optional[Budget] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Optional[ReachableState]:
+    """The first reachable state satisfying *predicate*, in BFS order.
+
+    The predicate runs in the parent over the deterministic visit
+    stream, so it needs not be picklable and the witness returned is the
+    same state (and path) the sequential ``find`` returns.
+    """
+    with span(
+        "parallel_find", max_depth=max_depth, workers=resolve_workers(workers)
+    ) as trace:
+        for state in iterate_states(
+            program,
+            max_depth,
+            max_states,
+            dedup=dedup,
+            initial=initial,
+            budget=budget,
+            workers=workers,
+            chunk_size=chunk_size,
+            fault_plan=fault_plan,
+        ):
+            if predicate(state.instance):
+                trace.set("found_depth", state.depth)
+                return state
+        trace.set("found_depth", None)
+    return None

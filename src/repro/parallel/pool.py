@@ -1,0 +1,283 @@
+"""Work-sharing worker pools with deterministic, ordered task results.
+
+A :class:`WorkerPool` runs picklable task payloads through one
+module-level task function, either in-process (``workers=1``) or on a
+``multiprocessing`` pool (``workers>=2``).  Three properties make it
+usable under the engine's determinism contract:
+
+* **Ordered results.**  :meth:`WorkerPool.run` yields one result per
+  task *in task order*, regardless of which worker finished first — the
+  merge layers above never observe scheduling nondeterminism.
+* **Budget propagation.**  A :class:`BudgetSpec` snapshots the caller's
+  remaining wall-clock allowance (explicit *and* ambient budget) into a
+  picklable form; workers rebuild a local :class:`Budget` from it, so a
+  deadline set in the parent also bounds computation inside workers.  A
+  worker whose budget trips returns a :class:`TaskTruncated` marker
+  instead of a result — the caller decides how to degrade.
+* **Fault tolerance.**  Tasks that die in a worker (the deterministic
+  :class:`~repro.runtime.faults.FaultPlan` injects a simulated crash or
+  a starved, empty-handed worker) are retried *in the parent process*,
+  which holds the same task context as the workers.  A retried task
+  produces the identical result it would have produced in the worker,
+  so injected worker failures are invisible in the merged output.
+
+The context (program, peer, search parameters, ...) is installed once
+per worker by the pool initializer and kept on the pool in the parent,
+so task payloads stay small (an instance, a few indices) and the
+per-task IPC cost is bounded by the state being expanded, not by the
+program.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..obs.metrics import METRICS
+from ..runtime.budget import Budget, current_budget
+from ..runtime.faults import FaultPlan
+from .config import set_default_workers
+
+__all__ = [
+    "BudgetSpec",
+    "TaskTruncated",
+    "WorkerPool",
+    "task_fault",
+]
+
+_TASKS = METRICS.counter(
+    "repro_parallel_tasks_total",
+    "Parallel task units executed, by outcome",
+    labelnames=("outcome",),
+)
+_BUSY = METRICS.counter(
+    "repro_parallel_busy_seconds_total",
+    "Cumulative busy seconds across all parallel workers",
+)
+_POOLS = METRICS.counter(
+    "repro_parallel_pools_total",
+    "Worker pools created, by execution mode",
+    labelnames=("mode",),
+)
+_WORKERS = METRICS.gauge(
+    "repro_parallel_pool_workers",
+    "Workers of the most recently created pool",
+)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A picklable snapshot of the budget limits a worker must honour.
+
+    Only the wall-clock axis crosses the process boundary: step budgets
+    are global counters that cannot be split soundly across workers, so
+    the merge layers enforce them in the parent (at the exact points the
+    sequential engines poll them), and workers enforce the deadline.
+    """
+
+    wall_remaining: Optional[float] = None
+
+    @classmethod
+    def capture(cls, *budgets: Optional[Budget]) -> Optional["BudgetSpec"]:
+        """The tightest remaining wall allowance of *budgets* + ambient."""
+        remaining: Optional[float] = None
+        seen: List[Budget] = []
+        for budget in tuple(budgets) + (current_budget(),):
+            if budget is None or any(budget is b for b in seen):
+                continue
+            seen.append(budget)
+            left = budget.remaining_seconds()
+            if left is not None and (remaining is None or left < remaining):
+                remaining = left
+        if remaining is None:
+            return None
+        return cls(wall_remaining=remaining)
+
+    def to_budget(self) -> Optional[Budget]:
+        """A fresh local :class:`Budget` enforcing this spec."""
+        if self.wall_remaining is None:
+            return None
+        return Budget(wall_seconds=self.wall_remaining)
+
+
+@dataclass(frozen=True)
+class TaskTruncated:
+    """Marker result: the task's local budget tripped before it finished.
+
+    *partial* carries whatever the task had computed so far (task
+    functions define its shape); *reason* names the exhausted axis.
+    """
+
+    reason: str
+    partial: Any = None
+
+
+@dataclass(frozen=True)
+class _TaskFailure:
+    """Internal marker: the task died in a worker and must be retried."""
+
+    kind: str
+    seq: int
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def task_fault(plan: Optional[FaultPlan], seq: int) -> Optional[str]:
+    """The fault shape scheduled for task *seq*, pure in (seed, seq).
+
+    Follows the :class:`~repro.runtime.faults.FaultInjector` convention
+    (one seeded generator per index) so a schedule never depends on
+    which worker picks the task up: ``crash`` simulates a dying worker,
+    ``transient`` a starved one that returns late and empty-handed.
+    """
+    if plan is None:
+        return None
+    rng = random.Random(f"{plan.seed}:parallel-task:{seq}")
+    if plan.crash_rate and rng.random() < plan.crash_rate:
+        return "crash"
+    if plan.transient_rate and rng.random() < plan.transient_rate:
+        return "transient"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+
+# Installed by the pool initializer; meaningful only in worker processes
+# (the parent executes tasks through its own pool-local state).
+_WORKER_STATE: Optional[Tuple[Callable[[Any, Any], Any], Any, Optional[FaultPlan]]] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+    # A worker must never fan out its own sub-pool.
+    set_default_workers(1)
+
+
+def _run_task(
+    state: Tuple[Callable[[Any, Any], Any], Any, Optional[FaultPlan]],
+    task: Tuple[int, Any],
+) -> Any:
+    """Run one task; injected faults become failure markers, not raises."""
+    task_fn, context, faults = state
+    seq, arg = task
+    kind = task_fault(faults, seq)
+    if kind is not None:
+        if kind == "transient":
+            time.sleep(0.001)
+        return _TaskFailure(kind=kind, seq=seq)
+    started = time.perf_counter()
+    result = task_fn(context, arg)
+    _BUSY.inc(time.perf_counter() - started)
+    return result
+
+
+def _worker_execute(task: Tuple[int, Any]) -> Any:
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    return _run_task(_WORKER_STATE, task)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Ordered task execution over N processes (or in-process for N=1).
+
+    >>> # with WorkerPool(4, _expand_states, context) as pool:
+    >>> #     for result in pool.run(tasks):
+    >>> #         merge(result)
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        task_fn: Callable[[Any, Any], Any],
+        context: Any,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._seq = 0
+        self._pool = None
+        self._faulty_state = (task_fn, context, fault_plan)
+        self._clean_state = (task_fn, context, None)
+        if workers >= 2 and _fork_available():
+            # Only the fork start method is safe: model objects cache
+            # structural hashes (Tuple eagerly, Instance lazily), and a
+            # spawn/forkserver child runs under a different string-hash
+            # seed, so hashes pickled back from such a child would be
+            # inconsistent with the parent's.  Fork children inherit the
+            # parent's hash seed.  Without fork we degrade to in-process
+            # execution — same results, no parallelism.
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            payload = pickle.dumps(self._faulty_state)
+            self._pool = ctx.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+            _POOLS.labels(mode="process").inc()
+        else:
+            _POOLS.labels(mode="serial").inc()
+        _WORKERS.set(workers)
+
+    # ------------------------------------------------------------------
+
+    def run(self, args: Iterable[Any], chunksize: int = 1) -> Iterator[Any]:
+        """Yield one result per task argument, in task order.
+
+        Tasks failed by injected faults are transparently retried in the
+        parent with the fault gate off; the merged result stream is
+        therefore exactly what a sequential execution of the task
+        function over *args* would produce.
+        """
+        tasks: List[Tuple[int, Any]] = []
+        for arg in args:
+            tasks.append((self._seq, arg))
+            self._seq += 1
+        if self._pool is None:
+            raw_results: Iterable[Any] = (
+                _run_task(self._faulty_state, task) for task in tasks
+            )
+        else:
+            raw_results = self._pool.imap(_worker_execute, tasks, chunksize)
+        for task, result in zip(tasks, raw_results):
+            if isinstance(result, _TaskFailure):
+                _TASKS.labels(outcome="retried").inc()
+                result = _run_task(self._clean_state, task)
+            if isinstance(result, TaskTruncated):
+                _TASKS.labels(outcome="truncated").inc()
+            else:
+                _TASKS.labels(outcome="ok").inc()
+            yield result
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        # close()+join(), not terminate(): tasks are short and
+        # deterministic, and a clean worker exit lets coverage/profiling
+        # hooks installed in the children flush their data.
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,111 @@
+"""Parallel minimum-scenario search (Theorem 3.3, as a cap portfolio).
+
+The NP-complete minimum-scenario search parallelises as a *portfolio*
+over size caps.  The key fact: for any cap ``c`` at least the optimal
+size ``m``, a branch-and-bound search bounded by ``c`` returns a
+scenario of exactly ``m`` events (the bound only prunes, never hides the
+optimum), while any cap below ``m`` returns None — and quickly, because
+tight caps prune hard.  So the engine:
+
+1. computes the polynomial :func:`~repro.core.scenarios.greedy_scenario`
+   in the parent — a true scenario whose size ``g`` upper-bounds ``m``;
+2. fans one :class:`~repro.core.scenarios._ScenarioSearch` per cap in
+   ``[forced, min(max_depth, g)]`` out to the pool (``forced`` counts
+   the observing peer's own events, a lower bound every scenario must
+   include);
+3. consumes results in ascending cap order and returns the first
+   success — the smallest successful cap, whose result has the optimal
+   size ``m``.
+
+The returned witness *size* always equals the sequential
+:func:`~repro.core.scenarios.minimum_scenario`'s (both are optimal);
+among equally-small optima the chosen index tuple may differ from the
+sequential search's, but it is a valid scenario and, for a fixed worker
+count, deterministic.  ``workers=1`` delegates to the sequential search
+outright (bit-identical results, zero overhead).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple as PyTuple
+
+from ..core.scenarios import _ScenarioSearch, greedy_scenario, minimum_scenario
+from ..core.subruns import EventSubsequence
+from ..deprecation import renamed_kwarg
+from ..obs.trace import span
+from ..runtime.budget import Budget, checkpoint
+from ..workflow.errors import BudgetExceeded
+from ..workflow.runs import Run
+from .config import resolve_workers
+from .pool import BudgetSpec, TaskTruncated, WorkerPool, _fork_available
+
+__all__ = ["parallel_minimum_scenario"]
+
+
+def _search_cap(ctx: PyTuple, arg: PyTuple):
+    """One portfolio member: the exact search bounded by a size cap."""
+    run, peer = ctx
+    cap, spec = arg
+    budget = spec.to_budget() if spec is not None else None
+    try:
+        return _ScenarioSearch(run, peer, max_depth=cap, budget=budget).search()
+    except BudgetExceeded as exc:
+        return TaskTruncated(reason=str(exc))
+
+
+def parallel_minimum_scenario(
+    run: Run,
+    peer: str,
+    max_depth: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    *,
+    workers: Optional[int] = None,
+    max_size: Optional[int] = None,
+) -> Optional[EventSubsequence]:
+    """A minimum-length scenario, searched as a parallel cap portfolio.
+
+    Same contract as :func:`~repro.core.scenarios.minimum_scenario`
+    (including the deprecated *max_size* spelling): None exactly when no
+    scenario of at most *max_depth* events exists, otherwise a scenario
+    of the optimal size; a tripped *budget* raises
+    :class:`~repro.workflow.errors.BudgetExceeded`.
+    """
+    max_depth = renamed_kwarg(
+        "parallel_minimum_scenario", "max_size", "max_depth", max_size, max_depth
+    )
+    workers = resolve_workers(workers)
+    if workers == 1 or not _fork_available():
+        # workers=1 pins the sequential search (a process-wide default
+        # > 1 would otherwise bounce the call straight back here).
+        return minimum_scenario(
+            run, peer, max_depth=max_depth, budget=budget, workers=1
+        )
+    ceiling = max_depth if max_depth is not None else len(run)
+    with span(
+        "parallel_minimum_scenario",
+        peer=peer,
+        run_events=len(run),
+        max_depth=max_depth,
+        workers=workers,
+    ) as trace:
+        checkpoint(budget)
+        upper = greedy_scenario(run, peer)
+        forced = sum(1 for event in run.events if event.peer == peer)
+        ceiling = min(ceiling, len(upper))
+        caps: List[int] = list(range(forced, ceiling + 1))
+        trace.set("caps", len(caps))
+        if not caps:
+            # Fewer events allowed than the peer's own forced events:
+            # no scenario can fit, exactly as the sequential search
+            # concludes (after exploring the forced prefix).
+            return None
+        spec = BudgetSpec.capture(budget)
+        with WorkerPool(workers, _search_cap, (run, peer)) as pool:
+            for cap, result in zip(caps, pool.run((cap, spec) for cap in caps)):
+                if isinstance(result, TaskTruncated):
+                    raise BudgetExceeded(result.reason)
+                if result is not None:
+                    trace.set("best", len(result))
+                    return EventSubsequence(run, result)
+        trace.set("best", None)
+    return None

@@ -404,6 +404,13 @@ class Instance:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __reduce__(self) -> PyTuple:
+        # The immutability guard blocks the default slot-state restore;
+        # rebuilding through the constructor re-validates the rows and
+        # leaves the hash cache cold, so unpickled instances hash under
+        # the destination process's own hash seed.
+        return (Instance, (self.schema, self._data))
+
     def __repr__(self) -> str:
         parts = []
         for name in sorted(self._data):

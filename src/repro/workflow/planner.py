@@ -338,8 +338,9 @@ _PLAN_CACHE: "weakref.WeakKeyDictionary[Query, QueryPlan]" = weakref.WeakKeyDict
 def plan_for(query: Query) -> QueryPlan:
     """The compiled plan for *query*, compiled on first use.
 
-    Queries are immutable and hash by identity, so the cache key is the
-    query object itself; entries die with their queries (weak keys).
+    Queries are immutable and hash structurally (cached), so the cache
+    key is the query object itself — structurally equal queries share a
+    plan — and entries die with their key query (weak keys).
     """
     plan = _PLAN_CACHE.get(query)
     if plan is None:

@@ -227,6 +227,7 @@ class Query:
 
     def __init__(self, literals: Iterable[Literal]) -> None:
         self.literals: PyTuple[Literal, ...] = tuple(literals)
+        self._hash: Optional[int] = None
         safe: Set[Var] = set()
         for lit in self.literals:
             if isinstance(lit, (RelLiteral, KeyLiteral)) and lit.positive:
@@ -237,6 +238,21 @@ class Query:
                 f"unsafe variables {sorted(v.name for v in unsafe)}: every variable "
                 "must occur in a positive relational literal"
             )
+
+    def __eq__(self, other: object) -> bool:
+        # Structural: queries (and the rules/events built from them)
+        # must stay equal across a pickle round-trip, which worker
+        # processes rely on when they hand search results back.
+        return isinstance(other, Query) and self.literals == other.literals
+
+    def __hash__(self) -> int:
+        # Cached: the planner keys its plan cache by query on the hot
+        # path, and the literal tuple is recursively hashed otherwise.
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.literals)
+            self._hash = cached
+        return cached
 
     def variables(self) -> FrozenSet[Var]:
         out: Set[Var] = set()

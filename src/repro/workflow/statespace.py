@@ -27,6 +27,11 @@ from .instance import Instance
 from .isomorphism import canonicalize_instance
 from .program import WorkflowProgram
 
+# Fresh values minted during expansion start above this floor, offset by
+# the visit index; the parallel frontier engine mints from the same
+# formula so the two engines produce identical fresh values.
+FRESH_BASE = 30_000
+
 _STATES_VISITED = METRICS.counter(
     "repro_search_nodes_total",
     "Search nodes expanded, by search kind",
@@ -99,6 +104,7 @@ class StateSpaceExplorer:
         initial: Optional[Instance] = None,
         budget: Optional[Budget] = None,
         use_event_index: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         if dedup not in ("none", "exact", "isomorphic"):
             raise ValueError(f"unknown dedup mode {dedup!r}")
@@ -109,6 +115,7 @@ class StateSpaceExplorer:
         )
         self.budget = budget
         self.use_event_index = use_event_index
+        self.workers = workers
         self.stats = ExplorationStats()
 
     def _signature(self, instance: Instance) -> object:
@@ -122,7 +129,32 @@ class StateSpaceExplorer:
         max_depth: int,
         max_states: Optional[int] = None,
     ) -> Iterator[ReachableState]:
-        """Yield reachable states breadth-first (the initial state first)."""
+        """Yield reachable states breadth-first (the initial state first).
+
+        With ``workers > 1`` (or a process-wide default from
+        :func:`repro.parallel.set_default_workers`) the layer-synchronous
+        parallel frontier engine takes over; it yields the identical
+        state stream and stats for every worker count, so ``explore``,
+        ``find`` and ``reachable_count`` all parallelise through here.
+        """
+        from ..parallel.config import resolve_workers
+
+        if resolve_workers(self.workers) > 1:
+            from ..parallel.frontier import iterate_states
+
+            self.stats = ExplorationStats()
+            yield from iterate_states(
+                self.program,
+                max_depth,
+                max_states,
+                dedup=self.dedup,
+                initial=self.initial,
+                budget=self.budget,
+                workers=self.workers,
+                use_event_index=self.use_event_index,
+                stats=self.stats,
+            )
+            return
         self.stats = ExplorationStats()
         seen: Set[object] = set()
         queue: deque = deque()
@@ -135,7 +167,7 @@ class StateSpaceExplorer:
         queue.append((root, root_index))
         if self.dedup != "none":
             seen.add(self._signature(self.initial))
-        fresh_base = 30_000
+        fresh_base = FRESH_BASE
         while queue:
             state, index = queue.popleft()
             checkpoint(self.budget, depth=state.depth)
@@ -264,12 +296,19 @@ def fact_reachable(
     max_depth: int,
     dedup: str = "isomorphic",
     budget: Optional[Budget] = None,
+    max_states: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Optional[ReachableState]:
     """A reachable state with a non-empty *relation*, if one exists in bound.
 
     The bounded form of the (undecidable) question (?) of Theorem 5.4.
+    *max_states* caps the visited states exactly as in
+    :meth:`StateSpaceExplorer.find`; *workers* selects the parallel
+    frontier engine.
 
     >>> # witness = fact_reachable(pcp_workflow(instance), "U", 6)
     """
-    explorer = StateSpaceExplorer(program, dedup=dedup, budget=budget)
-    return explorer.find(lambda instance: bool(instance.keys(relation)), max_depth)
+    explorer = StateSpaceExplorer(program, dedup=dedup, budget=budget, workers=workers)
+    return explorer.find(
+        lambda instance: bool(instance.keys(relation)), max_depth, max_states
+    )

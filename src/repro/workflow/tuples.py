@@ -148,6 +148,12 @@ class Tuple:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self) -> PyTuple:
+        # The immutability guard blocks the default slot-state restore,
+        # and rebuilding through the constructor recomputes the cached
+        # hash under the destination process's hash seed.
+        return (Tuple, (self.attributes, self.values))
+
     def __iter__(self) -> Iterator[object]:
         return iter(self.values)
 

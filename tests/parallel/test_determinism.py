@@ -1,0 +1,168 @@
+"""Determinism, budget parity and anytime-validity of the parallel engines.
+
+Three contracts beyond plain equivalence:
+
+* **Bit-identical repeats** — the same call produces the same result
+  every time, for every worker count (worker interleaving never leaks
+  into the merged output).
+* **Budget parity** — a step budget trips the parallel replay at the
+  exact state the sequential loop trips at, with the same partial
+  result; a wall-clock budget yields a ``truncated=True`` result whose
+  states are a prefix of the untruncated stream (anytime-valid).
+* **Fault transparency** — deterministic injected worker crashes and
+  starvation (the runtime :class:`~repro.runtime.faults.FaultPlan`) are
+  retried in the parent and are invisible in the merged output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import parallel_explore, parallel_find, parallel_minimum_scenario
+from repro.parallel.pool import task_fault
+from repro.runtime import Budget, BudgetExceeded
+from repro.runtime.faults import FaultPlan
+from repro.workflow import RunGenerator
+from repro.workflow.statespace import StateSpaceExplorer
+from repro.workloads import (
+    chain_program,
+    churn_program,
+    parallel_chains_program,
+    random_propositional_program,
+)
+
+WORKERS = (2, 4)
+
+
+def assert_same_exploration(seq, par):
+    """Field-by-field equality of two ExplorationResults."""
+    assert [s.instance for s in seq.states] == [s.instance for s in par.states]
+    assert [s.path for s in seq.states] == [s.path for s in par.states]
+    assert seq.stats == par.stats
+    assert (seq.truncated, seq.reason) == (par.truncated, par.reason)
+
+
+class _TickClock:
+    """A deterministic clock advancing one second per observation."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestBitIdenticalRepeats:
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_repeated_runs_are_identical(self, workers):
+        program = parallel_chains_program(2, 2)
+        first = parallel_explore(program, 3, workers=workers)
+        second = parallel_explore(program, 3, workers=workers)
+        assert_same_exploration(first, second)
+
+    def test_random_program_repeats(self):
+        program = random_propositional_program(4, 6, seed=123)
+        first = parallel_explore(program, 3, 40, workers=2)
+        second = parallel_explore(program, 3, 40, workers=2)
+        assert_same_exploration(first, second)
+
+    def test_wired_explorer_matches_sequential(self):
+        # StateSpaceExplorer(workers=N) routes iterate/explore/find through
+        # the parallel engine and must populate the same stats object.
+        program = chain_program(3)
+        seq = StateSpaceExplorer(program).explore(4)
+        wired = StateSpaceExplorer(program, workers=2)
+        par = wired.explore(4)
+        assert_same_exploration(seq, par)
+        assert wired.stats == par.stats
+
+    @pytest.mark.parametrize("chunk_size", [1, 3])
+    def test_explicit_chunk_size_changes_nothing(self, chunk_size):
+        # Batching is an IPC tuning knob, never a semantic one.
+        program = parallel_chains_program(2, 2)
+        seq = StateSpaceExplorer(program).explore(3)
+        par = parallel_explore(program, 3, workers=2, chunk_size=chunk_size)
+        assert_same_exploration(seq, par)
+
+    def test_unknown_dedup_mode_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_explore(chain_program(2), 2, dedup="bogus", workers=2)
+
+
+class TestStepBudgetParity:
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("max_steps", [1, 3, 9])
+    def test_truncation_point_matches_sequential(self, max_steps, workers):
+        program = chain_program(3)
+        seq = StateSpaceExplorer(program, budget=Budget(max_steps=max_steps)).explore(4)
+        par = parallel_explore(
+            program, 4, budget=Budget(max_steps=max_steps), workers=workers
+        )
+        # The family visits 5 states, so 9 steps complete and 1/3 trip;
+        # either way the parallel result must match field for field.
+        assert seq.truncated == (max_steps < 5)
+        assert_same_exploration(seq, par)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_find_raises_like_sequential(self, workers):
+        program = chain_program(3)
+        predicate = lambda instance: bool(instance.keys("S3"))  # noqa: E731
+        with pytest.raises(BudgetExceeded):
+            StateSpaceExplorer(program, budget=Budget(max_steps=1)).find(predicate, 5)
+        with pytest.raises(BudgetExceeded):
+            parallel_find(
+                program, predicate, 5, budget=Budget(max_steps=1), workers=workers
+            )
+
+
+class TestAnytimeWallBudget:
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_truncated_result_is_a_prefix(self, workers):
+        program = chain_program(3)
+        full = parallel_explore(program, 4, workers=workers)
+        assert not full.truncated
+        budget = Budget(wall_seconds=3, clock=_TickClock())
+        cut = parallel_explore(program, 4, budget=budget, workers=workers)
+        assert cut.truncated
+        assert "wall-clock" in (cut.reason or "")
+        assert len(cut.states) < len(full.states)
+        prefix = full.states[: len(cut.states)]
+        assert [s.instance for s in cut.states] == [s.instance for s in prefix]
+        assert [s.path for s in cut.states] == [s.path for s in prefix]
+
+    def test_zero_wall_budget_is_empty_not_wrong(self):
+        program = chain_program(3)
+        cut = parallel_explore(
+            program, 4, budget=Budget(wall_seconds=0.0), workers=2
+        )
+        assert cut.truncated
+        assert cut.states == []
+
+    def test_worker_side_trip_propagates_from_portfolio(self):
+        # Three ticks: construction, the parent checkpoint, the capture.
+        # The capture then snapshots 0 remaining seconds, so the trip
+        # happens inside the workers and must surface as BudgetExceeded.
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        budget = Budget(wall_seconds=2, clock=_TickClock())
+        with pytest.raises(BudgetExceeded):
+            parallel_minimum_scenario(run, "observer", budget=budget, workers=2)
+
+
+class TestFaultTransparency:
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_injected_faults_are_invisible(self, workers):
+        program = chain_program(3)
+        plan = FaultPlan(seed=5, crash_rate=0.5, transient_rate=0.3)
+        seq = StateSpaceExplorer(program).explore(4)
+        par = parallel_explore(program, 4, workers=workers, fault_plan=plan)
+        assert_same_exploration(seq, par)
+
+    def test_fault_schedule_is_pure_in_seed_and_seq(self):
+        plan = FaultPlan(seed=7, crash_rate=0.5, transient_rate=0.3)
+        schedule = [task_fault(plan, seq) for seq in range(50)]
+        assert schedule == [task_fault(plan, seq) for seq in range(50)]
+        # The rates make both shapes near-certain to appear in 50 draws.
+        assert "crash" in schedule
+        assert "transient" in schedule
+        assert all(task_fault(None, seq) is None for seq in range(5))

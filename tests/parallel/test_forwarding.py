@@ -1,0 +1,101 @@
+"""Search limits reach the engine identically on every path (regression).
+
+``max_depth`` / ``max_states`` must mean the same thing whether the
+search runs sequentially or on workers, and whether the caller used the
+current spelling or a deprecated shim (``explore_depth``, ``max_size``).
+``fact_reachable`` historically dropped ``max_states`` on the floor —
+the cap tests here pin the fix on both paths.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import minimum_scenario
+from repro.parallel import parallel_minimum_scenario, set_default_workers
+from repro.workflow import RunGenerator
+from repro.workflow.lint import lint_program
+from repro.workflow.statespace import StateSpaceExplorer, fact_reachable
+from repro.workloads import chain_program, churn_program
+
+
+@pytest.fixture
+def _workers_default_guard():
+    yield
+    set_default_workers(1)
+
+
+class TestMaxStatesForwarding:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_explore_visits_exactly_the_cap(self, workers):
+        program = chain_program(3)
+        result = StateSpaceExplorer(program, workers=workers).explore(4, max_states=3)
+        assert len(result.states) == 3
+        assert result.stats.states_visited == 3
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_find_respects_the_cap(self, workers):
+        program = chain_program(3)
+        predicate = lambda instance: bool(instance.keys("S3"))  # noqa: E731
+        explorer = StateSpaceExplorer(program, workers=workers)
+        assert explorer.find(predicate, 5) is not None
+        # The witness is the 5th visited state; a cap of 3 hides it.
+        assert explorer.find(predicate, 5, max_states=3) is None
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_reachable_count_respects_the_cap(self, workers):
+        program = chain_program(3)
+        explorer = StateSpaceExplorer(program, workers=workers)
+        assert explorer.reachable_count(4) == 5
+        assert explorer.reachable_count(4, max_states=2) == 2
+
+
+class TestFactReachableForwarding:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_depth_bound(self, workers):
+        program = chain_program(3)
+        assert fact_reachable(program, "S3", 5, workers=workers) is not None
+        assert fact_reachable(program, "S3", 3, workers=workers) is None
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_max_states_bound(self, workers):
+        # Regression: fact_reachable used to drop max_states entirely.
+        program = chain_program(3)
+        hit = fact_reachable(program, "S3", 5, max_states=5, workers=workers)
+        assert hit is not None
+        assert fact_reachable(program, "S3", 5, max_states=3, workers=workers) is None
+
+
+class TestShimsReachBothEngines:
+    def test_lint_explore_depth_under_parallel_default(self, _workers_default_guard):
+        program = chain_program(3)
+        baseline = lint_program(program, max_depth=3)
+        set_default_workers(2)
+        with pytest.warns(DeprecationWarning, match="explore_depth"):
+            shimmed = lint_program(program, explore_depth=3)
+        assert [f.category for f in shimmed] == [f.category for f in baseline]
+        assert [f.message for f in shimmed] == [f.message for f in baseline]
+
+    def test_minimum_scenario_max_size_under_parallel_default(
+        self, _workers_default_guard
+    ):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        baseline = minimum_scenario(run, "observer", max_depth=4)
+        set_default_workers(2)
+        with pytest.warns(DeprecationWarning, match="max_size"):
+            shimmed = minimum_scenario(run, "observer", max_size=4)
+        if baseline is None:
+            assert shimmed is None
+        else:
+            assert shimmed is not None and len(shimmed) == len(baseline)
+
+    def test_parallel_minimum_scenario_accepts_the_shim(self):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        with pytest.warns(DeprecationWarning, match="max_size"):
+            shimmed = parallel_minimum_scenario(run, "observer", workers=1, max_size=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            current = parallel_minimum_scenario(run, "observer", workers=1, max_depth=4)
+        assert shimmed == current

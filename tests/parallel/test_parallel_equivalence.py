@@ -1,0 +1,259 @@
+"""Differential equivalence: the parallel engines vs their sequential originals.
+
+Every parallel entry point promises result-identity with its sequential
+counterpart for every worker count.  This suite checks that promise
+directly on the four wired surfaces — exploration, search, boundedness
+checking and minimum-scenario search — over fixed workload families and
+hypothesis-generated random programs, comparing the complete observable
+results field by field (state streams, witness paths, stats,
+boundedness verdicts, scenario sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import is_scenario, minimum_scenario
+from repro.parallel import (
+    parallel_check_h_bounded,
+    parallel_explore,
+    parallel_find,
+    parallel_minimum_scenario,
+    parallel_smallest_bound,
+)
+from repro.transparency import SearchBudget, check_h_bounded, smallest_bound
+from repro.workflow import RunGenerator
+from repro.workflow.statespace import StateSpaceExplorer
+from repro.workloads import (
+    chain_program,
+    churn_program,
+    parallel_chains_program,
+    random_propositional_program,
+)
+
+# workers=1 exercises the serial in-process pool (and, for the bounded
+# and scenario engines, the explicit delegation back to sequential).
+WORKERS = (1, 2, 4)
+
+SETTINGS = settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def assert_same_exploration(seq, par):
+    """Field-by-field equality of two ExplorationResults."""
+    assert [s.instance for s in seq.states] == [s.instance for s in par.states]
+    assert [s.path for s in seq.states] == [s.path for s in par.states]
+    assert seq.stats == par.stats
+    assert (seq.truncated, seq.reason) == (par.truncated, par.reason)
+
+
+def assert_same_verdict(seq, par):
+    """Field-by-field equality of two BoundednessResults."""
+    assert (
+        seq.bounded,
+        seq.h,
+        seq.instances_checked,
+        seq.exhausted,
+        seq.truncated,
+        seq.reason,
+    ) == (
+        par.bounded,
+        par.h,
+        par.instances_checked,
+        par.exhausted,
+        par.truncated,
+        par.reason,
+    )
+    if seq.witness is None:
+        assert par.witness is None
+    else:
+        assert par.witness is not None
+        assert seq.witness.initial == par.witness.initial
+        assert list(seq.witness.events) == list(par.witness.events)
+
+
+class TestExploreEquivalence:
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("dedup", ["none", "exact", "isomorphic"])
+    def test_chain_all_dedup_modes(self, dedup, workers):
+        program = chain_program(3)
+        seq = StateSpaceExplorer(program, dedup=dedup).explore(4)
+        par = parallel_explore(program, 4, dedup=dedup, workers=workers)
+        assert_same_exploration(seq, par)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_parallel_chains(self, workers):
+        program = parallel_chains_program(2, 2)
+        seq = StateSpaceExplorer(program).explore(3)
+        par = parallel_explore(program, 3, workers=workers)
+        assert_same_exploration(seq, par)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_max_states_cutoff(self, workers):
+        program = parallel_chains_program(2, 2)
+        full = StateSpaceExplorer(program).explore(3)
+        cap = max(2, len(full.states) // 2)
+        seq = StateSpaceExplorer(program).explore(3, max_states=cap)
+        par = parallel_explore(program, 3, cap, workers=workers)
+        assert len(par.states) == cap
+        assert_same_exploration(seq, par)
+
+    @given(seed=st.integers(0, 10_000))
+    @SETTINGS
+    def test_random_programs(self, seed):
+        program = random_propositional_program(4, 6, seed=seed)
+        seq = StateSpaceExplorer(program).explore(3, max_states=40)
+        par = parallel_explore(program, 3, 40, workers=2)
+        assert_same_exploration(seq, par)
+
+
+class TestFindEquivalence:
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_witness_state_and_path(self, workers):
+        program = chain_program(3)
+        predicate = lambda instance: bool(instance.keys("S3"))  # noqa: E731
+        seq = StateSpaceExplorer(program).find(predicate, 5)
+        par = parallel_find(program, predicate, 5, workers=workers)
+        assert seq is not None and par is not None
+        assert seq.instance == par.instance
+        assert seq.path == par.path
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_unreachable_is_none_in_both(self, workers):
+        program = chain_program(3)
+        predicate = lambda instance: bool(instance.keys("S3"))  # noqa: E731
+        assert StateSpaceExplorer(program).find(predicate, 3) is None
+        assert parallel_find(program, predicate, 3, workers=workers) is None
+
+    @given(seed=st.integers(0, 10_000))
+    @SETTINGS
+    def test_random_programs(self, seed):
+        program = random_propositional_program(4, 6, seed=seed)
+        relation = program.schema.schema.relations[-1].name
+        predicate = lambda instance: bool(instance.keys(relation))  # noqa: E731
+        seq = StateSpaceExplorer(program).find(predicate, 3, max_states=40)
+        par = parallel_find(program, predicate, 3, 40, workers=2)
+        if seq is None:
+            assert par is None
+        else:
+            assert par is not None
+            assert seq.instance == par.instance
+            assert seq.path == par.path
+
+
+BUDGET = SearchBudget(pool_extra=1, max_tuples_per_relation=1, max_instances=30)
+
+
+class TestBoundednessEquivalence:
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("h", [1, 3])
+    def test_verdict_and_witness(self, h, workers):
+        program = chain_program(2)
+        seq = check_h_bounded(program, "observer", h, BUDGET)
+        par = parallel_check_h_bounded(program, "observer", h, BUDGET, workers=workers)
+        assert_same_verdict(seq, par)
+        # The family is h-bounded exactly for h >= depth + 1 = 3.
+        assert seq.bounded == (h >= 3)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_max_instances_cap_flips_exhausted_identically(self, workers):
+        program = chain_program(2)
+        budget = SearchBudget(pool_extra=1, max_tuples_per_relation=1, max_instances=3)
+        seq = check_h_bounded(program, "observer", 3, budget)
+        par = parallel_check_h_bounded(program, "observer", 3, budget, workers=workers)
+        assert not seq.exhausted
+        assert_same_verdict(seq, par)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("max_h", [2, 3])
+    def test_smallest_bound(self, max_h, workers):
+        program = chain_program(2)
+        seq = smallest_bound(program, "observer", max_h, BUDGET)
+        par = parallel_smallest_bound(program, "observer", max_h, BUDGET, workers=workers)
+        assert seq == par
+        # max_h=2 is below the family's bound of 3, so both say None.
+        assert (seq is None) == (max_h < 3)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_smallest_bound_capped_enumeration(self, workers):
+        program = chain_program(2)
+        budget = SearchBudget(pool_extra=1, max_tuples_per_relation=1, max_instances=3)
+        seq = smallest_bound(program, "observer", 3, budget)
+        par = parallel_smallest_bound(program, "observer", 3, budget, workers=workers)
+        assert seq == par
+
+    @pytest.mark.parametrize("workers", WORKERS[1:])
+    def test_anytime_wall_budget(self, workers):
+        from repro.runtime import Budget, BudgetExceeded
+
+        program = chain_program(2)
+        with pytest.raises(BudgetExceeded):
+            parallel_check_h_bounded(
+                program, "observer", 1, BUDGET, Budget(wall_seconds=0.0), workers=workers
+            )
+        result = parallel_check_h_bounded(
+            program,
+            "observer",
+            1,
+            BUDGET,
+            Budget(wall_seconds=0.0),
+            True,
+            workers=workers,
+        )
+        assert result.bounded and result.truncated and not result.exhausted
+        assert result.instances_checked == 0
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("peer", ["observer", "auditor"])
+    def test_optimal_size_matches(self, peer, workers):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        seq = minimum_scenario(run, peer)
+        par = parallel_minimum_scenario(run, peer, workers=workers)
+        assert seq is not None and par is not None
+        assert len(par) == len(seq)
+        assert is_scenario(run, peer, par.indices)
+
+    def test_workers_one_is_bit_identical(self):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        seq = minimum_scenario(run, "observer")
+        par = parallel_minimum_scenario(run, "observer", workers=1)
+        assert par == seq
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_infeasible_cap_is_none_in_both(self, workers):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        optimum = minimum_scenario(run, "observer")
+        assert optimum is not None
+        cap = len(optimum) - 1
+        assert minimum_scenario(run, "observer", max_depth=cap) is None
+        assert (
+            parallel_minimum_scenario(run, "observer", max_depth=cap, workers=workers)
+            is None
+        )
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_cap_below_forced_events_is_none(self, workers):
+        # The observing peer's own events are in every scenario; a cap
+        # below their count is infeasible before any search happens.
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        assert any(event.peer == "auditor" for event in run.events)
+        assert minimum_scenario(run, "auditor", max_depth=0) is None
+        assert (
+            parallel_minimum_scenario(run, "auditor", max_depth=0, workers=workers)
+            is None
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @SETTINGS
+    def test_random_runs(self, seed):
+        program = random_propositional_program(4, 6, seed=seed)
+        run = RunGenerator(program, seed=seed).random_run(7)
+        seq = minimum_scenario(run, "p0")
+        par = parallel_minimum_scenario(run, "p0", workers=2)
+        assert seq is not None and par is not None
+        assert len(par) == len(seq)
+        assert is_scenario(run, "p0", par.indices)

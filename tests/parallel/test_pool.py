@@ -1,0 +1,131 @@
+"""Units for the work-sharing pool layer and the process-wide defaults.
+
+The pool's determinism contract lives here: ordered results regardless
+of scheduling, parent-side retry of injected worker failures, truncation
+markers passed through unwrapped, and the budget snapshot that carries a
+wall-clock deadline (and only that axis) across the process boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    WorkerPool,
+    available_workers,
+    default_workers,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.parallel.pool import BudgetSpec, TaskTruncated, _fork_available
+from repro.runtime import Budget, use_budget
+from repro.runtime.faults import FaultPlan
+
+
+def _triple(ctx, arg):
+    return ctx * arg
+
+
+def _odd_truncates(ctx, arg):
+    if arg % 2:
+        return TaskTruncated(reason="odd", partial=arg)
+    return arg
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_come_back_in_task_order(self, workers):
+        with WorkerPool(workers, _triple, 3) as pool:
+            assert list(pool.run(range(20))) == [3 * n for n in range(20)]
+
+    def test_serial_mode_has_no_child_processes(self):
+        with WorkerPool(1, _triple, 3) as pool:
+            assert pool._pool is None
+
+    def test_process_mode_forks_when_available(self):
+        with WorkerPool(2, _triple, 3) as pool:
+            assert (pool._pool is not None) == _fork_available()
+
+    def test_injected_failures_are_retried_in_the_parent(self):
+        plan = FaultPlan(seed=1, crash_rate=1.0)
+        with WorkerPool(2, _triple, 3, fault_plan=plan) as pool:
+            assert list(pool.run(range(10))) == [3 * n for n in range(10)]
+
+    def test_truncation_markers_pass_through(self):
+        with WorkerPool(2, _odd_truncates, None) as pool:
+            results = list(pool.run(range(4)))
+        assert results[0] == 0 and results[2] == 2
+        assert isinstance(results[1], TaskTruncated)
+        assert (results[1].reason, results[1].partial) == ("odd", 1)
+
+    def test_sequence_numbers_span_runs(self):
+        # Fault schedules key on the task's global sequence number, so
+        # the counter must keep rising across run() calls.
+        with WorkerPool(1, _triple, 1) as pool:
+            list(pool.run(range(3)))
+            assert pool._seq == 3
+            list(pool.run(range(2)))
+            assert pool._seq == 5
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(0, _triple, None)
+
+
+class TestBudgetSpec:
+    def test_no_budget_captures_nothing(self):
+        assert BudgetSpec.capture() is None
+        assert BudgetSpec.capture(None) is None
+
+    def test_step_budgets_do_not_cross_the_boundary(self):
+        assert BudgetSpec.capture(Budget(max_steps=5)) is None
+
+    def test_wall_budget_is_snapshotted(self):
+        spec = BudgetSpec.capture(Budget(wall_seconds=60.0))
+        assert spec is not None
+        assert 0 < spec.wall_remaining <= 60.0
+        local = spec.to_budget()
+        assert local is not None and local.wall_seconds == spec.wall_remaining
+
+    def test_tightest_of_explicit_and_ambient_wins(self):
+        with use_budget(Budget(wall_seconds=5.0)):
+            spec = BudgetSpec.capture(Budget(wall_seconds=500.0))
+        assert spec is not None
+        assert spec.wall_remaining <= 5.0
+
+    def test_same_budget_not_double_counted(self):
+        budget = Budget(wall_seconds=60.0)
+        with use_budget(budget):
+            spec = BudgetSpec.capture(budget)
+        assert spec is not None and spec.wall_remaining <= 60.0
+
+    def test_empty_spec_builds_no_budget(self):
+        assert BudgetSpec(wall_remaining=None).to_budget() is None
+
+
+class TestConfig:
+    def test_default_is_sequential(self):
+        assert default_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_explicit_count_wins_over_default(self):
+        assert resolve_workers(3) == 3
+
+    def test_process_default_round_trips(self):
+        try:
+            set_default_workers(4)
+            assert default_workers() == 4
+            assert resolve_workers(None) == 4
+            assert resolve_workers(2) == 2
+        finally:
+            set_default_workers(1)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ValueError, match="workers"):
+            set_default_workers(bad)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(bad)
+
+    def test_available_workers_is_positive(self):
+        assert available_workers() >= 1

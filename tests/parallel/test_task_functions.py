@@ -1,0 +1,144 @@
+"""The worker-side task functions, executed in-process.
+
+In production these run inside forked pool workers; each is a pure
+function of (context, task argument), so the suite can call them
+directly and check the per-task contract: result shapes, enumeration
+order, and the :class:`TaskTruncated` marker carrying a well-formed
+partial result when the task-local budget trips.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.parallel import pool as pool_module
+from repro.parallel.bounded import _check_chunk, _longest_chunk
+from repro.parallel.frontier import _expand_batch, _FrontierContext, signature_key
+from repro.parallel.pool import BudgetSpec, TaskTruncated, _run_task, _worker_execute, _worker_init
+from repro.parallel.scenarios import _search_cap
+from repro.core.scenarios import minimum_scenario
+from repro.runtime.faults import FaultPlan
+from repro.transparency import SearchBudget, check_h_bounded
+from repro.workflow import Instance, RunGenerator
+from repro.workflow.statespace import StateSpaceExplorer
+from repro.workloads import chain_program, churn_program
+
+ZERO_WALL = BudgetSpec(wall_remaining=0.0)
+
+
+class TestExpandBatch:
+    def test_expansions_match_the_sequential_frontier(self):
+        program = chain_program(2)
+        ctx = _FrontierContext(program, "isomorphic")
+        initial = Instance.empty(program.schema.schema)
+        [entry] = _expand_batch(ctx, ([(1, initial, None)], None))
+        seq = StateSpaceExplorer(program).explore(1)
+        assert [event for event, _, _, _ in entry] == [
+            s.path[0] for s in seq.states[1:]
+        ]
+        assert [successor for _, successor, _, _ in entry] == [
+            s.instance for s in seq.states[1:]
+        ]
+        for _, successor, key, index in entry:
+            assert key == signature_key(successor) or key is None
+            assert index is None  # no event index without a parent index
+
+    def test_zero_budget_returns_truncation_marker(self):
+        program = chain_program(2)
+        ctx = _FrontierContext(program, "exact")
+        initial = Instance.empty(program.schema.schema)
+        result = _expand_batch(ctx, ([(1, initial, None)], ZERO_WALL))
+        assert isinstance(result, TaskTruncated)
+        assert result.partial == []
+
+    def test_context_pickles_by_reconstruction(self):
+        ctx = _FrontierContext(chain_program(1), "none")
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.dedup == "none"
+        assert clone.constants == ctx.constants
+
+
+class TestBoundedChunks:
+    def test_check_chunk_flags_violations_per_instance(self):
+        program = chain_program(2)
+        seq = check_h_bounded(
+            program,
+            "observer",
+            1,
+            SearchBudget(pool_extra=1, max_tuples_per_relation=1),
+        )
+        assert not seq.bounded and seq.witness is not None
+        [violation] = _check_chunk(
+            (program, "observer", 1), ([(1, seq.witness.initial)], None)
+        )
+        assert violation is not None
+        assert list(violation.events) == list(seq.witness.events)
+        empty = Instance.empty(program.schema.schema)
+        [ok] = _check_chunk((program, "observer", 3), ([(1, empty)], None))
+        assert ok is None
+
+    def test_longest_chunk_reports_lengths(self):
+        program = chain_program(2)
+        initial = Instance.empty(program.schema.schema)
+        [length] = _longest_chunk((program, "observer", 3), ([(1, initial)], None))
+        assert length == 3
+
+    def test_longest_chunk_short_circuits_past_max_h(self):
+        program = chain_program(2)
+        seq = check_h_bounded(
+            program,
+            "observer",
+            1,
+            SearchBudget(pool_extra=1, max_tuples_per_relation=1),
+        )
+        assert seq.witness is not None
+        [length] = _longest_chunk(
+            (program, "observer", 1), ([(1, seq.witness.initial)], None)
+        )
+        assert length > 1  # reported as merely "too long", not maximal
+
+    @pytest.mark.parametrize("task", [_check_chunk, _longest_chunk])
+    def test_zero_budget_returns_truncation_marker(self, task):
+        program = chain_program(2)
+        initial = Instance.empty(program.schema.schema)
+        result = task((program, "observer", 1), ([(1, initial)], ZERO_WALL))
+        assert isinstance(result, TaskTruncated)
+        assert result.partial == []
+
+
+class TestSearchCap:
+    def test_cap_at_optimum_finds_it_and_below_returns_none(self):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        best = minimum_scenario(run, "observer")
+        assert best is not None
+        found = _search_cap((run, "observer"), (len(best), None))
+        assert found is not None and len(found) == len(best)
+        assert _search_cap((run, "observer"), (len(best) - 1, None)) is None
+
+    def test_zero_budget_returns_truncation_marker(self):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        result = _search_cap((run, "observer"), (3, ZERO_WALL))
+        assert isinstance(result, TaskTruncated)
+
+
+def _add(ctx, arg):
+    return ctx + arg
+
+
+class TestWorkerEntryPoints:
+    def test_init_installs_state_and_execute_uses_it(self):
+        saved = pool_module._WORKER_STATE
+        try:
+            _worker_init(pickle.dumps((_add, 10, None)))
+            assert _worker_execute((0, 5)) == 15
+        finally:
+            pool_module._WORKER_STATE = saved
+
+    def test_injected_faults_become_failure_markers(self):
+        crash = _run_task((_add, 10, FaultPlan(seed=0, crash_rate=1.0)), (0, 5))
+        assert (crash.kind, crash.seq) == ("crash", 0)
+        starve = _run_task((_add, 10, FaultPlan(seed=0, transient_rate=1.0)), (1, 5))
+        assert (starve.kind, starve.seq) == ("transient", 1)
+        assert _run_task((_add, 10, None), (2, 5)) == 15

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Coverage ratchet: gate CI on a coverage.xml report (stdlib only).
+
+Two independent gates, both read from ``coverage_ratchet.json`` at the
+repo root:
+
+* ``parallel_floor`` — the ``repro.parallel`` package must stay at or
+  above this line coverage (the differential-test layer's promise is
+  only as good as its reach into the engine).
+* ``total`` / ``allowed_total_drop`` — total line coverage may not fall
+  more than ``allowed_total_drop`` percentage points below the recorded
+  ``total``.  The recorded value only moves when someone runs
+  ``--update`` and commits the result, so coverage ratchets up and
+  cannot silently erode.
+
+Usage::
+
+    python tools/check_coverage.py coverage.xml            # gate (CI)
+    python tools/check_coverage.py coverage.xml --update   # re-baseline
+
+The parser consumes the Cobertura XML that ``pytest --cov`` emits via
+``--cov-report=xml`` and needs nothing outside the standard library, so
+the gate itself has no install step to fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
+_PARALLEL = re.compile(r"(^|/)(src/)?(repro/)?parallel/[^/]+\.py$")
+
+
+def measure(xml_path: Path) -> dict:
+    """Total and repro.parallel line coverage (percent) from *xml_path*."""
+    root = ET.parse(str(xml_path)).getroot()
+    total_valid = total_covered = 0
+    parallel_valid = parallel_covered = 0
+    for cls in root.iter("class"):
+        filename = (cls.get("filename") or "").replace("\\", "/")
+        in_parallel = bool(_PARALLEL.search(filename))
+        for line in cls.iter("line"):
+            total_valid += 1
+            hit = int(line.get("hits", "0")) > 0
+            total_covered += hit
+            if in_parallel:
+                parallel_valid += 1
+                parallel_covered += hit
+    if total_valid == 0:
+        raise SystemExit(f"error: no line data found in {xml_path}")
+
+    def pct(covered: int, valid: int) -> float:
+        return 100.0 * covered / valid if valid else 0.0
+
+    return {
+        "total": round(pct(total_covered, total_valid), 2),
+        "parallel": round(pct(parallel_covered, parallel_valid), 2),
+        "parallel_lines": parallel_valid,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="coverage.xml to check")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured totals back into the ratchet file",
+    )
+    args = parser.parse_args(argv)
+
+    ratchet = json.loads(RATCHET_PATH.read_text())
+    measured = measure(args.report)
+    print(
+        f"coverage: total {measured['total']:.2f}% | repro.parallel "
+        f"{measured['parallel']:.2f}% over {measured['parallel_lines']} lines"
+    )
+
+    if args.update:
+        ratchet["total"] = measured["total"]
+        RATCHET_PATH.write_text(json.dumps(ratchet, indent=2) + "\n")
+        print(f"ratchet updated: total floor now {measured['total']:.2f}%")
+        return 0
+
+    failures = []
+    if measured["parallel_lines"] == 0:
+        failures.append("no repro.parallel lines in the report (wrong --cov target?)")
+    elif measured["parallel"] < ratchet["parallel_floor"]:
+        failures.append(
+            f"repro.parallel coverage {measured['parallel']:.2f}% is below the "
+            f"{ratchet['parallel_floor']:.2f}% floor"
+        )
+    floor = ratchet["total"] - ratchet["allowed_total_drop"]
+    if measured["total"] < floor:
+        failures.append(
+            f"total coverage {measured['total']:.2f}% dropped more than "
+            f"{ratchet['allowed_total_drop']:.2f}pt below the recorded "
+            f"{ratchet['total']:.2f}% (floor {floor:.2f}%)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("coverage ratchet: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
