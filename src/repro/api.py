@@ -109,12 +109,28 @@ from .runtime import (
     AnytimeResult,
     Budget,
     BudgetExceeded,
+    DiskFaultPlan,
     JournalWriter,
+    ResumedRun,
     Supervisor,
     anytime_minimum_scenario,
     anytime_reachable_states,
+    fast_recover,
     recover_run,
     use_budget,
+)
+
+# ----------------------------------------------------------------------
+# Pluggable storage: backends, durability policies, compaction
+# ----------------------------------------------------------------------
+from .storage import (
+    DurabilityPolicy,
+    FileBackend,
+    MemoryBackend,
+    SegmentBackend,
+    SqliteBackend,
+    StorageBackend,
+    open_backend,
 )
 
 # ----------------------------------------------------------------------
@@ -232,12 +248,23 @@ __all__ = [
     "AnytimeResult",
     "Budget",
     "BudgetExceeded",
+    "DiskFaultPlan",
     "JournalWriter",
+    "ResumedRun",
     "Supervisor",
     "anytime_minimum_scenario",
     "anytime_reachable_states",
+    "fast_recover",
     "recover_run",
     "use_budget",
+    # storage
+    "DurabilityPolicy",
+    "FileBackend",
+    "MemoryBackend",
+    "SegmentBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "open_backend",
     # parallel search
     "WorkerPool",
     "available_workers",

@@ -10,7 +10,9 @@
   a saved log or a fresh random run) to a peer;
 * ``synthesize`` — the peer's view program (Theorem 5.13);
 * ``enforce``    — replay a run log through the transparency monitor;
-* ``recover``    — replay a run journal, re-validating every step;
+* ``recover``    — resume a run journal from its latest checkpoint
+  (``--full`` re-validates every step from the beginning);
+* ``compact``    — compact stored run records (drop superseded snapshots);
 * ``serve``      — host runs behind the JSON-lines TCP service;
 * ``loadgen``    — drive and verify a live service under load.
 
@@ -157,37 +159,118 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_recover(args: argparse.Namespace) -> int:
-    from .runtime.journal import journal_path, recover_run
+def _recover_source(args: argparse.Namespace):
+    """``(records_or_path, warnings)`` from --journal/--journal-dir/--storage."""
+    from .runtime.journal import journal_path
 
-    if args.journal and (args.journal_dir or args.run_id):
-        raise WorkflowError("use either --journal or --journal-dir/--run-id")
+    chosen = [
+        bool(args.journal),
+        bool(args.journal_dir),
+        bool(getattr(args, "storage", None)),
+    ]
+    if sum(chosen) != 1:
+        raise WorkflowError(
+            "recover needs exactly one of --journal FILE, "
+            "--journal-dir DIR or --storage SPEC"
+        )
     if args.journal:
-        source = args.journal
-    elif args.journal_dir and args.run_id:
+        if args.run_id:
+            raise WorkflowError("--run-id goes with --journal-dir or --storage")
+        return args.journal, []
+    if not args.run_id:
+        raise WorkflowError("--journal-dir/--storage need --run-id ID")
+    if args.journal_dir:
         # The same <dir>/<quoted run id>.journal convention `repro serve
         # --journal-dir` uses, so the two commands always agree on layout.
-        source = journal_path(args.journal_dir, args.run_id)
-    else:
-        raise WorkflowError(
-            "recover needs --journal FILE, or --journal-dir DIR with --run-id ID"
-        )
+        return journal_path(args.journal_dir, args.run_id), []
+    from .storage import open_backend
+
+    backend = open_backend(args.storage)
+    try:
+        if not backend.exists(args.run_id):
+            raise WorkflowError(
+                f"no records for run {args.run_id!r} in {args.storage}"
+            )
+        records, warnings = backend.read_records(args.run_id)
+    finally:
+        backend.close()
+    return records, warnings
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .runtime.checkpoint import fast_recover
+    from .runtime.journal import recover_run
+
+    source, source_warnings = _recover_source(args)
     program = _load_program(args.program)
-    recovered = recover_run(program, source)
-    status = recovered.status or "missing end record (crash?)"
+    full = args.full or bool(args.save) or bool(args.peer)
+    if full:
+        # The audit path: every event re-executed from the beginning and
+        # every snapshot verified against the replayed instance.
+        recovered = recover_run(program, source)
+        status = recovered.status or "missing end record (crash?)"
+        print(f"journal status:      {status}")
+        print(f"events replayed:     {recovered.events_replayed}")
+        print(f"snapshots verified:  {recovered.snapshots_verified}")
+        if recovered.quarantined:
+            print(f"quarantined events:  {len(recovered.quarantined)}")
+        for warning in [*source_warnings, *recovered.warnings]:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(f"\nrecovered run:\n{recovered.run}")
+        if args.peer:
+            print()
+            print(recovered.run.view(args.peer))
+        if args.save:
+            Path(args.save).write_text(run_to_json(recovered.run, indent=2))
+            print(f"\nrecovered run log saved to {args.save}")
+        return 0 if recovered.complete else 1
+    # The default fast path: resume from the latest checkpoint, engine
+    # work O(events since it) regardless of run length.
+    resumed = fast_recover(program, source)
+    status = resumed.status or "missing end record (crash?)"
     print(f"journal status:      {status}")
-    print(f"events replayed:     {recovered.events_replayed}")
-    print(f"snapshots verified:  {recovered.snapshots_verified}")
-    if recovered.quarantined:
-        print(f"quarantined events:  {len(recovered.quarantined)}")
-    print(f"\nrecovered run:\n{recovered.run}")
-    if args.peer:
-        print()
-        print(recovered.run.view(args.peer))
-    if args.save:
-        Path(args.save).write_text(run_to_json(recovered.run, indent=2))
-        print(f"\nrecovered run log saved to {args.save}")
-    return 0 if recovered.complete else 1
+    print(f"events decoded:      {resumed.events_total}")
+    print(
+        f"events replayed:     {resumed.engine_replayed} "
+        f"(since checkpoint at {resumed.snapshot_position})"
+    )
+    if resumed.quarantined:
+        print(f"quarantined events:  {len(resumed.quarantined)}")
+    for warning in [*source_warnings, *resumed.warnings]:
+        print(f"warning: {warning}", file=sys.stderr)
+    print(f"\nresumed instance ({resumed.instance.size()} tuples):")
+    print(resumed.instance)
+    return 0 if resumed.complete else 1
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .storage import open_backend
+
+    if bool(args.storage) == bool(args.journal_dir):
+        raise WorkflowError("compact needs --storage SPEC or --journal-dir DIR")
+    spec = args.storage or f"file:{args.journal_dir}"
+    backend = open_backend(spec)
+    try:
+        run_ids = [args.run_id] if args.run_id else backend.run_ids()
+        if not run_ids:
+            print("no runs to compact")
+            return 0
+        for run_id in run_ids:
+            if not backend.exists(run_id):
+                raise WorkflowError(f"no records for run {run_id!r} in {spec}")
+            store = backend.store(run_id)
+            try:
+                stats = store.compact()
+            finally:
+                store.close()
+            print(
+                f"{run_id}: {stats.records_before} -> {stats.records_after} "
+                f"records ({stats.records_reclaimed} reclaimed), "
+                f"{stats.bytes_before} -> {stats.bytes_after} bytes"
+            )
+    finally:
+        backend.close()
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -256,6 +339,19 @@ def _fault_plan(args: argparse.Namespace):
     )
 
 
+def _disk_fault_plan(args: argparse.Namespace):
+    from .runtime.faults import DiskFaultPlan
+
+    plan = DiskFaultPlan(
+        seed=args.fault_seed,
+        short_write_rate=args.fault_disk_short,
+        corrupt_rate=args.fault_disk_corrupt,
+        enospc_rate=args.fault_disk_enospc,
+        fsync_failure_rate=args.fault_disk_fsync,
+    )
+    return plan if plan.any_rate else None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -271,6 +367,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_views=not args.no_cache_views,
         snapshot_every=args.snapshot_every,
         fault_plan=_fault_plan(args),
+        storage=args.storage,
+        durability=args.durability,
+        max_resident=args.max_resident,
+        compact_every=args.compact_every,
+        disk_fault_plan=_disk_fault_plan(args),
     )
     server = ServiceServer(service, host=args.host, port=args.port)
 
@@ -393,9 +494,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_recover.add_argument("--journal-dir",
                            help="a service journal directory (with --run-id)")
     p_recover.add_argument("--run-id",
-                           help="the hosted run id to recover (with --journal-dir)")
+                           help="the hosted run id to recover "
+                                "(with --journal-dir or --storage)")
+    p_recover.add_argument("--storage", default=None,
+                           help="a storage backend spec to recover from "
+                                "(file:DIR, segment:DIR, sqlite:PATH)")
+    p_recover.add_argument("--full", action="store_true",
+                           help="replay every event from the beginning and "
+                                "verify each snapshot, instead of resuming "
+                                "from the latest checkpoint (implied by "
+                                "--save/--peer, which need the full run)")
     p_recover.add_argument("--save", help="write the recovered run log (JSON) here")
     p_recover.set_defaults(handler=_cmd_recover)
+
+    p_compact = sub.add_parser(
+        "compact", help="compact stored run records (drop superseded snapshots)"
+    )
+    p_compact.add_argument("--storage", default=None,
+                           help="a storage backend spec "
+                                "(file:DIR, segment:DIR, sqlite:PATH)")
+    p_compact.add_argument("--journal-dir", default=None,
+                           help="a service journal directory "
+                                "(shorthand for --storage file:DIR)")
+    p_compact.add_argument("--run-id", default=None,
+                           help="compact one run (default: every run)")
+    p_compact.set_defaults(handler=_cmd_compact)
 
     p_explain = sub.add_parser("explain", help="explain a run to a peer")
     common(p_explain)
@@ -454,6 +577,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-event poison-fault rate")
     p_serve.add_argument("--fault-crash", type=float, default=0.0,
                          help="per-event crash rate (recovered from journals)")
+    p_serve.add_argument("--storage", default=None,
+                         help="storage backend spec: memory (default), "
+                              "file:DIR, segment:DIR or sqlite:PATH")
+    p_serve.add_argument("--durability", default=None,
+                         help="durability policy for disk backends: "
+                              "none, flush (default), interval[:N], fsync")
+    p_serve.add_argument("--max-resident", type=int, default=None,
+                         help="LRU-evict idle hosted runs beyond this many "
+                              "(rehydrated transparently from storage)")
+    p_serve.add_argument("--compact-every", type=int, default=4,
+                         help="compact a run's records every N snapshots "
+                              "(0 disables)")
+    p_serve.add_argument("--fault-disk-short", type=float, default=0.0,
+                         help="per-append short-write (torn record) rate")
+    p_serve.add_argument("--fault-disk-corrupt", type=float, default=0.0,
+                         help="per-append corrupted-trailing-record rate")
+    p_serve.add_argument("--fault-disk-enospc", type=float, default=0.0,
+                         help="per-append ENOSPC (nothing written) rate")
+    p_serve.add_argument("--fault-disk-fsync", type=float, default=0.0,
+                         help="per-fsync failure rate (unsynced tail lost)")
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_load = sub.add_parser(

@@ -77,11 +77,19 @@ _LAZY = {
     "journal_run": "journal",
     "list_journals": "journal",
     "read_journal": "journal",
+    "read_journal_ex": "journal",
     "recover_run": "journal",
     "run_id_from_path": "journal",
+    "begin_record": "journal",
+    "end_record": "journal",
+    "event_record": "journal",
+    "quarantine_record": "journal",
+    "snapshot_record": "journal",
     # checkpoint
     "CheckpointPolicy": "checkpoint",
+    "ResumedRun": "checkpoint",
     "Snapshot": "checkpoint",
+    "fast_recover": "checkpoint",
     "latest_snapshot": "checkpoint",
     "resume_state": "checkpoint",
     "verify_snapshots": "checkpoint",
@@ -95,6 +103,9 @@ _LAZY = {
     "anytime_reachable_states": "supervisor",
     # faults
     "CrashFault": "faults",
+    "DiskFault": "faults",
+    "DiskFaultInjector": "faults",
+    "DiskFaultPlan": "faults",
     "FaultInjector": "faults",
     "FaultPlan": "faults",
     "InjectedChaseFailure": "faults",

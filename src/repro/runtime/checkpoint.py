@@ -21,11 +21,13 @@ from ..workflow.events import Event
 from ..workflow.instance import Instance
 from ..workflow.program import WorkflowProgram
 from ..workflow.serialization import event_from_dict, instance_from_dict
-from .journal import read_journal
+from .journal import JOURNAL_VERSION, read_journal, read_journal_ex
 
 __all__ = [
     "CheckpointPolicy",
+    "ResumedRun",
     "Snapshot",
+    "fast_recover",
     "latest_snapshot",
     "resume_state",
     "verify_snapshots",
@@ -88,6 +90,100 @@ def verify_snapshots(program: WorkflowProgram, source: Any) -> int:
     from .journal import recover_run
 
     return recover_run(program, source, verify_snapshots=True).snapshots_verified
+
+
+@dataclass
+class ResumedRun:
+    """A journal resumed from its latest checkpoint (the fast path).
+
+    Unlike :class:`~repro.runtime.journal.RecoveredRun` this carries no
+    per-step :class:`~repro.workflow.runs.Run`: the prefix up to the
+    latest snapshot is *decoded* but not re-executed, so the engine work
+    is O(events since the last checkpoint) regardless of run length.
+    ``engine_replayed`` counts the events actually re-applied (and thus
+    re-validated) — the quantity the regression tests pin.
+    """
+
+    initial: Instance
+    instance: Instance
+    events: List[Event]
+    engine_replayed: int
+    snapshot_position: int
+    status: Optional[str]
+    quarantined: List[Dict[str, Any]]
+    warnings: List[str]
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def events_total(self) -> int:
+        return len(self.events)
+
+
+def fast_recover(program: WorkflowProgram, source: Any) -> ResumedRun:
+    """Resume a journal from its latest snapshot, replaying only the tail.
+
+    The snapshot is trusted (audit it separately with
+    :func:`verify_snapshots` or a full
+    :func:`~repro.runtime.journal.recover_run`); the events after it are
+    re-applied through the engine, so their validity is still checked.
+    The full event history is decoded — explanations and provenance need
+    it — but decoding is a constant-factor JSON walk, not engine work.
+    """
+    warnings: List[str] = []
+    if isinstance(source, list) and (not source or isinstance(source[0], dict)):
+        records = source
+    else:
+        records, warnings = read_journal_ex(source)
+    if not records or records[0].get("type") != "begin":
+        raise RecoveryError("journal has no begin record")
+    begin = records[0]
+    if begin.get("version", JOURNAL_VERSION) != JOURNAL_VERSION:
+        raise RecoveryError(f"unsupported journal version {begin.get('version')!r}")
+    initial = instance_from_dict(program, begin.get("initial", {}))
+    events: List[Event] = []
+    quarantined: List[Dict[str, Any]] = []
+    status: Optional[str] = None
+    snapshot_record: Optional[Dict[str, Any]] = None
+    snapshot_position = 0
+    for record in records[1:]:
+        kind = record.get("type")
+        if kind == "event":
+            events.append(event_from_dict(program, record["event"]))
+        elif kind == "snapshot":
+            snapshot_record, snapshot_position = record, len(events)
+        elif kind == "quarantine":
+            quarantined.append(record)
+        elif kind == "end":
+            status = record.get("status")
+        elif kind == "begin":
+            raise RecoveryError("journal contains a second begin record")
+        else:
+            raise RecoveryError(f"unknown journal record type {kind!r}")
+    if snapshot_record is None:
+        instance = initial
+    else:
+        instance = instance_from_dict(program, snapshot_record.get("instance", {}))
+    for offset, event in enumerate(events[snapshot_position:]):
+        try:
+            instance = apply_event(program.schema, instance, event, None)
+        except EventError as exc:
+            raise RecoveryError(
+                f"journaled event {snapshot_position + offset} no longer applies "
+                f"on resume: {exc}"
+            ) from exc
+    return ResumedRun(
+        initial=initial,
+        instance=instance,
+        events=events,
+        engine_replayed=len(events) - snapshot_position,
+        snapshot_position=snapshot_position,
+        status=status,
+        quarantined=quarantined,
+        warnings=warnings,
+    )
 
 
 def resume_state(

@@ -31,6 +31,9 @@ from ..workflow.events import Event
 
 __all__ = [
     "CrashFault",
+    "DiskFault",
+    "DiskFaultInjector",
+    "DiskFaultPlan",
     "FaultInjector",
     "FaultPlan",
     "InjectedChaseFailure",
@@ -53,6 +56,20 @@ class InjectedChaseFailure(ChaseFailure):
 
 class CrashFault(InjectedFault):
     """A simulated process crash: in-memory state is lost, the journal survives."""
+
+
+class DiskFault(InjectedFault):
+    """An injected storage-layer failure (short write, fsync error, ENOSPC).
+
+    ``kind`` names the fault shape so the storage backend can model the
+    right on-disk aftermath (a short write leaves a torn record, a
+    failed fsync leaves data intact but the barrier unachieved, ENOSPC
+    writes nothing).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 @dataclass(frozen=True)
@@ -126,3 +143,98 @@ class FaultInjector:
             raise TransientFault(
                 f"injected transient fault at event {index}, attempt {attempt}"
             )
+
+
+# ----------------------------------------------------------------------
+# Disk faults (consulted by the storage backends of repro.storage)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """The knobs of deterministic disk-fault injection.
+
+    Rates are per *storage operation* probabilities: ``short_write_rate``
+    (write only a prefix of the record, then fail), ``corrupt_rate``
+    (write the record with flipped bytes, then fail), ``enospc_rate``
+    (fail before writing anything — a full disk), all drawn per append;
+    ``fsync_failure_rate`` is drawn per fsync.  ``fail_at_append``
+    forces a deterministic short write at that append index — the
+    precision tool for torn-write tests.  Like :class:`FaultPlan`, the
+    schedule is a pure function of ``(seed, operation index)``.
+    """
+
+    seed: int = 0
+    short_write_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    enospc_rate: float = 0.0
+    fsync_failure_rate: float = 0.0
+    fail_at_append: Optional[int] = None
+
+    @property
+    def any_rate(self) -> bool:
+        return bool(
+            self.short_write_rate
+            or self.corrupt_rate
+            or self.enospc_rate
+            or self.fsync_failure_rate
+            or self.fail_at_append is not None
+        )
+
+
+class DiskFaultInjector:
+    """Schedules :class:`DiskFault`\\ s per a :class:`DiskFaultPlan`.
+
+    The storage backend consults :meth:`on_append` before each record
+    write and :meth:`on_fsync` before each fsync; a returned fault shape
+    tells the backend what damage to model before raising.  Each
+    operation index draws from its own :class:`random.Random`, so the
+    schedule does not depend on retries or recovery order.
+    """
+
+    def __init__(self, plan: DiskFaultPlan) -> None:
+        self.plan = plan
+        self.appends = 0
+        self.fsyncs = 0
+        self.injected: Dict[str, int] = {}
+
+    def _record(self, kind: Optional[str]) -> Optional[str]:
+        if kind is not None:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+        return kind
+
+    def append_fault_at(self, index: int) -> Optional[str]:
+        """The scheduled append-fault shape at *index* (pure in seed, index)."""
+        plan = self.plan
+        if plan.fail_at_append is not None and index == plan.fail_at_append:
+            return "short_write"
+        rng = random.Random(f"disk:{plan.seed}:append:{index}")
+        if plan.enospc_rate and rng.random() < plan.enospc_rate:
+            return "enospc"
+        if plan.short_write_rate and rng.random() < plan.short_write_rate:
+            return "short_write"
+        if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+            return "corrupt"
+        return None
+
+    def fsync_fault_at(self, index: int) -> bool:
+        plan = self.plan
+        rng = random.Random(f"disk:{plan.seed}:fsync:{index}")
+        return bool(
+            plan.fsync_failure_rate and rng.random() < plan.fsync_failure_rate
+        )
+
+    def on_append(self) -> Optional[str]:
+        """Consume one append slot; the fault shape to model, if any."""
+        index = self.appends
+        self.appends += 1
+        return self._record(self.append_fault_at(index))
+
+    def on_fsync(self) -> bool:
+        """Consume one fsync slot; True when this fsync must fail."""
+        index = self.fsyncs
+        self.fsyncs += 1
+        failed = self.fsync_fault_at(index)
+        if failed:
+            self._record("fsync")
+        return failed

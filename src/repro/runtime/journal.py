@@ -15,15 +15,26 @@ read.  :func:`recover_run` replays the journaled events through the
 engine — validity is re-checked at every step — and verifies every
 snapshot against the replayed instance, turning the journal into a
 recovery mechanism and not merely a log.
+
+Crash-consistency contract.  ``flush`` (the default) pushes each record
+into the OS page cache before the event is acknowledged: a *process*
+crash never loses an acknowledged event, but an OS/power crash may lose
+the unsynced tail.  ``fsync=True`` additionally calls ``os.fsync`` per
+record, extending the guarantee to power loss at the cost of one disk
+round-trip per event.  The storage backends of :mod:`repro.storage`
+generalize this into a per-backend
+:class:`~repro.storage.DurabilityPolicy`; see ``docs/STORAGE.md`` for
+the full durability matrix.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple as PyTuple, Union
 
 from ..workflow.errors import JournalError, RecoveryError, RunError
 from ..workflow.events import Event
@@ -43,12 +54,18 @@ __all__ = [
     "JournalWriter",
     "MemorySink",
     "RecoveredRun",
+    "begin_record",
+    "end_record",
+    "event_record",
     "journal_path",
     "journal_run",
     "list_journals",
+    "quarantine_record",
     "read_journal",
+    "read_journal_ex",
     "recover_run",
     "run_id_from_path",
+    "snapshot_record",
 ]
 
 #: Bumped when the record format changes incompatibly.
@@ -103,6 +120,57 @@ def list_journals(journal_dir: Union[str, Path]) -> Dict[str, Path]:
     }
 
 
+# ----------------------------------------------------------------------
+# Record constructors
+# ----------------------------------------------------------------------
+#
+# The journal format is defined by these five builders; every producer
+# (the text-level JournalWriter below, the record-level stores of
+# :mod:`repro.storage`) goes through them, so the format has exactly one
+# authority.
+
+
+def begin_record(initial: Instance, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "type": "begin",
+        "version": JOURNAL_VERSION,
+        "initial": instance_to_dict(initial),
+    }
+    if meta:
+        record["meta"] = meta
+    return record
+
+
+def event_record(index: int, event: Event) -> Dict[str, Any]:
+    return {"type": "event", "index": index, "event": event_to_dict(event)}
+
+
+def snapshot_record(index: int, events: int, instance: Instance) -> Dict[str, Any]:
+    return {
+        "type": "snapshot",
+        "index": index,
+        "events": events,
+        "instance": instance_to_dict(instance),
+    }
+
+
+def quarantine_record(index: int, event: Event, error: str, attempts: int) -> Dict[str, Any]:
+    return {
+        "type": "quarantine",
+        "index": index,
+        "event": event_to_dict(event),
+        "error": error,
+        "attempts": attempts,
+    }
+
+
+def end_record(status: str = "completed", reason: Optional[str] = None) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"type": "end", "status": status}
+    if reason:
+        record["reason"] = reason
+    return record
+
+
 class MemorySink:
     """An in-memory journal sink that survives a simulated process crash.
 
@@ -132,16 +200,24 @@ class JournalWriter:
     ``snapshot_every`` controls periodic instance snapshots taken by
     :meth:`record_event` (None or 0 disables them; recovery then replays
     from the initial instance).
+
+    ``fsync=True`` upgrades the per-record guarantee from
+    "flushed to the OS" (survives a process crash) to "fsynced to disk"
+    (survives an OS/power crash) — see the module docstring for the
+    crash-consistency contract.  It is ignored for sinks without a file
+    descriptor (e.g. :class:`MemorySink`).
     """
 
     def __init__(
         self,
         sink: Union[str, Path, Any],
         snapshot_every: Optional[int] = 10,
+        fsync: bool = False,
     ) -> None:
         self._owns_sink = isinstance(sink, (str, Path))
         self._sink = open(sink, "a", encoding="utf-8") if self._owns_sink else sink
         self.snapshot_every = snapshot_every
+        self.fsync = fsync
         self.events_recorded = 0
         self._closed = False
 
@@ -154,21 +230,20 @@ class JournalWriter:
             raise JournalError("journal writer is closed")
         self._sink.write(json.dumps(record, sort_keys=True) + "\n")
         self._sink.flush()
+        if self.fsync:
+            try:
+                fileno = self._sink.fileno()
+            except (AttributeError, OSError, io.UnsupportedOperation):
+                return  # memory sinks have nothing to sync
+            os.fsync(fileno)
 
     def begin(self, initial: Instance, meta: Optional[Dict[str, Any]] = None) -> None:
         """Open the journal with the run's initial instance."""
-        record: Dict[str, Any] = {
-            "type": "begin",
-            "version": JOURNAL_VERSION,
-            "initial": instance_to_dict(initial),
-        }
-        if meta:
-            record["meta"] = meta
-        self._emit(record)
+        self._emit(begin_record(initial, meta))
 
     def record_event(self, index: int, event: Event, instance: Optional[Instance] = None) -> None:
         """Journal one applied event; snapshot periodically when *instance* given."""
-        self._emit({"type": "event", "index": index, "event": event_to_dict(event)})
+        self._emit(event_record(index, event))
         self.events_recorded += 1
         if (
             instance is not None
@@ -179,33 +254,15 @@ class JournalWriter:
 
     def snapshot(self, index: int, instance: Instance) -> None:
         """Journal a full instance snapshot after the event at *index*."""
-        self._emit(
-            {
-                "type": "snapshot",
-                "index": index,
-                "events": self.events_recorded,
-                "instance": instance_to_dict(instance),
-            }
-        )
+        self._emit(snapshot_record(index, self.events_recorded, instance))
 
     def quarantine(self, index: int, event: Event, error: str, attempts: int) -> None:
         """Journal an event the supervisor set aside as poisoned."""
-        self._emit(
-            {
-                "type": "quarantine",
-                "index": index,
-                "event": event_to_dict(event),
-                "error": error,
-                "attempts": attempts,
-            }
-        )
+        self._emit(quarantine_record(index, event, error, attempts))
 
     def end(self, status: str = "completed", reason: Optional[str] = None) -> None:
         """Close the journal with a final status record."""
-        record: Dict[str, Any] = {"type": "end", "status": status}
-        if reason:
-            record["reason"] = reason
-        self._emit(record)
+        self._emit(end_record(status, reason))
 
     def observer(self) -> Callable[[int, Event, Instance], None]:
         """An observer for :func:`repro.workflow.runs.execute`.
@@ -240,8 +297,22 @@ def read_journal(source: Union[str, Path, MemorySink, Iterable[str]]) -> List[Di
     """Parse a journal into its records.
 
     *source* is a path, a :class:`MemorySink`, or an iterable of lines.
-    A torn final line (a crash interrupted the write) is dropped; a
-    malformed line anywhere else raises :class:`JournalError`.
+    A torn final line (a crash interrupted the write — truncated JSON,
+    or JSON that is not a typed record) is dropped; a malformed line
+    anywhere else raises :class:`JournalError`.  Use
+    :func:`read_journal_ex` to also see what was dropped.
+    """
+    return read_journal_ex(source)[0]
+
+
+def read_journal_ex(
+    source: Union[str, Path, MemorySink, Iterable[str]],
+) -> PyTuple[List[Dict[str, Any]], List[str]]:
+    """:func:`read_journal`, plus warnings about dropped trailing garbage.
+
+    Returns ``(records, warnings)``: parsing stops at the last complete
+    record when the final line is torn (a crash mid-write), and each
+    dropped line is described by one warning string instead of raising.
     """
     if isinstance(source, (str, Path)):
         lines = Path(source).read_text(encoding="utf-8").splitlines()
@@ -250,19 +321,29 @@ def read_journal(source: Union[str, Path, MemorySink, Iterable[str]]) -> List[Di
     else:
         lines = "".join(source).splitlines()
     records: List[Dict[str, Any]] = []
+    warnings: List[str] = []
     for position, line in enumerate(lines):
         if not line.strip():
             continue
+        last = position == len(lines) - 1
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            if position == len(lines) - 1:
-                break  # torn tail write from a crash: recoverable
+            if last:  # torn tail write from a crash: recoverable
+                warnings.append(
+                    f"dropped torn trailing line {position} (crash mid-write?): {exc}"
+                )
+                break
             raise JournalError(f"malformed journal line {position}: {exc}") from exc
         if not isinstance(record, dict) or "type" not in record:
+            if last:
+                warnings.append(
+                    f"dropped trailing line {position}: not a typed journal record"
+                )
+                break
             raise JournalError(f"journal line {position} is not a typed record")
         records.append(record)
-    return records
+    return records, warnings
 
 
 @dataclass
@@ -280,6 +361,9 @@ class RecoveredRun:
     events_replayed: int
     snapshots_verified: int
     quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    #: Non-fatal recovery diagnostics, e.g. a torn trailing journal line
+    #: that was dropped (the crash interrupted its write).
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def final_instance(self) -> Instance:
@@ -303,10 +387,11 @@ def recover_run(
     >>> # recovered = recover_run(program, "run.journal")
     >>> # recovered.run.final_instance  # isomorphic to the crashed run's
     """
+    warnings: List[str] = []
     if isinstance(source, list) and (not source or isinstance(source[0], dict)):
         records = source  # pre-parsed
     else:
-        records = read_journal(source)
+        records, warnings = read_journal_ex(source)
     if not records or records[0].get("type") != "begin":
         raise RecoveryError("journal has no begin record")
     begin = records[0]
@@ -356,6 +441,7 @@ def recover_run(
         events_replayed=len(events),
         snapshots_verified=verified,
         quarantined=quarantined,
+        warnings=warnings,
     )
 
 

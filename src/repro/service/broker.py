@@ -39,7 +39,13 @@ from typing import Dict, Optional, Tuple as PyTuple
 
 from ..obs.metrics import METRICS
 from ..runtime.budget import Budget
-from ..runtime.faults import CrashFault, FaultInjector, FaultPlan, TransientFault
+from ..runtime.faults import (
+    CrashFault,
+    DiskFault,
+    FaultInjector,
+    FaultPlan,
+    TransientFault,
+)
 from ..runtime.supervisor import POISON_ERRORS, RetryPolicy
 from ..workflow.events import Event
 from .errors import ServiceError, UnknownRunError
@@ -65,6 +71,10 @@ _BROKER_RETRIES = METRICS.counter(
 _BROKER_RECOVERIES = METRICS.counter(
     "repro_broker_crash_recoveries_total",
     "Crash/recover cycles performed while an event was in flight",
+)
+_BROKER_DISK_FAULTS = METRICS.counter(
+    "repro_broker_disk_faults_total",
+    "Storage disk faults absorbed (retried or quarantined) by workers",
 )
 
 #: Live brokers, tracked weakly for the mailbox-depth gauge.
@@ -154,6 +164,7 @@ class EventBroker:
             REJECTED_BUDGET: 0,
             "retries": 0,
             "crash_recoveries": 0,
+            "disk_faults": 0,
         }
         _live_brokers.add(self)
 
@@ -284,6 +295,27 @@ class EventBroker:
                 # The injector only crashes once per index: retry resumes
                 # against the journal-recovered instance.
                 continue
+            except DiskFault as exc:
+                # The journal refused the record *before* any in-memory
+                # mutation: the event is unacknowledged and the store
+                # self-heals (truncate-and-recover) on the next append,
+                # so retrying is safe and duplicates are impossible.
+                self.counters["disk_faults"] += 1
+                _BROKER_DISK_FAULTS.inc()
+                if attempt >= self.retry.max_attempts:
+                    hosted.record_quarantine(
+                        event, f"disk fault persisted ({exc.kind}): {exc}", attempt
+                    )
+                    return SubmitOutcome(
+                        run_id,
+                        QUARANTINED,
+                        attempts=attempt,
+                        reason=f"disk fault persisted ({exc.kind}): {exc}",
+                        recovered=recovered,
+                    )
+                self.counters["retries"] += 1
+                _BROKER_RETRIES.inc()
+                await asyncio.sleep(self.retry.backoff(attempt))
             except TransientFault as exc:
                 if attempt >= self.retry.max_attempts:
                     hosted.record_quarantine(

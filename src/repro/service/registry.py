@@ -1,4 +1,4 @@
-"""Sharded registry of hosted runs.
+"""Sharded registry of hosted runs over pluggable storage.
 
 The registry is the service's ownership map: every hosted run — one
 live instance of the collaborative workflow model, with its journal,
@@ -9,12 +9,26 @@ per-shard :class:`asyncio.Lock`\\ s so thousands of runs can be hosted
 without a global bottleneck; the *per-run* event order is enforced one
 level up by the broker's per-run mailboxes.
 
-Durability reuses the PR-1 journal machinery wholesale: when the
-registry is given a journal directory, every hosted run appends to its
-canonical journal file (:func:`repro.runtime.journal.journal_path`),
-and opening a run id whose journal already exists *recovers* it by
-replaying the journal through the engine — the same code path
-``repro recover`` uses — before serving traffic again.
+Durability is delegated to a :class:`~repro.storage.StorageBackend`:
+every hosted run appends its begin/event/snapshot/quarantine/end
+records through a :class:`~repro.storage.RecordJournal`, and opening a
+run id whose records already exist *recovers* it — via
+:func:`repro.runtime.checkpoint.fast_recover`, so the engine replays
+only the events since the last checkpoint regardless of run length.
+The default backend keeps records in memory (the pre-storage
+semantics: nothing touches disk, a process death loses unjournaled
+runs); ``journal_dir=`` selects the legacy flat-file layout; segment
+and sqlite backends add CRC framing, torn-write recovery and injected
+disk-fault tolerance (see ``docs/STORAGE.md``).
+
+Because every hosted run has a record history, the registry can also
+bound its resident set: with ``max_resident=N``, the least-recently
+used runs beyond N are *evicted* — their RAM-heavy live state (the
+instance, the view caches, the explainers) dropped after a final
+snapshot — and transparently *rehydrated* from their records on next
+access.  Evicted runs stay addressable: ``get``/``close``/``submit``
+on them work unchanged, just with a one-time O(events since last
+snapshot) rehydration cost.
 """
 
 from __future__ import annotations
@@ -22,19 +36,24 @@ from __future__ import annotations
 import asyncio
 import weakref
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Tuple as PyTuple, Union
 
 from ..core.incremental import IncrementalExplainer
 from ..obs.metrics import METRICS
 from ..obs.provenance import ProvenanceLog
 from ..obs.trace import current_span_id
-from ..runtime.journal import (
-    JournalWriter,
-    journal_path,
-    read_journal,
-    recover_run,
+from ..runtime.checkpoint import fast_recover
+from ..runtime.faults import DiskFault
+from ..runtime.journal import JournalWriter, end_record
+from ..storage.backend import (
+    FileBackend,
+    MemoryBackend,
+    RecordJournal,
+    StorageBackend,
+    open_backend,
 )
 from ..workflow.engine import ViewDelta, apply_event_with_delta
 from ..workflow.eventindex import ApplicableEventIndex
@@ -57,6 +76,14 @@ _RECOVERIES = METRICS.counter(
     "repro_registry_recoveries_total",
     "Runs recovered by replaying their journal",
 )
+_EVICTIONS = METRICS.counter(
+    "repro_registry_evictions_total",
+    "Idle hosted runs evicted to their record store (LRU, max_resident)",
+)
+_REHYDRATIONS = METRICS.counter(
+    "repro_registry_rehydrations_total",
+    "Evicted runs transparently rehydrated from their record store",
+)
 
 #: Live registries, tracked weakly so the hosted-runs gauge can be
 #: collected at scrape time without keeping closed services alive.
@@ -69,6 +96,11 @@ def _collect_registry_gauges(metrics) -> None:
         "Runs currently hosted, summed over live registries",
     )
     gauge.set(sum(registry.hosted_count() for registry in _live_registries))
+    resident = metrics.gauge(
+        "repro_registry_resident_runs",
+        "Hosted runs currently resident in memory (not evicted)",
+    )
+    resident.set(sum(registry.resident_count() for registry in _live_registries))
 
 
 METRICS.register_collector(_collect_registry_gauges)
@@ -92,7 +124,7 @@ class HostedRun:
         initial: Instance,
         instance: Optional[Instance] = None,
         events: Optional[List[Event]] = None,
-        journal: Optional[JournalWriter] = None,
+        journal: Union[JournalWriter, RecordJournal, None] = None,
         journal_file: Optional[Path] = None,
         cache_views: bool = True,
     ) -> None:
@@ -111,6 +143,9 @@ class HostedRun:
         self.submitted = len(self.events)
         self.quarantined = 0
         self.recoveries = 0
+        #: Warnings surfaced while reading this run's records back
+        #: (torn trailing records truncated away, etc.).
+        self.recovery_warnings: List[str] = []
         #: Per-event provenance, recorded at application time.  A
         #: recovered run starts with an empty log — provenance queries
         #: and explain citations cover the events applied since hosting
@@ -131,7 +166,10 @@ class HostedRun:
         Returns ``(seq, delta)`` where *seq* is the event's position in
         the run.  Raises the engine's :class:`EventError`/
         :class:`ChaseFailure` unchanged when the event does not apply —
-        classification (retry/quarantine) is the broker's job.
+        classification (retry/quarantine) is the broker's job.  A
+        :class:`~repro.runtime.faults.DiskFault` from the journal also
+        propagates *before* any in-memory state changes: the event was
+        not acknowledged and a retry observes a self-healed store.
         """
         result, delta = apply_event_with_delta(
             self.program.schema, self.instance, event, forbidden_fresh=None
@@ -175,7 +213,13 @@ class HostedRun:
     def record_quarantine(self, event: Event, error: str, attempts: int) -> None:
         self.quarantined += 1
         if self.journal is not None:
-            self.journal.quarantine(len(self.events), event, error, attempts)
+            try:
+                self.journal.quarantine(len(self.events), event, error, attempts)
+            except DiskFault:
+                # Quarantine records are best-effort evidence: the event
+                # is already rejected either way, and the store
+                # self-heals on its next append.
+                pass
 
     # ------------------------------------------------------------------
     # Reads
@@ -239,6 +283,8 @@ class HostedRun:
             "explainers": sorted(self._explainers),
             "view_versions": dict(self.caches.versions()) if self.caches else {},
         }
+        if self.recovery_warnings:
+            out["recovery_warnings"] = list(self.recovery_warnings)
         return out
 
 
@@ -246,6 +292,15 @@ class HostedRun:
 class _Shard:
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     runs: Dict[str, HostedRun] = field(default_factory=dict)
+
+
+@dataclass
+class _EvictedRun:
+    """The counters an evicted run carries while its state lives on disk."""
+
+    submitted: int
+    quarantined: int
+    recoveries: int
 
 
 class ShardedRunRegistry:
@@ -258,15 +313,41 @@ class ShardedRunRegistry:
         journal_dir: Optional[Path] = None,
         snapshot_every: Optional[int] = 10,
         cache_views: bool = True,
+        storage: Union[str, StorageBackend, None] = None,
+        max_resident: Optional[int] = None,
+        compact_every: int = 4,
     ) -> None:
         if shards < 1:
             raise ServiceError("registry needs at least one shard")
+        if storage is not None and journal_dir is not None:
+            raise ServiceError("pass either storage= or journal_dir=, not both")
+        if max_resident is not None and max_resident < 1:
+            raise ServiceError("max_resident must be at least 1")
         self.program = program
-        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        if storage is None:
+            backend: StorageBackend = (
+                FileBackend(journal_dir) if journal_dir is not None else MemoryBackend()
+            )
+        elif isinstance(storage, str):
+            backend = open_backend(storage)
+        else:
+            backend = storage
+        self.storage = backend
+        # Kept for stats/back-compat: the flat journal directory when
+        # the backend is (or was built from) one.
+        self.journal_dir = (
+            Path(backend.root) if isinstance(backend, FileBackend) else None
+        )
         self.snapshot_every = snapshot_every
         self.cache_views = cache_views
+        self.max_resident = max_resident
+        self.compact_every = compact_every
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
+        self._evicted: Dict[str, _EvictedRun] = {}
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
         self.recoveries = 0
+        self.evictions = 0
+        self.rehydrations = 0
         _live_registries.add(self)
 
     # ------------------------------------------------------------------
@@ -294,29 +375,35 @@ class ShardedRunRegistry:
         initial: Optional[Instance] = None,
         recover: bool = True,
     ) -> PyTuple[HostedRun, bool]:
-        """Host *run_id*, recovering it from its journal if one exists.
+        """Host *run_id*, recovering it from its records if any exist.
 
         Returns ``(hosted, recovered)``.  Opening an id that is already
-        hosted raises :class:`DuplicateRunError`; opening an id whose
-        journal exists replays it (``recover=True``) or refuses
-        (``recover=False``) — it never silently truncates durable state.
+        hosted (resident or evicted) raises :class:`DuplicateRunError`;
+        opening an id whose records exist replays them
+        (``recover=True``) or refuses (``recover=False``) — it never
+        silently truncates durable state.
         """
         shard = self._shard(run_id)
         async with shard.lock:
-            if run_id in shard.runs:
+            if run_id in shard.runs or run_id in self._evicted:
                 raise DuplicateRunError(f"run {run_id!r} is already hosted")
             hosted = self._materialize(run_id, initial)
             shard.runs[run_id] = hosted
             recovered = hosted.recoveries > 0
             if not recover and recovered:
                 del shard.runs[run_id]
+                if hosted.journal is not None:
+                    hosted.journal.close()
                 raise ServiceError(
-                    f"run {run_id!r} has a journal at {hosted.journal_file}; "
+                    f"run {run_id!r} has records at "
+                    f"{hosted.journal_file or self.storage.name}; "
                     "open with recovery or choose a new id"
                 )
             if recovered:
                 self.recoveries += 1
                 _RECOVERIES.inc()
+            self._touch(run_id)
+            self._maybe_evict(protect=run_id)
             return hosted, recovered
 
     def _materialize(self, run_id: str, initial: Optional[Instance]) -> HostedRun:
@@ -325,34 +412,67 @@ class ShardedRunRegistry:
             if initial is not None
             else Instance.empty(self.program.schema.schema)
         )
-        if self.journal_dir is None:
-            return HostedRun(run_id, self.program, start, cache_views=self.cache_views)
-        self.journal_dir.mkdir(parents=True, exist_ok=True)
-        path = journal_path(self.journal_dir, run_id)
-        if path.exists():
-            recovered = recover_run(self.program, read_journal(path))
-            writer = JournalWriter(path, snapshot_every=self.snapshot_every)
+        backend = self.storage
+        if backend.exists(run_id):
+            store = backend.store(run_id)
+            try:
+                records, warnings = store.read()
+                resumed = fast_recover(self.program, records)
+            except Exception:
+                store.close()
+                raise
+            journal = RecordJournal(
+                store,
+                snapshot_every=self.snapshot_every,
+                compact_every=self.compact_every,
+            )
+            has_snapshot = any(r.get("type") == "snapshot" for r in records)
+            journal.resume(
+                len(resumed.events),
+                resumed.snapshot_position if has_snapshot else None,
+            )
             hosted = HostedRun(
                 run_id,
                 self.program,
-                recovered.run.initial,
-                instance=recovered.final_instance,
-                events=list(recovered.run.events),
-                journal=writer,
-                journal_file=path,
+                resumed.initial,
+                instance=resumed.instance,
+                events=resumed.events,
+                journal=journal,
+                journal_file=store.path,
                 cache_views=self.cache_views,
             )
             hosted.recoveries = 1
-            hosted.quarantined = len(recovered.quarantined)
+            hosted.quarantined = len(resumed.quarantined)
+            hosted.recovery_warnings = list(warnings)
+            if hosted.caches is not None:
+                # The rebuilt caches saw one rebuild; a resident run
+                # would have seen the initial rebuild plus one delta per
+                # event.  Fast-forward so versions never run backwards
+                # across eviction/rehydration.
+                hosted.caches.fast_forward(len(resumed.events) + 1)
             return hosted
-        writer = JournalWriter(path, snapshot_every=self.snapshot_every)
-        writer.begin(start, meta={"run_id": run_id})
+        store = backend.store(run_id)
+        journal = RecordJournal(
+            store,
+            snapshot_every=self.snapshot_every,
+            compact_every=self.compact_every,
+        )
+        # Disk faults are self-healing (the torn record is repaired on
+        # the next append), so a failed begin write is retried before
+        # the open is refused.
+        for attempt in range(3):
+            try:
+                journal.begin(start, meta={"run_id": run_id})
+                break
+            except DiskFault:
+                if attempt == 2:
+                    raise
         return HostedRun(
             run_id,
             self.program,
             start,
-            journal=writer,
-            journal_file=path,
+            journal=journal,
+            journal_file=store.path,
             cache_views=self.cache_views,
         )
 
@@ -360,62 +480,218 @@ class ShardedRunRegistry:
         shard = self._shard(run_id)
         async with shard.lock:
             hosted = shard.runs.get(run_id)
+            if hosted is None and run_id in self._evicted:
+                hosted = self._rehydrate(run_id, shard)
+                self._maybe_evict(protect=run_id)
+            elif hosted is not None:
+                self._touch(run_id)
         if hosted is None:
             raise UnknownRunError(f"run {run_id!r} is not hosted")
         return hosted
 
+    @staticmethod
+    def _seal(emit, attempts: int = 3) -> None:
+        """Run a sealing write, retrying through self-healing disk faults.
+
+        A :class:`DiskFault` means the record was not acknowledged and
+        the store repairs itself on the next append, so retrying is
+        safe; a duplicate ``end`` record from a sync-failed-after-append
+        race is harmless (recovery takes the last one, compaction drops
+        the rest).  After *attempts* failures the seal is abandoned:
+        losing the unsynced tail is precisely what a failing-fsync disk
+        is allowed to do, and the event history itself was acknowledged
+        under the backend's durability policy.
+        """
+        for _ in range(attempts):
+            try:
+                emit()
+                return
+            except DiskFault:
+                continue
+
     async def close(self, run_id: str, status: str = "completed") -> HostedRun:
-        """Stop hosting *run_id*, sealing its journal with *status*."""
+        """Stop hosting *run_id*, sealing its records with *status*."""
         shard = self._shard(run_id)
         async with shard.lock:
             hosted = shard.runs.pop(run_id, None)
+            if hosted is None and run_id in self._evicted:
+                # Seal without full rehydration: the live state is not
+                # needed to close, only the record history.
+                evicted = self._evicted.pop(run_id)
+                store = self.storage.store(run_id)
+                records, _ = store.read()
+                resumed = fast_recover(self.program, records)
+                hosted = HostedRun(
+                    run_id,
+                    self.program,
+                    resumed.initial,
+                    instance=resumed.instance,
+                    events=resumed.events,
+                    cache_views=False,
+                )
+                hosted.submitted = evicted.submitted
+                hosted.quarantined = evicted.quarantined
+                hosted.recoveries = evicted.recoveries
+                self._seal(lambda: (store.append(end_record(status)), store.sync()))
+                store.close()
+                self._lru.pop(run_id, None)
+                if not self.storage.durable:
+                    self.storage.delete(run_id)
+                return hosted
+            self._lru.pop(run_id, None)
         if hosted is None:
             raise UnknownRunError(f"run {run_id!r} is not hosted")
         if hosted.journal is not None:
-            hosted.journal.end(status)
+            self._seal(lambda: hosted.journal.end(status))
             hosted.journal.close()
+        if not self.storage.durable:
+            self.storage.delete(run_id)
         return hosted
 
     async def crash_and_recover(self, run_id: str) -> HostedRun:
-        """Simulate a process death of one run and recover it from disk.
+        """Simulate a process death of one run and recover it from storage.
 
         The in-memory :class:`HostedRun` — instance, caches, explainers
-        — is abandoned; the journal (appended *before* each event was
-        acknowledged) survives, and the run is re-materialized by
-        replaying it.  Without a journal directory the state is
+        — is abandoned; the records (appended *before* each event was
+        acknowledged) survive, and the run is re-materialized from its
+        latest checkpoint.  On a non-durable backend the state is
         genuinely lost and :class:`ServiceError` is raised.
         """
         shard = self._shard(run_id)
         async with shard.lock:
             hosted = shard.runs.pop(run_id, None)
-            if hosted is None:
+            evicted = self._evicted.pop(run_id, None)
+            if hosted is None and evicted is None:
                 raise UnknownRunError(f"run {run_id!r} is not hosted")
-            prior_recoveries = hosted.recoveries
-            if hosted.journal is not None:
-                hosted.journal.end("crashed")
+            prior_recoveries = (
+                hosted.recoveries if hosted is not None else evicted.recoveries
+            )
+            if hosted is not None and hosted.journal is not None:
+                sealed = hosted
+                self._seal(lambda: sealed.journal.end("crashed"))
                 hosted.journal.close()
-            if self.journal_dir is None:
+            elif evicted is not None and self.storage.durable:
+                store = self.storage.store(run_id)
+                self._seal(
+                    lambda: (store.append(end_record("crashed")), store.sync())
+                )
+                store.close()
+            if not self.storage.durable:
+                self._lru.pop(run_id, None)
+                self.storage.delete(run_id)
                 raise ServiceError(
-                    f"run {run_id!r} crashed without a journal; state is lost"
+                    f"run {run_id!r} crashed without durable storage; "
+                    "state is lost"
                 )
             recovered = self._materialize(run_id, None)
             recovered.recoveries = prior_recoveries + 1
             shard.runs[run_id] = recovered
             self.recoveries += 1
             _RECOVERIES.inc()
+            self._touch(run_id)
+            self._maybe_evict(protect=run_id)
             return recovered
+
+    # ------------------------------------------------------------------
+    # Eviction and rehydration
+    # ------------------------------------------------------------------
+
+    def _touch(self, run_id: str) -> None:
+        self._lru.pop(run_id, None)
+        self._lru[run_id] = None
+
+    def _maybe_evict(self, protect: Optional[str] = None) -> None:
+        """Evict LRU resident runs until at most ``max_resident`` remain.
+
+        Runs synchronously (no awaits), so it is atomic with respect to
+        the event loop — safe to call while holding any shard lock.
+        """
+        if self.max_resident is None:
+            return
+        while self.resident_count() > self.max_resident:
+            victim = next(
+                (
+                    rid
+                    for rid in self._lru
+                    if rid != protect and rid in self._shard(rid).runs
+                ),
+                None,
+            )
+            if victim is None or not self._evict(victim):
+                break
+
+    def _evict(self, run_id: str) -> bool:
+        """Drop one run's live state, keeping its records rehydratable.
+
+        Returns False — and leaves the run resident — when the records
+        could not be checkpointed and synced despite retries: evicting
+        then would hand rehydration a store missing acknowledged state.
+        """
+        shard = self._shard(run_id)
+        hosted = shard.runs.pop(run_id, None)
+        if hosted is None:
+            return False
+        journal = hosted.journal
+        if isinstance(journal, RecordJournal):
+            persisted = False
+            for _ in range(4):
+                try:
+                    if journal.last_snapshot_at != journal.events_recorded:
+                        # A parting checkpoint so rehydration replays
+                        # O(1) events, not O(events since the last
+                        # cadence snapshot).
+                        journal.snapshot(len(hosted.events) - 1, hosted.instance)
+                    journal.store.sync()
+                    persisted = True
+                    break
+                except DiskFault:
+                    continue  # the store self-heals; a new fault draw each try
+            if not persisted:
+                shard.runs[run_id] = hosted
+                return False
+            journal.close()
+        elif journal is not None:
+            journal.close()
+        self._evicted[run_id] = _EvictedRun(
+            submitted=hosted.submitted,
+            quarantined=hosted.quarantined,
+            recoveries=hosted.recoveries,
+        )
+        self._lru.pop(run_id, None)
+        self.evictions += 1
+        _EVICTIONS.inc()
+        return True
+
+    def _rehydrate(self, run_id: str, shard: _Shard) -> HostedRun:
+        """Re-materialize an evicted run from its records (shard lock held)."""
+        evicted = self._evicted.pop(run_id)
+        hosted = self._materialize(run_id, None)
+        hosted.submitted = evicted.submitted
+        hosted.quarantined = evicted.quarantined
+        hosted.recoveries = evicted.recoveries
+        shard.runs[run_id] = hosted
+        self.rehydrations += 1
+        _REHYDRATIONS.inc()
+        self._touch(run_id)
+        return hosted
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def run_ids(self) -> List[str]:
-        return sorted(
-            run_id for shard in self._shards for run_id in shard.runs
-        )
+        resident = [run_id for shard in self._shards for run_id in shard.runs]
+        return sorted(resident + list(self._evicted))
 
     def hosted_count(self) -> int:
+        """Runs the registry is responsible for, resident or evicted."""
+        return self.resident_count() + len(self._evicted)
+
+    def resident_count(self) -> int:
         return sum(len(shard.runs) for shard in self._shards)
+
+    def evicted_count(self) -> int:
+        return len(self._evicted)
 
     def shard_sizes(self) -> List[int]:
         return [len(shard.runs) for shard in self._shards]
@@ -424,8 +700,14 @@ class ShardedRunRegistry:
         return {
             "shards": self.shard_count,
             "hosted_runs": self.hosted_count(),
+            "resident_runs": self.resident_count(),
+            "evicted_runs": self.evicted_count(),
             "shard_sizes": self.shard_sizes(),
             "recoveries": self.recoveries,
+            "evictions": self.evictions,
+            "rehydrations": self.rehydrations,
+            "max_resident": self.max_resident,
             "journal_dir": str(self.journal_dir) if self.journal_dir else None,
             "cache_views": self.cache_views,
+            "storage": self.storage.stats(),
         }

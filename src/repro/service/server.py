@@ -22,8 +22,9 @@ from typing import Any, Dict, Optional
 
 from ..obs.metrics import METRICS
 from ..runtime.budget import Budget
-from ..runtime.faults import FaultPlan
+from ..runtime.faults import DiskFaultInjector, DiskFaultPlan, FaultPlan
 from ..runtime.supervisor import RetryPolicy
+from ..storage.backend import DurabilityPolicy, StorageBackend, open_backend
 from ..workflow.errors import WorkflowError
 from ..workflow.evalstats import EVAL_STATS
 from ..workflow.instance import Instance
@@ -68,14 +69,38 @@ class WorkflowService:
         retry: Optional[RetryPolicy] = None,
         budget: Optional[Budget] = None,
         fault_plan: Optional[FaultPlan] = None,
+        storage: "str | StorageBackend | None" = None,
+        durability: "str | DurabilityPolicy | None" = None,
+        max_resident: Optional[int] = None,
+        disk_fault_plan: Optional[DiskFaultPlan] = None,
+        compact_every: int = 4,
     ) -> None:
         self.program = program
+        self.disk_fault_injector = (
+            DiskFaultInjector(disk_fault_plan)
+            if disk_fault_plan is not None and disk_fault_plan.any_rate
+            else None
+        )
+        if storage is not None and journal_dir is not None:
+            raise ServiceError("pass either storage= or journal_dir=, not both")
+        if isinstance(storage, str):
+            storage = open_backend(
+                storage,
+                durability=durability,
+                fault_injector=self.disk_fault_injector,
+            )
+        elif storage is None and journal_dir is not None and durability is not None:
+            storage = open_backend(f"file:{journal_dir}", durability=durability)
+            journal_dir = None
         self.registry = ShardedRunRegistry(
             program,
             shards=shards,
             journal_dir=journal_dir,
             snapshot_every=snapshot_every,
             cache_views=cache_views,
+            storage=storage,
+            max_resident=max_resident,
+            compact_every=compact_every,
         )
         self.broker = EventBroker(
             self.registry,

@@ -100,6 +100,16 @@ class CachedPeerView:
         _REBUILDS.inc()
         self.version += 1
 
+    def fast_forward(self, version: int) -> None:
+        """Raise the version floor to *version* (no-op when already past).
+
+        Rehydrating an evicted run rebuilds its caches from scratch,
+        which would reset versions to 1; read-your-writes clients key on
+        versions never going backwards, so the registry fast-forwards
+        the rebuilt caches to where the run's history left them.
+        """
+        self.version = max(self.version, version)
+
     def apply_delta(self, delta: ViewDelta) -> bool:
         """Refresh the materialized view from one transition's delta.
 
@@ -180,6 +190,10 @@ class ViewCacheSet:
     def rebuild(self, instance: Instance) -> None:
         for cache in self._caches.values():
             cache.rebuild(instance)
+
+    def fast_forward(self, version: int) -> None:
+        for cache in self._caches.values():
+            cache.fast_forward(version)
 
     def versions(self) -> Mapping[str, int]:
         return {peer: cache.version for peer, cache in self._caches.items()}

@@ -1,0 +1,42 @@
+"""Pluggable run-record storage beneath the hosted-run service.
+
+See :mod:`repro.storage.backend` for the protocol and the memory/file
+backends, :mod:`repro.storage.segment` for the CRC-framed segmented
+log, and :mod:`repro.storage.sqlitestore` for the sqlite backend.
+``docs/STORAGE.md`` documents the record format, the compaction and
+eviction lifecycles, and the durability matrix.
+"""
+
+from __future__ import annotations
+
+from .backend import (
+    CompactionStats,
+    DurabilityPolicy,
+    FileBackend,
+    MemoryBackend,
+    RecordJournal,
+    RunStore,
+    StorageBackend,
+    StorageCorruptionError,
+    StorageError,
+    compact_records,
+    open_backend,
+)
+from .segment import SegmentBackend
+from .sqlitestore import SqliteBackend
+
+__all__ = [
+    "CompactionStats",
+    "DurabilityPolicy",
+    "FileBackend",
+    "MemoryBackend",
+    "RecordJournal",
+    "RunStore",
+    "SegmentBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "StorageCorruptionError",
+    "StorageError",
+    "compact_records",
+    "open_backend",
+]

@@ -1,0 +1,709 @@
+"""The pluggable storage layer beneath hosted runs.
+
+A :class:`StorageBackend` owns the durable record history of every run
+the service hosts — the same begin/event/snapshot/quarantine/end
+records :mod:`repro.runtime.journal` defines — behind two small
+interfaces:
+
+* :class:`StorageBackend` — the per-service object: run id → record
+  store, existence/listing/deletion, aggregate stats;
+* :class:`RunStore` — the per-run handle: append one record, read them
+  all back (with torn-tail warnings), force a durability barrier,
+  compact.
+
+Four implementations ship: :class:`MemoryBackend` (records in RAM — the
+default, preserving the pre-storage semantics where a process death
+loses unjournaled runs), :class:`FileBackend` (the legacy flat
+``<dir>/<run>.journal`` JSON-lines layout, interoperable with ``repro
+recover --journal-dir``), :class:`~repro.storage.segment.SegmentBackend`
+(segmented log with per-record CRC framing, torn-write
+truncate-and-recover and manifest-atomic compaction) and
+:class:`~repro.storage.sqlitestore.SqliteBackend` (stdlib sqlite3).
+All four are proven bit-identical over random workloads by
+``tests/storage/test_equivalence.py``.
+
+Compaction is a pure record transform (:func:`compact_records`): all
+events and quarantines survive — they are the run's replayable evidence
+and the substrate of explanations — while superseded snapshots (the
+bulky part: one full instance every ``snapshot_every`` events) are
+dropped, keeping only the latest.  Recovery then costs O(events since
+the last checkpoint) of engine work via
+:func:`repro.runtime.checkpoint.fast_recover`, and journal size stays
+O(events + one instance) instead of O(events × instance/snapshot_every).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple as PyTuple, Union
+
+from ..obs.metrics import METRICS
+from ..runtime.faults import DiskFault
+from ..runtime.journal import (
+    JOURNAL_SUFFIX,
+    begin_record,
+    end_record,
+    event_record,
+    journal_path,
+    quarantine_record,
+    read_journal_ex,
+    run_id_from_path,
+    snapshot_record,
+)
+from ..workflow.errors import WorkflowError
+from ..workflow.events import Event
+from ..workflow.instance import Instance
+
+__all__ = [
+    "CompactionStats",
+    "DurabilityPolicy",
+    "FileBackend",
+    "MemoryBackend",
+    "RecordJournal",
+    "RunStore",
+    "StorageBackend",
+    "StorageCorruptionError",
+    "StorageError",
+    "compact_records",
+    "open_backend",
+]
+
+
+class StorageError(WorkflowError):
+    """A storage backend failed or was misused."""
+
+
+class StorageCorruptionError(StorageError):
+    """A record failed its integrity check somewhere other than the tail.
+
+    Trailing damage (a torn or corrupted final record) is *recovered*,
+    not raised — the crash interrupted a write that was never
+    acknowledged.  Interior damage means acknowledged history is gone,
+    which no amount of truncation can hide; it must surface loudly.
+    """
+
+
+# ----------------------------------------------------------------------
+# Shared metrics (one family per phenomenon, labelled by backend)
+# ----------------------------------------------------------------------
+
+COMPACTIONS = METRICS.counter(
+    "repro_storage_compactions_total",
+    "Journal compactions performed, by backend",
+    labelnames=("backend",),
+)
+COMPACTION_RECLAIMED = METRICS.counter(
+    "repro_storage_compaction_reclaimed_records_total",
+    "Records dropped by compaction (superseded snapshots, stale markers)",
+    labelnames=("backend",),
+)
+FSYNC_SECONDS = METRICS.histogram(
+    "repro_storage_fsync_seconds",
+    "Latency of storage fsync barriers",
+    buckets=(0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0),
+)
+DISK_FAULTS = METRICS.counter(
+    "repro_storage_disk_faults_total",
+    "Injected disk faults surfaced by storage backends, by kind",
+    labelnames=("kind",),
+)
+TAIL_RECOVERIES = METRICS.counter(
+    "repro_storage_tail_recoveries_total",
+    "Torn/corrupt trailing records truncated away on read or repair",
+    labelnames=("backend",),
+)
+
+
+# ----------------------------------------------------------------------
+# Durability policy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """When a backend fsyncs — the knob of the crash-consistency contract.
+
+    ``mode`` is one of:
+
+    * ``"flush"`` (default) — every record is flushed to the OS before
+      the event is acknowledged: a process crash loses nothing, an
+      OS/power crash may lose the unsynced tail;
+    * ``"fsync"`` — every record is fsynced: acknowledged events survive
+      power loss, at one disk round-trip per event;
+    * ``"interval"`` — flush per record, fsync every ``interval``
+      appends *and* at every barrier (snapshot, seal, compaction): a
+      power crash loses at most ``interval`` acknowledged events;
+    * ``"none"`` — no flush at all (benchmarking only).
+
+    See ``docs/STORAGE.md`` for the durability matrix.
+    """
+
+    mode: str = "flush"
+    interval: int = 8
+
+    _MODES = ("none", "flush", "interval", "fsync")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise StorageError(
+                f"unknown durability mode {self.mode!r} "
+                f"(expected one of {', '.join(self._MODES)})"
+            )
+        if self.mode == "interval" and self.interval < 1:
+            raise StorageError("durability interval must be at least 1")
+
+    @classmethod
+    def parse(cls, spec: Union[str, "DurabilityPolicy", None]) -> "DurabilityPolicy":
+        """``"fsync"``, ``"interval:32"``, … → a policy (None → default)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, DurabilityPolicy):
+            return spec
+        mode, _, arg = spec.partition(":")
+        if mode == "interval" and arg:
+            try:
+                return cls(mode="interval", interval=int(arg))
+            except ValueError:
+                raise StorageError(f"bad durability interval in {spec!r}") from None
+        return cls(mode=mode)
+
+    @property
+    def flushes(self) -> bool:
+        return self.mode != "none"
+
+    def wants_fsync(self, appends_since_sync: int, barrier: bool) -> bool:
+        if self.mode == "fsync":
+            return True
+        if self.mode == "interval":
+            return barrier or appends_since_sync >= self.interval
+        return False
+
+
+# ----------------------------------------------------------------------
+# Compaction (a pure record transform)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one compaction pass accomplished."""
+
+    records_before: int
+    records_after: int
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def records_reclaimed(self) -> int:
+        return self.records_before - self.records_after
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "records_before": self.records_before,
+            "records_after": self.records_after,
+            "records_reclaimed": self.records_reclaimed,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "bytes_reclaimed": self.bytes_reclaimed,
+        }
+
+
+def compact_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The compacted form of a journal's records.
+
+    Kept, in order: the begin record, every event and quarantine record
+    (the replayable evidence — explanations and provenance need the full
+    history), the *latest* snapshot at its correct position, and the
+    final end record when the journal is sealed (an ``end`` as its last
+    record).  Dropped: superseded snapshots and stale end markers left
+    behind by crash/recover cycles.  Replaying the compacted records
+    yields a state bit-identical to replaying the originals, and
+    :func:`~repro.runtime.checkpoint.fast_recover` on them does
+    O(events since the kept snapshot) engine work.
+    """
+    last_snapshot = None
+    for position, record in enumerate(records):
+        if record.get("type") == "snapshot":
+            last_snapshot = position
+    sealed = bool(records) and records[-1].get("type") == "end"
+    kept: List[Dict[str, Any]] = []
+    for position, record in enumerate(records):
+        kind = record.get("type")
+        if kind == "snapshot" and position != last_snapshot:
+            continue
+        if kind == "end" and not (sealed and position == len(records) - 1):
+            continue
+        kept.append(record)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# The protocol
+# ----------------------------------------------------------------------
+
+
+class RunStore:
+    """The per-run record handle a backend hands out.
+
+    Subclasses implement the five storage verbs; the base class only
+    fixes the contract:
+
+    * :meth:`append` makes *record* part of the run's history per the
+      backend's durability policy, raising
+      :class:`~repro.runtime.faults.DiskFault` when an injected fault
+      fires — in which case the record is NOT acknowledged and the
+      store self-heals on the next append (truncate-and-recover);
+    * :meth:`read` returns ``(records, warnings)``, dropping torn or
+      corrupted *trailing* records with a warning and raising
+      :class:`StorageCorruptionError` for interior damage;
+    * :meth:`sync` is an explicit durability barrier;
+    * :meth:`compact` rewrites the history as :func:`compact_records`;
+    * :meth:`close` releases the handle (the records stay).
+    """
+
+    run_id: str
+
+    def append(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def read(self) -> PyTuple[List[Dict[str, Any]], List[str]]:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def compact(self) -> CompactionStats:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def record_count(self) -> int:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    #: Where the records live on disk, when they do (diagnostics only).
+    path: Optional[Path] = None
+
+
+class StorageBackend:
+    """Run id → :class:`RunStore`; the service's durable substrate."""
+
+    #: Short name used in metrics labels and ``--storage`` specs.
+    name: str = "abstract"
+    #: Whether records survive a process death.  The registry refuses to
+    #: simulate crash recovery on non-durable backends (the state would
+    #: genuinely be lost), and only durable backends make eviction a
+    #: RAM-for-disk trade rather than a RAM-for-RAM one.
+    durable: bool = False
+
+    def exists(self, run_id: str) -> bool:
+        raise NotImplementedError
+
+    def store(self, run_id: str) -> RunStore:
+        """The run's record store, created empty if it does not exist."""
+        raise NotImplementedError
+
+    def read_records(self, run_id: str) -> PyTuple[List[Dict[str, Any]], List[str]]:
+        store = self.store(run_id)
+        try:
+            return store.read()
+        finally:
+            store.close()
+
+    def run_ids(self) -> List[str]:
+        raise NotImplementedError
+
+    def delete(self, run_id: str) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        return {"backend": self.name, "durable": self.durable}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Record-level journal (the writer hosted runs hold)
+# ----------------------------------------------------------------------
+
+
+class RecordJournal:
+    """A :class:`~repro.runtime.journal.JournalWriter`-compatible emitter
+    over a :class:`RunStore`.
+
+    Same public surface (``begin`` / ``record_event`` / ``snapshot`` /
+    ``quarantine`` / ``end`` / ``observer`` / ``close``), but records go
+    to the store as dicts instead of JSON lines to a file — compaction
+    and CRC framing are the store's business.  ``compact_every``
+    triggers an automatic compaction after that many snapshots (0
+    disables; compaction can still be forced via the store).
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        snapshot_every: Optional[int] = 10,
+        compact_every: int = 4,
+    ) -> None:
+        self.store = store
+        self.snapshot_every = snapshot_every
+        self.compact_every = compact_every
+        self.events_recorded = 0
+        #: ``events_recorded`` as of the last snapshot (None: no snapshot
+        #: yet).  Eviction consults this to skip redundant snapshots.
+        self.last_snapshot_at: Optional[int] = None
+        self._snapshots_since_compact = 0
+        self._closed = False
+
+    def resume(
+        self, events_recorded: int, last_snapshot_at: Optional[int]
+    ) -> None:
+        """Adopt the position of an existing journal being reopened.
+
+        Keeps the snapshot cadence continuous across rehydration: a run
+        evicted and reloaded at event 25 with ``snapshot_every=10``
+        snapshots again at 30, not at 35.
+        """
+        self.events_recorded = events_recorded
+        self.last_snapshot_at = last_snapshot_at
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise StorageError("record journal is closed")
+        self.store.append(record)
+
+    def begin(self, initial: Instance, meta: Optional[Dict[str, Any]] = None) -> None:
+        self._emit(begin_record(initial, meta))
+
+    def record_event(
+        self, index: int, event: Event, instance: Optional[Instance] = None
+    ) -> None:
+        self._emit(event_record(index, event))
+        self.events_recorded += 1
+        if (
+            instance is not None
+            and self.snapshot_every
+            and self.events_recorded % self.snapshot_every == 0
+        ):
+            try:
+                self.snapshot(index, instance)
+            except DiskFault:
+                # The event record above is already acknowledged; a
+                # snapshot is a recovery-cost optimization, not part of
+                # the ack.  Raising here would make the caller retry an
+                # acknowledged append and duplicate the event record.
+                pass
+
+    def snapshot(self, index: int, instance: Instance) -> None:
+        self._emit(snapshot_record(index, self.events_recorded, instance))
+        self.last_snapshot_at = self.events_recorded
+        self._snapshots_since_compact += 1
+        if self.compact_every and self._snapshots_since_compact >= self.compact_every:
+            self.store.compact()
+            self._snapshots_since_compact = 0
+
+    def quarantine(self, index: int, event: Event, error: str, attempts: int) -> None:
+        self._emit(quarantine_record(index, event, error, attempts))
+
+    def end(self, status: str = "completed", reason: Optional[str] = None) -> None:
+        self._emit(end_record(status, reason))
+        self.store.sync()
+
+    def observer(self) -> Callable[[int, Event, Instance], None]:
+        def observe(index: int, event: Event, instance: Instance) -> None:
+            self.record_event(index, event, instance)
+
+        return observe
+
+    def close(self) -> None:
+        if not self._closed:
+            self.store.close()
+        self._closed = True
+
+    def __enter__(self) -> "RecordJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Memory backend (the default: pre-storage semantics, records in RAM)
+# ----------------------------------------------------------------------
+
+
+class _MemoryStore(RunStore):
+    def __init__(self, backend: "MemoryBackend", run_id: str) -> None:
+        self.backend = backend
+        self.run_id = run_id
+        self._records = backend._records.setdefault(run_id, [])
+        self._closed = False
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise StorageError(f"store for run {self.run_id!r} is closed")
+        self._records.append(record)
+
+    def read(self) -> PyTuple[List[Dict[str, Any]], List[str]]:
+        return list(self._records), []
+
+    def sync(self) -> None:
+        pass
+
+    def compact(self) -> CompactionStats:
+        before = len(self._records)
+        kept = compact_records(self._records)
+        self._records[:] = kept
+        COMPACTIONS.labels(backend=self.backend.name).inc()
+        COMPACTION_RECLAIMED.labels(backend=self.backend.name).inc(before - len(kept))
+        self.backend.compactions += 1
+        return CompactionStats(records_before=before, records_after=len(kept))
+
+    def close(self) -> None:
+        self._closed = True
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def size_bytes(self) -> int:
+        return sum(len(json.dumps(r, sort_keys=True)) for r in self._records)
+
+
+class MemoryBackend(StorageBackend):
+    """Records held in process memory — the default backend.
+
+    Hosted-run semantics are bit-identical to the pre-storage service:
+    nothing touches disk, and a (real or simulated) process death loses
+    any run that was only hosted here.  What the records buy within the
+    process is LRU eviction: an idle run's live state (instance, caches,
+    explainers — the RAM-heavy part) can be dropped and transparently
+    rehydrated from its records on next access.
+    """
+
+    name = "memory"
+    durable = False
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[Dict[str, Any]]] = {}
+        self.compactions = 0
+
+    def exists(self, run_id: str) -> bool:
+        return bool(self._records.get(run_id))
+
+    def store(self, run_id: str) -> _MemoryStore:
+        return _MemoryStore(self, run_id)
+
+    def run_ids(self) -> List[str]:
+        return sorted(run_id for run_id, records in self._records.items() if records)
+
+    def delete(self, run_id: str) -> None:
+        self._records.pop(run_id, None)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            **super().stats(),
+            "runs": len(self._records),
+            "records": sum(len(r) for r in self._records.values()),
+            "compactions": self.compactions,
+        }
+
+
+# ----------------------------------------------------------------------
+# File backend (the legacy flat .journal layout, now storage-shaped)
+# ----------------------------------------------------------------------
+
+
+class _FileStore(RunStore):
+    def __init__(self, backend: "FileBackend", run_id: str) -> None:
+        self.backend = backend
+        self.run_id = run_id
+        self.path = journal_path(backend.root, run_id)
+        backend.root.mkdir(parents=True, exist_ok=True)
+        self._sink = open(self.path, "a", encoding="utf-8")
+        self._appends_since_sync = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if self._sink.closed:
+            raise StorageError(f"store for run {self.run_id!r} is closed")
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+        policy = self.backend.durability
+        if policy.flushes:
+            self._sink.flush()
+        self._appends_since_sync += 1
+        barrier = record.get("type") in ("snapshot", "end")
+        if policy.wants_fsync(self._appends_since_sync, barrier):
+            self.sync()
+
+    def read(self) -> PyTuple[List[Dict[str, Any]], List[str]]:
+        self._sink.flush()
+        if not self.path.exists():
+            return [], []
+        return read_journal_ex(self.path)
+
+    def sync(self) -> None:
+        self._sink.flush()
+        started = time.perf_counter()
+        os.fsync(self._sink.fileno())
+        FSYNC_SECONDS.observe(time.perf_counter() - started)
+        self._appends_since_sync = 0
+
+    def compact(self) -> CompactionStats:
+        """Rewrite the journal file compacted, via tmp + atomic rename.
+
+        The legacy format stays legacy: plain JSON lines, readable by
+        ``repro recover --journal-dir`` before and after.
+        """
+        self._sink.flush()
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        records, _ = self.read()
+        kept = compact_records(records)
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "w", encoding="utf-8") as sink:
+            for record in kept:
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+            sink.flush()
+            os.fsync(sink.fileno())
+        self._sink.close()
+        os.replace(tmp, self.path)
+        self._sink = open(self.path, "a", encoding="utf-8")
+        COMPACTIONS.labels(backend=self.backend.name).inc()
+        COMPACTION_RECLAIMED.labels(backend=self.backend.name).inc(
+            len(records) - len(kept)
+        )
+        self.backend.compactions += 1
+        return CompactionStats(
+            records_before=len(records),
+            records_after=len(kept),
+            bytes_before=bytes_before,
+            bytes_after=self.path.stat().st_size,
+        )
+
+    def close(self) -> None:
+        if not self._sink.closed:
+            self._sink.close()
+
+    def record_count(self) -> int:
+        return len(self.read()[0])
+
+    def size_bytes(self) -> int:
+        self._sink.flush()
+        return self.path.stat().st_size if self.path.exists() else 0
+
+
+class FileBackend(StorageBackend):
+    """The PR-2 journal-directory layout behind the storage protocol.
+
+    One flat ``<dir>/<quoted run id>.journal`` JSON-lines file per run —
+    byte-compatible with what ``repro serve --journal-dir`` always
+    wrote, so ``repro recover --journal-dir`` and every existing journal
+    keep working unchanged.
+    """
+
+    name = "file"
+    durable = True
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        durability: Union[str, DurabilityPolicy, None] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.durability = DurabilityPolicy.parse(durability)
+        self.compactions = 0
+
+    def exists(self, run_id: str) -> bool:
+        return journal_path(self.root, run_id).exists()
+
+    def store(self, run_id: str) -> _FileStore:
+        return _FileStore(self, run_id)
+
+    def run_ids(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            run_id_from_path(path)
+            for path in self.root.glob("*" + JOURNAL_SUFFIX)
+        )
+
+    def delete(self, run_id: str) -> None:
+        path = journal_path(self.root, run_id)
+        if path.exists():
+            path.unlink()
+
+    def stats(self) -> Dict[str, Any]:
+        run_ids = self.run_ids()
+        return {
+            **super().stats(),
+            "root": str(self.root),
+            "runs": len(run_ids),
+            "compactions": self.compactions,
+            "durability": self.durability.mode,
+        }
+
+
+# ----------------------------------------------------------------------
+# Backend spec parsing (the CLI's --storage flag)
+# ----------------------------------------------------------------------
+
+
+def open_backend(
+    spec: Union[str, StorageBackend],
+    durability: Union[str, DurabilityPolicy, None] = None,
+    fault_injector: Optional[Any] = None,
+) -> StorageBackend:
+    """``"memory"`` / ``"file:DIR"`` / ``"segment:DIR"`` / ``"sqlite:PATH"``
+    → a backend.
+
+    *durability* applies to the disk backends; *fault_injector* (a
+    :class:`~repro.runtime.faults.DiskFaultInjector`) is threaded into
+    the backends that support injected disk faults.
+    """
+    if isinstance(spec, StorageBackend):
+        return spec
+    kind, _, arg = spec.partition(":")
+    if kind == "memory":
+        if arg:
+            raise StorageError("the memory backend takes no argument")
+        return MemoryBackend()
+    if not arg:
+        raise StorageError(
+            f"storage spec {spec!r} needs an argument, e.g. {kind}:<path>"
+        )
+    if kind in ("file", "journal"):
+        return FileBackend(arg, durability=durability)
+    if kind == "segment":
+        from .segment import SegmentBackend
+
+        return SegmentBackend(arg, durability=durability, fault_injector=fault_injector)
+    if kind == "sqlite":
+        from .sqlitestore import SqliteBackend
+
+        return SqliteBackend(arg, durability=durability, fault_injector=fault_injector)
+    raise StorageError(
+        f"unknown storage backend {kind!r} "
+        "(expected memory, file:<dir>, segment:<dir> or sqlite:<path>)"
+    )

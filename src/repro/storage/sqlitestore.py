@@ -1,0 +1,323 @@
+"""Sqlite storage backend: one database file, CRC-checked record rows.
+
+Records live in a single table keyed by ``(run_id, seq)``; each row
+stores the JSON payload alongside its crc32, verified on every read.
+Sqlite's transactional machinery supplies what the segmented backend
+builds by hand — atomic appends, atomic compaction (delete + re-insert
+in one transaction), and durability mapped from the backend's
+:class:`~repro.storage.backend.DurabilityPolicy` onto ``PRAGMA
+synchronous``.
+
+Injected disk faults get full parity with the segmented backend:
+
+* ``enospc`` — nothing is written (the transaction rolls back);
+* ``short_write`` — a truncated payload row is committed (undecodable
+  JSON), then :class:`~repro.runtime.faults.DiskFault` is raised;
+* ``corrupt`` — a byte-flipped payload row is committed with the
+  *original* CRC (guaranteed mismatch), then the fault is raised;
+* ``fsync`` — the row is rolled back before the fault is raised.
+
+Short-write and corrupt damage is always the run's *trailing* row, so
+:meth:`_SqliteStore.read` deletes it with a warning (the record was
+never acknowledged) — truncate-and-recover, same contract as the
+segment log.  A CRC mismatch on an interior row raises
+:class:`~repro.storage.backend.StorageCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple as PyTuple, Union
+
+from ..runtime.faults import DiskFault, DiskFaultInjector
+from .backend import (
+    COMPACTIONS,
+    COMPACTION_RECLAIMED,
+    CompactionStats,
+    DISK_FAULTS,
+    DurabilityPolicy,
+    RunStore,
+    StorageBackend,
+    StorageCorruptionError,
+    StorageError,
+    TAIL_RECOVERIES,
+    compact_records,
+)
+
+__all__ = ["SqliteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    run_id  TEXT    NOT NULL,
+    seq     INTEGER NOT NULL,
+    crc     INTEGER NOT NULL,
+    payload TEXT    NOT NULL,
+    PRIMARY KEY (run_id, seq)
+)
+"""
+
+#: DurabilityPolicy.mode → PRAGMA synchronous.
+_SYNCHRONOUS = {
+    "none": "OFF",
+    "flush": "NORMAL",
+    "interval": "NORMAL",
+    "fsync": "FULL",
+}
+
+
+def _corrupt_payload(payload: str) -> str:
+    middle = len(payload) // 2
+    flipped = chr((ord(payload[middle]) % 94) + 33)
+    return payload[:middle] + flipped + payload[middle + 1 :]
+
+
+class _SqliteStore(RunStore):
+    def __init__(self, backend: "SqliteBackend", run_id: str) -> None:
+        self.backend = backend
+        self.run_id = run_id
+        self.path = backend.path
+        row = backend._connection.execute(
+            "SELECT MAX(seq) FROM records WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        self._next_seq = (row[0] + 1) if row[0] is not None else 0
+        self._closed = False
+        self._damaged_seq: Optional[int] = None
+
+    def _repair(self) -> None:
+        """Delete the fault-damaged trailing row before writing past it.
+
+        A short-write/corrupt fault commits a bad row as the tail and
+        raises, so the record was never acknowledged.  The next append
+        must remove it first — otherwise the retry buries the damage
+        mid-history, where :meth:`read` rightly refuses to heal it.
+        """
+        if self._damaged_seq is None:
+            return
+        connection = self.backend._connection
+        connection.execute(
+            "DELETE FROM records WHERE run_id = ? AND seq = ?",
+            (self.run_id, self._damaged_seq),
+        )
+        connection.commit()
+        TAIL_RECOVERIES.labels(backend=self.backend.name).inc()
+        self._next_seq = self._damaged_seq
+        self._damaged_seq = None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise StorageError(f"store for run {self.run_id!r} is closed")
+        self._repair()
+        connection = self.backend._connection
+        payload = json.dumps(record, sort_keys=True)
+        crc = zlib.crc32(payload.encode("utf-8"))
+        injector = self.backend.fault_injector
+        fault = injector.on_append() if injector is not None else None
+        if fault == "enospc":
+            DISK_FAULTS.labels(kind="enospc").inc()
+            raise DiskFault("enospc", f"injected ENOSPC appending to {self.run_id!r}")
+        if fault == "short_write":
+            # A torn row: undecodable payload, committed as the tail.
+            connection.execute(
+                "INSERT INTO records (run_id, seq, crc, payload) VALUES (?, ?, ?, ?)",
+                (self.run_id, self._next_seq, crc, payload[: max(1, len(payload) // 2)]),
+            )
+            connection.commit()
+            self._damaged_seq = self._next_seq
+            self._next_seq += 1
+            DISK_FAULTS.labels(kind="short_write").inc()
+            raise DiskFault(
+                "short_write", f"injected short write appending to {self.run_id!r}"
+            )
+        if fault == "corrupt":
+            connection.execute(
+                "INSERT INTO records (run_id, seq, crc, payload) VALUES (?, ?, ?, ?)",
+                (self.run_id, self._next_seq, crc, _corrupt_payload(payload)),
+            )
+            connection.commit()
+            self._damaged_seq = self._next_seq
+            self._next_seq += 1
+            DISK_FAULTS.labels(kind="corrupt").inc()
+            raise DiskFault(
+                "corrupt", f"injected corrupt trailing record in {self.run_id!r}"
+            )
+        connection.execute(
+            "INSERT INTO records (run_id, seq, crc, payload) VALUES (?, ?, ?, ?)",
+            (self.run_id, self._next_seq, crc, payload),
+        )
+        if injector is not None and self.backend.durability.wants_fsync(
+            1, record.get("type") in ("snapshot", "end")
+        ) and injector.on_fsync():
+            connection.rollback()
+            DISK_FAULTS.labels(kind="fsync").inc()
+            raise DiskFault(
+                "fsync",
+                f"injected fsync failure on {self.run_id!r}; row rolled back",
+            )
+        connection.commit()
+        self._next_seq += 1
+
+    def read(self) -> PyTuple[List[Dict[str, Any]], List[str]]:
+        connection = self.backend._connection
+        rows = connection.execute(
+            "SELECT seq, crc, payload FROM records WHERE run_id = ? ORDER BY seq",
+            (self.run_id,),
+        ).fetchall()
+        records: List[Dict[str, Any]] = []
+        warnings: List[str] = []
+        bad_tail: List[PyTuple[int, str]] = []
+        for position, (seq, crc, payload) in enumerate(rows):
+            problem: Optional[str] = None
+            record: Optional[Dict[str, Any]] = None
+            if zlib.crc32(payload.encode("utf-8")) != crc:
+                problem = "CRC mismatch"
+            else:
+                try:
+                    decoded = json.loads(payload)
+                except json.JSONDecodeError:
+                    problem = "undecodable payload"
+                else:
+                    if not isinstance(decoded, dict) or "type" not in decoded:
+                        problem = "not a typed record"
+                    else:
+                        record = decoded
+            if problem is not None:
+                if position != len(rows) - 1:
+                    raise StorageCorruptionError(
+                        f"row seq={seq} of run {self.run_id!r} is damaged "
+                        f"mid-history: {problem}"
+                    )
+                bad_tail.append((seq, problem))
+            else:
+                records.append(record)
+        for seq, problem in bad_tail:
+            connection.execute(
+                "DELETE FROM records WHERE run_id = ? AND seq = ?",
+                (self.run_id, seq),
+            )
+            connection.commit()
+            TAIL_RECOVERIES.labels(backend=self.backend.name).inc()
+            warnings.append(f"deleted invalid trailing row seq={seq}: {problem}")
+            if seq == self._damaged_seq:
+                self._next_seq = self._damaged_seq
+                self._damaged_seq = None
+        return records, warnings
+
+    def sync(self) -> None:
+        self.backend._connection.commit()
+
+    def compact(self) -> CompactionStats:
+        connection = self.backend._connection
+        records, _ = self.read()
+        kept = compact_records(records)
+        bytes_before = self._payload_bytes()
+        with connection:  # one transaction: delete + re-insert, atomic
+            connection.execute(
+                "DELETE FROM records WHERE run_id = ?", (self.run_id,)
+            )
+            for seq, record in enumerate(kept):
+                payload = json.dumps(record, sort_keys=True)
+                connection.execute(
+                    "INSERT INTO records (run_id, seq, crc, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    (self.run_id, seq, zlib.crc32(payload.encode("utf-8")), payload),
+                )
+        self._next_seq = len(kept)
+        self._damaged_seq = None  # compaction renumbered every row
+        COMPACTIONS.labels(backend=self.backend.name).inc()
+        COMPACTION_RECLAIMED.labels(backend=self.backend.name).inc(
+            len(records) - len(kept)
+        )
+        self.backend.compactions += 1
+        return CompactionStats(
+            records_before=len(records),
+            records_after=len(kept),
+            bytes_before=bytes_before,
+            bytes_after=self._payload_bytes(),
+        )
+
+    def _payload_bytes(self) -> int:
+        row = self.backend._connection.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM records WHERE run_id = ?",
+            (self.run_id,),
+        ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._closed = True
+
+    def record_count(self) -> int:
+        row = self.backend._connection.execute(
+            "SELECT COUNT(*) FROM records WHERE run_id = ?", (self.run_id,)
+        ).fetchone()
+        return int(row[0])
+
+    def size_bytes(self) -> int:
+        return self._payload_bytes()
+
+
+class SqliteBackend(StorageBackend):
+    """All runs in one stdlib-sqlite3 database file."""
+
+    name = "sqlite"
+    durable = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        durability: Union[str, DurabilityPolicy, None] = None,
+        fault_injector: Optional[DiskFaultInjector] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.durability = DurabilityPolicy.parse(durability)
+        self.fault_injector = fault_injector
+        self.compactions = 0
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute(_SCHEMA)
+        self._connection.execute(
+            f"PRAGMA synchronous = {_SYNCHRONOUS[self.durability.mode]}"
+        )
+        self._connection.commit()
+
+    def exists(self, run_id: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM records WHERE run_id = ? LIMIT 1", (run_id,)
+        ).fetchone()
+        return row is not None
+
+    def store(self, run_id: str) -> _SqliteStore:
+        return _SqliteStore(self, run_id)
+
+    def run_ids(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT run_id FROM records ORDER BY run_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def delete(self, run_id: str) -> None:
+        self._connection.execute(
+            "DELETE FROM records WHERE run_id = ?", (run_id,)
+        )
+        self._connection.commit()
+
+    def stats(self) -> Dict[str, Any]:
+        count = self._connection.execute("SELECT COUNT(*) FROM records").fetchone()
+        return {
+            **super().stats(),
+            "path": str(self.path),
+            "runs": len(self.run_ids()),
+            "records": int(count[0]),
+            "compactions": self.compactions,
+            "durability": self.durability.mode,
+            "faults_injected": (
+                dict(self.fault_injector.injected) if self.fault_injector else {}
+            ),
+        }
+
+    def close(self) -> None:
+        self._connection.commit()
+        self._connection.close()

@@ -8,6 +8,7 @@ import pytest
 
 from repro.runtime.checkpoint import (
     CheckpointPolicy,
+    fast_recover,
     latest_snapshot,
     resume_state,
     verify_snapshots,
@@ -78,6 +79,69 @@ class TestResumeState:
             # Some duplicated events are idempotently applicable; then
             # the resume simply reflects one more journaled event.
             assert count == len(hiring_run) + 1
+
+
+class TestFastRecover:
+    """The latest-snapshot fast path: engine work is O(tail), not O(run)."""
+
+    def test_replays_only_the_tail(self):
+        """Regression pin: 25 events, snapshots every 10 — recovery
+        trusts the snapshot at event 20 and replays exactly 5 events."""
+        program = paper_examples.hiring_program()
+        run = RunGenerator(program, seed=7).random_run(25)
+        sink = MemorySink()
+        journal_run(run, sink, snapshot_every=10)
+        resumed = fast_recover(program, sink)
+        assert resumed.snapshot_position == 20
+        assert resumed.engine_replayed == 5
+        assert resumed.events_total == 25
+        assert resumed.complete
+        assert resumed.status == "completed"
+        assert resumed.instance == run.final_instance
+        # The full history is still decoded for explanations/provenance.
+        assert len(resumed.events) == 25
+        assert resumed.initial == run.initial
+
+    def test_without_snapshots_replays_everything(self, hiring_run):
+        sink = MemorySink()
+        journal_run(hiring_run, sink, snapshot_every=None)
+        resumed = fast_recover(hiring_run.program, sink)
+        assert resumed.snapshot_position == 0
+        assert resumed.engine_replayed == len(hiring_run)
+        assert resumed.instance == hiring_run.final_instance
+
+    def test_matches_full_recovery(self, hiring_run):
+        from repro.runtime.journal import recover_run
+
+        sink = MemorySink()
+        journal_run(hiring_run, sink, snapshot_every=3)
+        resumed = fast_recover(hiring_run.program, sink)
+        recovered = recover_run(hiring_run.program, sink)
+        assert resumed.instance == recovered.final_instance
+        assert resumed.events_total == recovered.events_replayed
+
+    def test_missing_begin_raises(self, hiring_run):
+        with pytest.raises(RecoveryError, match="no begin record"):
+            fast_recover(hiring_run.program, [{"type": "end"}])
+
+    def test_torn_tail_surfaces_as_warning(self, hiring_run):
+        sink = MemorySink()
+        journal_run(hiring_run, sink, snapshot_every=2)
+        sink.write('{"type": "event", "index": 99, "ev')
+        resumed = fast_recover(hiring_run.program, sink)
+        assert resumed.events_total == len(hiring_run)
+        assert len(resumed.warnings) == 1
+        assert "torn trailing line" in resumed.warnings[0]
+
+    def test_incomplete_journal_resumes_prefix(self, hiring_run):
+        sink = MemorySink()
+        journal_run(hiring_run, sink, snapshot_every=2)
+        sink.lines = [l for l in sink.lines  # drop the end record
+                      if json.loads(l)["type"] != "end"]
+        resumed = fast_recover(hiring_run.program, sink)
+        assert not resumed.complete
+        assert resumed.status is None
+        assert resumed.instance == hiring_run.final_instance
 
 
 class TestVerifySnapshots:

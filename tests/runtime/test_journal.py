@@ -13,6 +13,7 @@ from repro.runtime.journal import (
     MemorySink,
     journal_run,
     read_journal,
+    read_journal_ex,
     recover_run,
 )
 from repro.workflow import RunGenerator, instances_isomorphic
@@ -43,9 +44,11 @@ class TestReadJournal:
         with pytest.raises(JournalError, match="malformed journal line 1"):
             read_journal(lines)
 
-    def test_untyped_record_raises(self):
+    def test_untyped_interior_record_raises(self):
+        # Only a *trailing* untyped line is tolerated (torn write);
+        # anywhere else it is corruption.
         with pytest.raises(JournalError, match="not a typed record"):
-            read_journal(['{"no_type": 1}\n'])
+            read_journal(['{"no_type": 1}\n', '{"type": "end"}\n'])
 
     def test_file_sink(self, approval_run, tmp_path):
         path = tmp_path / "run.journal"
@@ -57,6 +60,71 @@ class TestReadJournal:
         writer.close()
         with pytest.raises(JournalError, match="closed"):
             writer.end()
+
+
+class TestReadJournalEx:
+    def test_clean_journal_has_no_warnings(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=None)
+        records, warnings = read_journal_ex(sink)
+        assert warnings == []
+        assert records[-1]["type"] == "end"
+
+    def test_torn_tail_is_reported_not_raised(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=None)
+        sink.write('{"type": "event", "index": 99, "ev')
+        records, warnings = read_journal_ex(sink)
+        assert all(r.get("index") != 99 for r in records)
+        assert len(warnings) == 1
+        assert "torn trailing line" in warnings[0]
+
+    def test_untyped_tail_is_reported_not_raised(self):
+        lines = ['{"type": "begin"}\n', '{"no_type": 1}\n']
+        records, warnings = read_journal_ex(lines)
+        assert records == [{"type": "begin"}]
+        assert len(warnings) == 1
+        assert "not a typed journal record" in warnings[0]
+
+
+class TestFsyncContract:
+    """``fsync=True`` upgrades flush-per-record to fsync-per-record."""
+
+    def test_fsync_called_once_per_record(self, approval_run, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync", lambda fd: synced.append(fd)
+        )
+        path = tmp_path / "run.journal"
+        writer = JournalWriter(path, snapshot_every=None, fsync=True)
+        writer.begin(approval_run.initial)
+        for index, event in enumerate(approval_run.events):
+            writer.record_event(index, event)
+        writer.end()
+        writer.close()
+        # begin + 4 events + end: one barrier per acknowledged record.
+        assert len(synced) == 6
+        assert len(read_journal(path)) == 6
+
+    def test_default_is_flush_only(self, approval_run, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync", lambda fd: synced.append(fd)
+        )
+        writer = JournalWriter(tmp_path / "run.journal")
+        writer.begin(approval_run.initial)
+        writer.close()
+        assert synced == []
+
+    def test_fsync_ignored_for_memory_sinks(self, approval_run):
+        # MemorySink has no file descriptor; the flag must be a no-op.
+        sink = MemorySink()
+        writer = JournalWriter(sink, fsync=True)
+        writer.begin(approval_run.initial)
+        writer.end()
+        assert len(read_journal(sink)) == 2
 
 
 class TestRecoverRun:
@@ -109,6 +177,16 @@ class TestRecoverRun:
         # ... unless verification is explicitly waived.
         recovered = recover_run(program, sink, verify_snapshots=False)
         assert recovered.events_replayed == len(run)
+
+    def test_torn_tail_surfaces_as_warning(self, approval_run):
+        sink = MemorySink()
+        journal_run(approval_run, sink, snapshot_every=None)
+        sink.write('{"type": "event", "index": 99, "ev')
+        recovered = recover_run(approval_run.program, sink)
+        assert recovered.events_replayed == 4
+        assert recovered.final_instance == approval_run.final_instance
+        assert len(recovered.warnings) == 1
+        assert "torn trailing line" in recovered.warnings[0]
 
     def test_journal_without_end_is_incomplete(self, approval):
         from repro.workflow import Event, execute

@@ -1,0 +1,175 @@
+"""Injected disk faults: deterministic schedules, self-healing aftermath.
+
+The invariant all of these enforce: a fault only ever damages the
+*unacknowledged* in-flight record.  Acknowledged history is never lost
+— not by a torn write, not by a failed fsync, not by a retry after
+either — because eviction/rehydration and crash recovery replay from
+disk and must observe exactly what the live run acknowledged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.faults import DiskFault, DiskFaultInjector, DiskFaultPlan
+from repro.runtime.journal import begin_record, end_record, event_record
+from repro.storage import RecordJournal, SegmentBackend, SqliteBackend
+from repro.workflow import Event, FreshValue, Var, execute
+from repro.workloads.generators import churn_program
+
+
+def make_event(program, index):
+    return Event(program.rule("make"), {Var("x"): FreshValue(1000 + index)})
+
+
+def run_records(events=5):
+    program = churn_program()
+    run = execute(program, [make_event(program, i) for i in range(events)])
+    records = [begin_record(run.initial)]
+    for index, event in enumerate(run.events):
+        records.append(event_record(index, event))
+    records.append(end_record("completed"))
+    return program, run, records
+
+
+def one_shot(kind):
+    """An injector that fires *kind* on the first append (or fsync) only."""
+
+    class OneShot:
+        def __init__(self):
+            self.fired = False
+            self.injected = {}
+
+        def on_append(self):
+            if kind != "fsync" and not self.fired:
+                self.fired = True
+                return kind
+            return None
+
+        def on_fsync(self):
+            if kind == "fsync" and not self.fired:
+                self.fired = True
+                return True
+            return False
+
+    return OneShot()
+
+
+class TestSchedules:
+    def test_plan_is_pure_in_seed_and_index(self):
+        plan = DiskFaultPlan(seed=5, short_write_rate=0.3, corrupt_rate=0.3)
+        a = DiskFaultInjector(plan)
+        b = DiskFaultInjector(plan)
+        assert [a.append_fault_at(i) for i in range(50)] == [
+            b.append_fault_at(i) for i in range(50)
+        ]
+        # Querying out of order changes nothing.
+        assert a.append_fault_at(7) == b.append_fault_at(7)
+
+    def test_fail_at_append_forces_short_write(self):
+        plan = DiskFaultPlan(fail_at_append=3)
+        injector = DiskFaultInjector(plan)
+        assert [injector.append_fault_at(i) for i in range(5)] == [
+            None,
+            None,
+            None,
+            "short_write",
+            None,
+        ]
+
+    def test_injected_counter(self):
+        injector = DiskFaultInjector(DiskFaultPlan(fail_at_append=0))
+        assert injector.on_append() == "short_write"
+        assert injector.injected == {"short_write": 1}
+
+
+@pytest.mark.parametrize("backend_kind", ["segment", "sqlite"])
+@pytest.mark.parametrize("fault", ["enospc", "short_write", "corrupt"])
+class TestAppendFaults:
+    def _backend(self, kind, tmp_path, injector):
+        if kind == "segment":
+            return SegmentBackend(tmp_path / "seg", fault_injector=injector)
+        return SqliteBackend(tmp_path / "store.db", fault_injector=injector)
+
+    def test_retry_after_fault_leaves_no_duplicate(self, tmp_path, backend_kind, fault):
+        program, run, records = run_records()
+        backend = self._backend(backend_kind, tmp_path, one_shot(fault))
+        store = backend.store("r1")
+        try:
+            store.append(records[0])
+            fired = False
+        except DiskFault as exc:
+            assert exc.kind == fault
+            fired = True
+        assert fired
+        store.append(records[0])  # the broker's retry
+        for record in records[1:]:
+            store.append(record)
+        got, warnings = store.read()
+        assert got == records  # exactly once, in order
+
+
+class TestFsyncFaults:
+    def test_failed_fsync_keeps_acknowledged_data(self, tmp_path):
+        """An EIO from fsync means the barrier failed, NOT that written
+        data is gone: the process is still alive and the page cache
+        holds the records.  Nothing may be truncated."""
+        program, run, records = run_records()
+        backend = SegmentBackend(
+            tmp_path, durability="fsync", fault_injector=one_shot("fsync")
+        )
+        store = backend.store("r1")
+        for record in records:
+            store.append(record)  # policy syncs inside append swallow the fault
+        got, warnings = store.read()
+        assert got == records
+        assert warnings == []
+
+    def test_explicit_sync_raises_for_barrier_callers(self, tmp_path):
+        program, run, records = run_records()
+        backend = SegmentBackend(tmp_path, fault_injector=one_shot("fsync"))
+        store = backend.store("r1")
+        store.append(records[0])
+        with pytest.raises(DiskFault):
+            store.sync()
+        # The data is still there; the next sync achieves the barrier.
+        store.sync()
+        got, _ = store.read()
+        assert got == [records[0]]
+
+
+class TestJournalFaultContainment:
+    def test_snapshot_fault_does_not_fail_the_acknowledged_event(self, tmp_path):
+        """Regression: the auto-snapshot after an event append is an
+        optimization — its failure must not propagate, or the caller
+        retries an acknowledged append and duplicates the event."""
+        program = churn_program()
+        run = execute(program, [make_event(program, i) for i in range(4)])
+        backend = SegmentBackend(tmp_path, fault_injector=one_shot("fsync"))
+        # Force the snapshot write itself to fail: durability "fsync"
+        # makes the snapshot record a barrier, and the one-shot fsync
+        # fault fires inside it.
+        backend.durability = type(backend.durability).parse("fsync")
+        store = backend.store("r1")
+        journal = RecordJournal(store, snapshot_every=2)
+        journal.begin(run.initial)
+        for index, event in enumerate(run.events):
+            journal.record_event(index, event, run.final_instance)
+        got, _ = store.read()
+        events = [r for r in got if r["type"] == "event"]
+        assert len(events) == 4
+        assert [r["index"] for r in events] == [0, 1, 2, 3]
+
+    def test_sqlite_buried_damage_is_repaired_before_the_next_append(self, tmp_path):
+        """Regression: a corrupt fault commits a bad trailing row; the
+        retry must repair it first, not bury it mid-history where read()
+        refuses to heal."""
+        program, run, records = run_records()
+        backend = SqliteBackend(tmp_path / "db", fault_injector=one_shot("corrupt"))
+        store = backend.store("r1")
+        with pytest.raises(DiskFault):
+            store.append(records[0])
+        for record in records:
+            store.append(record)
+        got, warnings = store.read()  # must not raise StorageCorruptionError
+        assert got == records

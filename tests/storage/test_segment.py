@@ -1,0 +1,152 @@
+"""The segmented log: framing, rolling, tail recovery, atomic compaction."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.runtime.journal import begin_record, end_record, event_record, snapshot_record
+from repro.storage import SegmentBackend, StorageCorruptionError, compact_records
+from repro.workflow import Event, FreshValue, Var, execute
+from repro.workloads.generators import churn_program
+
+
+def make_event(program, index):
+    return Event(program.rule("make"), {Var("x"): FreshValue(1000 + index)})
+
+
+def run_records(events=5):
+    program = churn_program()
+    run = execute(program, [make_event(program, i) for i in range(events)])
+    records = [begin_record(run.initial)]
+    for index, event in enumerate(run.events):
+        records.append(event_record(index, event))
+    records.append(snapshot_record(events - 1, events, run.final_instance))
+    records.append(end_record("completed"))
+    return records
+
+
+def fill(store, records):
+    for record in records:
+        store.append(record)
+
+
+def segment_files(backend, run_id):
+    run_dir = next(backend.root.iterdir())
+    return sorted(p for p in run_dir.iterdir() if p.name.startswith("seg-"))
+
+
+class TestFraming:
+    def test_crc_prefix_per_line(self, tmp_path):
+        backend = SegmentBackend(tmp_path)
+        store = backend.store("r1")
+        fill(store, run_records())
+        store.sync()
+        for path in segment_files(backend, "r1"):
+            for line in path.read_text().splitlines():
+                crc_text, payload = line[:8], line[9:]
+                assert line[8] == " "
+                assert int(crc_text, 16) == zlib.crc32(payload.encode("utf-8"))
+                assert isinstance(json.loads(payload), dict)
+
+    def test_rolls_at_segment_bytes(self, tmp_path):
+        backend = SegmentBackend(tmp_path, segment_bytes=1024)
+        store = backend.store("r1")
+        fill(store, run_records(events=30))
+        store.sync()
+        assert len(segment_files(backend, "r1")) > 1
+        got, warnings = store.read()
+        assert warnings == []
+        assert [r["type"] for r in got][0] == "begin"
+        assert sum(1 for r in got if r["type"] == "event") == 30
+
+
+class TestTailRecovery:
+    def test_torn_tail_truncated_with_warning_on_reopen(self, tmp_path):
+        backend = SegmentBackend(tmp_path)
+        records = run_records()
+        store = backend.store("r1")
+        fill(store, records)
+        store.close()
+        [segment] = segment_files(backend, "r1")
+        data = segment.read_text()
+        # Tear the last record mid-line: no trailing newline.
+        segment.write_text(data + 'deadbeef {"type": "end", "status')
+        reopened = backend.store("r1")
+        got, warnings = reopened.read()
+        assert got == records
+        assert any("truncated" in w for w in warnings)
+
+    def test_corrupt_tail_line_truncated(self, tmp_path):
+        backend = SegmentBackend(tmp_path)
+        records = run_records()
+        store = backend.store("r1")
+        fill(store, records)
+        store.close()
+        [segment] = segment_files(backend, "r1")
+        lines = segment.read_text().splitlines(keepends=True)
+        last = lines[-1]
+        middle = len(last) // 2
+        lines[-1] = last[:middle] + ("x" if last[middle] != "x" else "y") + last[middle + 1 :]
+        segment.write_text("".join(lines))
+        reopened = backend.store("r1")
+        got, warnings = reopened.read()
+        assert got == records[:-1]
+        assert warnings
+
+    def test_mid_segment_damage_refused(self, tmp_path):
+        backend = SegmentBackend(tmp_path)
+        store = backend.store("r1")
+        fill(store, run_records())
+        store.close()
+        [segment] = segment_files(backend, "r1")
+        lines = segment.read_text().splitlines(keepends=True)
+        # Damage an interior line: acknowledged history, not tail garbage.
+        target = lines[2]
+        middle = len(target) // 2
+        lines[2] = target[:middle] + ("x" if target[middle] != "x" else "y") + target[middle + 1 :]
+        segment.write_text("".join(lines))
+        with pytest.raises(StorageCorruptionError):
+            backend.store("r1")
+
+
+class TestCompaction:
+    def test_compaction_is_atomic_and_sweeps_old_segments(self, tmp_path):
+        backend = SegmentBackend(tmp_path, segment_bytes=1024)
+        store = backend.store("r1")
+        program = churn_program()
+        run = execute(program, [make_event(program, i) for i in range(30)])
+        store.append(begin_record(run.initial))
+        for index, event in enumerate(run.events):
+            store.append(event_record(index, event))
+            if (index + 1) % 10 == 0:
+                store.append(snapshot_record(index, index + 1, run.final_instance))
+        before, _ = store.read()
+        assert len(segment_files(backend, "r1")) > 1
+        stats = store.compact()
+        assert stats.records_after < stats.records_before
+        after, warnings = store.read()
+        assert warnings == []
+        assert after == compact_records(before)
+        assert len(segment_files(backend, "r1")) == 1
+        # The store still accepts appends after the swap.
+        store.append(end_record("completed"))
+        got, _ = store.read()
+        assert got[-1]["type"] == "end"
+
+    def test_orphan_segments_swept_on_open(self, tmp_path):
+        backend = SegmentBackend(tmp_path)
+        store = backend.store("r1")
+        fill(store, run_records())
+        store.close()
+        run_dir = next(backend.root.iterdir())
+        # A crash between writing a compacted segment and committing the
+        # manifest leaves an orphan; reopening must ignore and remove it.
+        orphan = run_dir / "seg-99999999.log"
+        orphan.write_text('00000000 {"type": "garbage"}\n')
+        reopened = backend.store("r1")
+        got, warnings = reopened.read()
+        assert got == run_records() or [r["type"] for r in got][0] == "begin"
+        assert not orphan.exists()

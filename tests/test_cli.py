@@ -169,7 +169,37 @@ class TestEnforce:
 
 
 class TestJournalAndRecover:
-    def test_run_writes_journal_and_recover_replays_it(
+    def test_recover_defaults_to_the_checkpoint_fast_path(
+        self, program_file, tmp_path, capsys
+    ):
+        """Regression pin: with snapshots every 2, recovering a 6-event
+        journal resumes from the checkpoint at 6 and replays 0 events."""
+        journal = tmp_path / "run.journal"
+        assert main(
+            ["run", program_file, "--steps", "6", "--seed", "1",
+             "--journal", str(journal), "--snapshot-every", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", program_file, "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal status:      completed" in out
+        assert "events decoded:      6" in out
+        assert "events replayed:     0 (since checkpoint at 6)" in out
+
+    def test_recover_fast_path_replays_only_the_tail(
+        self, program_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        assert main(
+            ["run", program_file, "--steps", "7", "--seed", "1",
+             "--journal", str(journal), "--snapshot-every", "3"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", program_file, "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "events replayed:     1 (since checkpoint at 6)" in out
+
+    def test_recover_full_replays_and_verifies_everything(
         self, program_file, tmp_path, capsys
     ):
         journal = tmp_path / "run.journal"
@@ -178,7 +208,9 @@ class TestJournalAndRecover:
              "--journal", str(journal), "--snapshot-every", "2"]
         ) == 0
         capsys.readouterr()
-        assert main(["recover", program_file, "--journal", str(journal)]) == 0
+        assert main(
+            ["recover", program_file, "--journal", str(journal), "--full"]
+        ) == 0
         out = capsys.readouterr().out
         assert "journal status:      completed" in out
         assert "events replayed:     6" in out
@@ -306,7 +338,7 @@ class TestServiceCommands:
              "--journal-dir", "/tmp", "--run-id", "r"]
         )
         assert code == 2
-        assert "either --journal or" in capsys.readouterr().err
+        assert "exactly one of" in capsys.readouterr().err
 
     def test_recover_requires_a_source(self, program_file, capsys):
         assert main(["recover", program_file]) == 2
@@ -321,3 +353,172 @@ class TestServiceCommands:
         code = main(["serve", program_file, "--workload", "churn"])
         assert code == 2
         assert "not both" in capsys.readouterr().err
+
+
+class TestStorageCommands:
+    def _host_run(self, spec, run_id="r1", events=7, snapshot_every=3):
+        """Host one run against *spec* storage and close it cleanly."""
+        import asyncio
+
+        from repro.service import ShardedRunRegistry
+        from repro.storage import open_backend
+        from repro.workflow import RunGenerator
+        from repro.workflow.parser import parse_program
+
+        program = parse_program(HIRING_TEXT)
+        run = RunGenerator(program, seed=3).random_run(events)
+
+        async def host():
+            registry = ShardedRunRegistry(
+                program, storage=open_backend(spec), snapshot_every=snapshot_every
+            )
+            await registry.open(run_id)
+            hosted = await registry.get(run_id)
+            for event in run.events:
+                hosted.apply(event)
+            await registry.close(run_id)
+
+        asyncio.run(host())
+        return program
+
+    @pytest.mark.parametrize("scheme", ["segment", "sqlite"])
+    def test_recover_from_storage_backend(
+        self, scheme, program_file, tmp_path, capsys
+    ):
+        """`recover --storage SPEC --run-id` reads what the registry wrote."""
+        spec = f"{scheme}:{tmp_path / 'store'}"
+        self._host_run(spec)
+        code = main(
+            ["recover", program_file, "--storage", spec, "--run-id", "r1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journal status:      completed" in out
+        assert "events decoded:      7" in out
+        # Snapshots every 3 events: checkpoint at 6, one tail event.
+        assert "events replayed:     1 (since checkpoint at 6)" in out
+
+    def test_recover_storage_missing_run_exits_two(
+        self, program_file, tmp_path, capsys
+    ):
+        spec = f"segment:{tmp_path / 'store'}"
+        self._host_run(spec)
+        code = main(
+            ["recover", program_file, "--storage", spec, "--run-id", "ghost"]
+        )
+        assert code == 2
+        assert "no records for run" in capsys.readouterr().err
+
+    def test_compact_reclaims_superseded_snapshots(self, tmp_path, capsys):
+        # Write the records directly (the registry compacts as it goes,
+        # so a cleanly-closed hosted run has nothing left to reclaim).
+        from repro.runtime.journal import (
+            begin_record, end_record, event_record, snapshot_record,
+        )
+        from repro.storage import open_backend
+        from repro.workflow import RunGenerator
+        from repro.workflow.parser import parse_program
+
+        program = parse_program(HIRING_TEXT)
+        run = RunGenerator(program, seed=3).random_run(9)
+        spec = f"segment:{tmp_path / 'store'}"
+        backend = open_backend(spec)
+        with backend.store("r1") as store:
+            store.append(begin_record(run.initial))
+            for index, event in enumerate(run.events):
+                store.append(event_record(index, event))
+                if (index + 1) % 2 == 0:
+                    store.append(
+                        snapshot_record(index, index + 1, run.instances[index])
+                    )
+            store.append(end_record("completed"))
+        backend.close()
+        code = main(["compact", "--storage", spec])
+        out = capsys.readouterr().out
+        assert code == 0
+        # 9 events snapshotted every 2 leaves 4 snapshots; compaction
+        # keeps only the latest.
+        assert "r1:" in out
+        assert "(3 reclaimed)" in out
+
+    def test_compact_then_recover_is_lossless(
+        self, program_file, tmp_path, capsys
+    ):
+        spec = f"sqlite:{tmp_path / 'store.db'}"
+        self._host_run(spec, events=8, snapshot_every=2)
+        assert main(["compact", "--storage", spec, "--run-id", "r1"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["recover", program_file, "--storage", spec, "--run-id", "r1",
+             "--full"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events replayed:     8" in out
+        # Compaction kept exactly the latest snapshot.
+        assert "snapshots verified:  1" in out
+
+    def test_compact_needs_a_target(self, capsys):
+        assert main(["compact"]) == 2
+        assert "compact needs" in capsys.readouterr().err
+
+    def test_serve_with_storage_backend_roundtrip(self, tmp_path, capsys):
+        """`serve --storage` keeps loadgen clean and leaves recoverable
+        records behind."""
+        import json as json_module
+        import socket
+        import threading
+        import time
+
+        from repro.cli import main as cli_main
+        from repro.storage import open_backend
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        spec = f"segment:{tmp_path / 'store'}"
+        server_rc = []
+        thread = threading.Thread(
+            target=lambda: server_rc.append(
+                cli_main(
+                    ["serve", "--workload", "churn", "--port", str(port),
+                     "--storage", spec, "--max-resident", "2",
+                     "--snapshot-every", "4"]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            try:
+                with socket.create_connection(("127.0.0.1", port), 0.2):
+                    break
+            except OSError:
+                time.sleep(0.05)
+
+        code = main(
+            ["loadgen", "--workload", "churn", "--port", str(port),
+             "--runs", "4", "--events", "6", "--seed", "5",
+             "--shutdown", "--json"]
+        )
+        thread.join(timeout=10)
+        out = capsys.readouterr().out
+        report, _ = json_module.JSONDecoder().raw_decode(out[out.index("{"):])
+        assert code == 0
+        assert report["clean"] is True
+        assert server_rc == [0]
+        # Every run left a sealed, replayable record trail behind.
+        backend = open_backend(spec)
+        try:
+            run_ids = backend.run_ids()
+            assert len(run_ids) == 4
+            for run_id in run_ids:
+                records, warnings = backend.read_records(run_id)
+                assert warnings == []
+                assert records[0]["type"] == "begin"
+                assert records[-1] == {"type": "end", "status": "completed"}
+                assert sum(r["type"] == "event" for r in records) == 6
+        finally:
+            backend.close()
