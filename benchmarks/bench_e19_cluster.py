@@ -1,0 +1,248 @@
+"""E19: the sharded cluster — scale-out throughput and failover cost.
+
+Two questions, one per table:
+
+* **E19** — what does the router cost, and what does a shard buy?
+  The cluster loadgen drives a router fronting 1, 2 and 4 real worker
+  subprocesses and the table compares events/sec and tail latency with
+  the E14 single-process baseline (same workload, no router, no
+  replication, no subprocess hop).  A 1-shard cluster prices the
+  router indirection itself; extra shards buy throughput only to the
+  extent runs hash onto different workers (per-run FIFO stays the
+  serialization point, exactly as in E14).
+
+* **E19b** — recovery time after a kill.  With replication on, one
+  worker is SIGKILLed while its runs are live; the table reports how
+  long a client is stalled before the same run answers again, for both
+  failover modes (``restart`` respawns over the surviving store,
+  ``promote`` repoints the name at the follower).  The stall is the
+  health-check detection window plus reconcile plus (restart only)
+  worker startup — none of it is paid by runs on other shards.
+
+``BENCH_E19_SCALE=smoke`` shrinks the workloads for CI and drops the
+shape assertions (shared runners cannot price anything).  The full run
+archives its measurements in ``BENCH_E19.json`` at the repo root (the
+committed baseline).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import print_table
+from repro.service import ServiceServer, WorkflowService, run_loadgen
+from repro.service.loadgen import ServiceClient
+from repro.cluster import (
+    ClusterRouter,
+    RouterServer,
+    ShardSupervisor,
+    run_cluster_loadgen,
+)
+from repro.workflow import program_to_text
+from repro.workloads import churn_program
+
+SMOKE = os.environ.get("BENCH_E19_SCALE", "").strip().lower() == "smoke"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_E19.json"
+
+RUNS = 8 if SMOKE else 24
+EVENTS_PER_RUN = 8 if SMOKE else 15
+SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+
+_baseline: dict = {}
+
+
+async def _with_cluster(shard_count, failover, body, replicate=True):
+    """Run *body(router_server, supervisor, router)* against a live cluster."""
+    with tempfile.TemporaryDirectory(prefix="bench-e19-") as tmp:
+        supervisor = ShardSupervisor(
+            program_to_text(churn_program()),
+            Path(tmp) / "cluster",
+            shard_count=shard_count,
+            replicate=replicate,
+            failover=failover,
+            health_interval=0.2,
+        )
+        await supervisor.start()
+        router = ClusterRouter(supervisor.node_addresses(), supervisor=supervisor)
+        supervisor.attach_router(router)
+        server = RouterServer(router, port=0)
+        await server.start()
+        try:
+            return await body(server, supervisor, router)
+        finally:
+            await server.aclose()
+            await supervisor.stop()
+
+
+def _drive_single_process():
+    """The E14 baseline: same workload, no router, no subprocesses."""
+
+    async def main():
+        service = WorkflowService(churn_program())
+        server = ServiceServer(service, port=0)
+        await server.start()
+        try:
+            return await run_loadgen(
+                service.program,
+                server.host,
+                server.port,
+                runs=RUNS,
+                events_per_run=EVENTS_PER_RUN,
+                seed=RUNS,
+                verify=False,
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def _drive_cluster(shard_count):
+    async def main():
+        async def body(server, supervisor, router):
+            host, port = server.address
+            return await run_cluster_loadgen(
+                churn_program(),
+                host,
+                port,
+                runs=RUNS,
+                events_per_run=EVENTS_PER_RUN,
+                seed=RUNS,
+                verify=False,
+                audit=False,
+            )
+
+        return await _with_cluster(shard_count, "restart", body, replicate=False)
+
+    return asyncio.run(main())
+
+
+def test_e19_scaleout_throughput(benchmark):
+    rows = []
+    json_rows = []
+    base = _drive_single_process()
+    assert base.clean
+    rows.append(
+        [
+            "in-process (E14)",
+            base.applied,
+            f"{base.events_per_second:.0f}",
+            f"{base.p50_ms:.2f}",
+            f"{base.p99_ms:.2f}",
+        ]
+    )
+    json_rows.append(
+        {
+            "config": "single-process",
+            "applied": base.applied,
+            "events_per_second": round(base.events_per_second, 1),
+            "p50_ms": round(base.p50_ms, 3),
+            "p99_ms": round(base.p99_ms, 3),
+        }
+    )
+    for shards in SHARD_COUNTS:
+        report = _drive_cluster(shards)
+        assert report.clean
+        assert report.base.applied == RUNS * EVENTS_PER_RUN
+        rows.append(
+            [
+                f"{shards} shard(s)",
+                report.base.applied,
+                f"{report.base.events_per_second:.0f}",
+                f"{report.base.p50_ms:.2f}",
+                f"{report.base.p99_ms:.2f}",
+            ]
+        )
+        json_rows.append(
+            {
+                "config": f"cluster-{shards}",
+                "shards": shards,
+                "applied": report.base.applied,
+                "events_per_second": round(report.base.events_per_second, 1),
+                "p50_ms": round(report.base.p50_ms, 3),
+                "p99_ms": round(report.base.p99_ms, 3),
+            }
+        )
+    print_table(
+        "E19: cluster throughput vs the E14 single-process baseline",
+        ["config", "events", "events/s", "p50 ms", "p99 ms"],
+        rows,
+    )
+    _baseline["scaleout"] = json_rows
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _measure_recovery(failover):
+    """Seconds a client of the killed shard is stalled before it answers."""
+
+    async def main():
+        async def body(server, supervisor, router):
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                # One run per shard so some run is owned by the victim.
+                run_ids = {}
+                index = 0
+                while len(run_ids) < len(supervisor.shards):
+                    run_id = f"rcv-{index}"
+                    index += 1
+                    owner = router.owner(run_id)
+                    if owner not in run_ids:
+                        run_ids[owner] = run_id
+                        response = await client.request(op="open", run=run_id)
+                        assert response.get("ok"), response
+                victim = sorted(run_ids)[0]
+                await supervisor.kill_shard(victim)
+                killed_at = time.perf_counter()
+                # The stall a client sees: keep asking the dead run's
+                # owner for a view until the failover answers.
+                deadline = killed_at + 30.0
+                while True:
+                    response = await client.request(
+                        op="view", run=run_ids[victim], peer="maker"
+                    )
+                    if response.get("ok"):
+                        return time.perf_counter() - killed_at
+                    assert time.perf_counter() < deadline, response
+                    await asyncio.sleep(0.02)
+            finally:
+                await client.close()
+
+        return await _with_cluster(2, failover, body)
+
+    return asyncio.run(main())
+
+
+def test_e19b_recovery_after_kill(benchmark):
+    rows = []
+    json_rows = []
+    for failover in ("restart", "promote"):
+        stall_s = _measure_recovery(failover)
+        rows.append([failover, f"{stall_s * 1e3:.0f}"])
+        json_rows.append({"failover": failover, "stall_ms": round(stall_s * 1e3, 1)})
+        if not SMOKE:
+            # Detection (0.2s health interval) + reconcile + respawn must
+            # stay interactive — seconds, not minutes.
+            assert stall_s < 15.0, f"{failover} failover stalled {stall_s:.1f}s"
+    print_table(
+        "E19b: client-visible stall after SIGKILL of the owning shard",
+        ["failover", "stall ms"],
+        rows,
+    )
+    _baseline["recovery"] = json_rows
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e19_write_baseline(benchmark):
+    """Archive the measured numbers (full runs only — smoke sizes would
+    overwrite the committed baseline with non-comparable figures)."""
+    if not SMOKE and _baseline:
+        BASELINE_PATH.write_text(
+            json.dumps({"experiment": "E19", **_baseline}, indent=2) + "\n"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -161,6 +161,19 @@ from .service.errors import ERROR_CODES
 from .service.protocol import PROTOCOL_VERSION
 
 # ----------------------------------------------------------------------
+# The sharded cluster layer: placement, routing, replication, failover
+# ----------------------------------------------------------------------
+from .cluster import (
+    ClusterRouter,
+    HashRing,
+    ReplicationShipper,
+    RouterServer,
+    ShardSupervisor,
+    reconcile_with_follower,
+    run_cluster_loadgen,
+)
+
+# ----------------------------------------------------------------------
 # Observability: tracing, metrics, provenance
 # ----------------------------------------------------------------------
 from .obs import (
@@ -282,6 +295,14 @@ __all__ = [
     "ServiceServer",
     "WorkflowService",
     "run_loadgen",
+    # cluster
+    "ClusterRouter",
+    "HashRing",
+    "ReplicationShipper",
+    "RouterServer",
+    "ShardSupervisor",
+    "reconcile_with_follower",
+    "run_cluster_loadgen",
     # observability
     "METRICS",
     "JsonLinesSink",

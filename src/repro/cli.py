@@ -14,7 +14,10 @@
   (``--full`` re-validates every step from the beginning);
 * ``compact``    — compact stored run records (drop superseded snapshots);
 * ``serve``      — host runs behind the JSON-lines TCP service;
-* ``loadgen``    — drive and verify a live service under load.
+* ``serve-cluster`` — host runs on a sharded cluster (consistent-hash
+  router, shard worker processes, journal replication with failover);
+* ``loadgen``    — drive and verify a live service under load
+  (``--cluster`` adds shard kills and a durability audit).
 
 Programs are read from files in the textual syntax of
 :mod:`repro.workflow.parser`; the service commands alternatively accept
@@ -372,8 +375,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_resident=args.max_resident,
         compact_every=args.compact_every,
         disk_fault_plan=_disk_fault_plan(args),
+        replicate_to=args.replicate_to,
     )
-    server = ServiceServer(service, host=args.host, port=args.port)
+    server_kwargs = {}
+    if args.max_line_bytes:
+        server_kwargs["max_line_bytes"] = args.max_line_bytes
+    server = ServiceServer(service, host=args.host, port=args.port, **server_kwargs)
 
     async def _serve() -> None:
         await server.start()
@@ -391,6 +398,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import ClusterRouter, RouterServer, ShardSupervisor
+
+    program = _load_service_program(args)
+    program_text = program_to_text(program)
+
+    async def _serve() -> None:
+        supervisor = ShardSupervisor(
+            program_text,
+            Path(args.cluster_dir),
+            shard_count=args.shards,
+            host=args.host,
+            durability=args.durability,
+            snapshot_every=args.snapshot_every,
+            replicate=not args.no_replicate,
+            failover=args.failover,
+        )
+        await supervisor.start()
+        router = ClusterRouter(supervisor.node_addresses(), supervisor=supervisor)
+        supervisor.attach_router(router)
+        server = RouterServer(router, host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        # Flushed immediately so scripts (the CI cluster-smoke job) can
+        # parse the router port before traffic starts.
+        print(
+            f"cluster serving on {host}:{port} "
+            f"({len(supervisor.shards)} shards, "
+            f"replicate={supervisor.replicate}, failover={supervisor.failover})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await supervisor.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 1
+    print("cluster shut down cleanly", flush=True)
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -398,20 +452,41 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .service import run_loadgen
 
     program = _load_service_program(args)
-    report = asyncio.run(
-        run_loadgen(
-            program,
-            args.host,
-            args.port,
-            runs=args.runs,
-            events_per_run=args.events,
-            seed=args.seed,
-            verify=not args.no_verify,
-            view_every=args.view_every,
-            max_concurrency=args.max_concurrency,
-            shutdown=args.shutdown,
+    if args.cluster:
+        from .cluster import run_cluster_loadgen
+
+        report = asyncio.run(
+            run_cluster_loadgen(
+                program,
+                args.host,
+                args.port,
+                runs=args.runs,
+                events_per_run=args.events,
+                seed=args.seed,
+                verify=not args.no_verify,
+                view_every=args.view_every,
+                max_concurrency=args.max_concurrency,
+                kill_shards=args.kill_shards,
+                kill_after_applied=args.kill_after,
+                audit=not args.no_audit,
+                shutdown=args.shutdown,
+            )
         )
-    )
+    else:
+        report = asyncio.run(
+            run_loadgen(
+                program,
+                args.host,
+                args.port,
+                runs=args.runs,
+                events_per_run=args.events,
+                seed=args.seed,
+                verify=not args.no_verify,
+                view_every=args.view_every,
+                max_concurrency=args.max_concurrency,
+                shutdown=args.shutdown,
+            )
+        )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -597,7 +672,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-append ENOSPC (nothing written) rate")
     p_serve.add_argument("--fault-disk-fsync", type=float, default=0.0,
                          help="per-fsync failure rate (unsynced tail lost)")
+    p_serve.add_argument("--replicate-to", default=None, metavar="HOST:PORT",
+                         help="ship every appended record to the follower "
+                              "shard at HOST:PORT (cluster replication; "
+                              "requires --storage)")
+    p_serve.add_argument("--max-line-bytes", type=int, default=None,
+                         help="per-request line cap; longer lines get a "
+                              "structured protocol error (default 1 MiB)")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "serve-cluster",
+        help="host runs on a sharded cluster: router + shard workers "
+             "+ journal replication with failover",
+    )
+    service_common(p_cluster)
+    p_cluster.add_argument("--cluster-dir", required=True,
+                           help="directory for the cluster's program file, "
+                                "per-shard storage and worker logs")
+    p_cluster.add_argument("--shards", type=int, default=2,
+                           help="shard worker processes to spawn")
+    p_cluster.add_argument("--durability", default="flush",
+                           help="durability policy of each shard's segment "
+                                "store: none, flush, interval[:N], fsync")
+    p_cluster.add_argument("--snapshot-every", type=int, default=10,
+                           help="journal snapshot period (events)")
+    p_cluster.add_argument("--no-replicate", action="store_true",
+                           help="disable journal replication between shards")
+    p_cluster.add_argument("--failover", choices=("restart", "promote"),
+                           default="restart",
+                           help="what to do when a shard worker dies: "
+                                "restart it over its storage (default) or "
+                                "promote its follower")
+    p_cluster.set_defaults(handler=_cmd_serve_cluster)
 
     p_load = sub.add_parser(
         "loadgen", help="drive and verify a live workflow service"
@@ -618,6 +725,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="send a shutdown request when done")
     p_load.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+    p_load.add_argument("--cluster", action="store_true",
+                        help="drive a serve-cluster router: idempotent "
+                             "submits, optional shard kills, and a "
+                             "post-mortem storage audit of every "
+                             "acknowledged event")
+    p_load.add_argument("--kill-shards", type=int, default=0,
+                        help="with --cluster: SIGKILL this many seeded "
+                             "shard workers mid-run (failover must keep "
+                             "the report clean)")
+    p_load.add_argument("--kill-after", type=int, default=None,
+                        help="with --cluster: cluster-wide applied-event "
+                             "count that triggers the first kill "
+                             "(default: a quarter of the workload)")
+    p_load.add_argument("--no-audit", action="store_true",
+                        help="with --cluster: skip the post-mortem "
+                             "read-back of every shard store")
     p_load.set_defaults(handler=_cmd_loadgen)
 
     return parser

@@ -1,0 +1,44 @@
+"""Sharded cluster layer: ring placement, routing, replication, failover.
+
+``repro.cluster`` scales the single-process workflow service (PR 5's
+``repro.service``) horizontally without changing its semantics or its
+wire protocol: a consistent-hash :class:`HashRing` places run ids onto
+named shards, a :class:`ClusterRouter` proxies the JSON-lines protocol
+to the owning shard worker, a :class:`ShardSupervisor` spawns and
+health-checks the workers (each an ordinary ``repro serve`` process
+with its own storage directory), and journal replication
+(:class:`ReplicationShipper` + :func:`reconcile_with_follower`) makes
+acknowledged events survive a shard process being SIGKILLed — by
+restart or by follower promotion.  ``run_cluster_loadgen`` is the
+harness that *proves* all of that: single-server checking semantics
+through the router, seeded mid-run kills, and a post-mortem disk audit
+of every acknowledged event.  See ``docs/CLUSTER.md``.
+"""
+
+from .loadgen import ClusterLoadReport, run_cluster_loadgen
+from .replicate import (
+    ReconcileReport,
+    ReplicatingBackend,
+    ReplicationShipper,
+    reconcile_with_follower,
+)
+from .ring import HashRing, RingError
+from .router import ClusterRouter, RouterServer
+from .supervisor import ShardProcess, ShardSpec, ShardSupervisor, free_ports
+
+__all__ = [
+    "ClusterLoadReport",
+    "ClusterRouter",
+    "HashRing",
+    "ReconcileReport",
+    "ReplicatingBackend",
+    "ReplicationShipper",
+    "RingError",
+    "RouterServer",
+    "ShardProcess",
+    "ShardSpec",
+    "ShardSupervisor",
+    "free_ports",
+    "reconcile_with_follower",
+    "run_cluster_loadgen",
+]

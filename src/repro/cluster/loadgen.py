@@ -1,0 +1,277 @@
+"""Cluster-scale load generation with fault injection and a disk audit.
+
+This harness is the cluster's *differential proof obligation*: it
+drives the single-process load generator (with all of its per-run
+ordering and consistency checking) through the cluster router, so a
+clean report means the cluster exhibited exactly the semantics of one
+server — and it adds the two things only a cluster can get wrong:
+
+* **fault injection** — after a seeded threshold of applied events it
+  asks the router (``cluster``/``kill``) to SIGKILL a seeded choice of
+  shard worker mid-run, exercising failover (restart or promotion)
+  under live idempotent traffic;
+* **a post-mortem storage audit** — after the run it opens every
+  shard's on-disk store directly (``fast_recover``, the same path the
+  ``repro recover`` command uses) and checks that each driven run's
+  acknowledged events are all durably present, in order, on the shard
+  that owns the run *after* failover.  ``lost_events`` must be zero:
+  an acknowledged event that is not on disk somewhere is exactly the
+  bug replication + reconciliation exist to prevent.
+
+The harness talks to the cluster only through the public protocol plus
+read-only access to the cluster directory for the audit (both true for
+the CI ``cluster-smoke`` job and the ``tests/cluster`` suite).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..runtime.checkpoint import fast_recover
+from ..service.errors import ServiceError
+from ..service.loadgen import LoadReport, ServiceClient, run_loadgen
+from ..storage.backend import open_backend
+from ..workflow.program import WorkflowProgram
+from ..workflow.serialization import event_to_dict
+from .ring import HashRing
+
+__all__ = ["ClusterLoadReport", "run_cluster_loadgen"]
+
+
+@dataclass
+class ClusterLoadReport:
+    """A :class:`LoadReport` plus the cluster-only verdicts."""
+
+    base: LoadReport
+    shards: int = 0
+    kills: int = 0
+    failovers: int = 0
+    restarts: int = 0
+    promotions: int = 0
+    reconciled_records: int = 0
+    audited_runs: int = 0
+    lost_events: int = 0
+    audit_mismatches: int = 0
+    audit_warnings: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No violation anywhere: ordering, consistency, or durability."""
+        return (
+            self.base.clean
+            and self.lost_events == 0
+            and self.audit_mismatches == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self.base.to_dict(),
+            "shards": self.shards,
+            "kills": self.kills,
+            "failovers": self.failovers,
+            "restarts": self.restarts,
+            "promotions": self.promotions,
+            "reconciled_records": self.reconciled_records,
+            "audited_runs": self.audited_runs,
+            "lost_events": self.lost_events,
+            "audit_mismatches": self.audit_mismatches,
+            "audit_warnings": list(self.audit_warnings),
+            "clean": self.clean,
+        }
+
+
+async def _cluster_status(host: str, port: int) -> Dict[str, Any]:
+    client = await ServiceClient.connect(host, port)
+    try:
+        response = await client.expect_ok(op="cluster", action="status")
+    finally:
+        await client.close()
+    return response.get("cluster", {})
+
+
+def _owning_storage(
+    run_id: str, ring: HashRing, supervisor: Dict[str, Any]
+) -> Optional[str]:
+    """The storage spec holding *run_id*'s full history after failover."""
+    shards = supervisor.get("shards", {})
+    owner = ring.owner(run_id)
+    info = shards.get(owner)
+    if info is None:
+        return None
+    # A promoted shard's runs live on (and grew on) the follower's disk:
+    # its replica records plus every post-promotion append.
+    while info.get("promoted_to"):
+        info = shards.get(info["promoted_to"], {})
+    return info.get("storage")
+
+
+def _audit_stores(
+    program: WorkflowProgram,
+    report: ClusterLoadReport,
+    ring: HashRing,
+    supervisor: Dict[str, Any],
+) -> None:
+    """Compare every acked event list against the owning shard's disk."""
+    backends: Dict[str, Any] = {}
+    try:
+        for outcome in report.base.outcomes:
+            storage = _owning_storage(outcome.run_id, ring, supervisor)
+            if storage is None:
+                report.audit_warnings.append(
+                    f"{outcome.run_id}: no storage spec for owner "
+                    f"{ring.owner(outcome.run_id)}"
+                )
+                continue
+            backend = backends.get(storage)
+            if backend is None:
+                backend = backends[storage] = open_backend(storage)
+            try:
+                records, warnings = backend.read_records(outcome.run_id)
+                report.audit_warnings.extend(
+                    f"{outcome.run_id}: {w}" for w in warnings
+                )
+                resumed = fast_recover(program, records)
+            except Exception as exc:
+                report.audit_warnings.append(f"{outcome.run_id}: {exc}")
+                report.lost_events += outcome.applied
+                continue
+            report.audited_runs += 1
+            acked = [event_to_dict(event) for event in outcome.applied_events]
+            durable = [event_to_dict(event) for event in resumed.events]
+            if len(durable) < len(acked):
+                report.lost_events += len(acked) - len(durable)
+            if durable[: len(acked)] != acked:
+                report.audit_mismatches += 1
+    finally:
+        for backend in backends.values():
+            try:
+                backend.close()
+            except Exception:
+                pass
+
+
+async def run_cluster_loadgen(
+    program: WorkflowProgram,
+    host: str,
+    port: int,
+    runs: int = 8,
+    events_per_run: int = 20,
+    seed: int = 0,
+    verify: bool = True,
+    view_every: int = 0,
+    max_concurrency: Optional[int] = None,
+    kill_shards: int = 0,
+    kill_after_applied: Optional[int] = None,
+    audit: bool = True,
+    shutdown: bool = False,
+    run_prefix: str = "cload",
+) -> ClusterLoadReport:
+    """Drive a live cluster through its router; optionally kill shards.
+
+    ``kill_shards`` workers are SIGKILLed mid-run, each once the
+    cluster-wide applied count crosses a seeded threshold (by default
+    spread across the middle of the workload); the targets are a seeded
+    choice, so a run is reproducible from ``seed`` alone.  With
+    ``audit`` (the default) every shard store is read back afterwards
+    and checked against the client-side acked ground truth.
+    """
+    status = await _cluster_status(host, port)
+    nodes = sorted(status.get("nodes", {}))
+    if not nodes:
+        raise ServiceError("the router reports no cluster nodes")
+    ring = HashRing(nodes, vnodes=int(status.get("vnodes", 64)))
+    report_shards = len(nodes)
+
+    total_events = runs * events_per_run
+    rng = random.Random(seed * 65537 + 11)
+    kill_targets = rng.sample(nodes, min(kill_shards, len(nodes)))
+    if kill_after_applied is None:
+        kill_after_applied = max(1, total_events // 4)
+    thresholds = [
+        kill_after_applied + index * max(1, total_events // 8)
+        for index in range(len(kill_targets))
+    ]
+
+    applied_count = 0
+    kill_events = [asyncio.Event() for _ in kill_targets]
+
+    def progress() -> None:
+        nonlocal applied_count
+        applied_count += 1
+        for threshold, event in zip(thresholds, kill_events):
+            if applied_count >= threshold:
+                event.set()
+
+    kills_done = 0
+
+    async def killer() -> None:
+        nonlocal kills_done
+        for target, event in zip(kill_targets, kill_events):
+            await event.wait()
+            client = await ServiceClient.connect(host, port)
+            try:
+                response = await client.expect_ok(
+                    op="cluster", action="kill", node=target
+                )
+                if response.get("killed"):
+                    kills_done += 1
+            except ServiceError:
+                pass  # already promoted away or dead: the audit decides
+            finally:
+                await client.close()
+
+    kill_task = asyncio.ensure_future(killer()) if kill_targets else None
+    try:
+        base = await run_loadgen(
+            program,
+            host,
+            port,
+            runs=runs,
+            events_per_run=events_per_run,
+            seed=seed,
+            verify=verify,
+            view_every=view_every,
+            run_prefix=run_prefix,
+            max_concurrency=max_concurrency,
+            shutdown=False,
+            idempotent=True,
+            progress=progress,
+        )
+    finally:
+        if kill_task is not None:
+            kill_task.cancel()
+            try:
+                await kill_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # Re-read the topology: failover may have repointed names.
+    final_status = await _cluster_status(host, port)
+    supervisor = final_status.get("supervisor", {})
+    counters = supervisor.get("counters", {})
+    report = ClusterLoadReport(
+        base=base,
+        shards=report_shards,
+        kills=kills_done,
+        failovers=int(counters.get("failovers", 0)),
+        restarts=int(counters.get("restarts", 0)),
+        promotions=int(counters.get("promotions", 0)),
+        reconciled_records=int(counters.get("reconciled_records", 0)),
+    )
+    if audit:
+        if supervisor.get("shards"):
+            _audit_stores(program, report, ring, supervisor)
+        else:
+            report.audit_warnings.append(
+                "no supervisor attached to the router: storage audit skipped"
+            )
+    if shutdown:
+        client = await ServiceClient.connect(host, port)
+        try:
+            await client.expect_ok(op="shutdown")
+        finally:
+            await client.close()
+    return report

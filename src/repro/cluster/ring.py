@@ -1,0 +1,125 @@
+"""Consistent-hash placement of run ids onto cluster shards.
+
+The ring answers exactly one question — *which shard owns this run?* —
+and answers it deterministically: placement depends only on the node
+names and the run id, never on process state, insertion order or the
+salted builtin ``hash``.  Each node contributes ``vnodes`` virtual
+points (md5 of ``"<node>#<replica>"``), a key is owned by the first
+point clockwise of its own hash, and adding or removing one node moves
+only the keys adjacent to that node's points (~1/N of the keyspace)
+instead of reshuffling everything the way modulo hashing would.
+
+Placement is deliberately decoupled from *addressing*: the router keeps
+a separate node → ``(host, port)`` table, so a failover (a restarted
+shard on a new port, or a follower promoted to serve a dead primary's
+range) changes where a node's traffic goes without moving a single key
+— which is what keeps cluster placement bit-stable across the kill /
+recover cycles the differential suite replays.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple as PyTuple
+
+from ..workflow.errors import WorkflowError
+
+__all__ = ["HashRing", "RingError"]
+
+
+class RingError(WorkflowError):
+    """The ring was built or used inconsistently."""
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit position on the ring (md5, not the salted hash)."""
+    return int.from_bytes(hashlib.md5(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic key → node placement with virtual nodes.
+
+    >>> ring = HashRing(["shard-0", "shard-1"])
+    >>> ring.owner("load-0-3") in ("shard-0", "shard-1")
+    True
+    """
+
+    def __init__(self, nodes: Iterable[str], vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise RingError("the ring needs at least one virtual node per node")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+        if not self._nodes:
+            raise RingError("the ring needs at least one node")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> PyTuple[str, ...]:
+        return tuple(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise RingError(f"node {node!r} is already on the ring")
+        self._nodes.append(node)
+        self._nodes.sort()
+        for replica in range(self.vnodes):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # An exact 64-bit collision between distinct vnode labels is
+            # ~impossible; ties break toward the lexicographically
+            # smaller node so placement stays order-independent anyway.
+            if (
+                index < len(self._points)
+                and self._points[index] == point
+                and self._owners[index] <= node
+            ):
+                continue
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise RingError(f"node {node!r} is not on the ring")
+        if len(self._nodes) == 1:
+            raise RingError("cannot remove the last node from the ring")
+        self._nodes.remove(node)
+        kept = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in kept]
+        self._owners = [owner for _, owner in kept]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The node that owns *key* (first vnode clockwise of its hash)."""
+        point = _point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of *keys* each node owns (diagnostics / balance tests)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes

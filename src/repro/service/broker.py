@@ -114,6 +114,9 @@ class SubmitOutcome:
     attempts: int = 0
     reason: Optional[str] = None
     recovered: bool = False
+    #: True when the event's ``expected_seq`` idempotency key showed it
+    #: was already applied, so the ack was repeated without re-applying.
+    deduped: bool = False
 
     @property
     def applied(self) -> bool:
@@ -172,12 +175,21 @@ class EventBroker:
     # Submission (the client-facing edge)
     # ------------------------------------------------------------------
 
-    async def submit(self, run_id: str, event: Event) -> SubmitOutcome:
+    async def submit(
+        self, run_id: str, event: Event, expected_seq: Optional[int] = None
+    ) -> SubmitOutcome:
         """Submit one event to *run_id*'s mailbox and await its outcome.
 
         FIFO per run: outcomes resolve in mailbox order.  Concurrent
         submitters interleave at the queue, but each submitter's own
         awaited submissions keep their relative order.
+
+        *expected_seq* is the protocol's idempotency key: when given
+        and the run has already applied that sequence number, the
+        event is acknowledged again (``deduped=True``) instead of being
+        re-applied — the exactly-once contract retries through the
+        cluster router rely on.  An *expected_seq* ahead of the run is
+        a gap and raises :class:`ServiceError`.
         """
         if self.budget is not None and self.budget.exhausted():
             self.counters[REJECTED_BUDGET] += 1
@@ -199,7 +211,7 @@ class EventBroker:
                 reason=f"mailbox full ({self.queue_capacity} events queued)",
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        mailbox.queue.put_nowait((event, future))
+        mailbox.queue.put_nowait((event, expected_seq, future))
         return await future
 
     def queue_depth(self, run_id: str) -> int:
@@ -222,12 +234,12 @@ class EventBroker:
 
     async def _drain(self, run_id: str, mailbox: _Mailbox) -> None:
         while True:
-            event, future = await mailbox.queue.get()
+            event, expected_seq, future = await mailbox.queue.get()
             if future.cancelled():
                 continue
             mailbox.in_flight = 1
             try:
-                outcome = await self._apply(run_id, event)
+                outcome = await self._apply(run_id, event, expected_seq)
             except asyncio.CancelledError:
                 # Worker cancelled mid-apply (run closed / shutdown):
                 # resolve the submitter instead of leaving it hanging.
@@ -267,7 +279,9 @@ class EventBroker:
             self._injectors[run_id] = injector
         return injector
 
-    async def _apply(self, run_id: str, event: Event) -> SubmitOutcome:
+    async def _apply(
+        self, run_id: str, event: Event, expected_seq: Optional[int] = None
+    ) -> SubmitOutcome:
         """Apply one event with the supervisor's retry/quarantine policy."""
         attempt = 0
         recovered = False
@@ -275,6 +289,25 @@ class EventBroker:
         while True:
             attempt += 1
             hosted = await self.registry.get(run_id)
+            if expected_seq is not None:
+                # Checked inside the mailbox worker (not at admission),
+                # so the comparison is race-free against this run's
+                # other in-flight events.
+                if expected_seq < hosted.applied:
+                    return SubmitOutcome(
+                        run_id,
+                        APPLIED,
+                        seq=expected_seq,
+                        attempts=attempt,
+                        recovered=recovered,
+                        deduped=True,
+                    )
+                if expected_seq > hosted.applied:
+                    raise ServiceError(
+                        f"submit seq {expected_seq} is ahead of run "
+                        f"{run_id!r} (applied {hosted.applied}): "
+                        "an acknowledged event is missing"
+                    )
             try:
                 if injector is not None:
                     # Index by events *attempted* (applied + quarantined),
@@ -364,7 +397,7 @@ class EventBroker:
     def _fail_pending(self, run_id: str, mailbox: _Mailbox) -> None:
         """Resolve still-queued submissions of a dying mailbox."""
         while not mailbox.queue.empty():
-            _, future = mailbox.queue.get_nowait()
+            _, _, future = mailbox.queue.get_nowait()
             if not future.done():
                 future.set_exception(
                     UnknownRunError(

@@ -50,9 +50,10 @@ class ProtocolError(ServiceError):
 ERROR_CODES: Dict[str, str] = {
     "unknown_run": "the request referenced a run id that is not hosted",
     "duplicate_run": "an open used a run id that is already hosted",
-    "protocol": "the request line was malformed or used an unknown op",
+    "protocol": "the request line was malformed, oversized or used an unknown op",
     "event": "the event was rejected by the engine (body, freshness, chase)",
     "service": "a service-layer failure (admission, unknown peer, ...)",
+    "unavailable": "the owning shard is down or restarting; retry shortly",
     "workflow": "any other workflow-level failure",
 }
 

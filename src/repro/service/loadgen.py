@@ -23,7 +23,15 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
 
 from ..workflow.enumerate import RunGenerator
 from ..workflow.events import Event
@@ -120,9 +128,14 @@ class RunOutcome:
     quarantined: int = 0
     rejected: int = 0
     recoveries: int = 0
+    deduped: int = 0
     ordering_violations: int = 0
     consistency_violations: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: The events the server acknowledged as applied, in ack order —
+    #: the client-side ground truth the cluster post-mortem audit
+    #: compares every shard store against.
+    applied_events: List[Event] = field(default_factory=list)
 
 
 @dataclass
@@ -142,6 +155,10 @@ class LoadReport:
     p50_ms: float
     p99_ms: float
     verified_views: int
+    deduped: int = 0
+    #: Per-run detail (not serialized); the cluster harness reads the
+    #: acked event lists off these for its storage audit.
+    outcomes: List[RunOutcome] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -157,6 +174,7 @@ class LoadReport:
             "quarantined": self.quarantined,
             "rejected": self.rejected,
             "recoveries": self.recoveries,
+            "deduped": self.deduped,
             "ordering_violations": self.ordering_violations,
             "consistency_violations": self.consistency_violations,
             "events_per_second": round(self.events_per_second, 1),
@@ -165,6 +183,39 @@ class LoadReport:
             "verified_views": self.verified_views,
             "clean": self.clean,
         }
+
+
+async def _expect_ok_retrying(
+    client: ServiceClient,
+    retry_unavailable: bool,
+    retry_seconds: float = 15.0,
+    **message: Any,
+) -> Dict[str, Any]:
+    """``expect_ok``, but ``unavailable`` is retried when safe.
+
+    The cluster router answers ``unavailable`` when the owning shard is
+    down longer than its own retry budget; in idempotent mode every
+    request here is safe to resend (reads, opens, and ``seq``-keyed
+    submits), so the client keeps trying until the failover lands.
+    """
+    deadline = time.perf_counter() + retry_seconds
+    backoff = 0.05
+    while True:
+        response = await client.request(**message)
+        if response.get("ok"):
+            return response
+        if (
+            retry_unavailable
+            and response.get("error") == "unavailable"
+            and time.perf_counter() < deadline
+        ):
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, 0.5)
+            continue
+        raise ServiceError(
+            f"request {message.get('op')!r} failed: "
+            f"{response.get('error')}: {response.get('message')}"
+        )
 
 
 async def _drive_run(
@@ -176,43 +227,62 @@ async def _drive_run(
     verify: bool,
     view_every: int,
     close_run: bool,
+    idempotent: bool = False,
+    progress: Optional[Callable[[], None]] = None,
 ) -> RunOutcome:
     outcome = RunOutcome(run_id)
     client = await ServiceClient.connect(host, port)
     try:
-        await client.expect_ok(op="open", run=run_id)
-        applied_events: List[Event] = []
+        await _expect_ok_retrying(client, idempotent, op="open", run=run_id)
+        applied_events = outcome.applied_events
         expected_seq = 0
         for position, event in enumerate(events):
+            submit: Dict[str, Any] = {
+                "op": "submit",
+                "run": run_id,
+                "event": event_to_dict(event),
+            }
+            if idempotent:
+                # The seq idempotency key makes router retries (and our
+                # own unavailable retries) exactly-once across failover.
+                submit["seq"] = expected_seq
             start = time.perf_counter()
-            response = await client.expect_ok(
-                op="submit", run=run_id, event=event_to_dict(event)
-            )
+            response = await _expect_ok_retrying(client, idempotent, **submit)
             outcome.latencies.append(time.perf_counter() - start)
             outcome.submitted += 1
             status = response.get("status")
             if response.get("recovered"):
                 outcome.recoveries += 1
+            if response.get("deduped"):
+                outcome.deduped += 1
             if status == "applied":
                 if response.get("seq") != expected_seq:
                     outcome.ordering_violations += 1
                 expected_seq += 1
                 outcome.applied += 1
                 applied_events.append(event)
+                if progress is not None:
+                    progress()
             elif status == "quarantined":
                 outcome.quarantined += 1
             else:
                 outcome.rejected += 1
             if view_every and (position + 1) % view_every == 0:
-                await client.expect_ok(
-                    op="view", run=run_id, peer=program.schema.peers[-1]
+                await _expect_ok_retrying(
+                    client,
+                    idempotent,
+                    op="view",
+                    run=run_id,
+                    peer=program.schema.peers[-1],
                 )
         if verify:
             replayed = execute(
                 program, applied_events, check_freshness=False
             )
             for peer in program.schema.peers:
-                response = await client.expect_ok(op="view", run=run_id, peer=peer)
+                response = await _expect_ok_retrying(
+                    client, idempotent, op="view", run=run_id, peer=peer
+                )
                 expected = instance_to_dict(
                     program.schema.view_instance(replayed.final_instance, peer)
                 )
@@ -221,7 +291,7 @@ async def _drive_run(
                 ):
                     outcome.consistency_violations += 1
         if close_run:
-            await client.expect_ok(op="close", run=run_id)
+            await _expect_ok_retrying(client, idempotent, op="close", run=run_id)
     finally:
         await client.close()
     return outcome
@@ -240,6 +310,8 @@ async def run_loadgen(
     run_prefix: str = "load",
     max_concurrency: Optional[int] = None,
     shutdown: bool = False,
+    idempotent: bool = False,
+    progress: Optional[Callable[[], None]] = None,
 ) -> LoadReport:
     """Drive *runs* concurrent runs against a live server and report.
 
@@ -262,7 +334,16 @@ async def run_loadgen(
     async def bounded(run_id: str, events: List[Event]) -> RunOutcome:
         async with semaphore:
             return await _drive_run(
-                program, host, port, run_id, events, verify, view_every, close_runs
+                program,
+                host,
+                port,
+                run_id,
+                events,
+                verify,
+                view_every,
+                close_runs,
+                idempotent=idempotent,
+                progress=progress,
             )
 
     started = time.perf_counter()
@@ -294,4 +375,6 @@ async def run_loadgen(
         p50_ms=_percentile(latencies, 0.50) * 1000.0,
         p99_ms=_percentile(latencies, 0.99) * 1000.0,
         verified_views=(len(program.schema.peers) * runs) if verify else 0,
+        deduped=sum(o.deduped for o in outcomes),
+        outcomes=list(outcomes),
     )

@@ -19,7 +19,14 @@ Operations
               Response carries ``status`` (``applied`` / ``quarantined``
               / ``rejected_backpressure`` / ``rejected_budget``),
               ``seq``, ``attempts``, ``recovered`` and the acting
-              peer's post-event view ``version``.
+              peer's post-event view ``version``.  An optional ``seq``
+              field on the *request* is an idempotency key: the
+              client's expected sequence number for this event.  A
+              submit whose ``seq`` the run has already applied is
+              acknowledged again (``"deduped": true``) instead of being
+              re-applied, which makes retries through the cluster
+              router exactly-once; a ``seq`` *ahead* of the run is a
+              gap and is rejected.
 ``view``      ``{"op": "view", "run": <id>, "peer": p}`` — the peer's
               materialized view instance and its ``version``.
 ``explain``   ``{"op": "explain", "run": <id>, "peer": p,
@@ -45,9 +52,21 @@ Operations
               touched relation ``R`` (or its key ``k``), or which
               events changed peer ``p``'s view.  Without a filter the
               whole log is returned under ``records``.
+``replicate`` ``{"op": "replicate", "run": <id>, "records": [...]}`` —
+              append journal records shipped by another shard's
+              primary into this server's storage backend (the
+              follower half of the cluster replication contract; see
+              ``docs/CLUSTER.md``).  With ``"count": true`` instead of
+              ``records`` the server reports how many records it holds
+              for the run, which is the shipper's resume/reconcile
+              cursor.
 ``close``     ``{"op": "close", "run": <id>}`` — stop hosting, sealing
               the journal with status ``completed``.
-``shutdown``  ``{"op": "shutdown"}`` — drain and stop the server.
+``shutdown``  ``{"op": "shutdown"}`` — drain in-flight mailboxes,
+              persist every hosted run's records through the storage
+              backend, and only then acknowledge (``"drained": n``) and
+              stop the server — when the response arrives, everything
+              acknowledged before it is durably applied.
 ``ping``      liveness probe.
 
 Versioning
@@ -68,12 +87,15 @@ server, this documentation and the load generator share.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from typing import Any, Dict, Optional, Tuple as PyTuple
 
 from .errors import ProtocolError
 
 __all__ = [
+    "LineReader",
+    "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
     "decode_line",
@@ -84,8 +106,15 @@ __all__ = [
 ]
 
 #: Version 2 added the ``metrics`` and ``provenance`` ops and the
-#: ``protocol`` field on every response envelope.
-PROTOCOL_VERSION = 2
+#: ``protocol`` field on every response envelope.  Version 3 added the
+#: ``replicate`` op, the idempotent ``seq`` field on ``submit``, the
+#: drain-before-ack ``shutdown`` contract and structured error
+#: envelopes for oversized request lines.
+PROTOCOL_VERSION = 3
+
+#: Request lines longer than this are rejected with a structured
+#: ``protocol`` error envelope instead of dropping the connection.
+MAX_LINE_BYTES = 1 << 20
 
 #: Every operation the server understands.
 OPS = (
@@ -97,6 +126,7 @@ OPS = (
     "stats",
     "metrics",
     "provenance",
+    "replicate",
     "close",
     "shutdown",
     "ping",
@@ -104,10 +134,81 @@ OPS = (
 
 #: Ops that must name a run.
 _RUN_OPS = frozenset(
-    {"open", "submit", "view", "explain", "applicable", "provenance", "close"}
+    {
+        "open",
+        "submit",
+        "view",
+        "explain",
+        "applicable",
+        "provenance",
+        "replicate",
+        "close",
+    }
 )
 #: Ops that must name a peer.
 _PEER_OPS = frozenset({"view", "explain"})
+
+
+class LineReader:
+    """Newline-framed reads with a hard per-line cap.
+
+    ``asyncio.StreamReader.readline`` raises ``ValueError`` on an
+    over-limit line *and clears its buffer*, which desynchronizes the
+    framing and historically made the server drop the whole connection.
+    This reader frames lines itself: a line at or under ``max_bytes``
+    is returned whole; a longer one is *drained* through to its
+    terminating newline and reported as oversized — the connection
+    stays framed and usable, and the caller can answer with a
+    structured error envelope instead of a hangup.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, max_bytes: int = MAX_LINE_BYTES
+    ) -> None:
+        if max_bytes < 2:
+            raise ProtocolError("the line cap must be at least 2 bytes")
+        self._reader = reader
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self.oversized_lines = 0
+
+    async def readline(self) -> PyTuple[bytes, bool]:
+        """``(line, oversized)`` — ``(b"", False)`` at EOF.
+
+        *line* includes its newline when one arrived; an unterminated
+        trailing fragment at EOF is returned as-is (matching
+        ``StreamReader.readline``).  When *oversized* is True the line
+        exceeded the cap: its bytes were consumed and discarded, and
+        *line* is only the (capped) prefix, for diagnostics.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if 0 <= newline <= self.max_bytes:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line, False
+            if newline > self.max_bytes or len(self._buffer) > self.max_bytes:
+                return await self._drain_oversized(newline), True
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line, False
+            self._buffer.extend(chunk)
+
+    async def _drain_oversized(self, newline: int) -> bytes:
+        """Consume the oversized line through its newline; keep the rest."""
+        self.oversized_lines += 1
+        prefix = bytes(self._buffer[: self.max_bytes])
+        while newline < 0:
+            del self._buffer[:]
+            chunk = await self._reader.read(65536)
+            if not chunk:  # EOF mid-line: nothing left to resynchronize
+                return prefix
+            self._buffer.extend(chunk)
+            newline = self._buffer.find(b"\n")
+        del self._buffer[: newline + 1]
+        return prefix
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:
@@ -153,8 +254,20 @@ def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
         raise ProtocolError(f"op {op!r} requires a string 'run' field")
     if op in _PEER_OPS and not isinstance(message.get("peer"), str):
         raise ProtocolError(f"op {op!r} requires a string 'peer' field")
-    if op == "submit" and not isinstance(message.get("event"), dict):
-        raise ProtocolError("op 'submit' requires an 'event' object")
+    if op == "submit":
+        if not isinstance(message.get("event"), dict):
+            raise ProtocolError("op 'submit' requires an 'event' object")
+        seq = message.get("seq")
+        if seq is not None and (not isinstance(seq, int) or seq < 0):
+            raise ProtocolError(
+                "the 'seq' idempotency key must be a non-negative integer"
+            )
+    if op == "replicate":
+        records = message.get("records")
+        if not message.get("count") and not isinstance(records, list):
+            raise ProtocolError(
+                "op 'replicate' requires a 'records' list (or 'count': true)"
+            )
     return op, message
 
 

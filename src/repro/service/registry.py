@@ -146,11 +146,15 @@ class HostedRun:
         #: Warnings surfaced while reading this run's records back
         #: (torn trailing records truncated away, etc.).
         self.recovery_warnings: List[str] = []
-        #: Per-event provenance, recorded at application time.  A
-        #: recovered run starts with an empty log — provenance queries
-        #: and explain citations cover the events applied since hosting
-        #: began (the journal holds the durable history).
+        #: Per-event provenance, recorded at application time.  A run
+        #: constructed over an existing event history (recovery,
+        #: rehydration, a promoted replica) starts with a log missing
+        #: that prefix; :meth:`provenance_log` rebuilds it by replay on
+        #: first read, so provenance answers are identical whether the
+        #: run lived in one process or was recovered — events determine
+        #: runs, and they determine provenance too.
         self.provenance = ProvenanceLog(run_id)
+        self._provenance_complete = not self.events
 
     # ------------------------------------------------------------------
     # Application
@@ -179,22 +183,7 @@ class HostedRun:
             self.journal.record_event(seq, event, result)
         self.instance = result
         self.events.append(event)
-        if self.caches is not None:
-            changed_peers = self.caches.apply_delta(delta)
-        else:
-            # No caches to consult: fall back to the peers that have a
-            # view of some touched relation (a superset of the peers
-            # whose view content actually changed).
-            changed_peers = tuple(
-                sorted(
-                    {
-                        view.peer
-                        for relation in delta.changes
-                        for view in self.program.schema.views_of_relation(relation)
-                    }
-                )
-            )
-        visible_to = set(changed_peers)
+        visible_to = set(self._changed_peers(delta, self.caches))
         visible_to.add(event.peer)
         self.provenance.record(
             seq,
@@ -209,6 +198,55 @@ class HostedRun:
         for explainer in self._explainers.values():
             explainer.extend(event)
         return seq, delta
+
+    def _changed_peers(
+        self, delta: ViewDelta, caches: Optional[ViewCacheSet]
+    ) -> PyTuple[str, ...]:
+        if caches is not None:
+            return caches.apply_delta(delta)
+        # No caches to consult: fall back to the peers that have a
+        # view of some touched relation (a superset of the peers
+        # whose view content actually changed).
+        return tuple(
+            sorted(
+                {
+                    view.peer
+                    for relation in delta.changes
+                    for view in self.program.schema.views_of_relation(relation)
+                }
+            )
+        )
+
+    def provenance_log(self) -> ProvenanceLog:
+        """The run's provenance log, complete over its full history.
+
+        A run hosted over pre-existing events (recovery, rehydration, a
+        promoted replica) is missing the provenance of that prefix; the
+        first read replays the event history — through the same delta
+        and changed-peers computation :meth:`apply` records with — so
+        the rebuilt records equal what live recording would have
+        produced.  Span ids are the one exception: they capture which
+        tracing span covered the original application, which a replay
+        cannot recover, so a rebuilt log carries none.
+        """
+        if not self._provenance_complete:
+            log = ProvenanceLog(self.run_id)
+            instance = self.initial
+            caches = (
+                ViewCacheSet(self.program.schema, instance)
+                if self.caches is not None
+                else None
+            )
+            for seq, event in enumerate(self.events):
+                instance, delta = apply_event_with_delta(
+                    self.program.schema, instance, event, forbidden_fresh=None
+                )
+                visible_to = set(self._changed_peers(delta, caches))
+                visible_to.add(event.peer)
+                log.record(seq, event.rule.name, event.peer, delta, visible_to)
+            self.provenance = log
+            self._provenance_complete = True
+        return self.provenance
 
     def record_quarantine(self, event: Event, error: str, attempts: int) -> None:
         self.quarantined += 1
@@ -591,6 +629,30 @@ class ShardedRunRegistry:
             self._touch(run_id)
             self._maybe_evict(protect=run_id)
             return recovered
+
+    async def sync_all(self) -> int:
+        """Force a durability barrier on every resident run's store.
+
+        Returns how many runs were synced.  The ``shutdown`` op calls
+        this after draining the broker, so its response acknowledges a
+        fully-persisted service — the contract the cluster supervisor's
+        graceful restarts rely on.  A :class:`DiskFault` from an
+        injected failing fsync is absorbed: the unsynced tail is
+        exactly what such a disk is allowed to lose.
+        """
+        synced = 0
+        for shard in self._shards:
+            async with shard.lock:
+                for hosted in shard.runs.values():
+                    store = getattr(hosted.journal, "store", None)
+                    if store is None:
+                        continue
+                    try:
+                        store.sync()
+                        synced += 1
+                    except DiskFault:
+                        pass
+        return synced
 
     # ------------------------------------------------------------------
     # Eviction and rehydration

@@ -38,6 +38,8 @@ from ..workflow.serialization import (
 from .broker import EventBroker
 from .errors import ProtocolError, ServiceError, UnknownRunError, error_code
 from .protocol import (
+    MAX_LINE_BYTES,
+    LineReader,
     decode_line,
     encode_message,
     error_response,
@@ -74,6 +76,7 @@ class WorkflowService:
         max_resident: Optional[int] = None,
         disk_fault_plan: Optional[DiskFaultPlan] = None,
         compact_every: int = 4,
+        replicate_to: Optional[str] = None,
     ) -> None:
         self.program = program
         self.disk_fault_injector = (
@@ -92,6 +95,24 @@ class WorkflowService:
         elif storage is None and journal_dir is not None and durability is not None:
             storage = open_backend(f"file:{journal_dir}", durability=durability)
             journal_dir = None
+        self.replication = None
+        self._replica_stores: Dict[str, Any] = {}
+        if replicate_to is not None:
+            # Primary half of the cluster replication contract: every
+            # record this service appends locally is also shipped,
+            # FIFO, to the follower at *replicate_to* (docs/CLUSTER.md).
+            from ..cluster.replicate import ReplicatingBackend, ReplicationShipper
+
+            if journal_dir is not None:
+                storage = open_backend(f"file:{journal_dir}", durability=durability)
+                journal_dir = None
+            if storage is None:
+                raise ServiceError(
+                    "replication needs a storage backend "
+                    "(pass storage=, e.g. 'segment:DIR')"
+                )
+            self.replication = ReplicationShipper(replicate_to)
+            storage = ReplicatingBackend(storage, self.replication)
         self.registry = ShardedRunRegistry(
             program,
             shards=shards,
@@ -144,6 +165,16 @@ class WorkflowService:
         initial: Optional[Instance] = None
         if request.get("initial"):
             initial = instance_from_dict(self.program, request["initial"])
+        # A follower promoted to primary starts *hosting* runs it so far
+        # only replicated: hand the replica store handle back to the
+        # backend before the registry opens its own over the records.
+        replica = self._replica_stores.pop(request["run"], None)
+        if replica is not None:
+            try:
+                replica.sync()
+            except Exception:  # a failing-fsync replica: recovery re-reads
+                pass
+            replica.close()
         hosted, recovered = await self.registry.open(
             request["run"], initial=initial, recover=bool(request.get("recover", True))
         )
@@ -157,7 +188,9 @@ class WorkflowService:
 
     async def _op_submit(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         event = event_from_dict(self.program, request["event"])
-        outcome = await self.broker.submit(request["run"], event)
+        outcome = await self.broker.submit(
+            request["run"], event, expected_seq=request.get("seq")
+        )
         hosted = await self.registry.get(request["run"])
         response = ok_response(
             request_id,
@@ -168,6 +201,8 @@ class WorkflowService:
             recovered=outcome.recovered,
             version=hosted.view_version(event.peer),
         )
+        if outcome.deduped:
+            response["deduped"] = True
         if outcome.reason:
             response["reason"] = outcome.reason
         return response
@@ -209,7 +244,7 @@ class WorkflowService:
             applied=hosted.applied,
             scenario=scenario,
             rules=[hosted.events[i].rule.name for i in scenario],
-            provenance=hosted.provenance.citations(scenario),
+            provenance=hosted.provenance_log().citations(scenario),
         )
 
     async def _op_applicable(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
@@ -230,7 +265,7 @@ class WorkflowService:
         if request.get("run"):
             hosted = await self.registry.get(request["run"])
             return ok_response(request_id, run_stats=hosted.stats())
-        return ok_response(
+        response = ok_response(
             request_id,
             uptime_seconds=round(time.monotonic() - self.started_at, 3),
             requests=self.requests,
@@ -238,6 +273,9 @@ class WorkflowService:
             broker=self.broker.stats(),
             queries=EVAL_STATS.snapshot(),
         )
+        if self.replication is not None:
+            response["replication"] = self.replication.stats()
+        return response
 
     async def _op_metrics(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         return ok_response(
@@ -248,7 +286,7 @@ class WorkflowService:
 
     async def _op_provenance(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         hosted = await self.registry.get(request["run"])
-        log = hosted.provenance
+        log = hosted.provenance_log()
         response: Dict[str, Any] = {"run": hosted.run_id, "applied": hosted.applied}
         if request.get("relation"):
             seqs = log.events_touching(request["relation"], request.get("key"))
@@ -265,6 +303,38 @@ class WorkflowService:
             response["records"] = log.to_dicts()
         return ok_response(request_id, **response)
 
+    async def _op_replicate(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        """Follower half of journal replication: append shipped records.
+
+        Records land in this server's *storage backend* (not its
+        registry — replicated runs are not hosted here), so a promoted
+        follower recovers a dead primary's runs from its own store via
+        the ordinary ``open``-with-recovery path.  Replica appends go
+        to the unwrapped backend: replicated records are the other
+        shard's history and must not be re-shipped to *our* follower.
+        """
+        run_id = request["run"]
+        backend = self.registry.storage
+        backend = getattr(backend, "inner", backend)
+        store = self._replica_stores.get(run_id)
+        if request.get("count"):
+            if store is not None:
+                count = len(store.read()[0])
+            elif backend.exists(run_id):
+                count = len(backend.read_records(run_id)[0])
+            else:
+                count = 0
+            return ok_response(request_id, run=run_id, records=count)
+        if store is None:
+            store = backend.store(run_id)
+            self._replica_stores[run_id] = store
+        records = request["records"]
+        for record in records:
+            if not isinstance(record, dict):
+                raise ProtocolError("replicated records must be JSON objects")
+            store.append(record)
+        return ok_response(request_id, run=run_id, appended=len(records))
+
     async def _op_close(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         run_id = request["run"]
         await self.broker.quiesce(run_id)
@@ -273,8 +343,24 @@ class WorkflowService:
         return ok_response(request_id, run=run_id, applied=hosted.applied)
 
     async def _op_shutdown(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        """Drain, persist, *then* acknowledge.
+
+        The response is the durability barrier the cluster supervisor
+        relies on for graceful restarts: every mailbox is drained (all
+        enqueued events applied or resolved), every hosted run's
+        records are synced through the storage backend, and the
+        replication shipper (when present) has delivered its backlog —
+        so a shard restarted the moment this response arrives can never
+        race an acknowledged-but-unapplied event.
+        """
+        await self.broker.quiesce()
+        synced = await self.registry.sync_all()
+        if self.replication is not None:
+            await self.replication.drain()
         self.shutdown_requested.set()
-        return ok_response(request_id, shutting_down=True)
+        return ok_response(
+            request_id, shutting_down=True, drained=True, synced_runs=synced
+        )
 
     # ------------------------------------------------------------------
     # Teardown
@@ -294,17 +380,31 @@ class WorkflowService:
                 await self.registry.close(run_id, status="suspended")
             except UnknownRunError:  # pragma: no cover - racing close
                 pass
+        for store in self._replica_stores.values():
+            try:
+                store.sync()
+            except Exception:  # a failing-fsync replica store: best effort
+                pass
+            store.close()
+        self._replica_stores.clear()
+        if self.replication is not None:
+            await self.replication.aclose()
 
 
 class ServiceServer:
     """The asyncio TCP front end: one JSON line in, one JSON line out."""
 
     def __init__(
-        self, service: WorkflowService, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: WorkflowService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.max_line_bytes = max_line_bytes
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
@@ -316,17 +416,29 @@ class ServiceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        lines = LineReader(reader, self.max_line_bytes)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                line, oversized = await lines.readline()
+                if not line and not oversized:
                     break
-                try:
-                    message = decode_line(line)
-                except ProtocolError as exc:
-                    response = error_response(None, "protocol", str(exc))
+                if oversized:
+                    # The line was drained through its newline, so the
+                    # connection stays framed: reply with a structured
+                    # envelope instead of hanging up on the client.
+                    response = error_response(
+                        None,
+                        "protocol",
+                        f"request line exceeds {self.max_line_bytes} bytes "
+                        "and was discarded",
+                    )
                 else:
-                    response = await self.service.handle(message)
+                    try:
+                        message = decode_line(line)
+                    except ProtocolError as exc:
+                        response = error_response(None, "protocol", str(exc))
+                    else:
+                        response = await self.service.handle(message)
                 writer.write(encode_message(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover

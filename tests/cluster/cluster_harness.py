@@ -1,0 +1,47 @@
+"""Shared harness for the cluster suite: in-process shard fleets.
+
+The differential tests run *real* shard servers (full
+:class:`WorkflowService` + :class:`ServiceServer` stacks on ephemeral
+ports) behind a real router — only process boundaries are elided, so
+every wire byte is the production path.  Subprocess-based kill tests
+live in ``test_failover.py`` and build the real
+:class:`ShardSupervisor` instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+
+from repro.cluster import ClusterRouter, RouterServer
+from repro.service import ServiceServer, WorkflowService
+
+
+@asynccontextmanager
+async def in_process_cluster(program, shard_names, router_kwargs=None, **service_kwargs):
+    """``async with in_process_cluster(...) as (router_server, shards):``
+
+    Starts one full service stack per name in *shard_names* plus a
+    router front end; *shards* maps each name to its ``ServiceServer``.
+    """
+    shards = {}
+    servers = []
+    router_server = None
+    try:
+        for name in shard_names:
+            service = WorkflowService(program, **service_kwargs)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            shards[name] = server
+            servers.append(server)
+        router = ClusterRouter(
+            {name: (server.host, server.port) for name, server in shards.items()},
+            **(router_kwargs or {}),
+        )
+        router_server = RouterServer(router, port=0)
+        await router_server.start()
+        yield router_server, shards
+    finally:
+        if router_server is not None:
+            await router_server.aclose()
+        for server in servers:
+            await server.stop()

@@ -1,0 +1,196 @@
+"""Kill/failover tests with real shard worker processes.
+
+These spawn actual ``repro serve`` subprocesses through the
+:class:`ShardSupervisor`, SIGKILL them mid-run, and prove the two
+cluster-level guarantees end to end:
+
+* **no acknowledged event is lost** — the cluster load generator's
+  post-mortem audit reads every shard store back off disk and finds
+  every acked event, across both failover modes;
+* **semantics stay bit-identical** — after a follower promotion, views
+  and explains served by the cluster equal a single-process server fed
+  the same events, byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    RouterServer,
+    ShardSupervisor,
+    run_cluster_loadgen,
+)
+from repro.service import ServiceClient, ServiceServer, WorkflowService
+from repro.workflow import RunGenerator, program_to_text
+from repro.workflow.serialization import event_to_dict
+from repro.workloads.generators import churn_program
+
+pytestmark = pytest.mark.slow  # spawns real worker subprocesses
+
+
+async def start_cluster(tmp_path, failover, shard_count=2):
+    program = churn_program()
+    supervisor = ShardSupervisor(
+        program_to_text(program),
+        tmp_path / "cluster",
+        shard_count=shard_count,
+        failover=failover,
+        health_interval=0.1,
+    )
+    await supervisor.start()
+    router = ClusterRouter(supervisor.node_addresses(), supervisor=supervisor)
+    supervisor.attach_router(router)
+    server = RouterServer(router, port=0)
+    await server.start()
+    return program, supervisor, router, server
+
+
+async def stop_cluster(supervisor, server):
+    await server.aclose()
+    await supervisor.stop()
+
+
+async def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+def test_restart_failover_loses_nothing(tmp_path):
+    async def main():
+        program, supervisor, router, server = await start_cluster(
+            tmp_path, failover="restart"
+        )
+        try:
+            host, port = server.address
+            report = await run_cluster_loadgen(
+                program,
+                host,
+                port,
+                runs=6,
+                events_per_run=15,
+                seed=11,
+                kill_shards=1,
+            )
+            assert report.kills == 1
+            assert report.failovers >= 1 and report.restarts >= 1
+            assert report.audited_runs == 6
+            assert report.lost_events == 0 and report.audit_mismatches == 0
+            assert report.clean, report.to_dict()
+        finally:
+            await stop_cluster(supervisor, server)
+
+    asyncio.run(main())
+
+
+def test_promote_failover_loses_nothing(tmp_path):
+    async def main():
+        program, supervisor, router, server = await start_cluster(
+            tmp_path, failover="promote"
+        )
+        try:
+            host, port = server.address
+            report = await run_cluster_loadgen(
+                program,
+                host,
+                port,
+                runs=6,
+                events_per_run=15,
+                seed=23,
+                kill_shards=1,
+            )
+            assert report.kills == 1
+            assert report.promotions >= 1 and report.restarts == 0
+            assert report.audited_runs == 6
+            assert report.lost_events == 0 and report.audit_mismatches == 0
+            assert report.clean, report.to_dict()
+        finally:
+            await stop_cluster(supervisor, server)
+
+    asyncio.run(main())
+
+
+def test_views_bit_identical_after_promotion(tmp_path):
+    """Kill a run's primary mid-run; post-promotion responses must equal
+    a single-process server fed the identical event sequence."""
+
+    async def main():
+        program, supervisor, router, server = await start_cluster(
+            tmp_path, failover="promote"
+        )
+        try:
+            host, port = server.address
+            run_id = "pm-1"
+            events = list(RunGenerator(program, seed=41).random_run(12).events)
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.expect_ok(op="open", run=run_id)
+                for seq in range(6):
+                    await client.expect_ok(
+                        op="submit",
+                        run=run_id,
+                        event=event_to_dict(events[seq]),
+                        seq=seq,
+                    )
+                owner = router.owner(run_id)
+                assert await supervisor.kill_shard(owner)
+                await wait_for(
+                    lambda: supervisor.counters["promotions"] >= 1
+                )
+                # The router retries seq-keyed submits through failover.
+                for seq in range(6, len(events)):
+                    response = await client.expect_ok(
+                        op="submit",
+                        run=run_id,
+                        event=event_to_dict(events[seq]),
+                        seq=seq,
+                    )
+                    assert response["status"] == "applied"
+                    assert response["seq"] == seq
+                cluster_responses = []
+                for peer in program.schema.peers:
+                    cluster_responses.append(
+                        await client.expect_ok(op="view", run=run_id, peer=peer)
+                    )
+                    cluster_responses.append(
+                        await client.expect_ok(op="explain", run=run_id, peer=peer)
+                    )
+            finally:
+                await client.close()
+
+            # The single-process reference, same events, no cluster.
+            reference_responses = []
+            service = WorkflowService(program)
+            single = ServiceServer(service, port=0)
+            await single.start()
+            reference = await ServiceClient.connect(single.host, single.port)
+            try:
+                await reference.expect_ok(op="open", run=run_id)
+                for event in events:
+                    await reference.expect_ok(
+                        op="submit", run=run_id, event=event_to_dict(event)
+                    )
+                for peer in program.schema.peers:
+                    reference_responses.append(
+                        await reference.expect_ok(op="view", run=run_id, peer=peer)
+                    )
+                    reference_responses.append(
+                        await reference.expect_ok(
+                            op="explain", run=run_id, peer=peer
+                        )
+                    )
+            finally:
+                await reference.close()
+                await single.stop()
+
+            assert cluster_responses == reference_responses
+        finally:
+            await stop_cluster(supervisor, server)
+
+    asyncio.run(main())

@@ -1,0 +1,104 @@
+"""Unit tests of the consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing, RingError
+
+
+def keys(n: int) -> list:
+    return [f"load-0-{index}" for index in range(n)]
+
+
+class TestDeterminism:
+    def test_placement_is_stable_across_instances(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing(["shard-2", "shard-0", "shard-1"])  # insertion order differs
+        for key in keys(200):
+            assert a.owner(key) == b.owner(key)
+
+    def test_placement_independent_of_addressing(self):
+        # The ring never sees host:port — the same names place the same
+        # keys no matter where the shards actually live.
+        ring = HashRing(["shard-0", "shard-1"])
+        before = {key: ring.owner(key) for key in keys(100)}
+        again = HashRing(["shard-0", "shard-1"])
+        assert {key: again.owner(key) for key in keys(100)} == before
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(key) == "only" for key in keys(50))
+
+
+class TestBalance:
+    def test_distribution_is_roughly_uniform(self):
+        nodes = [f"shard-{i}" for i in range(4)]
+        ring = HashRing(nodes, vnodes=64)
+        counts = ring.distribution(keys(4000))
+        assert sum(counts.values()) == 4000
+        for node in nodes:
+            # With 64 vnodes per node the spread stays well inside 2x.
+            assert 4000 / 4 / 2 <= counts[node] <= 4000 / 4 * 2
+
+    def test_more_vnodes_tighten_balance(self):
+        nodes = [f"shard-{i}" for i in range(3)]
+        spread = {}
+        for vnodes in (1, 128):
+            counts = HashRing(nodes, vnodes=vnodes).distribution(keys(3000))
+            spread[vnodes] = max(counts.values()) - min(counts.values())
+        assert spread[128] <= spread[1]
+
+
+class TestMinimalMovement:
+    def test_adding_a_node_moves_only_its_share(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        before = {key: ring.owner(key) for key in keys(2000)}
+        ring.add_node("shard-3")
+        moved = sum(1 for key in keys(2000) if ring.owner(key) != before[key])
+        # Consistent hashing moves ~1/N of the keys; modulo hashing
+        # would reshuffle ~3/4 of them.
+        assert 0 < moved < 2000 / 2
+
+    def test_moved_keys_all_land_on_the_new_node(self):
+        ring = HashRing(["shard-0", "shard-1"])
+        before = {key: ring.owner(key) for key in keys(1000)}
+        ring.add_node("shard-2")
+        for key in keys(1000):
+            owner = ring.owner(key)
+            if owner != before[key]:
+                assert owner == "shard-2"
+
+    def test_remove_restores_prior_placement(self):
+        ring = HashRing(["shard-0", "shard-1"])
+        before = {key: ring.owner(key) for key in keys(500)}
+        ring.add_node("shard-2")
+        ring.remove_node("shard-2")
+        assert {key: ring.owner(key) for key in keys(500)} == before
+
+
+class TestMembershipErrors:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(RingError):
+            HashRing([])
+
+    def test_zero_vnodes_rejected(self):
+        with pytest.raises(RingError):
+            HashRing(["a"], vnodes=0)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(RingError):
+            HashRing(["a", "a"])
+
+    def test_cannot_remove_unknown_or_last(self):
+        ring = HashRing(["a"])
+        with pytest.raises(RingError):
+            ring.remove_node("b")
+        with pytest.raises(RingError):
+            ring.remove_node("a")
+
+    def test_membership_protocol(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ("a", "b")

@@ -354,3 +354,173 @@ class TestObservabilityOps:
         for citation in citations:
             assert citation["rule"] in {r for r in explain["rules"]}
             assert citation["touched"]
+
+
+class TestLineDiscipline:
+    """Malformed and oversized request lines get structured replies.
+
+    Neither may cost the client its connection: the server drains an
+    oversized line through its newline so the stream stays framed, and
+    a non-JSON line is answered with a ``protocol`` error envelope.
+    """
+
+    def run_small_line_scenario(self, scenario, max_line_bytes=512):
+        program = churn_program()
+
+        async def main():
+            service = WorkflowService(program)
+            server = ServiceServer(service, port=0, max_line_bytes=max_line_bytes)
+            await server.start()
+            try:
+                return await scenario(program, server)
+            finally:
+                await server.stop()
+
+        return asyncio.run(main())
+
+    def test_oversized_line_is_discarded_not_the_connection(self):
+        async def scenario(program, server):
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                writer.write(b'{"op": "ping", "pad": "' + b"x" * 2048 + b'"}\n')
+                await writer.drain()
+                response = decode_line(await reader.readline())
+                assert response["ok"] is False
+                assert response["error"] == "protocol"
+                assert "exceeds" in response["message"]
+                # The oversized line was drained through its newline:
+                # the same connection keeps serving.
+                writer.write(encode_message({"op": "ping", "id": 2}))
+                await writer.drain()
+                pong = decode_line(await reader.readline())
+                assert pong["ok"] and pong["id"] == 2
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        self.run_small_line_scenario(scenario)
+
+    def test_lines_up_to_the_cap_still_parse(self):
+        async def scenario(program, server):
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                overhead = len(encode_message({"op": "ping", "pad": ""}))
+                line = encode_message({"op": "ping", "pad": "x" * (512 - overhead)})
+                assert len(line) == 512
+                writer.write(line)
+                await writer.drain()
+                response = decode_line(await reader.readline())
+                assert response["ok"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        self.run_small_line_scenario(scenario)
+
+    def test_malformed_json_keeps_the_connection(self):
+        async def scenario(program, server):
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                for junk in (b"not json\n", b"[1, 2]\n", b"   \n"):
+                    writer.write(junk)
+                    await writer.drain()
+                    response = decode_line(await reader.readline())
+                    assert response["ok"] is False
+                    assert response["error"] == "protocol"
+                writer.write(encode_message({"op": "ping", "id": 9}))
+                await writer.drain()
+                pong = decode_line(await reader.readline())
+                assert pong["ok"] and pong["id"] == 9
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        self.run_small_line_scenario(scenario)
+
+
+class TestShutdownDrain:
+    """The shutdown response is a durability barrier, not a courtesy."""
+
+    def test_shutdown_persists_every_applied_event_before_acking(self, tmp_path):
+        from repro.runtime.checkpoint import fast_recover
+        from repro.storage import open_backend
+
+        program = churn_program()
+        events = list(RunGenerator(program, seed=9).random_run(8).events)
+
+        async def main():
+            service = WorkflowService(
+                program, storage=f"segment:{tmp_path / 'store'}", durability="flush"
+            )
+            server = ServiceServer(service, port=0)
+            await server.start()
+            serving = asyncio.create_task(server.serve_until_shutdown())
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="d-1")
+                for event in events:
+                    await client.expect_ok(
+                        op="submit", run="d-1", event=event_to_dict(event)
+                    )
+                response = await client.expect_ok(op="shutdown")
+                assert response["shutting_down"] is True
+                assert response["drained"] is True
+                assert response["synced_runs"] >= 1
+            finally:
+                await client.close()
+            await asyncio.wait_for(serving, timeout=5)
+
+        asyncio.run(main())
+        # Everything acknowledged before the shutdown ack is on disk.
+        backend = open_backend(f"segment:{tmp_path / 'store'}")
+        try:
+            records, warnings = backend.read_records("d-1")
+            assert not warnings
+            resumed = fast_recover(program, records)
+            assert [event_to_dict(e) for e in resumed.events] == [
+                event_to_dict(e) for e in events
+            ]
+        finally:
+            backend.close()
+
+
+class TestProvenanceSurvivesRecovery:
+    """Provenance answers are identical before and after recovery.
+
+    A recovered run rebuilds its provenance log by replay on first
+    read (:meth:`HostedRun.provenance_log`) — the cluster's promotion
+    path relies on this for bit-identical explains.
+    """
+
+    def test_provenance_op_identical_across_server_lives(self, tmp_path):
+        program = churn_program()
+        run = RunGenerator(program, seed=13).random_run(9)
+
+        async def life(expect_recovered):
+            service = WorkflowService(
+                program, storage=f"segment:{tmp_path / 'store'}"
+            )
+            server = ServiceServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                opened = await client.expect_ok(op="open", run="r")
+                assert opened["recovered"] is expect_recovered
+                if not expect_recovered:
+                    for event in run.events:
+                        await client.expect_ok(
+                            op="submit", run="r", event=event_to_dict(event)
+                        )
+                full = await client.expect_ok(op="provenance", run="r")
+                peer = program.schema.peers[0]
+                explain = await client.expect_ok(op="explain", run="r", peer=peer)
+            finally:
+                await client.close()
+                await server.stop()
+            return full["records"], explain
+
+        first_records, first_explain = asyncio.run(life(expect_recovered=False))
+        second_records, second_explain = asyncio.run(life(expect_recovered=True))
+        assert len(first_records) == len(run.events)
+        assert second_records == first_records
+        assert second_explain == first_explain

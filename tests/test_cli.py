@@ -522,3 +522,59 @@ class TestStorageCommands:
                 assert sum(r["type"] == "event" for r in records) == 6
         finally:
             backend.close()
+
+
+class TestStorageErrorPaths:
+    """compact/recover --storage diagnostics: wrong spec, empty store,
+    missing runs all get one-line errors and documented exit codes."""
+
+    def test_recover_unknown_backend_exits_two(self, program_file, capsys):
+        code = main(
+            ["recover", program_file, "--storage", "bogus:/tmp/x", "--run-id", "r"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown storage backend 'bogus'" in err
+
+    def test_compact_unknown_backend_exits_two(self, capsys):
+        code = main(["compact", "--storage", "carrier-pigeon:/tmp/x"])
+        assert code == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+
+    def test_recover_missing_store_dir_exits_two_without_creating_it(
+        self, program_file, tmp_path, capsys
+    ):
+        missing = tmp_path / "never-written"
+        code = main(
+            [
+                "recover", program_file,
+                "--storage", f"segment:{missing}",
+                "--run-id", "r1",
+            ]
+        )
+        assert code == 2
+        assert "no records for run 'r1'" in capsys.readouterr().err
+        # A read-only diagnostic must not conjure an empty store.
+        assert not missing.exists()
+
+    def test_compact_empty_store_is_a_clean_noop(self, tmp_path, capsys):
+        code = main(["compact", "--storage", f"segment:{tmp_path / 'empty'}"])
+        assert code == 0
+        assert "no runs to compact" in capsys.readouterr().out
+
+    def test_compact_missing_run_exits_two(self, tmp_path, capsys):
+        from repro.storage import open_backend
+        from repro.runtime.journal import begin_record
+        from repro.workflow import RunGenerator
+        from repro.workflow.parser import parse_program
+
+        spec = f"segment:{tmp_path / 'store'}"
+        program = parse_program(HIRING_TEXT)
+        run = RunGenerator(program, seed=1).random_run(1)
+        backend = open_backend(spec)
+        with backend.store("real") as store:
+            store.append(begin_record(run.initial))
+        backend.close()
+        code = main(["compact", "--storage", spec, "--run-id", "ghost"])
+        assert code == 2
+        assert "no records for run 'ghost'" in capsys.readouterr().err
