@@ -27,11 +27,20 @@ EVENTS_PER_RUN = 12
 CONCURRENCY = (1, 8, 64)
 
 
-def drive(cache_views: bool, runs: int, view_every: int = 3):
+def drive(
+    cache_views: bool,
+    runs: int,
+    view_every: int = 3,
+    clients: int = 1,
+    batch_size: int = 1,
+    events_per_run: int = EVENTS_PER_RUN,
+):
     """One loadgen session against a fresh in-process server."""
 
     async def main():
-        service = WorkflowService(churn_program(), cache_views=cache_views)
+        service = WorkflowService(
+            churn_program(), cache_views=cache_views, batch_size=batch_size
+        )
         server = ServiceServer(service, port=0)
         await server.start()
         try:
@@ -40,10 +49,12 @@ def drive(cache_views: bool, runs: int, view_every: int = 3):
                 server.host,
                 server.port,
                 runs=runs,
-                events_per_run=EVENTS_PER_RUN,
+                events_per_run=events_per_run,
                 seed=runs,
                 verify=False,
                 view_every=view_every,
+                clients=clients,
+                batch_size=batch_size,
             )
         finally:
             await server.stop()
@@ -88,6 +99,53 @@ def test_e14_table(benchmark):
     print_table(
         "E14: service throughput/latency (views cached vs from scratch)",
         ["runs", "views", "events", "events/s", "p50 ms", "p99 ms"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e14_batch_table(benchmark):
+    """Batched submission + drain: events/s at batch sizes 1, 8, 64.
+
+    ``batch_size`` sets both the client chunking (``submit_batch``)
+    and the broker's drain batching, so the column isolates how much
+    per-event wire + wakeup overhead batching amortizes away.  The
+    multi-client rows partition the runs over 4 connections instead of
+    one connection per run.
+    """
+    rows = []
+    for clients in (1, 4):
+        for batch in (1, 8, 64):
+            report = drive(
+                True,
+                runs=8,
+                view_every=0,
+                clients=clients,
+                batch_size=batch,
+                events_per_run=64,
+            )
+            assert report.clean
+            assert report.applied == 8 * 64
+            per_client = (
+                " ".join(
+                    f"{stats.events_per_second:.0f}"
+                    for stats in report.client_stats
+                )
+                or "-"
+            )
+            rows.append(
+                [
+                    clients,
+                    batch,
+                    report.applied,
+                    f"{report.events_per_second:.0f}",
+                    f"{report.p50_ms:.2f}",
+                    per_client,
+                ]
+            )
+    print_table(
+        "E14c: batched submission/drain (clients x batch size)",
+        ["clients", "batch", "events", "events/s", "p50 ms", "per-client ev/s"],
         rows,
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

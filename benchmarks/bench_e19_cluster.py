@@ -102,7 +102,7 @@ def _drive_single_process():
     return asyncio.run(main())
 
 
-def _drive_cluster(shard_count):
+def _drive_cluster(shard_count, clients=1, batch_size=1):
     async def main():
         async def body(server, supervisor, router):
             host, port = server.address
@@ -115,6 +115,8 @@ def _drive_cluster(shard_count):
                 seed=RUNS,
                 verify=False,
                 audit=False,
+                clients=clients,
+                batch_size=batch_size,
             )
 
         return await _with_cluster(shard_count, "restart", body, replicate=False)
@@ -166,6 +168,39 @@ def test_e19_scaleout_throughput(benchmark):
                 "events_per_second": round(report.base.events_per_second, 1),
                 "p50_ms": round(report.base.p50_ms, 3),
                 "p99_ms": round(report.base.p99_ms, 3),
+            }
+        )
+    # The client-count axis: the same top-end cluster driven through a
+    # fixed pool of 4 connections (runs partitioned round-robin), with
+    # and without chunked submit_batch submission, instead of one
+    # connection per run.
+    for clients, batch in ((4, 1), (4, 8)):
+        report = _drive_cluster(SHARD_COUNTS[-1], clients=clients, batch_size=batch)
+        assert report.clean
+        assert report.base.applied == RUNS * EVENTS_PER_RUN
+        rows.append(
+            [
+                f"{SHARD_COUNTS[-1]} shard(s), {clients} clients, batch {batch}",
+                report.base.applied,
+                f"{report.base.events_per_second:.0f}",
+                f"{report.base.p50_ms:.2f}",
+                f"{report.base.p99_ms:.2f}",
+            ]
+        )
+        json_rows.append(
+            {
+                "config": f"cluster-{SHARD_COUNTS[-1]}-c{clients}-b{batch}",
+                "shards": SHARD_COUNTS[-1],
+                "clients": clients,
+                "batch_size": batch,
+                "applied": report.base.applied,
+                "events_per_second": round(report.base.events_per_second, 1),
+                "p50_ms": round(report.base.p50_ms, 3),
+                "p99_ms": round(report.base.p99_ms, 3),
+                "per_client_events_per_second": [
+                    round(stats.events_per_second, 1)
+                    for stats in report.base.client_stats
+                ],
             }
         )
     print_table(

@@ -49,6 +49,7 @@ from .workflow import (
 )
 from .workflow.enumerate import enumerate_event_sequences
 from .workflow.lint import LintFinding, lint_program
+from .workflow.planner import query_backend, set_backend
 from .workflow.statespace import StateSpaceExplorer, fact_reachable
 
 # ----------------------------------------------------------------------
@@ -218,8 +219,10 @@ __all__ = [
     "parse_program",
     "parse_schema",
     "program_to_text",
+    "query_backend",
     "run_from_json",
     "run_to_json",
+    "set_backend",
     # runtime explanations
     "EventSubsequence",
     "Explanation",

@@ -376,6 +376,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         compact_every=args.compact_every,
         disk_fault_plan=_disk_fault_plan(args),
         replicate_to=args.replicate_to,
+        batch_size=args.batch_size,
     )
     server_kwargs = {}
     if args.max_line_bytes:
@@ -470,6 +471,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 kill_after_applied=args.kill_after,
                 audit=not args.no_audit,
                 shutdown=args.shutdown,
+                clients=args.clients,
+                batch_size=args.batch_size,
             )
         )
     else:
@@ -485,6 +488,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 view_every=args.view_every,
                 max_concurrency=args.max_concurrency,
                 shutdown=args.shutdown,
+                clients=args.clients,
+                batch_size=args.batch_size,
             )
         )
     if args.json:
@@ -639,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "'repro recover --journal-dir'")
     p_serve.add_argument("--queue-capacity", type=int, default=64,
                          help="per-run mailbox bound (backpressure threshold)")
+    p_serve.add_argument("--batch-size", type=int, default=1,
+                         help="events the broker's drain worker applies per "
+                              "wakeup (amortizes per-event overhead; "
+                              "per-event acks and journals are unchanged)")
     p_serve.add_argument("--snapshot-every", type=int, default=10,
                          help="journal snapshot period (events)")
     p_serve.add_argument("--no-cache-views", action="store_true",
@@ -719,6 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="interleave a view read every N events")
     p_load.add_argument("--max-concurrency", type=int, default=None,
                         help="cap on simultaneously active runs")
+    p_load.add_argument("--clients", type=int, default=1,
+                        help="open exactly N connections and partition the "
+                             "runs across them (reports per-client "
+                             "throughput); default is one connection per run")
+    p_load.add_argument("--batch-size", type=int, default=1,
+                        help="submit events in chunks of N through the "
+                             "submit_batch op instead of one submit per "
+                             "event")
     p_load.add_argument("--no-verify", action="store_true",
                         help="skip the client-side replay consistency check")
     p_load.add_argument("--shutdown", action="store_true",

@@ -168,6 +168,8 @@ async def run_cluster_loadgen(
     audit: bool = True,
     shutdown: bool = False,
     run_prefix: str = "cload",
+    clients: int = 1,
+    batch_size: int = 1,
 ) -> ClusterLoadReport:
     """Drive a live cluster through its router; optionally kill shards.
 
@@ -239,6 +241,8 @@ async def run_cluster_loadgen(
             shutdown=False,
             idempotent=True,
             progress=progress,
+            clients=clients,
+            batch_size=batch_size,
         )
     finally:
         if kill_task is not None:

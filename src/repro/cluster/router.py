@@ -216,7 +216,17 @@ class ClusterRouter:
         """Proxy a run-scoped request to its owner, retrying when safe."""
         run_id = message["run"]
         request_id = message.get("id")
-        retriable = op != "submit" or message.get("seq") is not None
+        if op == "submit":
+            retriable = message.get("seq") is not None
+        elif op == "submit_batch":
+            # A batch is replayable only when every entry carries its
+            # idempotency key (a keyless entry could double-apply).
+            retriable = all(
+                isinstance(entry, dict) and entry.get("seq") is not None
+                for entry in message.get("events", [])
+            )
+        else:
+            retriable = True
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.retry_timeout
         backoff = self.retry_backoff

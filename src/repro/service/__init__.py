@@ -33,7 +33,7 @@ from .errors import (
     ServiceError,
     UnknownRunError,
 )
-from .loadgen import LoadReport, RunOutcome, ServiceClient, run_loadgen
+from .loadgen import ClientStats, LoadReport, RunOutcome, ServiceClient, run_loadgen
 from .registry import HostedRun, ShardedRunRegistry
 from .server import ServiceServer, WorkflowService
 from .viewcache import CachedPeerView, ViewCacheSet
@@ -44,6 +44,7 @@ __all__ = [
     "DuplicateRunError",
     "EventBroker",
     "HostedRun",
+    "ClientStats",
     "LoadReport",
     "ProtocolError",
     "RunOutcome",

@@ -117,6 +117,10 @@ class SubmitOutcome:
     #: True when the event's ``expected_seq`` idempotency key showed it
     #: was already applied, so the ack was repeated without re-applying.
     deduped: bool = False
+    #: The acting peer's view version immediately after this event
+    #: applied — captured at commit time so batched drains report the
+    #: same per-event versions a one-at-a-time drain would.
+    version: Optional[int] = None
 
     @property
     def applied(self) -> bool:
@@ -146,11 +150,15 @@ class EventBroker:
         retry: Optional[RetryPolicy] = None,
         budget: Optional[Budget] = None,
         fault_plan: Optional[FaultPlan] = None,
+        batch_size: int = 1,
     ) -> None:
         if queue_capacity < 1:
             raise ServiceError("mailbox capacity must be at least 1")
+        if batch_size < 1:
+            raise ServiceError("batch size must be at least 1")
         self.registry = registry
         self.queue_capacity = queue_capacity
+        self.batch_size = batch_size
         self.retry = retry if retry is not None else RetryPolicy(initial_backoff=0.001)
         self.budget = budget
         self.fault_plan = fault_plan
@@ -214,6 +222,64 @@ class EventBroker:
         mailbox.queue.put_nowait((event, expected_seq, future))
         return await future
 
+    async def submit_many(
+        self, run_id: str, entries: "list[PyTuple[Event, Optional[int]]]"
+    ) -> "list[SubmitOutcome]":
+        """Submit several events to *run_id* in one enqueue; await them all.
+
+        *entries* holds ``(event, expected_seq)`` pairs; the returned
+        outcomes are positional.  Admission control runs per entry with
+        the same checks as :meth:`submit` — a rejected entry gets its
+        rejection outcome without being enqueued, and the rest of the
+        batch proceeds.  Because all entries enter the mailbox before
+        any is awaited, the drain worker can apply them as one batch
+        (``batch_size`` permitting); with sequential :meth:`submit`
+        calls the queue never grows past one.
+
+        One admission-time divergence from N sequential submits: the
+        budget is read when the batch is admitted, so a budget that
+        would exhaust mid-batch rejects later entries only at the next
+        batch.
+        """
+        if not entries:
+            return []
+        hosted = await self.registry.get(run_id)  # raises UnknownRunError
+        mailbox = self._mailbox(run_id)
+        outcomes: "list[Optional[SubmitOutcome]]" = []
+        pending: "list[PyTuple[int, asyncio.Future]]" = []
+        loop = asyncio.get_running_loop()
+        for event, expected_seq in entries:
+            if self.budget is not None and self.budget.exhausted():
+                self.counters[REJECTED_BUDGET] += 1
+                _SUBMISSIONS.labels(status=REJECTED_BUDGET).inc()
+                outcomes.append(
+                    SubmitOutcome(
+                        run_id,
+                        REJECTED_BUDGET,
+                        reason=self.budget.violation() or "budget exhausted",
+                    )
+                )
+                continue
+            hosted.submitted += 1
+            if mailbox.queue.qsize() >= self.queue_capacity:
+                self.counters[REJECTED_BACKPRESSURE] += 1
+                _SUBMISSIONS.labels(status=REJECTED_BACKPRESSURE).inc()
+                outcomes.append(
+                    SubmitOutcome(
+                        run_id,
+                        REJECTED_BACKPRESSURE,
+                        reason=f"mailbox full ({self.queue_capacity} events queued)",
+                    )
+                )
+                continue
+            future = loop.create_future()
+            mailbox.queue.put_nowait((event, expected_seq, future))
+            pending.append((len(outcomes), future))
+            outcomes.append(None)
+        for index, future in pending:
+            outcomes[index] = await future
+        return outcomes  # type: ignore[return-value]
+
     def queue_depth(self, run_id: str) -> int:
         mailbox = self._mailboxes.get(run_id)
         return mailbox.queue.qsize() if mailbox is not None else 0
@@ -234,37 +300,142 @@ class EventBroker:
 
     async def _drain(self, run_id: str, mailbox: _Mailbox) -> None:
         while True:
-            event, expected_seq, future = await mailbox.queue.get()
-            if future.cancelled():
+            items = [await mailbox.queue.get()]
+            while len(items) < self.batch_size:
+                try:
+                    items.append(mailbox.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            items = [item for item in items if not item[2].cancelled()]
+            if not items:
                 continue
-            mailbox.in_flight = 1
+            mailbox.in_flight = len(items)
             try:
-                outcome = await self._apply(run_id, event, expected_seq)
+                if len(items) == 1 or self._injector(run_id) is not None:
+                    # batch_size=1, or fault injection active: the
+                    # injector's per-submission crash/retry schedule
+                    # needs the one-event application loop.
+                    for item in items:
+                        await self._settle(run_id, *item)
+                else:
+                    await self._apply_batched(run_id, items)
             except asyncio.CancelledError:
                 # Worker cancelled mid-apply (run closed / shutdown):
-                # resolve the submitter instead of leaving it hanging.
-                if not future.done():
-                    future.set_exception(
-                        UnknownRunError(
-                            f"run {run_id!r} closed while its event was in flight"
+                # resolve every dequeued submitter instead of leaving
+                # them hanging (queued ones are failed by the canceller).
+                for _, _, future in items:
+                    if not future.done():
+                        future.set_exception(
+                            UnknownRunError(
+                                f"run {run_id!r} closed while its event "
+                                "was in flight"
+                            )
                         )
-                    )
                 raise
-            except UnknownRunError as exc:
-                future.set_exception(exc)
-                continue
-            except Exception as exc:  # defensive: never kill the worker silently
-                future.set_exception(exc)
-                continue
             finally:
                 mailbox.in_flight = 0
-            self.counters[outcome.status] = self.counters.get(outcome.status, 0) + 1
-            _SUBMISSIONS.labels(status=outcome.status).inc()
+
+    async def _settle(
+        self,
+        run_id: str,
+        event: Event,
+        expected_seq: Optional[int],
+        future: asyncio.Future,
+    ) -> None:
+        """Apply one dequeued submission and resolve its future."""
+        try:
+            outcome = await self._apply(run_id, event, expected_seq)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(
+                    UnknownRunError(
+                        f"run {run_id!r} closed while its event was in flight"
+                    )
+                )
+            raise
+        except UnknownRunError as exc:
+            future.set_exception(exc)
+            return
+        except Exception as exc:  # defensive: never kill the worker silently
+            future.set_exception(exc)
+            return
+        self.counters[outcome.status] = self.counters.get(outcome.status, 0) + 1
+        _SUBMISSIONS.labels(status=outcome.status).inc()
+        if self.budget is not None:
+            # Tick the service budget per applied event without
+            # raising out of the worker; admission sees the result.
+            self.budget.steps += 1
+        future.set_result(outcome)
+
+    async def _apply_batched(
+        self,
+        run_id: str,
+        items: "list[PyTuple[Event, Optional[int], asyncio.Future]]",
+    ) -> None:
+        """Apply a dequeued batch through :meth:`HostedRun.apply_batch`.
+
+        The fast path handles the clean case — fresh events, no faults:
+        the hosted run commits them in one amortized pass and every
+        future resolves ``applied`` with its sequential ack.  Anything
+        irregular (idempotent replays, seq gaps, a failing event, a
+        disk fault) falls back to the per-event path for the affected
+        suffix, which preserves the retry/quarantine/dedup semantics of
+        sequential draining exactly.
+        """
+        try:
+            hosted = await self.registry.get(run_id)
+        except UnknownRunError as exc:
+            for _, _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        base = hosted.applied
+        clean = all(
+            expected_seq is None or expected_seq == base + offset
+            for offset, (_, expected_seq, _) in enumerate(items)
+        )
+        if not clean:
+            for item in items:
+                await self._settle(run_id, *item)
+            return
+        try:
+            results = hosted.apply_batch([event for event, _, _ in items])
+        except asyncio.CancelledError:
+            raise
+        except DiskFault as exc:
+            self.counters["disk_faults"] += 1
+            _BROKER_DISK_FAULTS.inc()
+            results = list(getattr(exc, "batch_results", ()))
+        except Exception as exc:
+            # The committed prefix is acked below; the failing event
+            # re-derives its error (and its retry/quarantine verdict)
+            # in the per-event fallback.
+            results = list(getattr(exc, "batch_results", ()))
+        committed = hosted.applied - base
+        for offset in range(committed):
+            _, _, future = items[offset]
+            self.counters[APPLIED] += 1
+            _SUBMISSIONS.labels(status=APPLIED).inc()
             if self.budget is not None:
-                # Tick the service budget per applied event without
-                # raising out of the worker; admission sees the result.
                 self.budget.steps += 1
-            future.set_result(outcome)
+            if not future.done():
+                version = (
+                    results[offset][2] if offset < len(results) else None
+                )
+                future.set_result(
+                    SubmitOutcome(
+                        run_id,
+                        APPLIED,
+                        seq=base + offset,
+                        attempts=1,
+                        version=version,
+                    )
+                )
+        # The failing event (if any) and everything behind it re-enter
+        # the per-event loop against the committed prefix — the same
+        # state a sequential drain would retry them from.
+        for item in items[committed:]:
+            await self._settle(run_id, *item)
 
     def _injector(self, run_id: str) -> Optional[FaultInjector]:
         if self.fault_plan is None:
@@ -318,7 +489,12 @@ class EventBroker:
                     )
                 seq, _ = hosted.apply(event)
                 return SubmitOutcome(
-                    run_id, APPLIED, seq=seq, attempts=attempt, recovered=recovered
+                    run_id,
+                    APPLIED,
+                    seq=seq,
+                    attempts=attempt,
+                    recovered=recovered,
+                    version=hosted.view_version(event.peer),
                 )
             except CrashFault:
                 await self.registry.crash_and_recover(run_id)
@@ -433,6 +609,7 @@ class EventBroker:
     def stats(self) -> Dict[str, object]:
         return {
             "queue_capacity": self.queue_capacity,
+            "batch_size": self.batch_size,
             "active_mailboxes": len(self._mailboxes),
             "queued_events": sum(m.queue.qsize() for m in self._mailboxes.values()),
             **self.counters,

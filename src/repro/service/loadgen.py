@@ -41,7 +41,13 @@ from ..workflow.serialization import event_to_dict, instance_to_dict
 from .errors import ERROR_CODES, ServiceError
 from .protocol import PROTOCOL_VERSION, decode_line, encode_message
 
-__all__ = ["LoadReport", "RunOutcome", "ServiceClient", "run_loadgen"]
+__all__ = [
+    "ClientStats",
+    "LoadReport",
+    "RunOutcome",
+    "ServiceClient",
+    "run_loadgen",
+]
 
 
 class ServiceClient:
@@ -139,6 +145,29 @@ class RunOutcome:
 
 
 @dataclass
+class ClientStats:
+    """Per-connection throughput when driving with ``clients=N``."""
+
+    client: int
+    runs: int
+    applied: int
+    wall_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        return (self.applied / self.wall_seconds) if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "client": self.client,
+            "runs": self.runs,
+            "applied": self.applied,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_second": round(self.events_per_second, 1),
+        }
+
+
+@dataclass
 class LoadReport:
     """Aggregate results of one load-generation session."""
 
@@ -156,6 +185,12 @@ class LoadReport:
     p99_ms: float
     verified_views: int
     deduped: int = 0
+    #: How many client connections drove the traffic (1 = the legacy
+    #: connection-per-run mode) and how many events each submit request
+    #: carried (1 = plain ``submit``, >1 = ``submit_batch`` chunks).
+    clients: int = 1
+    batch_size: int = 1
+    client_stats: List[ClientStats] = field(default_factory=list)
     #: Per-run detail (not serialized); the cluster harness reads the
     #: acked event lists off these for its storage audit.
     outcomes: List[RunOutcome] = field(default_factory=list)
@@ -181,6 +216,9 @@ class LoadReport:
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "verified_views": self.verified_views,
+            "clients": self.clients,
+            "batch_size": self.batch_size,
+            "per_client": [stats.to_dict() for stats in self.client_stats],
             "clean": self.clean,
         }
 
@@ -229,45 +267,97 @@ async def _drive_run(
     close_run: bool,
     idempotent: bool = False,
     progress: Optional[Callable[[], None]] = None,
+    batch_size: int = 1,
+    client: Optional[ServiceClient] = None,
 ) -> RunOutcome:
     outcome = RunOutcome(run_id)
-    client = await ServiceClient.connect(host, port)
+    owned = client is None
+    if client is None:
+        client = await ServiceClient.connect(host, port)
+    expected_seq = 0
+
+    def _account(event: Event, result: Dict[str, Any]) -> str:
+        """Fold one per-event outcome into the run tally; returns status."""
+        nonlocal expected_seq
+        outcome.submitted += 1
+        if result.get("recovered"):
+            outcome.recoveries += 1
+        if result.get("deduped"):
+            outcome.deduped += 1
+        status = result.get("status")
+        if status == "applied":
+            if result.get("seq") != expected_seq:
+                outcome.ordering_violations += 1
+            expected_seq += 1
+            outcome.applied += 1
+            outcome.applied_events.append(event)
+            if progress is not None:
+                progress()
+        elif status == "quarantined":
+            outcome.quarantined += 1
+        else:
+            outcome.rejected += 1
+        return status or "rejected"
+
+    async def _submit_one(event: Event) -> str:
+        submit: Dict[str, Any] = {
+            "op": "submit",
+            "run": run_id,
+            "event": event_to_dict(event),
+        }
+        if idempotent:
+            # The seq idempotency key makes router retries (and our
+            # own unavailable retries) exactly-once across failover.
+            submit["seq"] = expected_seq
+        start = time.perf_counter()
+        response = await _expect_ok_retrying(client, idempotent, **submit)
+        outcome.latencies.append(time.perf_counter() - start)
+        return _account(event, response)
+
+    async def _submit_chunk(chunk: Sequence[Event]) -> None:
+        entries: List[Dict[str, Any]] = []
+        for offset, event in enumerate(chunk):
+            entry: Dict[str, Any] = {"event": event_to_dict(event)}
+            if idempotent:
+                entry["seq"] = expected_seq + offset
+            entries.append(entry)
+        start = time.perf_counter()
+        response = await _expect_ok_retrying(
+            client, idempotent, op="submit_batch", run=run_id, events=entries
+        )
+        outcome.latencies.append(time.perf_counter() - start)
+        results = response.get("results", [])
+        retry: List[Event] = []
+        for event, result in zip(chunk, results):
+            # A non-applied entry shifts every later precomputed seq
+            # key by one, so later entries of the chunk can bounce as
+            # gaps.  With idempotency keys it is safe to resubmit a
+            # rejected entry one at a time (an entry that actually
+            # landed is deduped, not double-applied), which restores
+            # exactly the single-submit per-event semantics; the
+            # resubmission supplies the authoritative tally.
+            if idempotent and result.get("status") not in (
+                "applied",
+                "quarantined",
+            ):
+                retry.append(event)
+                continue
+            _account(event, result)
+        for event in retry:
+            await _submit_one(event)
+
     try:
         await _expect_ok_retrying(client, idempotent, op="open", run=run_id)
-        applied_events = outcome.applied_events
-        expected_seq = 0
-        for position, event in enumerate(events):
-            submit: Dict[str, Any] = {
-                "op": "submit",
-                "run": run_id,
-                "event": event_to_dict(event),
-            }
-            if idempotent:
-                # The seq idempotency key makes router retries (and our
-                # own unavailable retries) exactly-once across failover.
-                submit["seq"] = expected_seq
-            start = time.perf_counter()
-            response = await _expect_ok_retrying(client, idempotent, **submit)
-            outcome.latencies.append(time.perf_counter() - start)
-            outcome.submitted += 1
-            status = response.get("status")
-            if response.get("recovered"):
-                outcome.recoveries += 1
-            if response.get("deduped"):
-                outcome.deduped += 1
-            if status == "applied":
-                if response.get("seq") != expected_seq:
-                    outcome.ordering_violations += 1
-                expected_seq += 1
-                outcome.applied += 1
-                applied_events.append(event)
-                if progress is not None:
-                    progress()
-            elif status == "quarantined":
-                outcome.quarantined += 1
+        position = 0
+        step = max(1, batch_size)
+        while position < len(events):
+            chunk = events[position : position + step]
+            if len(chunk) == 1:
+                await _submit_one(chunk[0])
             else:
-                outcome.rejected += 1
-            if view_every and (position + 1) % view_every == 0:
+                await _submit_chunk(chunk)
+            position += len(chunk)
+            if view_every and (position % view_every) < len(chunk):
                 await _expect_ok_retrying(
                     client,
                     idempotent,
@@ -277,7 +367,7 @@ async def _drive_run(
                 )
         if verify:
             replayed = execute(
-                program, applied_events, check_freshness=False
+                program, outcome.applied_events, check_freshness=False
             )
             for peer in program.schema.peers:
                 response = await _expect_ok_retrying(
@@ -293,7 +383,8 @@ async def _drive_run(
         if close_run:
             await _expect_ok_retrying(client, idempotent, op="close", run=run_id)
     finally:
-        await client.close()
+        if owned:
+            await client.close()
     return outcome
 
 
@@ -312,6 +403,8 @@ async def run_loadgen(
     shutdown: bool = False,
     idempotent: bool = False,
     progress: Optional[Callable[[], None]] = None,
+    clients: int = 1,
+    batch_size: int = 1,
 ) -> LoadReport:
     """Drive *runs* concurrent runs against a live server and report.
 
@@ -319,7 +412,19 @@ async def run_loadgen(
     sequence (seeded per run, so distinct runs exercise distinct
     trajectories).  ``view_every`` adds a read-your-writes view fetch
     every N events; ``shutdown`` sends a shutdown request at the end.
+
+    With ``clients=N`` (N > 1) the harness instead opens exactly N
+    connections and partitions the runs round-robin across them; each
+    client drives its runs sequentially over its one connection, and
+    the report carries per-client throughput in ``client_stats``.
+    With ``batch_size=B`` (B > 1) events are submitted in chunks of B
+    through the ``submit_batch`` op instead of one ``submit`` per
+    event; per-event acks and checks are unchanged.
     """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    if batch_size < 1:
+        raise ValueError("batch size must be at least 1")
     generated: List[PyTuple[str, List[Event]]] = []
     for index in range(runs):
         generator = RunGenerator(program, seed=seed * 10007 + index)
@@ -329,27 +434,82 @@ async def run_loadgen(
                 list(generator.random_run(events_per_run).events),
             )
         )
-    semaphore = asyncio.Semaphore(max_concurrency or runs)
 
-    async def bounded(run_id: str, events: List[Event]) -> RunOutcome:
-        async with semaphore:
-            return await _drive_run(
-                program,
-                host,
-                port,
-                run_id,
-                events,
-                verify,
-                view_every,
-                close_runs,
-                idempotent=idempotent,
-                progress=progress,
-            )
-
+    client_stats: List[ClientStats] = []
     started = time.perf_counter()
-    outcomes = await asyncio.gather(
-        *(bounded(run_id, events) for run_id, events in generated)
-    )
+    if clients == 1:
+        semaphore = asyncio.Semaphore(max_concurrency or runs)
+
+        async def bounded(run_id: str, events: List[Event]) -> RunOutcome:
+            async with semaphore:
+                return await _drive_run(
+                    program,
+                    host,
+                    port,
+                    run_id,
+                    events,
+                    verify,
+                    view_every,
+                    close_runs,
+                    idempotent=idempotent,
+                    progress=progress,
+                    batch_size=batch_size,
+                )
+
+        outcomes = list(
+            await asyncio.gather(
+                *(bounded(run_id, events) for run_id, events in generated)
+            )
+        )
+    else:
+        buckets: List[List[PyTuple[str, List[Event]]]] = [
+            generated[index::clients] for index in range(clients)
+        ]
+
+        async def drive_client(
+            index: int, bucket: List[PyTuple[str, List[Event]]]
+        ) -> PyTuple[ClientStats, List[RunOutcome]]:
+            connection = await ServiceClient.connect(host, port)
+            begun = time.perf_counter()
+            driven: List[RunOutcome] = []
+            try:
+                for run_id, events in bucket:
+                    driven.append(
+                        await _drive_run(
+                            program,
+                            host,
+                            port,
+                            run_id,
+                            events,
+                            verify,
+                            view_every,
+                            close_runs,
+                            idempotent=idempotent,
+                            progress=progress,
+                            batch_size=batch_size,
+                            client=connection,
+                        )
+                    )
+            finally:
+                await connection.close()
+            elapsed = time.perf_counter() - begun
+            stats = ClientStats(
+                client=index,
+                runs=len(bucket),
+                applied=sum(o.applied for o in driven),
+                wall_seconds=elapsed,
+            )
+            return stats, driven
+
+        driven_pairs = await asyncio.gather(
+            *(
+                drive_client(index, bucket)
+                for index, bucket in enumerate(buckets)
+                if bucket
+            )
+        )
+        outcomes = [outcome for _, driven in driven_pairs for outcome in driven]
+        client_stats = [stats for stats, _ in driven_pairs]
     wall = time.perf_counter() - started
     if shutdown:
         client = await ServiceClient.connect(host, port)
@@ -376,5 +536,8 @@ async def run_loadgen(
         p99_ms=_percentile(latencies, 0.99) * 1000.0,
         verified_views=(len(program.schema.peers) * runs) if verify else 0,
         deduped=sum(o.deduped for o in outcomes),
+        clients=clients,
+        batch_size=batch_size,
+        client_stats=client_stats,
         outcomes=list(outcomes),
     )

@@ -27,6 +27,16 @@ Operations
               re-applied, which makes retries through the cluster
               router exactly-once; a ``seq`` *ahead* of the run is a
               gap and is rejected.
+``submit_batch`` ``{"op": "submit_batch", "run": <id>, "events":
+              [{"event": {...}, "seq": n?}, ...]}`` — several events
+              for one run in a single request.  The server enqueues
+              them together, so the broker's drain worker can apply
+              them as one amortized batch; the response's ``results``
+              list carries one per-event outcome object (the same
+              fields as a ``submit`` response) in request order, and
+              per-event semantics — acks, journal records, provenance,
+              view versions — are identical to submitting them one at
+              a time.
 ``view``      ``{"op": "view", "run": <id>, "peer": p}`` — the peer's
               materialized view instance and its ``version``.
 ``explain``   ``{"op": "explain", "run": <id>, "peer": p,
@@ -109,8 +119,10 @@ __all__ = [
 #: ``protocol`` field on every response envelope.  Version 3 added the
 #: ``replicate`` op, the idempotent ``seq`` field on ``submit``, the
 #: drain-before-ack ``shutdown`` contract and structured error
-#: envelopes for oversized request lines.
-PROTOCOL_VERSION = 3
+#: envelopes for oversized request lines.  Version 4 added the
+#: ``submit_batch`` op (several events to one run in a single request,
+#: per-event outcomes in order).
+PROTOCOL_VERSION = 4
 
 #: Request lines longer than this are rejected with a structured
 #: ``protocol`` error envelope instead of dropping the connection.
@@ -120,6 +132,7 @@ MAX_LINE_BYTES = 1 << 20
 OPS = (
     "open",
     "submit",
+    "submit_batch",
     "view",
     "explain",
     "applicable",
@@ -137,6 +150,7 @@ _RUN_OPS = frozenset(
     {
         "open",
         "submit",
+        "submit_batch",
         "view",
         "explain",
         "applicable",
@@ -262,6 +276,25 @@ def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
             raise ProtocolError(
                 "the 'seq' idempotency key must be a non-negative integer"
             )
+    if op == "submit_batch":
+        events = message.get("events")
+        if not isinstance(events, list) or not events:
+            raise ProtocolError(
+                "op 'submit_batch' requires a non-empty 'events' list"
+            )
+        for entry in events:
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("event"), dict
+            ):
+                raise ProtocolError(
+                    "each 'submit_batch' entry must be an object with an "
+                    "'event' object"
+                )
+            seq = entry.get("seq")
+            if seq is not None and (not isinstance(seq, int) or seq < 0):
+                raise ProtocolError(
+                    "the 'seq' idempotency key must be a non-negative integer"
+                )
     if op == "replicate":
         records = message.get("records")
         if not message.get("count") and not isinstance(records, list):

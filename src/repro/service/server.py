@@ -77,6 +77,7 @@ class WorkflowService:
         disk_fault_plan: Optional[DiskFaultPlan] = None,
         compact_every: int = 4,
         replicate_to: Optional[str] = None,
+        batch_size: int = 1,
     ) -> None:
         self.program = program
         self.disk_fault_injector = (
@@ -129,6 +130,7 @@ class WorkflowService:
             retry=retry if retry is not None else RetryPolicy(initial_backoff=0.001),
             budget=budget,
             fault_plan=fault_plan,
+            batch_size=batch_size,
         )
         self.shutdown_requested = asyncio.Event()
         self.started_at = time.monotonic()
@@ -199,13 +201,49 @@ class WorkflowService:
             seq=outcome.seq,
             attempts=outcome.attempts,
             recovered=outcome.recovered,
-            version=hosted.view_version(event.peer),
+            version=(
+                outcome.version
+                if outcome.version is not None
+                else hosted.view_version(event.peer)
+            ),
         )
         if outcome.deduped:
             response["deduped"] = True
         if outcome.reason:
             response["reason"] = outcome.reason
         return response
+
+    async def _op_submit_batch(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        run_id = request["run"]
+        entries = [
+            (event_from_dict(self.program, entry["event"]), entry.get("seq"))
+            for entry in request["events"]
+        ]
+        outcomes = await self.broker.submit_many(run_id, entries)
+        hosted = await self.registry.get(run_id)
+        results = []
+        for (event, _), outcome in zip(entries, outcomes):
+            result: Dict[str, Any] = {
+                "status": outcome.status,
+                "seq": outcome.seq,
+                "attempts": outcome.attempts,
+                "recovered": outcome.recovered,
+                "version": (
+                    outcome.version
+                    if outcome.version is not None
+                    else hosted.view_version(event.peer)
+                ),
+            }
+            if outcome.deduped:
+                result["deduped"] = True
+            if outcome.reason:
+                result["reason"] = outcome.reason
+            results.append(result)
+        return ok_response(
+            request_id, run=run_id, applied=hosted.applied, results=results
+        )
 
     async def _op_view(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         peer = request["peer"]

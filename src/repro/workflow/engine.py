@@ -278,6 +278,50 @@ def apply_event_with_delta(
     return result, delta
 
 
+def apply_events(
+    schema: CollaborativeSchema,
+    instance: Instance,
+    events: Iterable[Event],
+    forbidden_fresh: Optional[FrozenSet[object]] = None,
+    check_body: bool = True,
+) -> "list[PyTuple[Instance, ViewDelta]]":
+    """Fold :func:`apply_event_with_delta` over *events* under one span.
+
+    Returns one ``(successor, delta)`` pair per event — ``pairs[i][0]``
+    is the instance after ``events[:i+1]`` — with the per-event tracing
+    span replaced by a single batch span (the budget checkpoint and the
+    engine metrics still tick per event, so cancellation stays
+    responsive and counters agree with a sequential fold).  Instances
+    are immutable, so the fold is pure: the caller commits the pairs —
+    or any prefix of them — wherever it keeps state.
+
+    On a failing event the same :class:`EventError` a sequential fold
+    would raise propagates, with the clean prefix attached as
+    ``exc.batch_prefix`` so callers can commit it before handling the
+    failure.
+    """
+    events = list(events)
+    pairs: "list[PyTuple[Instance, ViewDelta]]" = []
+    current = instance
+    with span("apply_events", count=len(events)):
+        for event in events:
+            ambient_checkpoint()
+            try:
+                result = _apply_event(
+                    schema, current, event, forbidden_fresh, check_body
+                )
+            except EventError as exc:
+                _EVENT_REJECTIONS.labels(error=type(exc).__name__).inc()
+                exc.batch_prefix = pairs
+                raise
+            _EVENTS_APPLIED.inc()
+            delta = event_delta(current, result, event)
+            _DELTA_KEYS.observe(sum(len(keys) for keys in delta.changes.values()))
+            pairs.append((result, delta))
+            current = result
+    return pairs
+
+
 def delta_visible_to(schema: CollaborativeSchema, peer: str, delta: ViewDelta) -> bool:
     """True iff the transition described by *delta* changes *peer*'s view.
 

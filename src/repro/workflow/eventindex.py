@@ -162,6 +162,38 @@ class ApplicableEventIndex:
                 if self._valuations[i] is not None and body_views & changed:
                     self._valuations[i] = None
 
+    def advance_many(
+        self, steps: Iterable[PyTuple[ViewDelta, Instance]]
+    ) -> None:
+        """Move the index past a batch of applied events, in place.
+
+        *steps* holds the ``(delta, successor)`` of each transition in
+        application order.  The view instances are patched once per
+        delta (they must be — each patch reads the previous view), but
+        the stale-rule invalidation sweep runs once over the union of
+        changed view names instead of once per event.  Invalidation is
+        monotone (entries only go stale), so the resulting cache state
+        equals a sequential :meth:`advance` fold exactly.
+        """
+        changed: Set[str] = set()
+        for delta, successor in steps:
+            EVAL_STATS.event_index_advances += 1
+            self.instance = successor
+            for peer in self._views:
+                refreshed = refresh_view_instance(
+                    self.schema, peer, self._views[peer], delta
+                )
+                if refreshed is not self._views[peer]:
+                    for relation in delta.changes:
+                        view = self.schema.view(relation, peer)
+                        if view is not None:
+                            changed.add(view.name)
+                    self._views[peer] = refreshed
+        if changed:
+            for i, body_views in enumerate(self._body_views):
+                if self._valuations[i] is not None and body_views & changed:
+                    self._valuations[i] = None
+
     def advanced(self, delta: ViewDelta, successor: Instance) -> "ApplicableEventIndex":
         """A derived index past one applied event; this one is untouched.
 

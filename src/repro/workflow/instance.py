@@ -51,10 +51,16 @@ class _RelationIndex:
             by_sig if by_sig is not None else {}
         )
 
-    def lookup(
-        self, positions: PyTuple[int, ...], values: PyTuple[object, ...]
-    ) -> PyTuple[Tuple, ...]:
-        """Tuples whose values at *positions* equal *values*, hashed."""
+    def signature(
+        self, positions: PyTuple[int, ...]
+    ) -> Dict[PyTuple, PyTuple[Tuple, ...]]:
+        """The materialized signature index for *positions* (built lazily).
+
+        Maps each occurring value combination at *positions* to the
+        matching tuples.  The compiled query backend fetches this dict
+        once per evaluation and probes it with plain ``dict.get`` calls
+        inlined in generated code.
+        """
         sig = self._by_sig.get(positions)
         if sig is None:
             grouped: Dict[PyTuple, List[Tuple]] = {}
@@ -66,6 +72,13 @@ class _RelationIndex:
             sig = {key: tuple(bucket) for key, bucket in grouped.items()}
             self._by_sig[positions] = sig
             EVAL_STATS.index_builds += 1
+        return sig
+
+    def lookup(
+        self, positions: PyTuple[int, ...], values: PyTuple[object, ...]
+    ) -> PyTuple[Tuple, ...]:
+        """Tuples whose values at *positions* equal *values*, hashed."""
+        sig = self.signature(positions)
         EVAL_STATS.index_hits += 1
         return sig.get(values, ())
 
@@ -265,11 +278,44 @@ class Instance:
         relation an update does not touch (and maintained incrementally
         for the one it does).
         """
+        return self._index(name).lookup(tuple(positions), tuple(values))
+
+    def _index(self, name: str) -> _RelationIndex:
         index = self._indexes.get(name)
         if index is None:
             index = _RelationIndex(self._data[name])
             self._indexes[name] = index
-        return index.lookup(tuple(positions), tuple(values))
+        return index
+
+    # ------------------------------------------------------------------
+    # Probe entry points for compiled query closures
+    # ------------------------------------------------------------------
+    #
+    # The compiled backend (repro.workflow.compiler) generates one
+    # specialized function per query plan whose prologue fetches these
+    # raw structures once; the unrolled join loops then probe them with
+    # plain dict operations, paying no per-probe method dispatch.
+
+    def rows(self, name: str) -> Mapping[object, Tuple]:
+        """The key → tuple mapping of relation *name* (treat as read-only).
+
+        Key probes (``rows.get(k)``), key membership (``k in rows``) and
+        full scans (``rows.values()``) on this mapping are exactly the
+        probes :meth:`tuple_with_key`, :meth:`has_key` and
+        :meth:`relation` answer — minus the call overhead.
+        """
+        return self._data[name]
+
+    def signature_index(
+        self, name: str, positions: Sequence[int]
+    ) -> Dict[PyTuple, PyTuple[Tuple, ...]]:
+        """The signature index of *name* on *positions*, built lazily.
+
+        Returns the raw ``values-at-positions → (tuples, ...)`` dict the
+        :meth:`tuples_matching` probe consults, so compiled code can
+        fetch it once per evaluation and probe with ``dict.get``.
+        """
+        return self._index(name).signature(tuple(positions))
 
     def is_empty(self) -> bool:
         return all(not tuples for tuples in self._data.values())

@@ -28,14 +28,19 @@ valuations are emitted may differ; the property suite in
 ``tests/workflow/test_planner_equivalence.py`` asserts multiset
 equality on random schemas, instances and queries.
 
-Set ``REPRO_NAIVE_QUERIES=1`` (or call :func:`set_planned` with False)
-to route :meth:`Query.valuations` through the naive evaluator instead;
-every caller is oblivious to the switch.
+Backend selection is process-wide: ``REPRO_QUERY_BACKEND`` picks
+``naive`` (declared-order scans), ``planned`` (this module's
+interpreter) or ``compiled`` (the default — :mod:`.compiler` turns each
+plan into a specialized closure); :func:`set_backend` switches at
+runtime and every caller of :meth:`Query.valuations` is oblivious.  The
+pre-backend toggles — ``REPRO_NAIVE_QUERIES=1`` and
+:func:`set_planned` — survive as deprecation shims.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 import weakref
 from time import perf_counter
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple as PyTuple
@@ -61,6 +66,8 @@ __all__ = [
     "evaluate",
     "plan_for",
     "label_query",
+    "query_backend",
+    "set_backend",
     "planned_enabled",
     "set_planned",
     "profile_rows",
@@ -70,25 +77,76 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# Global switch: planned by default, naive on request
+# Global switch: one of three backends, compiled by default
 # ----------------------------------------------------------------------
 
-_PLANNED = os.environ.get("REPRO_NAIVE_QUERIES", "").lower() not in (
-    "1",
-    "true",
-    "yes",
-)
+#: Valid values of ``REPRO_QUERY_BACKEND`` / :func:`set_backend`.
+BACKENDS: PyTuple[str, ...] = ("naive", "planned", "compiled")
+
+
+def _backend_from_env() -> str:
+    explicit = os.environ.get("REPRO_QUERY_BACKEND", "").strip().lower()
+    if explicit in BACKENDS:
+        return explicit
+    # Legacy escape hatch, honored only when the new variable is unset
+    # or unrecognized.
+    if os.environ.get("REPRO_NAIVE_QUERIES", "").lower() in ("1", "true", "yes"):
+        warnings.warn(
+            "REPRO_NAIVE_QUERIES is deprecated; set REPRO_QUERY_BACKEND=naive "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return "naive"
+    return "compiled"
+
+
+_BACKEND = _backend_from_env()
+
+
+def query_backend() -> str:
+    """The active evaluation backend: ``naive``, ``planned`` or ``compiled``."""
+    return _BACKEND
+
+
+def set_backend(name: str) -> str:
+    """Switch the process-wide backend; returns the previous one.
+
+    Accepts the values of :data:`BACKENDS`.  Tests and benchmarks use
+    the returned previous backend to restore state in a ``finally``.
+    """
+    global _BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown query backend {name!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    previous = _BACKEND
+    _BACKEND = name
+    return previous
 
 
 def planned_enabled() -> bool:
-    """True when :meth:`Query.valuations` routes through the planner."""
-    return _PLANNED
+    """True when :meth:`Query.valuations` avoids the naive evaluator.
+
+    Predates the three-way backend switch; kept because callers only
+    ever used it to mean "is the fast path on?".
+    """
+    return _BACKEND != "naive"
 
 
 def set_planned(flag: bool) -> None:
-    """Switch planned evaluation on or off process-wide (tests, benches)."""
-    global _PLANNED
-    _PLANNED = bool(flag)
+    """Deprecated pre-backend toggle; use :func:`set_backend` instead.
+
+    ``set_planned(True)`` selects the ``planned`` interpreter (not
+    ``compiled``) to preserve its historical meaning exactly.
+    """
+    warnings.warn(
+        "set_planned() is deprecated; use set_backend('planned'/'naive') "
+        "or REPRO_QUERY_BACKEND instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    set_backend("planned" if flag else "naive")
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +221,7 @@ class QueryPlan:
     ``emitted``, ``elapsed``) feeding the ``--profile-queries`` table.
     """
 
-    __slots__ = ("__weakref__", "query", "steps", "filters", "label", "describe", "evals", "candidates", "emitted", "elapsed")
+    __slots__ = ("__weakref__", "query", "steps", "filters", "label", "describe", "evals", "candidates", "emitted", "elapsed", "compiled", "compile_ns", "cache_hits")
 
     def __init__(self, query: Query) -> None:
         self.query = query
@@ -184,6 +242,10 @@ class QueryPlan:
         self.candidates = 0
         self.emitted = 0
         self.elapsed = 0.0
+        #: join-order tuple -> specialized closure (see repro.workflow.compiler)
+        self.compiled: Dict[PyTuple[int, ...], object] = {}
+        self.compile_ns = 0
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------
     # Ordering and filter scheduling (per instance)
@@ -349,6 +411,7 @@ def plan_for(query: Query) -> QueryPlan:
         EVAL_STATS.plans_compiled += 1
     else:
         EVAL_STATS.plan_cache_hits += 1
+        plan.cache_hits += 1
     return plan
 
 
@@ -368,11 +431,14 @@ def label_query(query: Query, label: str) -> None:
         plan.label = label
 
 
-def profile_rows() -> List[PyTuple[str, int, int, int, float, float]]:
-    """Per-plan hot-path rows: (label, evals, candidates, emitted, ms, µs/eval).
+def profile_rows() -> List[PyTuple[str, int, int, int, int, float, float, float, int]]:
+    """Per-plan hot-path rows, hottest (by elapsed time) first.
 
-    Sorted by total elapsed time, hottest first; plans that never ran
-    are omitted.
+    Each row is ``(label, evals, cache_hits, candidates, emitted,
+    total_ms, per_eval_us, compile_ms, closures)``: *cache_hits* counts
+    plan-cache hits for the rule (every eval past the first miss),
+    *compile_ms* / *closures* account for the compiled backend's code
+    generation.  Plans that never ran are omitted.
     """
     rows = []
     for plan in list(_PLAN_CACHE.values()):
@@ -383,8 +449,20 @@ def profile_rows() -> List[PyTuple[str, int, int, int, float, float]]:
             label = label[:45] + "..."
         total_ms = plan.elapsed * 1e3
         per_eval_us = plan.elapsed / plan.evals * 1e6
-        rows.append((label, plan.evals, plan.candidates, plan.emitted, total_ms, per_eval_us))
-    rows.sort(key=lambda row: row[4], reverse=True)
+        rows.append(
+            (
+                label,
+                plan.evals,
+                plan.cache_hits,
+                plan.candidates,
+                plan.emitted,
+                total_ms,
+                per_eval_us,
+                plan.compile_ns / 1e6,
+                len(plan.compiled),
+            )
+        )
+    rows.sort(key=lambda row: row[5], reverse=True)
     return rows
 
 
@@ -393,23 +471,46 @@ def render_profile(limit: int = 20) -> str:
     rows = profile_rows()
     if not rows:
         return ""
-    headers = ("rule / body", "evals", "candidates", "emitted", "total ms", "us/eval")
+    headers = (
+        "rule / body",
+        "evals",
+        "hits",
+        "candidates",
+        "emitted",
+        "total ms",
+        "us/eval",
+        "compile ms",
+        "closures",
+    )
     formatted = [
-        (label, str(evals), str(cand), str(emitted), f"{ms:.2f}", f"{us:.1f}")
-        for label, evals, cand, emitted, ms, us in rows[:limit]
+        (
+            label,
+            str(evals),
+            str(hits),
+            str(cand),
+            str(emitted),
+            f"{ms:.2f}",
+            f"{us:.1f}",
+            f"{compile_ms:.2f}",
+            str(closures),
+        )
+        for label, evals, hits, cand, emitted, ms, us, compile_ms, closures in rows[:limit]
     ]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in formatted))
         for i in range(len(headers))
     ]
-    lines = ["query hot path (hottest first)"]
+    lines = [f"query hot path (hottest first, backend={_BACKEND})"]
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in formatted:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
     stats = EVAL_STATS
     lines.append(
-        f"plans={stats.plans_compiled} cache_hits={stats.plan_cache_hits} "
+        f"backend={_BACKEND} plans={stats.plans_compiled} "
+        f"cache_hits={stats.plan_cache_hits} "
+        f"closures={stats.closures_compiled} "
+        f"compile_ms={stats.compile_ns / 1e6:.2f} "
         f"index_builds={stats.index_builds} index_hits={stats.index_hits} "
         f"scanned={stats.literals_scanned} emitted={stats.valuations_emitted}"
     )
@@ -417,9 +518,15 @@ def render_profile(limit: int = 20) -> str:
 
 
 def reset_profile() -> None:
-    """Zero every plan's counters (benchmarks isolate phases with this)."""
+    """Zero every plan's counters (benchmarks isolate phases with this).
+
+    Compiled closures are kept — they stay valid; only the accounting
+    resets.
+    """
     for plan in list(_PLAN_CACHE.values()):
         plan.evals = 0
         plan.candidates = 0
         plan.emitted = 0
         plan.elapsed = 0.0
+        plan.compile_ns = 0
+        plan.cache_hits = 0

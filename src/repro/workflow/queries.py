@@ -26,14 +26,33 @@ from .views import View
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class Var:
-    """A variable term."""
+class Var(tuple):
+    """A variable term.
 
-    name: str
+    A ``tuple`` subclass rather than a dataclass: valuations are dicts
+    keyed by variables, and on the evaluation hot paths (the planner's
+    unify steps, the compiled closures' emitted valuations) every dict
+    insertion hashes its key.  Tuple's C-level hash avoids a Python
+    ``__hash__`` frame per insertion — measurably the dominant cost of
+    emitting large valuation sets.  Equality and pickling follow the
+    wrapped 1-tuple; ``Var("x") == Var("x")`` and never equals a
+    :class:`Const`.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, name: str) -> "Var":
+        return tuple.__new__(cls, (name,))
+
+    def __getnewargs__(self) -> PyTuple[str, ...]:
+        return (self[0],)
+
+    @property
+    def name(self) -> str:
+        return self[0]
 
     def __repr__(self) -> str:
-        return self.name
+        return self[0]
 
 
 @dataclass(frozen=True)
@@ -291,16 +310,25 @@ class Query:
         """All valuations of the query's variables satisfying the body.
 
         *view_instance* is the peer's view instance ``I@p`` (its relations
-        are named ``R@p``).  By default evaluation routes through the
-        query planner (:mod:`repro.workflow.planner`): indexed candidate
-        fetches, selectivity-ordered joins and pushed-down filters.  The
-        result *set* is identical to :meth:`valuations_naive`; only the
-        emission order may differ.  ``REPRO_NAIVE_QUERIES=1`` (or
-        ``planner.set_planned(False)``) restores the naive path.
+        are named ``R@p``).  Evaluation routes through the process-wide
+        backend switch (``REPRO_QUERY_BACKEND`` /
+        :func:`~repro.workflow.planner.set_backend`): by default the
+        compiled backend (:mod:`repro.workflow.compiler`) runs a
+        specialized closure generated from the query's plan; ``planned``
+        selects the plan interpreter (indexed candidate fetches,
+        selectivity-ordered joins, pushed-down filters); ``naive``
+        restores the declared-order reference evaluator.  The result
+        *multiset* is identical across all three; only the emission
+        order may differ.
         """
         from . import planner  # deferred: planner imports this module
 
-        if planner.planned_enabled():
+        backend = planner.query_backend()
+        if backend == "compiled":
+            from . import compiler  # deferred: compiler imports this module
+
+            return compiler.evaluate(self, view_instance)
+        if backend == "planned":
             return planner.evaluate(self, view_instance)
         return self.valuations_naive(view_instance)
 

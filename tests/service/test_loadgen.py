@@ -79,3 +79,49 @@ class TestLoadgen:
         )
         assert report.clean
         assert report.applied == 60
+
+    def test_multi_client_batched_session_verifies(self):
+        """N connections + submit_batch chunks: same checks, same clean."""
+        program = churn_program()
+        report = drive(
+            program,
+            dict(batch_size=8),
+            dict(
+                runs=12,
+                events_per_run=10,
+                seed=5,
+                verify=True,
+                clients=3,
+                batch_size=4,
+            ),
+        )
+        assert report.clean
+        assert report.applied == report.submitted == 12 * 10
+        assert report.clients == 3 and report.batch_size == 4
+        assert len(report.client_stats) == 3
+        assert sum(stats.runs for stats in report.client_stats) == 12
+        assert sum(stats.applied for stats in report.client_stats) == 120
+        assert all(stats.events_per_second > 0 for stats in report.client_stats)
+        per_client = report.to_dict()["per_client"]
+        assert [c["client"] for c in per_client] == [0, 1, 2]
+
+    def test_batched_fault_injected_session_stays_consistent(self, tmp_path):
+        """Faults force the broker off the batched fast path; the report
+        must stay exactly as clean as the one-event-at-a-time drain."""
+        program = churn_program()
+        report = drive(
+            program,
+            dict(
+                journal_dir=tmp_path,
+                batch_size=4,
+                fault_plan=FaultPlan(
+                    seed=17, crash_rate=0.08, transient_rate=0.08, poison_rate=0.02
+                ),
+            ),
+            dict(runs=8, events_per_run=12, seed=6, verify=True, batch_size=4),
+        )
+        assert report.submitted == 8 * 12
+        assert report.applied + report.quarantined == report.submitted
+        assert report.ordering_violations == 0
+        assert report.consistency_violations == 0
+        assert report.clean

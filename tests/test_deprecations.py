@@ -95,3 +95,40 @@ class TestLintShims:
             warnings.simplefilter("error")
             new = lint_program(approval, max_depth=3)
         assert [f.category for f in old] == [f.category for f in new]
+
+
+class TestQueryBackendShims:
+    """The pre-backend-switch spellings still work for one release."""
+
+    def test_set_planned_warns_and_delegates(self):
+        from repro.workflow import planner
+
+        previous = planner.query_backend()
+        try:
+            with pytest.warns(DeprecationWarning, match="set_backend"):
+                planner.set_planned(False)
+            assert planner.query_backend() == "naive"
+            assert not planner.planned_enabled()
+            with pytest.warns(DeprecationWarning, match="set_backend"):
+                planner.set_planned(True)
+            assert planner.query_backend() == "planned"
+            assert planner.planned_enabled()
+        finally:
+            planner.set_backend(previous)
+
+    def test_naive_queries_env_warns_and_maps_to_naive(self, monkeypatch):
+        from repro.workflow import planner
+
+        monkeypatch.delenv("REPRO_QUERY_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_NAIVE_QUERIES", "1")
+        with pytest.warns(DeprecationWarning, match="REPRO_QUERY_BACKEND=naive"):
+            assert planner._backend_from_env() == "naive"
+
+    def test_explicit_backend_env_wins_without_warning(self, monkeypatch):
+        from repro.workflow import planner
+
+        monkeypatch.setenv("REPRO_QUERY_BACKEND", "planned")
+        monkeypatch.setenv("REPRO_NAIVE_QUERIES", "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert planner._backend_from_env() == "planned"

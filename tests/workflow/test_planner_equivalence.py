@@ -1,13 +1,16 @@
-"""Property tests: planned/indexed evaluation ≡ the naive evaluator.
+"""Property tests: compiled ≡ planned ≡ naive query evaluation.
 
 Random schemas, instances and FCQ¬ queries — including ``⊥``
 constants, positive and negative ``Key_R`` literals, =/≠ comparisons
 and repeated variables — must produce the *same multiset* of
-valuations under the planner (indexed fetches, reordered joins,
-pushed-down filters) as under the naive declared-order backtracking
-join.  A second pass mutates the instance through the persistent
-update methods and re-checks, which exercises the copy-on-write index
-maintenance on derived instances.
+valuations under all three backends: the naive declared-order
+backtracking join, the planner (indexed fetches, reordered joins,
+pushed-down filters), and the compiler (per-plan specialized Python
+closures).  A second pass mutates the instance through the persistent
+update methods and re-checks, which exercises both the copy-on-write
+index maintenance on derived instances and the per-join-order closure
+cache (cardinalities shift, so the greedy schedule — and hence the
+compiled closure — can change between checks).
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ from collections import Counter
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.workflow import planner
+from repro.workflow import compiler, planner
 from repro.workflow.domain import NULL
 from repro.workflow.errors import ChaseFailure, InvalidInstanceError
 from repro.workflow.instance import Instance
@@ -52,6 +55,10 @@ def naive_multiset(query, inst):
 
 def planned_multiset(query, inst):
     return Counter(canonical(v) for v in planner.evaluate(query, inst))
+
+
+def compiled_multiset(query, inst):
+    return Counter(canonical(v) for v in compiler.evaluate(query, inst))
 
 
 @st.composite
@@ -143,7 +150,9 @@ class TestPlannedEqualsNaive:
     @given(worlds())
     def test_same_valuation_multiset(self, world):
         inst, query, _ = world
-        assert planned_multiset(query, inst) == naive_multiset(query, inst)
+        expected = naive_multiset(query, inst)
+        assert planned_multiset(query, inst) == expected
+        assert compiled_multiset(query, inst) == expected
 
     @SETTINGS
     @given(worlds())
@@ -154,6 +163,7 @@ class TestPlannedEqualsNaive:
         # Materialize signature indexes on the base instance first so the
         # derived instances exercise the incremental with_changes path.
         planned_multiset(query, inst)
+        compiled_multiset(query, inst)
         for action, view, payload in mutations:
             try:
                 if action == "insert":
@@ -162,7 +172,9 @@ class TestPlannedEqualsNaive:
                     inst = inst.delete(view.name, payload)
             except (ChaseFailure, InvalidInstanceError):
                 continue
-            assert planned_multiset(query, inst) == naive_multiset(query, inst)
+            expected = naive_multiset(query, inst)
+            assert planned_multiset(query, inst) == expected
+            assert compiled_multiset(query, inst) == expected
 
     @SETTINGS
     @given(worlds())
@@ -195,16 +207,34 @@ class TestPlannedEqualsNaive:
         query = Query([RelLiteral(view, (Var("x"), Var("y")))])
         assert planner.plan_for(query) is planner.plan_for(query)
 
-    def test_set_planned_switches_the_default_path(self):
+    def test_set_backend_switches_the_default_path(self):
         view = View(Relation("R", ("K", "A")), "p", ("K", "A"))
         inst = Instance.from_tuples(
             Schema([view.view_relation]), {"R@p": [Tuple(("K", "A"), (1, 2))]}
         )
         query = Query([RelLiteral(view, (Var("x"), Var("y")))])
+        answers = {}
+        previous = planner.query_backend()
         try:
-            planner.set_planned(False)
-            naive = sorted(canonical(v) for v in query.valuations(inst))
+            for backend in planner.BACKENDS:
+                planner.set_backend(backend)
+                answers[backend] = sorted(
+                    canonical(v) for v in query.valuations(inst)
+                )
         finally:
-            planner.set_planned(True)
-        planned = sorted(canonical(v) for v in query.valuations(inst))
-        assert naive == planned
+            planner.set_backend(previous)
+        assert answers["naive"] == answers["planned"] == answers["compiled"]
+
+    def test_compiled_closure_is_cached_per_join_order(self):
+        view = View(Relation("R", ("K", "A")), "p", ("K", "A"))
+        inst = Instance.from_tuples(
+            Schema([view.view_relation]), {"R@p": [Tuple(("K", "A"), (1, 2))]}
+        )
+        query = Query([RelLiteral(view, (Var("x"), Var("y")))])
+        compiled_multiset(query, inst)
+        plan = planner.plan_for(query)
+        assert len(plan.compiled) == 1
+        [closure] = plan.compiled.values()
+        compiled_multiset(query, inst)
+        assert plan.compiled[next(iter(plan.compiled))] is closure
+        assert "def _q(inst):" in closure.__repro_source__

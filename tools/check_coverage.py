@@ -7,6 +7,10 @@ repo root:
 * ``parallel_floor`` — the ``repro.parallel`` package must stay at or
   above this line coverage (the differential-test layer's promise is
   only as good as its reach into the engine).
+* ``workflow_floor`` — the ``repro.workflow`` package (the engine, the
+  planner and the query compiler) must stay at or above this line
+  coverage; the compiled backend is only trustworthy to the extent the
+  equivalence suites actually reach its codegen paths.
 * ``total`` / ``allowed_total_drop`` — total line coverage may not fall
   more than ``allowed_total_drop`` percentage points below the recorded
   ``total``.  The recorded value only moves when someone runs
@@ -34,16 +38,19 @@ from pathlib import Path
 
 RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
 _PARALLEL = re.compile(r"(^|/)(src/)?(repro/)?parallel/[^/]+\.py$")
+_WORKFLOW = re.compile(r"(^|/)(src/)?(repro/)?workflow/[^/]+\.py$")
 
 
 def measure(xml_path: Path) -> dict:
-    """Total and repro.parallel line coverage (percent) from *xml_path*."""
+    """Total, repro.parallel and repro.workflow line coverage (percent)."""
     root = ET.parse(str(xml_path)).getroot()
     total_valid = total_covered = 0
     parallel_valid = parallel_covered = 0
+    workflow_valid = workflow_covered = 0
     for cls in root.iter("class"):
         filename = (cls.get("filename") or "").replace("\\", "/")
         in_parallel = bool(_PARALLEL.search(filename))
+        in_workflow = bool(_WORKFLOW.search(filename))
         for line in cls.iter("line"):
             total_valid += 1
             hit = int(line.get("hits", "0")) > 0
@@ -51,6 +58,9 @@ def measure(xml_path: Path) -> dict:
             if in_parallel:
                 parallel_valid += 1
                 parallel_covered += hit
+            if in_workflow:
+                workflow_valid += 1
+                workflow_covered += hit
     if total_valid == 0:
         raise SystemExit(f"error: no line data found in {xml_path}")
 
@@ -61,6 +71,8 @@ def measure(xml_path: Path) -> dict:
         "total": round(pct(total_covered, total_valid), 2),
         "parallel": round(pct(parallel_covered, parallel_valid), 2),
         "parallel_lines": parallel_valid,
+        "workflow": round(pct(workflow_covered, workflow_valid), 2),
+        "workflow_lines": workflow_valid,
     }
 
 
@@ -78,7 +90,9 @@ def main(argv: list[str] | None = None) -> int:
     measured = measure(args.report)
     print(
         f"coverage: total {measured['total']:.2f}% | repro.parallel "
-        f"{measured['parallel']:.2f}% over {measured['parallel_lines']} lines"
+        f"{measured['parallel']:.2f}% over {measured['parallel_lines']} lines "
+        f"| repro.workflow {measured['workflow']:.2f}% over "
+        f"{measured['workflow_lines']} lines"
     )
 
     if args.update:
@@ -95,6 +109,17 @@ def main(argv: list[str] | None = None) -> int:
             f"repro.parallel coverage {measured['parallel']:.2f}% is below the "
             f"{ratchet['parallel_floor']:.2f}% floor"
         )
+    workflow_floor = ratchet.get("workflow_floor")
+    if workflow_floor is not None:
+        if measured["workflow_lines"] == 0:
+            failures.append(
+                "no repro.workflow lines in the report (wrong --cov target?)"
+            )
+        elif measured["workflow"] < workflow_floor:
+            failures.append(
+                f"repro.workflow coverage {measured['workflow']:.2f}% is below "
+                f"the {workflow_floor:.2f}% floor"
+            )
     floor = ratchet["total"] - ratchet["allowed_total_drop"]
     if measured["total"] < floor:
         failures.append(
