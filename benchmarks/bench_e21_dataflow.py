@@ -1,0 +1,228 @@
+"""E21: the dataflow core — per-event cost scales with |delta|, not |instance|.
+
+One growth workload (a maker peer minting objects, an auditor stamping
+facts over them, an observer seeing the audit trail): the instance grows
+linearly with the events applied, so any derived artifact recomputed
+from scratch — per-peer view instances, rule-body valuations — costs
+O(|instance|) per event.  The :class:`~repro.dataflow.graph.DeltaGraph`
+claims O(|delta|): one fused observation pass per transition, patched
+views, maintained query results.
+
+The experiment builds instances of increasing size, then measures the
+per-event cost of advancing every derived artifact past the same tail
+of transitions two ways:
+
+* **scratch** — recompute each peer's view instance and each rule
+  body's valuations from the successor instance (what the pre-dataflow
+  consumers did, each on their own);
+* **incremental** — ``DeltaGraph.push`` with every peer's view
+  materialized and every rule body maintained.
+
+Identity is asserted before anything is timed: after the pushes the
+patched views and maintained valuations must equal the from-scratch
+recomputation bit for bit.  Two bars at the largest size (full runs):
+the incremental path must win ≥ 5×, and its per-event cost must stay
+flat — growing by at most a quarter of the scratch path's growth factor
+across the size sweep, the measured form of "|delta|, not |instance|".
+
+``BENCH_E21_SCALE=smoke`` shrinks the sizes for CI and keeps only a
+no-regression sanity bar.  The full run archives its measurements in
+``BENCH_E21.json`` at the repo root (the committed baseline).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import print_table
+from repro.dataflow import DeltaGraph
+from repro.workflow import RunGenerator, parse_program
+from repro.workflow.engine import apply_event_with_delta
+
+SMOKE = os.environ.get("BENCH_E21_SCALE", "").strip().lower() == "smoke"
+SIZES = (64, 256) if SMOKE else (128, 512, 2048)
+TAIL = 8 if SMOKE else 16  # measured transitions per size
+ATTEMPTS = 1 if SMOKE else 5  # best-of-N timing passes
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_E21.json"
+
+
+def growth_program():
+    """Insert-only churn: the instance grows with every applied event."""
+    return parse_program(
+        """
+        peers maker, auditor, observer
+        relation Obj(K)
+        relation Audit(K, obj)
+        view Obj@maker(K)
+        view Obj@auditor(K)
+        view Audit@auditor(K, obj)
+        view Audit@observer(K, obj)
+        [make]  +Obj@maker(x) :-
+        [audit] +Audit@auditor(a, x) :- Obj@auditor(x)
+        """
+    )
+
+
+def _world(size):
+    """The instance after *size* events plus the measured tail of deltas."""
+    program = growth_program()
+    schema = program.schema
+    run = RunGenerator(program, seed=21).random_run(size + TAIL)
+    instance = run.initial
+    tail = []
+    for position, (event, successor) in enumerate(zip(run.events, run.instances)):
+        _, delta = apply_event_with_delta(
+            schema, instance, event, forbidden_fresh=None, check_body=False
+        )
+        if position >= size:
+            tail.append((delta, successor))
+        else:
+            prefix_end = successor
+        instance = successor
+    prefix = run.initial if size == 0 else prefix_end
+    tuples = sum(
+        len(prefix.relation(name)) for name in schema.schema.relation_names
+    )
+    return program, prefix, tail, tuples
+
+
+def _scratch_pass(schema, rules, tail):
+    for _, successor in tail:
+        for peer in schema.peers:
+            schema.view_instance(successor, peer)
+        for rule in rules:
+            list(rule.body.valuations(schema.view_instance(successor, rule.peer)))
+
+
+def _primed_graph(program, prefix):
+    graph = DeltaGraph(program.schema, prefix)
+    for peer in program.schema.peers:
+        graph.snapshot(peer)
+    for rule in program.rules:
+        graph.maintain(rule.body, rule.peer, label=rule.name)
+    return graph
+
+
+def _assert_identity(program, prefix, tail):
+    """Pushed artifacts ≡ from-scratch recomputation (untimed)."""
+    schema = program.schema
+    graph = _primed_graph(program, prefix)
+    for delta, successor in tail:
+        graph.push(delta)
+        assert graph.snapshot() == successor
+    final = tail[-1][1]
+    for peer in schema.peers:
+        assert graph.snapshot(peer) == schema.view_instance(final, peer)
+    for rule in program.rules:
+        dataflow = graph.maintained()[rule.name]
+        expected = Counter(
+            tuple(valuation[var] for var in dataflow.var_order)
+            for valuation in rule.body.valuations(
+                schema.view_instance(final, rule.peer)
+            )
+        )
+        assert Counter(dict(dataflow.current())) == expected
+
+
+def test_e21_dataflow_scaling(benchmark):
+    rows = []
+    json_rows = []
+    scratch_per_event = []
+    incremental_per_event = []
+    for size in SIZES:
+        program, prefix, tail, tuples = _world(size)
+        schema, rules = program.schema, program.rules
+        _assert_identity(program, prefix, tail)
+
+        best_scratch = best_incremental = float("inf")
+        enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(ATTEMPTS):
+                started = time.perf_counter()
+                _scratch_pass(schema, rules, tail)
+                best_scratch = min(best_scratch, time.perf_counter() - started)
+
+                graph = _primed_graph(program, prefix)  # untimed setup
+                started = time.perf_counter()
+                for delta, _ in tail:
+                    graph.push(delta)
+                best_incremental = min(
+                    best_incremental, time.perf_counter() - started
+                )
+        finally:
+            if enabled:
+                gc.enable()
+
+        scratch_ms = best_scratch * 1e3 / TAIL
+        incremental_ms = best_incremental * 1e3 / TAIL
+        speedup = scratch_ms / incremental_ms
+        scratch_per_event.append(scratch_ms)
+        incremental_per_event.append(incremental_ms)
+        rows.append(
+            [
+                size,
+                tuples,
+                f"{scratch_ms:.3f}",
+                f"{incremental_ms:.3f}",
+                f"{speedup:.1f}x",
+            ]
+        )
+        json_rows.append(
+            {
+                "events_applied": size,
+                "instance_tuples": tuples,
+                "scratch_ms_per_event": round(scratch_ms, 4),
+                "incremental_ms_per_event": round(incremental_ms, 4),
+                "speedup": round(speedup, 2),
+            }
+        )
+    print_table(
+        "E21: derived-artifact maintenance per event "
+        "(from-scratch recompute vs DeltaGraph.push)",
+        ["events applied", "tuples", "scratch ms/ev", "dataflow ms/ev", "speedup"],
+        rows,
+    )
+
+    scratch_growth = scratch_per_event[-1] / scratch_per_event[0]
+    incremental_growth = incremental_per_event[-1] / incremental_per_event[0]
+    final_speedup = scratch_per_event[-1] / incremental_per_event[-1]
+    if SMOKE:
+        assert final_speedup > 0.8, (
+            "dataflow maintenance regressed against from-scratch recompute"
+        )
+    else:
+        assert final_speedup >= 5.0, (
+            f"dataflow maintenance only {final_speedup:.1f}x over from-scratch "
+            f"at the largest instance (acceptance bar is 5x)"
+        )
+        # The scaling claim itself: scratch grows with |instance| while
+        # the push cost tracks |delta|, which is constant here.
+        assert scratch_growth >= 4.0, (
+            f"workload failed to make from-scratch recompute scale "
+            f"(grew only {scratch_growth:.1f}x) — the comparison is vacuous"
+        )
+        assert incremental_growth <= scratch_growth / 4.0, (
+            f"per-event dataflow cost grew {incremental_growth:.1f}x across the "
+            f"sweep vs {scratch_growth:.1f}x from scratch — pushes are not "
+            f"scaling with |delta|"
+        )
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "E21",
+                    "sizes": json_rows,
+                    "scratch_growth": round(scratch_growth, 2),
+                    "incremental_growth": round(incremental_growth, 2),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -53,6 +53,19 @@ from .workflow.planner import query_backend, set_backend
 from .workflow.statespace import StateSpaceExplorer, fact_reachable
 
 # ----------------------------------------------------------------------
+# Incremental dataflow: the Z-set delta algebra behind derived state
+# ----------------------------------------------------------------------
+from .dataflow import (
+    Delta,
+    DeltaEffect,
+    DeltaGraph,
+    QueryDataflow,
+    ZSet,
+    delta_visible_to,
+    refresh_view_instance,
+)
+
+# ----------------------------------------------------------------------
 # Runtime explanations (Sections 3-4): scenarios and faithfulness
 # ----------------------------------------------------------------------
 from .core import (
@@ -223,6 +236,14 @@ __all__ = [
     "run_from_json",
     "run_to_json",
     "set_backend",
+    # incremental dataflow
+    "Delta",
+    "DeltaEffect",
+    "DeltaGraph",
+    "QueryDataflow",
+    "ZSet",
+    "delta_visible_to",
+    "refresh_view_instance",
     # runtime explanations
     "EventSubsequence",
     "Explanation",

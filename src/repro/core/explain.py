@@ -114,7 +114,8 @@ def run_provenance(run: Run) -> ProvenanceLog:
     ("event 3 inserted key k of R, visible to sue") can be grounded in
     the same structure either way.
     """
-    from ..workflow.engine import apply_event_with_delta, refresh_view_instance
+    from ..dataflow.delta import refresh_view_instance
+    from ..workflow.engine import apply_event_with_delta
 
     schema = run.program.schema
     log = ProvenanceLog()

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
-from ..deprecation import renamed_kwarg
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..runtime.budget import Budget, checkpoint
-from ..workflow.engine import apply_event_with_delta, refresh_view_instance
+from ..dataflow.delta import refresh_view_instance
+from ..workflow.engine import apply_event_with_delta
 from ..workflow.errors import BudgetExceeded, EventError
 from ..workflow.events import Event
 from ..workflow.instance import Instance
@@ -199,7 +199,6 @@ def minimum_scenario(
     max_depth: Optional[int] = None,
     budget: Optional[Budget] = None,
     *,
-    max_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
     """A minimum-length scenario of *run* at *peer* (exact, exponential).
@@ -217,14 +216,7 @@ def minimum_scenario(
     parallel cap portfolio: the returned scenario has the identical
     (optimal) size, though among equal-size optima the chosen index set
     may differ from the sequential search's.
-
-    .. deprecated:: 1.1
-       the *max_size* keyword; use *max_depth* (the shared search-limit
-       vocabulary: ``max_depth`` / ``max_states`` / ``budget``).
     """
-    max_depth = renamed_kwarg(
-        "minimum_scenario", "max_size", "max_depth", max_size, max_depth
-    )
     from ..parallel.config import resolve_workers
 
     if resolve_workers(workers) > 1:
@@ -252,17 +244,8 @@ def scenario_within(
     allowed: Iterable[int],
     max_depth: Optional[int] = None,
     budget: Optional[Budget] = None,
-    *,
-    max_size: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
-    """A scenario using only events at *allowed* positions, if one exists.
-
-    .. deprecated:: 1.1
-       the *max_size* keyword; use *max_depth*.
-    """
-    max_depth = renamed_kwarg(
-        "scenario_within", "max_size", "max_depth", max_size, max_depth
-    )
+    """A scenario using only events at *allowed* positions, if one exists."""
     best = _ScenarioSearch(
         run, peer, allowed=frozenset(allowed), max_depth=max_depth, budget=budget
     ).search()

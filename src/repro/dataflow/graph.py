@@ -1,0 +1,384 @@
+"""The per-run dataflow graph: one delta stream in, every derived
+artifact maintained.
+
+Before this module each derived artifact re-derived the same
+observations from the transition delta on its own: the view cache
+re-observed every touched key per peer, ``delta_visible_to`` observed
+them again per visibility question, the applicable-event index a third
+time per acting peer, and the provenance log walked the delta once
+more.  :class:`DeltaGraph` performs the observation pass **once** per
+transition — every touched key through every peer's view — and hands
+the resulting :class:`DeltaEffect` to all consumers:
+
+* subscribers registered with :meth:`DeltaGraph.subscribe` (the service
+  view caches, the provenance recorder, explainer fan-out);
+* the graph's own lazily-materialized per-peer view instances
+  (:meth:`snapshot`), patched copy-on-write via
+  :meth:`~repro.workflow.instance.Instance.replace_tuples`;
+* maintained query results (:meth:`maintain` wires a
+  :class:`~repro.dataflow.query.QueryDataflow` to one peer's lifted
+  delta stream).
+
+Per transition the cost is O(|delta| · #peers) plus O(|delta|) per
+consumer — never O(|instance|).  The differential suites in
+``tests/dataflow/test_graph.py`` hold every maintained artifact
+bit-identical to from-scratch recomputation after each event.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple as PyTuple,
+)
+
+from ..workflow.evalstats import EVAL_STATS
+from ..workflow.instance import Instance
+from ..workflow.queries import Query
+from ..workflow.views import CollaborativeSchema
+from .delta import Delta
+from .query import QueryDataflow
+from .zset import ZSet
+
+__all__ = ["DeltaEffect", "DeltaGraph"]
+
+
+class DeltaEffect:
+    """One transition's delta, observed through every peer's views.
+
+    The fused result of a :meth:`DeltaGraph.push`: the raw
+    :class:`~repro.dataflow.delta.Delta` plus, per peer, the touched
+    keys as that peer saw them before and after.  Exposes the same
+    ``changes`` / ``touched()`` / ``zset`` surface as ``Delta`` (it is
+    accepted anywhere a delta is), so consumers read the precomputed
+    observations instead of re-deriving them.
+    """
+
+    __slots__ = ("delta", "observed", "changed", "changed_peers", "context")
+
+    def __init__(
+        self,
+        delta: Delta,
+        observed: Dict[str, Dict[str, Dict[object, PyTuple]]],
+        changed: Dict[str, FrozenSet[str]],
+        changed_peers: PyTuple[str, ...],
+        context: Dict[str, object],
+    ) -> None:
+        self.delta = delta
+        #: peer -> view name -> key -> (seen before, seen after); covers
+        #: every peer the graph tracks that has a view of a touched
+        #: relation, whether or not anything it sees changed.
+        self.observed = observed
+        #: peer -> the view names whose content actually changed.
+        self.changed = changed
+        #: Peers whose view changed, in the graph's peer order.
+        self.changed_peers = changed_peers
+        #: Keyword context given to push() (seq, event, span id, ...).
+        self.context = context
+
+    # -- the Delta surface, delegated ----------------------------------
+
+    @property
+    def changes(self):
+        return self.delta.changes
+
+    @property
+    def chase_merged(self) -> bool:
+        return self.delta.chase_merged
+
+    def is_empty(self) -> bool:
+        return self.delta.is_empty()
+
+    def touched(self) -> PyTuple[PyTuple[str, object, str], ...]:
+        return self.delta.touched()
+
+    def zset(self, relation: str) -> ZSet:
+        return self.delta.zset(relation)
+
+    def zsets(self) -> Dict[str, ZSet]:
+        return self.delta.zsets()
+
+    # -- the per-peer observations -------------------------------------
+
+    def observed_for(self, peer: str) -> Optional[Dict[str, Dict[object, PyTuple]]]:
+        """*peer*'s observed changes, or None when the graph does not
+        track the peer (consumers then fall back to observing the raw
+        delta themselves)."""
+        return self.observed.get(peer)
+
+    def changed_views(self, peer: str) -> FrozenSet[str]:
+        """The view names whose content changed for *peer*."""
+        return self.changed.get(peer, frozenset())
+
+    def visible_to(self, peer: str) -> bool:
+        """True iff the transition changed *peer*'s view."""
+        if peer in self.observed:
+            return bool(self.changed.get(peer))
+        raise KeyError(f"peer {peer!r} is not tracked by this graph")
+
+    def view_zsets(self, peer: str) -> Dict[str, ZSet]:
+        """*peer*'s observed changes as per-view Z-sets — the delta
+        stream a maintained query over that peer's view consumes."""
+        out: Dict[str, ZSet] = {}
+        for view_name, keys in self.observed.get(peer, {}).items():
+            z = ZSet()
+            weights = z._weights
+            for seen_before, seen_after in keys.values():
+                if seen_before == seen_after:
+                    continue
+                if seen_before is not None:
+                    total = weights.get(seen_before, 0) - 1
+                    if total:
+                        weights[seen_before] = total
+                    else:
+                        weights.pop(seen_before, None)
+                if seen_after is not None:
+                    total = weights.get(seen_after, 0) + 1
+                    if total:
+                        weights[seen_after] = total
+                    else:
+                        weights.pop(seen_after, None)
+            if z:
+                out[view_name] = z
+        return out
+
+
+class DeltaGraph:
+    """One run's incremental dataflow: push deltas, read derived state.
+
+    Construct with the run's collaborative schema and its current global
+    instance; thereafter feed every transition's
+    :class:`~repro.dataflow.delta.Delta` through :meth:`push`.  The
+    graph maintains the global instance, any materialized per-peer view
+    instances and any :meth:`maintain`-ed query results in O(|delta|)
+    per push, and notifies subscribers with the fused
+    :class:`DeltaEffect`.
+    """
+
+    __slots__ = (
+        "schema",
+        "peers",
+        "instance",
+        "pushes",
+        "_subscribers",
+        "_views",
+        "_queries",
+        "_serial",
+    )
+
+    def __init__(
+        self,
+        schema: CollaborativeSchema,
+        instance: Instance,
+        peers: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.schema = schema
+        self.peers: PyTuple[str, ...] = (
+            tuple(peers) if peers is not None else tuple(schema.peers)
+        )
+        #: The maintained global instance (updated per push).
+        self.instance = instance
+        self.pushes = 0
+        self._subscribers: "Dict[str, Callable[[DeltaEffect], object]]" = {}
+        #: Materialized per-peer view instances, created on first
+        #: snapshot() and patched per push.
+        self._views: Dict[str, Instance] = {}
+        #: (label) -> (peer, QueryDataflow) maintained query results.
+        self._queries: Dict[str, PyTuple[str, QueryDataflow]] = {}
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        subscriber: "Callable[[DeltaEffect], object]",
+        name: Optional[str] = None,
+    ) -> str:
+        """Register *subscriber* to receive every pushed effect.
+
+        Subscribers are called synchronously, in subscription order,
+        after the graph's own state (views, maintained queries) has
+        advanced.  Returns the subscription name for
+        :meth:`unsubscribe`.
+        """
+        if name is None:
+            self._serial += 1
+            name = f"subscriber-{self._serial}"
+        self._subscribers[name] = subscriber
+        return name
+
+    def unsubscribe(self, name: str) -> bool:
+        """Drop a subscription; True when it existed."""
+        return self._subscribers.pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    # Pushing deltas
+    # ------------------------------------------------------------------
+
+    def push(self, delta: Delta, **context: object) -> DeltaEffect:
+        """Advance every derived artifact past one transition.
+
+        Computes the fused observation pass, patches the maintained
+        global instance and any materialized views, steps maintained
+        queries, then notifies subscribers.  Keyword arguments become
+        ``effect.context`` — the service passes ``seq``, ``event`` and
+        ``span_id`` through to its provenance subscriber this way.
+        """
+        started = perf_counter_ns()
+        effect = self._observe(delta, context)
+        changes = delta.changes
+        instance = self.instance
+        for relation, keys in changes.items():
+            instance = instance.replace_tuples(
+                relation, {key: after for key, (_, after) in keys.items()}
+            )
+        self.instance = instance
+        for peer in self._views:
+            observed = effect.observed.get(peer)
+            if not observed:
+                continue
+            view_instance = self._views[peer]
+            for view_name, keys in observed.items():
+                view_instance = view_instance.replace_tuples(
+                    view_name,
+                    {key: after for key, (_, after) in keys.items()},
+                )
+            self._views[peer] = view_instance
+        for peer, dataflow in self._queries.values():
+            dataflow.step(effect.view_zsets(peer))
+        for subscriber in list(self._subscribers.values()):
+            subscriber(effect)
+        self.pushes += 1
+        EVAL_STATS.dataflow_pushes += 1
+        EVAL_STATS.dataflow_ns += perf_counter_ns() - started
+        return effect
+
+    def _observe(self, delta: Delta, context: Dict[str, object]) -> DeltaEffect:
+        """The fused pass: every touched key through every peer's view."""
+        schema = self.schema
+        observed: Dict[str, Dict[str, Dict[object, PyTuple]]] = {
+            peer: {} for peer in self.peers
+        }
+        changed: Dict[str, set] = {}
+        for relation, keys in delta.changes.items():
+            for peer in self.peers:
+                view = schema.view(relation, peer)
+                if view is None:
+                    continue
+                out = observed[peer].setdefault(view.name, {})
+                for key, (before, after) in keys.items():
+                    seen_before = view.observe(before) if before is not None else None
+                    seen_after = view.observe(after) if after is not None else None
+                    out[key] = (seen_before, seen_after)
+                    if seen_before != seen_after:
+                        changed.setdefault(peer, set()).add(view.name)
+        return DeltaEffect(
+            delta,
+            observed,
+            {peer: frozenset(views) for peer, views in changed.items()},
+            tuple(peer for peer in self.peers if peer in changed),
+            context,
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def snapshot(self, peer: Optional[str] = None) -> Instance:
+        """The maintained instance: global, or ``I@p`` for *peer*.
+
+        A peer's view instance is materialized (O(|I|)) on first read
+        and patched in O(|delta|) on every later push.
+        """
+        if peer is None:
+            return self.instance
+        view_instance = self._views.get(peer)
+        if view_instance is None:
+            if peer not in self.peers:
+                raise KeyError(f"peer {peer!r} is not tracked by this graph")
+            view_instance = self.schema.view_instance(self.instance, peer)
+            self._views[peer] = view_instance
+        return view_instance
+
+    def maintain(self, query: Query, peer: str, label: Optional[str] = None) -> QueryDataflow:
+        """Maintain *query* over *peer*'s view incrementally.
+
+        The first call compiles the query (join order from the planner)
+        and primes it on the current snapshot — one from-scratch
+        evaluation; every later push advances the result in O(|delta|).
+        Returns the :class:`QueryDataflow` (idempotent per label).
+        """
+        if label is None:
+            label = f"{peer}:{id(query):x}"
+        entry = self._queries.get(label)
+        if entry is not None:
+            return entry[1]
+        dataflow = QueryDataflow(query, self.snapshot(peer))
+        self._queries[label] = (peer, dataflow)
+        return dataflow
+
+    def maintained(self) -> Dict[str, QueryDataflow]:
+        """The maintained queries by label."""
+        return {label: df for label, (_, df) in self._queries.items()}
+
+    # ------------------------------------------------------------------
+    # Delta-less transitions
+    # ------------------------------------------------------------------
+
+    def rebuild(self, instance: Instance) -> None:
+        """Reset to *instance* after a delta-less state change (recovery).
+
+        Materialized views are recomputed lazily on next read; maintained
+        queries are re-primed — both O(|I|), the unavoidable cost when no
+        delta exists.
+        """
+        self.instance = instance
+        self._views.clear()
+        rebuilt = {
+            label: (peer, QueryDataflow(df.query, self.snapshot(peer)))
+            for label, (peer, df) in self._queries.items()
+        }
+        self._queries = rebuilt
+
+    def advanced(self, delta: Delta) -> "DeltaGraph":
+        """A derived graph past *delta*; this one is untouched.
+
+        For branching searches: the clone shares the (immutable) global
+        and view instances copy-on-write.  Subscribers and maintained
+        queries are *not* carried over — they hold mutable state owned
+        by this graph's consumers.
+        """
+        clone = object.__new__(type(self))
+        clone.schema = self.schema
+        clone.peers = self.peers
+        clone.instance = self.instance
+        clone.pushes = self.pushes
+        clone._subscribers = {}
+        clone._views = dict(self._views)
+        clone._queries = {}
+        clone._serial = 0
+        clone.push(delta)
+        return clone
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "pushes": self.pushes,
+            "peers": len(self.peers),
+            "materialized_views": sorted(self._views),
+            "maintained_queries": sorted(self._queries),
+            "subscribers": sorted(self._subscribers),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaGraph(peers={len(self.peers)}, pushes={self.pushes}, "
+            f"views={sorted(self._views)}, queries={len(self._queries)})"
+        )

@@ -1,0 +1,312 @@
+"""Incremental maintenance of FCQ¬ query results from relation deltas.
+
+:class:`QueryDataflow` compiles one
+:class:`~repro.workflow.queries.Query` into a chain of incremental
+operators and thereafter maintains the query's satisfying valuations
+under Z-set deltas of the underlying view relations — per transition
+the work is O(|delta| · matches), never a re-evaluation.
+
+The compilation *reuses the planner* rather than re-deriving join
+orders: :func:`~repro.workflow.planner.plan_for` supplies the compiled
+literal steps and ``QueryPlan._schedule`` the greedy
+most-selective-first order plus the filter push-down schedule, exactly
+as the planned/compiled backends execute them.  Each positive literal
+becomes a :class:`~repro.dataflow.operators.DeltaJoin` of the prefix
+valuations against the literal's relation; each pushed-down negative
+literal becomes an :class:`~repro.dataflow.operators.AntiJoin` at the
+same depth the planner checks it; comparisons stay stateless filters.
+The chain is seeded with the unit valuation ``()`` and the initial
+instance contents as one big first delta, so priming costs one
+from-scratch evaluation and every later step is incremental.
+
+Because the query is *full* (every satisfying valuation determines the
+matching tuple of each positive literal uniquely), the maintained Z-set
+is provably a set — every weight is ``+1``; a trailing
+:class:`~repro.dataflow.operators.Distinct` guards the invariant.  The
+hypothesis suite in ``tests/dataflow/test_query.py`` checks the
+maintained multiset against ``Query.valuations`` from scratch after
+every random transition.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Callable, Dict, List, Mapping, Optional, Tuple as PyTuple
+
+from ..workflow.evalstats import EVAL_STATS
+from ..workflow.instance import Instance
+from ..workflow.planner import _KeyStep, _RelStep, plan_for
+from ..workflow.queries import (
+    Comparison,
+    Const,
+    KeyLiteral,
+    Literal,
+    Query,
+    RelLiteral,
+    Var,
+    _unify,
+    term_value,
+)
+from .operators import AntiJoin, DeltaJoin, Distinct
+from .zset import ZSet
+
+__all__ = ["QueryDataflow"]
+
+
+def _rel_adapter(step: "_RelStep") -> PyTuple[Callable[[ZSet], ZSet], List[Var]]:
+    """The per-literal input stage: relation-tuple deltas → step-local
+    valuation deltas.
+
+    Unifies each tuple against the literal's terms (constants, repeated
+    variables and ⊥ handled by the same :func:`_unify` the evaluators
+    use); tuples that do not match are dropped.  Returns the adapter and
+    the step's local variable order.  The mapping is injective on
+    matching tuples — every position is a constant or a recorded
+    variable — so weights pass through unchanged.
+    """
+    local_vars: List[Var] = []
+    for _, var in step.var_items:
+        if var not in local_vars:
+            local_vars.append(var)
+    terms = step.terms
+
+    def adapt(delta: ZSet) -> ZSet:
+        out = ZSet()
+        weights = out._weights
+        for record, weight in delta:
+            valuation: Optional[Dict[Var, object]] = {}
+            for term, value in zip(terms, record.values):
+                valuation = _unify(term, value, valuation)
+                if valuation is None:
+                    break
+            if valuation is None:
+                continue
+            local = tuple(valuation[v] for v in local_vars)
+            total = weights.get(local, 0) + weight
+            if total:
+                weights[local] = total
+            else:
+                weights.pop(local, None)
+        return out
+
+    return adapt, local_vars
+
+
+def _key_adapter(step: "_KeyStep") -> PyTuple[Callable[[ZSet], ZSet], List[Var]]:
+    """Input stage for a key literal: tuple deltas → key-valuation deltas.
+
+    Maps each tuple to its key, so an update that keeps the key nets to
+    zero; keys are unique per relation, so weights never exceed ±1.
+    """
+    term = step.term
+
+    def adapt(delta: ZSet) -> ZSet:
+        out = ZSet()
+        weights = out._weights
+        for record, weight in delta:
+            valuation = _unify(term, record.key, {})
+            if valuation is None:
+                continue
+            local = tuple(valuation[v] for v in local_vars)
+            total = weights.get(local, 0) + weight
+            if total:
+                weights[local] = total
+            else:
+                weights.pop(local, None)
+        return out
+
+    local_vars = [term] if isinstance(term, Var) else []
+    return adapt, local_vars
+
+
+class _JoinStage:
+    """One positive literal: adapter + delta join against the prefix."""
+
+    __slots__ = ("name", "adapt", "join", "new_vars")
+
+    def __init__(
+        self,
+        name: str,
+        adapt: Callable[[ZSet], ZSet],
+        local_vars: List[Var],
+        bound: List[Var],
+    ) -> None:
+        self.name = name
+        self.adapt = adapt
+        shared = [v for v in local_vars if v in bound]
+        self.new_vars = [v for v in local_vars if v not in bound]
+        bound_index = {v: i for i, v in enumerate(bound)}
+        left_positions = tuple(bound_index[v] for v in shared)
+        local_index = {v: i for i, v in enumerate(local_vars)}
+        right_shared = tuple(local_index[v] for v in shared)
+        right_new = tuple(local_index[v] for v in self.new_vars)
+        self.join = DeltaJoin(
+            left_key=lambda prefix: tuple(prefix[i] for i in left_positions),
+            right_key=lambda local: tuple(local[i] for i in right_shared),
+            combine=lambda prefix, local: prefix
+            + tuple(local[i] for i in right_new),
+        )
+
+    def step(self, prefix_delta: ZSet, relation_delta: ZSet) -> ZSet:
+        return self.join.step(prefix_delta, self.adapt(relation_delta))
+
+
+class _NegativeStage:
+    """One pushed-down negative literal: anti-join against its relation.
+
+    The left key grounds the literal under the prefix valuation; the
+    right key is the stored tuple's values (or its key, for a key
+    literal) — equality of the two is exactly the membership probe
+    ``_filter_holds`` performs, including ⊥ (a singleton, so plain
+    equality agrees with unification) and never-stored null keys.
+    """
+
+    __slots__ = ("name", "anti", "keys_only")
+
+    def __init__(self, literal: Literal, bound: List[Var]) -> None:
+        self.name = literal.view.name
+        bound_index = {v: i for i, v in enumerate(bound)}
+        if isinstance(literal, KeyLiteral):
+            self.keys_only = True
+            term = literal.term
+            if isinstance(term, Const):
+                value = term.value
+                left_key = lambda prefix: value  # noqa: E731
+            else:
+                position = bound_index[term]
+                left_key = lambda prefix: prefix[position]  # noqa: E731
+            right_key = lambda record: record.key  # noqa: E731
+        else:
+            self.keys_only = False
+            extractors = []
+            for term in literal.terms:
+                if isinstance(term, Const):
+                    extractors.append((None, term.value))
+                else:
+                    extractors.append((bound_index[term], None))
+
+            def left_key(prefix, _extract=tuple(extractors)):
+                return tuple(
+                    value if position is None else prefix[position]
+                    for position, value in _extract
+                )
+
+            right_key = lambda record: record.values  # noqa: E731
+        self.anti = AntiJoin(left_key=left_key, right_key=right_key)
+
+    def step(self, prefix_delta: ZSet, relation_delta: ZSet) -> ZSet:
+        return self.anti.step(prefix_delta, relation_delta)
+
+
+def _comparison_filter(
+    comparison: Comparison, bound: List[Var]
+) -> Callable[[PyTuple[object, ...]], bool]:
+    bound_index = {v: i for i, v in enumerate(bound)}
+
+    def holds(prefix: PyTuple[object, ...]) -> bool:
+        valuation = {
+            var: prefix[bound_index[var]] for var in comparison.variables()
+        }
+        return comparison.holds(valuation)
+
+    return holds
+
+
+class QueryDataflow:
+    """A query compiled to an incremental operator chain.
+
+    Built from a query and the instance it starts on; thereafter
+    :meth:`step` consumes per-relation Z-set deltas (keyed by *view*
+    name, the relations the query's literals range over) and returns the
+    delta of the satisfying-valuation Z-set.  :meth:`current` is the
+    maintained result; :meth:`valuations` renders it in the evaluators'
+    dict shape.
+    """
+
+    __slots__ = ("query", "var_order", "_stages", "_distinct", "_relations")
+
+    def __init__(self, query: Query, instance: Instance) -> None:
+        self.query = query
+        plan = plan_for(query)
+        ordered, schedule = plan._schedule(instance)
+        bound: List[Var] = []
+        #: per depth: the join stage (None at depth 0) then the filters.
+        stages: List[PyTuple[Optional[_JoinStage], List[object]]] = []
+        for depth in range(len(ordered) + 1):
+            join: Optional[_JoinStage] = None
+            if depth > 0:
+                step = ordered[depth - 1]
+                if isinstance(step, _RelStep):
+                    adapt, local_vars = _rel_adapter(step)
+                else:
+                    adapt, local_vars = _key_adapter(step)
+                join = _JoinStage(step.name, adapt, local_vars, bound)
+                bound.extend(join.new_vars)
+            filters: List[object] = []
+            for flt in schedule[depth]:
+                if isinstance(flt, Comparison):
+                    filters.append(_comparison_filter(flt, bound))
+                else:
+                    filters.append(_NegativeStage(flt, bound))
+            stages.append((join, filters))
+        self.var_order: PyTuple[Var, ...] = tuple(bound)
+        self._stages = stages
+        self._distinct = Distinct()  # guards the all-weights-one invariant
+        self._relations = frozenset(
+            stage.name
+            for join, filters in stages
+            for stage in ([join] if join is not None else []) + filters
+            if not callable(stage)
+        )
+        # Prime: the unit valuation plus the instance contents, as one
+        # first delta.  Costs one from-scratch evaluation.
+        initial = {
+            name: ZSet.of(instance.relation(name)) for name in self._relations
+        }
+        self.step(initial, _unit=ZSet.singleton(()))
+
+    def relations(self) -> PyTuple[str, ...]:
+        """The (view-named) relations whose deltas this query consumes."""
+        return tuple(sorted(self._relations))
+
+    def step(
+        self,
+        changes: Mapping[str, ZSet],
+        _unit: Optional[ZSet] = None,
+    ) -> ZSet:
+        """Advance by one transition; returns the result delta.
+
+        *changes* maps view names to relation deltas; missing names mean
+        no change.  O(|delta| · matches) through the whole chain.
+        """
+        started = perf_counter_ns()
+        empty = ZSet()
+        prefix_delta = _unit if _unit is not None else empty
+        for join, filters in self._stages:
+            if join is not None:
+                prefix_delta = join.step(
+                    prefix_delta, changes.get(join.name, empty)
+                )
+            for flt in filters:
+                if callable(flt):
+                    prefix_delta = prefix_delta.filter(flt)
+                else:
+                    prefix_delta = flt.step(
+                        prefix_delta, changes.get(flt.name, empty)
+                    )
+        out = self._distinct.step(prefix_delta)
+        EVAL_STATS.dataflow_query_steps += 1
+        EVAL_STATS.dataflow_query_ns += perf_counter_ns() - started
+        return out
+
+    def current(self) -> ZSet:
+        """The maintained Z-set of satisfying valuations (weights all +1),
+        as value tuples over :attr:`var_order`."""
+        return self._distinct.current()
+
+    def valuations(self) -> List[Dict[Var, object]]:
+        """The maintained result in the evaluators' dict-per-valuation shape."""
+        order = self.var_order
+        return [
+            dict(zip(order, record)) for record, _ in self._distinct.current()
+        ]

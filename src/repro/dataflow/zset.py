@@ -1,0 +1,209 @@
+"""Z-sets: weighted tuple multisets, the carrier of the dataflow core.
+
+A Z-set maps hashable records to non-zero integer weights.  Under
+pointwise addition the Z-sets over a record universe form a commutative
+group — the algebraic fact the whole incremental layer rests on: a
+*delta* is just another Z-set, applying it is ``+``, and undoing it is
+``+`` with the negation.  The convention (DBSP / pydbsp, SNIPPETS.md
+snippet 2) is that a set is the Z-set where every member has weight
+``+1``; an insertion is weight ``+1``, a deletion weight ``-1``, and an
+update is the sum of both.
+
+:class:`ZSet` keeps the group laws true *by construction*: weights that
+cancel to zero are dropped eagerly, so equality is plain dict equality
+and ``x + (-x) == ZSet()`` holds on the nose.  The property suite in
+``tests/dataflow/test_zset.py`` checks associativity, commutativity,
+identity, inverses, distributivity of the linear operators and
+idempotence of :meth:`distinct` on hypothesis-generated instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Tuple as PyTuple
+
+__all__ = ["ZSet"]
+
+
+class ZSet:
+    """A finite map record → non-zero integer weight.
+
+    Records can be anything hashable —
+    :class:`~repro.workflow.tuples.Tuple` objects, keys, canonical
+    valuation tuples.  The class is deliberately small: the group
+    operations, the two linear operators (:meth:`filter`, :meth:`map`)
+    and the non-linear :meth:`distinct`; joins live in
+    :mod:`repro.dataflow.operators` because they need state to be
+    incremental.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(
+        self, weights: "Mapping[Hashable, int] | Iterable[PyTuple[Hashable, int]] | None" = None
+    ) -> None:
+        items = (
+            weights.items() if isinstance(weights, Mapping) else (weights or ())
+        )
+        acc: Dict[Hashable, int] = {}
+        for record, weight in items:
+            if not weight:
+                continue
+            total = acc.get(record, 0) + weight
+            if total:
+                acc[record] = total
+            else:
+                acc.pop(record, None)
+        self._weights = acc
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, records: Iterable[Hashable]) -> "ZSet":
+        """The set-like Z-set: every record of *records* at weight ``+1``."""
+        out = cls()
+        acc = out._weights
+        for record in records:
+            acc[record] = acc.get(record, 0) + 1
+        return out
+
+    @classmethod
+    def singleton(cls, record: Hashable, weight: int = 1) -> "ZSet":
+        out = cls()
+        if weight:
+            out._weights[record] = weight
+        return out
+
+    # ------------------------------------------------------------------
+    # Group structure
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "ZSet") -> "ZSet":
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        out = ZSet()
+        acc = dict(self._weights)
+        for record, weight in other._weights.items():
+            total = acc.get(record, 0) + weight
+            if total:
+                acc[record] = total
+            else:
+                acc.pop(record, None)
+        out._weights = acc
+        return out
+
+    def __neg__(self) -> "ZSet":
+        out = ZSet()
+        out._weights = {record: -weight for record, weight in self._weights.items()}
+        return out
+
+    def __sub__(self, other: "ZSet") -> "ZSet":
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self + (-other)
+
+    def scale(self, factor: int) -> "ZSet":
+        """The Z-set with every weight multiplied by *factor*."""
+        out = ZSet()
+        if factor:
+            out._weights = {
+                record: weight * factor for record, weight in self._weights.items()
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear operators
+    # ------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Hashable], bool]) -> "ZSet":
+        """Records satisfying *predicate*, weights unchanged (linear)."""
+        out = ZSet()
+        out._weights = {
+            record: weight
+            for record, weight in self._weights.items()
+            if predicate(record)
+        }
+        return out
+
+    def map(self, fn: Callable[[Hashable], Hashable]) -> "ZSet":
+        """Apply *fn* to every record, summing weights that collide (linear)."""
+        out = ZSet()
+        acc = out._weights
+        for record, weight in self._weights.items():
+            image = fn(record)
+            total = acc.get(image, 0) + weight
+            if total:
+                acc[image] = total
+            else:
+                acc.pop(image, None)
+        return out
+
+    # ------------------------------------------------------------------
+    # Non-linear: distinct with a weight threshold
+    # ------------------------------------------------------------------
+
+    def distinct(self, threshold: int = 1) -> "ZSet":
+        """The set of records with weight ≥ *threshold*, each at weight 1.
+
+        ``distinct()`` (threshold 1) is the DBSP normalizer back to set
+        semantics; higher thresholds express "supported by at least k
+        derivations" directly on the weights.  Idempotent for any
+        already-``distinct`` input.
+        """
+        out = ZSet()
+        out._weights = {
+            record: 1
+            for record, weight in self._weights.items()
+            if weight >= threshold
+        }
+        return out
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def weight(self, record: Hashable) -> int:
+        return self._weights.get(record, 0)
+
+    def support(self) -> PyTuple[Hashable, ...]:
+        """The records with non-zero weight (iteration order preserved)."""
+        return tuple(self._weights)
+
+    def items(self) -> Iterator[PyTuple[Hashable, int]]:
+        return iter(self._weights.items())
+
+    def is_zero(self) -> bool:
+        return not self._weights
+
+    def is_set(self) -> bool:
+        """True when every weight is exactly ``+1`` (plain set semantics)."""
+        return all(weight == 1 for weight in self._weights.values())
+
+    def __iter__(self) -> Iterator[PyTuple[Hashable, int]]:
+        return iter(self._weights.items())
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, record: Hashable) -> bool:
+        return record in self._weights
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._weights.items()))
+
+    def __repr__(self) -> str:
+        if not self._weights:
+            return "ZSet()"
+        parts = ", ".join(
+            f"{record!r}: {weight:+d}" for record, weight in self._weights.items()
+        )
+        return f"ZSet({{{parts}}})"

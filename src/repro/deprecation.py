@@ -1,48 +1,58 @@
-"""Deprecation shims for renamed keyword arguments.
+"""Deprecation shims for moved module attributes.
 
-The naming-consistency pass (see docs/API.md) standardized the
-search-limit vocabulary on ``max_depth`` / ``max_states`` / ``budget``
-across :mod:`repro.core.scenarios`, :mod:`repro.workflow.statespace`,
-:mod:`repro.workflow.enumerate` and :mod:`repro.workflow.lint`.  The old
-spellings keep working for one release through :func:`renamed_kwarg`,
-which emits a :class:`DeprecationWarning` naming the replacement.
+The dataflow consolidation (see docs/DATAFLOW.md) moved the delta-facing
+entry points — ``ViewDelta``, ``delta_visible_to``,
+``refresh_view_instance`` — into :mod:`repro.dataflow` under their
+unified names.  The old locations keep working for one release through
+:func:`deprecated_module_attrs`, which builds a module-level
+``__getattr__`` (:pep:`562`) resolving each old name to its new home
+with a :class:`DeprecationWarning`.
+
+The keyword-argument shims this module carried previously
+(``renamed_kwarg``, covering the PR 3/4 ``max_size`` / ``max_length`` /
+``explore_depth`` spellings) completed their deprecation cycle and were
+removed together with the old spellings themselves.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Optional, TypeVar
+from importlib import import_module
+from typing import Callable, Dict, Tuple
 
-__all__ = ["renamed_kwarg"]
-
-T = TypeVar("T")
+__all__ = ["deprecated_module_attrs"]
 
 
-def renamed_kwarg(
-    where: str,
-    old_name: str,
-    new_name: str,
-    old_value: Optional[T],
-    new_value: Optional[T],
-    stacklevel: int = 3,
-) -> Optional[T]:
-    """Resolve a renamed keyword argument, warning when the old name is used.
+def deprecated_module_attrs(
+    module: str, aliases: Dict[str, Tuple[str, str]]
+) -> Callable[[str], object]:
+    """A module ``__getattr__`` serving moved attributes with a warning.
 
-    Returns *new_value* when the caller used the new spelling (or
-    neither), and *old_value* — with a :class:`DeprecationWarning` —
-    when only the old spelling was passed.  Passing both is an error.
+    *aliases* maps each old attribute name to ``(new_module, new_name)``.
+    Accessing ``module.old_name`` resolves the new location, warns with a
+    :class:`DeprecationWarning` naming it, and returns the object — so
+    old imports keep working while pointing callers at the new spelling.
+
+    Usage, at the bottom of the shimmed module::
+
+        __getattr__ = deprecated_module_attrs(__name__, {
+            "ViewDelta": ("repro.dataflow", "Delta"),
+        })
     """
-    if old_value is None:
-        return new_value
-    if new_value is not None:
-        raise TypeError(
-            f"{where}() got both {old_name!r} (deprecated) and {new_name!r}; "
-            f"pass only {new_name!r}"
+
+    def __getattr__(name: str) -> object:
+        try:
+            target_module, target_name = aliases[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module!r} has no attribute {name!r}"
+            ) from None
+        warnings.warn(
+            f"{module}.{name} is deprecated; use "
+            f"{target_module}.{target_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    warnings.warn(
-        f"the {old_name!r} argument of {where}() is deprecated; "
-        f"use {new_name!r} instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-    return old_value
+        return getattr(import_module(target_module), target_name)
+
+    return __getattr__

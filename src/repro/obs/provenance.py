@@ -3,8 +3,9 @@
 ProvDB-style lifecycle provenance for hosted runs: every applied event
 leaves one :class:`ProvenanceRecord` — its sequence number, rule, acting
 peer, the ``(relation, key)`` pairs its transition touched (read off the
-engine's ``ViewDelta``, so recording is O(|delta|)), and the peers whose
-views the transition changed.  The log is queryable in both directions:
+transition's :class:`~repro.dataflow.delta.Delta`, so recording is
+O(|delta|)), and the peers whose views the transition changed.  The log
+is queryable in both directions:
 
 * :meth:`ProvenanceLog.events_touching` — "which events wrote this
   tuple?" (key-level provenance of the current database state);
@@ -18,9 +19,10 @@ happening rather than a replay.  The service's ``explain`` op attaches
 these citations; the ``provenance`` op exposes the queries directly.
 
 The module is dependency-free: deltas are consumed through their
-``changes`` mapping (relation -> key -> (before, after)) without
-importing the engine, so the log can also archive spans or journal
-entries from other layers.
+``touched()`` accessor (or, failing that, their ``changes`` mapping —
+relation -> key -> (before, after)) without importing the dataflow
+layer, so the log can also archive spans or journal entries from other
+layers.
 """
 
 from __future__ import annotations
@@ -69,7 +71,16 @@ def _jsonable(value: Any) -> Any:
 
 
 def _touched_from_delta(delta: Any) -> Tuple[Tuple[str, Any, str], ...]:
-    """``(relation, key, action)`` triples from a ViewDelta-shaped object."""
+    """``(relation, key, action)`` triples from a delta-shaped object.
+
+    A :class:`~repro.dataflow.delta.Delta` (or a graph effect wrapping
+    one) answers through its ``touched()`` accessor; any other object
+    with a ``changes`` mapping is derived the long way, so stand-ins
+    and archived journal shapes keep working.
+    """
+    touched_accessor = getattr(delta, "touched", None)
+    if callable(touched_accessor):
+        return tuple(touched_accessor())
     touched: List[Tuple[str, Any, str]] = []
     for relation, keys in delta.changes.items():
         for key, (before, after) in keys.items():
@@ -117,7 +128,8 @@ class ProvenanceLog:
     ) -> ProvenanceRecord:
         """Append the provenance of one applied event.
 
-        *delta* is anything with a ViewDelta-shaped ``changes`` mapping;
+        *delta* is anything with a ``touched()`` accessor or a
+        delta-shaped ``changes`` mapping;
         *visible_to* are the peers whose views the transition changed
         (the acting peer should be included by the caller when its event
         is visible-by-definition).

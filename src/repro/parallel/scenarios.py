@@ -31,7 +31,6 @@ from typing import List, Optional, Tuple as PyTuple
 
 from ..core.scenarios import _ScenarioSearch, greedy_scenario, minimum_scenario
 from ..core.subruns import EventSubsequence
-from ..deprecation import renamed_kwarg
 from ..obs.trace import span
 from ..runtime.budget import Budget, checkpoint
 from ..workflow.errors import BudgetExceeded
@@ -60,19 +59,14 @@ def parallel_minimum_scenario(
     budget: Optional[Budget] = None,
     *,
     workers: Optional[int] = None,
-    max_size: Optional[int] = None,
 ) -> Optional[EventSubsequence]:
     """A minimum-length scenario, searched as a parallel cap portfolio.
 
-    Same contract as :func:`~repro.core.scenarios.minimum_scenario`
-    (including the deprecated *max_size* spelling): None exactly when no
-    scenario of at most *max_depth* events exists, otherwise a scenario
-    of the optimal size; a tripped *budget* raises
+    Same contract as :func:`~repro.core.scenarios.minimum_scenario`:
+    None exactly when no scenario of at most *max_depth* events exists,
+    otherwise a scenario of the optimal size; a tripped *budget* raises
     :class:`~repro.workflow.errors.BudgetExceeded`.
     """
-    max_depth = renamed_kwarg(
-        "parallel_minimum_scenario", "max_size", "max_depth", max_size, max_depth
-    )
     workers = resolve_workers(workers)
     if workers == 1 or not _fork_available():
         # workers=1 pins the sequential search (a process-wide default

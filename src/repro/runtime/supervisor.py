@@ -31,7 +31,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Type
 
-from ..deprecation import renamed_kwarg
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..workflow.engine import apply_event
@@ -265,8 +264,6 @@ def anytime_minimum_scenario(
     peer: str,
     budget: Budget,
     max_depth: Optional[int] = None,
-    *,
-    max_size: Optional[int] = None,
 ) -> AnytimeResult:
     """Minimum-scenario search that degrades gracefully under a budget.
 
@@ -280,16 +277,10 @@ def anytime_minimum_scenario(
 
     >>> # result = anytime_minimum_scenario(run, "sue", Budget(wall_seconds=1.0))
     >>> # result.value, result.truncated
-
-    .. deprecated:: 1.1
-       the *max_size* keyword; use *max_depth*.
     """
     from ..core.scenarios import _ScenarioSearch
     from ..core.subruns import EventSubsequence
 
-    max_depth = renamed_kwarg(
-        "anytime_minimum_scenario", "max_size", "max_depth", max_size, max_depth
-    )
     search = _ScenarioSearch(run, peer, max_depth=max_depth, budget=budget)
     best = search.search(anytime=True)
     if best is None:

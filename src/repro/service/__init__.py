@@ -15,7 +15,8 @@ to the event's delta rather than to the instance:
   serving path;
 * :mod:`repro.service.viewcache` — materialized peer views maintained
   incrementally from each transition's
-  :class:`~repro.workflow.engine.ViewDelta`;
+  :class:`~repro.dataflow.delta.Delta`, subscribed to the run's
+  :class:`~repro.dataflow.graph.DeltaGraph`;
 * :mod:`repro.service.protocol` / :mod:`repro.service.server` — the
   JSON-lines TCP protocol (open / submit / view / explain / stats) and
   its asyncio front end;

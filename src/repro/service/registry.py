@@ -55,7 +55,9 @@ from ..storage.backend import (
     StorageBackend,
     open_backend,
 )
-from ..workflow.engine import ViewDelta, apply_event_with_delta, apply_events
+from ..dataflow.delta import Delta
+from ..dataflow.graph import DeltaEffect, DeltaGraph
+from ..workflow.engine import apply_event_with_delta, apply_events
 from ..workflow.errors import EventError
 from ..workflow.eventindex import ApplicableEventIndex
 from ..workflow.events import Event
@@ -112,10 +114,13 @@ class HostedRun:
 
     Holds the current global instance, the applied event log (events
     determine runs, so this is enough to rebuild anything), the run's
-    journal writer, the delta-maintained view caches, and one
-    :class:`~repro.core.incremental.IncrementalExplainer` per peer that
-    has asked for explanations — extended in lockstep with the run so
-    explanation queries never replay.
+    journal writer, the per-run :class:`~repro.dataflow.graph.DeltaGraph`
+    that fans each transition's delta out to every derived artifact —
+    the delta-maintained view caches and the provenance recorder are its
+    subscribers, the applicable-event index consumes its effects — and
+    one :class:`~repro.core.incremental.IncrementalExplainer` per peer
+    that has asked for explanations, extended in lockstep with the run
+    so explanation queries never replay.
     """
 
     def __init__(
@@ -139,6 +144,12 @@ class HostedRun:
         self.caches: Optional[ViewCacheSet] = (
             ViewCacheSet(program.schema, self.instance) if cache_views else None
         )
+        #: The run's dataflow graph: one fused observation pass per
+        #: event, fanned out to every subscriber.
+        self.dataflow = DeltaGraph(program.schema, self.instance)
+        if self.caches is not None:
+            self.dataflow.subscribe(self.caches.apply_delta, name="viewcache")
+        self.dataflow.subscribe(self._record_provenance, name="provenance")
         self._explainers: Dict[str, IncrementalExplainer] = {}
         self._event_index: Optional[ApplicableEventIndex] = None
         self.submitted = len(self.events)
@@ -165,11 +176,38 @@ class HostedRun:
     def applied(self) -> int:
         return len(self.events)
 
-    def apply(self, event: Event) -> PyTuple[int, ViewDelta]:
-        """Apply one event; journal it; refresh caches and explainers.
+    def _record_provenance(self, effect: DeltaEffect) -> None:
+        """Provenance as a dataflow subscriber: one record per pushed event.
 
-        Returns ``(seq, delta)`` where *seq* is the event's position in
-        the run.  Raises the engine's :class:`EventError`/
+        Reads the application context (``seq``, ``event``, ``span_id``)
+        off the effect; pushes without an event context (none today)
+        record nothing.  The changed peers come from the graph's fused
+        observation pass, so recording is exact whether or not the run
+        materializes view caches.
+        """
+        event = effect.context.get("event")
+        if event is None:
+            return
+        visible_to = set(effect.changed_peers)
+        visible_to.add(event.peer)
+        self.provenance.record(
+            effect.context["seq"],
+            event.rule.name,
+            event.peer,
+            effect,
+            visible_to,
+            span_id=effect.context.get("span_id"),
+        )
+
+    def apply(self, event: Event) -> PyTuple[int, DeltaEffect]:
+        """Apply one event; journal it; push its delta through the graph.
+
+        Returns ``(seq, effect)`` where *seq* is the event's position in
+        the run and *effect* the :class:`~repro.dataflow.graph.DeltaEffect`
+        of the push (it exposes the full delta surface).  The push
+        refreshes every subscriber — view caches, provenance — in one
+        O(|delta|) pass; the applicable-event index and the explainers
+        advance right after.  Raises the engine's :class:`EventError`/
         :class:`ChaseFailure` unchanged when the event does not apply —
         classification (retry/quarantine) is the broker's job.  A
         :class:`~repro.runtime.faults.DiskFault` from the journal also
@@ -184,37 +222,31 @@ class HostedRun:
             self.journal.record_event(seq, event, result)
         self.instance = result
         self.events.append(event)
-        visible_to = set(self._changed_peers(delta, self.caches))
-        visible_to.add(event.peer)
-        self.provenance.record(
-            seq,
-            event.rule.name,
-            event.peer,
-            delta,
-            visible_to,
-            span_id=current_span_id(),
+        effect = self.dataflow.push(
+            delta, seq=seq, event=event, span_id=current_span_id()
         )
         if self._event_index is not None:
-            self._event_index.advance(delta, result)
+            self._event_index.advance(effect, result)
         for explainer in self._explainers.values():
             explainer.extend(event)
-        return seq, delta
+        return seq, effect
 
     def apply_batch(
         self, events: List[Event]
-    ) -> List[PyTuple[int, ViewDelta, int]]:
+    ) -> List[PyTuple[int, DeltaEffect, int]]:
         """Apply a batch of events, amortizing per-event overhead.
 
-        Returns one ``(seq, delta, version)`` triple per applied event,
+        Returns one ``(seq, effect, version)`` triple per applied event,
         where *version* is the acting peer's view version immediately
         after that event (what a one-at-a-time drain would have acked).
 
         Observable-state-equivalent to folding :meth:`apply`: the
         journal receives the same per-event records and cadence
-        snapshots, the view caches see the same per-delta refreshes (so
-        versions advance identically), and provenance records the same
-        citations.  What the batch amortizes is the per-event tracing
-        span (:func:`~repro.workflow.engine.apply_events`) and the
+        snapshots, each event's delta is pushed through the dataflow
+        graph (so cache versions and provenance advance identically),
+        and the same citations are recorded.  What the batch amortizes
+        is the per-event tracing span
+        (:func:`~repro.workflow.engine.apply_events`) and the
         applicable-event index's stale-rule sweep
         (:meth:`~repro.workflow.eventindex.ApplicableEventIndex.advance_many`).
 
@@ -235,8 +267,8 @@ class HostedRun:
         except EventError as exc:
             pairs = list(getattr(exc, "batch_prefix", ()))
             error = exc
-        results: List[PyTuple[int, ViewDelta, int]] = []
-        committed: List[PyTuple[ViewDelta, Instance]] = []
+        results: List[PyTuple[int, DeltaEffect, int]] = []
+        committed: List[PyTuple[DeltaEffect, Instance]] = []
         span_id = current_span_id()
         try:
             for event, (result, delta) in zip(events, pairs):
@@ -248,20 +280,13 @@ class HostedRun:
                     self.journal.record_event(seq, event, result)
                 self.instance = result
                 self.events.append(event)
-                visible_to = set(self._changed_peers(delta, self.caches))
-                visible_to.add(event.peer)
-                self.provenance.record(
-                    seq,
-                    event.rule.name,
-                    event.peer,
-                    delta,
-                    visible_to,
-                    span_id=span_id,
+                effect = self.dataflow.push(
+                    delta, seq=seq, event=event, span_id=span_id
                 )
                 for explainer in self._explainers.values():
                     explainer.extend(event)
-                committed.append((delta, result))
-                results.append((seq, delta, self.view_version(event.peer)))
+                committed.append((effect, result))
+                results.append((seq, effect, self.view_version(event.peer)))
         except BaseException as exc:
             # The committed prefix's acks still need per-event versions;
             # hand them to the broker on the error, mirroring the
@@ -276,51 +301,31 @@ class HostedRun:
             raise error
         return results
 
-    def _changed_peers(
-        self, delta: ViewDelta, caches: Optional[ViewCacheSet]
-    ) -> PyTuple[str, ...]:
-        if caches is not None:
-            return caches.apply_delta(delta)
-        # No caches to consult: fall back to the peers that have a
-        # view of some touched relation (a superset of the peers
-        # whose view content actually changed).
-        return tuple(
-            sorted(
-                {
-                    view.peer
-                    for relation in delta.changes
-                    for view in self.program.schema.views_of_relation(relation)
-                }
-            )
-        )
-
     def provenance_log(self) -> ProvenanceLog:
         """The run's provenance log, complete over its full history.
 
         A run hosted over pre-existing events (recovery, rehydration, a
         promoted replica) is missing the provenance of that prefix; the
-        first read replays the event history — through the same delta
-        and changed-peers computation :meth:`apply` records with — so
-        the rebuilt records equal what live recording would have
-        produced.  Span ids are the one exception: they capture which
-        tracing span covered the original application, which a replay
-        cannot recover, so a rebuilt log carries none.
+        first read replays the event history through a fresh
+        :class:`~repro.dataflow.graph.DeltaGraph` — the same fused
+        observation pass :meth:`apply` records with — so the rebuilt
+        records equal what live recording would have produced.  Span
+        ids are the one exception: they capture which tracing span
+        covered the original application, which a replay cannot
+        recover, so a rebuilt log carries none.
         """
         if not self._provenance_complete:
             log = ProvenanceLog(self.run_id)
             instance = self.initial
-            caches = (
-                ViewCacheSet(self.program.schema, instance)
-                if self.caches is not None
-                else None
-            )
+            graph = DeltaGraph(self.program.schema, instance)
             for seq, event in enumerate(self.events):
                 instance, delta = apply_event_with_delta(
                     self.program.schema, instance, event, forbidden_fresh=None
                 )
-                visible_to = set(self._changed_peers(delta, caches))
+                effect = graph.push(delta)
+                visible_to = set(effect.changed_peers)
                 visible_to.add(event.peer)
-                log.record(seq, event.rule.name, event.peer, delta, visible_to)
+                log.record(seq, event.rule.name, event.peer, effect, visible_to)
             self.provenance = log
             self._provenance_complete = True
         return self.provenance
@@ -397,6 +402,7 @@ class HostedRun:
             "instance_tuples": self.instance.size(),
             "explainers": sorted(self._explainers),
             "view_versions": dict(self.caches.versions()) if self.caches else {},
+            "dataflow": self.dataflow.stats(),
         }
         if self.recovery_warnings:
             out["recovery_warnings"] = list(self.recovery_warnings)
@@ -416,6 +422,7 @@ class _EvictedRun:
     submitted: int
     quarantined: int
     recoveries: int
+    dataflow_pushes: int
 
 
 class ShardedRunRegistry:
@@ -647,6 +654,7 @@ class ShardedRunRegistry:
                 hosted.submitted = evicted.submitted
                 hosted.quarantined = evicted.quarantined
                 hosted.recoveries = evicted.recoveries
+                hosted.dataflow.pushes = evicted.dataflow_pushes
                 self._seal(lambda: (store.append(end_record(status)), store.sync()))
                 store.close()
                 self._lru.pop(run_id, None)
@@ -795,6 +803,7 @@ class ShardedRunRegistry:
             submitted=hosted.submitted,
             quarantined=hosted.quarantined,
             recoveries=hosted.recoveries,
+            dataflow_pushes=hosted.dataflow.pushes,
         )
         self._lru.pop(run_id, None)
         self.evictions += 1
@@ -808,6 +817,10 @@ class ShardedRunRegistry:
         hosted.submitted = evicted.submitted
         hosted.quarantined = evicted.quarantined
         hosted.recoveries = evicted.recoveries
+        # The graph was rebuilt over the recovered instance; its push
+        # counter resumes where the evicted incarnation left off so
+        # eviction stays invisible in stats.
+        hosted.dataflow.pushes = evicted.dataflow_pushes
         shard.runs[run_id] = hosted
         self.rehydrations += 1
         _REHYDRATIONS.inc()

@@ -5,13 +5,20 @@ The paper's peers interact only through their views ``I@p(R@p)``
 question against a view instance.  Recomputing ``I@p`` from the global
 instance on each event costs O(|I|) per peer per event; this module
 keeps each peer's view *materialized* and refreshes it from the
-:class:`~repro.workflow.engine.ViewDelta` of the transition instead —
+:class:`~repro.dataflow.delta.Delta` of the transition instead —
 re-observing only the touched keys through the view's selection and
 projection, in the DBSP spirit of processing deltas rather than
 collections.  A chase-induced merge is still just a touched key (the
 chase rewrites the merged tuple in place), so the delta path is exact;
 a full recompute (:meth:`CachedPeerView.rebuild`) remains as the
 fallback for delta-less state changes such as crash recovery.
+
+When the run routes events through a
+:class:`~repro.dataflow.graph.DeltaGraph` (the hosted registry does),
+the caches subscribe via :meth:`ViewCacheSet.apply_effect` and reuse
+the graph's fused observation pass instead of re-observing the keys
+themselves — same versions, same metrics, one observation per
+(key, peer) for the whole process.
 
 Each cache carries a monotonically increasing ``version`` so higher
 layers (the per-(run, peer) explanation wiring, read-your-writes
@@ -22,8 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Tuple as PyTuple
 
+from ..dataflow.delta import Delta
 from ..obs.metrics import METRICS
-from ..workflow.engine import ViewDelta
 from ..workflow.instance import Instance
 from ..workflow.schema import Schema
 from ..workflow.tuples import Tuple
@@ -110,7 +117,7 @@ class CachedPeerView:
         """
         self.version = max(self.version, version)
 
-    def apply_delta(self, delta: ViewDelta) -> bool:
+    def apply_delta(self, delta: Delta) -> bool:
         """Refresh the materialized view from one transition's delta.
 
         Re-observes only the touched keys: a touched key whose after-
@@ -135,6 +142,35 @@ class CachedPeerView:
                     if observed.get(key) != seen:
                         observed[key] = seen
                         changed = True
+        return self._commit(changed)
+
+    def apply_observed(
+        self,
+        observed_views: Mapping[str, Mapping[object, PyTuple[Optional[Tuple], Optional[Tuple]]]],
+    ) -> bool:
+        """Like :meth:`apply_delta`, from already-observed view keys.
+
+        *observed_views* maps view names to ``key -> (seen_before,
+        seen_after)`` as a :class:`~repro.dataflow.graph.DeltaGraph`'s
+        fused pass computed them for this peer — the cache patches the
+        after-tuples in without re-running selection and projection.
+        Version and metric semantics are identical to
+        :meth:`apply_delta`.
+        """
+        changed = False
+        for view_name, keys in observed_views.items():
+            observed = self._data[view_name]
+            for key, (_, seen) in keys.items():
+                if seen is None:
+                    if observed.pop(key, None) is not None:
+                        changed = True
+                else:
+                    if observed.get(key) != seen:
+                        observed[key] = seen
+                        changed = True
+        return self._commit(changed)
+
+    def _commit(self, changed: bool) -> bool:
         if changed:
             self._instance = None
         self._delta_refreshes += 1
@@ -181,8 +217,26 @@ class ViewCacheSet:
     def peer(self, peer: str) -> CachedPeerView:
         return self._caches[peer]
 
-    def apply_delta(self, delta: ViewDelta) -> PyTuple[str, ...]:
-        """Refresh every peer's cache; return the peers whose view changed."""
+    def apply_delta(self, delta: Delta) -> PyTuple[str, ...]:
+        """Refresh every peer's cache; return the peers whose view changed.
+
+        Accepts a plain :class:`~repro.dataflow.delta.Delta` (each cache
+        re-observes the touched keys) or a
+        :class:`~repro.dataflow.graph.DeltaEffect` (the graph's fused
+        observation pass is reused; this is the subscriber path the
+        hosted registry wires up).
+        """
+        observed_for = getattr(delta, "observed_for", None)
+        if observed_for is not None:
+            changed = []
+            for peer, cache in self._caches.items():
+                observed = observed_for(peer)
+                if observed is None:
+                    if cache.apply_delta(delta):
+                        changed.append(peer)
+                elif cache.apply_observed(observed):
+                    changed.append(peer)
+            return tuple(changed)
         return tuple(
             peer for peer, cache in self._caches.items() if cache.apply_delta(delta)
         )

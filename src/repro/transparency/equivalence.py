@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
-from ..workflow.engine import apply_event, apply_event_with_delta, delta_visible_to
+from ..dataflow.delta import delta_visible_to
+from ..workflow.engine import apply_event, apply_event_with_delta
 from ..workflow.enumerate import applicable_events
 from ..workflow.events import Event
 from ..workflow.instance import Instance

@@ -20,8 +20,8 @@ from .conditions import (
     disjunction,
 )
 from .domain import NULL, FreshValue, FreshValueSource, is_null
+from ..deprecation import deprecated_module_attrs
 from .engine import (
-    ViewDelta,
     apply_event,
     apply_event_with_delta,
     event_applicable,
@@ -150,7 +150,6 @@ __all__ = [
     "WorkflowError",
     "WorkflowProgram",
     "applicable_events",
-    "ViewDelta",
     "apply_event",
     "apply_event_with_delta",
     "chase",
@@ -199,3 +198,9 @@ __all__ = [
     "value_from_json",
     "value_to_json",
 ]
+
+#: ``ViewDelta`` moved to :mod:`repro.dataflow` as ``Delta``; the old
+#: name keeps working for one release with a DeprecationWarning.
+__getattr__ = deprecated_module_attrs(
+    __name__, {"ViewDelta": ("repro.dataflow", "Delta")}
+)

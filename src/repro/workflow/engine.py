@@ -20,9 +20,10 @@ any order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple as PyTuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple as PyTuple
 
+from ..dataflow.delta import Delta
+from ..deprecation import deprecated_module_attrs
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..runtime.budget import ambient_checkpoint
@@ -185,56 +186,8 @@ def _apply_event(
     return result
 
 
-@dataclass(frozen=True)
-class ViewDelta:
-    """The keys one transition touched, with their before/after tuples.
-
-    ``changes`` maps each touched relation to ``key -> (before, after)``
-    where ``before``/``after`` are the full tuples at that key in the
-    source/result instance (``None`` when absent on that side).  The
-    transition semantics only ever touches the keys appearing in the
-    event's ground head — even a chase-induced merge rewrites exactly
-    the merged key — so the delta is complete: every key not listed is
-    untouched, and a peer view can be refreshed in O(|delta|) by
-    re-observing the touched keys through selection and projection
-    instead of re-evaluating the view over the whole instance.
-
-    ``chase_merged`` is True when some insertion merged into an existing
-    tuple (the chase filled nulls rather than creating a fresh tuple) —
-    the case callers that maintain derived state keyed on tuple identity
-    may want to treat conservatively.
-    """
-
-    changes: Mapping[str, Mapping[object, PyTuple[Optional[Tuple], Optional[Tuple]]]]
-    chase_merged: bool = False
-
-    def is_empty(self) -> bool:
-        return not any(self.changes.values())
-
-    def touched_relations(self) -> PyTuple[str, ...]:
-        return tuple(sorted(name for name, keys in self.changes.items() if keys))
-
-    def inserted(self, relation: str) -> PyTuple[object, ...]:
-        """Keys newly present in *relation* after the transition."""
-        keys = self.changes.get(relation, {})
-        return tuple(k for k, (before, after) in keys.items()
-                     if before is None and after is not None)
-
-    def deleted(self, relation: str) -> PyTuple[object, ...]:
-        """Keys removed from *relation* by the transition."""
-        keys = self.changes.get(relation, {})
-        return tuple(k for k, (before, after) in keys.items()
-                     if before is not None and after is None)
-
-    def updated(self, relation: str) -> PyTuple[object, ...]:
-        """Keys present on both sides whose tuple changed (chase merges)."""
-        keys = self.changes.get(relation, {})
-        return tuple(k for k, (before, after) in keys.items()
-                     if before is not None and after is not None and before != after)
-
-
-def event_delta(before: Instance, after: Instance, event: Event) -> ViewDelta:
-    """The :class:`ViewDelta` of the transition ``before ⊢_event after``.
+def event_delta(before: Instance, after: Instance, event: Event) -> Delta:
+    """The :class:`~repro.dataflow.delta.Delta` of ``before ⊢_event after``.
 
     Costs O(#update atoms): the touched keys are read off the event's
     ground head and looked up on both sides, never scanning an instance.
@@ -256,7 +209,7 @@ def event_delta(before: Instance, after: Instance, event: Event) -> ViewDelta:
         if isinstance(atom, Insertion) and old is not None and new is not None:
             chase_merged = True
         changes.setdefault(relation, {})[key] = (old, new)
-    return ViewDelta(changes, chase_merged)
+    return Delta(changes, chase_merged)
 
 
 def apply_event_with_delta(
@@ -265,12 +218,15 @@ def apply_event_with_delta(
     event: Event,
     forbidden_fresh: Optional[FrozenSet[object]] = None,
     check_body: bool = True,
-) -> PyTuple[Instance, ViewDelta]:
+) -> PyTuple[Instance, Delta]:
     """Like :func:`apply_event`, also returning the transition's delta.
 
-    The delta lets callers that materialize peer views (the service view
-    cache) refresh them from the touched keys instead of recomputing
-    ``I@p`` from the whole instance on every event.
+    The delta is the :class:`~repro.dataflow.delta.Delta` a
+    :class:`~repro.dataflow.graph.DeltaGraph` consumes: callers that
+    maintain derived state (the service view cache, provenance, the
+    applicable-event index) push it once and every subscriber refreshes
+    from the touched keys instead of recomputing from the whole
+    instance.
     """
     result = apply_event(schema, instance, event, forbidden_fresh, check_body)
     delta = event_delta(instance, result, event)
@@ -284,7 +240,7 @@ def apply_events(
     events: Iterable[Event],
     forbidden_fresh: Optional[FrozenSet[object]] = None,
     check_body: bool = True,
-) -> "list[PyTuple[Instance, ViewDelta]]":
+) -> "list[PyTuple[Instance, Delta]]":
     """Fold :func:`apply_event_with_delta` over *events* under one span.
 
     Returns one ``(successor, delta)`` pair per event — ``pairs[i][0]``
@@ -301,7 +257,7 @@ def apply_events(
     failure.
     """
     events = list(events)
-    pairs: "list[PyTuple[Instance, ViewDelta]]" = []
+    pairs: "list[PyTuple[Instance, Delta]]" = []
     current = instance
     with span("apply_events", count=len(events)):
         for event in events:
@@ -320,55 +276,6 @@ def apply_events(
             pairs.append((result, delta))
             current = result
     return pairs
-
-
-def delta_visible_to(schema: CollaborativeSchema, peer: str, delta: ViewDelta) -> bool:
-    """True iff the transition described by *delta* changes *peer*'s view.
-
-    O(|delta|): each touched key is observed through the peer's view of
-    its relation on both sides; the transition is visible iff some
-    observation differs.  Equivalent to
-    ``schema.view_instance(before, peer) != schema.view_instance(after,
-    peer)`` because the delta is complete — every untouched key observes
-    identically on both sides.
-    """
-    for relation, keys in delta.changes.items():
-        view = schema.view(relation, peer)
-        if view is None:
-            continue
-        for before, after in keys.values():
-            seen_before = view.observe(before) if before is not None else None
-            seen_after = view.observe(after) if after is not None else None
-            if seen_before != seen_after:
-                return True
-    return False
-
-
-def refresh_view_instance(
-    schema: CollaborativeSchema,
-    peer: str,
-    view_instance: Instance,
-    delta: ViewDelta,
-) -> Instance:
-    """*peer*'s view of the successor instance, updated in O(|delta|).
-
-    *view_instance* must be the peer's view of the transition's source
-    instance; the touched keys are re-observed through the peer's views
-    and patched in with :meth:`Instance.replace_tuples`.  Returns the
-    same object when the transition is invisible to the peer, so
-    ``result is view_instance`` doubles as a visibility test.
-    """
-    result = view_instance
-    for relation, keys in delta.changes.items():
-        view = schema.view(relation, peer)
-        if view is None:
-            continue
-        observed = {
-            key: (view.observe(after) if after is not None else None)
-            for key, (_, after) in keys.items()
-        }
-        result = result.replace_tuples(view.name, observed)
-    return result
 
 
 def event_applicable(
@@ -402,3 +309,15 @@ def event_effect(
         if before.tuple_with_key(relation, k) != after.tuple_with_key(relation, k)
     }
     return {"created": new - old, "deleted": old - new, "modified": modified}
+
+
+#: The delta-facing entry points moved to :mod:`repro.dataflow`; the old
+#: engine names keep working for one release with a DeprecationWarning.
+__getattr__ = deprecated_module_attrs(
+    __name__,
+    {
+        "ViewDelta": ("repro.dataflow", "Delta"),
+        "delta_visible_to": ("repro.dataflow", "delta_visible_to"),
+        "refresh_view_instance": ("repro.dataflow", "refresh_view_instance"),
+    },
+)

@@ -14,7 +14,6 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from ..obs.metrics import METRICS
 from ..obs.trace import span
-from ..deprecation import renamed_kwarg
 from .domain import FreshValueSource
 from .engine import apply_event, apply_event_with_delta, event_applicable
 from .errors import EventError
@@ -177,8 +176,6 @@ def enumerate_event_sequences(
     initial: Optional[Instance] = None,
     prune: Optional[object] = None,
     fresh_start: int = 10_000,
-    *,
-    max_length: Optional[int] = None,
 ) -> Iterator[PyTuple[PyTuple[Event, ...], Instance]]:
     """Depth-first enumeration of event sequences applicable from *initial*.
 
@@ -188,14 +185,7 @@ def enumerate_event_sequences(
     sufficient up to isomorphism (Lemma A.2).  *prune*, if given, is a
     predicate ``prune(events, instance) -> bool``; sequences for which it
     returns True are not extended further (but are still yielded).
-
-    .. deprecated:: 1.1
-       the *max_length* keyword; use *max_depth* (the shared search-limit
-       vocabulary: ``max_depth`` / ``max_states`` / ``budget``).
     """
-    max_depth = renamed_kwarg(
-        "enumerate_event_sequences", "max_length", "max_depth", max_length, max_depth
-    )
     if max_depth is None:
         raise TypeError(
             "enumerate_event_sequences() missing required argument 'max_depth'"

@@ -9,9 +9,12 @@ proportional to the *delta*:
 * a **dependency map** relates each view relation to the rules whose
   bodies read it;
 * the acting peers' **view instances are maintained incrementally**
-  from the :class:`~repro.workflow.engine.ViewDelta` of each applied
-  event (:func:`~repro.workflow.engine.refresh_view_instance`, one
-  O(|delta|) patch instead of an O(|I|) view computation);
+  from the :class:`~repro.dataflow.delta.Delta` of each applied event
+  (one O(|delta|) patch instead of an O(|I|) view computation); when the
+  caller routes events through a
+  :class:`~repro.dataflow.graph.DeltaGraph` and passes its
+  :class:`~repro.dataflow.graph.DeltaEffect`, the patch reuses the
+  graph's already-observed per-view keys instead of re-observing them;
 * each rule's **body valuations are cached** and invalidated only when
   the delta actually changed the peer's view of a relation the body
   reads — rules untouched by the delta are served from cache.
@@ -39,8 +42,9 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..dataflow.delta import Delta
 from .domain import FreshValueSource
-from .engine import ViewDelta, apply_event, refresh_view_instance
+from .engine import apply_event
 from .errors import EventError
 from .evalstats import EVAL_STATS
 from .events import Event
@@ -135,22 +139,46 @@ class ApplicableEventIndex:
     # Advancement
     # ------------------------------------------------------------------
 
-    def advance(self, delta: ViewDelta, successor: Instance) -> None:
+    def _refresh(self, peer: str, delta: Delta) -> Instance:
+        """*peer*'s maintained view patched past *delta*, in O(|delta|).
+
+        Accepts a plain :class:`~repro.dataflow.delta.Delta` (the
+        touched keys are re-observed through the peer's views) or a
+        :class:`~repro.dataflow.graph.DeltaEffect` whose fused
+        observation pass already computed them (graph-driven callers
+        skip the re-observation).  Either way the patch is identity on a
+        no-op, so ``result is old`` stays the visibility test.
+        """
+        old = self._views[peer]
+        observed_for = getattr(delta, "observed_for", None)
+        if observed_for is not None:
+            observed = observed_for(peer)
+            if observed is not None:
+                result = old
+                for view_name, keys in observed.items():
+                    result = result.replace_tuples(
+                        view_name,
+                        {key: after for key, (_, after) in keys.items()},
+                    )
+                return result
+        return delta.refresh_view(self.schema, peer, old)
+
+    def advance(self, delta: Delta, successor: Instance) -> None:
         """Move the index past one applied event, in place.
 
-        *delta* must be the :class:`ViewDelta` of the transition from
-        the index's current instance to *successor* (as returned by
-        :func:`~repro.workflow.engine.apply_event_with_delta`).  Cost is
-        O(|delta| · #views + #stale rules), independent of |I| and of
-        the rules the delta does not touch.
+        *delta* must be the :class:`~repro.dataflow.delta.Delta` of the
+        transition from the index's current instance to *successor* (as
+        returned by :func:`~repro.workflow.engine.apply_event_with_delta`)
+        or the :class:`~repro.dataflow.graph.DeltaEffect` of the
+        corresponding graph push.  Cost is O(|delta| · #views + #stale
+        rules), independent of |I| and of the rules the delta does not
+        touch.
         """
         EVAL_STATS.event_index_advances += 1
         self.instance = successor
         changed: Set[str] = set()
         for peer in self._views:
-            refreshed = refresh_view_instance(
-                self.schema, peer, self._views[peer], delta
-            )
+            refreshed = self._refresh(peer, delta)
             if refreshed is not self._views[peer]:
                 for relation in delta.changes:
                     view = self.schema.view(relation, peer)
@@ -163,7 +191,7 @@ class ApplicableEventIndex:
                     self._valuations[i] = None
 
     def advance_many(
-        self, steps: Iterable[PyTuple[ViewDelta, Instance]]
+        self, steps: Iterable[PyTuple[Delta, Instance]]
     ) -> None:
         """Move the index past a batch of applied events, in place.
 
@@ -180,9 +208,7 @@ class ApplicableEventIndex:
             EVAL_STATS.event_index_advances += 1
             self.instance = successor
             for peer in self._views:
-                refreshed = refresh_view_instance(
-                    self.schema, peer, self._views[peer], delta
-                )
+                refreshed = self._refresh(peer, delta)
                 if refreshed is not self._views[peer]:
                     for relation in delta.changes:
                         view = self.schema.view(relation, peer)
@@ -194,7 +220,7 @@ class ApplicableEventIndex:
                 if self._valuations[i] is not None and body_views & changed:
                     self._valuations[i] = None
 
-    def advanced(self, delta: ViewDelta, successor: Instance) -> "ApplicableEventIndex":
+    def advanced(self, delta: Delta, successor: Instance) -> "ApplicableEventIndex":
         """A derived index past one applied event; this one is untouched.
 
         Shares the cached valuation lists and the persistent view

@@ -383,9 +383,9 @@ class Instance:
         it; unlike :meth:`insert` there is no chase merge — the given
         tuple *replaces* whatever the key held.  This is the primitive
         delta-driven view maintenance uses: a
-        :class:`~repro.workflow.engine.ViewDelta` lists exactly the
-        touched keys with their after-tuples, and one batched call
-        refreshes a materialized view without rescanning the relation.
+        :class:`~repro.dataflow.delta.Delta` lists exactly the touched
+        keys with their after-tuples, and one batched call refreshes a
+        materialized view without rescanning the relation.
         """
         relation = self.schema.relation(name)
         rows = self._data[name]

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
-from ..deprecation import renamed_kwarg
 from .program import WorkflowProgram
 from .queries import KeyLiteral, RelLiteral
 from .statespace import StateSpaceExplorer
@@ -104,8 +103,6 @@ def lint_dynamic(
     program: WorkflowProgram,
     max_depth: Optional[int] = None,
     max_states: int = 400,
-    *,
-    explore_depth: Optional[int] = None,
 ) -> List[LintFinding]:
     """Bounded-exploration findings: rules never observed firing.
 
@@ -114,18 +111,10 @@ def lint_dynamic(
     state the bound explicitly.  A rule counts as live when it is
     *applicable* at some explored state (a no-op firing is still a
     firing).
-
-    .. deprecated:: 1.1
-       the *explore_depth* keyword; use *max_depth* (the shared
-       search-limit vocabulary: ``max_depth`` / ``max_states`` /
-       ``budget``).
     """
     from .domain import FreshValueSource
     from .enumerate import applicable_events
 
-    max_depth = renamed_kwarg(
-        "lint_dynamic", "explore_depth", "max_depth", explore_depth, max_depth
-    )
     if max_depth is None:
         max_depth = 4
     fired: Set[str] = set()
@@ -161,19 +150,11 @@ def lint_program(
     program: WorkflowProgram,
     max_depth: Optional[int] = None,
     max_states: int = 400,
-    *,
-    explore_depth: Optional[int] = None,
 ) -> List[LintFinding]:
     """All lint findings, static first.
 
     >>> # for finding in lint_program(program): print(finding)
-
-    .. deprecated:: 1.1
-       the *explore_depth* keyword; use *max_depth*.
     """
-    max_depth = renamed_kwarg(
-        "lint_program", "explore_depth", "max_depth", explore_depth, max_depth
-    )
     findings = lint_static(program)
     findings.extend(lint_dynamic(program, max_depth, max_states))
     return findings

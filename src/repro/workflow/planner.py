@@ -32,15 +32,14 @@ Backend selection is process-wide: ``REPRO_QUERY_BACKEND`` picks
 ``naive`` (declared-order scans), ``planned`` (this module's
 interpreter) or ``compiled`` (the default — :mod:`.compiler` turns each
 plan into a specialized closure); :func:`set_backend` switches at
-runtime and every caller of :meth:`Query.valuations` is oblivious.  The
-pre-backend toggles — ``REPRO_NAIVE_QUERIES=1`` and
-:func:`set_planned` — survive as deprecation shims.
+runtime and every caller of :meth:`Query.valuations` is oblivious.
+(The pre-backend toggles — ``REPRO_NAIVE_QUERIES=1`` and
+``set_planned`` — completed their deprecation cycle and are gone.)
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 import weakref
 from time import perf_counter
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple as PyTuple
@@ -69,7 +68,6 @@ __all__ = [
     "query_backend",
     "set_backend",
     "planned_enabled",
-    "set_planned",
     "profile_rows",
     "render_profile",
     "reset_profile",
@@ -88,16 +86,6 @@ def _backend_from_env() -> str:
     explicit = os.environ.get("REPRO_QUERY_BACKEND", "").strip().lower()
     if explicit in BACKENDS:
         return explicit
-    # Legacy escape hatch, honored only when the new variable is unset
-    # or unrecognized.
-    if os.environ.get("REPRO_NAIVE_QUERIES", "").lower() in ("1", "true", "yes"):
-        warnings.warn(
-            "REPRO_NAIVE_QUERIES is deprecated; set REPRO_QUERY_BACKEND=naive "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return "naive"
     return "compiled"
 
 
@@ -132,21 +120,6 @@ def planned_enabled() -> bool:
     ever used it to mean "is the fast path on?".
     """
     return _BACKEND != "naive"
-
-
-def set_planned(flag: bool) -> None:
-    """Deprecated pre-backend toggle; use :func:`set_backend` instead.
-
-    ``set_planned(True)`` selects the ``planned`` interpreter (not
-    ``compiled``) to preserve its historical meaning exactly.
-    """
-    warnings.warn(
-        "set_planned() is deprecated; use set_backend('planned'/'naive') "
-        "or REPRO_QUERY_BACKEND instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    set_backend("planned" if flag else "naive")
 
 
 # ----------------------------------------------------------------------
@@ -514,6 +487,16 @@ def render_profile(limit: int = 20) -> str:
         f"index_builds={stats.index_builds} index_hits={stats.index_hits} "
         f"scanned={stats.literals_scanned} emitted={stats.valuations_emitted}"
     )
+    # Incremental maintenance is not query evaluation: the dataflow
+    # operators' time gets its own line so the table above stays a pure
+    # evaluation profile.
+    if stats.dataflow_pushes or stats.dataflow_query_steps:
+        lines.append(
+            f"dataflow pushes={stats.dataflow_pushes} "
+            f"push_ms={stats.dataflow_ns / 1e6:.2f} "
+            f"query_steps={stats.dataflow_query_steps} "
+            f"query_step_ms={stats.dataflow_query_ns / 1e6:.2f}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,134 @@
+"""Property tests: the Z-set group and operator laws.
+
+:class:`repro.dataflow.zset.ZSet` is the carrier of the whole
+incremental layer; everything downstream (operators, query maintenance,
+the delta graph) assumes the commutative-group laws and the linearity
+of filter/map hold on the nose.  Hypothesis generates the instances.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import ZSet
+
+records = st.tuples(st.integers(0, 5), st.integers(0, 3))
+weights = st.integers(-4, 4).filter(bool)
+zsets = st.lists(st.tuples(records, weights), max_size=12).map(ZSet)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestGroupLaws:
+    @SETTINGS
+    @given(zsets, zsets, zsets)
+    def test_addition_associative(self, x, y, z):
+        assert (x + y) + z == x + (y + z)
+
+    @SETTINGS
+    @given(zsets, zsets)
+    def test_addition_commutative(self, x, y):
+        assert x + y == y + x
+
+    @SETTINGS
+    @given(zsets)
+    def test_zero_is_identity(self, x):
+        assert x + ZSet() == x
+        assert ZSet() + x == x
+
+    @SETTINGS
+    @given(zsets)
+    def test_inverse_cancels_exactly(self, x):
+        assert x + (-x) == ZSet()
+        assert (x + (-x)).is_zero()
+
+    @SETTINGS
+    @given(zsets, zsets)
+    def test_subtraction_is_addition_of_negation(self, x, y):
+        assert x - y == x + (-y)
+
+    @SETTINGS
+    @given(zsets, zsets, st.integers(-3, 3))
+    def test_scale_distributes_over_addition(self, x, y, k):
+        assert (x + y).scale(k) == x.scale(k) + y.scale(k)
+
+    @SETTINGS
+    @given(zsets)
+    def test_scale_by_zero_annihilates(self, x):
+        assert x.scale(0) == ZSet()
+
+    @SETTINGS
+    @given(zsets, zsets)
+    def test_equal_zsets_hash_equal(self, x, y):
+        if x == y:
+            assert hash(x) == hash(y)
+        assert hash(x + y) == hash(y + x)
+
+
+class TestNormalization:
+    @SETTINGS
+    @given(st.lists(st.tuples(records, st.integers(-4, 4)), max_size=12))
+    def test_zero_weights_never_stored(self, items):
+        z = ZSet(items)
+        assert all(weight != 0 for _, weight in z.items())
+        for record, _ in items:
+            total = sum(w for r, w in items if r == record)
+            assert z.weight(record) == total
+            assert (record in z) == (total != 0)
+
+    @SETTINGS
+    @given(st.lists(records, max_size=12))
+    def test_of_counts_multiplicity(self, members):
+        z = ZSet.of(members)
+        for record in members:
+            assert z.weight(record) == members.count(record)
+        assert len(z) == len(set(members))
+
+    def test_singleton_with_zero_weight_is_zero(self):
+        assert ZSet.singleton(("a", 1), 0) == ZSet()
+
+
+class TestLinearOperators:
+    @SETTINGS
+    @given(zsets, zsets)
+    def test_filter_is_linear(self, x, y):
+        predicate = lambda record: record[0] % 2 == 0  # noqa: E731
+        assert (x + y).filter(predicate) == x.filter(predicate) + y.filter(predicate)
+
+    @SETTINGS
+    @given(zsets, zsets)
+    def test_map_is_linear(self, x, y):
+        fn = lambda record: record[0] % 3  # noqa: E731
+        assert (x + y).map(fn) == x.map(fn) + y.map(fn)
+
+    @SETTINGS
+    @given(zsets)
+    def test_map_sums_colliding_weights(self, x):
+        collapsed = x.map(lambda record: "all")
+        total = sum(weight for _, weight in x.items())
+        if total:
+            assert collapsed.weight("all") == total
+        else:
+            assert collapsed.is_zero()
+
+
+class TestDistinct:
+    @SETTINGS
+    @given(zsets, st.integers(1, 3))
+    def test_distinct_matches_definition(self, x, threshold):
+        d = x.distinct(threshold)
+        assert d.is_set()
+        for record, weight in x.items():
+            assert (record in d) == (weight >= threshold)
+
+    @SETTINGS
+    @given(zsets, st.integers(1, 3))
+    def test_distinct_idempotent(self, x, threshold):
+        once = x.distinct(threshold)
+        assert once.distinct() == once
+
+    @SETTINGS
+    @given(st.lists(records, max_size=10))
+    def test_distinct_fixes_set_like_zsets(self, members):
+        z = ZSet.of(set(members))
+        assert z.distinct() == z

@@ -1,10 +1,11 @@
 """Search limits reach the engine identically on every path (regression).
 
 ``max_depth`` / ``max_states`` must mean the same thing whether the
-search runs sequentially or on workers, and whether the caller used the
-current spelling or a deprecated shim (``explore_depth``, ``max_size``).
-``fact_reachable`` historically dropped ``max_states`` on the floor —
-the cap tests here pin the fix on both paths.
+search runs sequentially or on workers.  ``fact_reachable`` historically
+dropped ``max_states`` on the floor — the cap tests here pin the fix on
+both paths.  The deprecated spellings (``explore_depth``, ``max_size``)
+completed their cycle: the tail of this suite pins that every path now
+rejects them instead of silently forwarding.
 """
 
 from __future__ import annotations
@@ -68,34 +69,36 @@ class TestFactReachableForwarding:
         assert fact_reachable(program, "S3", 5, max_states=3, workers=workers) is None
 
 
-class TestShimsReachBothEngines:
-    def test_lint_explore_depth_under_parallel_default(self, _workers_default_guard):
+class TestLimitsReachBothEngines:
+    def test_lint_max_depth_under_parallel_default(self, _workers_default_guard):
         program = chain_program(3)
         baseline = lint_program(program, max_depth=3)
         set_default_workers(2)
-        with pytest.warns(DeprecationWarning, match="explore_depth"):
-            shimmed = lint_program(program, explore_depth=3)
-        assert [f.category for f in shimmed] == [f.category for f in baseline]
-        assert [f.message for f in shimmed] == [f.message for f in baseline]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parallel = lint_program(program, max_depth=3)
+        assert [f.category for f in parallel] == [f.category for f in baseline]
+        assert [f.message for f in parallel] == [f.message for f in baseline]
 
-    def test_minimum_scenario_max_size_under_parallel_default(
+    def test_minimum_scenario_max_depth_under_parallel_default(
         self, _workers_default_guard
     ):
         run = RunGenerator(churn_program(), seed=3).random_run(8)
         baseline = minimum_scenario(run, "observer", max_depth=4)
         set_default_workers(2)
-        with pytest.warns(DeprecationWarning, match="max_size"):
-            shimmed = minimum_scenario(run, "observer", max_size=4)
-        if baseline is None:
-            assert shimmed is None
-        else:
-            assert shimmed is not None and len(shimmed) == len(baseline)
-
-    def test_parallel_minimum_scenario_accepts_the_shim(self):
-        run = RunGenerator(churn_program(), seed=3).random_run(8)
-        with pytest.warns(DeprecationWarning, match="max_size"):
-            shimmed = parallel_minimum_scenario(run, "observer", workers=1, max_size=4)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            current = parallel_minimum_scenario(run, "observer", workers=1, max_depth=4)
-        assert shimmed == current
+            parallel = minimum_scenario(run, "observer", max_depth=4)
+        if baseline is None:
+            assert parallel is None
+        else:
+            assert parallel is not None and len(parallel) == len(baseline)
+
+    def test_retired_spellings_are_rejected_everywhere(self):
+        run = RunGenerator(churn_program(), seed=3).random_run(8)
+        with pytest.raises(TypeError):
+            minimum_scenario(run, "observer", max_size=4)
+        with pytest.raises(TypeError):
+            parallel_minimum_scenario(run, "observer", workers=1, max_size=4)
+        with pytest.raises(TypeError):
+            lint_program(chain_program(3), explore_depth=3)

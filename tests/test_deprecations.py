@@ -1,9 +1,13 @@
-"""The renamed-kwarg shims from the naming-consistency pass.
+"""The deprecation shims of the dataflow consolidation.
 
-Search limits are spelled ``max_depth`` / ``max_states`` / ``budget``
-everywhere; the pre-rename spellings (``max_size``, ``max_length``,
-``explore_depth``) still work for one release, warn, and reject being
-mixed with the new name.
+The delta-facing entry points moved into :mod:`repro.dataflow`
+(``ViewDelta`` -> ``Delta``, plus the ``delta_visible_to`` /
+``refresh_view_instance`` function forms); the old engine and
+``repro.workflow`` spellings keep working for one release through
+PEP 562 module ``__getattr__`` shims that warn and resolve to the new
+objects.  This suite pins exactly that shim set — and pins that the
+*previous* generation of shims (the PR 3/4 renamed kwargs and
+pre-backend toggles) is gone, so nothing resurrects them silently.
 """
 
 from __future__ import annotations
@@ -12,123 +16,129 @@ import warnings
 
 import pytest
 
-from repro.deprecation import renamed_kwarg
+from repro.deprecation import deprecated_module_attrs
 
 
-class TestRenamedKwarg:
-    def test_new_spelling_passes_through_silently(self):
+class TestDeprecatedModuleAttrs:
+    def test_resolves_with_warning(self):
+        getter = deprecated_module_attrs(
+            "fake.module", {"OldName": ("repro.dataflow", "Delta")}
+        )
+        with pytest.warns(DeprecationWarning, match="fake.module.OldName"):
+            resolved = getter("OldName")
+        from repro.dataflow import Delta
+
+        assert resolved is Delta
+
+    def test_warning_names_the_new_location(self):
+        getter = deprecated_module_attrs(
+            "fake.module", {"OldName": ("repro.dataflow", "Delta")}
+        )
+        with pytest.warns(DeprecationWarning, match="repro.dataflow.Delta"):
+            getter("OldName")
+
+    def test_unknown_attribute_raises_attribute_error(self):
+        getter = deprecated_module_attrs("fake.module", {})
+        with pytest.raises(AttributeError, match="fake.module"):
+            getter("anything")
+
+
+class TestMovedDeltaNames:
+    """The engine's delta surface now lives in repro.dataflow."""
+
+    def test_engine_viewdelta_is_dataflow_delta(self):
+        import repro.dataflow as dataflow
+        import repro.workflow.engine as engine
+
+        with pytest.warns(DeprecationWarning, match="repro.dataflow.Delta"):
+            assert engine.ViewDelta is dataflow.Delta
+
+    def test_workflow_viewdelta_is_dataflow_delta(self):
+        import repro.dataflow as dataflow
+        import repro.workflow as workflow
+
+        with pytest.warns(DeprecationWarning, match="repro.dataflow.Delta"):
+            assert workflow.ViewDelta is dataflow.Delta
+
+    def test_engine_delta_visible_to_shim(self):
+        import repro.dataflow as dataflow
+        import repro.workflow.engine as engine
+
+        with pytest.warns(DeprecationWarning, match="delta_visible_to"):
+            assert engine.delta_visible_to is dataflow.delta_visible_to
+
+    def test_engine_refresh_view_instance_shim(self):
+        import repro.dataflow as dataflow
+        import repro.workflow.engine as engine
+
+        with pytest.warns(DeprecationWarning, match="refresh_view_instance"):
+            assert engine.refresh_view_instance is dataflow.refresh_view_instance
+
+    def test_new_locations_are_warning_free(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert renamed_kwarg("f", "old", "new", None, 7) == 7
-            assert renamed_kwarg("f", "old", "new", None, None) is None
+            from repro.dataflow import (  # noqa: F401
+                Delta,
+                delta_visible_to,
+                refresh_view_instance,
+            )
 
-    def test_old_spelling_warns_and_resolves(self):
-        with pytest.warns(DeprecationWarning, match="'old'.*deprecated.*'new'"):
-            assert renamed_kwarg("f", "old", "new", 7, None) == 7
+    def test_unknown_engine_attribute_still_raises(self):
+        import repro.workflow.engine as engine
 
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="both"):
-            renamed_kwarg("f", "old", "new", 1, 2)
+        with pytest.raises(AttributeError):
+            engine.no_such_name
 
 
-class TestScenarioShims:
-    def test_minimum_scenario_max_size(self, approval_run):
-        from repro.core import minimum_scenario
+class TestRetiredShims:
+    """The PR 3/4 shims completed their cycle and are gone for good."""
 
-        with pytest.warns(DeprecationWarning, match="max_size"):
-            old = minimum_scenario(approval_run, "applicant", max_size=3)
+    def test_renamed_kwarg_is_gone(self):
+        import repro.deprecation as deprecation
+
+        assert not hasattr(deprecation, "renamed_kwarg")
+
+    def test_set_planned_is_gone(self):
+        from repro.workflow import planner
+
+        assert not hasattr(planner, "set_planned")
+        assert "set_planned" not in planner.__all__
+
+    def test_naive_queries_env_is_ignored(self, monkeypatch):
+        from repro.workflow import planner
+
+        monkeypatch.delenv("REPRO_QUERY_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_NAIVE_QUERIES", "1")
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            new = minimum_scenario(approval_run, "applicant", max_depth=3)
-        assert old == new
+            assert planner._backend_from_env() == "compiled"
 
-    def test_scenario_within_max_size(self, approval_run):
-        from repro.core.scenarios import scenario_within
-
-        allowed = range(len(approval_run.events))
-        with pytest.warns(DeprecationWarning, match="max_size"):
-            old = scenario_within(approval_run, "applicant", allowed, max_size=3)
-        new = scenario_within(approval_run, "applicant", allowed, max_depth=3)
-        assert old == new
-
-    def test_mixing_spellings_is_an_error(self, approval_run):
+    def test_minimum_scenario_rejects_max_size(self, approval_run):
         from repro.core import minimum_scenario
 
         with pytest.raises(TypeError):
-            minimum_scenario(approval_run, "applicant", max_depth=3, max_size=3)
+            minimum_scenario(approval_run, "applicant", max_size=3)
 
-    def test_anytime_minimum_scenario_max_size(self, approval_run):
-        from repro.runtime import Budget, anytime_minimum_scenario
-
-        with pytest.warns(DeprecationWarning, match="max_size"):
-            result = anytime_minimum_scenario(
-                approval_run, "applicant", Budget(), max_size=3
-            )
-        assert result.value is not None
-
-
-class TestEnumerateShims:
-    def test_max_length_still_works(self, approval):
+    def test_enumerate_rejects_max_length(self, approval):
         from repro.workflow.enumerate import enumerate_event_sequences
 
-        with pytest.warns(DeprecationWarning, match="max_length"):
-            old = list(enumerate_event_sequences(approval, max_length=2))
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            new = list(enumerate_event_sequences(approval, max_depth=2))
-        assert len(old) == len(new)
+        with pytest.raises(TypeError):
+            list(enumerate_event_sequences(approval, max_length=2))
 
-    def test_depth_is_required(self, approval):
+    def test_enumerate_depth_is_still_required(self, approval):
         from repro.workflow.enumerate import enumerate_event_sequences
 
         with pytest.raises(TypeError, match="max_depth"):
             list(enumerate_event_sequences(approval))
 
-
-class TestLintShims:
-    def test_explore_depth_still_works(self, approval):
+    def test_lint_rejects_explore_depth(self, approval):
         from repro.workflow.lint import lint_program
 
-        with pytest.warns(DeprecationWarning, match="explore_depth"):
-            old = lint_program(approval, explore_depth=3)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            new = lint_program(approval, max_depth=3)
-        assert [f.category for f in old] == [f.category for f in new]
+        with pytest.raises(TypeError):
+            lint_program(approval, explore_depth=3)
 
+    def test_anytime_minimum_scenario_rejects_max_size(self, approval_run):
+        from repro.runtime import Budget, anytime_minimum_scenario
 
-class TestQueryBackendShims:
-    """The pre-backend-switch spellings still work for one release."""
-
-    def test_set_planned_warns_and_delegates(self):
-        from repro.workflow import planner
-
-        previous = planner.query_backend()
-        try:
-            with pytest.warns(DeprecationWarning, match="set_backend"):
-                planner.set_planned(False)
-            assert planner.query_backend() == "naive"
-            assert not planner.planned_enabled()
-            with pytest.warns(DeprecationWarning, match="set_backend"):
-                planner.set_planned(True)
-            assert planner.query_backend() == "planned"
-            assert planner.planned_enabled()
-        finally:
-            planner.set_backend(previous)
-
-    def test_naive_queries_env_warns_and_maps_to_naive(self, monkeypatch):
-        from repro.workflow import planner
-
-        monkeypatch.delenv("REPRO_QUERY_BACKEND", raising=False)
-        monkeypatch.setenv("REPRO_NAIVE_QUERIES", "1")
-        with pytest.warns(DeprecationWarning, match="REPRO_QUERY_BACKEND=naive"):
-            assert planner._backend_from_env() == "naive"
-
-    def test_explicit_backend_env_wins_without_warning(self, monkeypatch):
-        from repro.workflow import planner
-
-        monkeypatch.setenv("REPRO_QUERY_BACKEND", "planned")
-        monkeypatch.setenv("REPRO_NAIVE_QUERIES", "1")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert planner._backend_from_env() == "planned"
+        with pytest.raises(TypeError):
+            anytime_minimum_scenario(approval_run, "applicant", Budget(), max_size=3)

@@ -1,13 +1,13 @@
-"""ViewDelta: per-transition touched-key summaries (the cache feed)."""
+"""Delta: per-transition touched-key summaries (the dataflow feed)."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.dataflow import Delta
 from repro.workflow import (
     Instance,
     RunGenerator,
-    ViewDelta,
     apply_event_with_delta,
     event_delta,
 )
@@ -29,7 +29,7 @@ def apply_delta_to_data(instance, delta):
     return data
 
 
-class TestViewDelta:
+class TestDelta:
     def test_insertion_delta(self):
         program = churn_program()
         run = RunGenerator(program, seed=0).random_run(1)
@@ -103,7 +103,7 @@ class TestViewDelta:
     def test_noop_delta_is_empty(self):
         program = churn_program()
         instance = Instance.empty(program.schema.schema)
-        delta = ViewDelta(changes={})
+        delta = Delta(changes={})
         assert delta.is_empty()
         assert delta.touched_relations() == ()
         assert apply_delta_to_data(instance, delta) == {}

@@ -11,6 +11,10 @@ repo root:
   planner and the query compiler) must stay at or above this line
   coverage; the compiled backend is only trustworthy to the extent the
   equivalence suites actually reach its codegen paths.
+* ``dataflow_floor`` — the ``repro.dataflow`` package (the Z-set
+  algebra, the incremental operators, the delta graph) must stay at or
+  above this line coverage; every derived artifact in the service rides
+  on these operators being exercised.
 * ``total`` / ``allowed_total_drop`` — total line coverage may not fall
   more than ``allowed_total_drop`` percentage points below the recorded
   ``total``.  The recorded value only moves when someone runs
@@ -39,18 +43,21 @@ from pathlib import Path
 RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
 _PARALLEL = re.compile(r"(^|/)(src/)?(repro/)?parallel/[^/]+\.py$")
 _WORKFLOW = re.compile(r"(^|/)(src/)?(repro/)?workflow/[^/]+\.py$")
+_DATAFLOW = re.compile(r"(^|/)(src/)?(repro/)?dataflow/[^/]+\.py$")
 
 
 def measure(xml_path: Path) -> dict:
-    """Total, repro.parallel and repro.workflow line coverage (percent)."""
+    """Total, repro.parallel/.workflow/.dataflow line coverage (percent)."""
     root = ET.parse(str(xml_path)).getroot()
     total_valid = total_covered = 0
     parallel_valid = parallel_covered = 0
     workflow_valid = workflow_covered = 0
+    dataflow_valid = dataflow_covered = 0
     for cls in root.iter("class"):
         filename = (cls.get("filename") or "").replace("\\", "/")
         in_parallel = bool(_PARALLEL.search(filename))
         in_workflow = bool(_WORKFLOW.search(filename))
+        in_dataflow = bool(_DATAFLOW.search(filename))
         for line in cls.iter("line"):
             total_valid += 1
             hit = int(line.get("hits", "0")) > 0
@@ -61,6 +68,9 @@ def measure(xml_path: Path) -> dict:
             if in_workflow:
                 workflow_valid += 1
                 workflow_covered += hit
+            if in_dataflow:
+                dataflow_valid += 1
+                dataflow_covered += hit
     if total_valid == 0:
         raise SystemExit(f"error: no line data found in {xml_path}")
 
@@ -73,6 +83,8 @@ def measure(xml_path: Path) -> dict:
         "parallel_lines": parallel_valid,
         "workflow": round(pct(workflow_covered, workflow_valid), 2),
         "workflow_lines": workflow_valid,
+        "dataflow": round(pct(dataflow_covered, dataflow_valid), 2),
+        "dataflow_lines": dataflow_valid,
     }
 
 
@@ -92,7 +104,8 @@ def main(argv: list[str] | None = None) -> int:
         f"coverage: total {measured['total']:.2f}% | repro.parallel "
         f"{measured['parallel']:.2f}% over {measured['parallel_lines']} lines "
         f"| repro.workflow {measured['workflow']:.2f}% over "
-        f"{measured['workflow_lines']} lines"
+        f"{measured['workflow_lines']} lines | repro.dataflow "
+        f"{measured['dataflow']:.2f}% over {measured['dataflow_lines']} lines"
     )
 
     if args.update:
@@ -119,6 +132,17 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"repro.workflow coverage {measured['workflow']:.2f}% is below "
                 f"the {workflow_floor:.2f}% floor"
+            )
+    dataflow_floor = ratchet.get("dataflow_floor")
+    if dataflow_floor is not None:
+        if measured["dataflow_lines"] == 0:
+            failures.append(
+                "no repro.dataflow lines in the report (wrong --cov target?)"
+            )
+        elif measured["dataflow"] < dataflow_floor:
+            failures.append(
+                f"repro.dataflow coverage {measured['dataflow']:.2f}% is below "
+                f"the {dataflow_floor:.2f}% floor"
             )
     floor = ratchet["total"] - ratchet["allowed_total_drop"]
     if measured["total"] < floor:
