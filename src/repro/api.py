@@ -188,6 +188,22 @@ from .cluster import (
 )
 
 # ----------------------------------------------------------------------
+# Workload generators: realistic families and the program fuzzer
+# ----------------------------------------------------------------------
+from .workloads import (
+    DifferentialReport,
+    FuzzConfig,
+    WorkflowFamily,
+    differential_check,
+    family_names,
+    fuzz_corpus,
+    fuzz_program,
+    get_family,
+    make_family_program,
+    shrink_program,
+)
+
+# ----------------------------------------------------------------------
 # Observability: tracing, metrics, provenance
 # ----------------------------------------------------------------------
 from .obs import (
@@ -204,6 +220,7 @@ from .obs import (
     span,
     tracing_enabled,
 )
+from .obs.shapley import ShapleyReport, shapley_rank, shapley_values
 
 __all__ = [
     # workflow model
@@ -327,6 +344,17 @@ __all__ = [
     "ShardSupervisor",
     "reconcile_with_follower",
     "run_cluster_loadgen",
+    # workload generators
+    "DifferentialReport",
+    "FuzzConfig",
+    "WorkflowFamily",
+    "differential_check",
+    "family_names",
+    "fuzz_corpus",
+    "fuzz_program",
+    "get_family",
+    "make_family_program",
+    "shrink_program",
     # observability
     "METRICS",
     "JsonLinesSink",
@@ -335,9 +363,12 @@ __all__ = [
     "ProvenanceLog",
     "ProvenanceRecord",
     "RingBufferSink",
+    "ShapleyReport",
     "SpanRecord",
     "capture_spans",
     "configure_tracing",
+    "shapley_rank",
+    "shapley_values",
     "span",
     "tracing_enabled",
 ]

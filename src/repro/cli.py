@@ -23,7 +23,9 @@ Programs are read from files in the textual syntax of
 :mod:`repro.workflow.parser`; the service commands alternatively accept
 ``--workload <name>`` to use a built-in generator from
 :mod:`repro.workloads` (``churn``, ``profile``, ``hiring``,
-``chain:<depth>``).
+``chain:<depth>``, ``fuzz:<seed>``, or a realistic family spec such as
+``ecommerce``, ``healthcare:stages=4``, ``cicd``,
+``procurement:vendors=5,visibility=1.0``).
 
 Every command accepts the global ``--wall-budget`` / ``--max-steps``
 options, which install an ambient :class:`repro.runtime.budget.Budget`
@@ -95,9 +97,21 @@ def _load_service_program(args: argparse.Namespace) -> WorkflowProgram:
             return workloads.chain_program(int(name.split(":", 1)[1]))
         except ValueError:
             raise WorkflowError(f"bad chain depth in workload {name!r}") from None
+    if name.startswith("fuzz:"):
+        try:
+            return workloads.fuzz_program(int(name.split(":", 1)[1]))
+        except ValueError:
+            raise WorkflowError(f"bad fuzz seed in workload {name!r}") from None
+    family = workloads.parse_family_spec(name)[0]
+    if family in workloads.FAMILIES:
+        try:
+            return workloads.make_family_program(name)[0]
+        except (KeyError, ValueError) as exc:
+            raise WorkflowError(f"bad family workload {name!r}: {exc}") from None
     raise WorkflowError(
         f"unknown workload {name!r} "
-        f"(expected {', '.join(sorted(named))} or chain:<depth>)"
+        f"(expected {', '.join(sorted(named))}, chain:<depth>, fuzz:<seed>, "
+        f"or a family spec: {', '.join(workloads.family_names())})"
     )
 
 
@@ -296,6 +310,57 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             print(
                 f"  [{citation['seq']}] {citation['rule']}@{citation['peer']}: "
                 f"{touched}; visible to {visible}"
+            )
+    if args.rank:
+        from .obs.shapley import shapley_rank
+
+        relation = key = None
+        if args.target:
+            relation, _, key_text = args.target.partition(":")
+            if key_text:
+                key = int(key_text) if key_text.lstrip("-").isdigit() else key_text
+        try:
+            report = shapley_rank(
+                run,
+                args.peer,
+                relation=relation or None,
+                key=key,
+                method=args.rank_method,
+                samples=args.rank_samples,
+                seed=args.rank_seed,
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise WorkflowError(f"cannot rank: {message}") from None
+        log = run_provenance(run)
+        citations = {
+            record["seq"]: record
+            for record in log.citations(
+                [entry.position for entry in report.attributions]
+            )
+        }
+        suffix = (
+            f", {report.samples} samples, seed {report.seed}"
+            if report.method == "sampled"
+            else ""
+        )
+        print(
+            f"\nShapley ranking toward {report.target} "
+            f"({report.method}{suffix}): "
+            f"total {report.total():.4f} = {report.grand:.4f} "
+            f"- {report.baseline:.4f}"
+        )
+        for entry in report.ranking():
+            citation = citations.get(entry.position)
+            touched = ""
+            if citation is not None:
+                touched = "; " + (", ".join(
+                    f"{t['action']} {t['relation']}({t['key']})"
+                    for t in citation["touched"]
+                ) or "no tuple changes")
+            print(
+                f"  [{entry.position}] {entry.value:+.4f} "
+                f"{entry.rule}@{entry.peer}{touched}"
             )
     return 0
 
@@ -608,6 +673,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--provenance", action="store_true",
                            help="cite each scenario event's provenance "
                                 "(touched tuples, observing peers)")
+    p_explain.add_argument("--rank", action="store_true",
+                           help="rank the run's events by Shapley value "
+                                "toward the peer's view (or --target)")
+    p_explain.add_argument("--target", metavar="REL[:KEY]", default=None,
+                           help="rank toward one visible fact instead of "
+                                "the whole view")
+    p_explain.add_argument("--rank-method", default="auto",
+                           choices=("auto", "exact", "sampled"),
+                           help="exact enumeration vs seeded permutation "
+                                "sampling (default: auto)")
+    p_explain.add_argument("--rank-samples", type=int, default=128,
+                           help="permutations when sampling (default 128)")
+    p_explain.add_argument("--rank-seed", type=int, default=0,
+                           help="sampling seed (default 0)")
     p_explain.set_defaults(handler=_cmd_explain)
 
     p_synth = sub.add_parser("synthesize", help="synthesize the peer's view program")
@@ -628,7 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workflow program file (textual syntax)")
         p.add_argument("--workload", default=None,
                        help="built-in workload instead of a program file "
-                            "(churn, profile, hiring, chain:<depth>)")
+                            "(churn, profile, hiring, chain:<depth>, "
+                            "fuzz:<seed>, or a family spec like ecommerce, "
+                            "healthcare:stages=4, cicd, procurement)")
         p.add_argument("--host", default="127.0.0.1", help="service host")
         p.add_argument("--port", type=int, default=7477, help="service port")
 

@@ -62,6 +62,20 @@ Operations
               touched relation ``R`` (or its key ``k``), or which
               events changed peer ``p``'s view.  Without a filter the
               whole log is returned under ``records``.
+``provenance_rank`` ``{"op": "provenance_rank", "run": <id>, "peer": p,
+              "relation": R?, "key": k?, "method": m?, "samples": s?,
+              "seed": n?}`` — Shapley-value attribution of the hosted
+              run's events toward a target visible to peer ``p``: the
+              fact ``R[k]`` (or all of ``R`` without a key, or the
+              peer's whole view without a relation).  ``method`` is
+              ``auto`` (default), ``exact`` or ``sampled``; sampling is
+              deterministic in ``seed``.  The response's ``ranking``
+              lists events most-important first, each merged with its
+              provenance citation; ``baseline``, ``grand`` and
+              ``total`` expose the efficiency identity
+              ``total == grand - baseline``.  Runs longer than
+              ``MAX_RANK_EVENTS`` are refused (``invalid``): ranking
+              replays event coalitions, so cost grows with run length.
 ``replicate`` ``{"op": "replicate", "run": <id>, "records": [...]}`` —
               append journal records shipped by another shard's
               primary into this server's storage backend (the
@@ -121,8 +135,10 @@ __all__ = [
 #: drain-before-ack ``shutdown`` contract and structured error
 #: envelopes for oversized request lines.  Version 4 added the
 #: ``submit_batch`` op (several events to one run in a single request,
-#: per-event outcomes in order).
-PROTOCOL_VERSION = 4
+#: per-event outcomes in order).  Version 5 added the
+#: ``provenance_rank`` op (Shapley-ranked provenance attributions for a
+#: peer-visible target).
+PROTOCOL_VERSION = 5
 
 #: Request lines longer than this are rejected with a structured
 #: ``protocol`` error envelope instead of dropping the connection.
@@ -139,6 +155,7 @@ OPS = (
     "stats",
     "metrics",
     "provenance",
+    "provenance_rank",
     "replicate",
     "close",
     "shutdown",
@@ -155,12 +172,13 @@ _RUN_OPS = frozenset(
         "explain",
         "applicable",
         "provenance",
+        "provenance_rank",
         "replicate",
         "close",
     }
 )
 #: Ops that must name a peer.
-_PEER_OPS = frozenset({"view", "explain"})
+_PEER_OPS = frozenset({"view", "explain", "provenance_rank"})
 
 
 class LineReader:
@@ -295,6 +313,20 @@ def parse_request(message: Dict[str, Any]) -> PyTuple[str, Dict[str, Any]]:
                 raise ProtocolError(
                     "the 'seq' idempotency key must be a non-negative integer"
                 )
+    if op == "provenance_rank":
+        method = message.get("method")
+        if method is not None and method not in ("auto", "exact", "sampled"):
+            raise ProtocolError(
+                "the 'method' field must be 'auto', 'exact' or 'sampled'"
+            )
+        for field in ("samples", "seed"):
+            count = message.get(field)
+            if count is not None and (not isinstance(count, int) or count < 0):
+                raise ProtocolError(
+                    f"the {field!r} field must be a non-negative integer"
+                )
+        if message.get("key") is not None and message.get("relation") is None:
+            raise ProtocolError("a target 'key' needs a target 'relation'")
     if op == "replicate":
         records = message.get("records")
         if not message.get("count") and not isinstance(records, list):

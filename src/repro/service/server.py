@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..obs.metrics import METRICS
+from ..obs.shapley import shapley_rank
 from ..runtime.budget import Budget
 from ..runtime.faults import DiskFaultInjector, DiskFaultPlan, FaultPlan
 from ..runtime.supervisor import RetryPolicy
@@ -48,7 +49,11 @@ from .protocol import (
 )
 from .registry import ShardedRunRegistry
 
-__all__ = ["ServiceServer", "WorkflowService"]
+__all__ = ["MAX_RANK_EVENTS", "ServiceServer", "WorkflowService"]
+
+#: ``provenance_rank`` replays event coalitions (samples × run length
+#: engine applications), so runs longer than this are refused.
+MAX_RANK_EVENTS = 128
 
 _REQUESTS = METRICS.counter(
     "repro_service_requests_total",
@@ -340,6 +345,54 @@ class WorkflowService:
         else:
             response["records"] = log.to_dicts()
         return ok_response(request_id, **response)
+
+    async def _op_provenance_rank(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        """Shapley-ranked event attributions for a peer-visible target.
+
+        Ranking replays event coalitions through the engine, so its
+        cost grows with run length; runs longer than
+        :data:`MAX_RANK_EVENTS` are refused rather than stalling the
+        server's request loop.
+        """
+        peer = request["peer"]
+        if peer not in self.program.schema.peers:
+            raise ServiceError(f"unknown peer {peer!r}")
+        hosted = await self.registry.get(request["run"])
+        if hosted.applied > MAX_RANK_EVENTS:
+            raise ServiceError(
+                f"run has {hosted.applied} events; provenance_rank is capped "
+                f"at {MAX_RANK_EVENTS} (rank a shorter run or a prefix)"
+            )
+        from ..workflow.runs import execute
+
+        run = execute(
+            self.program, hosted.events, hosted.initial, check_freshness=False
+        )
+        report = shapley_rank(
+            run,
+            peer,
+            relation=request.get("relation"),
+            key=request.get("key"),
+            method=request.get("method", "auto"),
+            samples=request.get("samples", 128),
+            seed=request.get("seed", 0),
+        )
+        citations = {
+            record["seq"]: record
+            for record in hosted.provenance_log().citations(
+                [entry.position for entry in report.attributions]
+            )
+        }
+        payload = report.to_dict()
+        payload["ranking"] = [
+            {**entry, "provenance": citations.get(entry["position"])}
+            for entry in payload["ranking"]
+        ]
+        return ok_response(
+            request_id, run=hosted.run_id, applied=hosted.applied, **payload
+        )
 
     async def _op_replicate(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
         """Follower half of journal replication: append shipped records.

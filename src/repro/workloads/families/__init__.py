@@ -1,0 +1,53 @@
+"""Realistic workflow program families, sized by knobs.
+
+Importing this package registers the four families in
+:data:`~repro.workloads.families.base.FAMILIES`:
+
+* ``ecommerce`` — order fulfillment across shop, bank, warehouses and
+  couriers (observer: ``customer``);
+* ``healthcare`` — treatment approvals through doctors, a review-board
+  chain and an insurer (observer: ``patient``);
+* ``cicd`` — commit build/test pipeline with per-service deploys and
+  rollbacks (observer: ``oncall``);
+* ``procurement`` — requisition, competitive quotes, award, a finance
+  approval chain and fulfillment (observer: ``auditor``).
+
+Every family accepts a ``visibility`` density knob (0.0–1.0) governing
+how much of the internal pipeline its observer sees, plus size knobs
+listed in its ``defaults``.  Specs like ``"ecommerce:items=5,couriers=3"``
+resolve through :func:`make_family_program`.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    FAMILIES,
+    WorkflowFamily,
+    family_names,
+    get_family,
+    make_family_program,
+    parse_family_spec,
+    register,
+)
+from .cicd import CICD, cicd_program
+from .ecommerce import ECOMMERCE, ecommerce_program
+from .healthcare import HEALTHCARE, healthcare_program
+from .procurement import PROCUREMENT, procurement_program
+
+__all__ = [
+    "CICD",
+    "ECOMMERCE",
+    "FAMILIES",
+    "HEALTHCARE",
+    "PROCUREMENT",
+    "WorkflowFamily",
+    "cicd_program",
+    "ecommerce_program",
+    "family_names",
+    "get_family",
+    "healthcare_program",
+    "make_family_program",
+    "parse_family_spec",
+    "procurement_program",
+    "register",
+]

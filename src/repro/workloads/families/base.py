@@ -1,0 +1,157 @@
+"""Registry and shared machinery for realistic workflow program families.
+
+A :class:`WorkflowFamily` packages a parameterized *program builder*
+(sized by keyword knobs such as ``items``, ``stages`` or ``visibility``)
+together with everything needed to drive the rest of the stack on it:
+
+* the canonical observer peer whose transparency is under study,
+* per-rule weights that bias seeded random runs toward *plausible*
+  traces (pipelines advance instead of endlessly creating new roots),
+* seeded event-stream generation (:meth:`WorkflowFamily.events`) and
+  full run execution (:meth:`WorkflowFamily.run`).
+
+Families register themselves in :data:`FAMILIES` at import time; the
+CLI, the loadgen and the fuzzer's differential harness all resolve
+family *specs* of the form ``"name"`` or ``"name:knob=value,..."``
+through :func:`make_family_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ...workflow.enumerate import RunGenerator
+from ...workflow.events import Event
+from ...workflow.program import WorkflowProgram
+from ...workflow.runs import Run
+
+#: Global registry of workflow families, keyed by family name.
+FAMILIES: Dict[str, "WorkflowFamily"] = {}
+
+
+@dataclass(frozen=True)
+class WorkflowFamily:
+    """A parameterized realistic workflow program family."""
+
+    name: str
+    summary: str
+    observer: str
+    defaults: Mapping[str, object]
+    builder: Callable[..., WorkflowProgram]
+    #: Per-rule-name weights biasing :class:`RunGenerator` choices toward
+    #: plausible traces.  Rule names absent from the mapping weigh 1.0.
+    weights: Mapping[str, float] = field(default_factory=dict)
+
+    def knobs(self, **overrides: object) -> Dict[str, object]:
+        """The effective knob assignment after applying *overrides*."""
+        merged = dict(self.defaults)
+        for key, value in overrides.items():
+            if key not in merged:
+                raise KeyError(
+                    f"unknown knob {key!r} for family {self.name!r}; "
+                    f"valid knobs: {', '.join(sorted(merged))}"
+                )
+            merged[key] = value
+        return merged
+
+    def program(self, **overrides: object) -> WorkflowProgram:
+        """Build the family program under the given knob *overrides*."""
+        return self.builder(**self.knobs(**overrides))
+
+    def events(
+        self,
+        seed: int = 0,
+        steps: int = 40,
+        program: Optional[WorkflowProgram] = None,
+        **overrides: object,
+    ) -> List[Event]:
+        """A seeded plausible event stream of at most *steps* events."""
+        return list(self.run(seed=seed, steps=steps, program=program, **overrides).events)
+
+    def run(
+        self,
+        seed: int = 0,
+        steps: int = 40,
+        program: Optional[WorkflowProgram] = None,
+        **overrides: object,
+    ) -> Run:
+        """A seeded plausible run of at most *steps* events."""
+        if program is None:
+            program = self.program(**overrides)
+        elif overrides:
+            raise TypeError("pass either a prebuilt program or knob overrides, not both")
+        generator = RunGenerator(program, seed=seed)
+        return generator.random_run(steps, rule_weights=dict(self.weights))
+
+
+def register(family: WorkflowFamily) -> WorkflowFamily:
+    """Add *family* to :data:`FAMILIES` (idempotent per name)."""
+    FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> Tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def get_family(name: str) -> WorkflowFamily:
+    """Look up a family by name, with a helpful error."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workflow family {name!r}; known families: "
+            f"{', '.join(family_names())}"
+        ) from None
+
+
+def _parse_knob_value(text: str) -> object:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_family_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Split ``"name:knob=value,..."`` into the name and knob overrides."""
+    name, _, knob_text = spec.partition(":")
+    overrides: Dict[str, object] = {}
+    if knob_text:
+        for part in knob_text.split(","):
+            key, eq, value = part.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"bad family knob {part!r} in spec {spec!r} "
+                    "(expected knob=value)"
+                )
+            overrides[key.strip()] = _parse_knob_value(value.strip())
+    return name.strip(), overrides
+
+
+def make_family_program(spec: str) -> Tuple[WorkflowProgram, WorkflowFamily]:
+    """Resolve a family *spec* into a built program and its family."""
+    name, overrides = parse_family_spec(spec)
+    family = get_family(name)
+    return family.program(**overrides), family
+
+
+def optional_views(
+    relations: List[Tuple[str, str]], peer: str, visibility: float
+) -> List[str]:
+    """View lines for the first ``round(visibility * len)`` of *relations*.
+
+    Families list their observer's *optional* ``(relation, attrs)`` pairs
+    from most to least externally meaningful; the ``visibility`` knob
+    (0.0–1.0) slides how deep into the internal pipeline the observer can
+    see.
+    """
+    if not 0.0 <= visibility <= 1.0:
+        raise ValueError(f"visibility must be in [0, 1], got {visibility}")
+    count = int(round(visibility * len(relations)))
+    return [f"view {name}@{peer}({attrs})" for name, attrs in relations[:count]]

@@ -1,0 +1,116 @@
+"""CI/CD deployment-pipeline family.
+
+A ``dev`` peer pushes commits, a ``ci`` peer builds them and walks them
+through ``stages`` test stages (or flags a flake), and one dedicated
+deployer peer per service promotes fully-tested commits to that
+service's ``Live<j>`` relation.  A late ``Fail`` triggers per-service
+rollbacks — keyed deletions, so the family exercises retraction of
+previously visible facts.
+
+The ``oncall`` peer is the observer: they always see what is live on
+every service plus failures; the ``visibility`` knob slides whether the
+upstream pipeline (commits, builds, final test passes) is disclosed.
+Because each service has its own relation and deployer, the family scales
+peer-fan-out with the ``services`` knob.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workflow.parser import parse_program
+from ...workflow.program import WorkflowProgram
+from .base import WorkflowFamily, optional_views, register
+
+OBSERVER = "oncall"
+
+
+def cicd_program(
+    stages: int = 3,
+    services: int = 2,
+    visibility: float = 0.5,
+) -> WorkflowProgram:
+    """Build the CI/CD pipeline program for the given knobs."""
+    if stages < 1 or services < 1:
+        raise ValueError("stages and services must both be >= 1")
+    deployer_peers = [f"deployer{j}" for j in range(services)]
+    lines: List[str] = [
+        "peers dev, ci, " + ", ".join(deployer_peers) + f", {OBSERVER}",
+        "relation Commit(K)",
+        "relation Build(K)",
+        "relation Fail(K)",
+    ]
+    for s in range(stages):
+        lines.append(f"relation Pass{s}(K)")
+    for j in range(services):
+        lines.append(f"relation Live{j}(K)")
+    lines.append("view Commit@dev(K)")
+    lines.append("view Build@dev(K)")
+    lines.append("view Fail@dev(K)")
+    lines.append("view Commit@ci(K)")
+    lines.append("view Build@ci(K)")
+    lines.append("view Fail@ci(K)")
+    for s in range(stages):
+        lines.append(f"view Pass{s}@ci(K)")
+    for j, peer in enumerate(deployer_peers):
+        lines.append(f"view Pass{stages - 1}@{peer}(K)")
+        lines.append(f"view Fail@{peer}(K)")
+        lines.append(f"view Live{j}@{peer}(K)")
+    # Oncall always sees what is live and what failed ...
+    for j in range(services):
+        lines.append(f"view Live{j}@{OBSERVER}(K)")
+    lines.append(f"view Fail@{OBSERVER}(K)")
+    # ... and visibility-many upstream pipeline relations.
+    lines.extend(
+        optional_views(
+            [
+                ("Commit", "K"),
+                (f"Pass{stages - 1}", "K"),
+                ("Build", "K"),
+            ],
+            OBSERVER,
+            visibility,
+        )
+    )
+    lines.append("[push] +Commit@dev(c) :-")
+    lines.append(
+        "[build] +Build@ci(x) :- Commit@ci(x), not Fail@ci(x), not Key[Build]@ci(x)"
+    )
+    lines.append(
+        "[test0] +Pass0@ci(x) :- Build@ci(x), not Fail@ci(x), not Key[Pass0]@ci(x)"
+    )
+    for s in range(1, stages):
+        lines.append(
+            f"[test{s}] +Pass{s}@ci(x) :- Pass{s - 1}@ci(x), not Fail@ci(x), "
+            f"not Key[Pass{s}]@ci(x)"
+        )
+    lines.append(
+        f"[flake] +Fail@ci(x) :- Build@ci(x), not Pass{stages - 1}@ci(x), "
+        "not Fail@ci(x)"
+    )
+    for j, peer in enumerate(deployer_peers):
+        lines.append(
+            f"[deploy_s{j}] +Live{j}@{peer}(x) :- Pass{stages - 1}@{peer}(x), "
+            f"not Fail@{peer}(x), not Key[Live{j}]@{peer}(x)"
+        )
+        lines.append(
+            f"[rollback_s{j}] -Key[Live{j}]@{peer}(x) :- "
+            f"Live{j}@{peer}(x), Fail@{peer}(x)"
+        )
+    return parse_program("\n".join(lines))
+
+
+CICD = register(
+    WorkflowFamily(
+        name="cicd",
+        summary="commit build/test pipeline with per-service deploys and rollbacks",
+        observer=OBSERVER,
+        defaults={"stages": 3, "services": 2, "visibility": 0.5},
+        builder=cicd_program,
+        weights={
+            "push": 0.35,
+            "flake": 0.25,
+            **{f"deploy_s{j}": 1.5 for j in range(64)},
+        },
+    )
+)

@@ -1,0 +1,143 @@
+"""E-commerce order fulfillment family.
+
+A ``customer`` places orders from a catalog of ``items`` SKUs; the
+``shop`` accepts them, the ``bank`` authorizes or refuses payment, one of
+``warehouses`` warehouses picks the goods, and one of ``couriers``
+couriers ships and delivers them.  Refused orders are cancelled by the
+shop (a keyed deletion, so the family churns the key space).
+
+The customer is the observer: they always see their orders and final
+deliveries; the ``visibility`` knob slides how much of the internal
+pipeline (shipping, refusals, payment, acceptance, picking) the shop
+exposes to them.  Rules exercise negation (``not Refused``), negative
+key literals as idempotency guards (``not Key[Paid]``), multi-attribute
+relations and constants in heads and bodies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workflow.parser import parse_program
+from ...workflow.program import WorkflowProgram
+from .base import WorkflowFamily, optional_views, register
+
+OBSERVER = "customer"
+
+
+def ecommerce_program(
+    items: int = 3,
+    warehouses: int = 2,
+    couriers: int = 2,
+    visibility: float = 0.5,
+) -> WorkflowProgram:
+    """Build the e-commerce fulfillment program for the given knobs."""
+    if items < 1 or warehouses < 1 or couriers < 1:
+        raise ValueError("items, warehouses and couriers must all be >= 1")
+    warehouse_peers = [f"warehouse{w}" for w in range(warehouses)]
+    courier_peers = [f"courier{c}" for c in range(couriers)]
+    lines: List[str] = [
+        "peers shop, bank, "
+        + ", ".join(warehouse_peers + courier_peers)
+        + f", {OBSERVER}",
+        "relation Order(K, item)",
+        "relation Accepted(K)",
+        "relation Paid(K)",
+        "relation Refused(K)",
+        "relation Picked(K, site)",
+        "relation Shipped(K, courier)",
+        "relation Delivered(K)",
+    ]
+    # The shop coordinates, so it sees the whole lifecycle.
+    for name, attrs in (
+        ("Order", "K, item"),
+        ("Accepted", "K"),
+        ("Paid", "K"),
+        ("Refused", "K"),
+        ("Picked", "K, site"),
+        ("Shipped", "K, courier"),
+        ("Delivered", "K"),
+    ):
+        lines.append(f"view {name}@shop({attrs})")
+    for name, attrs in (("Order", "K, item"), ("Paid", "K"), ("Refused", "K")):
+        lines.append(f"view {name}@bank({attrs})")
+    for peer in warehouse_peers:
+        for name, attrs in (
+            ("Accepted", "K"),
+            ("Paid", "K"),
+            ("Picked", "K, site"),
+        ):
+            lines.append(f"view {name}@{peer}({attrs})")
+    for peer in courier_peers:
+        for name, attrs in (
+            ("Picked", "K, site"),
+            ("Shipped", "K, courier"),
+            ("Delivered", "K"),
+        ):
+            lines.append(f"view {name}@{peer}({attrs})")
+    # The customer always sees their orders and deliveries ...
+    lines.append(f"view Order@{OBSERVER}(K, item)")
+    lines.append(f"view Delivered@{OBSERVER}(K)")
+    # ... and visibility-many of the internal pipeline relations.
+    lines.extend(
+        optional_views(
+            [
+                ("Shipped", "K, courier"),
+                ("Refused", "K"),
+                ("Paid", "K"),
+                ("Accepted", "K"),
+                ("Picked", "K, site"),
+            ],
+            OBSERVER,
+            visibility,
+        )
+    )
+    for i in range(items):
+        lines.append(f"[place_sku{i}] +Order@{OBSERVER}(o, 'sku{i}') :-")
+    lines.append(
+        "[accept] +Accepted@shop(x) :- Order@shop(x, it), not Refused@shop(x)"
+    )
+    lines.append(
+        "[authorize] +Paid@bank(x) :- Order@bank(x, it), "
+        "not Refused@bank(x), not Key[Paid]@bank(x)"
+    )
+    lines.append(
+        "[refuse] +Refused@bank(x) :- Order@bank(x, it), not Paid@bank(x)"
+    )
+    for w, peer in enumerate(warehouse_peers):
+        lines.append(
+            f"[pick_w{w}] +Picked@{peer}(x, 'site{w}') :- "
+            f"Accepted@{peer}(x), Paid@{peer}(x), not Key[Picked]@{peer}(x)"
+        )
+    for c, peer in enumerate(courier_peers):
+        lines.append(
+            f"[ship_c{c}] +Shipped@{peer}(x, 'courier{c}') :- "
+            f"Picked@{peer}(x, site), not Key[Shipped]@{peer}(x)"
+        )
+        lines.append(
+            f"[deliver_c{c}] +Delivered@{peer}(x) :- "
+            f"Shipped@{peer}(x, 'courier{c}')"
+        )
+    lines.append(
+        "[cancel] -Key[Order]@shop(x) :- Order@shop(x, it), Refused@shop(x)"
+    )
+    return parse_program("\n".join(lines))
+
+
+ECOMMERCE = register(
+    WorkflowFamily(
+        name="ecommerce",
+        summary="order fulfillment across shop, bank, warehouses and couriers",
+        observer=OBSERVER,
+        defaults={"items": 3, "warehouses": 2, "couriers": 2, "visibility": 0.5},
+        builder=ecommerce_program,
+        weights={
+            # Keep order placement rare enough that seeded streams push
+            # existing orders down the pipeline instead of flooding new ones.
+            **{f"place_sku{i}": 0.35 for i in range(64)},
+            "refuse": 0.4,
+            "cancel": 0.5,
+            **{f"deliver_c{c}": 1.5 for c in range(64)},
+        },
+    )
+)

@@ -1,0 +1,129 @@
+"""Healthcare treatment-approval family.
+
+A ``reception`` desk registers cases, one of ``doctors`` doctors
+examines them, a chain of ``stages`` review-board peers signs off one
+after another (a silent approval chain, the realistic cousin of the
+h-boundedness stress in :func:`repro.workloads.chain_program`), and an
+``insurer`` grants or denies coverage before reception notifies the
+patient.
+
+The ``patient`` is the observer: they always see their case and the
+final notice; the ``visibility`` knob slides whether coverage grants,
+denials, examinations and the last board approval are disclosed.  The
+review chain makes minimal faithful explanations long (``stages + 3``
+events from registration to notice), so the family stresses exactly the
+transparency machinery the paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workflow.parser import parse_program
+from ...workflow.program import WorkflowProgram
+from .base import WorkflowFamily, optional_views, register
+
+OBSERVER = "patient"
+
+
+def healthcare_program(
+    doctors: int = 2,
+    stages: int = 3,
+    visibility: float = 0.5,
+) -> WorkflowProgram:
+    """Build the healthcare approvals program for the given knobs."""
+    if doctors < 1 or stages < 1:
+        raise ValueError("doctors and stages must both be >= 1")
+    doctor_peers = [f"doctor{d}" for d in range(doctors)]
+    review_peers = [f"review{s}" for s in range(stages)]
+    lines: List[str] = [
+        "peers reception, "
+        + ", ".join(doctor_peers + review_peers)
+        + f", insurer, {OBSERVER}",
+        "relation Case(K)",
+        "relation Exam(K, doctor)",
+    ]
+    for s in range(stages):
+        lines.append(f"relation Approve{s}(K)")
+    lines.append("relation Coverage(K)")
+    lines.append("relation Denied(K)")
+    lines.append("relation Notice(K)")
+    lines.append("view Case@reception(K)")
+    lines.append("view Coverage@reception(K)")
+    lines.append("view Denied@reception(K)")
+    lines.append("view Notice@reception(K)")
+    for peer in doctor_peers:
+        lines.append(f"view Case@{peer}(K)")
+        lines.append(f"view Exam@{peer}(K, doctor)")
+    for s, peer in enumerate(review_peers):
+        if s == 0:
+            lines.append(f"view Exam@{peer}(K, doctor)")
+        else:
+            lines.append(f"view Approve{s - 1}@{peer}(K)")
+        lines.append(f"view Approve{s}@{peer}(K)")
+    lines.append(f"view Exam@insurer(K, doctor)")
+    lines.append(f"view Approve{stages - 1}@insurer(K)")
+    lines.append("view Coverage@insurer(K)")
+    lines.append("view Denied@insurer(K)")
+    # The patient always sees their case and the final notice ...
+    lines.append(f"view Case@{OBSERVER}(K)")
+    lines.append(f"view Notice@{OBSERVER}(K)")
+    # ... and visibility-many internal relations, best-known first.
+    lines.extend(
+        optional_views(
+            [
+                ("Coverage", "K"),
+                ("Denied", "K"),
+                ("Exam", "K, doctor"),
+                (f"Approve{stages - 1}", "K"),
+            ],
+            OBSERVER,
+            visibility,
+        )
+    )
+    lines.append("[register] +Case@reception(c) :-")
+    for d, peer in enumerate(doctor_peers):
+        lines.append(
+            f"[examine_d{d}] +Exam@{peer}(x, 'dr{d}') :- "
+            f"Case@{peer}(x), not Key[Exam]@{peer}(x)"
+        )
+    lines.append(
+        "[board0] +Approve0@review0(x) :- Exam@review0(x, dr), "
+        "not Key[Approve0]@review0(x)"
+    )
+    for s in range(1, stages):
+        lines.append(
+            f"[board{s}] +Approve{s}@review{s}(x) :- Approve{s - 1}@review{s}(x), "
+            f"not Key[Approve{s}]@review{s}(x)"
+        )
+    lines.append(
+        f"[cover] +Coverage@insurer(x) :- Approve{stages - 1}@insurer(x), "
+        "not Denied@insurer(x), not Coverage@insurer(x)"
+    )
+    lines.append(
+        "[deny] +Denied@insurer(x) :- Exam@insurer(x, dr), "
+        "not Coverage@insurer(x), not Denied@insurer(x)"
+    )
+    lines.append("[notify] +Notice@reception(x) :- Coverage@reception(x)")
+    lines.append(
+        "[discharge] -Key[Case]@reception(x) :- "
+        "Case@reception(x), Denied@reception(x)"
+    )
+    return parse_program("\n".join(lines))
+
+
+HEALTHCARE = register(
+    WorkflowFamily(
+        name="healthcare",
+        summary="treatment approvals through doctors, a review chain and an insurer",
+        observer=OBSERVER,
+        defaults={"doctors": 2, "stages": 3, "visibility": 0.5},
+        builder=healthcare_program,
+        weights={
+            "register": 0.35,
+            "deny": 0.3,
+            "discharge": 0.4,
+            "notify": 1.5,
+        },
+    )
+)

@@ -1,0 +1,140 @@
+"""Multi-party procurement family.
+
+A ``requester`` files requisitions, the ``buyer`` turns them into
+requests-for-quotes, each of ``vendors`` vendor peers bids, the buyer
+awards the contract to exactly one bidder (a nondeterministic choice
+guarded by ``not Key[Award]`` — the first award wins and conflicting
+awards are never applicable), a chain of ``approvers`` finance peers
+signs the award off, and the awarded vendor fulfills the purchase order.
+Unprocessed requisitions can be withdrawn (a keyed deletion).
+
+The ``auditor`` is the observer: they always see requisitions, awards,
+purchase orders and fulfillments; the ``visibility`` knob slides whether
+the RFQ stage, the final finance approval and each vendor's bid are
+disclosed.  The award rules match the awarded vendor by *constant* in
+the body (``Award@vendor<v>(x, 'vendor<v>')``), so the family exercises
+selection by constants on multi-attribute relations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workflow.parser import parse_program
+from ...workflow.program import WorkflowProgram
+from .base import WorkflowFamily, optional_views, register
+
+OBSERVER = "auditor"
+
+
+def procurement_program(
+    vendors: int = 3,
+    approvers: int = 2,
+    visibility: float = 0.5,
+) -> WorkflowProgram:
+    """Build the multi-party procurement program for the given knobs."""
+    if vendors < 1 or approvers < 1:
+        raise ValueError("vendors and approvers must both be >= 1")
+    vendor_peers = [f"vendor{v}" for v in range(vendors)]
+    finance_peers = [f"finance{a}" for a in range(approvers)]
+    lines: List[str] = [
+        "peers requester, buyer, "
+        + ", ".join(vendor_peers + finance_peers)
+        + f", {OBSERVER}",
+        "relation Req(K)",
+        "relation RFQ(K)",
+        "relation Award(K, vendor)",
+        "relation PO(K)",
+        "relation Fulfilled(K, vendor)",
+    ]
+    for v in range(vendors):
+        lines.append(f"relation Quote{v}(K, bid)")
+    for a in range(approvers):
+        lines.append(f"relation Ok{a}(K)")
+    lines.append("view Req@requester(K)")
+    lines.append("view RFQ@requester(K)")
+    lines.append("view PO@requester(K)")
+    lines.append("view Req@buyer(K)")
+    lines.append("view RFQ@buyer(K)")
+    for v in range(vendors):
+        lines.append(f"view Quote{v}@buyer(K, bid)")
+    lines.append("view Award@buyer(K, vendor)")
+    lines.append(f"view Ok{approvers - 1}@buyer(K)")
+    lines.append("view PO@buyer(K)")
+    for v, peer in enumerate(vendor_peers):
+        lines.append(f"view RFQ@{peer}(K)")
+        lines.append(f"view Quote{v}@{peer}(K, bid)")
+        lines.append(f"view Award@{peer}(K, vendor)")
+        lines.append(f"view PO@{peer}(K)")
+        lines.append(f"view Fulfilled@{peer}(K, vendor)")
+    for a, peer in enumerate(finance_peers):
+        if a == 0:
+            lines.append(f"view Award@{peer}(K, vendor)")
+        else:
+            lines.append(f"view Ok{a - 1}@{peer}(K)")
+        lines.append(f"view Ok{a}@{peer}(K)")
+    # The auditor always sees the money trail ...
+    lines.append(f"view Req@{OBSERVER}(K)")
+    lines.append(f"view Award@{OBSERVER}(K, vendor)")
+    lines.append(f"view PO@{OBSERVER}(K)")
+    lines.append(f"view Fulfilled@{OBSERVER}(K, vendor)")
+    # ... and visibility-many of the intermediate stages.
+    lines.extend(
+        optional_views(
+            [("RFQ", "K"), (f"Ok{approvers - 1}", "K")]
+            + [(f"Quote{v}", "K, bid") for v in range(vendors)],
+            OBSERVER,
+            visibility,
+        )
+    )
+    lines.append("[request] +Req@requester(r) :-")
+    lines.append("[rfq] +RFQ@buyer(x) :- Req@buyer(x), not Key[RFQ]@buyer(x)")
+    for v, peer in enumerate(vendor_peers):
+        lines.append(
+            f"[quote_v{v}] +Quote{v}@{peer}(x, 'bid{v}') :- "
+            f"RFQ@{peer}(x), not Key[Quote{v}]@{peer}(x)"
+        )
+        lines.append(
+            f"[award_v{v}] +Award@buyer(x, 'vendor{v}') :- "
+            f"RFQ@buyer(x), Quote{v}@buyer(x, bid), not Key[Award]@buyer(x)"
+        )
+    lines.append(
+        "[ok0] +Ok0@finance0(x) :- Award@finance0(x, vendor), "
+        "not Key[Ok0]@finance0(x)"
+    )
+    for a in range(1, approvers):
+        lines.append(
+            f"[ok{a}] +Ok{a}@finance{a}(x) :- Ok{a - 1}@finance{a}(x), "
+            f"not Key[Ok{a}]@finance{a}(x)"
+        )
+    lines.append(
+        f"[issue_po] +PO@buyer(x) :- Ok{approvers - 1}@buyer(x), "
+        "not Key[PO]@buyer(x)"
+    )
+    for v, peer in enumerate(vendor_peers):
+        lines.append(
+            f"[fulfill_v{v}] +Fulfilled@{peer}(x, 'vendor{v}') :- "
+            f"PO@{peer}(x), Award@{peer}(x, 'vendor{v}'), "
+            f"not Key[Fulfilled]@{peer}(x)"
+        )
+    lines.append(
+        "[withdraw] -Key[Req]@requester(x) :- Req@requester(x), "
+        "not Key[RFQ]@requester(x)"
+    )
+    return parse_program("\n".join(lines))
+
+
+PROCUREMENT = register(
+    WorkflowFamily(
+        name="procurement",
+        summary="requisition, competitive quotes, award, finance chain, fulfillment",
+        observer=OBSERVER,
+        defaults={"vendors": 3, "approvers": 2, "visibility": 0.5},
+        builder=procurement_program,
+        weights={
+            "request": 0.35,
+            "withdraw": 0.3,
+            **{f"fulfill_v{v}": 1.5 for v in range(64)},
+        },
+    )
+)

@@ -332,6 +332,79 @@ class TestObservabilityOps:
 
         run_server_scenario(scenario)
 
+    def test_provenance_rank_op_attributes_events(self):
+        import pytest as _pytest
+
+        import repro.service.server as server_module
+
+        async def scenario(program, server):
+            run = RunGenerator(program, seed=5).random_run(8)
+            peer = program.schema.peers[0]
+            client = await ServiceClient.connect(server.host, server.port)
+            try:
+                await client.expect_ok(op="open", run="r")
+                for event in run.events:
+                    await client.expect_ok(
+                        op="submit", run="r", event=event_to_dict(event)
+                    )
+                ranked = await client.expect_ok(
+                    op="provenance_rank", run="r", peer=peer
+                )
+                assert ranked["target"] == f"view@{peer}"
+                assert ranked["method"] == "exact"
+                assert len(ranked["ranking"]) == len(run.events)
+                # efficiency: the attributions sum to v(N) - v(empty)
+                assert ranked["total"] == _pytest.approx(
+                    ranked["grand"] - ranked["baseline"]
+                )
+                assert ranked["total"] == _pytest.approx(
+                    sum(e["value"] for e in ranked["ranking"])
+                )
+                # each entry carries its provenance citation
+                for entry in ranked["ranking"]:
+                    citation = entry["provenance"]
+                    assert citation["seq"] == entry["position"]
+                    assert citation["rule"] == entry["rule"]
+
+                # deterministic sampled ranking under a pinned seed
+                first = await client.expect_ok(
+                    op="provenance_rank", run="r", peer=peer,
+                    method="sampled", samples=32, seed=9,
+                )
+                second = await client.expect_ok(
+                    op="provenance_rank", run="r", peer=peer,
+                    method="sampled", samples=32, seed=9,
+                )
+                assert first["ranking"] == second["ranking"]
+
+                bad_peer = await client.request(
+                    op="provenance_rank", run="r", peer="martian"
+                )
+                assert bad_peer["error"] == "service"
+                bad_method = await client.request(
+                    op="provenance_rank", run="r", peer=peer, method="magic"
+                )
+                assert bad_method["error"] == "protocol"
+                keyless = await client.request(
+                    op="provenance_rank", run="r", peer=peer, key=1
+                )
+                assert keyless["error"] == "protocol"
+
+                # oversized runs are refused, not ranked at 2^n cost
+                server_module.MAX_RANK_EVENTS = 4
+                try:
+                    refused = await client.request(
+                        op="provenance_rank", run="r", peer=peer
+                    )
+                finally:
+                    server_module.MAX_RANK_EVENTS = 128
+                assert refused["error"] == "service"
+                assert "capped" in refused["message"]
+            finally:
+                await client.close()
+
+        run_server_scenario(scenario)
+
     def test_explain_cites_provenance_records(self):
         async def scenario(program, server):
             run = RunGenerator(program, seed=6).random_run(8)

@@ -111,6 +111,34 @@ class TestExplain:
         )
         assert "replayed" in capsys.readouterr().out
 
+    def test_rank_prints_shapley_table(self, program_file, capsys):
+        assert main(
+            ["explain", program_file, "--peer", "sue", "--steps", "8",
+             "--seed", "3", "--rank"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Shapley ranking toward view@sue" in out
+        assert "(exact)" in out  # 8 events -> exact attribution
+
+    def test_rank_fact_target_with_sampling(self, program_file, capsys):
+        assert main(
+            ["explain", program_file, "--peer", "sue", "--steps", "8",
+             "--seed", "3", "--rank", "--target", "Hire",
+             "--rank-method", "sampled", "--rank-samples", "16",
+             "--rank-seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Shapley ranking toward Hire@sue" in out
+        assert "16 samples, seed 4" in out
+
+    def test_rank_unknown_target_rejected(self, program_file, capsys):
+        code = main(
+            ["explain", program_file, "--peer", "sue", "--steps", "4",
+             "--rank", "--target", "Budget"]
+        )
+        assert code == 2
+        assert "no view" in capsys.readouterr().err
+
 
 class TestSynthesize:
     def test_view_program_printed(self, program_file, capsys):
@@ -347,7 +375,26 @@ class TestServiceCommands:
     def test_unknown_workload_rejected(self, capsys):
         code = main(["loadgen", "--workload", "nope", "--port", "1"])
         assert code == 2
-        assert "unknown workload" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        # the diagnostic advertises the realistic families
+        assert "ecommerce" in err and "procurement" in err
+
+    def test_family_workload_with_bad_knob_rejected(self, capsys):
+        code = main(
+            ["loadgen", "--workload", "ecommerce:warp=9", "--port", "1"]
+        )
+        assert code == 2
+        assert "unknown knob" in capsys.readouterr().err
+
+    def test_family_and_fuzz_workloads_resolve(self, capsys):
+        from repro.cli import _load_service_program
+        import argparse
+
+        for spec in ("ecommerce:items=1", "cicd", "fuzz:3"):
+            namespace = argparse.Namespace(program=None, workload=spec)
+            program = _load_service_program(namespace)
+            assert program.rules
 
     def test_workload_and_program_are_exclusive(self, program_file, capsys):
         code = main(["serve", program_file, "--workload", "churn"])

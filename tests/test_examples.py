@@ -38,4 +38,5 @@ def test_expected_examples_present():
         "transparent_design",
         "hardness_gadgets",
         "workflow_audit",
+        "families_tour",
     } <= names

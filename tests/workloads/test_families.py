@@ -1,0 +1,162 @@
+"""The realistic workflow families: validity, knobs, and plausible runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import parse_program, program_to_text
+from repro.workflow.lint import lint_program
+from repro.workloads import (
+    FAMILIES,
+    family_names,
+    get_family,
+    make_family_program,
+)
+from repro.workloads.families.base import optional_views, parse_family_spec
+
+EXPECTED = ("cicd", "ecommerce", "healthcare", "procurement")
+
+#: A relation each family's pipeline should eventually populate, and the
+#: progress relation whose keys feed it.  Used to check that weighted
+#: seeded runs actually *advance* instead of only creating roots.
+TERMINALS = {
+    "ecommerce": "Delivered",
+    "healthcare": "Notice",
+    "cicd": "Live0",
+    "procurement": "Fulfilled",
+}
+
+
+class TestCatalog:
+    def test_expected_families_registered(self):
+        assert family_names() == EXPECTED
+
+    def test_get_family_helpful_error(self):
+        with pytest.raises(KeyError, match="known families: cicd"):
+            get_family("banking")
+
+    def test_metadata_complete(self):
+        for name in family_names():
+            family = get_family(name)
+            assert family.name == name
+            assert family.summary
+            assert family.defaults
+            assert family.weights
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_observer_is_a_peer_with_views(self, name):
+        family = get_family(name)
+        program = family.program()
+        assert family.observer in program.schema.peers
+        assert program.schema.views_of_peer(family.observer)
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_default_program_round_trips_and_lints(self, name):
+        program = get_family(name).program()
+        text = program_to_text(program)
+        reparsed = parse_program(text)
+        assert program_to_text(reparsed) == text
+        errors = [f for f in lint_program(program) if f.severity == "error"]
+        assert not errors, errors
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_every_family_has_a_deletion_rule(self, name):
+        # Each family models at least one retraction (cancel, rollback,
+        # withdraw...), so deletions are exercised downstream.
+        from repro.workflow.rules import Deletion
+
+        program = get_family(name).program()
+        assert any(
+            any(isinstance(atom, Deletion) for atom in rule.head)
+            for rule in program.rules
+        )
+
+    def test_knob_scaling_changes_rule_count(self):
+        small = get_family("cicd").program(stages=2, services=1)
+        large = get_family("cicd").program(stages=5, services=3)
+        assert len(large.rules) > len(small.rules)
+        assert len(large.schema.schema.relations) > len(
+            small.schema.schema.relations
+        )
+
+    def test_visibility_knob_slides_observer_views(self):
+        family = get_family("healthcare")
+        opaque = family.program(visibility=0.0)
+        clear = family.program(visibility=1.0)
+        assert len(clear.schema.views_of_peer(family.observer)) > len(
+            opaque.schema.views_of_peer(family.observer)
+        )
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(KeyError, match="valid knobs"):
+            get_family("ecommerce").program(warp=9)
+
+
+class TestRuns:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_seeded_runs_are_deterministic(self, name):
+        family = get_family(name)
+        first = family.events(seed=11, steps=15)
+        second = family.events(seed=11, steps=15)
+        assert [repr(e) for e in first] == [repr(e) for e in second]
+        other = family.events(seed=12, steps=15)
+        assert [repr(e) for e in first] != [repr(e) for e in other]
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_weighted_runs_reach_the_pipeline_terminal(self, name):
+        family = get_family(name)
+        terminal = TERMINALS[name]
+        reached = False
+        for seed in range(6):
+            run = family.run(seed=seed, steps=40)
+            final = run.final_instance
+            if final.relation(terminal):
+                reached = True
+                break
+        assert reached, (
+            f"no seed in 0..5 drove {name} to populate {terminal!r}"
+        )
+
+    def test_run_rejects_program_plus_overrides(self):
+        family = get_family("ecommerce")
+        program = family.program()
+        with pytest.raises(TypeError):
+            family.run(seed=0, steps=5, program=program, items=2)
+
+
+class TestSpecs:
+    def test_parse_family_spec(self):
+        assert parse_family_spec("ecommerce") == ("ecommerce", {})
+        name, knobs = parse_family_spec(
+            "procurement:vendors=5, visibility=0.25,note=hi"
+        )
+        assert name == "procurement"
+        assert knobs == {"vendors": 5, "visibility": 0.25, "note": "hi"}
+
+    def test_parse_family_spec_rejects_bad_knob(self):
+        with pytest.raises(ValueError, match="expected knob=value"):
+            parse_family_spec("ecommerce:items")
+
+    def test_make_family_program_applies_knobs(self):
+        program, family = make_family_program("ecommerce:items=1")
+        assert family is FAMILIES["ecommerce"]
+        assert sum(
+            1 for rule in program.rules if rule.name.startswith("place_sku")
+        ) == 1
+
+
+class TestOptionalViews:
+    def test_visibility_slices_prefix(self):
+        relations = [("A", "K"), ("B", "K"), ("C", "K"), ("D", "K")]
+        assert optional_views(relations, "p", 0.0) == []
+        assert optional_views(relations, "p", 0.5) == [
+            "view A@p(K)",
+            "view B@p(K)",
+        ]
+        assert len(optional_views(relations, "p", 1.0)) == 4
+
+    def test_visibility_bounds_checked(self):
+        with pytest.raises(ValueError, match="visibility"):
+            optional_views([("A", "K")], "p", 1.5)

@@ -1,0 +1,134 @@
+"""The property-based program fuzzer: validity, determinism, shrinking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import parse_program, program_to_text
+from repro.workflow.queries import Comparison, KeyLiteral, RelLiteral
+from repro.workflow.rules import Deletion
+from repro.workloads import (
+    FuzzConfig,
+    fuzz_corpus,
+    fuzz_program,
+    shrink_program,
+)
+from repro.workloads.fuzz import DEFAULT_CONFIG, PAIRS, DifferentialReport
+from repro.workloads.fuzz import PairOutcome
+
+
+class TestFuzzPrograms:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_are_valid_and_round_trip(self, seed):
+        program = fuzz_program(seed)
+        assert program.rules
+        text = program_to_text(program)
+        reparsed = parse_program(text)  # re-validates the whole program
+        assert program_to_text(reparsed) == text
+
+    def test_seed_determinism(self):
+        first = program_to_text(fuzz_program(42))
+        second = program_to_text(fuzz_program(42))
+        assert first == second
+        assert program_to_text(fuzz_program(43)) != first
+
+    def test_config_bounds_respected(self):
+        config = FuzzConfig(
+            min_relations=2, max_relations=2, min_peers=2, max_peers=2,
+            min_rules=3, max_rules=4,
+        )
+        for seed in range(8):
+            program = fuzz_program(seed, config)
+            assert len(program.schema.schema.relations) == 2
+            # the configured peers plus the dedicated observer
+            assert len(program.schema.peers) == 3
+            assert 3 <= len(program.rules) <= 4
+
+    def test_corpus_yields_consecutive_seeds(self):
+        corpus = list(fuzz_corpus(3, base_seed=10))
+        assert [seed for seed, _ in corpus] == [10, 11, 12]
+        assert program_to_text(corpus[0][1]) == program_to_text(
+            fuzz_program(10)
+        )
+
+    def test_corpus_exercises_every_feature(self):
+        """Across a modest corpus the fuzzer must emit every rule shape
+        it advertises: deletions, negation, key literals, comparisons."""
+        saw = {"deletion": 0, "negation": 0, "key": 0, "comparison": 0}
+        for _, program in fuzz_corpus(30):
+            for rule in program.rules:
+                if any(isinstance(a, Deletion) for a in rule.head):
+                    saw["deletion"] += 1
+                for literal in rule.body.literals:
+                    if isinstance(literal, RelLiteral) and not literal.positive:
+                        saw["negation"] += 1
+                    elif isinstance(literal, KeyLiteral):
+                        saw["key"] += 1
+                    elif isinstance(literal, Comparison):
+                        saw["comparison"] += 1
+        missing = [k for k, count in saw.items() if count == 0]
+        assert not missing, f"fuzzer never produced: {missing} ({saw})"
+
+
+class TestShrinking:
+    def test_shrinks_to_a_single_pinned_rule(self):
+        program = fuzz_program(5)
+        assert len(program.rules) > 1
+        pinned = program.rules[0].name
+
+        def still_failing(candidate):
+            return any(rule.name == pinned for rule in candidate.rules)
+
+        minimal = shrink_program(program, still_failing)
+        assert [rule.name for rule in minimal.rules] == [pinned]
+        # the schema is pruned to what the surviving rule mentions
+        program_to_text(minimal)  # still serializable
+
+    def test_predicate_exceptions_count_as_failing(self):
+        program = fuzz_program(6)
+
+        def explodes(candidate):
+            raise RuntimeError("predicate blew up")
+
+        minimal = shrink_program(program, explodes)
+        assert len(minimal.rules) <= 1
+
+    def test_non_failing_program_unchanged(self):
+        program = fuzz_program(7)
+        minimal = shrink_program(program, lambda candidate: True)
+        assert len(minimal.rules) <= len(program.rules)
+
+
+class TestDifferentialReport:
+    def _report(self, ok: bool, label: str = "fuzz") -> DifferentialReport:
+        outcomes = tuple(
+            PairOutcome(pair=p, ok=ok, detail="" if ok else "boom")
+            for p in PAIRS
+        )
+        return DifferentialReport(
+            seed=9, steps=12, events=8, outcomes=outcomes, label=label
+        )
+
+    def test_ok_and_failures(self):
+        assert self._report(True).ok
+        report = self._report(False)
+        assert not report.ok
+        assert len(report.failures) == len(PAIRS)
+
+    def test_reproduce_one_liner(self):
+        line = self._report(False).reproduce()
+        assert line.startswith("PYTHONPATH=src python -m repro.workloads.fuzz")
+        assert "--seed 9" in line and "--steps 12" in line
+        family = self._report(False, label="ecommerce").reproduce()
+        assert "--family ecommerce" in family
+
+    def test_summary_mentions_reproduce_on_failure(self):
+        ok_text = self._report(True).summary()
+        assert "reproduce" not in ok_text
+        bad_text = self._report(False).summary()
+        assert "reproduce:" in bad_text and "boom" in bad_text
+
+
+def test_default_config_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CONFIG.max_rules = 99

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Coverage ratchet: gate CI on a coverage.xml report (stdlib only).
 
-Two independent gates, both read from ``coverage_ratchet.json`` at the
-repo root:
+Per-package floors plus a total ratchet, all read from
+``coverage_ratchet.json`` at the repo root:
 
 * ``parallel_floor`` — the ``repro.parallel`` package must stay at or
   above this line coverage (the differential-test layer's promise is
@@ -15,6 +15,10 @@ repo root:
   algebra, the incremental operators, the delta graph) must stay at or
   above this line coverage; every derived artifact in the service rides
   on these operators being exercised.
+* ``workloads_floor`` — the ``repro.workloads`` package (the program
+  generators, the realistic families, the fuzzer and its differential
+  harness) must stay at or above this line coverage; a fuzzer whose own
+  rule shapes go unexercised silently stops finding divergences.
 * ``total`` / ``allowed_total_drop`` — total line coverage may not fall
   more than ``allowed_total_drop`` percentage points below the recorded
   ``total``.  The recorded value only moves when someone runs
@@ -41,51 +45,51 @@ import xml.etree.ElementTree as ET
 from pathlib import Path
 
 RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
-_PARALLEL = re.compile(r"(^|/)(src/)?(repro/)?parallel/[^/]+\.py$")
-_WORKFLOW = re.compile(r"(^|/)(src/)?(repro/)?workflow/[^/]+\.py$")
-_DATAFLOW = re.compile(r"(^|/)(src/)?(repro/)?dataflow/[^/]+\.py$")
+
+#: Gated packages: ratchet key prefix -> filename matcher.  The
+#: ``workloads`` pattern allows one directory level for the family
+#: subpackage (``workloads/families/*.py``).
+PACKAGES = {
+    "parallel": re.compile(r"(^|/)(src/)?(repro/)?parallel/[^/]+\.py$"),
+    "workflow": re.compile(r"(^|/)(src/)?(repro/)?workflow/[^/]+\.py$"),
+    "dataflow": re.compile(r"(^|/)(src/)?(repro/)?dataflow/[^/]+\.py$"),
+    "workloads": re.compile(
+        r"(^|/)(src/)?(repro/)?workloads/([^/]+/)?[^/]+\.py$"
+    ),
+}
 
 
 def measure(xml_path: Path) -> dict:
-    """Total, repro.parallel/.workflow/.dataflow line coverage (percent)."""
+    """Total and per-package line coverage (percent)."""
     root = ET.parse(str(xml_path)).getroot()
     total_valid = total_covered = 0
-    parallel_valid = parallel_covered = 0
-    workflow_valid = workflow_covered = 0
-    dataflow_valid = dataflow_covered = 0
+    valid = {name: 0 for name in PACKAGES}
+    covered = {name: 0 for name in PACKAGES}
     for cls in root.iter("class"):
         filename = (cls.get("filename") or "").replace("\\", "/")
-        in_parallel = bool(_PARALLEL.search(filename))
-        in_workflow = bool(_WORKFLOW.search(filename))
-        in_dataflow = bool(_DATAFLOW.search(filename))
+        members = [
+            name
+            for name, pattern in PACKAGES.items()
+            if pattern.search(filename)
+        ]
         for line in cls.iter("line"):
             total_valid += 1
             hit = int(line.get("hits", "0")) > 0
             total_covered += hit
-            if in_parallel:
-                parallel_valid += 1
-                parallel_covered += hit
-            if in_workflow:
-                workflow_valid += 1
-                workflow_covered += hit
-            if in_dataflow:
-                dataflow_valid += 1
-                dataflow_covered += hit
+            for name in members:
+                valid[name] += 1
+                covered[name] += hit
     if total_valid == 0:
         raise SystemExit(f"error: no line data found in {xml_path}")
 
-    def pct(covered: int, valid: int) -> float:
-        return 100.0 * covered / valid if valid else 0.0
+    def pct(hits: int, lines: int) -> float:
+        return 100.0 * hits / lines if lines else 0.0
 
-    return {
-        "total": round(pct(total_covered, total_valid), 2),
-        "parallel": round(pct(parallel_covered, parallel_valid), 2),
-        "parallel_lines": parallel_valid,
-        "workflow": round(pct(workflow_covered, workflow_valid), 2),
-        "workflow_lines": workflow_valid,
-        "dataflow": round(pct(dataflow_covered, dataflow_valid), 2),
-        "dataflow_lines": dataflow_valid,
-    }
+    measured = {"total": round(pct(total_covered, total_valid), 2)}
+    for name in PACKAGES:
+        measured[name] = round(pct(covered[name], valid[name]), 2)
+        measured[f"{name}_lines"] = valid[name]
+    return measured
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,13 +104,13 @@ def main(argv: list[str] | None = None) -> int:
 
     ratchet = json.loads(RATCHET_PATH.read_text())
     measured = measure(args.report)
-    print(
-        f"coverage: total {measured['total']:.2f}% | repro.parallel "
-        f"{measured['parallel']:.2f}% over {measured['parallel_lines']} lines "
-        f"| repro.workflow {measured['workflow']:.2f}% over "
-        f"{measured['workflow_lines']} lines | repro.dataflow "
-        f"{measured['dataflow']:.2f}% over {measured['dataflow_lines']} lines"
+    parts = [f"total {measured['total']:.2f}%"]
+    parts.extend(
+        f"repro.{name} {measured[name]:.2f}% over "
+        f"{measured[f'{name}_lines']} lines"
+        for name in PACKAGES
     )
+    print("coverage: " + " | ".join(parts))
 
     if args.update:
         ratchet["total"] = measured["total"]
@@ -115,34 +119,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = []
-    if measured["parallel_lines"] == 0:
-        failures.append("no repro.parallel lines in the report (wrong --cov target?)")
-    elif measured["parallel"] < ratchet["parallel_floor"]:
-        failures.append(
-            f"repro.parallel coverage {measured['parallel']:.2f}% is below the "
-            f"{ratchet['parallel_floor']:.2f}% floor"
-        )
-    workflow_floor = ratchet.get("workflow_floor")
-    if workflow_floor is not None:
-        if measured["workflow_lines"] == 0:
+    for name in PACKAGES:
+        floor = ratchet.get(f"{name}_floor")
+        if floor is None:
+            continue
+        if measured[f"{name}_lines"] == 0:
             failures.append(
-                "no repro.workflow lines in the report (wrong --cov target?)"
+                f"no repro.{name} lines in the report (wrong --cov target?)"
             )
-        elif measured["workflow"] < workflow_floor:
+        elif measured[name] < floor:
             failures.append(
-                f"repro.workflow coverage {measured['workflow']:.2f}% is below "
-                f"the {workflow_floor:.2f}% floor"
-            )
-    dataflow_floor = ratchet.get("dataflow_floor")
-    if dataflow_floor is not None:
-        if measured["dataflow_lines"] == 0:
-            failures.append(
-                "no repro.dataflow lines in the report (wrong --cov target?)"
-            )
-        elif measured["dataflow"] < dataflow_floor:
-            failures.append(
-                f"repro.dataflow coverage {measured['dataflow']:.2f}% is below "
-                f"the {dataflow_floor:.2f}% floor"
+                f"repro.{name} coverage {measured[name]:.2f}% is below the "
+                f"{floor:.2f}% floor"
             )
     floor = ratchet["total"] - ratchet["allowed_total_drop"]
     if measured["total"] < floor:
